@@ -1,0 +1,107 @@
+//! E9 — §5.1 artifact storage: content-defined chunking throughput and
+//! the dedup payoff across retrained model versions, vs the no-dedup
+//! baseline (whole-payload copies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mltrace_store::{ArtifactStore, ChunkerConfig};
+use std::hint::black_box;
+
+fn payload(n: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        out.extend_from_slice(&state.wrapping_mul(0x2545F4914F6CDD1D).to_le_bytes());
+    }
+    out.truncate(n);
+    out
+}
+
+fn put_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9/put");
+    group.sample_size(20);
+    for &size in &[64 * 1024usize, 1024 * 1024] {
+        let data = payload(size, 7);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("chunked", size), &size, |b, _| {
+            b.iter(|| {
+                let store = ArtifactStore::new(ChunkerConfig::default());
+                black_box(store.put(&data))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn version_series_storage(c: &mut Criterion) {
+    // Ten retrained versions with 2% contiguous deltas: dedup store vs a
+    // naive baseline that copies every version.
+    let mut group = c.benchmark_group("E9/ten_versions_2MB");
+    group.sample_size(10);
+    let make_versions = || {
+        let mut v = payload(2 * 1024 * 1024, 3);
+        (0..10u8)
+            .map(|i| {
+                let start = (i as usize * 150_000) % (v.len() - 50_000);
+                for b in &mut v[start..start + 40_000] {
+                    *b = b.wrapping_add(i + 1);
+                }
+                v.clone()
+            })
+            .collect::<Vec<_>>()
+    };
+    let versions = make_versions();
+
+    group.bench_function("dedup_store", |b| {
+        b.iter(|| {
+            let store = ArtifactStore::new(ChunkerConfig::default());
+            for v in &versions {
+                store.put(v);
+            }
+            let stats = store.stats();
+            black_box((stats.stored_bytes, stats.dedup_ratio()))
+        });
+    });
+    group.bench_function("naive_copies", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            let mut copies: Vec<Vec<u8>> = Vec::new();
+            for v in &versions {
+                copies.push(v.clone());
+                total += v.len();
+            }
+            black_box((copies.len(), total))
+        });
+    });
+    group.finish();
+}
+
+fn reassembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9/get");
+    let store = ArtifactStore::new(ChunkerConfig::default());
+    let data = payload(1024 * 1024, 11);
+    let id = store.put(&data);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("reassemble_1MB", |b| {
+        b.iter(|| black_box(store.get(&id).unwrap().len()));
+    });
+    group.finish();
+}
+
+/// Shared criterion config: short measurement windows keep the full
+/// suite runnable in CI while remaining stable on these workloads.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = put_throughput, version_series_storage, reassembly
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E7 — §5.2: "Computing simple metrics like the mean and median is a
+//! good start ... Computing well-known metrics like the
+//! Kolmogorov-Smirnov test statistic can be expensive". Cost sweep of
+//! every drift method over window sizes, plus the streaming-aggregate
+//! alternatives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mltrace_bench::uniform;
+use mltrace_metrics::{
+    exact_median, DriftConfig, DriftDetector, DriftMethod, P2Quantile, StreamingMoments,
+};
+use std::hint::black_box;
+
+fn method_cost_sweep(c: &mut Criterion) {
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut group = c.benchmark_group(format!("E7/drift_cost/n={n}"));
+        group.throughput(Throughput::Elements(n as u64));
+        if n >= 100_000 {
+            group.sample_size(20);
+        }
+        let reference = uniform(n, 1);
+        let window = uniform(n, 99);
+        let detector = DriftDetector::fit(&reference, DriftConfig::default());
+        for method in DriftMethod::ALL {
+            group.bench_with_input(BenchmarkId::new(method.name(), n), &method, |b, &m| {
+                b.iter(|| black_box(detector.check(m, &window).score));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn streaming_aggregates(c: &mut Criterion) {
+    // The cheap in-situ alternative: O(1)-memory accumulators the paper's
+    // triggers can run per batch.
+    let mut group = c.benchmark_group("E7/streaming");
+    let n = 100_000;
+    group.throughput(Throughput::Elements(n as u64));
+    let window = uniform(n, 3);
+    group.bench_function("moments_mean_var_skew_kurt", |b| {
+        b.iter(|| {
+            let m = StreamingMoments::from_slice(&window);
+            black_box((m.mean(), m.variance(), m.skewness(), m.kurtosis()))
+        });
+    });
+    group.bench_function("p2_median", |b| {
+        b.iter(|| {
+            let mut p = P2Quantile::median();
+            for &x in &window {
+                p.push(x);
+            }
+            black_box(p.value())
+        });
+    });
+    group.bench_function("exact_median_sorting", |b| {
+        b.iter(|| black_box(exact_median(&window)));
+    });
+    group.finish();
+}
+
+/// Shared criterion config: short measurement windows keep the full
+/// suite runnable in CI while remaining stable on these workloads.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = method_cost_sweep, streaming_aggregates
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! E1 — §3.4 scale scenario: "Ω(1 million) IOPointer and CR nodes added
+//! to our graph daily. It is not only a challenge to store all of this
+//! data, but also to allow the user to query this information quickly."
+//!
+//! Measures: (a) run-log ingest throughput with the producer/consumer
+//! indexes live, (b) graph reconstruction over large logs, (c) point
+//! queries after a million-node day.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mltrace_bench::{prediction_record, scale_store};
+use mltrace_core::build_graph;
+use mltrace_provenance::{trace_output, TraceOptions};
+use mltrace_store::{MemoryStore, Store};
+use std::hint::black_box;
+
+fn ingest_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/ingest");
+    for &batch in &[1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("log_run", batch), &batch, |b, &n| {
+            b.iter(|| {
+                let store = MemoryStore::new();
+                for i in 0..n as u64 {
+                    store.log_run(prediction_record(i)).unwrap();
+                }
+                black_box(store.stats().unwrap().runs)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn graph_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/build_graph");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let (store, _) = scale_store(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(build_graph(&store).unwrap().run_count()));
+        });
+    }
+    group.finish();
+}
+
+fn point_queries_at_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/query_at_1M_nodes");
+    group.sample_size(10);
+    // 500k predictions → ~1M nodes (runs + pointers), the paper's daily
+    // volume.
+    let (store, outputs) = scale_store(500_000);
+    let graph = build_graph(&store).unwrap();
+
+    group.bench_function("trace_one_output", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % outputs.len();
+            black_box(
+                trace_output(&graph, &outputs[i], TraceOptions::default())
+                    .unwrap()
+                    .size(),
+            )
+        });
+    });
+    group.bench_function("latest_run", |b| {
+        b.iter(|| black_box(store.latest_run("inference").unwrap().unwrap().id));
+    });
+    group.bench_function("producers_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % outputs.len();
+            black_box(store.producers_of(&outputs[i]).unwrap().len())
+        });
+    });
+    group.finish();
+}
+
+/// Shared criterion config: short measurement windows keep the full
+/// suite runnable in CI while remaining stable on these workloads.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = ingest_throughput, graph_reconstruction, point_queries_at_scale
+}
+criterion_main!(benches);

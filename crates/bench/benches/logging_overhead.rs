@@ -1,0 +1,134 @@
+//! E12 — the "lightweight" claim: overhead of wrapping a component body
+//! in the execution layer, and the sync-vs-async trigger ablation
+//! (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mltrace_core::{ComponentDef, FnTrigger, Mltrace, RunSpec, TriggerOutcome};
+use mltrace_store::Value;
+use std::hint::black_box;
+
+/// The "user code": a feature computation of fixed cost.
+fn body_work(n: usize) -> f64 {
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        acc += ((i as f64) * 1.000001).sqrt();
+    }
+    acc
+}
+
+fn logging_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12/overhead");
+    let work = 100_000usize;
+
+    group.bench_function("bare_body", |b| {
+        b.iter(|| black_box(body_work(work)));
+    });
+
+    group.bench_function("wrapped_no_triggers", |b| {
+        let ml = Mltrace::in_memory();
+        b.iter(|| {
+            ml.run(
+                "step",
+                RunSpec::new().input("in.csv").output("out.csv"),
+                |_| Ok(black_box(body_work(work))),
+            )
+            .unwrap()
+            .value
+        });
+    });
+
+    group.bench_function("wrapped_with_captures_and_metrics", |b| {
+        let ml = Mltrace::in_memory();
+        b.iter(|| {
+            ml.run(
+                "step",
+                RunSpec::new()
+                    .input("in.csv")
+                    .output("out.csv")
+                    .capture("rows", 1000i64)
+                    .code("fn step() {}"),
+                |ctx| {
+                    let v = black_box(body_work(work));
+                    ctx.capture("result", v);
+                    ctx.log_metric("result", v);
+                    Ok(v)
+                },
+            )
+            .unwrap()
+            .value
+        });
+    });
+    group.finish();
+}
+
+fn trigger_scheduling_ablation(c: &mut Criterion) {
+    // Ablation: the paper's @asynchronous decorator pays a thread-spawn
+    // cost per trigger, so it only wins once trigger work is substantial
+    // relative to spawn overhead AND overlaps a comparably long body.
+    // Measure both regimes.
+    let mut group = c.benchmark_group("E12/triggers");
+    group.sample_size(20);
+    let column = Value::List((0..1000).map(|i| Value::Float(i as f64)).collect());
+    let make_trigger = |iterations: usize| {
+        FnTrigger::new("aggregate", move |ctx| {
+            let sum: f64 = ctx
+                .numeric_capture("column")
+                .map(|v| v.iter().sum())
+                .unwrap_or(0.0);
+            let mut acc = sum;
+            for i in 0..iterations {
+                acc += ((i as f64) * 1.0001).sqrt();
+            }
+            TriggerOutcome::pass("ok").with_metric("sum", acc)
+        })
+    };
+
+    // (regime, trigger iterations, body iterations)
+    let regimes = [
+        ("cheap_trigger", 50_000usize, 50_000usize),
+        ("heavy_trigger", 2_000_000, 2_000_000),
+    ];
+    for (regime, trigger_iters, body_iters) in regimes {
+        for asynchronous in [false, true] {
+            let name = format!("{regime}/{}", if asynchronous { "async" } else { "sync" });
+            let component = name.replace('/', "_");
+            let ml = Mltrace::in_memory();
+            let builder = ComponentDef::builder(component.clone());
+            let builder = if asynchronous {
+                builder.before_run_async(make_trigger(trigger_iters))
+            } else {
+                builder.before_run(make_trigger(trigger_iters))
+            };
+            ml.register(builder.build()).unwrap();
+            let column = column.clone();
+            group.bench_function(&name, move |b| {
+                b.iter(|| {
+                    ml.run(
+                        &component,
+                        RunSpec::new().capture("column", column.clone()),
+                        |_| Ok(black_box(body_work(body_iters))),
+                    )
+                    .unwrap()
+                    .value
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Shared criterion config: short measurement windows keep the full
+/// suite runnable in CI while remaining stable on these workloads.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = logging_overhead, trigger_scheduling_ablation
+}
+criterion_main!(benches);

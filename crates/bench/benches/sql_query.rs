@@ -1,0 +1,83 @@
+//! E11 — ad-hoc SQL latency over observability logs of increasing size
+//! (§4.2's "many challenges stem from executing these queries quickly").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mltrace_bench::scale_store;
+use mltrace_query::execute;
+use mltrace_store::{ComponentRecord, MetricRecord, Store};
+use std::hint::black_box;
+
+fn seeded(n: usize) -> mltrace_store::MemoryStore {
+    let (store, _) = scale_store(n);
+    for stage in 0..9 {
+        store
+            .register_component(ComponentRecord::named(format!("stage-{stage}")))
+            .unwrap();
+    }
+    store
+        .register_component(ComponentRecord::named("inference"))
+        .unwrap();
+    for i in 0..n.min(10_000) as u64 {
+        store
+            .log_metric(MetricRecord {
+                component: "inference".into(),
+                run_id: None,
+                name: "accuracy".into(),
+                value: 0.8 + (i % 100) as f64 / 1000.0,
+                ts_ms: i,
+            })
+            .unwrap();
+    }
+    store
+}
+
+fn queries(c: &mut Criterion) {
+    for &n in &[10_000usize, 100_000] {
+        let store = seeded(n);
+        let mut group = c.benchmark_group(format!("E11/sql/n={n}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(n as u64));
+        let cases = [
+            (
+                "filter_limit",
+                "SELECT id, component FROM component_runs WHERE component = 'inference' \
+                 ORDER BY id DESC LIMIT 10",
+            ),
+            (
+                "group_by_count",
+                "SELECT component, count(*) AS runs FROM component_runs \
+                 GROUP BY component ORDER BY runs DESC",
+            ),
+            (
+                "aggregate_metrics",
+                "SELECT count(*), avg(value), min(value), max(value) FROM metrics",
+            ),
+            (
+                "like_scan",
+                "SELECT count(*) FROM component_runs WHERE component LIKE 'stage-%'",
+            ),
+        ];
+        for (name, sql) in cases {
+            group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, sql| {
+                b.iter(|| black_box(execute(&store, sql).unwrap().rows.len()));
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Shared criterion config: short measurement windows keep the full
+/// suite runnable in CI while remaining stable on these workloads.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = queries
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E6 + E10 — staleness evaluation cost (computed at query time from the
+//! run log) and maintenance operations: compaction and forward-trace
+//! deletion at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mltrace_bench::scale_store;
+use mltrace_core::staleness::{evaluate_run, StalenessPolicy};
+use mltrace_store::deletion::forward_closure;
+use mltrace_store::retention::compact_before;
+use mltrace_store::{Store, MS_PER_DAY};
+use std::hint::black_box;
+
+fn staleness_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6/staleness");
+    let (store, _) = scale_store(10_000);
+    let latest = store.latest_run("inference").unwrap().unwrap();
+    let policy = StalenessPolicy::default();
+    group.bench_function("evaluate_latest_run", |b| {
+        b.iter(|| {
+            black_box(
+                evaluate_run(&store, &latest, &policy, 40 * MS_PER_DAY)
+                    .unwrap()
+                    .len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10/compaction");
+    group.sample_size(10);
+    for &n in &[10_000usize, 50_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("compact_all", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || scale_store(n).0,
+                |store| {
+                    let report = compact_before(&store, u64::MAX, MS_PER_DAY).unwrap();
+                    black_box(report.runs_compacted)
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn gdpr_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10/forward_closure");
+    group.sample_size(10);
+    // The worst case: the shared features file taints every prediction.
+    let (store, _) = scale_store(100_000);
+    group.bench_function("taint_100k_predictions", |b| {
+        b.iter(|| {
+            black_box(
+                forward_closure(&store, &["stage-0.out".to_string()])
+                    .unwrap()
+                    .runs
+                    .len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+/// Shared criterion config: short measurement windows keep the full
+/// suite runnable in CI while remaining stable on these workloads.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = staleness_eval, compaction, gdpr_closure
+}
+criterion_main!(benches);

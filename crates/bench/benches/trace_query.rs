@@ -1,0 +1,112 @@
+//! Trace and slice-query latency (the UI-layer costs behind Figure 4 and
+//! Example 4.4): DFS trace cost vs pipeline depth, and slice-lineage cost
+//! vs slice size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mltrace_bench::scale_store;
+use mltrace_core::build_graph;
+use mltrace_provenance::{slice_lineage, trace_output, LineageGraph, TraceOptions};
+use std::hint::black_box;
+
+/// A deep chain: stage-0 → stage-1 → ... → stage-(depth-1).
+fn chain_graph(depth: usize) -> LineageGraph {
+    let mut g = LineageGraph::new();
+    let mut prev: Option<String> = None;
+    for i in 0..depth as u64 {
+        let out = format!("io-{i}");
+        let deps: Vec<u64> = if i == 0 { vec![] } else { vec![i] };
+        g.add_run(
+            i + 1,
+            &format!("stage-{i}"),
+            (i + 1) * 10,
+            false,
+            &prev.clone().into_iter().collect::<Vec<_>>(),
+            std::slice::from_ref(&out),
+            &deps,
+        );
+        prev = Some(out);
+    }
+    g
+}
+
+fn trace_vs_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace/depth");
+    for &depth in &[5usize, 20, 50] {
+        let g = chain_graph(depth);
+        let output = format!("io-{}", depth - 1);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                black_box(
+                    trace_output(
+                        &g,
+                        &output,
+                        TraceOptions {
+                            max_depth: 128,
+                            as_of_run_start: true,
+                        },
+                    )
+                    .unwrap()
+                    .depth(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn slice_vs_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slice/outputs");
+    group.sample_size(20);
+    let (store, outputs) = scale_store(100_000);
+    let graph = build_graph(&store).unwrap();
+    for &k in &[10usize, 100, 1_000] {
+        let slice: Vec<String> = outputs[..k].to_vec();
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    slice_lineage(&graph, &slice, TraceOptions::default())
+                        .ranked
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn incremental_graph_refresh(c: &mut Criterion) {
+    // Ablation (DESIGN.md §5): incremental refresh vs full rebuild after
+    // appending one run.
+    let mut group = c.benchmark_group("graph_refresh/after_one_append");
+    group.sample_size(10);
+    let (store, _) = scale_store(50_000);
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| black_box(build_graph(&store).unwrap().run_count()));
+    });
+    group.bench_function("incremental", |b| {
+        let mut cache = mltrace_core::GraphCache::new();
+        cache.refresh(&store).unwrap();
+        b.iter(|| {
+            cache.refresh(&store).unwrap();
+            black_box(cache.graph().run_count())
+        });
+    });
+    group.finish();
+}
+
+/// Shared criterion config: short measurement windows keep the full
+/// suite runnable in CI while remaining stable on these workloads.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = trace_vs_depth, slice_vs_size, incremental_graph_refresh
+}
+criterion_main!(benches);

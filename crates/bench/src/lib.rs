@@ -1,0 +1,96 @@
+//! Shared workload builders for the benchmark suite (experiment index in
+//! DESIGN.md). Each builder reproduces the workload shape of one of the
+//! paper's quantified scenarios.
+
+use mltrace_store::{ComponentRunRecord, MemoryStore, RunId, Store};
+
+/// Build the §3.4 topology: a 10-component pipeline where 9 upstream
+/// stages form a chain refreshed once and the inference component is run
+/// once per prediction. Returns the store and the prediction output
+/// names.
+pub fn scale_store(predictions: usize) -> (MemoryStore, Vec<String>) {
+    let store = MemoryStore::new();
+    let mut t = 0u64;
+    let mut upstream_out: Option<String> = None;
+    let mut last_run: Option<RunId> = None;
+    for stage in 0..9u64 {
+        let out = format!("stage-{stage}.out");
+        let id = store
+            .log_run(ComponentRunRecord {
+                component: format!("stage-{stage}"),
+                start_ms: t,
+                end_ms: t + 1,
+                inputs: upstream_out.clone().into_iter().collect(),
+                outputs: vec![out.clone()],
+                dependencies: last_run.into_iter().collect(),
+                ..Default::default()
+            })
+            .expect("log stage");
+        last_run = Some(id);
+        upstream_out = Some(out);
+        t += 10;
+    }
+    let features = upstream_out.expect("nine stages");
+    let model_run = last_run.expect("nine stages");
+    let mut outputs = Vec::with_capacity(predictions);
+    for i in 0..predictions {
+        let out = format!("pred-{i}");
+        store
+            .log_run(ComponentRunRecord {
+                component: "inference".into(),
+                start_ms: t + i as u64,
+                end_ms: t + i as u64 + 1,
+                inputs: vec![features.clone()],
+                outputs: vec![out.clone()],
+                dependencies: vec![model_run],
+                ..Default::default()
+            })
+            .expect("log prediction");
+        outputs.push(out);
+    }
+    (store, outputs)
+}
+
+/// One §3.4-style inference run record, for ingest-throughput loops.
+pub fn prediction_record(i: u64) -> ComponentRunRecord {
+    ComponentRunRecord {
+        component: "inference".into(),
+        start_ms: 1_000 + i,
+        end_ms: 1_001 + i,
+        inputs: vec!["stage-8.out".into()],
+        outputs: vec![format!("pred-{i}")],
+        ..Default::default()
+    }
+}
+
+/// Deterministic pseudo-uniform sample in [0, 1).
+pub fn uniform(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_store_shape() {
+        let (store, outputs) = scale_store(100);
+        assert_eq!(store.stats().unwrap().runs, 109);
+        assert_eq!(outputs.len(), 100);
+        assert_eq!(store.producers_of("pred-50").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn uniform_is_deterministic() {
+        assert_eq!(uniform(10, 5), uniform(10, 5));
+        assert_ne!(uniform(10, 5), uniform(10, 6));
+    }
+}

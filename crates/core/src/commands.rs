@@ -1,0 +1,433 @@
+//! The query surface (UI layer of Figure 2): the eight commands the
+//! paper's demo UI supports (§5) — `history`, `trace`, `inspect`, `flag`,
+//! `unflag`, `review_flagged`, `stale`, and `recent` — each returning
+//! structured data plus a text rendering (the Figure 4 views).
+
+use crate::error::{CoreError, Result};
+use crate::execution::Mltrace;
+use crate::graph::GraphCache;
+use crate::staleness::{self, StalenessReason};
+use mltrace_provenance::{slice_lineage, trace_output, RankedRun, TraceNode, TraceOptions};
+use mltrace_store::{CompactionSummary, ComponentRunRecord, RunId, Store};
+use std::fmt::Write as _;
+
+/// Stateful command surface over an [`Mltrace`] instance. Keeps an
+/// incrementally-refreshed lineage graph for trace/slice commands.
+pub struct Commands<'a> {
+    ml: &'a Mltrace,
+    cache: GraphCache,
+}
+
+/// One run in a `history` listing.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// The run record.
+    pub run: ComponentRunRecord,
+    /// Metric points attributed to this run: (name, value).
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Output of the `history` command.
+#[derive(Debug, Clone)]
+pub struct History {
+    /// Component queried.
+    pub component: String,
+    /// Most recent runs, newest first.
+    pub entries: Vec<HistoryEntry>,
+    /// Aggregates for compacted (older) windows.
+    pub compacted: Vec<CompactionSummary>,
+}
+
+impl History {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "history of '{}':", self.component);
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "  {} [{}] start={} dur={}ms deps={:?}",
+                e.run.id,
+                e.run.status.name(),
+                e.run.start_ms,
+                e.run.duration_ms(),
+                e.run.dependencies.iter().map(|d| d.0).collect::<Vec<_>>()
+            );
+            for (name, value) in &e.metrics {
+                let _ = writeln!(out, "      {name} = {value:.4}");
+            }
+            for t in &e.run.triggers {
+                let mark = if t.passed { "✓" } else { "✗" };
+                let _ = writeln!(out, "      {mark} {}:{} {}", t.phase, t.trigger, t.detail);
+            }
+        }
+        for s in &self.compacted {
+            let _ = writeln!(
+                out,
+                "  [compacted] window {}..{}: {} runs, {} failed, mean {:.0}ms",
+                s.window_start_ms, s.window_end_ms, s.run_count, s.failed_count, s.mean_duration_ms
+            );
+        }
+        out
+    }
+}
+
+/// Output of the `stale` command for one component.
+#[derive(Debug, Clone)]
+pub struct StaleEntry {
+    /// Component name.
+    pub component: String,
+    /// Latest run evaluated.
+    pub run_id: RunId,
+    /// Why it is stale (empty = fresh).
+    pub reasons: Vec<StalenessReason>,
+}
+
+/// Output of the `review_flagged` command (Figure 4's review view).
+#[derive(Debug, Clone)]
+pub struct FlaggedReview {
+    /// Outputs currently flagged.
+    pub flagged: Vec<String>,
+    /// Component runs ranked by frequency across the flagged traces.
+    pub ranked: Vec<RankedRun>,
+}
+
+impl FlaggedReview {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} flagged output(s)", self.flagged.len());
+        for f in &self.flagged {
+            let _ = writeln!(out, "  ⚑ {f}");
+        }
+        let _ = writeln!(out, "component runs by frequency in flagged traces:");
+        for r in &self.ranked {
+            let mark = if r.failed { "✗" } else { " " };
+            let _ = writeln!(
+                out,
+                "  {:>4}× run#{} {mark} {}",
+                r.frequency, r.run_id, r.component
+            );
+        }
+        out
+    }
+}
+
+impl<'a> Commands<'a> {
+    /// Create a command surface over an mltrace instance.
+    pub fn new(ml: &'a Mltrace) -> Self {
+        Commands {
+            ml,
+            cache: GraphCache::new(),
+        }
+    }
+
+    fn store(&self) -> &dyn Store {
+        self.ml.store().as_ref()
+    }
+
+    /// `history <component> [limit]`: recent runs (newest first) with
+    /// their metrics and trigger outcomes, plus compacted aggregates.
+    pub fn history(&self, component: &str, limit: usize) -> Result<History> {
+        if self.store().component(component)?.is_none() {
+            return Err(CoreError::UnknownComponent(component.to_owned()));
+        }
+        let ids = self.store().runs_for_component(component)?;
+        let mut entries = Vec::new();
+        for &id in ids.iter().rev().take(limit) {
+            let Some(run) = self.store().run(id)? else {
+                continue;
+            };
+            let mut metrics = Vec::new();
+            for name in self.store().metric_names(component)? {
+                for point in self.store().metrics(component, &name)? {
+                    if point.run_id == Some(id) {
+                        metrics.push((name.clone(), point.value));
+                    }
+                }
+            }
+            entries.push(HistoryEntry { run, metrics });
+        }
+        Ok(History {
+            component: component.to_owned(),
+            entries,
+            compacted: self.store().summaries(component)?,
+        })
+    }
+
+    /// `trace <output>`: the lineage tree of an output pointer, computed
+    /// by DFS with time-travel producer resolution.
+    pub fn trace(&mut self, output: &str) -> Result<TraceNode> {
+        let ml = self.ml;
+        self.cache.refresh(ml.store().as_ref())?;
+        trace_output(self.cache.graph(), output, TraceOptions::default())
+            .ok_or_else(|| CoreError::UnknownOutput(output.to_owned()))
+    }
+
+    /// `inspect <run_id>`: the full ComponentRun record.
+    pub fn inspect(&self, run_id: u64) -> Result<ComponentRunRecord> {
+        self.store()
+            .run(RunId(run_id))?
+            .ok_or(CoreError::UnknownRun(run_id))
+    }
+
+    /// Render an inspected run in the Figure 4 detail style.
+    pub fn render_inspect(&self, run: &ComponentRunRecord) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", run.id, run.component);
+        let _ = writeln!(out, "  status:   {}", run.status.name());
+        let _ = writeln!(
+            out,
+            "  started:  {} (+{}ms)",
+            run.start_ms,
+            run.duration_ms()
+        );
+        let _ = writeln!(
+            out,
+            "  code:     {}",
+            if run.code_hash.is_empty() {
+                "<none>"
+            } else {
+                &run.code_hash
+            }
+        );
+        let _ = writeln!(out, "  inputs:   {:?}", run.inputs);
+        let _ = writeln!(out, "  outputs:  {:?}", run.outputs);
+        let _ = writeln!(
+            out,
+            "  deps:     {:?}",
+            run.dependencies.iter().map(|d| d.0).collect::<Vec<_>>()
+        );
+        if !run.notes.is_empty() {
+            let _ = writeln!(out, "  notes:    {}", run.notes);
+        }
+        for t in &run.triggers {
+            let mark = if t.passed { "✓" } else { "✗" };
+            let _ = writeln!(out, "  {mark} {}:{} {}", t.phase, t.trigger, t.detail);
+            for (k, v) in &t.values {
+                let _ = writeln!(out, "      {k} = {v}");
+            }
+        }
+        for (k, v) in &run.metadata {
+            let _ = writeln!(out, "  meta {k} = {v}");
+        }
+        out
+    }
+
+    /// `flag <output>`: mark an output for review. Returns prior state.
+    pub fn flag(&self, output: &str) -> Result<bool> {
+        Ok(self.store().set_flag(output, true)?)
+    }
+
+    /// `unflag <output>`: clear a review flag. Returns prior state.
+    pub fn unflag(&self, output: &str) -> Result<bool> {
+        Ok(self.store().set_flag(output, false)?)
+    }
+
+    /// `review_flagged`: aggregate the traces of all flagged outputs and
+    /// rank the component runs in them by frequency (Example 4.4's
+    /// debugging move, and the Figure 4 review screen).
+    pub fn review_flagged(&mut self) -> Result<FlaggedReview> {
+        let ml = self.ml;
+        let flagged = ml.store().flagged()?;
+        self.cache.refresh(ml.store().as_ref())?;
+        let report = slice_lineage(self.cache.graph(), &flagged, TraceOptions::default());
+        Ok(FlaggedReview {
+            flagged,
+            ranked: report.ranked,
+        })
+    }
+
+    /// `stale [component]`: evaluate staleness of the latest run of one
+    /// component, or of every registered component.
+    pub fn stale(&self, component: Option<&str>) -> Result<Vec<StaleEntry>> {
+        let components: Vec<String> = match component {
+            Some(c) => vec![c.to_owned()],
+            None => self
+                .store()
+                .components()?
+                .into_iter()
+                .map(|c| c.name)
+                .collect(),
+        };
+        let now = self.ml.now_ms();
+        let mut entries = Vec::new();
+        for c in components {
+            let policy = self.ml.staleness_policy(&c);
+            if let Some((run_id, reasons)) =
+                staleness::evaluate_component(self.store(), &c, &policy, now)?
+            {
+                entries.push(StaleEntry {
+                    component: c,
+                    run_id,
+                    reasons,
+                });
+            }
+        }
+        Ok(entries)
+    }
+
+    /// Render the stale listing.
+    pub fn render_stale(&self, entries: &[StaleEntry]) -> String {
+        let mut out = String::new();
+        for e in entries {
+            if e.reasons.is_empty() {
+                let _ = writeln!(out, "  fresh  {} ({})", e.component, e.run_id);
+            } else {
+                let _ = writeln!(out, "  STALE  {} ({})", e.component, e.run_id);
+                for r in &e.reasons {
+                    let _ = writeln!(out, "         - {}", r.render());
+                }
+            }
+        }
+        out
+    }
+
+    /// `recent [limit]`: the most recently logged runs across all
+    /// components, newest first.
+    pub fn recent(&self, limit: usize) -> Result<Vec<ComponentRunRecord>> {
+        let ids = self.store().run_ids()?;
+        let mut out = Vec::new();
+        for &id in ids.iter().rev().take(limit) {
+            if let Some(run) = self.store().run(id)? {
+                out.push(run);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::RunSpec;
+    use mltrace_store::ManualClock;
+    use std::sync::Arc;
+
+    fn demo() -> (Mltrace, Arc<ManualClock>) {
+        let clock = ManualClock::starting_at(1_000);
+        let ml = Mltrace::with_clock(clock.clone());
+        ml.run("etl", RunSpec::new().output("raw.csv"), |ctx| {
+            ctx.log_metric("rows", 100.0);
+            Ok(())
+        })
+        .unwrap();
+        clock.advance(10);
+        ml.run(
+            "clean",
+            RunSpec::new().input("raw.csv").output("clean.csv"),
+            |_| Ok(()),
+        )
+        .unwrap();
+        clock.advance(10);
+        ml.run(
+            "infer",
+            RunSpec::new().input("clean.csv").output("pred-1"),
+            |_| Ok(()),
+        )
+        .unwrap();
+        (ml, clock)
+    }
+
+    #[test]
+    fn history_lists_runs_and_metrics() {
+        let (ml, _clock) = demo();
+        let cmds = Commands::new(&ml);
+        let h = cmds.history("etl", 10).unwrap();
+        assert_eq!(h.entries.len(), 1);
+        assert_eq!(h.entries[0].metrics, vec![("rows".to_string(), 100.0)]);
+        assert!(h.render().contains("rows = 100"));
+        assert!(matches!(
+            cmds.history("ghost", 5),
+            Err(CoreError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn history_limit_and_order() {
+        let (ml, clock) = demo();
+        for _ in 0..5 {
+            clock.advance(10);
+            ml.run("etl", RunSpec::new().output("raw.csv"), |_| Ok(()))
+                .unwrap();
+        }
+        let cmds = Commands::new(&ml);
+        let h = cmds.history("etl", 3).unwrap();
+        assert_eq!(h.entries.len(), 3);
+        // Newest first.
+        assert!(h.entries[0].run.start_ms > h.entries[1].run.start_ms);
+    }
+
+    #[test]
+    fn trace_follows_lineage() {
+        let (ml, _clock) = demo();
+        let mut cmds = Commands::new(&ml);
+        let t = cmds.trace("pred-1").unwrap();
+        assert_eq!(t.component, "infer");
+        assert_eq!(t.depth(), 3);
+        assert!(matches!(
+            cmds.trace("ghost"),
+            Err(CoreError::UnknownOutput(_))
+        ));
+    }
+
+    #[test]
+    fn inspect_shows_run() {
+        let (ml, _clock) = demo();
+        let cmds = Commands::new(&ml);
+        let run = cmds.inspect(1).unwrap();
+        assert_eq!(run.component, "etl");
+        let rendered = cmds.render_inspect(&run);
+        assert!(rendered.contains("run#1"));
+        assert!(rendered.contains("raw.csv"));
+        assert!(matches!(cmds.inspect(999), Err(CoreError::UnknownRun(999))));
+    }
+
+    #[test]
+    fn flag_review_unflag_cycle() {
+        let (ml, _clock) = demo();
+        let mut cmds = Commands::new(&ml);
+        assert!(!cmds.flag("pred-1").unwrap());
+        let review = cmds.review_flagged().unwrap();
+        assert_eq!(review.flagged, vec!["pred-1".to_string()]);
+        // Trace of pred-1 has 3 runs, all frequency 1.
+        assert_eq!(review.ranked.len(), 3);
+        assert!(review.render().contains("⚑ pred-1"));
+        assert!(cmds.unflag("pred-1").unwrap());
+        let review = cmds.review_flagged().unwrap();
+        assert!(review.flagged.is_empty());
+        assert!(review.ranked.is_empty());
+    }
+
+    #[test]
+    fn stale_command_reports_reasons() {
+        let (ml, clock) = demo();
+        // Jump 40 days: infer's dependencies are now ancient.
+        clock.advance(40 * mltrace_store::MS_PER_DAY);
+        ml.run(
+            "infer",
+            RunSpec::new().input("clean.csv").output("pred-2"),
+            |_| Ok(()),
+        )
+        .unwrap();
+        let cmds = Commands::new(&ml);
+        let entries = cmds.stale(Some("infer")).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(!entries[0].reasons.is_empty(), "old dependency expected");
+        let rendered = cmds.render_stale(&entries);
+        assert!(rendered.contains("STALE"));
+        // All components view includes fresh ones.
+        let all = cmds.stale(None).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn recent_lists_newest_first() {
+        let (ml, _clock) = demo();
+        let cmds = Commands::new(&ml);
+        let recent = cmds.recent(2).unwrap();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].component, "infer");
+        assert_eq!(recent[1].component, "clean");
+    }
+}

@@ -1,0 +1,193 @@
+//! The `Component` abstraction (§3.2): static metadata plus the triggers
+//! to execute before and after every run. Users assemble components once
+//! (typically in a shared library directory, per §3.3) and the execution
+//! layer enforces their triggers on every run.
+
+use crate::staleness::StalenessPolicy;
+use crate::trigger::{Trigger, TriggerSpec};
+use mltrace_store::ComponentRecord;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A fully-specified component: metadata, triggers, staleness policy.
+pub struct ComponentDef {
+    /// Static metadata (name is the primary key).
+    pub record: ComponentRecord,
+    /// Checks run before the body.
+    pub before: Vec<TriggerSpec>,
+    /// Checks run after the body.
+    pub after: Vec<TriggerSpec>,
+    /// Staleness policy applied to this component's runs.
+    pub staleness: StalenessPolicy,
+}
+
+impl ComponentDef {
+    /// Start building a component with the given name.
+    pub fn builder(name: impl Into<String>) -> ComponentBuilder {
+        ComponentBuilder {
+            record: ComponentRecord::named(name),
+            before: Vec::new(),
+            after: Vec::new(),
+            staleness: StalenessPolicy::default(),
+        }
+    }
+}
+
+/// Fluent builder mirroring the paper's Figure 3a component definition.
+pub struct ComponentBuilder {
+    record: ComponentRecord,
+    before: Vec<TriggerSpec>,
+    after: Vec<TriggerSpec>,
+    staleness: StalenessPolicy,
+}
+
+impl ComponentBuilder {
+    /// Set the description.
+    pub fn description(mut self, d: impl Into<String>) -> Self {
+        self.record.description = d.into();
+        self
+    }
+
+    /// Set the owner.
+    pub fn owner(mut self, o: impl Into<String>) -> Self {
+        self.record.owner = o.into();
+        self
+    }
+
+    /// Add a tag.
+    pub fn tag(mut self, t: impl Into<String>) -> Self {
+        self.record.tags.push(t.into());
+        self
+    }
+
+    /// Add a synchronous `beforeRun` trigger.
+    pub fn before_run(mut self, t: impl Trigger + 'static) -> Self {
+        self.before.push(TriggerSpec {
+            trigger: Arc::new(t),
+            asynchronous: false,
+        });
+        self
+    }
+
+    /// Add an asynchronous `beforeRun` trigger (the paper's
+    /// `@asynchronous` decorator).
+    pub fn before_run_async(mut self, t: impl Trigger + 'static) -> Self {
+        self.before.push(TriggerSpec {
+            trigger: Arc::new(t),
+            asynchronous: true,
+        });
+        self
+    }
+
+    /// Add a synchronous `afterRun` trigger.
+    pub fn after_run(mut self, t: impl Trigger + 'static) -> Self {
+        self.after.push(TriggerSpec {
+            trigger: Arc::new(t),
+            asynchronous: false,
+        });
+        self
+    }
+
+    /// Add an asynchronous `afterRun` trigger.
+    pub fn after_run_async(mut self, t: impl Trigger + 'static) -> Self {
+        self.after.push(TriggerSpec {
+            trigger: Arc::new(t),
+            asynchronous: true,
+        });
+        self
+    }
+
+    /// Override the staleness policy.
+    pub fn staleness(mut self, p: StalenessPolicy) -> Self {
+        self.staleness = p;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ComponentDef {
+        ComponentDef {
+            record: self.record,
+            before: self.before,
+            after: self.after,
+            staleness: self.staleness,
+        }
+    }
+}
+
+/// In-process registry of component definitions keyed by name. The
+/// persistent metadata lives in the store; trigger closures (not
+/// serializable) live here.
+#[derive(Default)]
+pub struct ComponentRegistry {
+    components: HashMap<String, Arc<ComponentDef>>,
+}
+
+impl ComponentRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a component definition.
+    pub fn register(&mut self, def: ComponentDef) -> Arc<ComponentDef> {
+        let arc = Arc::new(def);
+        self.components
+            .insert(arc.record.name.clone(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Fetch a definition by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ComponentDef>> {
+        self.components.get(name).cloned()
+    }
+
+    /// Registered component names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.components.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trigger::{FnTrigger, TriggerContext, TriggerOutcome};
+
+    fn noop() -> FnTrigger<impl Fn(&TriggerContext<'_>) -> TriggerOutcome + Send + Sync> {
+        FnTrigger::new("noop", |_| TriggerOutcome::pass("ok"))
+    }
+
+    #[test]
+    fn builder_assembles_metadata_and_triggers() {
+        let def = ComponentDef::builder("preprocessing")
+            .description("cleans raw trips")
+            .owner("ml-platform")
+            .tag("demo")
+            .tag("taxi")
+            .before_run(noop())
+            .after_run_async(noop())
+            .build();
+        assert_eq!(def.record.name, "preprocessing");
+        assert_eq!(def.record.owner, "ml-platform");
+        assert_eq!(def.record.tags, vec!["demo", "taxi"]);
+        assert_eq!(def.before.len(), 1);
+        assert!(!def.before[0].asynchronous);
+        assert_eq!(def.after.len(), 1);
+        assert!(def.after[0].asynchronous);
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut reg = ComponentRegistry::new();
+        reg.register(ComponentDef::builder("b").build());
+        reg.register(ComponentDef::builder("a").build());
+        assert_eq!(reg.names(), vec!["a", "b"]);
+        assert!(reg.get("a").is_some());
+        assert!(reg.get("z").is_none());
+        // Re-registering replaces.
+        reg.register(ComponentDef::builder("a").owner("x").build());
+        assert_eq!(reg.get("a").unwrap().record.owner, "x");
+        assert_eq!(reg.names().len(), 2);
+    }
+}

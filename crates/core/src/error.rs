@@ -1,0 +1,68 @@
+//! Error type for the core mltrace API.
+
+use mltrace_store::StoreError;
+use std::fmt;
+
+/// Errors surfaced by the execution layer and query commands.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Storage-layer failure.
+    Store(StoreError),
+    /// Referenced component is not registered.
+    UnknownComponent(String),
+    /// Referenced run id does not exist.
+    UnknownRun(u64),
+    /// Referenced I/O pointer does not exist.
+    UnknownOutput(String),
+    /// The component body returned an error.
+    ComponentFailed(String),
+    /// Invalid user input to a command or builder.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Store(e) => write!(f, "store error: {e}"),
+            CoreError::UnknownComponent(c) => write!(f, "unknown component: {c}"),
+            CoreError::UnknownRun(id) => write!(f, "unknown run: run#{id}"),
+            CoreError::UnknownOutput(o) => write!(f, "unknown output: {o}"),
+            CoreError::ComponentFailed(msg) => write!(f, "component failed: {msg}"),
+            CoreError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+/// Convenience alias for core results.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            CoreError::UnknownComponent("etl".into()).to_string(),
+            "unknown component: etl"
+        );
+        assert_eq!(CoreError::UnknownRun(3).to_string(), "unknown run: run#3");
+        let e: CoreError = StoreError::NotFound("x".into()).into();
+        assert!(e.to_string().contains("store error"));
+    }
+}

@@ -1,0 +1,821 @@
+//! The execution layer (Figure 2): wraps a component body and performs the
+//! paper's §3.4 sequence —
+//!
+//! 1. run the `beforeRun` triggers (optionally async),
+//! 2. run the body while capturing the relevant variable values,
+//! 3. materialize historical outputs for the `afterRun` triggers,
+//! 4. run the `afterRun` triggers (optionally async),
+//! 5. compute dependencies from inputs, snapshot the code, capture
+//!    metadata,
+//! 6. log inputs, outputs and metadata as a ComponentRun record.
+//!
+//! Crucially (§3.2), "users do not need to explicitly define dependent
+//! components. MLTRACE sets the dependencies at runtime based on the input
+//! values": step 5 resolves each input pointer to its latest producer run.
+
+use crate::component::{ComponentDef, ComponentRegistry};
+use crate::error::{CoreError, Result};
+use crate::trigger::{log_trigger_metrics, outcome_to_record, Phase, TriggerContext, TriggerSpec};
+use mltrace_store::{
+    hash::content_hash, ArtifactStore, Clock, ComponentRunRecord, IoPointerRecord, MemoryStore,
+    MetricRecord, RunId, RunStatus, Store, SystemClock, TriggerOutcomeRecord, Value, WalStore,
+};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Static inputs to a run, declared before execution (Figure 3b's
+/// decorator arguments: `input_vars`, `output_vars`, captured variables).
+#[derive(Default)]
+pub struct RunSpec {
+    /// Input pointer names.
+    pub inputs: Vec<String>,
+    /// Output pointer names known up front (more can be added in the body).
+    pub outputs: Vec<String>,
+    /// Variables available to `beforeRun` triggers.
+    pub captures: BTreeMap<String, Value>,
+    /// Explicit code version (git hash). When absent, `code` is hashed;
+    /// when both absent, the snapshot is empty.
+    pub git_hash: Option<String>,
+    /// Source text to content-hash as the code snapshot.
+    pub code: Option<String>,
+    /// Free-form notes.
+    pub notes: String,
+}
+
+impl RunSpec {
+    /// Empty spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an input pointer.
+    pub fn input(mut self, name: impl Into<String>) -> Self {
+        self.inputs.push(name.into());
+        self
+    }
+
+    /// Add an output pointer.
+    pub fn output(mut self, name: impl Into<String>) -> Self {
+        self.outputs.push(name.into());
+        self
+    }
+
+    /// Capture a variable for the triggers.
+    pub fn capture(mut self, name: impl Into<String>, v: impl Into<Value>) -> Self {
+        self.captures.insert(name.into(), v.into());
+        self
+    }
+
+    /// Record an explicit git hash.
+    pub fn git(mut self, hash: impl Into<String>) -> Self {
+        self.git_hash = Some(hash.into());
+        self
+    }
+
+    /// Provide source text to content-hash.
+    pub fn code(mut self, source: impl Into<String>) -> Self {
+        self.code = Some(source.into());
+        self
+    }
+
+    /// Attach notes.
+    pub fn notes(mut self, n: impl Into<String>) -> Self {
+        self.notes = n.into();
+        self
+    }
+}
+
+/// Mutable view handed to the component body: capture variables, declare
+/// late outputs, buffer metrics, store artifacts.
+pub struct RunContext<'a> {
+    captures: &'a mut BTreeMap<String, Value>,
+    inputs: &'a mut Vec<String>,
+    outputs: &'a mut Vec<String>,
+    metrics: &'a mut Vec<(String, f64)>,
+    metadata: &'a mut BTreeMap<String, Value>,
+    artifacts: &'a ArtifactStore,
+    artifact_ids: &'a mut Vec<(String, String)>,
+    /// Run start, epoch milliseconds.
+    pub now_ms: u64,
+}
+
+impl<'a> RunContext<'a> {
+    /// Capture a variable (visible to `afterRun` triggers).
+    pub fn capture(&mut self, name: impl Into<String>, v: impl Into<Value>) {
+        self.captures.insert(name.into(), v.into());
+    }
+
+    /// Declare an input discovered during execution.
+    pub fn add_input(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if !self.inputs.contains(&name) {
+            self.inputs.push(name);
+        }
+    }
+
+    /// Declare an output produced during execution.
+    pub fn add_output(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if !self.outputs.contains(&name) {
+            self.outputs.push(name);
+        }
+    }
+
+    /// Buffer a metric point to log with this run.
+    pub fn log_metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
+    }
+
+    /// Attach arbitrary metadata to the run record.
+    pub fn set_metadata(&mut self, key: impl Into<String>, v: impl Into<Value>) {
+        self.metadata.insert(key.into(), v.into());
+    }
+
+    /// Store an artifact payload under `io_name`, registering it as an
+    /// output whose pointer carries the content address (dedup per §5.1).
+    pub fn save_artifact(&mut self, io_name: impl Into<String>, payload: &[u8]) -> String {
+        let name = io_name.into();
+        let id = self.artifacts.put(payload);
+        self.artifact_ids.push((name.clone(), id.clone()));
+        self.add_output(name);
+        id
+    }
+}
+
+/// Outcome of a completed (successful) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport<T> {
+    /// Value returned by the body.
+    pub value: T,
+    /// Assigned run id.
+    pub run_id: RunId,
+    /// Final status (success or trigger-failed).
+    pub status: RunStatus,
+    /// Names of failing triggers, if any.
+    pub trigger_failures: Vec<String>,
+}
+
+/// The top-level mltrace handle: storage + artifact store + clock +
+/// component registry.
+pub struct Mltrace {
+    store: Arc<dyn Store>,
+    artifacts: Arc<ArtifactStore>,
+    clock: Arc<dyn Clock>,
+    registry: RwLock<ComponentRegistry>,
+    artifact_path: Option<std::path::PathBuf>,
+}
+
+fn artifact_snapshot_path(wal: &Path) -> std::path::PathBuf {
+    let mut name = wal.file_name().unwrap_or_default().to_os_string();
+    name.push(".artifacts");
+    wal.with_file_name(name)
+}
+
+impl Mltrace {
+    /// Fully in-memory instance with the system clock.
+    pub fn in_memory() -> Self {
+        Self::with_store(Arc::new(MemoryStore::new()), Arc::new(SystemClock))
+    }
+
+    /// In-memory instance with a caller-controlled clock (simulations).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self::with_store(Arc::new(MemoryStore::new()), clock)
+    }
+
+    /// Durable instance backed by a WAL file. Artifact payloads saved via
+    /// [`Mltrace::checkpoint_artifacts`] to the sibling `<path>.artifacts`
+    /// snapshot are reloaded when present.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let store = WalStore::open(path)?;
+        let mut instance = Self::with_store(Arc::new(store), Arc::new(SystemClock));
+        let artifact_path = artifact_snapshot_path(path);
+        if artifact_path.exists() {
+            instance.artifacts = Arc::new(ArtifactStore::read_snapshot(&artifact_path)?);
+        }
+        instance.artifact_path = Some(artifact_path);
+        Ok(instance)
+    }
+
+    /// Persist artifact payloads next to the WAL (no-op location unless
+    /// the instance was created with [`Mltrace::open`], in which case the
+    /// sibling `<path>.artifacts` file is written atomically).
+    pub fn checkpoint_artifacts(&self) -> Result<()> {
+        if let Some(path) = &self.artifact_path {
+            self.artifacts.write_snapshot(path)?;
+        }
+        Ok(())
+    }
+
+    /// Assemble from explicit parts.
+    pub fn with_store(store: Arc<dyn Store>, clock: Arc<dyn Clock>) -> Self {
+        Mltrace {
+            store,
+            artifacts: Arc::new(ArtifactStore::default()),
+            clock,
+            registry: RwLock::new(ComponentRegistry::new()),
+            artifact_path: None,
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<dyn Store> {
+        &self.store
+    }
+
+    /// The artifact store.
+    pub fn artifacts(&self) -> &Arc<ArtifactStore> {
+        &self.artifacts
+    }
+
+    /// Current time, epoch milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Register a component definition (persisting its metadata).
+    pub fn register(&self, def: ComponentDef) -> Result<()> {
+        self.store.register_component(def.record.clone())?;
+        self.registry.write().register(def);
+        Ok(())
+    }
+
+    /// Definition lookup; auto-registers a bare component on first use so
+    /// integration stays minimal (§3.3: users need only supply a name).
+    fn definition(&self, component: &str) -> Result<Arc<ComponentDef>> {
+        if let Some(def) = self.registry.read().get(component) {
+            return Ok(def);
+        }
+        let def = ComponentDef::builder(component).build();
+        self.store.register_component(def.record.clone())?;
+        Ok(self.registry.write().register(def))
+    }
+
+    /// The staleness policy of a registered component (default if bare).
+    pub fn staleness_policy(&self, component: &str) -> crate::staleness::StalenessPolicy {
+        self.registry
+            .read()
+            .get(component)
+            .map(|d| d.staleness)
+            .unwrap_or_default()
+    }
+
+    /// Execute `body` as a run of `component`, performing the full §3.4
+    /// sequence. On body error the run is still logged (status `Failed`)
+    /// and `CoreError::ComponentFailed` is returned — failures must be
+    /// observable too.
+    ///
+    /// ```
+    /// use mltrace_core::{Mltrace, RunSpec};
+    ///
+    /// let ml = Mltrace::in_memory();
+    /// let report = ml
+    ///     .run(
+    ///         "preprocess",
+    ///         RunSpec::new().input("raw.csv").output("clean.csv"),
+    ///         |ctx| {
+    ///             ctx.log_metric("rows", 128.0);
+    ///             Ok(128)
+    ///         },
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(report.value, 128);
+    /// let run = ml.store().run(report.run_id).unwrap().unwrap();
+    /// assert_eq!(run.inputs, vec!["raw.csv"]);
+    /// ```
+    pub fn run<T>(
+        &self,
+        component: &str,
+        spec: RunSpec,
+        body: impl FnOnce(&mut RunContext<'_>) -> std::result::Result<T, String>,
+    ) -> Result<RunReport<T>> {
+        let def = self.definition(component)?;
+        let start_ms = self.clock.now_ms();
+
+        let mut captures = spec.captures;
+        let mut inputs = spec.inputs;
+        let mut outputs = spec.outputs;
+        let mut metrics: Vec<(String, f64)> = Vec::new();
+        let mut metadata: BTreeMap<String, Value> = BTreeMap::new();
+        let mut artifact_ids: Vec<(String, String)> = Vec::new();
+        let mut trigger_records: Vec<TriggerOutcomeRecord> = Vec::new();
+        let mut trigger_metrics: Vec<(String, f64)> = Vec::new();
+
+        // Step 1: beforeRun triggers. Sync triggers run inline; async ones
+        // run on scoped worker threads overlapping the body (step 2).
+        let (before_sync, before_async): (Vec<&TriggerSpec>, Vec<&TriggerSpec>) =
+            def.before.iter().partition(|t| !t.asynchronous);
+        for spec in before_sync {
+            let ctx = TriggerContext::new(
+                component,
+                &captures,
+                &inputs,
+                &outputs,
+                start_ms,
+                self.store.as_ref(),
+            );
+            let outcome = spec.trigger.run(&ctx);
+            let (rec, m) = outcome_to_record(spec.trigger.name(), Phase::Before, &outcome);
+            trigger_records.push(rec);
+            trigger_metrics.extend(m);
+        }
+
+        // Async before-triggers get a snapshot of the pre-body state.
+        let async_snapshot = if before_async.is_empty() {
+            None
+        } else {
+            Some((captures.clone(), inputs.clone(), outputs.clone()))
+        };
+
+        let body_result = std::thread::scope(|scope| {
+            let async_handles: Vec<_> = before_async
+                .iter()
+                .map(|spec| {
+                    let trigger = Arc::clone(&spec.trigger);
+                    let snap = async_snapshot.as_ref().expect("snapshot exists");
+                    let store = Arc::clone(&self.store);
+                    let (caps, ins, outs) = (snap.0.clone(), snap.1.clone(), snap.2.clone());
+                    let component = component.to_owned();
+                    scope.spawn(move || {
+                        let ctx = TriggerContext::new(
+                            &component,
+                            &caps,
+                            &ins,
+                            &outs,
+                            start_ms,
+                            store.as_ref(),
+                        );
+                        let outcome = trigger.run(&ctx);
+                        outcome_to_record(trigger.name(), Phase::Before, &outcome)
+                    })
+                })
+                .collect();
+
+            // Step 2: the component body, capturing variables as it goes.
+            let mut ctx = RunContext {
+                captures: &mut captures,
+                inputs: &mut inputs,
+                outputs: &mut outputs,
+                metrics: &mut metrics,
+                metadata: &mut metadata,
+                artifacts: self.artifacts.as_ref(),
+                artifact_ids: &mut artifact_ids,
+                now_ms: start_ms,
+            };
+            let result = body(&mut ctx);
+
+            for h in async_handles {
+                let (rec, m) = h.join().expect("async trigger thread panicked");
+                trigger_records.push(rec);
+                trigger_metrics.extend(m);
+            }
+            result
+        });
+
+        // Steps 3–4: afterRun triggers see the post-body captures plus the
+        // materialized history (available through the TriggerContext's
+        // store handle). Async after-triggers run concurrently with each
+        // other, joined before logging.
+        if body_result.is_ok() {
+            let (after_sync, after_async): (Vec<&TriggerSpec>, Vec<&TriggerSpec>) =
+                def.after.iter().partition(|t| !t.asynchronous);
+            for spec in after_sync {
+                let ctx = TriggerContext::new(
+                    component,
+                    &captures,
+                    &inputs,
+                    &outputs,
+                    start_ms,
+                    self.store.as_ref(),
+                );
+                let outcome = spec.trigger.run(&ctx);
+                let (rec, m) = outcome_to_record(spec.trigger.name(), Phase::After, &outcome);
+                trigger_records.push(rec);
+                trigger_metrics.extend(m);
+            }
+            if !after_async.is_empty() {
+                let results = std::thread::scope(|scope| {
+                    let handles: Vec<_> = after_async
+                        .iter()
+                        .map(|spec| {
+                            let trigger = Arc::clone(&spec.trigger);
+                            let store = Arc::clone(&self.store);
+                            let (caps, ins, outs) = (&captures, &inputs, &outputs);
+                            let component = component.to_owned();
+                            scope.spawn(move || {
+                                let ctx = TriggerContext::new(
+                                    &component,
+                                    caps,
+                                    ins,
+                                    outs,
+                                    start_ms,
+                                    store.as_ref(),
+                                );
+                                let outcome = trigger.run(&ctx);
+                                outcome_to_record(trigger.name(), Phase::After, &outcome)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("async trigger thread panicked"))
+                        .collect::<Vec<_>>()
+                });
+                for (rec, m) in results {
+                    trigger_records.push(rec);
+                    trigger_metrics.extend(m);
+                }
+            }
+        }
+
+        // Step 5: infer dependencies from inputs — the latest producer of
+        // each input pointer that started at or before this run.
+        let mut dependencies: Vec<RunId> = Vec::new();
+        for input in &inputs {
+            let producers = self.store.producers_of(input)?;
+            let dep = producers
+                .iter()
+                .rev()
+                .find_map(|&id| match self.store.run(id) {
+                    Ok(Some(r)) if r.start_ms <= start_ms => Some(id),
+                    _ => None,
+                });
+            if let Some(d) = dep {
+                if !dependencies.contains(&d) {
+                    dependencies.push(d);
+                }
+            }
+        }
+        dependencies.sort();
+
+        let code_hash = spec
+            .git_hash
+            .or_else(|| spec.code.as_deref().map(content_hash))
+            .unwrap_or_default();
+
+        let end_ms = self.clock.now_ms().max(start_ms);
+        let any_trigger_failed = trigger_records.iter().any(|t| !t.passed);
+        let status = match (&body_result, any_trigger_failed) {
+            (Err(_), _) => RunStatus::Failed,
+            (Ok(_), true) => RunStatus::TriggerFailed,
+            (Ok(_), false) => RunStatus::Success,
+        };
+
+        // Step 6: upsert pointers, log the ComponentRun, flush metrics.
+        let artifact_map: BTreeMap<&str, &str> = artifact_ids
+            .iter()
+            .map(|(n, a)| (n.as_str(), a.as_str()))
+            .collect();
+        for io in inputs.iter().chain(outputs.iter()) {
+            let mut rec = IoPointerRecord::new(io.clone(), start_ms);
+            if let Some(&aid) = artifact_map.get(io.as_str()) {
+                rec.artifact = Some(aid.to_owned());
+            }
+            self.store.upsert_io_pointer(rec)?;
+        }
+        if let Err(msg) = &body_result {
+            metadata.insert("error".to_owned(), Value::from(msg.clone()));
+        }
+        let trigger_failures: Vec<String> = trigger_records
+            .iter()
+            .filter(|t| !t.passed)
+            .map(|t| t.trigger.clone())
+            .collect();
+        let run_id = self.store.log_run(ComponentRunRecord {
+            id: RunId(0),
+            component: component.to_owned(),
+            start_ms,
+            end_ms,
+            inputs,
+            outputs,
+            code_hash,
+            notes: spec.notes,
+            status,
+            dependencies,
+            triggers: trigger_records,
+            metadata,
+        })?;
+        for (name, value) in &metrics {
+            self.store.log_metric(MetricRecord {
+                component: component.to_owned(),
+                run_id: Some(run_id),
+                name: name.clone(),
+                value: *value,
+                ts_ms: end_ms,
+            })?;
+        }
+        log_trigger_metrics(
+            self.store.as_ref(),
+            component,
+            Some(run_id),
+            end_ms,
+            &trigger_metrics,
+        );
+
+        match body_result {
+            Ok(value) => Ok(RunReport {
+                value,
+                run_id,
+                status,
+                trigger_failures,
+            }),
+            Err(msg) => Err(CoreError::ComponentFailed(msg)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trigger::{FnTrigger, TriggerOutcome};
+    use mltrace_store::ManualClock;
+
+    fn instance() -> (Mltrace, Arc<ManualClock>) {
+        let clock = ManualClock::starting_at(1_000_000);
+        (Mltrace::with_clock(clock.clone()), clock)
+    }
+
+    #[test]
+    fn minimal_run_logs_everything() {
+        let (ml, _clock) = instance();
+        let report = ml
+            .run(
+                "etl",
+                RunSpec::new().output("raw.csv").notes("first run"),
+                |ctx| {
+                    ctx.log_metric("rows", 100.0);
+                    Ok(42)
+                },
+            )
+            .unwrap();
+        assert_eq!(report.value, 42);
+        assert_eq!(report.status, RunStatus::Success);
+        let run = ml.store().run(report.run_id).unwrap().unwrap();
+        assert_eq!(run.component, "etl");
+        assert_eq!(run.outputs, vec!["raw.csv"]);
+        assert_eq!(run.notes, "first run");
+        assert_eq!(ml.store().metrics("etl", "rows").unwrap().len(), 1);
+        // Component auto-registered.
+        assert!(ml.store().component("etl").unwrap().is_some());
+        // Pointer upserted with inferred type.
+        let p = ml.store().io_pointer("raw.csv").unwrap().unwrap();
+        assert_eq!(p.ptype, mltrace_store::PointerType::Data);
+    }
+
+    #[test]
+    fn dependencies_inferred_from_inputs() {
+        let (ml, clock) = instance();
+        let a = ml
+            .run("etl", RunSpec::new().output("raw.csv"), |_| Ok(()))
+            .unwrap();
+        clock.advance(1000);
+        let b = ml
+            .run(
+                "clean",
+                RunSpec::new().input("raw.csv").output("clean.csv"),
+                |_| Ok(()),
+            )
+            .unwrap();
+        let run = ml.store().run(b.run_id).unwrap().unwrap();
+        assert_eq!(run.dependencies, vec![a.run_id]);
+        // A later etl run does not retroactively change b's dependency.
+        clock.advance(1000);
+        ml.run("etl", RunSpec::new().output("raw.csv"), |_| Ok(()))
+            .unwrap();
+        let run = ml.store().run(b.run_id).unwrap().unwrap();
+        assert_eq!(run.dependencies, vec![a.run_id]);
+    }
+
+    #[test]
+    fn dependency_resolution_picks_latest_prior_producer() {
+        let (ml, clock) = instance();
+        ml.run("featurize", RunSpec::new().output("f.csv"), |_| Ok(()))
+            .unwrap();
+        clock.advance(1000);
+        let v2 = ml
+            .run("featurize", RunSpec::new().output("f.csv"), |_| Ok(()))
+            .unwrap();
+        clock.advance(1000);
+        let infer = ml
+            .run("infer", RunSpec::new().input("f.csv").output("p"), |_| {
+                Ok(())
+            })
+            .unwrap();
+        let run = ml.store().run(infer.run_id).unwrap().unwrap();
+        assert_eq!(run.dependencies, vec![v2.run_id]);
+    }
+
+    #[test]
+    fn body_failure_is_logged_and_returned() {
+        let (ml, _clock) = instance();
+        let err = ml
+            .run("train", RunSpec::new(), |_| {
+                Err::<(), _>("singular matrix".to_string())
+            })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ComponentFailed(_)));
+        let run = ml.store().latest_run("train").unwrap().unwrap();
+        assert_eq!(run.status, RunStatus::Failed);
+        assert_eq!(
+            run.metadata.get("error"),
+            Some(&Value::from("singular matrix"))
+        );
+    }
+
+    #[test]
+    fn triggers_run_in_both_phases_and_set_status() {
+        let (ml, _clock) = instance();
+        ml.register(
+            ComponentDef::builder("prep")
+                .before_run(FnTrigger::new("check-input", |ctx| {
+                    if ctx.capture("rows").is_some() {
+                        TriggerOutcome::pass("have rows")
+                    } else {
+                        TriggerOutcome::fail("no rows captured")
+                    }
+                }))
+                .after_run(FnTrigger::new("check-output", |ctx| {
+                    match ctx.numeric_capture("out_mean") {
+                        Some(v) if v[0] < 100.0 => {
+                            TriggerOutcome::pass("mean ok").with_metric("out_mean", v[0])
+                        }
+                        _ => TriggerOutcome::fail("mean too large"),
+                    }
+                }))
+                .build(),
+        )
+        .unwrap();
+        let report = ml
+            .run("prep", RunSpec::new().capture("rows", 10i64), |ctx| {
+                ctx.capture("out_mean", 5.0);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.status, RunStatus::Success);
+        let run = ml.store().run(report.run_id).unwrap().unwrap();
+        assert_eq!(run.triggers.len(), 2);
+        assert!(run.triggers.iter().all(|t| t.passed));
+        assert_eq!(ml.store().metrics("prep", "out_mean").unwrap().len(), 1);
+
+        // Failing trigger downgrades status.
+        let report = ml
+            .run("prep", RunSpec::new(), |ctx| {
+                ctx.capture("out_mean", 500.0);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.status, RunStatus::TriggerFailed);
+        assert_eq!(
+            report.trigger_failures,
+            vec!["check-input".to_string(), "check-output".to_string()]
+        );
+    }
+
+    #[test]
+    fn async_triggers_complete_before_logging() {
+        let (ml, _clock) = instance();
+        ml.register(
+            ComponentDef::builder("slow")
+                .before_run_async(FnTrigger::new("async-before", |_| {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    TriggerOutcome::pass("done")
+                }))
+                .after_run_async(FnTrigger::new("async-after", |_| {
+                    TriggerOutcome::pass("done").with_metric("async_metric", 1.0)
+                }))
+                .build(),
+        )
+        .unwrap();
+        let report = ml.run("slow", RunSpec::new(), |_| Ok(())).unwrap();
+        let run = ml.store().run(report.run_id).unwrap().unwrap();
+        assert_eq!(run.triggers.len(), 2, "both async outcomes logged");
+        assert_eq!(ml.store().metrics("slow", "async_metric").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn after_triggers_skipped_on_body_failure() {
+        let (ml, _clock) = instance();
+        ml.register(
+            ComponentDef::builder("fragile")
+                .after_run(FnTrigger::new("never-runs", |_| {
+                    TriggerOutcome::fail("should not appear")
+                }))
+                .build(),
+        )
+        .unwrap();
+        let _ = ml.run("fragile", RunSpec::new(), |_| Err::<(), _>("boom".into()));
+        let run = ml.store().latest_run("fragile").unwrap().unwrap();
+        assert!(run.triggers.is_empty());
+        assert_eq!(run.status, RunStatus::Failed);
+    }
+
+    #[test]
+    fn code_snapshot_prefers_git_hash() {
+        let (ml, _clock) = instance();
+        let a = ml
+            .run(
+                "c",
+                RunSpec::new().git("abc123").code("fn main() {}"),
+                |_| Ok(()),
+            )
+            .unwrap();
+        assert_eq!(
+            ml.store().run(a.run_id).unwrap().unwrap().code_hash,
+            "abc123"
+        );
+        let b = ml
+            .run("c", RunSpec::new().code("fn main() {}"), |_| Ok(()))
+            .unwrap();
+        let hash = ml.store().run(b.run_id).unwrap().unwrap().code_hash;
+        assert_eq!(hash.len(), 32, "content hash");
+        // Same code → same snapshot; changed code → changed snapshot.
+        let c = ml
+            .run("c", RunSpec::new().code("fn main() {}"), |_| Ok(()))
+            .unwrap();
+        assert_eq!(ml.store().run(c.run_id).unwrap().unwrap().code_hash, hash);
+        let d = ml
+            .run("c", RunSpec::new().code("fn main() { changed(); }"), |_| {
+                Ok(())
+            })
+            .unwrap();
+        assert_ne!(ml.store().run(d.run_id).unwrap().unwrap().code_hash, hash);
+    }
+
+    #[test]
+    fn artifacts_saved_and_linked() {
+        let (ml, _clock) = instance();
+        let report = ml
+            .run("train", RunSpec::new(), |ctx| {
+                let id = ctx.save_artifact("model.bin", b"weights-v1");
+                Ok(id)
+            })
+            .unwrap();
+        let pointer = ml.store().io_pointer("model.bin").unwrap().unwrap();
+        assert_eq!(pointer.artifact.as_deref(), Some(report.value.as_str()));
+        assert_eq!(
+            ml.artifacts().get(&report.value).unwrap(),
+            b"weights-v1".to_vec()
+        );
+        let run = ml.store().run(report.run_id).unwrap().unwrap();
+        assert_eq!(run.outputs, vec!["model.bin"]);
+    }
+
+    #[test]
+    fn context_add_input_output_dedup() {
+        let (ml, _clock) = instance();
+        let report = ml
+            .run("c", RunSpec::new().input("a"), |ctx| {
+                ctx.add_input("a");
+                ctx.add_input("b");
+                ctx.add_output("o");
+                ctx.add_output("o");
+                ctx.set_metadata("k", 7i64);
+                Ok(())
+            })
+            .unwrap();
+        let run = ml.store().run(report.run_id).unwrap().unwrap();
+        assert_eq!(run.inputs, vec!["a", "b"]);
+        assert_eq!(run.outputs, vec!["o"]);
+        assert_eq!(run.metadata.get("k"), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn artifacts_survive_reopen_via_checkpoint() {
+        let dir = std::env::temp_dir();
+        let wal = dir.join(format!("mltrace-artpersist-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(artifact_snapshot_path(&wal));
+        let artifact_id;
+        {
+            let ml = Mltrace::open(&wal).unwrap();
+            let report = ml
+                .run("train", RunSpec::new(), |ctx| {
+                    Ok(ctx.save_artifact("model.bin", b"weights"))
+                })
+                .unwrap();
+            artifact_id = report.value;
+            ml.checkpoint_artifacts().unwrap();
+        }
+        let ml = Mltrace::open(&wal).unwrap();
+        assert_eq!(ml.artifacts().get(&artifact_id).unwrap(), b"weights");
+        // Pointer still resolves through the store metadata too.
+        let pointer = ml.store().io_pointer("model.bin").unwrap().unwrap();
+        assert_eq!(pointer.artifact.as_deref(), Some(artifact_id.as_str()));
+        std::fs::remove_file(&wal).ok();
+        std::fs::remove_file(artifact_snapshot_path(&wal)).ok();
+    }
+
+    #[test]
+    fn manual_clock_timestamps_runs() {
+        let (ml, clock) = instance();
+        let report = ml.run("c", RunSpec::new(), |_| Ok(())).unwrap();
+        let run = ml.store().run(report.run_id).unwrap().unwrap();
+        assert_eq!(run.start_ms, 1_000_000);
+        clock.advance(5_000);
+        let report = ml.run("c", RunSpec::new(), |_| Ok(())).unwrap();
+        let run = ml.store().run(report.run_id).unwrap().unwrap();
+        assert_eq!(run.start_ms, 1_005_000);
+    }
+}

@@ -1,0 +1,150 @@
+//! Bridge from the run log to the provenance DAG: "the system can then
+//! reconstruct the pipeline computation DAG" (§2.2). [`build_graph`] does
+//! a full rebuild; [`GraphCache`] appends only runs logged since the last
+//! build, keeping repeated queries cheap on append-mostly logs.
+
+use crate::error::Result;
+use mltrace_provenance::LineageGraph;
+use mltrace_store::{RunId, RunStatus, Store};
+
+/// Build a lineage graph over every live run in the store.
+pub fn build_graph(store: &dyn Store) -> Result<LineageGraph> {
+    let mut cache = GraphCache::new();
+    cache.refresh(store)?;
+    Ok(cache.into_graph())
+}
+
+/// Incrementally-maintained lineage graph.
+///
+/// Deletions (GDPR, compaction) invalidate incremental state; `refresh`
+/// detects them via the store's removal counter and falls back to a full
+/// rebuild.
+pub struct GraphCache {
+    graph: LineageGraph,
+    last_seen: Option<RunId>,
+    runs_removed_at_build: u64,
+}
+
+impl Default for GraphCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        GraphCache {
+            graph: LineageGraph::new(),
+            last_seen: None,
+            runs_removed_at_build: 0,
+        }
+    }
+
+    /// Bring the graph up to date with the store. Appends new runs; full
+    /// rebuild when deletions happened since the last refresh.
+    pub fn refresh(&mut self, store: &dyn Store) -> Result<()> {
+        let removed = store.stats()?.runs_removed;
+        if removed != self.runs_removed_at_build {
+            self.graph = LineageGraph::new();
+            self.last_seen = None;
+            self.runs_removed_at_build = removed;
+        }
+        for id in store.run_ids()? {
+            if Some(id) <= self.last_seen {
+                continue;
+            }
+            if let Some(run) = store.run(id)? {
+                let deps: Vec<u64> = run.dependencies.iter().map(|d| d.0).collect();
+                self.graph.add_run(
+                    run.id.0,
+                    &run.component,
+                    run.start_ms,
+                    run.status != RunStatus::Success,
+                    &run.inputs,
+                    &run.outputs,
+                    &deps,
+                );
+            }
+            self.last_seen = Some(id);
+        }
+        Ok(())
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &LineageGraph {
+        &self.graph
+    }
+
+    /// Consume the cache, yielding the graph.
+    pub fn into_graph(self) -> LineageGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltrace_store::{ComponentRunRecord, MemoryStore};
+
+    fn log(
+        s: &MemoryStore,
+        component: &str,
+        start: u64,
+        inputs: &[&str],
+        outputs: &[&str],
+    ) -> RunId {
+        s.log_run(ComponentRunRecord {
+            component: component.into(),
+            start_ms: start,
+            end_ms: start + 1,
+            inputs: inputs.iter().map(|x| x.to_string()).collect(),
+            outputs: outputs.iter().map(|x| x.to_string()).collect(),
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn full_build_mirrors_store() {
+        let s = MemoryStore::new();
+        log(&s, "etl", 10, &[], &["raw"]);
+        log(&s, "clean", 20, &["raw"], &["clean"]);
+        let g = build_graph(&s).unwrap();
+        assert_eq!(g.run_count(), 2);
+        assert_eq!(g.io_count(), 2);
+        let raw = g.io_by_name("raw").unwrap();
+        assert_eq!(g.io_node(raw).producers.len(), 1);
+        assert_eq!(g.io_node(raw).consumers.len(), 1);
+    }
+
+    #[test]
+    fn incremental_refresh_appends() {
+        let s = MemoryStore::new();
+        log(&s, "etl", 10, &[], &["raw"]);
+        let mut cache = GraphCache::new();
+        cache.refresh(&s).unwrap();
+        assert_eq!(cache.graph().run_count(), 1);
+        log(&s, "clean", 20, &["raw"], &["clean"]);
+        log(&s, "train", 30, &["clean"], &["model"]);
+        cache.refresh(&s).unwrap();
+        assert_eq!(cache.graph().run_count(), 3);
+        // Idempotent.
+        cache.refresh(&s).unwrap();
+        assert_eq!(cache.graph().run_count(), 3);
+    }
+
+    #[test]
+    fn deletion_triggers_rebuild() {
+        let s = MemoryStore::new();
+        let a = log(&s, "etl", 10, &[], &["raw"]);
+        log(&s, "clean", 20, &["raw"], &["clean"]);
+        let mut cache = GraphCache::new();
+        cache.refresh(&s).unwrap();
+        assert_eq!(cache.graph().run_count(), 2);
+        s.delete_runs(&[a]).unwrap();
+        cache.refresh(&s).unwrap();
+        assert_eq!(cache.graph().run_count(), 1);
+        assert!(cache.graph().run_by_id(a.0).is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! The pipeline health report: §5.3's "Complex DAGs" challenge — "pipeline
+//! DAGs could be large and complex, motivating new methods to draw human
+//! attention to summaries and anomalies (i.e., the most problematic
+//! components)".
+//!
+//! [`health_report`] condenses the whole run log into one screen: per-
+//! component health rolled up from the graph, the most problematic
+//! components ranked by failure rate × recency, current staleness, and
+//! flagged-output pressure.
+
+use crate::commands::Commands;
+use crate::error::Result;
+use crate::execution::Mltrace;
+use crate::graph::build_graph;
+use mltrace_provenance::{component_summary, most_problematic, ComponentSummary};
+use mltrace_store::MS_PER_DAY;
+use std::fmt::Write as _;
+
+/// One screen of pipeline health.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Evaluation time, epoch milliseconds.
+    pub now_ms: u64,
+    /// Per-component rollups, ordered by name.
+    pub components: Vec<ComponentSummary>,
+    /// Most problematic components with their attention scores,
+    /// descending.
+    pub problematic: Vec<(ComponentSummary, f64)>,
+    /// Components whose latest run is stale, with rendered reasons.
+    pub stale: Vec<(String, Vec<String>)>,
+    /// Outputs currently flagged for review.
+    pub flagged: Vec<String>,
+    /// Total live runs in the log.
+    pub total_runs: usize,
+    /// Total failed runs.
+    pub total_failures: usize,
+}
+
+impl HealthReport {
+    /// Overall failure rate across the log.
+    pub fn failure_rate(&self) -> f64 {
+        if self.total_runs == 0 {
+            0.0
+        } else {
+            self.total_failures as f64 / self.total_runs as f64
+        }
+    }
+
+    /// True when nothing demands attention: no problematic components, no
+    /// stale components, no flagged outputs.
+    pub fn healthy(&self) -> bool {
+        self.problematic.is_empty() && self.stale.is_empty() && self.flagged.is_empty()
+    }
+
+    /// One-screen text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pipeline health: {} components, {} runs, {:.1}% failed — {}",
+            self.components.len(),
+            self.total_runs,
+            self.failure_rate() * 100.0,
+            if self.healthy() {
+                "HEALTHY"
+            } else {
+                "ATTENTION NEEDED"
+            }
+        );
+        if !self.problematic.is_empty() {
+            let _ = writeln!(out, "most problematic components:");
+            for (summary, score) in &self.problematic {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} score {:.3}  ({}/{} runs failed)",
+                    summary.component, score, summary.failures, summary.runs
+                );
+            }
+        }
+        if !self.stale.is_empty() {
+            let _ = writeln!(out, "stale components:");
+            for (component, reasons) in &self.stale {
+                let _ = writeln!(out, "  {component}");
+                for r in reasons {
+                    let _ = writeln!(out, "    - {r}");
+                }
+            }
+        }
+        if !self.flagged.is_empty() {
+            let _ = writeln!(out, "{} output(s) flagged for review", self.flagged.len());
+        }
+        out
+    }
+}
+
+/// Build a health report over everything in the store. `horizon_days`
+/// controls how quickly old failures stop demanding attention.
+pub fn health_report(ml: &Mltrace, horizon_days: u64, top_k: usize) -> Result<HealthReport> {
+    let store = ml.store();
+    let graph = build_graph(store.as_ref())?;
+    let now_ms = ml.now_ms();
+    let components: Vec<ComponentSummary> = component_summary(&graph).into_values().collect();
+    let problematic = most_problematic(&graph, now_ms, horizon_days.max(1) * MS_PER_DAY, top_k);
+    let cmds = Commands::new(ml);
+    let stale: Vec<(String, Vec<String>)> = cmds
+        .stale(None)?
+        .into_iter()
+        .filter(|e| !e.reasons.is_empty())
+        .map(|e| (e.component, e.reasons.iter().map(|r| r.render()).collect()))
+        .collect();
+    let flagged = store.flagged()?;
+    let total_runs: usize = components.iter().map(|c| c.runs).sum();
+    let total_failures: usize = components.iter().map(|c| c.failures).sum();
+    Ok(HealthReport {
+        now_ms,
+        components,
+        problematic,
+        stale,
+        flagged,
+        total_runs,
+        total_failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::RunSpec;
+    use mltrace_store::ManualClock;
+
+    #[test]
+    fn healthy_pipeline_reports_healthy() {
+        let clock = ManualClock::starting_at(1_000_000);
+        let ml = Mltrace::with_clock(clock.clone());
+        ml.run("etl", RunSpec::new().output("raw.csv"), |_| Ok(()))
+            .unwrap();
+        ml.run(
+            "clean",
+            RunSpec::new().input("raw.csv").output("c.csv"),
+            |_| Ok(()),
+        )
+        .unwrap();
+        let report = health_report(&ml, 30, 5).unwrap();
+        assert!(report.healthy(), "{report:?}");
+        assert_eq!(report.total_runs, 2);
+        assert_eq!(report.failure_rate(), 0.0);
+        assert!(report.render().contains("HEALTHY"));
+    }
+
+    #[test]
+    fn failures_and_flags_demand_attention() {
+        let clock = ManualClock::starting_at(1_000_000);
+        let ml = Mltrace::with_clock(clock.clone());
+        ml.run("etl", RunSpec::new().output("raw.csv"), |_| Ok(()))
+            .unwrap();
+        let _ = ml.run("train", RunSpec::new().input("raw.csv"), |_| {
+            Err::<(), _>("diverged".into())
+        });
+        ml.store().set_flag("raw.csv", true).unwrap();
+        let report = health_report(&ml, 30, 5).unwrap();
+        assert!(!report.healthy());
+        assert_eq!(report.total_failures, 1);
+        assert_eq!(report.problematic[0].0.component, "train");
+        assert_eq!(report.flagged, vec!["raw.csv".to_string()]);
+        let rendered = report.render();
+        assert!(rendered.contains("ATTENTION NEEDED"));
+        assert!(rendered.contains("train"));
+        assert!(rendered.contains("flagged for review"));
+    }
+
+    #[test]
+    fn staleness_appears_in_report() {
+        let clock = ManualClock::starting_at(1_000_000);
+        let ml = Mltrace::with_clock(clock.clone());
+        ml.run("featurize", RunSpec::new().output("f.csv"), |_| Ok(()))
+            .unwrap();
+        clock.advance(1);
+        ml.run("infer", RunSpec::new().input("f.csv").output("p"), |_| {
+            Ok(())
+        })
+        .unwrap();
+        clock.advance(40 * MS_PER_DAY);
+        let report = health_report(&ml, 30, 5).unwrap();
+        assert!(!report.healthy());
+        assert_eq!(report.stale.len(), 1);
+        assert_eq!(report.stale[0].0, "infer");
+        assert!(report.stale[0].1[0].contains("days old"));
+    }
+
+    #[test]
+    fn empty_store_is_trivially_healthy() {
+        let ml = Mltrace::in_memory();
+        let report = health_report(&ml, 30, 5).unwrap();
+        assert!(report.healthy());
+        assert_eq!(report.total_runs, 0);
+        assert_eq!(report.failure_rate(), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # mltrace-core
+//!
+//! The primary contribution of *"Towards Observability for Machine
+//! Learning Pipelines"* (VLDB 2022), reproduced in Rust: a lightweight,
+//! platform-agnostic observability layer that wraps existing pipeline
+//! code at the component level.
+//!
+//! * [`component`] — the `Component` abstraction: static metadata plus
+//!   `beforeRun`/`afterRun` triggers (§3.2).
+//! * [`trigger`] — the trigger contract and execution context, including
+//!   materialized history access (§3.4 step 3).
+//! * [`library`] — off-the-shelf triggers and component templates (the
+//!   paper's component library).
+//! * [`execution`] — the execution layer: wraps a component body, runs
+//!   triggers (optionally async), infers run dependencies from I/O
+//!   identity, snapshots code, and logs the `ComponentRun` (§3.4).
+//! * [`staleness`] — the three-part staleness definition (§3.1).
+//! * [`graph`] — run-log → provenance-DAG reconstruction.
+//! * [`commands`] — the eight UI commands (§5, Figure 4).
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod component;
+pub mod error;
+pub mod execution;
+pub mod graph;
+pub mod health;
+pub mod library;
+pub mod library_ext;
+pub mod staleness;
+pub mod trigger;
+
+pub use commands::{Commands, FlaggedReview, History, HistoryEntry, StaleEntry};
+pub use component::{ComponentBuilder, ComponentDef, ComponentRegistry};
+pub use error::{CoreError, Result};
+pub use execution::{Mltrace, RunContext, RunReport, RunSpec};
+pub use graph::{build_graph, GraphCache};
+pub use health::{health_report, HealthReport};
+pub use staleness::{StalenessPolicy, StalenessReason};
+pub use trigger::{FnTrigger, Phase, Trigger, TriggerContext, TriggerOutcome, TriggerSpec};

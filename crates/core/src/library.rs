@@ -1,0 +1,577 @@
+//! The component library (§3.2): off-the-shelf triggers and component
+//! templates — "MLTRACE will have a library of common components that
+//! practitioners can use off-the-shelf, such as a TrainingComponent that
+//! might check for train-test leakage in its beforeRun method and verify
+//! there is no overfitting in the afterRun method."
+
+use crate::component::{ComponentBuilder, ComponentDef};
+use crate::trigger::{Trigger, TriggerContext, TriggerOutcome};
+use mltrace_metrics::{DriftConfig, DriftDetector, DriftMethod, StreamingMoments};
+use mltrace_store::Value;
+
+// ---------------------------------------------------------------------
+// Data-quality triggers
+// ---------------------------------------------------------------------
+
+/// Fails when the null fraction of a captured numeric list exceeds a
+/// bound (the Figure 3a `checkMissing` example, and the root cause probe
+/// of Example 4.1).
+pub struct NoMissingTrigger {
+    /// Captured variable to check.
+    pub var: String,
+    /// Maximum tolerated null fraction.
+    pub max_null_fraction: f64,
+}
+
+impl Trigger for NoMissingTrigger {
+    fn name(&self) -> &str {
+        "no_missing"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let Some(values) = ctx.numeric_capture(&self.var) else {
+            return TriggerOutcome::fail(format!("variable '{}' not captured", self.var));
+        };
+        if values.is_empty() {
+            return TriggerOutcome::fail(format!("variable '{}' is empty", self.var));
+        }
+        let nulls = values.iter().filter(|v| !v.is_finite()).count();
+        let fraction = nulls as f64 / values.len() as f64;
+        let metric = format!("null_fraction:{}", self.var);
+        let outcome = if fraction <= self.max_null_fraction {
+            TriggerOutcome::pass(format!("{:.1}% nulls in {}", fraction * 100.0, self.var))
+        } else {
+            TriggerOutcome::fail(format!(
+                "{:.1}% nulls in {} exceeds limit {:.1}%",
+                fraction * 100.0,
+                self.var,
+                self.max_null_fraction * 100.0
+            ))
+        };
+        outcome
+            .with_value("null_fraction", fraction)
+            .with_metric(metric, fraction)
+    }
+}
+
+/// Fails when any value lies more than `max_abs_z` standard deviations
+/// from the mean (the Figure 3a `checkOutliers` example).
+pub struct OutlierTrigger {
+    /// Captured variable to check.
+    pub var: String,
+    /// Maximum tolerated |z|-score.
+    pub max_abs_z: f64,
+}
+
+impl Trigger for OutlierTrigger {
+    fn name(&self) -> &str {
+        "no_outliers"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let Some(values) = ctx.numeric_capture(&self.var) else {
+            return TriggerOutcome::fail(format!("variable '{}' not captured", self.var));
+        };
+        let moments = StreamingMoments::from_slice(&values);
+        let (mean, std) = (moments.mean(), moments.std_dev());
+        if !std.is_finite() || std == 0.0 {
+            return TriggerOutcome::pass("constant or empty column, no outliers")
+                .with_value("outliers", 0i64);
+        }
+        let outliers = values
+            .iter()
+            .filter(|v| v.is_finite() && ((*v - mean) / std).abs() > self.max_abs_z)
+            .count();
+        let outcome = if outliers == 0 {
+            TriggerOutcome::pass(format!(
+                "no outliers beyond {}σ in {}",
+                self.max_abs_z, self.var
+            ))
+        } else {
+            TriggerOutcome::fail(format!(
+                "{outliers} outliers beyond {}σ in {}",
+                self.max_abs_z, self.var
+            ))
+        };
+        outcome
+            .with_value("outliers", outliers)
+            .with_metric(format!("outliers:{}", self.var), outliers as f64)
+    }
+}
+
+/// Fails when a captured value (count, size) is below a minimum.
+pub struct MinCountTrigger {
+    /// Captured variable holding the count.
+    pub var: String,
+    /// Minimum acceptable value.
+    pub min: f64,
+}
+
+impl Trigger for MinCountTrigger {
+    fn name(&self) -> &str {
+        "min_count"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let got = ctx
+            .capture(&self.var)
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN);
+        if got.is_finite() && got >= self.min {
+            TriggerOutcome::pass(format!("{} = {got} ≥ {}", self.var, self.min))
+        } else {
+            TriggerOutcome::fail(format!("{} = {got} < {}", self.var, self.min))
+        }
+        .with_value("observed", got)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Training triggers
+// ---------------------------------------------------------------------
+
+/// Fails when the train and test id sets overlap (train-test leakage —
+/// the paper's canonical TrainingComponent `beforeRun` check).
+pub struct LeakageTrigger {
+    /// Captured variable holding train row ids.
+    pub train_var: String,
+    /// Captured variable holding test row ids.
+    pub test_var: String,
+}
+
+impl Trigger for LeakageTrigger {
+    fn name(&self) -> &str {
+        "train_test_leakage"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let ids = |name: &str| -> Option<Vec<i64>> {
+            match ctx.capture(name)? {
+                Value::List(items) => Some(items.iter().filter_map(Value::as_i64).collect()),
+                _ => None,
+            }
+        };
+        let (Some(train), Some(test)) = (ids(&self.train_var), ids(&self.test_var)) else {
+            return TriggerOutcome::fail("train/test id variables not captured");
+        };
+        let train_set: std::collections::HashSet<i64> = train.into_iter().collect();
+        let overlap = test.iter().filter(|id| train_set.contains(id)).count();
+        if overlap == 0 {
+            TriggerOutcome::pass("no train/test overlap")
+        } else {
+            TriggerOutcome::fail(format!("{overlap} test rows leak into training"))
+        }
+        .with_value("overlap", overlap)
+    }
+}
+
+/// Fails when train-set performance exceeds test-set performance by more
+/// than `max_gap` (overfitting — the TrainingComponent `afterRun` check).
+pub struct OverfitTrigger {
+    /// Captured variable with the training-set metric.
+    pub train_metric_var: String,
+    /// Captured variable with the test-set metric.
+    pub test_metric_var: String,
+    /// Maximum tolerated (train − test) gap.
+    pub max_gap: f64,
+}
+
+impl Trigger for OverfitTrigger {
+    fn name(&self) -> &str {
+        "overfit_check"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let get = |name: &str| ctx.capture(name).and_then(Value::as_f64);
+        let (Some(train), Some(test)) = (get(&self.train_metric_var), get(&self.test_metric_var))
+        else {
+            return TriggerOutcome::fail("train/test metric variables not captured");
+        };
+        let gap = train - test;
+        if gap <= self.max_gap {
+            TriggerOutcome::pass(format!("train-test gap {gap:.4} within {}", self.max_gap))
+        } else {
+            TriggerOutcome::fail(format!("train-test gap {gap:.4} exceeds {}", self.max_gap))
+        }
+        .with_value("gap", gap)
+        .with_metric("train_test_gap", gap)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Monitoring triggers
+// ---------------------------------------------------------------------
+
+/// Compares a captured window against a training-time reference
+/// distribution (Example 4.2's KL-divergence-between-train-and-inference
+/// monitoring). Logs the score as a metric either way.
+pub struct DriftTrigger {
+    /// Captured variable with the live window.
+    pub var: String,
+    /// Reference snapshot.
+    pub detector: DriftDetector,
+    /// Method to apply.
+    pub method: DriftMethod,
+}
+
+impl DriftTrigger {
+    /// Snapshot `reference` with default thresholds.
+    pub fn new(var: impl Into<String>, reference: &[f64], method: DriftMethod) -> Self {
+        DriftTrigger {
+            var: var.into(),
+            detector: DriftDetector::fit(reference, DriftConfig::default()),
+            method,
+        }
+    }
+}
+
+impl Trigger for DriftTrigger {
+    fn name(&self) -> &str {
+        "distribution_drift"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let Some(window) = ctx.numeric_capture(&self.var) else {
+            return TriggerOutcome::fail(format!("variable '{}' not captured", self.var));
+        };
+        let finite: Vec<f64> = window.into_iter().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return TriggerOutcome::fail(format!("variable '{}' has no finite values", self.var));
+        }
+        let finding = self.detector.check(self.method, &finite);
+        let metric = format!("drift_{}:{}", self.method.name(), self.var);
+        let outcome = if finding.drifted {
+            TriggerOutcome::fail(format!(
+                "{} drift on {}: score {:.4}",
+                self.method.name(),
+                self.var,
+                finding.score
+            ))
+        } else {
+            TriggerOutcome::pass(format!(
+                "{} stable on {}: score {:.4}",
+                self.method.name(),
+                self.var,
+                finding.score
+            ))
+        };
+        outcome
+            .with_value("score", finding.score)
+            .with_value("drifted", finding.drifted)
+            .with_metric(metric, finding.score)
+    }
+}
+
+/// Fails when a captured metric breaches a floor — the per-run half of an
+/// SLA (§4.1). Logs the metric either way so history queries see it.
+pub struct MetricFloorTrigger {
+    /// Captured variable with the metric value.
+    pub var: String,
+    /// Metric series name to log.
+    pub metric: String,
+    /// Minimum acceptable value.
+    pub floor: f64,
+}
+
+impl Trigger for MetricFloorTrigger {
+    fn name(&self) -> &str {
+        "metric_floor"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let Some(v) = ctx.capture(&self.var).and_then(Value::as_f64) else {
+            return TriggerOutcome::fail(format!("variable '{}' not captured", self.var));
+        };
+        let outcome = if v >= self.floor {
+            TriggerOutcome::pass(format!("{} = {v:.4} ≥ {:.4}", self.metric, self.floor))
+        } else {
+            TriggerOutcome::fail(format!("{} = {v:.4} < {:.4}", self.metric, self.floor))
+        };
+        outcome.with_metric(self.metric.clone(), v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Component templates
+// ---------------------------------------------------------------------
+
+/// A preprocessing component with missing-value and outlier checks on the
+/// named variables (Figure 3a's `Preprocessor`).
+pub fn preprocessing_component(
+    name: impl Into<String>,
+    input_var: impl Into<String>,
+    output_var: impl Into<String>,
+) -> ComponentBuilder {
+    ComponentDef::builder(name)
+        .tag("library:preprocessing")
+        .before_run(NoMissingTrigger {
+            var: input_var.into(),
+            max_null_fraction: 0.05,
+        })
+        .after_run(OutlierTrigger {
+            var: output_var.into(),
+            max_abs_z: 5.0,
+        })
+}
+
+/// A training component with leakage and overfitting checks (the paper's
+/// `TrainingComponent`).
+pub fn training_component(
+    name: impl Into<String>,
+    train_ids_var: impl Into<String>,
+    test_ids_var: impl Into<String>,
+    train_metric_var: impl Into<String>,
+    test_metric_var: impl Into<String>,
+    max_gap: f64,
+) -> ComponentBuilder {
+    ComponentDef::builder(name)
+        .tag("library:training")
+        .before_run(LeakageTrigger {
+            train_var: train_ids_var.into(),
+            test_var: test_ids_var.into(),
+        })
+        .after_run(OverfitTrigger {
+            train_metric_var: train_metric_var.into(),
+            test_metric_var: test_metric_var.into(),
+            max_gap,
+        })
+}
+
+/// An inference component with a drift check against a training-time
+/// reference and an accuracy floor.
+pub fn inference_component(
+    name: impl Into<String>,
+    prediction_var: impl Into<String>,
+    reference_predictions: &[f64],
+    accuracy_var: impl Into<String>,
+    accuracy_floor: f64,
+) -> ComponentBuilder {
+    ComponentDef::builder(name)
+        .tag("library:inference")
+        .after_run(DriftTrigger::new(
+            prediction_var,
+            reference_predictions,
+            DriftMethod::Ks,
+        ))
+        .after_run(MetricFloorTrigger {
+            var: accuracy_var.into(),
+            metric: "accuracy".into(),
+            floor: accuracy_floor,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltrace_store::MemoryStore;
+    use std::collections::BTreeMap;
+
+    fn ctx_with<'a>(
+        captures: &'a BTreeMap<String, Value>,
+        store: &'a MemoryStore,
+    ) -> TriggerContext<'a> {
+        TriggerContext::new("c", captures, &[], &[], 0, store)
+    }
+
+    fn float_list(values: &[f64]) -> Value {
+        Value::List(values.iter().map(|&v| Value::Float(v)).collect())
+    }
+
+    #[test]
+    fn no_missing_trigger_thresholds() {
+        let store = MemoryStore::new();
+        let mut caps = BTreeMap::new();
+        caps.insert("col".to_string(), float_list(&[1.0, 2.0, f64::NAN, 4.0]));
+        let ctx = ctx_with(&caps, &store);
+        let strict = NoMissingTrigger {
+            var: "col".into(),
+            max_null_fraction: 0.1,
+        };
+        let o = strict.run(&ctx);
+        assert!(!o.passed);
+        assert_eq!(o.values["null_fraction"], Value::Float(0.25));
+        let lax = NoMissingTrigger {
+            var: "col".into(),
+            max_null_fraction: 0.5,
+        };
+        assert!(lax.run(&ctx).passed);
+        // Missing variable fails.
+        let missing = NoMissingTrigger {
+            var: "ghost".into(),
+            max_null_fraction: 0.5,
+        };
+        assert!(!missing.run(&ctx).passed);
+    }
+
+    #[test]
+    fn outlier_trigger() {
+        let store = MemoryStore::new();
+        let mut caps = BTreeMap::new();
+        let mut vals: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        caps.insert("clean".to_string(), float_list(&vals));
+        vals.push(1e6);
+        caps.insert("dirty".to_string(), float_list(&vals));
+        caps.insert("constant".to_string(), float_list(&[5.0; 10]));
+        let ctx = ctx_with(&caps, &store);
+        assert!(
+            OutlierTrigger {
+                var: "clean".into(),
+                max_abs_z: 5.0
+            }
+            .run(&ctx)
+            .passed
+        );
+        let o = OutlierTrigger {
+            var: "dirty".into(),
+            max_abs_z: 5.0,
+        }
+        .run(&ctx);
+        assert!(!o.passed);
+        assert_eq!(o.values["outliers"], Value::Int(1));
+        assert!(
+            OutlierTrigger {
+                var: "constant".into(),
+                max_abs_z: 5.0
+            }
+            .run(&ctx)
+            .passed
+        );
+    }
+
+    #[test]
+    fn min_count_trigger() {
+        let store = MemoryStore::new();
+        let mut caps = BTreeMap::new();
+        caps.insert("rows".to_string(), Value::Int(500));
+        let ctx = ctx_with(&caps, &store);
+        assert!(
+            MinCountTrigger {
+                var: "rows".into(),
+                min: 100.0
+            }
+            .run(&ctx)
+            .passed
+        );
+        assert!(
+            !MinCountTrigger {
+                var: "rows".into(),
+                min: 1000.0
+            }
+            .run(&ctx)
+            .passed
+        );
+        assert!(
+            !MinCountTrigger {
+                var: "ghost".into(),
+                min: 1.0
+            }
+            .run(&ctx)
+            .passed
+        );
+    }
+
+    #[test]
+    fn leakage_trigger() {
+        let store = MemoryStore::new();
+        let mut caps = BTreeMap::new();
+        caps.insert("train_ids".to_string(), Value::from(vec![1i64, 2, 3]));
+        caps.insert("test_ids".to_string(), Value::from(vec![4i64, 5]));
+        caps.insert("leaky_ids".to_string(), Value::from(vec![3i64, 4]));
+        let ctx = ctx_with(&caps, &store);
+        let t = LeakageTrigger {
+            train_var: "train_ids".into(),
+            test_var: "test_ids".into(),
+        };
+        assert!(t.run(&ctx).passed);
+        let leaky = LeakageTrigger {
+            train_var: "train_ids".into(),
+            test_var: "leaky_ids".into(),
+        };
+        let o = leaky.run(&ctx);
+        assert!(!o.passed);
+        assert_eq!(o.values["overlap"], Value::Int(1));
+    }
+
+    #[test]
+    fn overfit_trigger() {
+        let store = MemoryStore::new();
+        let mut caps = BTreeMap::new();
+        caps.insert("train_acc".to_string(), Value::Float(0.99));
+        caps.insert("test_acc".to_string(), Value::Float(0.80));
+        let ctx = ctx_with(&caps, &store);
+        let t = OverfitTrigger {
+            train_metric_var: "train_acc".into(),
+            test_metric_var: "test_acc".into(),
+            max_gap: 0.05,
+        };
+        let o = t.run(&ctx);
+        assert!(!o.passed);
+        assert!(o
+            .metrics
+            .iter()
+            .any(|(n, v)| n == "train_test_gap" && (*v - 0.19).abs() < 1e-9));
+        let tolerant = OverfitTrigger {
+            train_metric_var: "train_acc".into(),
+            test_metric_var: "test_acc".into(),
+            max_gap: 0.25,
+        };
+        assert!(tolerant.run(&ctx).passed);
+    }
+
+    #[test]
+    fn drift_trigger_detects_shift_and_logs_metric() {
+        let store = MemoryStore::new();
+        let reference: Vec<f64> = (0..2000).map(|i| (i % 100) as f64 / 100.0).collect();
+        let t = DriftTrigger::new("preds", &reference, DriftMethod::Ks);
+        let mut caps = BTreeMap::new();
+        caps.insert("preds".to_string(), float_list(&reference[..1000]));
+        let ctx = ctx_with(&caps, &store);
+        let o = t.run(&ctx);
+        assert!(o.passed, "same distribution: {o:?}");
+        assert!(o.metrics.iter().any(|(n, _)| n == "drift_ks:preds"));
+
+        let shifted: Vec<f64> = reference.iter().map(|x| x + 0.5).collect();
+        let mut caps = BTreeMap::new();
+        caps.insert("preds".to_string(), float_list(&shifted));
+        let ctx = ctx_with(&caps, &store);
+        assert!(!t.run(&ctx).passed, "shifted distribution must fail");
+    }
+
+    #[test]
+    fn metric_floor_trigger_logs_even_when_passing() {
+        let store = MemoryStore::new();
+        let mut caps = BTreeMap::new();
+        caps.insert("acc".to_string(), Value::Float(0.93));
+        let ctx = ctx_with(&caps, &store);
+        let t = MetricFloorTrigger {
+            var: "acc".into(),
+            metric: "accuracy".into(),
+            floor: 0.9,
+        };
+        let o = t.run(&ctx);
+        assert!(o.passed);
+        assert_eq!(o.metrics, vec![("accuracy".to_string(), 0.93)]);
+        let strict = MetricFloorTrigger {
+            var: "acc".into(),
+            metric: "accuracy".into(),
+            floor: 0.95,
+        };
+        assert!(!strict.run(&ctx).passed);
+    }
+
+    #[test]
+    fn component_templates_have_expected_triggers() {
+        let prep = preprocessing_component("prep", "raw", "clean").build();
+        assert_eq!(prep.before.len(), 1);
+        assert_eq!(prep.after.len(), 1);
+        assert!(prep
+            .record
+            .tags
+            .contains(&"library:preprocessing".to_string()));
+        let train = training_component("train", "tr", "te", "m_tr", "m_te", 0.1).build();
+        assert_eq!(train.before.len(), 1);
+        assert_eq!(train.after.len(), 1);
+        let infer = inference_component("infer", "preds", &[0.1, 0.2, 0.3], "acc", 0.9).build();
+        assert_eq!(infer.after.len(), 2);
+    }
+}

@@ -1,0 +1,449 @@
+//! Extended trigger library — the coverage dimension of §5.2 ("our
+//! library of predefined components needs to have both high *coverage*
+//! and *accuracy* for the kinds of tests and metrics users will want").
+//!
+//! These checks complement [`crate::library`]: schema conformance, value
+//! ranges, class balance, run-over-run volume deltas, input freshness,
+//! and prediction sanity.
+
+use crate::trigger::{Trigger, TriggerContext, TriggerOutcome};
+use mltrace_store::{Value, MS_PER_DAY};
+
+/// Verifies a captured map has all required keys (schema conformance for
+/// loosely-typed component boundaries).
+pub struct SchemaTrigger {
+    /// Captured variable holding a [`Value::Map`].
+    pub var: String,
+    /// Keys that must be present.
+    pub required: Vec<String>,
+}
+
+impl Trigger for SchemaTrigger {
+    fn name(&self) -> &str {
+        "schema_check"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let Some(Value::Map(map)) = ctx.capture(&self.var) else {
+            return TriggerOutcome::fail(format!("variable '{}' is not a captured map", self.var));
+        };
+        let missing: Vec<&str> = self
+            .required
+            .iter()
+            .filter(|k| !map.contains_key(k.as_str()))
+            .map(String::as_str)
+            .collect();
+        if missing.is_empty() {
+            TriggerOutcome::pass(format!(
+                "all {} required fields present",
+                self.required.len()
+            ))
+        } else {
+            TriggerOutcome::fail(format!("missing fields: {missing:?}"))
+        }
+        .with_value("missing_count", missing.len())
+    }
+}
+
+/// Verifies every value of a captured numeric list lies in `[lo, hi]`.
+pub struct RangeTrigger {
+    /// Captured variable to check.
+    pub var: String,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl Trigger for RangeTrigger {
+    fn name(&self) -> &str {
+        "range_check"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let Some(values) = ctx.numeric_capture(&self.var) else {
+            return TriggerOutcome::fail(format!("variable '{}' not captured", self.var));
+        };
+        let violations = values
+            .iter()
+            .filter(|v| v.is_finite() && (**v < self.lo || **v > self.hi))
+            .count();
+        if violations == 0 {
+            TriggerOutcome::pass(format!("{} within [{}, {}]", self.var, self.lo, self.hi))
+        } else {
+            TriggerOutcome::fail(format!(
+                "{violations} values of {} outside [{}, {}]",
+                self.var, self.lo, self.hi
+            ))
+        }
+        .with_value("violations", violations)
+        .with_metric(format!("range_violations:{}", self.var), violations as f64)
+    }
+}
+
+/// Verifies the positive-class fraction of a captured boolean/0-1 list
+/// stays inside a band — degenerate label balance is the classic silent
+/// training failure.
+pub struct ClassBalanceTrigger {
+    /// Captured variable holding labels (0/1 or bool).
+    pub var: String,
+    /// Minimum tolerated positive fraction.
+    pub min_positive: f64,
+    /// Maximum tolerated positive fraction.
+    pub max_positive: f64,
+}
+
+impl Trigger for ClassBalanceTrigger {
+    fn name(&self) -> &str {
+        "class_balance"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let Some(values) = ctx.numeric_capture(&self.var) else {
+            return TriggerOutcome::fail(format!("variable '{}' not captured", self.var));
+        };
+        let finite: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return TriggerOutcome::fail(format!("variable '{}' is empty", self.var));
+        }
+        let positive = finite.iter().filter(|&&v| v >= 0.5).count() as f64 / finite.len() as f64;
+        let ok = positive >= self.min_positive && positive <= self.max_positive;
+        let outcome = if ok {
+            TriggerOutcome::pass(format!("positive fraction {positive:.3}"))
+        } else {
+            TriggerOutcome::fail(format!(
+                "positive fraction {positive:.3} outside [{}, {}]",
+                self.min_positive, self.max_positive
+            ))
+        };
+        outcome
+            .with_value("positive_fraction", positive)
+            .with_metric(format!("positive_fraction:{}", self.var), positive)
+    }
+}
+
+/// Compares a captured row count against the trailing history of the same
+/// metric: volume collapses and explosions both page. Passes until enough
+/// history exists.
+pub struct VolumeDeltaTrigger {
+    /// Captured variable holding this run's count.
+    pub var: String,
+    /// Metric series carrying historical counts (logged by this trigger).
+    pub metric: String,
+    /// Maximum tolerated ratio to the trailing mean (e.g. 2.0 = double).
+    pub max_ratio: f64,
+    /// Trailing points to average.
+    pub window: usize,
+}
+
+impl Trigger for VolumeDeltaTrigger {
+    fn name(&self) -> &str {
+        "volume_delta"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let Some(current) = ctx.capture(&self.var).and_then(Value::as_f64) else {
+            return TriggerOutcome::fail(format!("variable '{}' not captured", self.var));
+        };
+        let history = ctx.metric_history(&self.metric);
+        let tail: Vec<f64> = history
+            .iter()
+            .rev()
+            .take(self.window.max(1))
+            .map(|&(_, v)| v)
+            .collect();
+        let outcome = if tail.is_empty() {
+            TriggerOutcome::pass("no volume history yet")
+        } else {
+            let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+            if mean <= 0.0 {
+                TriggerOutcome::pass("degenerate history, skipping")
+            } else {
+                let ratio = current / mean;
+                if ratio <= self.max_ratio && ratio >= 1.0 / self.max_ratio {
+                    TriggerOutcome::pass(format!("volume ratio {ratio:.2} vs trailing mean"))
+                } else {
+                    TriggerOutcome::fail(format!(
+                        "volume ratio {ratio:.2} outside [{:.2}, {:.2}]",
+                        1.0 / self.max_ratio,
+                        self.max_ratio
+                    ))
+                }
+                .with_value("ratio", ratio)
+            }
+        };
+        outcome.with_metric(self.metric.clone(), current)
+    }
+}
+
+/// Verifies a prior run of an upstream component exists within a
+/// freshness horizon — the *proactive* side of the staleness definition
+/// (§3.1), failing before a run consumes months-old inputs.
+pub struct FreshInputTrigger {
+    /// Upstream component whose latest run is checked.
+    pub upstream: String,
+    /// Maximum tolerated age in days.
+    pub max_age_days: f64,
+}
+
+impl Trigger for FreshInputTrigger {
+    fn name(&self) -> &str {
+        "fresh_input"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        // Materialized history of the upstream component: reuse any metric
+        // series to locate its last activity; fall back to run list.
+        let history = ctx.other_component_metric(&self.upstream, "rows");
+        let last_ms = history.last().map(|&(ts, _)| ts);
+        let Some(last_ms) = last_ms else {
+            return TriggerOutcome::fail(format!(
+                "no recorded activity for upstream '{}'",
+                self.upstream
+            ));
+        };
+        let age_days = ctx.now_ms.saturating_sub(last_ms) as f64 / MS_PER_DAY as f64;
+        if age_days <= self.max_age_days {
+            TriggerOutcome::pass(format!(
+                "upstream '{}' refreshed {age_days:.1} days ago",
+                self.upstream
+            ))
+        } else {
+            TriggerOutcome::fail(format!(
+                "upstream '{}' is {age_days:.1} days old (limit {})",
+                self.upstream, self.max_age_days
+            ))
+        }
+        .with_value("age_days", age_days)
+    }
+}
+
+/// Sanity checks on a captured probability vector: all values in [0, 1]
+/// and not collapsed to a constant (a saturated or dead model).
+pub struct PredictionSanityTrigger {
+    /// Captured variable holding probabilities.
+    pub var: String,
+    /// Minimum tolerated standard deviation (0 disables the collapse
+    /// check).
+    pub min_std: f64,
+}
+
+impl Trigger for PredictionSanityTrigger {
+    fn name(&self) -> &str {
+        "prediction_sanity"
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        let Some(values) = ctx.numeric_capture(&self.var) else {
+            return TriggerOutcome::fail(format!("variable '{}' not captured", self.var));
+        };
+        let finite: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return TriggerOutcome::fail("no finite predictions");
+        }
+        let out_of_unit = finite
+            .iter()
+            .filter(|&&v| !(0.0..=1.0).contains(&v))
+            .count();
+        if out_of_unit > 0 {
+            return TriggerOutcome::fail(format!("{out_of_unit} probabilities outside [0, 1]"))
+                .with_value("out_of_unit", out_of_unit);
+        }
+        let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+        let var = finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / finite.len() as f64;
+        let std = var.sqrt();
+        if std < self.min_std {
+            TriggerOutcome::fail(format!(
+                "prediction distribution collapsed: std {std:.4} < {}",
+                self.min_std
+            ))
+        } else {
+            TriggerOutcome::pass(format!("predictions healthy: mean {mean:.3}, std {std:.3}"))
+        }
+        .with_value("std", std)
+        .with_metric(format!("prediction_std:{}", self.var), std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltrace_store::{MemoryStore, MetricRecord, Store};
+    use std::collections::BTreeMap;
+
+    fn ctx_with<'a>(
+        captures: &'a BTreeMap<String, Value>,
+        store: &'a MemoryStore,
+        now_ms: u64,
+    ) -> TriggerContext<'a> {
+        TriggerContext::new("c", captures, &[], &[], now_ms, store)
+    }
+
+    fn floats(values: &[f64]) -> Value {
+        Value::List(values.iter().map(|&v| Value::Float(v)).collect())
+    }
+
+    #[test]
+    fn schema_trigger() {
+        let store = MemoryStore::new();
+        let mut caps = BTreeMap::new();
+        let mut record = BTreeMap::new();
+        record.insert("fare".to_string(), Value::Float(10.0));
+        record.insert("distance".to_string(), Value::Float(2.0));
+        caps.insert("row".to_string(), Value::Map(record));
+        let ctx = ctx_with(&caps, &store, 0);
+        let ok = SchemaTrigger {
+            var: "row".into(),
+            required: vec!["fare".into(), "distance".into()],
+        };
+        assert!(ok.run(&ctx).passed);
+        let strict = SchemaTrigger {
+            var: "row".into(),
+            required: vec!["fare".into(), "tip".into()],
+        };
+        let o = strict.run(&ctx);
+        assert!(!o.passed);
+        assert_eq!(o.values["missing_count"], Value::Int(1));
+        let wrong = SchemaTrigger {
+            var: "ghost".into(),
+            required: vec![],
+        };
+        assert!(!wrong.run(&ctx).passed);
+    }
+
+    #[test]
+    fn range_trigger() {
+        let store = MemoryStore::new();
+        let mut caps = BTreeMap::new();
+        caps.insert("fares".to_string(), floats(&[3.0, 12.0, 250.0]));
+        let ctx = ctx_with(&caps, &store, 0);
+        let t = RangeTrigger {
+            var: "fares".into(),
+            lo: 0.0,
+            hi: 200.0,
+        };
+        let o = t.run(&ctx);
+        assert!(!o.passed);
+        assert_eq!(o.values["violations"], Value::Int(1));
+        let loose = RangeTrigger {
+            var: "fares".into(),
+            lo: 0.0,
+            hi: 1000.0,
+        };
+        assert!(loose.run(&ctx).passed);
+    }
+
+    #[test]
+    fn class_balance_trigger() {
+        let store = MemoryStore::new();
+        let mut caps = BTreeMap::new();
+        caps.insert("labels".to_string(), floats(&[1.0, 0.0, 1.0, 0.0, 1.0]));
+        caps.insert("degenerate".to_string(), floats(&[1.0; 10]));
+        let ctx = ctx_with(&caps, &store, 0);
+        let t = ClassBalanceTrigger {
+            var: "labels".into(),
+            min_positive: 0.2,
+            max_positive: 0.8,
+        };
+        let o = t.run(&ctx);
+        assert!(o.passed);
+        assert_eq!(o.values["positive_fraction"], Value::Float(0.6));
+        let d = ClassBalanceTrigger {
+            var: "degenerate".into(),
+            min_positive: 0.2,
+            max_positive: 0.8,
+        };
+        assert!(!d.run(&ctx).passed);
+    }
+
+    #[test]
+    fn volume_delta_trigger() {
+        let store = MemoryStore::new();
+        for (ts, v) in [(1u64, 1000.0), (2, 1100.0), (3, 900.0)] {
+            store
+                .log_metric(MetricRecord {
+                    component: "c".into(),
+                    run_id: None,
+                    name: "row_volume".into(),
+                    value: v,
+                    ts_ms: ts,
+                })
+                .unwrap();
+        }
+        let t = VolumeDeltaTrigger {
+            var: "rows".into(),
+            metric: "row_volume".into(),
+            max_ratio: 2.0,
+            window: 3,
+        };
+        let mut caps = BTreeMap::new();
+        caps.insert("rows".to_string(), Value::Float(1050.0));
+        let ctx = ctx_with(&caps, &store, 10);
+        assert!(t.run(&ctx).passed, "normal volume passes");
+        let mut caps = BTreeMap::new();
+        caps.insert("rows".to_string(), Value::Float(100.0));
+        let ctx = ctx_with(&caps, &store, 10);
+        assert!(!t.run(&ctx).passed, "collapse fails");
+        let mut caps = BTreeMap::new();
+        caps.insert("rows".to_string(), Value::Float(5000.0));
+        let ctx = ctx_with(&caps, &store, 10);
+        assert!(!t.run(&ctx).passed, "explosion fails");
+        // No history: passes.
+        let empty = MemoryStore::new();
+        let mut caps = BTreeMap::new();
+        caps.insert("rows".to_string(), Value::Float(100.0));
+        let ctx = ctx_with(&caps, &empty, 10);
+        assert!(t.run(&ctx).passed);
+    }
+
+    #[test]
+    fn fresh_input_trigger() {
+        let store = MemoryStore::new();
+        store
+            .log_metric(MetricRecord {
+                component: "etl".into(),
+                run_id: None,
+                name: "rows".into(),
+                value: 100.0,
+                ts_ms: 0,
+            })
+            .unwrap();
+        let caps = BTreeMap::new();
+        let t = FreshInputTrigger {
+            upstream: "etl".into(),
+            max_age_days: 7.0,
+        };
+        // 3 days later: fresh.
+        let ctx = ctx_with(&caps, &store, 3 * MS_PER_DAY);
+        assert!(t.run(&ctx).passed);
+        // 10 days later: stale.
+        let ctx = ctx_with(&caps, &store, 10 * MS_PER_DAY);
+        assert!(!t.run(&ctx).passed);
+        // Unknown upstream: fail loudly.
+        let t = FreshInputTrigger {
+            upstream: "ghost".into(),
+            max_age_days: 7.0,
+        };
+        let ctx = ctx_with(&caps, &store, 0);
+        assert!(!t.run(&ctx).passed);
+    }
+
+    #[test]
+    fn prediction_sanity_trigger() {
+        let store = MemoryStore::new();
+        let mut caps = BTreeMap::new();
+        caps.insert("ok".to_string(), floats(&[0.2, 0.8, 0.5, 0.9]));
+        caps.insert("collapsed".to_string(), floats(&[0.7; 50]));
+        caps.insert("invalid".to_string(), floats(&[0.5, 1.7, -0.1]));
+        let ctx = ctx_with(&caps, &store, 0);
+        let make = |var: &str| PredictionSanityTrigger {
+            var: var.into(),
+            min_std: 0.01,
+        };
+        assert!(make("ok").run(&ctx).passed);
+        assert!(!make("collapsed").run(&ctx).passed);
+        let o = make("invalid").run(&ctx);
+        assert!(!o.passed);
+        assert_eq!(o.values["out_of_unit"], Value::Int(2));
+    }
+}

@@ -1,0 +1,321 @@
+//! Staleness (§3.1): "A component is defined as stale when at least one of
+//! its dependencies was generated a long time ago (default of 30 days) or
+//! was not the 'freshest' representation (i.e., for an inference
+//! component, newer features or better models were available). We are also
+//! extending the definition of staleness to include failing user-defined
+//! tests."
+//!
+//! Staleness is a *derived* property computed at query time from the run
+//! log, never stored — so policy changes apply retroactively.
+
+use crate::error::Result;
+use mltrace_store::{ComponentRunRecord, RunId, Store, MS_PER_DAY};
+
+/// Per-component staleness policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StalenessPolicy {
+    /// A dependency older than this makes the run stale (paper default:
+    /// 30 days).
+    pub max_dependency_age_ms: u64,
+    /// Flag runs whose inputs have fresher producers than the dependency
+    /// actually used.
+    pub check_freshness: bool,
+    /// Flag runs with failing triggers (the paper's extension).
+    pub include_failing_tests: bool,
+}
+
+impl Default for StalenessPolicy {
+    fn default() -> Self {
+        StalenessPolicy {
+            max_dependency_age_ms: 30 * MS_PER_DAY,
+            check_freshness: true,
+            include_failing_tests: true,
+        }
+    }
+}
+
+/// Why a run is considered stale.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StalenessReason {
+    /// A dependency run is older than the policy allows.
+    OldDependency {
+        /// The old dependency.
+        dependency: RunId,
+        /// Its component.
+        component: String,
+        /// Age at evaluation time, in days.
+        age_days: f64,
+    },
+    /// An input has a fresher producer than the dependency used.
+    NotFreshest {
+        /// The input pointer.
+        input: String,
+        /// The dependency that produced the version used.
+        used: RunId,
+        /// The newer producer available.
+        newer: RunId,
+    },
+    /// A user-defined trigger failed on this run.
+    FailingTests {
+        /// Name of the failing trigger.
+        trigger: String,
+    },
+}
+
+impl StalenessReason {
+    /// One-line rendering for the `stale` command.
+    pub fn render(&self) -> String {
+        match self {
+            StalenessReason::OldDependency {
+                dependency,
+                component,
+                age_days,
+            } => format!("dependency {dependency} ({component}) is {age_days:.1} days old"),
+            StalenessReason::NotFreshest { input, used, newer } => {
+                format!("input {input}: used {used}, but {newer} is fresher")
+            }
+            StalenessReason::FailingTests { trigger } => {
+                format!("trigger '{trigger}' failed")
+            }
+        }
+    }
+}
+
+/// Evaluate a run's staleness at time `now_ms` under `policy`.
+pub fn evaluate_run(
+    store: &dyn Store,
+    run: &ComponentRunRecord,
+    policy: &StalenessPolicy,
+    now_ms: u64,
+) -> Result<Vec<StalenessReason>> {
+    let mut reasons = Vec::new();
+
+    // 1. Old dependencies.
+    for &dep_id in &run.dependencies {
+        if let Some(dep) = store.run(dep_id)? {
+            let age = now_ms.saturating_sub(dep.start_ms);
+            if age > policy.max_dependency_age_ms {
+                reasons.push(StalenessReason::OldDependency {
+                    dependency: dep_id,
+                    component: dep.component,
+                    age_days: age as f64 / MS_PER_DAY as f64,
+                });
+            }
+        }
+    }
+
+    // 2. Not the freshest representation: for each input, was there a
+    //    newer producer (at evaluation time) than the dependency used?
+    if policy.check_freshness {
+        for input in &run.inputs {
+            let producers = store.producers_of(input)?;
+            let Some(&latest) = producers.last() else {
+                continue;
+            };
+            // Which producer did this run actually use? The latest one
+            // started at or before this run's start.
+            let used = run
+                .dependencies
+                .iter()
+                .copied()
+                .filter(|d| producers.contains(d))
+                .max();
+            if let Some(used) = used {
+                if latest != used {
+                    reasons.push(StalenessReason::NotFreshest {
+                        input: input.clone(),
+                        used,
+                        newer: latest,
+                    });
+                }
+            }
+        }
+    }
+
+    // 3. Failing user-defined tests.
+    if policy.include_failing_tests {
+        for t in &run.triggers {
+            if !t.passed {
+                reasons.push(StalenessReason::FailingTests {
+                    trigger: t.trigger.clone(),
+                });
+            }
+        }
+    }
+
+    Ok(reasons)
+}
+
+/// Evaluate the *latest* run of a component. `Ok(None)` when the component
+/// has no runs.
+pub fn evaluate_component(
+    store: &dyn Store,
+    component: &str,
+    policy: &StalenessPolicy,
+    now_ms: u64,
+) -> Result<Option<(RunId, Vec<StalenessReason>)>> {
+    match store.latest_run(component)? {
+        Some(run) => {
+            let reasons = evaluate_run(store, &run, policy, now_ms)?;
+            Ok(Some((run.id, reasons)))
+        }
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltrace_store::{ComponentRunRecord, MemoryStore, TriggerOutcomeRecord};
+
+    fn log(
+        s: &MemoryStore,
+        component: &str,
+        start: u64,
+        inputs: &[&str],
+        outputs: &[&str],
+        deps: &[RunId],
+    ) -> RunId {
+        s.log_run(ComponentRunRecord {
+            component: component.into(),
+            start_ms: start,
+            end_ms: start + 1,
+            inputs: inputs.iter().map(|x| x.to_string()).collect(),
+            outputs: outputs.iter().map(|x| x.to_string()).collect(),
+            dependencies: deps.to_vec(),
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_run_is_not_stale() {
+        let s = MemoryStore::new();
+        let f = log(&s, "featurize", 1000, &[], &["f.csv"], &[]);
+        let i = log(&s, "infer", 2000, &["f.csv"], &["p"], &[f]);
+        let run = s.run(i).unwrap().unwrap();
+        let reasons = evaluate_run(&s, &run, &StalenessPolicy::default(), 3000).unwrap();
+        assert!(reasons.is_empty(), "{reasons:?}");
+    }
+
+    #[test]
+    fn thirty_day_old_dependency_is_stale() {
+        let s = MemoryStore::new();
+        let f = log(&s, "featurize", 0, &[], &["f.csv"], &[]);
+        let i = log(&s, "infer", 10, &["f.csv"], &["p"], &[f]);
+        let run = s.run(i).unwrap().unwrap();
+        let now = 31 * MS_PER_DAY;
+        let reasons = evaluate_run(&s, &run, &StalenessPolicy::default(), now).unwrap();
+        assert_eq!(reasons.len(), 1);
+        match &reasons[0] {
+            StalenessReason::OldDependency {
+                component,
+                age_days,
+                ..
+            } => {
+                assert_eq!(component, "featurize");
+                assert!((age_days - 31.0).abs() < 0.01);
+            }
+            other => panic!("expected OldDependency, got {other:?}"),
+        }
+        // Exactly at the boundary: not stale.
+        let reasons = evaluate_run(&s, &run, &StalenessPolicy::default(), 30 * MS_PER_DAY).unwrap();
+        assert!(reasons.is_empty());
+    }
+
+    #[test]
+    fn newer_producer_marks_not_freshest() {
+        let s = MemoryStore::new();
+        let old = log(&s, "featurize", 100, &[], &["f.csv"], &[]);
+        let infer = log(&s, "infer", 200, &["f.csv"], &["p"], &[old]);
+        // A newer featurization appears after the inference run.
+        let newer = log(&s, "featurize", 300, &[], &["f.csv"], &[]);
+        let run = s.run(infer).unwrap().unwrap();
+        let reasons = evaluate_run(&s, &run, &StalenessPolicy::default(), 400).unwrap();
+        assert_eq!(reasons.len(), 1);
+        match &reasons[0] {
+            StalenessReason::NotFreshest {
+                input,
+                used,
+                newer: n,
+            } => {
+                assert_eq!(input, "f.csv");
+                assert_eq!(*used, old);
+                assert_eq!(*n, newer);
+            }
+            other => panic!("expected NotFreshest, got {other:?}"),
+        }
+        // Disabled by policy.
+        let policy = StalenessPolicy {
+            check_freshness: false,
+            ..Default::default()
+        };
+        assert!(evaluate_run(&s, &run, &policy, 400).unwrap().is_empty());
+    }
+
+    #[test]
+    fn failing_trigger_marks_stale() {
+        let s = MemoryStore::new();
+        let id = s
+            .log_run(ComponentRunRecord {
+                component: "prep".into(),
+                start_ms: 10,
+                end_ms: 20,
+                triggers: vec![TriggerOutcomeRecord {
+                    trigger: "no_nulls".into(),
+                    phase: "before".into(),
+                    passed: false,
+                    detail: "".into(),
+                    values: Default::default(),
+                }],
+                ..Default::default()
+            })
+            .unwrap();
+        let run = s.run(id).unwrap().unwrap();
+        let reasons = evaluate_run(&s, &run, &StalenessPolicy::default(), 30).unwrap();
+        assert_eq!(
+            reasons,
+            vec![StalenessReason::FailingTests {
+                trigger: "no_nulls".into()
+            }]
+        );
+        let policy = StalenessPolicy {
+            include_failing_tests: false,
+            ..Default::default()
+        };
+        assert!(evaluate_run(&s, &run, &policy, 30).unwrap().is_empty());
+    }
+
+    #[test]
+    fn evaluate_component_uses_latest_run() {
+        let s = MemoryStore::new();
+        assert!(
+            evaluate_component(&s, "ghost", &StalenessPolicy::default(), 0)
+                .unwrap()
+                .is_none()
+        );
+        let f = log(&s, "featurize", 0, &[], &["f.csv"], &[]);
+        let _i1 = log(&s, "infer", 10, &["f.csv"], &["p1"], &[f]);
+        let i2 = log(&s, "infer", 20, &["f.csv"], &["p2"], &[f]);
+        let (id, reasons) =
+            evaluate_component(&s, "infer", &StalenessPolicy::default(), 40 * MS_PER_DAY)
+                .unwrap()
+                .unwrap();
+        assert_eq!(id, i2);
+        assert!(!reasons.is_empty());
+    }
+
+    #[test]
+    fn reasons_render() {
+        let r = StalenessReason::FailingTests {
+            trigger: "x".into(),
+        };
+        assert!(r.render().contains("'x' failed"));
+        let r = StalenessReason::NotFreshest {
+            input: "f.csv".into(),
+            used: RunId(1),
+            newer: RunId(5),
+        };
+        assert!(r.render().contains("run#5 is fresher"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Triggers: the user-defined computation attached to a component's
+//! `beforeRun` and `afterRun` methods (§3.2), "primarily used for testing
+//! and monitoring".
+//!
+//! A trigger reads the variables captured for the current run (the paper's
+//! tracer captures "values of the specified variables") plus the
+//! materialized history of prior runs (§3.4 step 3), and returns a
+//! pass/fail outcome with structured detail. Triggers may be marked
+//! asynchronous (the paper's `@asynchronous` decorator): the execution
+//! layer then runs them on worker threads overlapping the component body.
+
+use mltrace_store::{MetricRecord, RunId, Store, TriggerOutcomeRecord, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Phase a trigger runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Before the component body (`beforeRun`).
+    Before,
+    /// After the component body (`afterRun`).
+    After,
+}
+
+impl Phase {
+    /// Lowercase name stored in the run log.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Before => "before",
+            Phase::After => "after",
+        }
+    }
+}
+
+/// Result returned by a trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerOutcome {
+    /// Whether the check passed.
+    pub passed: bool,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Structured values to log with the run (aggregates, statistics).
+    pub values: BTreeMap<String, Value>,
+    /// Metric points to append to the component's series.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl TriggerOutcome {
+    /// Passing outcome with detail text.
+    pub fn pass(detail: impl Into<String>) -> Self {
+        TriggerOutcome {
+            passed: true,
+            detail: detail.into(),
+            values: BTreeMap::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Failing outcome with detail text.
+    pub fn fail(detail: impl Into<String>) -> Self {
+        TriggerOutcome {
+            passed: false,
+            detail: detail.into(),
+            values: BTreeMap::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Attach a structured value.
+    pub fn with_value(mut self, key: impl Into<String>, v: impl Into<Value>) -> Self {
+        self.values.insert(key.into(), v.into());
+        self
+    }
+
+    /// Attach a metric point.
+    pub fn with_metric(mut self, name: impl Into<String>, v: f64) -> Self {
+        self.metrics.push((name.into(), v));
+        self
+    }
+}
+
+/// Read-only view a trigger gets: the captured variables of the current
+/// run and the history of prior runs of the same component.
+pub struct TriggerContext<'a> {
+    /// Component being run.
+    pub component: &'a str,
+    /// Variables captured so far (before-phase sees pre-body captures,
+    /// after-phase sees everything).
+    pub captures: &'a BTreeMap<String, Value>,
+    /// Input pointer names declared for this run.
+    pub inputs: &'a [String],
+    /// Output pointer names declared so far.
+    pub outputs: &'a [String],
+    /// Current time, epoch milliseconds.
+    pub now_ms: u64,
+    store: &'a dyn Store,
+}
+
+impl<'a> TriggerContext<'a> {
+    pub(crate) fn new(
+        component: &'a str,
+        captures: &'a BTreeMap<String, Value>,
+        inputs: &'a [String],
+        outputs: &'a [String],
+        now_ms: u64,
+        store: &'a dyn Store,
+    ) -> Self {
+        TriggerContext {
+            component,
+            captures,
+            inputs,
+            outputs,
+            now_ms,
+            store,
+        }
+    }
+
+    /// A captured variable by name.
+    pub fn capture(&self, name: &str) -> Option<&Value> {
+        self.captures.get(name)
+    }
+
+    /// Numeric view of a captured list variable, nulls as NaN.
+    pub fn numeric_capture(&self, name: &str) -> Option<Vec<f64>> {
+        match self.captures.get(name)? {
+            Value::List(items) => Some(
+                items
+                    .iter()
+                    .map(|v| v.as_f64().unwrap_or(f64::NAN))
+                    .collect(),
+            ),
+            v => v.as_f64().map(|x| vec![x]),
+        }
+    }
+
+    /// Metric history of this component (§3.4 step 3: historical outputs
+    /// materialized for monitoring in `afterRun`). Ascending by time.
+    pub fn metric_history(&self, metric: &str) -> Vec<(u64, f64)> {
+        self.store
+            .metrics(self.component, metric)
+            .map(|pts| pts.into_iter().map(|m| (m.ts_ms, m.value)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Ids of prior runs of this component, ascending.
+    pub fn prior_runs(&self) -> Vec<RunId> {
+        self.store
+            .runs_for_component(self.component)
+            .unwrap_or_default()
+    }
+
+    /// A value logged by a named trigger in the most recent prior run —
+    /// how Example 4.3 "propagates" offline tests to the online component.
+    pub fn last_trigger_value(&self, trigger: &str, key: &str) -> Option<Value> {
+        let last = self.prior_runs().into_iter().last()?;
+        let run = self.store.run(last).ok().flatten()?;
+        run.triggers
+            .iter()
+            .find(|t| t.trigger == trigger)
+            .and_then(|t| t.values.get(key).cloned())
+    }
+
+    /// Metric history of *another* component — cross-component checks
+    /// (Example 4.3: compare offline vs online feature generation).
+    pub fn other_component_metric(&self, component: &str, metric: &str) -> Vec<(u64, f64)> {
+        self.store
+            .metrics(component, metric)
+            .map(|pts| pts.into_iter().map(|m| (m.ts_ms, m.value)).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// A named check run in a component phase.
+pub trait Trigger: Send + Sync {
+    /// Stable name, recorded in the run log.
+    fn name(&self) -> &str;
+    /// Execute the check.
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome;
+}
+
+/// A trigger plus its scheduling mode.
+pub struct TriggerSpec {
+    /// The check itself.
+    pub trigger: Arc<dyn Trigger>,
+    /// Run on a worker thread, overlapping the component body (the
+    /// paper's `@asynchronous`).
+    pub asynchronous: bool,
+}
+
+/// Wrap a closure as a trigger.
+pub struct FnTrigger<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnTrigger<F>
+where
+    F: Fn(&TriggerContext<'_>) -> TriggerOutcome + Send + Sync,
+{
+    /// Named closure trigger.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnTrigger {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> Trigger for FnTrigger<F>
+where
+    F: Fn(&TriggerContext<'_>) -> TriggerOutcome + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, ctx: &TriggerContext<'_>) -> TriggerOutcome {
+        (self.f)(ctx)
+    }
+}
+
+/// Convert an outcome into its storable record, and split out metrics.
+pub(crate) fn outcome_to_record(
+    name: &str,
+    phase: Phase,
+    outcome: &TriggerOutcome,
+) -> (TriggerOutcomeRecord, Vec<(String, f64)>) {
+    (
+        TriggerOutcomeRecord {
+            trigger: name.to_owned(),
+            phase: phase.name().to_owned(),
+            passed: outcome.passed,
+            detail: outcome.detail.clone(),
+            values: outcome.values.clone(),
+        },
+        outcome.metrics.clone(),
+    )
+}
+
+/// Append metric points produced by a trigger to the store.
+pub(crate) fn log_trigger_metrics(
+    store: &dyn Store,
+    component: &str,
+    run_id: Option<RunId>,
+    now_ms: u64,
+    metrics: &[(String, f64)],
+) {
+    for (name, value) in metrics {
+        let _ = store.log_metric(MetricRecord {
+            component: component.to_owned(),
+            run_id,
+            name: name.clone(),
+            value: *value,
+            ts_ms: now_ms,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltrace_store::MemoryStore;
+
+    #[test]
+    fn outcome_builders() {
+        let o = TriggerOutcome::pass("ok")
+            .with_value("nulls", 0i64)
+            .with_metric("null_fraction", 0.0);
+        assert!(o.passed);
+        assert_eq!(o.values["nulls"], Value::Int(0));
+        assert_eq!(o.metrics, vec![("null_fraction".to_string(), 0.0)]);
+        assert!(!TriggerOutcome::fail("bad").passed);
+    }
+
+    #[test]
+    fn context_accessors() {
+        let store = MemoryStore::new();
+        store
+            .log_metric(MetricRecord {
+                component: "prep".into(),
+                run_id: None,
+                name: "rows".into(),
+                value: 10.0,
+                ts_ms: 5,
+            })
+            .unwrap();
+        let mut captures = BTreeMap::new();
+        captures.insert("xs".to_string(), Value::from(vec![1i64, 2, 3]));
+        captures.insert("scalar".to_string(), Value::from(2.5));
+        let inputs = vec!["in.csv".to_string()];
+        let outputs = vec![];
+        let ctx = TriggerContext::new("prep", &captures, &inputs, &outputs, 100, &store);
+        assert_eq!(ctx.numeric_capture("xs"), Some(vec![1.0, 2.0, 3.0]));
+        assert_eq!(ctx.numeric_capture("scalar"), Some(vec![2.5]));
+        assert!(ctx.numeric_capture("missing").is_none());
+        assert_eq!(ctx.metric_history("rows"), vec![(5, 10.0)]);
+        assert_eq!(ctx.other_component_metric("prep", "rows").len(), 1);
+        assert!(ctx.prior_runs().is_empty());
+        assert!(ctx.last_trigger_value("t", "k").is_none());
+    }
+
+    #[test]
+    fn fn_trigger_runs() {
+        let store = MemoryStore::new();
+        let captures = BTreeMap::new();
+        let t = FnTrigger::new("always-fail", |_ctx: &TriggerContext<'_>| {
+            TriggerOutcome::fail("nope")
+        });
+        assert_eq!(t.name(), "always-fail");
+        let ctx = TriggerContext::new("c", &captures, &[], &[], 0, &store);
+        assert!(!t.run(&ctx).passed);
+    }
+
+    #[test]
+    fn record_conversion() {
+        let o = TriggerOutcome::fail("32% nulls").with_metric("null_fraction", 0.32);
+        let (rec, metrics) = outcome_to_record("no_nulls", Phase::Before, &o);
+        assert_eq!(rec.trigger, "no_nulls");
+        assert_eq!(rec.phase, "before");
+        assert!(!rec.passed);
+        assert_eq!(metrics.len(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Alerting with fatigue suppression.
+//!
+//! §4.1 of the paper: "triggering alerts for all intermediates can
+//! contribute to alert 'fatigue,' rendering metrics useless in practice.
+//! ... MLTRACE houses intermediate aggregations in ComponentRun logs and
+//! focuses alert-triggering metrics on SLAs or other business-critical
+//! requirements."
+//!
+//! [`AlertManager`] therefore supports two rule tiers: `Page` rules (SLA
+//! violations — always surfaced, subject only to a per-rule cooldown) and
+//! `Log` rules (per-feature signals — recorded, never paged). Experiment
+//! E8 compares alert volumes of an SLA-gated configuration against a
+//! naive page-per-feature configuration over the same faulty stream.
+
+use crate::sla::{Comparator, Sla, SlaStatus};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a firing rule is surfaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Recorded in the log only; never interrupts a human.
+    Log,
+    /// Warrants attention soon.
+    Warn,
+    /// Business-critical; pages.
+    Page,
+}
+
+/// A threshold rule on one metric series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertRule {
+    /// Unique rule identifier.
+    pub id: String,
+    /// Metric series the rule watches.
+    pub metric: String,
+    /// Fire when `value <comparator-violated> threshold`, i.e. the rule
+    /// describes the *healthy* direction and fires on its violation.
+    pub comparator: Comparator,
+    /// Healthy-side threshold.
+    pub threshold: f64,
+    /// Surfacing tier.
+    pub severity: Severity,
+    /// Minimum milliseconds between consecutive firings of this rule
+    /// (suppression window against alert storms).
+    pub cooldown_ms: u64,
+}
+
+impl AlertRule {
+    /// Rule derived from an SLA: fires at `Page` severity on violation.
+    pub fn from_sla(sla: &Sla, cooldown_ms: u64) -> Self {
+        AlertRule {
+            id: sla.name.clone(),
+            metric: sla.metric.clone(),
+            comparator: sla.comparator,
+            threshold: sla.threshold,
+            severity: Severity::Page,
+            cooldown_ms,
+        }
+    }
+}
+
+/// A fired alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Rule that fired.
+    pub rule_id: String,
+    /// Metric observed.
+    pub metric: String,
+    /// Observed value.
+    pub value: f64,
+    /// Observation time, epoch milliseconds.
+    pub ts_ms: u64,
+    /// Tier of the firing rule.
+    pub severity: Severity,
+}
+
+/// Counters for fatigue analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlertStats {
+    /// Observations evaluated.
+    pub observations: u64,
+    /// Alerts fired (all severities).
+    pub fired: u64,
+    /// Page-severity alerts fired.
+    pub pages: u64,
+    /// Firings suppressed by cooldown.
+    pub suppressed: u64,
+}
+
+/// Evaluates observations against a rule set with cooldown suppression.
+#[derive(Debug, Default)]
+pub struct AlertManager {
+    rules: Vec<AlertRule>,
+    /// metric → indexes into `rules`
+    by_metric: HashMap<String, Vec<usize>>,
+    last_fired: HashMap<String, u64>,
+    log: Vec<Alert>,
+    stats: AlertStats,
+}
+
+impl AlertManager {
+    /// Manager with no rules.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a rule. Rules on the same metric coexist.
+    pub fn add_rule(&mut self, rule: AlertRule) {
+        self.by_metric
+            .entry(rule.metric.clone())
+            .or_default()
+            .push(self.rules.len());
+        self.rules.push(rule);
+    }
+
+    /// Number of installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Feed one observation; returns alerts fired by it.
+    pub fn observe(&mut self, metric: &str, value: f64, ts_ms: u64) -> Vec<Alert> {
+        self.stats.observations += 1;
+        let Some(indexes) = self.by_metric.get(metric) else {
+            return Vec::new();
+        };
+        let mut fired = Vec::new();
+        for &i in indexes {
+            let rule = &self.rules[i];
+            if rule.comparator.holds(value, rule.threshold) {
+                continue; // healthy
+            }
+            if let Some(&last) = self.last_fired.get(&rule.id) {
+                if ts_ms.saturating_sub(last) < rule.cooldown_ms {
+                    self.stats.suppressed += 1;
+                    continue;
+                }
+            }
+            let alert = Alert {
+                rule_id: rule.id.clone(),
+                metric: rule.metric.clone(),
+                value,
+                ts_ms,
+                severity: rule.severity,
+            };
+            self.last_fired.insert(rule.id.clone(), ts_ms);
+            self.stats.fired += 1;
+            if rule.severity == Severity::Page {
+                self.stats.pages += 1;
+            }
+            self.log.push(alert.clone());
+            fired.push(alert);
+        }
+        fired
+    }
+
+    /// Evaluate an SLA over a series at time `ts_ms`, firing a `Page`
+    /// alert on violation (with the SLA's name as the rule id and no
+    /// cooldown bookkeeping beyond rules already installed).
+    pub fn observe_sla(&mut self, sla: &Sla, series: &[f64], ts_ms: u64) -> Option<Alert> {
+        match sla.evaluate(series) {
+            SlaStatus::Violated { observed } => {
+                let alert = Alert {
+                    rule_id: sla.name.clone(),
+                    metric: sla.metric.clone(),
+                    value: observed,
+                    ts_ms,
+                    severity: Severity::Page,
+                };
+                self.stats.fired += 1;
+                self.stats.pages += 1;
+                self.log.push(alert.clone());
+                Some(alert)
+            }
+            _ => None,
+        }
+    }
+
+    /// All alerts fired so far, oldest first.
+    pub fn log(&self) -> &[Alert] {
+        &self.log
+    }
+
+    /// Fatigue counters.
+    pub fn stats(&self) -> AlertStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accuracy_rule(cooldown: u64) -> AlertRule {
+        AlertRule {
+            id: "acc-floor".into(),
+            metric: "accuracy".into(),
+            comparator: Comparator::Gte,
+            threshold: 0.9,
+            severity: Severity::Page,
+            cooldown_ms: cooldown,
+        }
+    }
+
+    #[test]
+    fn fires_on_violation_only() {
+        let mut m = AlertManager::new();
+        m.add_rule(accuracy_rule(0));
+        assert!(m.observe("accuracy", 0.95, 1).is_empty());
+        let fired = m.observe("accuracy", 0.80, 2);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule_id, "acc-floor");
+        assert_eq!(fired[0].severity, Severity::Page);
+        assert!(m.observe("other_metric", 0.0, 3).is_empty());
+        assert_eq!(m.stats().pages, 1);
+    }
+
+    #[test]
+    fn cooldown_suppresses_storms() {
+        let mut m = AlertManager::new();
+        m.add_rule(accuracy_rule(1000));
+        let mut fired = 0;
+        for t in 0..100u64 {
+            fired += m.observe("accuracy", 0.5, t * 100).len();
+        }
+        // 10 s of violations every 100 ms with a 1 s cooldown → 10 firings.
+        assert_eq!(fired, 10);
+        assert_eq!(m.stats().suppressed, 90);
+        assert_eq!(m.log().len(), 10);
+    }
+
+    #[test]
+    fn multiple_rules_same_metric() {
+        let mut m = AlertManager::new();
+        m.add_rule(accuracy_rule(0));
+        m.add_rule(AlertRule {
+            id: "acc-warn".into(),
+            metric: "accuracy".into(),
+            comparator: Comparator::Gte,
+            threshold: 0.95,
+            severity: Severity::Warn,
+            cooldown_ms: 0,
+        });
+        let fired = m.observe("accuracy", 0.92, 1);
+        assert_eq!(fired.len(), 1, "only the warn rule fires at 0.92");
+        assert_eq!(fired[0].severity, Severity::Warn);
+        let fired = m.observe("accuracy", 0.5, 2);
+        assert_eq!(fired.len(), 2);
+    }
+
+    #[test]
+    fn sla_gated_vs_per_feature_fatigue() {
+        // E8 in miniature: 50 features each with a noisy threshold rule vs
+        // one SLA page rule. Same stream; count pages.
+        let mut per_feature = AlertManager::new();
+        for f in 0..50 {
+            per_feature.add_rule(AlertRule {
+                id: format!("feature-{f}"),
+                metric: format!("feature_mean_{f}"),
+                comparator: Comparator::Lte,
+                threshold: 0.7, // fires whenever mean wanders above 0.7
+                severity: Severity::Page,
+                cooldown_ms: 0,
+            });
+        }
+        let mut sla_gated = AlertManager::new();
+        sla_gated.add_rule(accuracy_rule(0));
+
+        // Simulate 100 ticks: features wander (30% of ticks one feature
+        // crosses), accuracy stays healthy except two real incidents.
+        let mut state = 7u64;
+        let mut rand01 = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for t in 0..100u64 {
+            for f in 0..50 {
+                let v = 0.5 + 0.3 * rand01();
+                per_feature.observe(&format!("feature_mean_{f}"), v, t);
+            }
+            let acc = if t == 40 || t == 41 { 0.6 } else { 0.93 };
+            sla_gated.observe("accuracy", acc, t);
+        }
+        let noisy = per_feature.stats().pages;
+        let gated = sla_gated.stats().pages;
+        assert_eq!(gated, 2, "SLA-gated pages only on real incidents");
+        assert!(
+            noisy > 20 * gated,
+            "per-feature alerting should be far noisier: {noisy} vs {gated}"
+        );
+    }
+
+    #[test]
+    fn observe_sla_pages_on_violation() {
+        let mut m = AlertManager::new();
+        let sla = Sla::mean_at_least("recall-90", "recall", 0.9, 3);
+        assert!(m.observe_sla(&sla, &[0.95, 0.93, 0.92], 1).is_none());
+        let alert = m.observe_sla(&sla, &[0.95, 0.5, 0.5], 2).unwrap();
+        assert_eq!(alert.rule_id, "recall-90");
+        assert_eq!(m.stats().pages, 1);
+    }
+
+    #[test]
+    fn rule_from_sla() {
+        let sla = Sla::mean_at_least("recall-90", "recall", 0.9, 3);
+        let rule = AlertRule::from_sla(&sla, 500);
+        assert_eq!(rule.metric, "recall");
+        assert_eq!(rule.severity, Severity::Page);
+        assert_eq!(rule.cooldown_ms, 500);
+    }
+}

@@ -1,0 +1,261 @@
+//! Sequential change-point detection over metric streams: CUSUM and an
+//! EWMA control chart. Windowed drift tests (see [`crate::drift`]) ask
+//! "are these two samples different?"; these detectors ask the §4.1
+//! monitoring question continuously — "has this business metric's level
+//! shifted?" — with O(1) state per series.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided CUSUM detector (Page's test) on a standardized stream.
+///
+/// Accumulates deviations beyond a `slack` (k) allowance; an alarm fires
+/// when either cumulative sum exceeds `threshold` (h). Standard tuning:
+/// k = δ/2 where δ is the smallest shift (in σ units) worth catching,
+/// h ≈ 4–5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cusum {
+    mean: f64,
+    std: f64,
+    slack: f64,
+    threshold: f64,
+    pos: f64,
+    neg: f64,
+    observed: u64,
+}
+
+/// Direction of a detected shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Shift {
+    /// Level moved up.
+    Up,
+    /// Level moved down.
+    Down,
+}
+
+impl Cusum {
+    /// Detector calibrated to a reference mean and standard deviation.
+    pub fn new(mean: f64, std: f64, slack: f64, threshold: f64) -> Self {
+        assert!(std > 0.0, "reference std must be positive");
+        assert!(slack >= 0.0 && threshold > 0.0, "invalid tuning");
+        Cusum {
+            mean,
+            std,
+            slack,
+            threshold,
+            pos: 0.0,
+            neg: 0.0,
+            observed: 0,
+        }
+    }
+
+    /// Calibrate from a reference sample with k = 0.5, h = 5 defaults.
+    pub fn from_reference(reference: &[f64]) -> Self {
+        let finite: Vec<f64> = reference
+            .iter()
+            .copied()
+            .filter(|x| x.is_finite())
+            .collect();
+        assert!(finite.len() >= 2, "need at least two reference points");
+        let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+        let var = finite.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (finite.len() as f64 - 1.0);
+        Cusum::new(mean, var.sqrt().max(1e-12), 0.5, 5.0)
+    }
+
+    /// Feed one observation; `Some(shift)` when an alarm fires (state
+    /// resets so monitoring continues).
+    pub fn push(&mut self, x: f64) -> Option<Shift> {
+        if !x.is_finite() {
+            return None;
+        }
+        self.observed += 1;
+        let z = (x - self.mean) / self.std;
+        self.pos = (self.pos + z - self.slack).max(0.0);
+        self.neg = (self.neg - z - self.slack).max(0.0);
+        if self.pos > self.threshold {
+            self.reset();
+            Some(Shift::Up)
+        } else if self.neg > self.threshold {
+            self.reset();
+            Some(Shift::Down)
+        } else {
+            None
+        }
+    }
+
+    /// Clear accumulated sums (automatically done after an alarm).
+    pub fn reset(&mut self) {
+        self.pos = 0.0;
+        self.neg = 0.0;
+    }
+
+    /// Observations consumed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Current cumulative sums (positive, negative side).
+    pub fn sums(&self) -> (f64, f64) {
+        (self.pos, self.neg)
+    }
+}
+
+/// EWMA control chart: smooths the stream with factor `lambda` and alarms
+/// when the smoothed value leaves the ±L·σ_ewma control band.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EwmaChart {
+    mean: f64,
+    std: f64,
+    lambda: f64,
+    limit: f64,
+    ewma: f64,
+    observed: u64,
+}
+
+impl EwmaChart {
+    /// Chart calibrated to a reference mean/std. Typical λ = 0.2, L = 3.
+    pub fn new(mean: f64, std: f64, lambda: f64, limit: f64) -> Self {
+        assert!(std > 0.0, "reference std must be positive");
+        assert!(
+            (0.0..=1.0).contains(&lambda) && lambda > 0.0,
+            "lambda in (0,1]"
+        );
+        EwmaChart {
+            mean,
+            std,
+            lambda,
+            limit,
+            ewma: mean,
+            observed: 0,
+        }
+    }
+
+    /// Feed one observation; `Some(shift)` while out of control.
+    pub fn push(&mut self, x: f64) -> Option<Shift> {
+        if !x.is_finite() {
+            return None;
+        }
+        self.observed += 1;
+        self.ewma = self.lambda * x + (1.0 - self.lambda) * self.ewma;
+        // Steady-state EWMA standard deviation.
+        let sigma = self.std * (self.lambda / (2.0 - self.lambda)).sqrt();
+        let z = (self.ewma - self.mean) / sigma;
+        if z > self.limit {
+            Some(Shift::Up)
+        } else if z < -self.limit {
+            Some(Shift::Down)
+        } else {
+            None
+        }
+    }
+
+    /// Current smoothed level.
+    pub fn level(&self) -> f64 {
+        self.ewma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(n: usize, level: f64, seed: u64) -> Vec<f64> {
+        let mut st = seed | 1;
+        (0..n)
+            .map(|_| {
+                st ^= st >> 12;
+                st ^= st << 25;
+                st ^= st >> 27;
+                let u = (st.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
+                level + (u - 0.5) * 0.2
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cusum_quiet_on_stable_stream() {
+        let reference = noisy(200, 0.9, 1);
+        let mut c = Cusum::from_reference(&reference);
+        let mut alarms = 0;
+        for x in noisy(2000, 0.9, 99) {
+            if c.push(x).is_some() {
+                alarms += 1;
+            }
+        }
+        // With k = 0.5, h = 5 the in-control average run length is ~900
+        // observations, so a couple of alarms per 2000 points is the
+        // designed false-alarm budget.
+        assert!(alarms <= 5, "stable stream fired {alarms} alarms");
+        assert_eq!(c.observed(), 2000);
+    }
+
+    #[test]
+    fn cusum_catches_small_persistent_drop() {
+        // A 0.05 absolute drop is well under any single-point threshold
+        // but accumulates: exactly CUSUM's strength.
+        let reference = noisy(200, 0.9, 1);
+        let mut c = Cusum::from_reference(&reference);
+        let mut fired_at = None;
+        for (i, x) in noisy(500, 0.85, 7).into_iter().enumerate() {
+            if let Some(shift) = c.push(x) {
+                assert_eq!(shift, Shift::Down);
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let at = fired_at.expect("persistent drop must alarm");
+        assert!(at < 200, "alarm within a reasonable run length, got {at}");
+    }
+
+    #[test]
+    fn cusum_detects_direction() {
+        let reference = noisy(200, 0.5, 1);
+        let mut c = Cusum::from_reference(&reference);
+        let mut up = None;
+        for x in noisy(300, 0.58, 3) {
+            if let Some(s) = c.push(x) {
+                up = Some(s);
+                break;
+            }
+        }
+        assert_eq!(up, Some(Shift::Up));
+    }
+
+    #[test]
+    fn cusum_resets_after_alarm_and_ignores_nan() {
+        let mut c = Cusum::new(0.0, 1.0, 0.5, 3.0);
+        assert!(c.push(f64::NAN).is_none());
+        assert_eq!(c.observed(), 0);
+        for _ in 0..10 {
+            if c.push(2.0).is_some() {
+                break;
+            }
+        }
+        assert_eq!(c.sums(), (0.0, 0.0), "alarm resets the sums");
+    }
+
+    #[test]
+    fn ewma_tracks_and_alarms() {
+        let mut chart = EwmaChart::new(0.9, 0.06, 0.2, 3.0);
+        // Stable: no alarms.
+        for x in noisy(500, 0.9, 5) {
+            assert_eq!(chart.push(x), None);
+        }
+        // Shift down: alarms and stays out of control.
+        let mut fired = false;
+        for x in noisy(100, 0.8, 9) {
+            if chart.push(x) == Some(Shift::Down) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "EWMA must catch a 0.1 drop");
+        assert!(chart.level() < 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "std must be positive")]
+    fn zero_std_rejected() {
+        Cusum::new(0.0, 0.0, 0.5, 5.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Streaming descriptive statistics.
+//!
+//! §5.2 of the paper: "Computing simple metrics like the mean and median is
+//! a good start but can fail when skew and kurtosis changes." The monitor
+//! therefore tracks the first four central moments in one pass (updating
+//! formulas of Pébay/Welford), so skewness and kurtosis changes are visible
+//! without retaining raw data. Two accumulators can be merged, supporting
+//! the paper's batched/containerized trigger computation (§5.2).
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass accumulator of count, min, max and the first four central
+/// moments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct StreamingMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingMoments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        StreamingMoments {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Default::default()
+        }
+    }
+
+    /// Accumulate from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Add one observation. Non-finite values are ignored (they are
+    /// surfaced by data-quality triggers, not silently folded into moments).
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (Pébay's pairwise update).
+    pub fn merge(&mut self, o: &StreamingMoments) {
+        if o.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *o;
+            return;
+        }
+        let (na, nb) = (self.n as f64, o.n as f64);
+        let n = na + nb;
+        let delta = o.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta3 * delta;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + o.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + o.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * o.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + o.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * o.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * o.m3 - nb * self.m3) / n;
+        self.n += o.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+
+    /// Number of (finite) observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; NaN when empty.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance; NaN when n < 2.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Skewness (population, g1); NaN when variance is ~0 or n < 2.
+    pub fn skewness(&self) -> f64 {
+        if self.n < 2 || self.m2 <= 0.0 {
+            return f64::NAN;
+        }
+        let n = self.n as f64;
+        (n.sqrt() * self.m3) / self.m2.powf(1.5)
+    }
+
+    /// Excess kurtosis (g2 − 3); NaN when variance is ~0 or n < 2.
+    pub fn kurtosis(&self) -> f64 {
+        if self.n < 2 || self.m2 <= 0.0 {
+            return f64::NAN;
+        }
+        let n = self.n as f64;
+        n * self.m4 / (self.m2 * self.m2) - 3.0
+    }
+
+    /// Minimum observation; NaN when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation; NaN when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn basic_moments() {
+        let s = StreamingMoments::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        close(s.mean(), 5.0, 1e-12);
+        close(s.variance(), 4.0, 1e-12);
+        close(s.std_dev(), 2.0, 1e-12);
+        close(s.min(), 2.0, 0.0);
+        close(s.max(), 9.0, 0.0);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        let s = StreamingMoments::new();
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+        assert!(s.skewness().is_nan());
+        assert!(s.kurtosis().is_nan());
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // Right-skewed data → positive skewness.
+        let right = StreamingMoments::from_slice(&[1.0, 1.0, 1.0, 2.0, 2.0, 10.0]);
+        assert!(right.skewness() > 0.5);
+        // Symmetric data → ~0 skewness.
+        let sym = StreamingMoments::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        close(sym.skewness(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn kurtosis_of_uniformish_is_negative() {
+        // Uniform distribution has excess kurtosis −1.2.
+        let xs: Vec<f64> = (0..10_000).map(|i| i as f64 / 10_000.0).collect();
+        let s = StreamingMoments::from_slice(&xs);
+        close(s.kurtosis(), -1.2, 0.01);
+    }
+
+    #[test]
+    fn constant_data_has_nan_shape_stats() {
+        let s = StreamingMoments::from_slice(&[3.0; 10]);
+        close(s.variance(), 0.0, 1e-15);
+        assert!(s.skewness().is_nan());
+        assert!(s.kurtosis().is_nan());
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut s = StreamingMoments::new();
+        s.push(1.0);
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(3.0);
+        assert_eq!(s.count(), 2);
+        close(s.mean(), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 * 0.31).collect();
+        let whole = StreamingMoments::from_slice(&xs);
+        let mut a = StreamingMoments::from_slice(&xs[..137]);
+        let b = StreamingMoments::from_slice(&xs[137..]);
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        close(a.mean(), whole.mean(), 1e-9);
+        close(a.variance(), whole.variance(), 1e-9);
+        close(a.skewness(), whole.skewness(), 1e-9);
+        close(a.kurtosis(), whole.kurtosis(), 1e-9);
+        close(a.min(), whole.min(), 0.0);
+        close(a.max(), whole.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = [1.0, 2.0, 3.0];
+        let mut a = StreamingMoments::from_slice(&xs);
+        a.merge(&StreamingMoments::new());
+        close(a.mean(), 2.0, 1e-12);
+        let mut e = StreamingMoments::new();
+        e.merge(&a);
+        close(e.mean(), 2.0, 1e-12);
+        assert_eq!(e.count(), 3);
+    }
+
+    #[test]
+    fn sample_variance_bessel() {
+        let s = StreamingMoments::from_slice(&[1.0, 2.0, 3.0]);
+        close(s.sample_variance(), 1.0, 1e-12);
+        let one = StreamingMoments::from_slice(&[5.0]);
+        assert!(one.sample_variance().is_nan());
+    }
+}

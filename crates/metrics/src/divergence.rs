@@ -1,0 +1,172 @@
+//! Distribution-divergence measures used by the drift monitors: KL
+//! divergence (the paper's Example 4.2 monitors "the KL divergence between
+//! train and inference states"), Jensen–Shannon, Population Stability
+//! Index, and total variation distance.
+
+use crate::histogram::Histogram;
+
+fn check_dists(p: &[f64], q: &[f64]) {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    assert!(!p.is_empty(), "distributions must be non-empty");
+}
+
+/// Kullback–Leibler divergence D(p ‖ q) in nats. Bins where `p` is zero
+/// contribute nothing; bins where `q` is zero but `p` is not yield
+/// `f64::INFINITY` (callers typically smooth first, see
+/// [`Histogram::probabilities`]).
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    check_dists(p, q);
+    let mut sum = 0.0;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return f64::INFINITY;
+        }
+        sum += pi * (pi / qi).ln();
+    }
+    sum.max(0.0)
+}
+
+/// Jensen–Shannon divergence (symmetric, bounded by ln 2).
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    check_dists(p, q);
+    let m: Vec<f64> = p
+        .iter()
+        .zip(q.iter())
+        .map(|(&a, &b)| 0.5 * (a + b))
+        .collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// Population Stability Index with the industry-standard smoothing of
+/// zero bins to `eps`. PSI < 0.1 is conventionally "no shift", 0.1–0.25
+/// "moderate", > 0.25 "major".
+pub fn psi(expected: &[f64], actual: &[f64], eps: f64) -> f64 {
+    check_dists(expected, actual);
+    let mut sum = 0.0;
+    for (&e, &a) in expected.iter().zip(actual.iter()) {
+        let e = e.max(eps);
+        let a = a.max(eps);
+        sum += (a - e) * (a / e).ln();
+    }
+    sum.max(0.0)
+}
+
+/// Total variation distance: half the L1 distance, in [0, 1].
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    check_dists(p, q);
+    0.5 * p
+        .iter()
+        .zip(q.iter())
+        .map(|(&a, &b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+/// KL divergence between two comparable histograms with Laplace smoothing
+/// `alpha` (the form logged by monitoring triggers).
+pub fn histogram_kl(p: &Histogram, q: &Histogram, alpha: f64) -> f64 {
+    assert!(p.comparable(q), "histograms are not comparable");
+    kl_divergence(&p.probabilities(alpha), &q.probabilities(alpha))
+}
+
+/// PSI between two comparable histograms.
+pub fn histogram_psi(expected: &Histogram, actual: &Histogram) -> f64 {
+    assert!(expected.comparable(actual), "histograms are not comparable");
+    psi(
+        &expected.probabilities(0.0),
+        &actual.probabilities(0.0),
+        1e-4,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.25, 0.25, 0.5];
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // D([1,0] || [0.5,0.5]) = ln 2
+        close(
+            kl_divergence(&[1.0, 0.0], &[0.5, 0.5]),
+            std::f64::consts::LN_2,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn kl_infinite_on_unsupported_mass() {
+        assert!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).is_infinite());
+    }
+
+    #[test]
+    fn kl_asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        assert!((kl_divergence(&p, &q) - kl_divergence(&q, &p)).abs() > 1e-3);
+    }
+
+    #[test]
+    fn js_symmetric_and_bounded() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        let d = js_divergence(&p, &q);
+        close(d, std::f64::consts::LN_2, 1e-12); // maximal
+        close(js_divergence(&p, &q), js_divergence(&q, &p), 1e-15);
+        assert_eq!(js_divergence(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn psi_bands() {
+        let expected = [0.25, 0.25, 0.25, 0.25];
+        // No shift.
+        close(psi(&expected, &expected, 1e-4), 0.0, 1e-12);
+        // Mild shift stays under 0.1.
+        let mild = [0.28, 0.24, 0.24, 0.24];
+        assert!(psi(&expected, &mild, 1e-4) < 0.1);
+        // Major shift exceeds 0.25.
+        let major = [0.7, 0.1, 0.1, 0.1];
+        assert!(psi(&expected, &major, 1e-4) > 0.25);
+    }
+
+    #[test]
+    fn total_variation_properties() {
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        close(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0, 1e-15);
+        close(total_variation(&[0.6, 0.4], &[0.4, 0.6]), 0.2, 1e-12);
+    }
+
+    #[test]
+    fn histogram_divergences() {
+        let base: Vec<f64> = (0..1000).map(|i| (i % 100) as f64).collect();
+        let shifted: Vec<f64> = base.iter().map(|x| x + 50.0).collect();
+        let hp = Histogram::new(0.0, 150.0, 15);
+        let mut p = hp.clone();
+        p.extend(&base);
+        let mut q = Histogram::like(&hp);
+        q.extend(&shifted);
+        let same_kl = histogram_kl(&p, &p, 0.5);
+        let diff_kl = histogram_kl(&p, &q, 0.5);
+        assert!(same_kl < 1e-12);
+        assert!(diff_kl > 0.5, "shifted data should diverge, got {diff_kl}");
+        assert!(histogram_psi(&p, &q) > 0.25);
+        assert!(histogram_psi(&p, &p) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal support")]
+    fn mismatched_lengths_panic() {
+        kl_divergence(&[1.0], &[0.5, 0.5]);
+    }
+}

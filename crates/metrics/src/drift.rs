@@ -1,0 +1,310 @@
+//! Drift detection: compare a live window of a feature (or prediction)
+//! against a reference snapshot taken at training time.
+//!
+//! §5.2 of the paper frames the design space this module exposes: simple
+//! statistics (mean/median) are cheap but "can fail when skew and kurtosis
+//! changes", while the KS statistic is sensitive but "can be expensive and
+//! produce too many false positive alerts". [`DriftDetector`] runs any
+//! subset of methods over the same reference so the trade-off is
+//! measurable (experiment E7).
+
+use crate::desc::StreamingMoments;
+use crate::divergence::{histogram_kl, histogram_psi};
+use crate::histogram::Histogram;
+use crate::quantile::exact_median;
+use crate::stattests::{ks_two_sample, welch_t_test};
+use serde::{Deserialize, Serialize};
+
+/// The drift-detection methods available to monitoring triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriftMethod {
+    /// Welch t-test on means; cheap, blind to shape-only drift.
+    MeanShift,
+    /// Relative shift of the median beyond a fraction threshold.
+    MedianShift,
+    /// Two-sample Kolmogorov–Smirnov test; sensitive, O(n log n).
+    Ks,
+    /// Population Stability Index over the reference histogram bins.
+    Psi,
+    /// Smoothed KL divergence over the reference histogram bins.
+    Kl,
+}
+
+impl DriftMethod {
+    /// All methods, in increasing order of cost.
+    pub const ALL: [DriftMethod; 5] = [
+        DriftMethod::MeanShift,
+        DriftMethod::MedianShift,
+        DriftMethod::Psi,
+        DriftMethod::Kl,
+        DriftMethod::Ks,
+    ];
+
+    /// Short name used in metric series (`drift_ks:fare`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DriftMethod::MeanShift => "mean_shift",
+            DriftMethod::MedianShift => "median_shift",
+            DriftMethod::Ks => "ks",
+            DriftMethod::Psi => "psi",
+            DriftMethod::Kl => "kl",
+        }
+    }
+}
+
+/// Decision thresholds. Defaults follow common practice: α = 0.01 for
+/// tests, PSI 0.25 ("major shift"), KL 0.1, 25% median movement.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Significance level for KS and mean-shift tests.
+    pub alpha: f64,
+    /// PSI above this is drift.
+    pub psi_threshold: f64,
+    /// Smoothed KL above this is drift.
+    pub kl_threshold: f64,
+    /// |median_now − median_ref| / max(|median_ref|, std_ref) above this
+    /// is drift.
+    pub median_rel_threshold: f64,
+    /// Histogram bins for PSI/KL.
+    pub bins: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            alpha: 0.01,
+            psi_threshold: 0.25,
+            kl_threshold: 0.1,
+            median_rel_threshold: 0.25,
+            bins: 20,
+        }
+    }
+}
+
+/// Verdict of one method on one window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftFinding {
+    /// The method that produced this finding.
+    pub method: DriftMethod,
+    /// Method-specific score (D, PSI, KL, |t|, or relative median shift).
+    pub score: f64,
+    /// p-value where the method has one.
+    pub p_value: Option<f64>,
+    /// Whether the configured threshold was crossed.
+    pub drifted: bool,
+}
+
+/// Reference snapshot of a single numeric feature, captured at training
+/// time, against which live windows are compared.
+///
+/// ```
+/// use mltrace_metrics::{DriftConfig, DriftDetector, DriftMethod};
+///
+/// let reference: Vec<f64> = (0..1000).map(|i| (i % 100) as f64).collect();
+/// let detector = DriftDetector::fit(&reference, DriftConfig::default());
+/// let shifted: Vec<f64> = reference.iter().map(|x| x + 50.0).collect();
+/// assert!(detector.check(DriftMethod::Ks, &shifted).drifted);
+/// assert!(!detector.check(DriftMethod::Ks, &reference).drifted);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftDetector {
+    sample: Vec<f64>,
+    moments: StreamingMoments,
+    histogram: Histogram,
+    median: f64,
+    config: DriftConfig,
+}
+
+impl DriftDetector {
+    /// Snapshot `reference` (e.g. a training feature column).
+    pub fn fit(reference: &[f64], config: DriftConfig) -> Self {
+        let sample: Vec<f64> = reference
+            .iter()
+            .copied()
+            .filter(|x| x.is_finite())
+            .collect();
+        assert!(!sample.is_empty(), "reference sample must be non-empty");
+        let moments = StreamingMoments::from_slice(&sample);
+        let histogram = Histogram::from_samples(&sample, config.bins);
+        let median = exact_median(&sample);
+        DriftDetector {
+            sample,
+            moments,
+            histogram,
+            median,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Reference summary statistics.
+    pub fn reference_moments(&self) -> &StreamingMoments {
+        &self.moments
+    }
+
+    /// Evaluate one method over a live window.
+    pub fn check(&self, method: DriftMethod, window: &[f64]) -> DriftFinding {
+        match method {
+            DriftMethod::MeanShift => {
+                let r = welch_t_test(&self.sample, window);
+                DriftFinding {
+                    method,
+                    score: r.statistic.abs(),
+                    p_value: Some(r.p_value),
+                    drifted: !r.p_value.is_nan() && r.p_value < self.config.alpha,
+                }
+            }
+            DriftMethod::MedianShift => {
+                let now = exact_median(window);
+                // Scale-aware denominator: a purely relative threshold
+                // explodes when the reference median is near zero.
+                let denom = self.median.abs().max(self.moments.std_dev()).max(1e-9);
+                let rel = (now - self.median).abs() / denom;
+                DriftFinding {
+                    method,
+                    score: rel,
+                    p_value: None,
+                    drifted: rel.is_finite() && rel > self.config.median_rel_threshold,
+                }
+            }
+            DriftMethod::Ks => {
+                let r = ks_two_sample(&self.sample, window);
+                DriftFinding {
+                    method,
+                    score: r.statistic,
+                    p_value: Some(r.p_value),
+                    drifted: !r.p_value.is_nan() && r.p_value < self.config.alpha,
+                }
+            }
+            DriftMethod::Psi => {
+                let mut h = Histogram::like(&self.histogram);
+                h.extend(window);
+                let score = histogram_psi(&self.histogram, &h);
+                DriftFinding {
+                    method,
+                    score,
+                    p_value: None,
+                    drifted: score > self.config.psi_threshold,
+                }
+            }
+            DriftMethod::Kl => {
+                let mut h = Histogram::like(&self.histogram);
+                h.extend(window);
+                let score = histogram_kl(&self.histogram, &h, 0.5);
+                DriftFinding {
+                    method,
+                    score,
+                    p_value: None,
+                    drifted: score > self.config.kl_threshold,
+                }
+            }
+        }
+    }
+
+    /// Evaluate every method in [`DriftMethod::ALL`].
+    pub fn check_all(&self, window: &[f64]) -> Vec<DriftFinding> {
+        DriftMethod::ALL
+            .iter()
+            .map(|&m| self.check(m, window))
+            .collect()
+    }
+
+    /// True if any of the given methods reports drift.
+    pub fn any_drift(&self, methods: &[DriftMethod], window: &[f64]) -> bool {
+        methods.iter().any(|&m| self.check(m, window).drifted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_drift_on_same_distribution() {
+        let det = DriftDetector::fit(&uniform(5000, 1), DriftConfig::default());
+        let window = uniform(5000, 999);
+        for f in det.check_all(&window) {
+            assert!(!f.drifted, "{:?} false positive: {:?}", f.method, f);
+        }
+    }
+
+    #[test]
+    fn all_methods_catch_location_shift() {
+        let det = DriftDetector::fit(&uniform(5000, 1), DriftConfig::default());
+        let window: Vec<f64> = uniform(5000, 999).iter().map(|x| x + 0.5).collect();
+        for f in det.check_all(&window) {
+            assert!(f.drifted, "{:?} missed a 0.5 location shift", f.method);
+        }
+    }
+
+    #[test]
+    fn variance_change_caught_by_ks_missed_by_mean() {
+        // The paper's §5.2 point: shape-only drift defeats simple stats.
+        let det = DriftDetector::fit(&uniform(5000, 1), DriftConfig::default());
+        let window: Vec<f64> = uniform(5000, 999)
+            .iter()
+            .map(|x| 0.5 + (x - 0.5) * 0.25)
+            .collect();
+        let mean = det.check(DriftMethod::MeanShift, &window);
+        let median = det.check(DriftMethod::MedianShift, &window);
+        let ks = det.check(DriftMethod::Ks, &window);
+        let psi = det.check(DriftMethod::Psi, &window);
+        assert!(!mean.drifted, "mean test should be blind to variance drift");
+        assert!(
+            !median.drifted,
+            "median should be blind to symmetric squeeze"
+        );
+        assert!(ks.drifted, "KS should catch variance drift");
+        assert!(psi.drifted, "PSI should catch variance drift");
+    }
+
+    #[test]
+    fn scores_scale_with_shift_size() {
+        let det = DriftDetector::fit(&uniform(3000, 1), DriftConfig::default());
+        let small: Vec<f64> = uniform(3000, 42).iter().map(|x| x + 0.05).collect();
+        let large: Vec<f64> = uniform(3000, 42).iter().map(|x| x + 0.4).collect();
+        for m in [DriftMethod::Ks, DriftMethod::Psi, DriftMethod::Kl] {
+            let s = det.check(m, &small).score;
+            let l = det.check(m, &large).score;
+            assert!(l > s, "{m:?}: score should grow with shift ({s} vs {l})");
+        }
+    }
+
+    #[test]
+    fn any_drift_composition() {
+        let det = DriftDetector::fit(&uniform(2000, 1), DriftConfig::default());
+        let shifted: Vec<f64> = uniform(2000, 5).iter().map(|x| x + 1.0).collect();
+        assert!(det.any_drift(&[DriftMethod::Ks], &shifted));
+        assert!(!det.any_drift(&[DriftMethod::Ks], &uniform(2000, 77)));
+    }
+
+    #[test]
+    fn method_names_unique() {
+        let mut names: Vec<&str> = DriftMethod::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DriftMethod::ALL.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_reference_rejected() {
+        DriftDetector::fit(&[], DriftConfig::default());
+    }
+}

@@ -1,0 +1,236 @@
+//! Equal-width histograms: the compact distributional snapshot logged per
+//! component run ("intermediate aggregations ... in ComponentRun logs",
+//! §4.1) and the common input to the divergence measures (KL, JS, PSI).
+
+use serde::{Deserialize, Serialize};
+
+/// Equal-width histogram over a closed range. Out-of-range observations go
+/// to the edge bins, so two histograms with the same configuration are
+/// always comparable bin-by-bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi]` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins >= 1, "need at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Build from a sample, taking the range from the sample itself
+    /// (degenerate samples get a unit-width range).
+    pub fn from_samples(xs: &[f64], bins: usize) -> Self {
+        let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        let (lo, hi) = if finite.is_empty() {
+            (0.0, 1.0)
+        } else {
+            let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if lo == hi {
+                (lo - 0.5, hi + 0.5)
+            } else {
+                (lo, hi)
+            }
+        };
+        let mut h = Histogram::new(lo, hi, bins);
+        for &x in &finite {
+            h.push(x);
+        }
+        h
+    }
+
+    /// Build with the same range/bin configuration as `reference` — the
+    /// shape needed when comparing a current window to a training-time
+    /// snapshot.
+    pub fn like(reference: &Histogram) -> Self {
+        Histogram::new(reference.lo, reference.hi, reference.counts.len())
+    }
+
+    /// Add one observation (non-finite ignored; out-of-range clamps to the
+    /// edge bins).
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let bins = self.counts.len();
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            ((frac * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Extend from a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Range covered.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Bin probabilities with additive (Laplace) smoothing `alpha`.
+    /// Smoothing keeps divergences finite when a bin is empty on one side —
+    /// the standard guard for KL on empirical histograms.
+    pub fn probabilities(&self, alpha: f64) -> Vec<f64> {
+        assert!(alpha >= 0.0);
+        let k = self.counts.len() as f64;
+        let denom = self.total as f64 + alpha * k;
+        if denom == 0.0 {
+            return vec![1.0 / k; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| (c as f64 + alpha) / denom)
+            .collect()
+    }
+
+    /// True when both histograms share range and bin count and are
+    /// therefore comparable bin-by-bin.
+    pub fn comparable(&self, other: &Histogram) -> bool {
+        self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len()
+    }
+
+    /// Merge a comparable histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(self.comparable(other), "histograms are not comparable");
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 2.5, 4.5, 6.5, 8.5] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[1, 1, 1, 1, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-5.0);
+        h.push(99.0);
+        h.push(1.0); // upper edge → last bin
+        h.push(0.0); // lower edge → first bin
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[3], 2);
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(f64::NAN);
+        h.push(f64::NEG_INFINITY);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn from_samples_covers_data() {
+        let xs = [3.0, 7.0, 5.0, 9.0, 1.0];
+        let h = Histogram::from_samples(&xs, 4);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.range(), (1.0, 9.0));
+    }
+
+    #[test]
+    fn from_samples_degenerate() {
+        let h = Histogram::from_samples(&[4.0, 4.0], 3);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.range(), (3.5, 4.5));
+        let empty = Histogram::from_samples(&[], 3);
+        assert_eq!(empty.total(), 0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..100 {
+            h.push(i as f64 / 100.0);
+        }
+        for alpha in [0.0, 0.5, 1.0] {
+            let p = h.probabilities(alpha);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_probabilities_uniform() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        let p = h.probabilities(0.0);
+        assert_eq!(p, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn smoothing_removes_zeros() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(0.1);
+        let p0 = h.probabilities(0.0);
+        assert!(p0[3] == 0.0);
+        let p1 = h.probabilities(0.5);
+        assert!(p1.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn like_and_merge() {
+        let a = Histogram::from_samples(&[1.0, 2.0, 3.0], 3);
+        let mut b = Histogram::like(&a);
+        assert!(a.comparable(&b));
+        b.extend(&[1.0, 3.0]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not comparable")]
+    fn merge_incomparable_panics() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let b = Histogram::new(0.0, 2.0, 2);
+        a.merge(&b);
+    }
+}

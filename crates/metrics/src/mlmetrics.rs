@@ -1,0 +1,339 @@
+//! ML performance metrics — the business-critical quantities the paper's
+//! SLAs are written against (§4.1: "an example ML SLA could be 90% recall
+//! for a pipeline that predicts taxi riders who will tip their drivers").
+//!
+//! Classification metrics accumulate into a [`ConfusionMatrix`]; threshold
+//! -free quality uses [`roc_auc`]; probabilistic quality uses [`log_loss`]
+//! and [`brier_score`]; regression uses the error helpers at the bottom.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion matrix accumulated from (prediction, label) pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Predicted positive, actually positive.
+    pub tp: u64,
+    /// Predicted positive, actually negative.
+    pub fp: u64,
+    /// Predicted negative, actually negative.
+    pub tn: u64,
+    /// Predicted negative, actually positive.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from parallel prediction/label slices.
+    pub fn from_pairs(predictions: &[bool], labels: &[bool]) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        let mut m = Self::new();
+        for (&p, &l) in predictions.iter().zip(labels.iter()) {
+            m.record(p, l);
+        }
+        m
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Merge counts from another matrix.
+    pub fn merge(&mut self, o: &ConfusionMatrix) {
+        self.tp += o.tp;
+        self.fp += o.fp;
+        self.tn += o.tn;
+        self.fn_ += o.fn_;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// (tp + tn) / total; NaN when empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// tp / (tp + fp); NaN when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// tp / (tp + fn); NaN when no positive labels.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall; NaN when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p.is_nan() || r.is_nan() || p + r == 0.0 {
+            f64::NAN
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// False positive rate: fp / (fp + tn).
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// Matthews correlation coefficient, robust under class imbalance.
+    pub fn mcc(&self) -> f64 {
+        let (tp, fp, tn, fn_) = (
+            self.tp as f64,
+            self.fp as f64,
+            self.tn as f64,
+            self.fn_ as f64,
+        );
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            f64::NAN
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        f64::NAN
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation,
+/// with midrank handling of score ties. NaN when either class is absent.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n = scores.len();
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = n - pos;
+    if pos == 0 || neg == 0 {
+        return f64::NAN;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    // Assign midranks.
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            if labels[k] {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let pos_f = pos as f64;
+    let neg_f = neg as f64;
+    (rank_sum_pos - pos_f * (pos_f + 1.0) / 2.0) / (pos_f * neg_f)
+}
+
+/// Binary cross-entropy with probability clamping; NaN when empty.
+pub fn log_loss(probabilities: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(probabilities.len(), labels.len(), "length mismatch");
+    if probabilities.is_empty() {
+        return f64::NAN;
+    }
+    let eps = 1e-15;
+    let mut sum = 0.0;
+    for (&p, &l) in probabilities.iter().zip(labels.iter()) {
+        let p = p.clamp(eps, 1.0 - eps);
+        sum -= if l { p.ln() } else { (1.0 - p).ln() };
+    }
+    sum / probabilities.len() as f64
+}
+
+/// Brier score: mean squared error of probabilities; NaN when empty.
+pub fn brier_score(probabilities: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(probabilities.len(), labels.len(), "length mismatch");
+    if probabilities.is_empty() {
+        return f64::NAN;
+    }
+    probabilities
+        .iter()
+        .zip(labels.iter())
+        .map(|(&p, &l)| {
+            let y = if l { 1.0 } else { 0.0 };
+            (p - y) * (p - y)
+        })
+        .sum::<f64>()
+        / probabilities.len() as f64
+}
+
+/// Mean squared error; NaN when empty.
+pub fn mse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return f64::NAN;
+    }
+    predictions
+        .iter()
+        .zip(targets.iter())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
+    mse(predictions, targets).sqrt()
+}
+
+/// Mean absolute error; NaN when empty.
+pub fn mae(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return f64::NAN;
+    }
+    predictions
+        .iter()
+        .zip(targets.iter())
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Coefficient of determination R²; NaN when targets are constant/empty.
+pub fn r2(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if targets.is_empty() {
+        return f64::NAN;
+    }
+    let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+    let ss_tot: f64 = targets.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        return f64::NAN;
+    }
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets.iter())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn confusion_matrix_basics() {
+        let preds = [true, true, false, false, true];
+        let labels = [true, false, false, true, true];
+        let m = ConfusionMatrix::from_pairs(&preds, &labels);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (2, 1, 1, 1));
+        close(m.accuracy(), 0.6, 1e-12);
+        close(m.precision(), 2.0 / 3.0, 1e-12);
+        close(m.recall(), 2.0 / 3.0, 1e-12);
+        close(m.f1(), 2.0 / 3.0, 1e-12);
+        close(m.false_positive_rate(), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_nan() {
+        let m = ConfusionMatrix::new();
+        assert!(m.accuracy().is_nan());
+        assert!(m.precision().is_nan());
+        assert!(m.recall().is_nan());
+        assert!(m.f1().is_nan());
+        assert!(m.mcc().is_nan());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::from_pairs(&[true], &[true]);
+        let b = ConfusionMatrix::from_pairs(&[false], &[true]);
+        a.merge(&b);
+        assert_eq!(a.tp, 1);
+        assert_eq!(a.fn_, 1);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn mcc_perfect_and_inverse() {
+        let perfect = ConfusionMatrix::from_pairs(&[true, false], &[true, false]);
+        close(perfect.mcc(), 1.0, 1e-12);
+        let inverse = ConfusionMatrix::from_pairs(&[true, false], &[false, true]);
+        close(inverse.mcc(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_random_inverted() {
+        let labels = [false, false, true, true];
+        close(roc_auc(&[0.1, 0.2, 0.8, 0.9], &labels), 1.0, 1e-12);
+        close(roc_auc(&[0.9, 0.8, 0.2, 0.1], &labels), 0.0, 1e-12);
+        // All-tied scores → 0.5 by midrank.
+        close(roc_auc(&[0.5, 0.5, 0.5, 0.5], &labels), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn auc_with_ties_partial() {
+        let scores = [0.2, 0.5, 0.5, 0.9];
+        let labels = [false, false, true, true];
+        // Pairs: (0.5 vs 0.2)=1, (0.5 vs 0.5)=0.5, (0.9 vs 0.2)=1, (0.9 vs 0.5)=1
+        close(roc_auc(&scores, &labels), 3.5 / 4.0, 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_nan() {
+        assert!(roc_auc(&[0.1, 0.9], &[true, true]).is_nan());
+    }
+
+    #[test]
+    fn log_loss_behaviour() {
+        // Confident-correct ≈ 0; confident-wrong large; 0.5 → ln 2.
+        close(log_loss(&[0.5], &[true]), std::f64::consts::LN_2, 1e-12);
+        assert!(log_loss(&[0.99], &[true]) < 0.02);
+        assert!(log_loss(&[0.01], &[true]) > 4.0);
+        // Clamping keeps 0/1 probabilities finite.
+        assert!(log_loss(&[0.0], &[true]).is_finite());
+        assert!(log_loss(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn brier_score_behaviour() {
+        close(brier_score(&[1.0, 0.0], &[true, false]), 0.0, 1e-15);
+        close(brier_score(&[0.0, 1.0], &[true, false]), 1.0, 1e-15);
+        close(brier_score(&[0.5], &[true]), 0.25, 1e-15);
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [1.0, 2.0, 5.0];
+        close(mse(&p, &t), 4.0 / 3.0, 1e-12);
+        close(rmse(&p, &t), (4.0f64 / 3.0).sqrt(), 1e-12);
+        close(mae(&p, &t), 2.0 / 3.0, 1e-12);
+        // Perfect prediction → R² = 1.
+        close(r2(&t, &t), 1.0, 1e-12);
+        // Mean prediction → R² = 0.
+        let mean = [8.0 / 3.0; 3];
+        close(r2(&mean, &t), 0.0, 1e-12);
+        assert!(r2(&[1.0], &[1.0]).is_nan(), "constant targets");
+    }
+}

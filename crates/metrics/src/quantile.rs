@@ -1,0 +1,243 @@
+//! Quantile estimation: exact (sorting) and streaming (the P² algorithm of
+//! Jain & Chlamtac), used to monitor medians and tail latencies without
+//! materializing historical I/O values (§5.2 "large, stateful aggregations
+//! of data ... can be inefficient").
+
+use serde::{Deserialize, Serialize};
+
+/// Exact quantile of a sample by sorting (linear interpolation between
+/// order statistics). `q` in [0, 1]. Returns NaN on an empty slice.
+pub fn exact_quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Exact median.
+pub fn exact_median(xs: &[f64]) -> f64 {
+    exact_quantile(xs, 0.5)
+}
+
+/// Streaming quantile estimator (P² algorithm): O(1) memory, O(1) update.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    /// Observations seen so far (first 5 buffered in `heights`).
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q` in (0, 1).
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "P² quantile must be in (0,1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Streaming median estimator.
+    pub fn median() -> Self {
+        Self::new(0.5)
+    }
+
+    /// Add one observation (non-finite values ignored).
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.total_cmp(b));
+            }
+            return;
+        }
+        // Find cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments.iter()) {
+            *d += inc;
+        }
+        // Adjust interior markers via parabolic (fallback linear) formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < qp && qp < self.heights[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += d;
+            }
+        }
+        self.count += 1;
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate; exact for < 5 observations, NaN when empty.
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if self.count < 5 {
+            let mut v = self.heights[..self.count].to_vec();
+            v.sort_by(|a, b| a.total_cmp(b));
+            return exact_quantile(&v, self.q);
+        }
+        self.heights[2]
+    }
+
+    /// Observations consumed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn exact_quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(exact_quantile(&xs, 0.0), 1.0);
+        assert_eq!(exact_quantile(&xs, 1.0), 5.0);
+        assert_eq!(exact_median(&xs), 3.0);
+        assert_eq!(exact_quantile(&xs, 0.25), 2.0);
+        // Interpolation.
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        close(exact_median(&ys), 2.5, 1e-12);
+    }
+
+    #[test]
+    fn exact_quantile_edge_cases() {
+        assert!(exact_median(&[]).is_nan());
+        assert!(exact_median(&[f64::NAN]).is_nan());
+        assert_eq!(exact_median(&[7.0]), 7.0);
+        // Unsorted input handled.
+        assert_eq!(exact_median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn p2_small_samples_exact() {
+        let mut p = P2Quantile::median();
+        assert!(p.value().is_nan());
+        p.push(10.0);
+        assert_eq!(p.value(), 10.0);
+        p.push(20.0);
+        close(p.value(), 15.0, 1e-12);
+        p.push(0.0);
+        assert_eq!(p.value(), 10.0);
+    }
+
+    #[test]
+    fn p2_median_converges_on_uniform() {
+        let mut p = P2Quantile::median();
+        // Deterministic low-discrepancy-ish stream on [0, 100).
+        for i in 0..100_000u64 {
+            p.push(((i.wrapping_mul(2654435761)) % 100_000) as f64 / 1000.0);
+        }
+        close(p.value(), 50.0, 1.0);
+    }
+
+    #[test]
+    fn p2_p95_converges() {
+        let mut p = P2Quantile::new(0.95);
+        for i in 0..100_000u64 {
+            p.push(((i.wrapping_mul(2654435761)) % 100_000) as f64 / 1000.0);
+        }
+        close(p.value(), 95.0, 1.5);
+        assert_eq!(p.count(), 100_000);
+    }
+
+    #[test]
+    fn p2_handles_skewed_stream() {
+        // Exponential-ish: quantile estimate should be near exact one.
+        let xs: Vec<f64> = (1..50_000u64)
+            .map(|i| {
+                let u = ((i.wrapping_mul(2654435761)) % 1_000_000) as f64 / 1_000_000.0;
+                -(1.0 - u).ln()
+            })
+            .collect();
+        let mut p = P2Quantile::new(0.9);
+        for &x in &xs {
+            p.push(x);
+        }
+        let exact = exact_quantile(&xs, 0.9);
+        close(p.value(), exact, 0.08);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn p2_rejects_extremes() {
+        P2Quantile::new(1.0);
+    }
+}

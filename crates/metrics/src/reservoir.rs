@@ -1,0 +1,132 @@
+//! Reservoir sampling (Vitter's Algorithm R): the bounded-memory sample of
+//! recent component inputs/outputs that triggers compare against training
+//! snapshots. Keeps drift checks O(k) in space no matter how many
+//! predictions flow through the pipeline (§3.4's Ω(1M) daily events).
+
+use rand::Rng;
+
+/// Uniform reservoir sample of fixed capacity over an unbounded stream.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    items: Vec<T>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl<T> Reservoir<T> {
+    /// Reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Reservoir {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// Offer one item, replacing a random resident with probability k/n.
+    pub fn push<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Current sample.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Total items offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number currently held (min(capacity, seen)).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no items were offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drop the sample but keep the capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_to_capacity_then_stays() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = Reservoir::new(10);
+        for i in 0..100 {
+            r.push(i, &mut rng);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 100);
+    }
+
+    #[test]
+    fn short_stream_kept_entirely() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = Reservoir::new(10);
+        for i in 0..5 {
+            r.push(i, &mut rng);
+        }
+        assert_eq!(r.items(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // Each of 1000 items should appear with probability ~k/n = 0.05;
+        // count how often item 0 (the earliest, most at-risk) survives.
+        let mut survivals = 0;
+        for seed in 0..2000u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = Reservoir::new(50);
+            for i in 0..1000 {
+                r.push(i, &mut rng);
+            }
+            if r.items().contains(&0) {
+                survivals += 1;
+            }
+        }
+        let rate = survivals as f64 / 2000.0;
+        assert!(
+            (rate - 0.05).abs() < 0.015,
+            "early-item survival rate {rate} should be ~0.05"
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = Reservoir::new(4);
+        r.push(1, &mut rng);
+        assert!(!r.is_empty());
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.seen(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Reservoir::<i32>::new(0);
+    }
+}

@@ -1,0 +1,235 @@
+//! ML Service Level Agreements (§4.1): contractual targets on
+//! business-critical metrics, e.g. "90% recall for a pipeline that
+//! predicts taxi riders who will tip their drivers".
+//!
+//! An [`Sla`] binds a metric name to an aggregation over a trailing
+//! window and a comparator against a threshold; [`Sla::evaluate`] turns a
+//! series of observations into a pass/violate verdict. The paper's alert
+//! philosophy — gate alerts on SLAs, not on per-feature distribution
+//! twitches — is built on these evaluations (see [`crate::alert`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of an SLA comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Comparator {
+    /// Metric must stay at or above the threshold (e.g. recall ≥ 0.9).
+    Gte,
+    /// Metric must stay at or below the threshold (e.g. p95 latency ≤ 200).
+    Lte,
+}
+
+impl Comparator {
+    /// Apply the comparison.
+    pub fn holds(self, observed: f64, threshold: f64) -> bool {
+        match self {
+            Comparator::Gte => observed >= threshold,
+            Comparator::Lte => observed <= threshold,
+        }
+    }
+
+    /// Symbol for rendering (`>=` / `<=`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Comparator::Gte => ">=",
+            Comparator::Lte => "<=",
+        }
+    }
+}
+
+/// How the trailing window of observations is reduced to one number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Arithmetic mean of the window.
+    Mean,
+    /// Minimum of the window.
+    Min,
+    /// Maximum of the window.
+    Max,
+    /// Most recent observation.
+    Last,
+}
+
+impl Aggregation {
+    /// Reduce a non-empty window.
+    pub fn apply(self, window: &[f64]) -> f64 {
+        debug_assert!(!window.is_empty());
+        match self {
+            Aggregation::Mean => window.iter().sum::<f64>() / window.len() as f64,
+            Aggregation::Min => window.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregation::Max => window.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Last => *window.last().expect("non-empty window"),
+        }
+    }
+}
+
+/// A service-level agreement on one metric series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sla {
+    /// Human-readable identifier, e.g. `tip-recall-90`.
+    pub name: String,
+    /// Metric series the SLA is written against, e.g. `recall`.
+    pub metric: String,
+    /// Window reduction.
+    pub aggregation: Aggregation,
+    /// Direction of the requirement.
+    pub comparator: Comparator,
+    /// The contractual threshold.
+    pub threshold: f64,
+    /// Number of trailing observations evaluated (0 = all available).
+    pub window: usize,
+    /// Minimum observations before the SLA is evaluable at all.
+    pub min_points: usize,
+}
+
+impl Sla {
+    /// Shorthand for the common "mean of last `window` points must be ≥ t".
+    pub fn mean_at_least(
+        name: impl Into<String>,
+        metric: impl Into<String>,
+        threshold: f64,
+        window: usize,
+    ) -> Self {
+        Sla {
+            name: name.into(),
+            metric: metric.into(),
+            aggregation: Aggregation::Mean,
+            comparator: Comparator::Gte,
+            threshold,
+            window,
+            min_points: 1,
+        }
+    }
+
+    /// Evaluate against a full observation series (oldest-first).
+    pub fn evaluate(&self, series: &[f64]) -> SlaStatus {
+        if series.len() < self.min_points.max(1) {
+            return SlaStatus::InsufficientData {
+                have: series.len(),
+                need: self.min_points.max(1),
+            };
+        }
+        let window = if self.window == 0 || self.window >= series.len() {
+            series
+        } else {
+            &series[series.len() - self.window..]
+        };
+        let observed = self.aggregation.apply(window);
+        if self.comparator.holds(observed, self.threshold) {
+            SlaStatus::Met { observed }
+        } else {
+            SlaStatus::Violated { observed }
+        }
+    }
+}
+
+/// Outcome of an SLA evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SlaStatus {
+    /// The requirement holds.
+    Met {
+        /// Aggregated value that satisfied the SLA.
+        observed: f64,
+    },
+    /// The requirement is breached.
+    Violated {
+        /// Aggregated value that breached the SLA.
+        observed: f64,
+    },
+    /// Too few observations to evaluate.
+    InsufficientData {
+        /// Observations available.
+        have: usize,
+        /// Observations required.
+        need: usize,
+    },
+}
+
+impl SlaStatus {
+    /// True only for [`SlaStatus::Violated`].
+    pub fn is_violated(&self) -> bool {
+        matches!(self, SlaStatus::Violated { .. })
+    }
+
+    /// The aggregated value, when one was computed.
+    pub fn observed(&self) -> Option<f64> {
+        match self {
+            SlaStatus::Met { observed } | SlaStatus::Violated { observed } => Some(*observed),
+            SlaStatus::InsufficientData { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparator_and_aggregation() {
+        assert!(Comparator::Gte.holds(0.95, 0.9));
+        assert!(!Comparator::Gte.holds(0.85, 0.9));
+        assert!(Comparator::Lte.holds(100.0, 200.0));
+        assert_eq!(Comparator::Gte.symbol(), ">=");
+        let w = [1.0, 5.0, 3.0];
+        assert_eq!(Aggregation::Mean.apply(&w), 3.0);
+        assert_eq!(Aggregation::Min.apply(&w), 1.0);
+        assert_eq!(Aggregation::Max.apply(&w), 5.0);
+        assert_eq!(Aggregation::Last.apply(&w), 3.0);
+    }
+
+    #[test]
+    fn sla_met_and_violated() {
+        let sla = Sla::mean_at_least("recall-90", "recall", 0.9, 3);
+        match sla.evaluate(&[0.95, 0.92, 0.91]) {
+            SlaStatus::Met { observed } => assert!((observed - 0.926666).abs() < 1e-4),
+            other => panic!("expected Met, got {other:?}"),
+        }
+        let st = sla.evaluate(&[0.95, 0.6, 0.6]);
+        assert!(st.is_violated());
+        assert!(st.observed().unwrap() < 0.9);
+    }
+
+    #[test]
+    fn sla_windows_trailing_points_only() {
+        let sla = Sla::mean_at_least("acc", "accuracy", 0.9, 2);
+        // Old garbage, recent good: window of 2 sees only the good points.
+        let st = sla.evaluate(&[0.1, 0.1, 0.95, 0.93]);
+        assert!(!st.is_violated());
+        // window=0 means whole series.
+        let all = Sla {
+            window: 0,
+            ..sla.clone()
+        };
+        assert!(all.evaluate(&[0.1, 0.1, 0.95, 0.93]).is_violated());
+    }
+
+    #[test]
+    fn sla_insufficient_data() {
+        let sla = Sla {
+            min_points: 5,
+            ..Sla::mean_at_least("x", "m", 0.5, 3)
+        };
+        match sla.evaluate(&[0.9, 0.9]) {
+            SlaStatus::InsufficientData { have, need } => {
+                assert_eq!((have, need), (2, 5));
+            }
+            other => panic!("expected InsufficientData, got {other:?}"),
+        }
+        assert!(sla.evaluate(&[]).observed().is_none());
+    }
+
+    #[test]
+    fn latency_style_lte_sla() {
+        let sla = Sla {
+            name: "latency-p95".into(),
+            metric: "latency_ms".into(),
+            aggregation: Aggregation::Max,
+            comparator: Comparator::Lte,
+            threshold: 200.0,
+            window: 4,
+            min_points: 1,
+        };
+        assert!(!sla.evaluate(&[150.0, 180.0, 190.0, 170.0]).is_violated());
+        assert!(sla.evaluate(&[150.0, 180.0, 250.0, 170.0]).is_violated());
+    }
+}

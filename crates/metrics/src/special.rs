@@ -1,0 +1,308 @@
+//! Special functions needed by the statistical tests: log-gamma,
+//! regularized incomplete gamma and beta, error function, normal CDF, and
+//! the Kolmogorov distribution. Implemented from scratch (Lanczos
+//! approximation and the classic series / continued-fraction evaluations)
+//! so the monitoring layer has no numerical dependencies.
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+/// Accurate to ~1e-13 for x > 0.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+const MAX_ITER: usize = 300;
+const EPS: f64 = 3e-14;
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x) / Γ(a).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x).
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    let fpmin = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / fpmin;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < fpmin {
+            d = fpmin;
+        }
+        c = b + an / c;
+        if c.abs() < fpmin {
+            c = fpmin;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Error function via the incomplete gamma relation erf(x) = P(1/2, x²).
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        -erf(-x)
+    } else if x == 0.0 {
+        0.0
+    } else {
+        gamma_p(0.5, x * x)
+    }
+}
+
+/// Complementary error function.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        2.0 - erfc(-x)
+    } else {
+        gamma_q(0.5, x * x)
+    }
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Regularized incomplete beta I_x(a, b), via the continued fraction.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta_inc requires positive parameters");
+    assert!((0.0..=1.0).contains(&x), "beta_inc requires x in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    let fpmin = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < fpmin {
+        d = fpmin;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < fpmin {
+            d = fpmin;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < fpmin {
+            c = fpmin;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < fpmin {
+            d = fpmin;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < fpmin {
+            c = fpmin;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Two-sided p-value of a Student-t statistic with `df` degrees of freedom.
+pub fn student_t_two_sided_p(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    let x = df / (df + t * t);
+    beta_inc(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Survival function Q(λ) of the Kolmogorov distribution:
+/// Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²). Used for KS-test p-values.
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    let l2 = lambda * lambda;
+    for j in 1..=100 {
+        let term = sign * (-2.0 * (j as f64) * (j as f64) * l2).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), 24.0_f64.ln(), 1e-10);
+        close(ln_gamma(11.0), (3628800.0_f64).ln(), 1e-9);
+        // Γ(1/2) = √π
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_q_complement() {
+        for &(a, x) in &[(0.5, 0.3), (2.0, 1.0), (5.0, 7.5), (10.0, 3.0)] {
+            close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+        }
+        assert_eq!(gamma_p(1.0, 0.0), 0.0);
+        assert_eq!(gamma_q(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(1, x) = 1 − e^{−x}
+        close(gamma_p(1.0, 2.0), 1.0 - (-2.0_f64).exp(), 1e-12);
+        // Chi-square CDF with k=2 df at x=5.991 ≈ 0.95
+        close(gamma_p(1.0, 5.991 / 2.0), 0.95, 1e-3);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-15);
+        close(erf(1.0), 0.842_700_792_949_715, 1e-9);
+        close(erf(-1.0), -0.842_700_792_949_715, 1e-9);
+        close(erf(2.0), 0.995_322_265_018_953, 1e-9);
+        close(erfc(1.0), 1.0 - 0.842_700_792_949_715, 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        close(normal_cdf(0.0), 0.5, 1e-12);
+        close(normal_cdf(1.959_963_985), 0.975, 1e-6);
+        close(normal_cdf(-1.644_853_627), 0.05, 1e-6);
+    }
+
+    #[test]
+    fn beta_inc_symmetry_and_known() {
+        // I_x(1,1) = x
+        close(beta_inc(1.0, 1.0, 0.3), 0.3, 1e-12);
+        // I_x(a,b) = 1 − I_{1−x}(b,a)
+        close(
+            beta_inc(2.5, 1.5, 0.4),
+            1.0 - beta_inc(1.5, 2.5, 0.6),
+            1e-10,
+        );
+        assert_eq!(beta_inc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn student_t_p_values() {
+        // t=0 → p=1 (no evidence)
+        close(student_t_two_sided_p(0.0, 10.0), 1.0, 1e-12);
+        // Critical value: t(df=10, two-sided p=0.05) ≈ 2.228
+        close(student_t_two_sided_p(2.228, 10.0), 0.05, 1e-3);
+        // Large |t| → tiny p.
+        assert!(student_t_two_sided_p(10.0, 30.0) < 1e-9);
+    }
+
+    #[test]
+    fn kolmogorov_q_reference_points() {
+        close(kolmogorov_q(0.0), 1.0, 1e-15);
+        // Known critical value: Q(1.358) ≈ 0.05
+        close(kolmogorov_q(1.358), 0.05, 2e-3);
+        close(kolmogorov_q(1.628), 0.01, 2e-3);
+        assert!(kolmogorov_q(3.0) < 1e-6);
+        // Monotone decreasing.
+        assert!(kolmogorov_q(0.5) > kolmogorov_q(1.0));
+    }
+}

@@ -1,0 +1,190 @@
+//! Sliding windows over metric streams: the bounded-memory state behind
+//! batched trigger computation (§5.2: consecutive runs of a component may
+//! execute on different cluster nodes, "possibly motivating triggers to
+//! be computed in batch to save resources").
+//!
+//! [`CountWindow`] keeps the last N observations; [`TimeWindow`] keeps
+//! observations newer than a horizon. Both expose the same summary
+//! surface used by SLA evaluation and drift checks.
+
+use crate::desc::StreamingMoments;
+use std::collections::VecDeque;
+
+/// The last `capacity` observations of a stream.
+#[derive(Debug, Clone)]
+pub struct CountWindow {
+    items: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl CountWindow {
+    /// Window of the most recent `capacity` values.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        CountWindow {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Push one value, evicting the oldest when full. Returns the evicted
+    /// value, if any.
+    pub fn push(&mut self, v: f64) -> Option<f64> {
+        let evicted = if self.items.len() == self.capacity {
+            self.items.pop_front()
+        } else {
+            None
+        };
+        self.items.push_back(v);
+        evicted
+    }
+
+    /// Values oldest-first.
+    pub fn values(&self) -> Vec<f64> {
+        self.items.iter().copied().collect()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no values are held.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True once the window holds `capacity` values.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Summary statistics over the current contents.
+    pub fn moments(&self) -> StreamingMoments {
+        let mut m = StreamingMoments::new();
+        for &v in &self.items {
+            m.push(v);
+        }
+        m
+    }
+}
+
+/// Observations within a trailing time horizon.
+#[derive(Debug, Clone)]
+pub struct TimeWindow {
+    items: VecDeque<(u64, f64)>,
+    horizon_ms: u64,
+}
+
+impl TimeWindow {
+    /// Window keeping observations newer than `horizon_ms` before the
+    /// latest `evict_older_than` call.
+    pub fn new(horizon_ms: u64) -> Self {
+        assert!(horizon_ms > 0, "horizon must be positive");
+        TimeWindow {
+            items: VecDeque::new(),
+            horizon_ms,
+        }
+    }
+
+    /// Record a timestamped value. Timestamps should be non-decreasing;
+    /// stragglers are accepted but evicted by the same horizon rule.
+    pub fn push(&mut self, ts_ms: u64, v: f64) {
+        self.items.push_back((ts_ms, v));
+        self.evict_older_than(ts_ms);
+    }
+
+    /// Drop values older than the horizon relative to `now_ms`.
+    pub fn evict_older_than(&mut self, now_ms: u64) {
+        let cutoff = now_ms.saturating_sub(self.horizon_ms);
+        while let Some(&(ts, _)) = self.items.front() {
+            if ts < cutoff {
+                self.items.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Values oldest-first.
+    pub fn values(&self) -> Vec<f64> {
+        self.items.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the window holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Summary statistics over the current contents.
+    pub fn moments(&self) -> StreamingMoments {
+        let mut m = StreamingMoments::new();
+        for &(_, v) in &self.items {
+            m.push(v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_window_evicts_fifo() {
+        let mut w = CountWindow::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(2.0), None);
+        assert_eq!(w.push(3.0), None);
+        assert!(w.is_full());
+        assert_eq!(w.push(4.0), Some(1.0));
+        assert_eq!(w.values(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn count_window_moments() {
+        let mut w = CountWindow::new(2);
+        for v in [10.0, 20.0, 30.0] {
+            w.push(v);
+        }
+        let m = w.moments();
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.mean(), 25.0);
+    }
+
+    #[test]
+    fn time_window_horizon() {
+        let mut w = TimeWindow::new(100);
+        w.push(0, 1.0);
+        w.push(50, 2.0);
+        w.push(120, 3.0);
+        // Cutoff at 120-100=20: the ts=0 value is gone.
+        assert_eq!(w.values(), vec![2.0, 3.0]);
+        w.evict_older_than(300);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn time_window_boundary_inclusive() {
+        let mut w = TimeWindow::new(100);
+        w.push(0, 1.0);
+        w.push(100, 2.0);
+        // Cutoff = 0: ts=0 is not `< 0`, so it stays.
+        assert_eq!(w.len(), 2);
+        w.push(101, 3.0);
+        assert_eq!(w.values(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        CountWindow::new(0);
+    }
+}

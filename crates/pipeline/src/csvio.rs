@@ -1,0 +1,252 @@
+//! Minimal CSV reader/writer for the [`DataFrame`]: enough for the demo
+//! pipeline's file-shaped component boundaries (the paper's I/O pointers
+//! are identifiers like `features.csv`). Handles quoting, embedded commas
+//! and the empty-string-as-null convention; type inference promotes
+//! int → float → bool → str per column.
+
+use crate::frame::{Column, DataFrame, FrameError};
+use std::fmt::Write as _;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// A data row had a different field count than the header.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Fields expected (header width).
+        expected: usize,
+        /// Fields found.
+        got: usize,
+    },
+    /// No header line present.
+    Empty,
+    /// Frame construction failed (duplicate columns etc.).
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::RaggedRow {
+                line,
+                expected,
+                got,
+            } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
+            }
+            CsvError::Empty => write!(f, "empty csv"),
+            CsvError::Frame(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<FrameError> for CsvError {
+    fn from(e: FrameError) -> Self {
+        CsvError::Frame(e)
+    }
+}
+
+/// Split one CSV line into fields, honoring double-quote quoting with
+/// `""` escapes.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.contains(',') || s.contains('"') || s.contains('\n')
+}
+
+fn quote(s: &str) -> String {
+    if needs_quoting(s) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Parse CSV text into a frame. Empty fields are nulls. Column types are
+/// inferred: all-int → Int, all-numeric → Float, all-true/false → Bool,
+/// otherwise Str.
+pub fn parse_csv(text: &str) -> Result<DataFrame, CsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::Empty)?;
+    let names = split_line(header);
+    let width = names.len();
+    let mut raw: Vec<Vec<Option<String>>> = vec![Vec::new(); width];
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(line);
+        if fields.len() != width {
+            return Err(CsvError::RaggedRow {
+                line: i + 1,
+                expected: width,
+                got: fields.len(),
+            });
+        }
+        for (col, field) in raw.iter_mut().zip(fields) {
+            col.push(if field.is_empty() { None } else { Some(field) });
+        }
+    }
+    let mut df = DataFrame::new();
+    for (name, col) in names.into_iter().zip(raw) {
+        df.add_column(name, infer_column(col))?;
+    }
+    Ok(df)
+}
+
+fn infer_column(raw: Vec<Option<String>>) -> Column {
+    let nonnull: Vec<&str> = raw.iter().flatten().map(String::as_str).collect();
+    if !nonnull.is_empty() && nonnull.iter().all(|s| s.parse::<i64>().is_ok()) {
+        return Column::Int(
+            raw.iter()
+                .map(|x| x.as_ref().map(|s| s.parse().unwrap()))
+                .collect(),
+        );
+    }
+    if !nonnull.is_empty() && nonnull.iter().all(|s| s.parse::<f64>().is_ok()) {
+        return Column::Float(
+            raw.iter()
+                .map(|x| x.as_ref().map(|s| s.parse().unwrap()).unwrap_or(f64::NAN))
+                .collect(),
+        );
+    }
+    if !nonnull.is_empty() && nonnull.iter().all(|s| *s == "true" || *s == "false") {
+        return Column::Bool(
+            raw.iter()
+                .map(|x| x.as_ref().map(|s| s == "true"))
+                .collect(),
+        );
+    }
+    Column::Str(raw)
+}
+
+/// Serialize a frame to CSV text. Nulls become empty fields.
+pub fn to_csv(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = df.names().iter().map(|n| quote(n)).collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    let rows = df.num_rows();
+    let cols: Vec<&Column> = df
+        .names()
+        .iter()
+        .map(|n| df.column(n).expect("name from frame"))
+        .collect();
+    for r in 0..rows {
+        let mut fields = Vec::with_capacity(cols.len());
+        for col in &cols {
+            let field = match col {
+                Column::Float(v) => {
+                    if v[r].is_nan() {
+                        String::new()
+                    } else {
+                        format!("{}", v[r])
+                    }
+                }
+                Column::Int(v) => v[r].map(|i| i.to_string()).unwrap_or_default(),
+                Column::Str(v) => v[r].as_deref().map(quote).unwrap_or_default(),
+                Column::Bool(v) => v[r].map(|b| b.to_string()).unwrap_or_default(),
+            };
+            fields.push(field);
+        }
+        let _ = writeln!(out, "{}", fields.join(","));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_types_and_nulls() {
+        let csv = "fare,count,borough,tipped\n12.5,2,manhattan,true\n,3,,false\n7,,queens,\n";
+        let df = parse_csv(csv).unwrap();
+        assert_eq!(df.num_rows(), 3);
+        assert!(matches!(df.column("fare").unwrap(), Column::Float(_)));
+        assert!(matches!(df.column("count").unwrap(), Column::Int(_)));
+        assert!(matches!(df.column("borough").unwrap(), Column::Str(_)));
+        assert!(matches!(df.column("tipped").unwrap(), Column::Bool(_)));
+        assert_eq!(df.column("fare").unwrap().null_count(), 1);
+        let back = parse_csv(&to_csv(&df)).unwrap();
+        assert_eq!(back, df);
+    }
+
+    #[test]
+    fn integers_stay_integers() {
+        let df = parse_csv("a\n1\n2\n").unwrap();
+        assert!(matches!(df.column("a").unwrap(), Column::Int(_)));
+        // A single float promotes the column.
+        let df = parse_csv("a\n1\n2.5\n").unwrap();
+        assert!(matches!(df.column("a").unwrap(), Column::Float(_)));
+    }
+
+    #[test]
+    fn quoting_handles_commas_and_quotes() {
+        let original = DataFrame::from_columns(vec![(
+            "note",
+            Column::Str(vec![
+                Some("hello, world".into()),
+                Some("she said \"hi\"".into()),
+            ]),
+        )])
+        .unwrap();
+        let text = to_csv(&original);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        match parse_csv("a,b\n1,2\n3\n") {
+            Err(CsvError::RaggedRow {
+                line,
+                expected,
+                got,
+            }) => {
+                assert_eq!((line, expected, got), (3, 2, 1));
+            }
+            other => panic!("expected ragged-row error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected_blank_lines_skipped() {
+        assert!(matches!(parse_csv(""), Err(CsvError::Empty)));
+        let df = parse_csv("a\n1\n\n2\n").unwrap();
+        assert_eq!(df.num_rows(), 2);
+    }
+
+    #[test]
+    fn all_null_column_is_str() {
+        let df = parse_csv("a,b\n1,\n2,\n").unwrap();
+        assert!(matches!(df.column("b").unwrap(), Column::Str(_)));
+        assert_eq!(df.column("b").unwrap().null_count(), 2);
+    }
+}

@@ -1,0 +1,511 @@
+//! A small column-oriented data frame: the tabular substrate the demo
+//! pipeline's ETL, cleaning and feature-generation components operate on.
+//!
+//! Nulls are first-class (Example 4.1 of the paper hinges on "the fraction
+//! of NULL values in an important column"): float columns use NaN as the
+//! null sentinel, other column types carry explicit `Option`s.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A typed column.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit floats; NaN encodes null.
+    Float(Vec<f64>),
+    /// Nullable 64-bit integers.
+    Int(Vec<Option<i64>>),
+    /// Nullable strings.
+    Str(Vec<Option<String>>),
+    /// Nullable booleans.
+    Bool(Vec<Option<bool>>),
+}
+
+impl Column {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Float(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of null entries.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Float(v) => v.iter().filter(|x| x.is_nan()).count(),
+            Column::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Str(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Fraction of null entries (0 for an empty column).
+    pub fn null_fraction(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.null_count() as f64 / self.len() as f64
+        }
+    }
+
+    /// Type name for diagnostics.
+    pub fn dtype(&self) -> &'static str {
+        match self {
+            Column::Float(_) => "float",
+            Column::Int(_) => "int",
+            Column::Str(_) => "str",
+            Column::Bool(_) => "bool",
+        }
+    }
+
+    /// Numeric view: floats pass through (nulls as NaN), ints and bools
+    /// coerce; `None` for string columns.
+    pub fn as_f64(&self) -> Option<Vec<f64>> {
+        match self {
+            Column::Float(v) => Some(v.clone()),
+            Column::Int(v) => Some(
+                v.iter()
+                    .map(|x| x.map(|i| i as f64).unwrap_or(f64::NAN))
+                    .collect(),
+            ),
+            Column::Bool(v) => Some(
+                v.iter()
+                    .map(|x| match x {
+                        Some(true) => 1.0,
+                        Some(false) => 0.0,
+                        None => f64::NAN,
+                    })
+                    .collect(),
+            ),
+            Column::Str(_) => None,
+        }
+    }
+
+    /// Non-null numeric values (the input shape drift checks want).
+    pub fn finite_values(&self) -> Vec<f64> {
+        self.as_f64()
+            .map(|v| v.into_iter().filter(|x| x.is_finite()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Keep only entries where `mask` is true. Panics on length mismatch.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        assert_eq!(mask.len(), self.len(), "mask length mismatch");
+        fn pick<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
+            v.iter()
+                .zip(mask.iter())
+                .filter(|(_, &m)| m)
+                .map(|(x, _)| x.clone())
+                .collect()
+        }
+        match self {
+            Column::Float(v) => Column::Float(pick(v, mask)),
+            Column::Int(v) => Column::Int(pick(v, mask)),
+            Column::Str(v) => Column::Str(pick(v, mask)),
+            Column::Bool(v) => Column::Bool(pick(v, mask)),
+        }
+    }
+
+    /// Take rows by index (duplicates allowed). Panics on out-of-range.
+    pub fn take(&self, indexes: &[usize]) -> Column {
+        fn pick<T: Clone>(v: &[T], idx: &[usize]) -> Vec<T> {
+            idx.iter().map(|&i| v[i].clone()).collect()
+        }
+        match self {
+            Column::Float(v) => Column::Float(pick(v, indexes)),
+            Column::Int(v) => Column::Int(pick(v, indexes)),
+            Column::Str(v) => Column::Str(pick(v, indexes)),
+            Column::Bool(v) => Column::Bool(pick(v, indexes)),
+        }
+    }
+}
+
+impl PartialEq for Column {
+    /// Null-aware equality: two NaN floats (the null sentinel) compare
+    /// equal, so round-tripped frames with nulls compare as expected.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Column::Float(a), Column::Float(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()))
+            }
+            (Column::Int(a), Column::Int(b)) => a == b,
+            (Column::Str(a), Column::Str(b)) => a == b,
+            (Column::Bool(a), Column::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Errors from frame operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Column name not present.
+    UnknownColumn(String),
+    /// Column length does not match the frame's row count.
+    LengthMismatch {
+        /// Rows in the frame.
+        expected: usize,
+        /// Entries in the offered column.
+        got: usize,
+    },
+    /// Duplicate column name on construction.
+    DuplicateColumn(String),
+    /// A typed accessor was used on the wrong column type.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Type requested.
+        wanted: &'static str,
+        /// Type present.
+        got: &'static str,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            FrameError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+            FrameError::DuplicateColumn(c) => write!(f, "duplicate column: {c}"),
+            FrameError::TypeMismatch {
+                column,
+                wanted,
+                got,
+            } => {
+                write!(f, "column {column}: wanted {wanted}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A column-oriented table with named columns of equal length.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataFrame {
+    names: Vec<String>,
+    columns: Vec<Column>,
+    index: HashMap<String, usize>,
+}
+
+impl DataFrame {
+    /// Empty frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from (name, column) pairs.
+    pub fn from_columns(pairs: Vec<(impl Into<String>, Column)>) -> Result<DataFrame, FrameError> {
+        let mut df = DataFrame::new();
+        for (name, col) in pairs {
+            df.add_column(name, col)?;
+        }
+        Ok(df)
+    }
+
+    /// Number of rows (0 for an empty frame).
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map(Column::len).unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names, in insertion order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Append or replace a column. New columns must match the row count of
+    /// a non-empty frame.
+    pub fn add_column(&mut self, name: impl Into<String>, col: Column) -> Result<(), FrameError> {
+        let name = name.into();
+        if !self.columns.is_empty() && col.len() != self.num_rows() {
+            return Err(FrameError::LengthMismatch {
+                expected: self.num_rows(),
+                got: col.len(),
+            });
+        }
+        match self.index.get(&name) {
+            Some(&i) => {
+                self.columns[i] = col;
+            }
+            None => {
+                self.index.insert(name.clone(), self.columns.len());
+                self.names.push(name);
+                self.columns.push(col);
+            }
+        }
+        Ok(())
+    }
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column, FrameError> {
+        self.index
+            .get(name)
+            .map(|&i| &self.columns[i])
+            .ok_or_else(|| FrameError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Float view of a column (coercing ints/bools).
+    pub fn float_column(&self, name: &str) -> Result<Vec<f64>, FrameError> {
+        let col = self.column(name)?;
+        col.as_f64().ok_or(FrameError::TypeMismatch {
+            column: name.to_owned(),
+            wanted: "numeric",
+            got: col.dtype(),
+        })
+    }
+
+    /// Projection onto a subset of columns.
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame, FrameError> {
+        let mut out = DataFrame::new();
+        for &n in names {
+            out.add_column(n, self.column(n)?.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Keep rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Result<DataFrame, FrameError> {
+        if mask.len() != self.num_rows() {
+            return Err(FrameError::LengthMismatch {
+                expected: self.num_rows(),
+                got: mask.len(),
+            });
+        }
+        let mut out = DataFrame::new();
+        for (name, col) in self.names.iter().zip(self.columns.iter()) {
+            out.add_column(name.clone(), col.filter(mask))?;
+        }
+        Ok(out)
+    }
+
+    /// Take rows by index.
+    pub fn take(&self, indexes: &[usize]) -> DataFrame {
+        let mut out = DataFrame::new();
+        for (name, col) in self.names.iter().zip(self.columns.iter()) {
+            out.add_column(name.clone(), col.take(indexes))
+                .expect("take preserves lengths");
+        }
+        out
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> DataFrame {
+        let idx: Vec<usize> = (0..self.num_rows().min(n)).collect();
+        self.take(&idx)
+    }
+
+    /// Vertically concatenate another frame with the same schema.
+    pub fn concat(&self, other: &DataFrame) -> Result<DataFrame, FrameError> {
+        if self.names != other.names {
+            return Err(FrameError::UnknownColumn(format!(
+                "schema mismatch: {:?} vs {:?}",
+                self.names, other.names
+            )));
+        }
+        let mut out = DataFrame::new();
+        for (name, (a, b)) in self
+            .names
+            .iter()
+            .zip(self.columns.iter().zip(other.columns.iter()))
+        {
+            let merged = match (a, b) {
+                (Column::Float(x), Column::Float(y)) => {
+                    let mut v = x.clone();
+                    v.extend_from_slice(y);
+                    Column::Float(v)
+                }
+                (Column::Int(x), Column::Int(y)) => {
+                    let mut v = x.clone();
+                    v.extend_from_slice(y);
+                    Column::Int(v)
+                }
+                (Column::Str(x), Column::Str(y)) => {
+                    let mut v = x.clone();
+                    v.extend_from_slice(y);
+                    Column::Str(v)
+                }
+                (Column::Bool(x), Column::Bool(y)) => {
+                    let mut v = x.clone();
+                    v.extend_from_slice(y);
+                    Column::Bool(v)
+                }
+                (a, b) => {
+                    return Err(FrameError::TypeMismatch {
+                        column: name.clone(),
+                        wanted: a.dtype(),
+                        got: b.dtype(),
+                    })
+                }
+            };
+            out.add_column(name.clone(), merged)?;
+        }
+        Ok(out)
+    }
+
+    /// Per-column null fractions, in column order.
+    pub fn null_report(&self) -> Vec<(String, f64)> {
+        self.names
+            .iter()
+            .zip(self.columns.iter())
+            .map(|(n, c)| (n.clone(), c.null_fraction()))
+            .collect()
+    }
+
+    /// Extract numeric feature matrix (row-major) from the named columns.
+    /// Nulls surface as NaN; callers impute first.
+    pub fn to_matrix(&self, feature_names: &[&str]) -> Result<Vec<Vec<f64>>, FrameError> {
+        let cols: Vec<Vec<f64>> = feature_names
+            .iter()
+            .map(|&n| self.float_column(n))
+            .collect::<Result<_, _>>()?;
+        let rows = self.num_rows();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            out.push(cols.iter().map(|c| c[r]).collect());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("fare", Column::Float(vec![10.0, 20.0, f64::NAN, 40.0])),
+            (
+                "passengers",
+                Column::Int(vec![Some(1), Some(2), None, Some(4)]),
+            ),
+            (
+                "borough",
+                Column::Str(vec![
+                    Some("manhattan".into()),
+                    Some("queens".into()),
+                    Some("bronx".into()),
+                    None,
+                ]),
+            ),
+            (
+                "tipped",
+                Column::Bool(vec![Some(true), Some(false), Some(true), None]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_and_names() {
+        let df = sample();
+        assert_eq!(df.num_rows(), 4);
+        assert_eq!(df.num_columns(), 4);
+        assert_eq!(df.names(), &["fare", "passengers", "borough", "tipped"]);
+    }
+
+    #[test]
+    fn null_accounting() {
+        let df = sample();
+        assert_eq!(df.column("fare").unwrap().null_count(), 1);
+        assert_eq!(df.column("borough").unwrap().null_count(), 1);
+        let report = df.null_report();
+        assert_eq!(report.len(), 4);
+        assert!((report[0].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn float_coercion() {
+        let df = sample();
+        let p = df.float_column("passengers").unwrap();
+        assert_eq!(p[0], 1.0);
+        assert!(p[2].is_nan());
+        let t = df.float_column("tipped").unwrap();
+        assert_eq!(t[0], 1.0);
+        assert_eq!(t[1], 0.0);
+        assert!(df.float_column("borough").is_err());
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let df = sample();
+        let filtered = df.filter(&[true, false, false, true]).unwrap();
+        assert_eq!(filtered.num_rows(), 2);
+        assert_eq!(filtered.float_column("fare").unwrap(), vec![10.0, 40.0]);
+        let taken = df.take(&[3, 0, 0]);
+        assert_eq!(taken.num_rows(), 3);
+        assert_eq!(taken.float_column("fare").unwrap()[1], 10.0);
+        assert!(df.filter(&[true]).is_err(), "wrong mask length");
+    }
+
+    #[test]
+    fn select_and_head() {
+        let df = sample();
+        let sel = df.select(&["fare", "tipped"]).unwrap();
+        assert_eq!(sel.num_columns(), 2);
+        assert!(df.select(&["nope"]).is_err());
+        assert_eq!(df.head(2).num_rows(), 2);
+        assert_eq!(df.head(100).num_rows(), 4);
+    }
+
+    #[test]
+    fn add_column_validates_and_replaces() {
+        let mut df = sample();
+        assert!(matches!(
+            df.add_column("bad", Column::Float(vec![1.0])),
+            Err(FrameError::LengthMismatch {
+                expected: 4,
+                got: 1
+            })
+        ));
+        df.add_column("fare", Column::Float(vec![0.0; 4])).unwrap();
+        assert_eq!(df.num_columns(), 4, "replacement does not add");
+        assert_eq!(df.float_column("fare").unwrap(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn concat_same_schema() {
+        let df = sample();
+        let both = df.concat(&df).unwrap();
+        assert_eq!(both.num_rows(), 8);
+        assert_eq!(both.num_columns(), 4);
+        let other = df.select(&["fare"]).unwrap();
+        assert!(df.concat(&other).is_err());
+    }
+
+    #[test]
+    fn to_matrix_row_major() {
+        let df = sample();
+        let m = df.to_matrix(&["fare", "passengers"]).unwrap();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m[1], vec![20.0, 2.0]);
+        assert!(m[2][0].is_nan());
+    }
+
+    #[test]
+    fn finite_values_drops_nulls() {
+        let df = sample();
+        assert_eq!(
+            df.column("fare").unwrap().finite_values(),
+            vec![10.0, 20.0, 40.0]
+        );
+        assert!(df.column("borough").unwrap().finite_values().is_empty());
+    }
+}

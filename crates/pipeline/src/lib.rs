@@ -1,0 +1,30 @@
+//! # mltrace-pipeline
+//!
+//! The ML pipeline substrate of the mltrace reproduction. The paper
+//! observes existing Python pipelines; since no mature Rust ML pipeline
+//! framework exists to instrument (reproduction note repro=2), this crate
+//! *is* the pipeline being observed: a column-oriented [`frame::DataFrame`]
+//! with first-class nulls, CSV I/O ([`csvio`]), serializable fit/transform
+//! feature engineering ([`transform`]), linear/logistic/tree models
+//! ([`model`]), and train/test splitting ([`split`]).
+
+#![warn(missing_docs)]
+
+pub mod csvio;
+pub mod frame;
+pub mod linalg;
+pub mod model;
+pub mod split;
+pub mod transform;
+
+pub use csvio::{parse_csv, to_csv, CsvError};
+pub use frame::{Column, DataFrame, FrameError};
+pub use model::{
+    DecisionTree, ForestConfig, LinearRegression, LogisticConfig, LogisticRegression, ModelError,
+    RandomForest, TreeConfig,
+};
+pub use split::{k_fold_indexes, time_split, train_test_split};
+pub use transform::{
+    from_artifact, to_artifact, MeanImputer, MinMaxScaler, OneHotEncoder, StandardScaler,
+    TransformError,
+};

@@ -1,0 +1,238 @@
+//! Just enough dense linear algebra for the models: a row-major matrix,
+//! normal-equation assembly, and a partial-pivoting Gaussian solver.
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from row slices. Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(Vec::len).unwrap_or(0);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Aᵀ·A (cols×cols), the Gram matrix of the design matrix.
+    #[allow(clippy::needless_range_loop)] // triangular index arithmetic
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    let v = ri * row[j];
+                    out.data[i * self.cols + j] += v;
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..self.cols {
+            for j in 0..i {
+                out.data[i * self.cols + j] = out.data[j * self.cols + i];
+            }
+        }
+        out
+    }
+
+    /// Aᵀ·y (length cols).
+    #[allow(clippy::needless_range_loop)]
+    pub fn t_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "vector length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let yr = y[r];
+            for (o, &x) in out.iter_mut().zip(row.iter()) {
+                *o += x * yr;
+            }
+        }
+        out
+    }
+}
+
+/// Solve `A·x = b` for square `A` via Gaussian elimination with partial
+/// pivoting. Returns `None` when `A` is (numerically) singular.
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Augmented working copy.
+    let mut m = vec![0.0; n * (n + 1)];
+    for r in 0..n {
+        for c in 0..n {
+            m[r * (n + 1) + c] = a.get(r, c);
+        }
+        m[r * (n + 1) + n] = b[r];
+    }
+    for col in 0..n {
+        // Pivot: largest magnitude in the column at or below the diagonal.
+        let mut pivot = col;
+        let mut best = m[col * (n + 1) + col].abs();
+        for r in col + 1..n {
+            let v = m[r * (n + 1) + col].abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for c in 0..=n {
+                m.swap(col * (n + 1) + c, pivot * (n + 1) + c);
+            }
+        }
+        let diag = m[col * (n + 1) + col];
+        for r in col + 1..n {
+            let factor = m[r * (n + 1) + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..=n {
+                m[r * (n + 1) + c] -= factor * m[col * (n + 1) + c];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut sum = m[r * (n + 1) + n];
+        for c in r + 1..n {
+            sum -= m[r * (n + 1) + c] * x[c];
+        }
+        x[r] = sum / m[r * (n + 1) + r];
+    }
+    Some(x)
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_accessors() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gram_and_t_vec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = a.gram();
+        // AᵀA = [[35, 44], [44, 56]]
+        assert_eq!(g.get(0, 0), 35.0);
+        assert_eq!(g.get(0, 1), 44.0);
+        assert_eq!(g.get(1, 0), 44.0);
+        assert_eq!(g.get(1, 1), 56.0);
+        let v = a.t_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(v, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        // 2x + y = 5; x − y = 1 → x = 2, y = 1
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, -1.0]]);
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_larger_system() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, -2.0, 1.0],
+            vec![-2.0, 4.0, -2.0],
+            vec![1.0, -2.0, 4.0],
+        ]);
+        let x = solve(&a, &[11.0, -16.0, 17.0]).unwrap();
+        // Verify by substitution.
+        for (r, &bi) in [11.0, -16.0, 17.0].iter().enumerate() {
+            let got = dot(a.row(r), &x);
+            assert!((got - bi).abs() < 1e-9, "row {r}: {got} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+}

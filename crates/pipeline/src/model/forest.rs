@@ -1,0 +1,277 @@
+//! A bagged random forest over the CART trees in [`super::tree`]:
+//! bootstrap-sampled training sets, per-tree feature subsampling, and
+//! probability averaging. The demo pipeline's heavier challenger model —
+//! large enough that artifact dedup across retrains matters (§5.1).
+
+use super::linear::ModelError;
+use super::tree::{DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub trees: usize,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+    /// Fraction of features each tree sees (0 < f ≤ 1).
+    pub feature_fraction: f64,
+    /// RNG seed for bootstrap and feature sampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            trees: 20,
+            tree: TreeConfig::default(),
+            feature_fraction: 0.7,
+            seed: 17,
+        }
+    }
+}
+
+/// A fitted random forest classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    /// Trees with the feature indexes each was trained on.
+    trees: Vec<(Vec<usize>, DecisionTree)>,
+    width: usize,
+}
+
+impl RandomForest {
+    /// Fit on row-major features and boolean labels.
+    pub fn fit(
+        rows: &[Vec<f64>],
+        labels: &[bool],
+        config: ForestConfig,
+    ) -> Result<Self, ModelError> {
+        if rows.is_empty() {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        if rows.len() != labels.len() {
+            return Err(ModelError::ShapeMismatch(format!(
+                "{} rows vs {} labels",
+                rows.len(),
+                labels.len()
+            )));
+        }
+        let width = rows[0].len();
+        if rows.iter().any(|r| r.len() != width) {
+            return Err(ModelError::ShapeMismatch("ragged rows".into()));
+        }
+        if config.trees == 0 {
+            return Err(ModelError::ShapeMismatch("need at least one tree".into()));
+        }
+        let feature_count =
+            ((width as f64 * config.feature_fraction).ceil() as usize).clamp(1, width);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = rows.len();
+        let mut trees = Vec::with_capacity(config.trees);
+        for _ in 0..config.trees {
+            // Bootstrap sample.
+            let sample_idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            // Feature subsample (sorted, unique).
+            let mut features: Vec<usize> = (0..width).collect();
+            for i in (1..features.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                features.swap(i, j);
+            }
+            features.truncate(feature_count);
+            features.sort_unstable();
+            let sub_rows: Vec<Vec<f64>> = sample_idx
+                .iter()
+                .map(|&i| features.iter().map(|&f| rows[i][f]).collect())
+                .collect();
+            let sub_labels: Vec<bool> = sample_idx.iter().map(|&i| labels[i]).collect();
+            let tree = DecisionTree::fit(&sub_rows, &sub_labels, config.tree)?;
+            trees.push((features, tree));
+        }
+        Ok(RandomForest { trees, width })
+    }
+
+    /// Averaged positive-class probability for one row.
+    pub fn predict_proba_one(&self, row: &[f64]) -> Result<f64, ModelError> {
+        if row.len() != self.width {
+            return Err(ModelError::WidthMismatch {
+                expected: self.width,
+                got: row.len(),
+            });
+        }
+        let mut sum = 0.0;
+        for (features, tree) in &self.trees {
+            let sub: Vec<f64> = features.iter().map(|&f| row[f]).collect();
+            sum += tree.predict_proba_one(&sub)?;
+        }
+        Ok(sum / self.trees.len() as f64)
+    }
+
+    /// Probabilities for many rows.
+    pub fn predict_proba(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, ModelError> {
+        rows.iter().map(|r| self.predict_proba_one(r)).collect()
+    }
+
+    /// Hard labels at threshold 0.5.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Result<Vec<bool>, ModelError> {
+        Ok(self
+            .predict_proba(rows)?
+            .into_iter()
+            .map(|p| p >= 0.5)
+            .collect())
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unif(state: &mut u64) -> f64 {
+        *state ^= *state >> 12;
+        *state ^= *state << 25;
+        *state ^= *state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Noisy ring: positive iff the point lies inside an annulus — a
+    /// shape single trees struggle with and ensembles smooth out.
+    fn ring_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut st = seed;
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = unif(&mut st) * 2.0 - 1.0;
+            let y = unif(&mut st) * 2.0 - 1.0;
+            let r = (x * x + y * y).sqrt();
+            rows.push(vec![x, y]);
+            labels.push((0.4..0.8).contains(&r));
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn forest_learns_nonlinear_boundary() {
+        let (rows, labels) = ring_data(1500, 3);
+        let forest = RandomForest::fit(
+            &rows,
+            &labels,
+            ForestConfig {
+                trees: 25,
+                feature_fraction: 1.0,
+                tree: TreeConfig {
+                    max_depth: 10,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (test_rows, test_labels) = ring_data(500, 99);
+        let preds = forest.predict(&test_rows).unwrap();
+        let acc = preds
+            .iter()
+            .zip(test_labels.iter())
+            .filter(|(p, l)| p == l)
+            .count() as f64
+            / test_rows.len() as f64;
+        assert!(acc > 0.82, "forest accuracy {acc}");
+        assert_eq!(forest.tree_count(), 25);
+    }
+
+    #[test]
+    fn forest_beats_single_stump_on_hard_shape() {
+        let (rows, labels) = ring_data(1500, 7);
+        let stump = DecisionTree::fit(
+            &rows,
+            &labels,
+            TreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let forest = RandomForest::fit(&rows, &labels, ForestConfig::default()).unwrap();
+        let (test_rows, test_labels) = ring_data(500, 11);
+        let acc = |preds: Vec<bool>| {
+            preds
+                .iter()
+                .zip(test_labels.iter())
+                .filter(|(p, l)| p == l)
+                .count() as f64
+                / test_rows.len() as f64
+        };
+        let stump_acc = acc(stump.predict(&test_rows).unwrap());
+        let forest_acc = acc(forest.predict(&test_rows).unwrap());
+        assert!(
+            forest_acc > stump_acc + 0.05,
+            "forest {forest_acc} vs stump {stump_acc}"
+        );
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (rows, labels) = ring_data(400, 5);
+        let forest = RandomForest::fit(&rows, &labels, ForestConfig::default()).unwrap();
+        for p in forest.predict_proba(&rows).unwrap() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (rows, labels) = ring_data(300, 5);
+        let a = RandomForest::fit(&rows, &labels, ForestConfig::default()).unwrap();
+        let b = RandomForest::fit(&rows, &labels, ForestConfig::default()).unwrap();
+        assert_eq!(a, b);
+        let c = RandomForest::fit(
+            &rows,
+            &labels,
+            ForestConfig {
+                seed: 18,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(matches!(
+            RandomForest::fit(&[], &[], ForestConfig::default()),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+        let (rows, labels) = ring_data(50, 1);
+        assert!(matches!(
+            RandomForest::fit(
+                &rows,
+                &labels,
+                ForestConfig {
+                    trees: 0,
+                    ..Default::default()
+                }
+            ),
+            Err(ModelError::ShapeMismatch(_))
+        ));
+        let forest = RandomForest::fit(&rows, &labels, ForestConfig::default()).unwrap();
+        assert!(matches!(
+            forest.predict_proba_one(&[1.0]),
+            Err(ModelError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (rows, labels) = ring_data(200, 13);
+        let forest = RandomForest::fit(&rows, &labels, ForestConfig::default()).unwrap();
+        let bytes = serde_json::to_vec(&forest).unwrap();
+        let back: RandomForest = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back, forest);
+    }
+}

@@ -1,0 +1,186 @@
+//! Ordinary least squares with optional L2 (ridge) regularization, solved
+//! via the normal equations. The regression model of the demo pipeline's
+//! "regression model" stage (Figure 3 of the paper pairs an embedding
+//! model with a regression model).
+
+use crate::linalg::{dot, solve, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Errors from model fitting.
+#[derive(Debug, PartialEq)]
+pub enum ModelError {
+    /// No training rows / labels.
+    EmptyTrainingSet,
+    /// Rows and labels differ in count, or rows are ragged.
+    ShapeMismatch(String),
+    /// Normal equations were singular even after ridge damping.
+    Singular,
+    /// Predict called with the wrong feature width.
+    WidthMismatch {
+        /// Fitted width.
+        expected: usize,
+        /// Offered width.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::EmptyTrainingSet => write!(f, "empty training set"),
+            ModelError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
+            ModelError::Singular => write!(f, "normal equations singular"),
+            ModelError::WidthMismatch { expected, got } => {
+                write!(f, "feature width mismatch: fitted {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Fitted linear regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept term.
+    pub intercept: f64,
+}
+
+impl LinearRegression {
+    /// Fit by solving (XᵀX + λI)β = Xᵀy with an intercept column.
+    pub fn fit(rows: &[Vec<f64>], targets: &[f64], l2: f64) -> Result<Self, ModelError> {
+        if rows.is_empty() {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        if rows.len() != targets.len() {
+            return Err(ModelError::ShapeMismatch(format!(
+                "{} rows vs {} targets",
+                rows.len(),
+                targets.len()
+            )));
+        }
+        let width = rows[0].len();
+        if rows.iter().any(|r| r.len() != width) {
+            return Err(ModelError::ShapeMismatch("ragged rows".into()));
+        }
+        // Design matrix with a leading 1s column.
+        let design: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| {
+                let mut d = Vec::with_capacity(width + 1);
+                d.push(1.0);
+                d.extend_from_slice(r);
+                d
+            })
+            .collect();
+        let x = Matrix::from_rows(&design);
+        let mut gram = x.gram();
+        // Ridge damping (not applied to the intercept).
+        for i in 1..=width {
+            let v = gram.get(i, i) + l2;
+            gram.set(i, i, v);
+        }
+        let xty = x.t_vec(targets);
+        let beta = solve(&gram, &xty).ok_or(ModelError::Singular)?;
+        Ok(LinearRegression {
+            intercept: beta[0],
+            weights: beta[1..].to_vec(),
+        })
+    }
+
+    /// Predict one row.
+    pub fn predict_one(&self, row: &[f64]) -> Result<f64, ModelError> {
+        if row.len() != self.weights.len() {
+            return Err(ModelError::WidthMismatch {
+                expected: self.weights.len(),
+                got: row.len(),
+            });
+        }
+        Ok(self.intercept + dot(&self.weights, row))
+    }
+
+    /// Predict many rows.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, ModelError> {
+        rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 3 + 2a − b
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64 * 0.1, (i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
+        let m = LinearRegression::fit(&rows, &y, 0.0).unwrap();
+        assert!((m.intercept - 3.0).abs() < 1e-8);
+        assert!((m.weights[0] - 2.0).abs() < 1e-8);
+        assert!((m.weights[1] + 1.0).abs() < 1e-8);
+        let p = m.predict(&rows).unwrap();
+        for (a, b) in p.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 5.0 * r[0]).collect();
+        let plain = LinearRegression::fit(&rows, &y, 0.0).unwrap();
+        let ridged = LinearRegression::fit(&rows, &y, 1000.0).unwrap();
+        assert!(ridged.weights[0].abs() < plain.weights[0].abs());
+    }
+
+    #[test]
+    fn collinear_features_singular_without_ridge() {
+        // Second feature is an exact copy of the first.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert_eq!(
+            LinearRegression::fit(&rows, &y, 0.0).unwrap_err(),
+            ModelError::Singular
+        );
+        // Ridge resolves it.
+        assert!(LinearRegression::fit(&rows, &y, 0.1).is_ok());
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert_eq!(
+            LinearRegression::fit(&[], &[], 0.0).unwrap_err(),
+            ModelError::EmptyTrainingSet
+        );
+        assert!(matches!(
+            LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0], 0.0).unwrap_err(),
+            ModelError::ShapeMismatch(_)
+        ));
+        let m = LinearRegression {
+            weights: vec![1.0, 2.0],
+            intercept: 0.0,
+        };
+        assert!(matches!(
+            m.predict_one(&[1.0]).unwrap_err(),
+            ModelError::WidthMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = LinearRegression {
+            weights: vec![0.5, -1.5],
+            intercept: 2.0,
+        };
+        let s = serde_json::to_string(&m).unwrap();
+        let back: LinearRegression = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

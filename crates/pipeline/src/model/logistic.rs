@@ -1,0 +1,227 @@
+//! Binary logistic regression trained with mini-batch gradient descent —
+//! the classifier behind the paper's §5 demo task: "predicts ... whether a
+//! rider will give a high tip (at least 20% of the fare)".
+
+use super::linear::ModelError;
+use crate::linalg::dot;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LogisticConfig {
+    /// Gradient step size.
+    pub learning_rate: f64,
+    /// Full passes over the training data.
+    pub epochs: usize,
+    /// L2 penalty on the weights (not the intercept).
+    pub l2: f64,
+    /// Mini-batch size (0 = full batch).
+    pub batch_size: usize,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            learning_rate: 0.1,
+            epochs: 100,
+            l2: 1e-4,
+            batch_size: 64,
+        }
+    }
+}
+
+/// Fitted binary logistic regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept term.
+    pub intercept: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Fit on row-major features and boolean labels.
+    pub fn fit(
+        rows: &[Vec<f64>],
+        labels: &[bool],
+        config: LogisticConfig,
+    ) -> Result<Self, ModelError> {
+        if rows.is_empty() {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        if rows.len() != labels.len() {
+            return Err(ModelError::ShapeMismatch(format!(
+                "{} rows vs {} labels",
+                rows.len(),
+                labels.len()
+            )));
+        }
+        let width = rows[0].len();
+        if rows.iter().any(|r| r.len() != width) {
+            return Err(ModelError::ShapeMismatch("ragged rows".into()));
+        }
+        let n = rows.len();
+        let batch = if config.batch_size == 0 {
+            n
+        } else {
+            config.batch_size.min(n)
+        };
+        let mut weights = vec![0.0; width];
+        let mut intercept = 0.0;
+        for _ in 0..config.epochs {
+            let mut start = 0;
+            while start < n {
+                let end = (start + batch).min(n);
+                let m = (end - start) as f64;
+                let mut grad_w = vec![0.0; width];
+                let mut grad_b = 0.0;
+                for i in start..end {
+                    let p = sigmoid(intercept + dot(&weights, &rows[i]));
+                    let err = p - if labels[i] { 1.0 } else { 0.0 };
+                    grad_b += err;
+                    for (g, &x) in grad_w.iter_mut().zip(rows[i].iter()) {
+                        *g += err * x;
+                    }
+                }
+                intercept -= config.learning_rate * grad_b / m;
+                for (w, g) in weights.iter_mut().zip(grad_w.iter()) {
+                    *w -= config.learning_rate * (g / m + config.l2 * *w);
+                }
+                start = end;
+            }
+        }
+        Ok(LogisticRegression { weights, intercept })
+    }
+
+    /// Predicted probability of the positive class for one row.
+    pub fn predict_proba_one(&self, row: &[f64]) -> Result<f64, ModelError> {
+        if row.len() != self.weights.len() {
+            return Err(ModelError::WidthMismatch {
+                expected: self.weights.len(),
+                got: row.len(),
+            });
+        }
+        Ok(sigmoid(self.intercept + dot(&self.weights, row)))
+    }
+
+    /// Predicted probabilities for many rows.
+    pub fn predict_proba(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, ModelError> {
+        rows.iter().map(|r| self.predict_proba_one(r)).collect()
+    }
+
+    /// Hard labels at threshold 0.5.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Result<Vec<bool>, ModelError> {
+        Ok(self
+            .predict_proba(rows)?
+            .into_iter()
+            .map(|p| p >= 0.5)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-uniform in [0,1).
+    fn unif(state: &mut u64) -> f64 {
+        *state ^= *state >> 12;
+        *state ^= *state << 25;
+        *state ^= *state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn separable_data(n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut st = 42u64;
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = unif(&mut st) * 4.0 - 2.0;
+            let y = unif(&mut st) * 4.0 - 2.0;
+            rows.push(vec![x, y]);
+            labels.push(x + y > 0.0);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_separable_boundary() {
+        let (rows, labels) = separable_data(800);
+        let m = LogisticRegression::fit(&rows, &labels, LogisticConfig::default()).unwrap();
+        let preds = m.predict(&rows).unwrap();
+        let correct = preds
+            .iter()
+            .zip(labels.iter())
+            .filter(|(p, l)| p == l)
+            .count();
+        let acc = correct as f64 / rows.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+        // Boundary x + y = 0 → weights roughly equal, positive.
+        assert!(m.weights[0] > 0.0 && m.weights[1] > 0.0);
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_direction() {
+        let (rows, labels) = separable_data(500);
+        let m = LogisticRegression::fit(&rows, &labels, LogisticConfig::default()).unwrap();
+        let deep_pos = m.predict_proba_one(&[2.0, 2.0]).unwrap();
+        let deep_neg = m.predict_proba_one(&[-2.0, -2.0]).unwrap();
+        assert!(deep_pos > 0.9);
+        assert!(deep_neg < 0.1);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn full_batch_matches_minibatch_direction() {
+        let (rows, labels) = separable_data(300);
+        let full = LogisticRegression::fit(
+            &rows,
+            &labels,
+            LogisticConfig {
+                batch_size: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mini = LogisticRegression::fit(&rows, &labels, LogisticConfig::default()).unwrap();
+        // Same sign structure.
+        assert_eq!(full.weights[0] > 0.0, mini.weights[0] > 0.0);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(matches!(
+            LogisticRegression::fit(&[], &[], LogisticConfig::default()),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            LogisticRegression::fit(&[vec![1.0]], &[true, false], LogisticConfig::default()),
+            Err(ModelError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = LogisticRegression {
+            weights: vec![1.0],
+            intercept: -0.5,
+        };
+        let s = serde_json::to_string(&m).unwrap();
+        assert_eq!(serde_json::from_str::<LogisticRegression>(&s).unwrap(), m);
+    }
+}

@@ -1,0 +1,14 @@
+//! Models trained by the pipeline substrate: ordinary least squares
+//! ([`linear`]), binary logistic regression ([`logistic`]), and a CART
+//! decision tree ([`tree`]). All models serialize to JSON artifacts so the
+//! observability layer can version and deduplicate them.
+
+pub mod forest;
+pub mod linear;
+pub mod logistic;
+pub mod tree;
+
+pub use forest::{ForestConfig, RandomForest};
+pub use linear::{LinearRegression, ModelError};
+pub use logistic::{LogisticConfig, LogisticRegression};
+pub use tree::{DecisionTree, TreeConfig, TreeNode};

@@ -1,0 +1,339 @@
+//! A CART-style binary decision tree classifier (Gini impurity, axis-
+//! aligned splits). The demo pipeline uses it as the *baseline/challenger*
+//! model so that cross-model comparisons flow through the observability
+//! layer like any other metric.
+
+use super::linear::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// Tree hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth (1 = a single stump split).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of candidate thresholds per feature (quantile cuts).
+    pub candidate_cuts: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_split: 10,
+            candidate_cuts: 16,
+        }
+    }
+}
+
+/// A node of the fitted tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// Internal split: `feature < threshold` goes left, else right.
+    Split {
+        /// Feature index.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Left subtree (feature < threshold).
+        left: Box<TreeNode>,
+        /// Right subtree.
+        right: Box<TreeNode>,
+    },
+    /// Leaf with a positive-class probability.
+    Leaf {
+        /// Fraction of positive training labels at this leaf.
+        probability: f64,
+        /// Training samples that landed here.
+        samples: usize,
+    },
+}
+
+/// Fitted decision tree classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: TreeNode,
+    width: usize,
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Fit on row-major features and boolean labels.
+    pub fn fit(rows: &[Vec<f64>], labels: &[bool], config: TreeConfig) -> Result<Self, ModelError> {
+        if rows.is_empty() {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        if rows.len() != labels.len() {
+            return Err(ModelError::ShapeMismatch(format!(
+                "{} rows vs {} labels",
+                rows.len(),
+                labels.len()
+            )));
+        }
+        let width = rows[0].len();
+        if rows.iter().any(|r| r.len() != width) {
+            return Err(ModelError::ShapeMismatch("ragged rows".into()));
+        }
+        let indexes: Vec<usize> = (0..rows.len()).collect();
+        let root = Self::build(rows, labels, &indexes, config, 1);
+        Ok(DecisionTree { root, width })
+    }
+
+    #[allow(clippy::needless_range_loop)] // feature index is the split id
+    fn build(
+        rows: &[Vec<f64>],
+        labels: &[bool],
+        indexes: &[usize],
+        config: TreeConfig,
+        depth: usize,
+    ) -> TreeNode {
+        let total = indexes.len();
+        let pos = indexes.iter().filter(|&&i| labels[i]).count();
+        let leaf = || TreeNode::Leaf {
+            probability: if total == 0 {
+                0.5
+            } else {
+                pos as f64 / total as f64
+            },
+            samples: total,
+        };
+        if depth > config.max_depth || total < config.min_samples_split || pos == 0 || pos == total
+        {
+            return leaf();
+        }
+        let parent_gini = gini(pos, total);
+        let width = rows[indexes[0]].len();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for f in 0..width {
+            let mut vals: Vec<f64> = indexes
+                .iter()
+                .map(|&i| rows[i][f])
+                .filter(|v| v.is_finite())
+                .collect();
+            if vals.is_empty() {
+                continue;
+            }
+            vals.sort_by(|a, b| a.total_cmp(b));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            // Quantile-spaced candidate thresholds (midpoints).
+            let cuts = config.candidate_cuts.max(1).min(vals.len() - 1);
+            for c in 1..=cuts {
+                let pos_idx = c * (vals.len() - 1) / (cuts + 1) + 1;
+                let threshold = (vals[pos_idx - 1] + vals[pos_idx.min(vals.len() - 1)]) / 2.0;
+                let mut lt = 0usize;
+                let mut lp = 0usize;
+                for &i in indexes {
+                    if rows[i][f] < threshold {
+                        lt += 1;
+                        if labels[i] {
+                            lp += 1;
+                        }
+                    }
+                }
+                let rt = total - lt;
+                if lt == 0 || rt == 0 {
+                    continue;
+                }
+                let rp = pos - lp;
+                let weighted = (lt as f64 * gini(lp, lt) + rt as f64 * gini(rp, rt)) / total as f64;
+                let gain = parent_gini - weighted;
+                if best.is_none_or(|(_, _, g)| gain > g) && gain > 1e-12 {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            return leaf();
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indexes.iter().partition(|&&i| rows[i][feature] < threshold);
+        TreeNode::Split {
+            feature,
+            threshold,
+            left: Box::new(Self::build(rows, labels, &left_idx, config, depth + 1)),
+            right: Box::new(Self::build(rows, labels, &right_idx, config, depth + 1)),
+        }
+    }
+
+    /// Positive-class probability for one row.
+    pub fn predict_proba_one(&self, row: &[f64]) -> Result<f64, ModelError> {
+        if row.len() != self.width {
+            return Err(ModelError::WidthMismatch {
+                expected: self.width,
+                got: row.len(),
+            });
+        }
+        let mut node = &self.root;
+        loop {
+            match node {
+                TreeNode::Leaf { probability, .. } => return Ok(*probability),
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    // NaN (null at serving time) routes right: the
+                    // "unknown" branch shares the ≥ threshold side.
+                    node = if row[*feature] < *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Probabilities for many rows.
+    pub fn predict_proba(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, ModelError> {
+        rows.iter().map(|r| self.predict_proba_one(r)).collect()
+    }
+
+    /// Hard labels at threshold 0.5.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Result<Vec<bool>, ModelError> {
+        Ok(self
+            .predict_proba(rows)?
+            .into_iter()
+            .map(|p| p >= 0.5)
+            .collect())
+    }
+
+    /// Number of leaves (model-complexity diagnostic).
+    pub fn leaf_count(&self) -> usize {
+        fn count(n: &TreeNode) -> usize {
+            match n {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        fn depth(n: &TreeNode) -> usize {
+            match n {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<bool>) {
+        // XOR: not linearly separable, easily tree-separable.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let x = (i % 2) as f64 + (i as f64 * 0.001);
+            let y = ((i / 2) % 2) as f64 + (i as f64 * 0.0007);
+            rows.push(vec![x, y]);
+            labels.push((x < 0.7) != (y < 0.7));
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (rows, labels) = xor_data();
+        let t = DecisionTree::fit(&rows, &labels, TreeConfig::default()).unwrap();
+        let preds = t.predict(&rows).unwrap();
+        let acc = preds
+            .iter()
+            .zip(labels.iter())
+            .filter(|(p, l)| p == l)
+            .count() as f64
+            / rows.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert!(t.depth() >= 2, "xor needs two levels");
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let rows = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let labels = vec![true, true, true];
+        let t = DecisionTree::fit(&rows, &labels, TreeConfig::default()).unwrap();
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.predict_proba_one(&[9.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn max_depth_respected() {
+        let (rows, labels) = xor_data();
+        let t = DecisionTree::fit(
+            &rows,
+            &labels,
+            TreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(t.depth() <= 2, "stump plus leaves");
+        assert!(t.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn probabilities_reflect_leaf_purity() {
+        // One feature, mixed labels on each side of an obvious split.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let labels: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let t = DecisionTree::fit(&rows, &labels, TreeConfig::default()).unwrap();
+        assert!(t.predict_proba_one(&[10.0]).unwrap() < 0.2);
+        assert!(t.predict_proba_one(&[90.0]).unwrap() > 0.8);
+    }
+
+    #[test]
+    fn nan_routes_to_a_leaf() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let labels: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let t = DecisionTree::fit(&rows, &labels, TreeConfig::default()).unwrap();
+        // Must not panic; NaN < x is false, so it follows right branches.
+        let p = t.predict_proba_one(&[f64::NAN]).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(matches!(
+            DecisionTree::fit(&[], &[], TreeConfig::default()),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+        let t = DecisionTree::fit(
+            &[vec![1.0], vec![2.0]],
+            &[true, false],
+            TreeConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            t.predict_proba_one(&[1.0, 2.0]),
+            Err(ModelError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (rows, labels) = xor_data();
+        let t = DecisionTree::fit(&rows, &labels, TreeConfig::default()).unwrap();
+        let s = serde_json::to_string(&t).unwrap();
+        let back: DecisionTree = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,142 @@
+//! Train/test splitting with a seeded shuffle, plus time-ordered splits
+//! (production pipelines train on the past and serve the future, which is
+//! exactly where the paper's train/serve drift comes from).
+
+use crate::frame::DataFrame;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Randomly split a frame into (train, test) with `test_fraction` of rows
+/// in the test set. Deterministic for a given seed.
+pub fn train_test_split(df: &DataFrame, test_fraction: f64, seed: u64) -> (DataFrame, DataFrame) {
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "test fraction must be in [0,1]"
+    );
+    let n = df.num_rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let test_n = (n as f64 * test_fraction).round() as usize;
+    let (test_idx, train_idx) = idx.split_at(test_n.min(n));
+    (df.take(train_idx), df.take(test_idx))
+}
+
+/// Chronological split: the first `train_fraction` of rows (assumed
+/// time-ordered) train, the remainder tests.
+pub fn time_split(df: &DataFrame, train_fraction: f64) -> (DataFrame, DataFrame) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train fraction must be in [0,1]"
+    );
+    let n = df.num_rows();
+    let cut = (n as f64 * train_fraction).round() as usize;
+    let train_idx: Vec<usize> = (0..cut.min(n)).collect();
+    let test_idx: Vec<usize> = (cut.min(n)..n).collect();
+    (df.take(&train_idx), df.take(&test_idx))
+}
+
+/// K-fold index sets: returns `k` (train_indexes, test_indexes) pairs.
+pub fn k_fold_indexes(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(n >= k, "more folds than rows");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * n / k;
+        let hi = (f + 1) * n / k;
+        let test: Vec<usize> = idx[lo..hi].to_vec();
+        let train: Vec<usize> = idx[..lo].iter().chain(idx[hi..].iter()).copied().collect();
+        folds.push((train, test));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Column;
+
+    fn frame(n: usize) -> DataFrame {
+        DataFrame::from_columns(vec![(
+            "x",
+            Column::Float((0..n).map(|i| i as f64).collect()),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let df = frame(100);
+        let (train, test) = train_test_split(&df, 0.3, 7);
+        assert_eq!(train.num_rows(), 70);
+        assert_eq!(test.num_rows(), 30);
+        let mut all: Vec<f64> = train
+            .float_column("x")
+            .unwrap()
+            .into_iter()
+            .chain(test.float_column("x").unwrap())
+            .collect();
+        all.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let df = frame(50);
+        let (a, _) = train_test_split(&df, 0.2, 9);
+        let (b, _) = train_test_split(&df, 0.2, 9);
+        assert_eq!(a, b);
+        let (c, _) = train_test_split(&df, 0.2, 10);
+        assert_ne!(a, c, "different seed should differ");
+    }
+
+    #[test]
+    fn time_split_preserves_order() {
+        let df = frame(10);
+        let (train, test) = time_split(&df, 0.7);
+        assert_eq!(
+            train.float_column("x").unwrap(),
+            (0..7).map(|i| i as f64).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            test.float_column("x").unwrap(),
+            (7..10).map(|i| i as f64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let df = frame(10);
+        let (train, test) = train_test_split(&df, 0.0, 1);
+        assert_eq!((train.num_rows(), test.num_rows()), (10, 0));
+        let (train, test) = time_split(&df, 1.0);
+        assert_eq!((train.num_rows(), test.num_rows()), (10, 0));
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let folds = k_fold_indexes(25, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = [0u32; 25];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 25);
+            for &i in test {
+                seen[i] += 1;
+            }
+            for &i in train {
+                assert!(!test.contains(&i), "train/test overlap");
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each row tested exactly once");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn k_fold_validates_k() {
+        k_fold_indexes(10, 1, 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Fit/transform feature engineering. Every transformer serializes its
+//! fitted parameters, because in the paper's world the *fitted transformer
+//! is an artifact*: Example 4.4's root cause is "a preprocessing component
+//! that hasn't been refit in 6 weeks", and Example 4.3's is a discrepancy
+//! between offline and online feature generation code — both require
+//! fitted-parameter provenance to diagnose.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors from transformers.
+#[derive(Debug, PartialEq)]
+pub enum TransformError {
+    /// `transform` called before `fit`.
+    NotFitted,
+    /// Input width differs from the fitted width.
+    WidthMismatch {
+        /// Fitted width.
+        expected: usize,
+        /// Offered width.
+        got: usize,
+    },
+    /// Fit input was empty or all-null.
+    EmptyFit,
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::NotFitted => write!(f, "transformer is not fitted"),
+            TransformError::WidthMismatch { expected, got } => {
+                write!(f, "width mismatch: fitted {expected}, got {got}")
+            }
+            TransformError::EmptyFit => write!(f, "cannot fit on empty data"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Standardize columns to zero mean, unit variance. Constant columns map
+/// to zero. NaNs pass through (impute first).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit on row-major data.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self, TransformError> {
+        let width = rows.first().map(Vec::len).ok_or(TransformError::EmptyFit)?;
+        let mut means = vec![0.0; width];
+        let mut counts = vec![0u64; width];
+        for row in rows {
+            for (c, &v) in row.iter().enumerate() {
+                if v.is_finite() {
+                    counts[c] += 1;
+                    means[c] += (v - means[c]) / counts[c] as f64;
+                }
+            }
+        }
+        let mut m2 = vec![0.0; width];
+        for row in rows {
+            for (c, &v) in row.iter().enumerate() {
+                if v.is_finite() {
+                    m2[c] += (v - means[c]) * (v - means[c]);
+                }
+            }
+        }
+        let stds: Vec<f64> = m2
+            .iter()
+            .zip(counts.iter())
+            .map(|(&s, &n)| if n > 0 { (s / n as f64).sqrt() } else { 0.0 })
+            .collect();
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Scale rows in place.
+    pub fn transform(&self, rows: &mut [Vec<f64>]) -> Result<(), TransformError> {
+        for row in rows.iter_mut() {
+            if row.len() != self.means.len() {
+                return Err(TransformError::WidthMismatch {
+                    expected: self.means.len(),
+                    got: row.len(),
+                });
+            }
+            for (c, v) in row.iter_mut().enumerate() {
+                let s = self.stds[c];
+                *v = if s > 0.0 {
+                    (*v - self.means[c]) / s
+                } else {
+                    0.0
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// Fitted column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted column standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Scale columns linearly into [0, 1] using the fitted min/max.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit on row-major data.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self, TransformError> {
+        let width = rows.first().map(Vec::len).ok_or(TransformError::EmptyFit)?;
+        let mut mins = vec![f64::INFINITY; width];
+        let mut maxs = vec![f64::NEG_INFINITY; width];
+        for row in rows {
+            for (c, &v) in row.iter().enumerate() {
+                if v.is_finite() {
+                    mins[c] = mins[c].min(v);
+                    maxs[c] = maxs[c].max(v);
+                }
+            }
+        }
+        Ok(MinMaxScaler { mins, maxs })
+    }
+
+    /// Scale rows in place (values outside the fitted range extrapolate).
+    pub fn transform(&self, rows: &mut [Vec<f64>]) -> Result<(), TransformError> {
+        for row in rows.iter_mut() {
+            if row.len() != self.mins.len() {
+                return Err(TransformError::WidthMismatch {
+                    expected: self.mins.len(),
+                    got: row.len(),
+                });
+            }
+            for (c, v) in row.iter_mut().enumerate() {
+                let span = self.maxs[c] - self.mins[c];
+                *v = if span > 0.0 {
+                    (*v - self.mins[c]) / span
+                } else {
+                    0.0
+                };
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Replace NaNs with the fitted per-column mean.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanImputer {
+    means: Vec<f64>,
+}
+
+impl MeanImputer {
+    /// Fit on row-major data (NaNs excluded from the means; an all-NaN
+    /// column imputes to 0).
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self, TransformError> {
+        let width = rows.first().map(Vec::len).ok_or(TransformError::EmptyFit)?;
+        let mut means = vec![0.0; width];
+        let mut counts = vec![0u64; width];
+        for row in rows {
+            for (c, &v) in row.iter().enumerate() {
+                if v.is_finite() {
+                    counts[c] += 1;
+                    means[c] += (v - means[c]) / counts[c] as f64;
+                }
+            }
+        }
+        Ok(MeanImputer { means })
+    }
+
+    /// Impute rows in place.
+    pub fn transform(&self, rows: &mut [Vec<f64>]) -> Result<(), TransformError> {
+        for row in rows.iter_mut() {
+            if row.len() != self.means.len() {
+                return Err(TransformError::WidthMismatch {
+                    expected: self.means.len(),
+                    got: row.len(),
+                });
+            }
+            for (c, v) in row.iter_mut().enumerate() {
+                if !v.is_finite() {
+                    *v = self.means[c];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fitted means used as fill values.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+}
+
+/// One-hot encode a categorical (string) column with a stable category
+/// order; unseen categories at transform time map to the all-zero vector.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OneHotEncoder {
+    categories: Vec<String>,
+}
+
+impl OneHotEncoder {
+    /// Fit on the observed categories (nulls ignored), sorted for
+    /// determinism.
+    pub fn fit<'a, I: IntoIterator<Item = Option<&'a str>>>(values: I) -> Self {
+        let mut categories: Vec<String> = Vec::new();
+        for v in values.into_iter().flatten() {
+            if !categories.iter().any(|c| c == v) {
+                categories.push(v.to_owned());
+            }
+        }
+        categories.sort();
+        OneHotEncoder { categories }
+    }
+
+    /// The fitted category list.
+    pub fn categories(&self) -> &[String] {
+        &self.categories
+    }
+
+    /// Encode one value into a one-hot vector (all zeros for null/unseen).
+    pub fn encode(&self, value: Option<&str>) -> Vec<f64> {
+        let mut out = vec![0.0; self.categories.len()];
+        if let Some(v) = value {
+            if let Ok(i) = self.categories.binary_search_by(|c| c.as_str().cmp(v)) {
+                out[i] = 1.0;
+            }
+        }
+        out
+    }
+}
+
+/// Serialize a fitted transformer (or model) to JSON bytes — the artifact
+/// payload stored (and deduplicated) by the artifact store.
+pub fn to_artifact<T: Serialize>(value: &T) -> Vec<u8> {
+    serde_json::to_vec(value).expect("transform params serialize")
+}
+
+/// Deserialize an artifact back into a fitted transformer/model.
+pub fn from_artifact<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Option<T> {
+    serde_json::from_slice(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ]
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let scaler = StandardScaler::fit(&rows()).unwrap();
+        let mut data = rows();
+        scaler.transform(&mut data).unwrap();
+        for c in 0..2 {
+            let mean: f64 = data.iter().map(|r| r[c]).sum::<f64>() / 4.0;
+            let var: f64 = data.iter().map(|r| r[c] * r[c]).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_constant_column() {
+        let data = vec![vec![5.0], vec![5.0]];
+        let scaler = StandardScaler::fit(&data).unwrap();
+        let mut out = data;
+        scaler.transform(&mut out).unwrap();
+        assert_eq!(out, vec![vec![0.0], vec![0.0]]);
+    }
+
+    #[test]
+    fn standard_scaler_skips_nans_in_fit() {
+        let data = vec![vec![1.0], vec![f64::NAN], vec![3.0]];
+        let scaler = StandardScaler::fit(&data).unwrap();
+        assert!((scaler.means()[0] - 2.0).abs() < 1e-12);
+        assert!(scaler.stds()[0] > 0.0);
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let scaler = StandardScaler::fit(&rows()).unwrap();
+        let mut bad = vec![vec![1.0]];
+        assert_eq!(
+            scaler.transform(&mut bad),
+            Err(TransformError::WidthMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert!(StandardScaler::fit(&[]).is_err());
+    }
+
+    #[test]
+    fn minmax_scaler_unit_interval() {
+        let scaler = MinMaxScaler::fit(&rows()).unwrap();
+        let mut data = rows();
+        scaler.transform(&mut data).unwrap();
+        assert_eq!(data[0], vec![0.0, 0.0]);
+        assert_eq!(data[3], vec![1.0, 1.0]);
+        // Out-of-range input extrapolates rather than clamping silently.
+        let mut wide = vec![vec![7.0, 700.0]];
+        scaler.transform(&mut wide).unwrap();
+        assert!(wide[0][0] > 1.0);
+    }
+
+    #[test]
+    fn mean_imputer_fills_nans() {
+        let train = vec![vec![1.0], vec![3.0], vec![f64::NAN]];
+        let imp = MeanImputer::fit(&train).unwrap();
+        assert_eq!(imp.means(), &[2.0]);
+        let mut data = vec![vec![f64::NAN], vec![5.0]];
+        imp.transform(&mut data).unwrap();
+        assert_eq!(data, vec![vec![2.0], vec![5.0]]);
+    }
+
+    #[test]
+    fn one_hot_round_trip() {
+        let enc = OneHotEncoder::fit(vec![
+            Some("queens"),
+            Some("manhattan"),
+            None,
+            Some("queens"),
+        ]);
+        assert_eq!(enc.categories(), &["manhattan", "queens"]);
+        assert_eq!(enc.encode(Some("manhattan")), vec![1.0, 0.0]);
+        assert_eq!(enc.encode(Some("queens")), vec![0.0, 1.0]);
+        assert_eq!(enc.encode(Some("bronx")), vec![0.0, 0.0], "unseen");
+        assert_eq!(enc.encode(None), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn artifact_round_trip() {
+        let scaler = StandardScaler::fit(&rows()).unwrap();
+        let bytes = to_artifact(&scaler);
+        let back: StandardScaler = from_artifact(&bytes).unwrap();
+        assert_eq!(back, scaler);
+        assert!(from_artifact::<StandardScaler>(b"not json").is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Graph algorithms over the lineage DAG: topological ordering, forward
+//! impact sets (what is downstream of a pointer — the query behind §5.3's
+//! deletion propagation), and ancestor sets.
+
+use crate::graph::{LineageGraph, RunIdx};
+use std::collections::{HashSet, VecDeque};
+
+/// Topological order of run nodes over dependency edges (dependencies
+/// first). Returns `None` if the dependency edges contain a cycle (which
+/// the execution layer never produces, but hand-built graphs might).
+pub fn topo_order(graph: &LineageGraph) -> Option<Vec<RunIdx>> {
+    let n = graph.run_count();
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<RunIdx>> = vec![Vec::new(); n];
+    for idx in graph.run_indexes() {
+        for &dep in &graph.run(idx).deps {
+            indegree[idx.0 as usize] += 1;
+            dependents[dep.0 as usize].push(idx);
+        }
+    }
+    let mut queue: VecDeque<RunIdx> = graph
+        .run_indexes()
+        .filter(|r| indegree[r.0 as usize] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(r) = queue.pop_front() {
+        order.push(r);
+        for &d in &dependents[r.0 as usize] {
+            indegree[d.0 as usize] -= 1;
+            if indegree[d.0 as usize] == 0 {
+                queue.push_back(d);
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// All runs transitively downstream of an I/O pointer (runs that consumed
+/// it, runs that consumed their outputs, ...). BFS over consumer edges.
+pub fn downstream_runs(graph: &LineageGraph, io_name: &str) -> HashSet<RunIdx> {
+    let mut result = HashSet::new();
+    let Some(start) = graph.io_by_name(io_name) else {
+        return result;
+    };
+    let mut io_queue = VecDeque::from([start]);
+    let mut seen_io = HashSet::from([start]);
+    while let Some(io) = io_queue.pop_front() {
+        for &run in &graph.io_node(io).consumers {
+            if result.insert(run) {
+                for &out in &graph.run(run).outputs {
+                    if seen_io.insert(out) {
+                        io_queue.push_back(out);
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// All runs transitively upstream of a run (its dependency closure).
+pub fn ancestor_runs(graph: &LineageGraph, run_id: u64) -> HashSet<RunIdx> {
+    let mut result = HashSet::new();
+    let Some(start) = graph.run_by_id(run_id) else {
+        return result;
+    };
+    let mut queue = VecDeque::from([start]);
+    while let Some(r) = queue.pop_front() {
+        for &dep in &graph.run(r).deps {
+            if result.insert(dep) {
+                queue.push_back(dep);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn chain() -> LineageGraph {
+        let mut g = LineageGraph::new();
+        g.add_run(1, "etl", 10, false, &[], &strs(&["a"]), &[]);
+        g.add_run(2, "clean", 20, false, &strs(&["a"]), &strs(&["b"]), &[1]);
+        g.add_run(3, "train", 30, false, &strs(&["b"]), &strs(&["m"]), &[2]);
+        g.add_run(
+            4,
+            "infer",
+            40,
+            false,
+            &strs(&["b", "m"]),
+            &strs(&["p"]),
+            &[2, 3],
+        );
+        g
+    }
+
+    #[test]
+    fn topo_respects_dependencies() {
+        let g = chain();
+        let order = topo_order(&g).unwrap();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| {
+                order
+                    .iter()
+                    .position(|r| g.run(*r).run_id == i as u64 + 1)
+                    .unwrap()
+            })
+            .collect();
+        assert!(pos[0] < pos[1]);
+        assert!(pos[1] < pos[2]);
+        assert!(pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn downstream_of_source_covers_all() {
+        let g = chain();
+        let down = downstream_runs(&g, "a");
+        assert_eq!(down.len(), 3); // clean, train, infer
+        let down_b = downstream_runs(&g, "b");
+        assert_eq!(down_b.len(), 2); // train, infer
+        assert!(downstream_runs(&g, "p").is_empty());
+        assert!(downstream_runs(&g, "ghost").is_empty());
+    }
+
+    #[test]
+    fn ancestors_of_sink_cover_all() {
+        let g = chain();
+        let up = ancestor_runs(&g, 4);
+        assert_eq!(up.len(), 3);
+        assert!(ancestor_runs(&g, 1).is_empty());
+        assert!(ancestor_runs(&g, 999).is_empty());
+    }
+
+    #[test]
+    fn self_loop_io_does_not_hang_downstream() {
+        let mut g = LineageGraph::new();
+        g.add_run(1, "updater", 10, false, &strs(&["s"]), &strs(&["s"]), &[]);
+        let down = downstream_runs(&g, "s");
+        assert_eq!(down.len(), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Pipeline-snapshot comparison: §2.1 of the paper — "Rarely is the
+//! architecture for an ML pipeline known upfront. As ML pipelines stand in
+//! production over time, new components are added and existing components
+//! are removed" — and the fourth query category, "questions about
+//! historical pipeline snapshots".
+//!
+//! A [`PipelineSnapshot`] captures the architecture *as executed* during a
+//! time window: which components ran, which code versions they ran, and
+//! which component-to-component edges the inferred dependencies realized.
+//! [`diff_snapshots`] compares two windows.
+
+use crate::graph::LineageGraph;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The architecture realized in one time window.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PipelineSnapshot {
+    /// Window start (inclusive), epoch milliseconds.
+    pub from_ms: u64,
+    /// Window end (exclusive), epoch milliseconds.
+    pub to_ms: u64,
+    /// Components that ran, with the set of code versions they ran as.
+    pub components: BTreeMap<String, BTreeSet<String>>,
+    /// Realized dependency edges: (upstream component, downstream
+    /// component).
+    pub edges: BTreeSet<(String, String)>,
+    /// Runs in the window.
+    pub run_count: usize,
+}
+
+/// Capture the architecture executed between `from_ms` (inclusive) and
+/// `to_ms` (exclusive). `code_of` supplies each run's code snapshot (the
+/// graph itself does not retain code hashes; pass
+/// `|run_id| store.run(run_id)...code_hash`).
+pub fn snapshot(
+    graph: &LineageGraph,
+    from_ms: u64,
+    to_ms: u64,
+    mut code_of: impl FnMut(u64) -> Option<String>,
+) -> PipelineSnapshot {
+    let mut snap = PipelineSnapshot {
+        from_ms,
+        to_ms,
+        ..Default::default()
+    };
+    for idx in graph.run_indexes() {
+        let run = graph.run(idx);
+        if run.start_ms < from_ms || run.start_ms >= to_ms {
+            continue;
+        }
+        snap.run_count += 1;
+        let versions = snap.components.entry(run.component.clone()).or_default();
+        if let Some(code) = code_of(run.run_id) {
+            if !code.is_empty() {
+                versions.insert(code);
+            }
+        }
+        for &dep in &run.deps {
+            let upstream = &graph.run(dep).component;
+            if upstream != &run.component {
+                snap.edges.insert((upstream.clone(), run.component.clone()));
+            }
+        }
+    }
+    snap
+}
+
+/// What changed between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotDiff {
+    /// Components present in `after` but not `before`.
+    pub added_components: BTreeSet<String>,
+    /// Components present in `before` but not `after`.
+    pub removed_components: BTreeSet<String>,
+    /// Components whose code-version set changed (present in both).
+    pub changed_code: BTreeMap<String, (BTreeSet<String>, BTreeSet<String>)>,
+    /// Dependency edges that appeared.
+    pub added_edges: BTreeSet<(String, String)>,
+    /// Dependency edges that disappeared.
+    pub removed_edges: BTreeSet<(String, String)>,
+}
+
+impl SnapshotDiff {
+    /// True when the architecture (components + edges + code) is
+    /// unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.added_components.is_empty()
+            && self.removed_components.is_empty()
+            && self.changed_code.is_empty()
+            && self.added_edges.is_empty()
+            && self.removed_edges.is_empty()
+    }
+
+    /// Text rendering for the UI.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("no architecture changes\n");
+            return out;
+        }
+        for c in &self.added_components {
+            let _ = writeln!(out, "+ component {c}");
+        }
+        for c in &self.removed_components {
+            let _ = writeln!(out, "- component {c}");
+        }
+        for (c, (before, after)) in &self.changed_code {
+            let _ = writeln!(out, "~ {c}: code {before:?} → {after:?}");
+        }
+        for (a, b) in &self.added_edges {
+            let _ = writeln!(out, "+ edge {a} → {b}");
+        }
+        for (a, b) in &self.removed_edges {
+            let _ = writeln!(out, "- edge {a} → {b}");
+        }
+        out
+    }
+}
+
+/// Compare two snapshots (typically adjacent time windows).
+pub fn diff_snapshots(before: &PipelineSnapshot, after: &PipelineSnapshot) -> SnapshotDiff {
+    let mut diff = SnapshotDiff::default();
+    for c in after.components.keys() {
+        if !before.components.contains_key(c) {
+            diff.added_components.insert(c.clone());
+        }
+    }
+    for (c, before_code) in &before.components {
+        match after.components.get(c) {
+            None => {
+                diff.removed_components.insert(c.clone());
+            }
+            Some(after_code) if after_code != before_code => {
+                diff.changed_code
+                    .insert(c.clone(), (before_code.clone(), after_code.clone()));
+            }
+            Some(_) => {}
+        }
+    }
+    for e in &after.edges {
+        if !before.edges.contains(e) {
+            diff.added_edges.insert(e.clone());
+        }
+    }
+    for e in &before.edges {
+        if !after.edges.contains(e) {
+            diff.removed_edges.insert(e.clone());
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Week 1: etl → train (code v1). Week 2: etl → train (code v2),
+    /// plus a new ensemble component consuming train's model.
+    fn evolving_graph() -> (LineageGraph, BTreeMap<u64, String>) {
+        let mut g = LineageGraph::new();
+        let mut code = BTreeMap::new();
+        g.add_run(1, "etl", 100, false, &[], &strs(&["raw"]), &[]);
+        code.insert(1, "etl-v1".to_string());
+        g.add_run(
+            2,
+            "train",
+            200,
+            false,
+            &strs(&["raw"]),
+            &strs(&["model"]),
+            &[1],
+        );
+        code.insert(2, "train-v1".to_string());
+        // Week 2 (from 1000).
+        g.add_run(3, "etl", 1100, false, &[], &strs(&["raw"]), &[]);
+        code.insert(3, "etl-v1".to_string());
+        g.add_run(
+            4,
+            "train",
+            1200,
+            false,
+            &strs(&["raw"]),
+            &strs(&["model"]),
+            &[3],
+        );
+        code.insert(4, "train-v2".to_string());
+        g.add_run(
+            5,
+            "ensemble",
+            1300,
+            false,
+            &strs(&["model"]),
+            &strs(&["blended"]),
+            &[4],
+        );
+        code.insert(5, "ensemble-v1".to_string());
+        (g, code)
+    }
+
+    #[test]
+    fn snapshot_captures_window_architecture() {
+        let (g, code) = evolving_graph();
+        let week1 = snapshot(&g, 0, 1000, |id| code.get(&id).cloned());
+        assert_eq!(week1.run_count, 2);
+        assert_eq!(week1.components.len(), 2);
+        assert!(week1.edges.contains(&("etl".into(), "train".into())));
+        assert_eq!(
+            week1.components["train"],
+            BTreeSet::from(["train-v1".to_string()])
+        );
+    }
+
+    #[test]
+    fn diff_detects_additions_and_code_changes() {
+        let (g, code) = evolving_graph();
+        let week1 = snapshot(&g, 0, 1000, |id| code.get(&id).cloned());
+        let week2 = snapshot(&g, 1000, 2000, |id| code.get(&id).cloned());
+        let diff = diff_snapshots(&week1, &week2);
+        assert!(!diff.is_empty());
+        assert_eq!(
+            diff.added_components,
+            BTreeSet::from(["ensemble".to_string()])
+        );
+        assert!(diff.removed_components.is_empty());
+        assert!(diff.changed_code.contains_key("train"));
+        let (before, after) = &diff.changed_code["train"];
+        assert!(before.contains("train-v1") && after.contains("train-v2"));
+        assert!(diff
+            .added_edges
+            .contains(&("train".to_string(), "ensemble".to_string())));
+        let rendered = diff.render();
+        assert!(rendered.contains("+ component ensemble"));
+        assert!(rendered.contains("~ train"));
+        assert!(rendered.contains("+ edge train → ensemble"));
+    }
+
+    #[test]
+    fn identical_windows_diff_empty() {
+        let (g, code) = evolving_graph();
+        let week1 = snapshot(&g, 0, 1000, |id| code.get(&id).cloned());
+        let diff = diff_snapshots(&week1, &week1);
+        assert!(diff.is_empty());
+        assert_eq!(diff.render(), "no architecture changes\n");
+    }
+
+    #[test]
+    fn removal_detected() {
+        let (g, code) = evolving_graph();
+        let week2 = snapshot(&g, 1000, 2000, |id| code.get(&id).cloned());
+        let week1 = snapshot(&g, 0, 1000, |id| code.get(&id).cloned());
+        let diff = diff_snapshots(&week2, &week1);
+        assert_eq!(
+            diff.removed_components,
+            BTreeSet::from(["ensemble".to_string()])
+        );
+        assert!(diff
+            .removed_edges
+            .contains(&("train".to_string(), "ensemble".to_string())));
+    }
+
+    #[test]
+    fn self_edges_excluded() {
+        let mut g = LineageGraph::new();
+        g.add_run(1, "updater", 10, false, &strs(&["s"]), &strs(&["s"]), &[]);
+        g.add_run(2, "updater", 20, false, &strs(&["s"]), &strs(&["s"]), &[1]);
+        let snap = snapshot(&g, 0, 100, |_| None);
+        assert!(snap.edges.is_empty(), "self-dependencies are not edges");
+    }
+}

@@ -1,0 +1,266 @@
+//! The lineage graph: component runs and I/O pointers as nodes, with
+//! produces / consumes / depends-on edges. This is the pipeline computation
+//! DAG the paper's system "reconstructs ... to help practitioners catch
+//! failures" (§2.2).
+//!
+//! Node payloads are interned into arenas and referenced by dense indexes,
+//! so graphs at the paper's §3.4 scale (Ω(1M) nodes per day) stay compact
+//! and traversals stay allocation-light.
+
+use std::collections::HashMap;
+
+/// Dense index of a run node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunIdx(pub u32);
+
+/// Dense index of an I/O node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IoIdx(pub u32);
+
+/// A component-run node.
+#[derive(Debug, Clone)]
+pub struct RunNode {
+    /// External run identifier (the store's `RunId`).
+    pub run_id: u64,
+    /// Component name.
+    pub component: String,
+    /// Start time, epoch milliseconds.
+    pub start_ms: u64,
+    /// Whether the run (body or trigger) failed.
+    pub failed: bool,
+    /// Runs this run depends on (resolved by the execution layer).
+    pub deps: Vec<RunIdx>,
+    /// Input I/O nodes.
+    pub inputs: Vec<IoIdx>,
+    /// Output I/O nodes.
+    pub outputs: Vec<IoIdx>,
+}
+
+/// An I/O pointer node.
+#[derive(Debug, Clone)]
+pub struct IoNode {
+    /// Pointer identifier.
+    pub name: String,
+    /// Runs that produced this pointer, ascending by start time.
+    pub producers: Vec<RunIdx>,
+    /// Runs that consumed this pointer, ascending by insertion.
+    pub consumers: Vec<RunIdx>,
+}
+
+/// The lineage graph.
+#[derive(Debug, Default)]
+pub struct LineageGraph {
+    runs: Vec<RunNode>,
+    ios: Vec<IoNode>,
+    run_index: HashMap<u64, RunIdx>,
+    io_index: HashMap<String, IoIdx>,
+}
+
+impl LineageGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern (or fetch) an I/O node by name.
+    pub fn io(&mut self, name: &str) -> IoIdx {
+        if let Some(&idx) = self.io_index.get(name) {
+            return idx;
+        }
+        let idx = IoIdx(self.ios.len() as u32);
+        self.ios.push(IoNode {
+            name: name.to_owned(),
+            producers: Vec::new(),
+            consumers: Vec::new(),
+        });
+        self.io_index.insert(name.to_owned(), idx);
+        idx
+    }
+
+    /// Add a run with its I/O sets and resolved run-level dependencies
+    /// (external run ids; unknown dependency ids are ignored). Returns the
+    /// new node's index. Panics if `run_id` was already added.
+    #[allow(clippy::too_many_arguments)] // mirrors the run-record shape
+    pub fn add_run(
+        &mut self,
+        run_id: u64,
+        component: &str,
+        start_ms: u64,
+        failed: bool,
+        inputs: &[String],
+        outputs: &[String],
+        dep_run_ids: &[u64],
+    ) -> RunIdx {
+        assert!(
+            !self.run_index.contains_key(&run_id),
+            "run {run_id} already in graph"
+        );
+        let idx = RunIdx(self.runs.len() as u32);
+        let input_idxs: Vec<IoIdx> = inputs.iter().map(|n| self.io(n)).collect();
+        let output_idxs: Vec<IoIdx> = outputs.iter().map(|n| self.io(n)).collect();
+        for &io in &input_idxs {
+            self.ios[io.0 as usize].consumers.push(idx);
+        }
+        for &io in &output_idxs {
+            // Keep producers sorted by start time for time-travel lookups.
+            let producers = &mut self.ios[io.0 as usize].producers;
+            let pos = producers.partition_point(|&r| self.runs[r.0 as usize].start_ms <= start_ms);
+            producers.insert(pos, idx);
+        }
+        let deps: Vec<RunIdx> = dep_run_ids
+            .iter()
+            .filter_map(|id| self.run_index.get(id).copied())
+            .collect();
+        self.runs.push(RunNode {
+            run_id,
+            component: component.to_owned(),
+            start_ms,
+            failed,
+            deps,
+            inputs: input_idxs,
+            outputs: output_idxs,
+        });
+        self.run_index.insert(run_id, idx);
+        idx
+    }
+
+    /// Number of run nodes.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of I/O nodes.
+    pub fn io_count(&self) -> usize {
+        self.ios.len()
+    }
+
+    /// Run node by index.
+    pub fn run(&self, idx: RunIdx) -> &RunNode {
+        &self.runs[idx.0 as usize]
+    }
+
+    /// I/O node by index.
+    pub fn io_node(&self, idx: IoIdx) -> &IoNode {
+        &self.ios[idx.0 as usize]
+    }
+
+    /// Look up a run node by external id.
+    pub fn run_by_id(&self, run_id: u64) -> Option<RunIdx> {
+        self.run_index.get(&run_id).copied()
+    }
+
+    /// Look up an I/O node by name.
+    pub fn io_by_name(&self, name: &str) -> Option<IoIdx> {
+        self.io_index.get(name).copied()
+    }
+
+    /// Iterate all run indexes.
+    pub fn run_indexes(&self) -> impl Iterator<Item = RunIdx> + '_ {
+        (0..self.runs.len() as u32).map(RunIdx)
+    }
+
+    /// The producer of `io` whose start time is the latest ≤ `at_ms`
+    /// (`u64::MAX` for "the freshest"). This is the paper's runtime
+    /// dependency-resolution rule applied at query time.
+    pub fn producer_at(&self, io: IoIdx, at_ms: u64) -> Option<RunIdx> {
+        let producers = &self.ios[io.0 as usize].producers;
+        let pos = producers.partition_point(|&r| self.runs[r.0 as usize].start_ms <= at_ms);
+        if pos == 0 {
+            None
+        } else {
+            Some(producers[pos - 1])
+        }
+    }
+
+    /// The freshest producer of `io`.
+    pub fn latest_producer(&self, io: IoIdx) -> Option<RunIdx> {
+        self.ios[io.0 as usize].producers.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut g = LineageGraph::new();
+        let a = g.io("features.csv");
+        let b = g.io("features.csv");
+        let c = g.io("model.bin");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(g.io_count(), 2);
+        assert_eq!(g.io_node(a).name, "features.csv");
+    }
+
+    #[test]
+    fn add_run_wires_edges() {
+        let mut g = LineageGraph::new();
+        let etl = g.add_run(1, "etl", 100, false, &[], &strs(&["raw.csv"]), &[]);
+        let clean = g.add_run(
+            2,
+            "clean",
+            200,
+            false,
+            &strs(&["raw.csv"]),
+            &strs(&["clean.csv"]),
+            &[1],
+        );
+        assert_eq!(g.run_count(), 2);
+        let raw = g.io_by_name("raw.csv").unwrap();
+        assert_eq!(g.io_node(raw).producers, vec![etl]);
+        assert_eq!(g.io_node(raw).consumers, vec![clean]);
+        assert_eq!(g.run(clean).deps, vec![etl]);
+        assert_eq!(g.run_by_id(2), Some(clean));
+        assert_eq!(g.run_by_id(99), None);
+    }
+
+    #[test]
+    fn unknown_dep_ids_are_ignored() {
+        let mut g = LineageGraph::new();
+        let r = g.add_run(1, "x", 1, false, &[], &[], &[42, 43]);
+        assert!(g.run(r).deps.is_empty());
+    }
+
+    #[test]
+    fn producer_at_respects_time() {
+        let mut g = LineageGraph::new();
+        let v1 = g.add_run(1, "featurize", 100, false, &[], &strs(&["f.csv"]), &[]);
+        let v2 = g.add_run(2, "featurize", 300, false, &[], &strs(&["f.csv"]), &[]);
+        let f = g.io_by_name("f.csv").unwrap();
+        assert_eq!(g.producer_at(f, 50), None);
+        assert_eq!(g.producer_at(f, 100), Some(v1));
+        assert_eq!(g.producer_at(f, 250), Some(v1));
+        assert_eq!(g.producer_at(f, 400), Some(v2));
+        assert_eq!(g.latest_producer(f), Some(v2));
+    }
+
+    #[test]
+    fn producers_sorted_even_with_out_of_order_insertion() {
+        let mut g = LineageGraph::new();
+        g.add_run(1, "f", 300, false, &[], &strs(&["x"]), &[]);
+        g.add_run(2, "f", 100, false, &[], &strs(&["x"]), &[]);
+        g.add_run(3, "f", 200, false, &[], &strs(&["x"]), &[]);
+        let x = g.io_by_name("x").unwrap();
+        let starts: Vec<u64> = g
+            .io_node(x)
+            .producers
+            .iter()
+            .map(|&r| g.run(r).start_ms)
+            .collect();
+        assert_eq!(starts, vec![100, 200, 300]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in graph")]
+    fn duplicate_run_id_panics() {
+        let mut g = LineageGraph::new();
+        g.add_run(1, "a", 1, false, &[], &[], &[]);
+        g.add_run(1, "b", 2, false, &[], &[], &[]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Slice-based lineage queries (§1.1 Querying: "Practitioners typically
+//! investigate errors belonging to a group of outputs, or a slice ...
+//! where slices could be any subgroup defined on-demand").
+//!
+//! Example 4.4 of the paper is the canonical use: slice the complained-
+//! about outputs, aggregate their traces, and rank the component runs by
+//! how often they appear — the top-ranked run (a preprocessor not refit in
+//! six weeks) is the likely culprit.
+
+use crate::graph::LineageGraph;
+use crate::trace::{trace_output, TraceNode, TraceOptions};
+use std::collections::HashMap;
+
+/// A component run with its frequency across a slice's traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedRun {
+    /// Component name.
+    pub component: String,
+    /// External run id.
+    pub run_id: u64,
+    /// Number of slice outputs whose trace contains this run.
+    pub frequency: usize,
+    /// Whether the run failed.
+    pub failed: bool,
+    /// Run start, epoch milliseconds.
+    pub start_ms: u64,
+}
+
+/// Result of a slice lineage aggregation.
+#[derive(Debug, Clone, Default)]
+pub struct SliceReport {
+    /// Outputs that produced a trace.
+    pub traced_outputs: usize,
+    /// Outputs with no producer (skipped).
+    pub untraced_outputs: usize,
+    /// Runs ranked by descending frequency (ties: older runs first —
+    /// long-unrefreshed dependencies surface sooner).
+    pub ranked: Vec<RankedRun>,
+}
+
+/// Aggregate the traces of a slice of outputs and rank component runs by
+/// frequency, descending.
+pub fn slice_lineage(graph: &LineageGraph, outputs: &[String], opts: TraceOptions) -> SliceReport {
+    let mut counts: HashMap<u64, RankedRun> = HashMap::new();
+    let mut traced = 0usize;
+    let mut untraced = 0usize;
+    for out in outputs {
+        match trace_output(graph, out, opts) {
+            Some(trace) => {
+                traced += 1;
+                accumulate(&trace, &mut counts);
+            }
+            None => untraced += 1,
+        }
+    }
+    let mut ranked: Vec<RankedRun> = counts.into_values().collect();
+    ranked.sort_by(|a, b| {
+        b.frequency
+            .cmp(&a.frequency)
+            .then(a.start_ms.cmp(&b.start_ms))
+            .then(a.run_id.cmp(&b.run_id))
+    });
+    SliceReport {
+        traced_outputs: traced,
+        untraced_outputs: untraced,
+        ranked,
+    }
+}
+
+fn accumulate(trace: &TraceNode, counts: &mut HashMap<u64, RankedRun>) {
+    // Count each run once per *output trace*, even if it appears on
+    // multiple paths within that trace (e.g. features feeding both train
+    // and inference).
+    let mut seen: Vec<u64> = Vec::new();
+    trace.visit(&mut |n| {
+        if !seen.contains(&n.run_id) {
+            seen.push(n.run_id);
+            counts
+                .entry(n.run_id)
+                .and_modify(|r| r.frequency += 1)
+                .or_insert_with(|| RankedRun {
+                    component: n.component.clone(),
+                    run_id: n.run_id,
+                    frequency: 1,
+                    failed: n.failed,
+                    start_ms: n.start_ms,
+                });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// A shared stale preprocessor feeds many predictions; a fresh one
+    /// feeds a few.
+    fn sliced_graph() -> LineageGraph {
+        let mut g = LineageGraph::new();
+        // Old preprocessor run (6 weeks old), used by inference runs 10..14.
+        g.add_run(
+            1,
+            "preprocess",
+            100,
+            false,
+            &[],
+            &strs(&["prep_old.bin"]),
+            &[],
+        );
+        // Fresh preprocessor for the last prediction.
+        g.add_run(
+            2,
+            "preprocess",
+            5_000,
+            false,
+            &[],
+            &strs(&["prep_new.bin"]),
+            &[],
+        );
+        for i in 0..5u64 {
+            g.add_run(
+                10 + i,
+                "infer",
+                1_000 + i,
+                false,
+                &strs(&["prep_old.bin"]),
+                &[format!("pred-{i}")],
+                &[1],
+            );
+        }
+        g.add_run(
+            20,
+            "infer",
+            6_000,
+            false,
+            &strs(&["prep_new.bin"]),
+            &strs(&["pred-fresh"]),
+            &[2],
+        );
+        g
+    }
+
+    #[test]
+    fn stale_preprocessor_tops_the_ranking() {
+        let g = sliced_graph();
+        // The complained-about slice: the five old predictions.
+        let slice: Vec<String> = (0..5).map(|i| format!("pred-{i}")).collect();
+        let report = slice_lineage(&g, &slice, TraceOptions::default());
+        assert_eq!(report.traced_outputs, 5);
+        assert_eq!(report.untraced_outputs, 0);
+        // Top-ranked: the shared old preprocessor (frequency 5). The five
+        // distinct inference runs each have frequency 1.
+        assert_eq!(report.ranked[0].component, "preprocess");
+        assert_eq!(report.ranked[0].run_id, 1);
+        assert_eq!(report.ranked[0].frequency, 5);
+        assert!(
+            report.ranked.iter().all(|r| r.run_id != 2),
+            "fresh prep not in slice"
+        );
+    }
+
+    #[test]
+    fn ties_break_toward_older_runs() {
+        let mut g = LineageGraph::new();
+        g.add_run(1, "a", 100, false, &[], &strs(&["x"]), &[]);
+        g.add_run(2, "b", 50, false, &strs(&["x"]), &strs(&["out"]), &[1]);
+        let report = slice_lineage(&g, &strs(&["out"]), TraceOptions::default());
+        // Both runs have frequency 1; run 2 started earlier.
+        assert_eq!(report.ranked[0].run_id, 2);
+    }
+
+    #[test]
+    fn missing_outputs_counted_untraced() {
+        let g = sliced_graph();
+        let report = slice_lineage(
+            &g,
+            &strs(&["pred-0", "nope-1", "nope-2"]),
+            TraceOptions::default(),
+        );
+        assert_eq!(report.traced_outputs, 1);
+        assert_eq!(report.untraced_outputs, 2);
+    }
+
+    #[test]
+    fn run_counted_once_per_trace_even_on_diamond() {
+        let mut g = LineageGraph::new();
+        // featurize feeds both train and infer; infer also takes the model.
+        g.add_run(1, "featurize", 10, false, &[], &strs(&["f.csv"]), &[]);
+        g.add_run(
+            2,
+            "train",
+            20,
+            false,
+            &strs(&["f.csv"]),
+            &strs(&["m.bin"]),
+            &[1],
+        );
+        g.add_run(
+            3,
+            "infer",
+            30,
+            false,
+            &strs(&["f.csv", "m.bin"]),
+            &strs(&["pred"]),
+            &[1, 2],
+        );
+        let report = slice_lineage(&g, &strs(&["pred"]), TraceOptions::default());
+        let featurize = report
+            .ranked
+            .iter()
+            .find(|r| r.component == "featurize")
+            .unwrap();
+        assert_eq!(featurize.frequency, 1, "diamond path counted once");
+    }
+
+    #[test]
+    fn empty_slice_is_empty_report() {
+        let g = sliced_graph();
+        let report = slice_lineage(&g, &[], TraceOptions::default());
+        assert_eq!(report.traced_outputs, 0);
+        assert!(report.ranked.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Graph summarization (§5.3 "Complex DAGs": pipeline DAGs "could be large
+//! and complex, motivating new methods to draw human attention to
+//! summaries and anomalies (i.e., the most problematic components)").
+//!
+//! [`component_summary`] rolls the run-level graph up to per-component
+//! health; [`most_problematic`] ranks components by a problem score that
+//! combines failure rate and failure recency so attention lands on what is
+//! broken *now*.
+
+use crate::graph::LineageGraph;
+use std::collections::BTreeMap;
+
+/// Per-component health rollup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSummary {
+    /// Component name.
+    pub component: String,
+    /// Total runs in the graph.
+    pub runs: usize,
+    /// Failed runs.
+    pub failures: usize,
+    /// failures / runs.
+    pub failure_rate: f64,
+    /// Start time of the most recent run.
+    pub last_run_ms: u64,
+    /// Start time of the most recent *failed* run, if any.
+    pub last_failure_ms: Option<u64>,
+}
+
+/// Summarize every component in the graph, keyed by name.
+pub fn component_summary(graph: &LineageGraph) -> BTreeMap<String, ComponentSummary> {
+    let mut out: BTreeMap<String, ComponentSummary> = BTreeMap::new();
+    for idx in graph.run_indexes() {
+        let run = graph.run(idx);
+        let entry = out
+            .entry(run.component.clone())
+            .or_insert_with(|| ComponentSummary {
+                component: run.component.clone(),
+                runs: 0,
+                failures: 0,
+                failure_rate: 0.0,
+                last_run_ms: 0,
+                last_failure_ms: None,
+            });
+        entry.runs += 1;
+        entry.last_run_ms = entry.last_run_ms.max(run.start_ms);
+        if run.failed {
+            entry.failures += 1;
+            entry.last_failure_ms = Some(
+                entry
+                    .last_failure_ms
+                    .map_or(run.start_ms, |t| t.max(run.start_ms)),
+            );
+        }
+    }
+    for summary in out.values_mut() {
+        summary.failure_rate = summary.failures as f64 / summary.runs as f64;
+    }
+    out
+}
+
+/// Rank components by problem score, descending; take the top `k`.
+///
+/// Score = failure_rate × recency_weight, where recency_weight decays
+/// linearly from 1 (failure at `now_ms`) to 0.1 (failure at or before
+/// `now_ms − horizon_ms`). Components with no failures score 0 and are
+/// omitted.
+pub fn most_problematic(
+    graph: &LineageGraph,
+    now_ms: u64,
+    horizon_ms: u64,
+    k: usize,
+) -> Vec<(ComponentSummary, f64)> {
+    assert!(horizon_ms > 0, "horizon must be positive");
+    let mut scored: Vec<(ComponentSummary, f64)> = component_summary(graph)
+        .into_values()
+        .filter_map(|s| {
+            let last_failure = s.last_failure_ms?;
+            let age = now_ms.saturating_sub(last_failure) as f64;
+            let recency = (1.0 - age / horizon_ms as f64).max(0.1);
+            let score = s.failure_rate * recency;
+            Some((s, score))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.component.cmp(&b.0.component)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> LineageGraph {
+        let mut g = LineageGraph::new();
+        // etl: 4 runs, 0 failures. clean: 4 runs, 2 recent failures.
+        // train: 2 runs, 1 ancient failure.
+        for i in 0..4u64 {
+            g.add_run(i + 1, "etl", 1000 + i, false, &[], &[], &[]);
+        }
+        for i in 0..4u64 {
+            g.add_run(10 + i, "clean", 9_000 + i, i >= 2, &[], &[], &[]);
+        }
+        g.add_run(20, "train", 100, true, &[], &[], &[]);
+        g.add_run(21, "train", 9_500, false, &[], &[], &[]);
+        g
+    }
+
+    #[test]
+    fn summary_counts() {
+        let g = graph();
+        let s = component_summary(&g);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s["etl"].runs, 4);
+        assert_eq!(s["etl"].failures, 0);
+        assert_eq!(s["etl"].failure_rate, 0.0);
+        assert!(s["etl"].last_failure_ms.is_none());
+        assert_eq!(s["clean"].failures, 2);
+        assert_eq!(s["clean"].failure_rate, 0.5);
+        assert_eq!(s["clean"].last_failure_ms, Some(9_003));
+        assert_eq!(s["train"].last_run_ms, 9_500);
+        assert_eq!(s["train"].last_failure_ms, Some(100));
+    }
+
+    #[test]
+    fn problematic_ranks_recent_failures_first() {
+        let g = graph();
+        let top = most_problematic(&g, 10_000, 10_000, 5);
+        // clean (rate .5, recent) should outrank train (rate .5, ancient).
+        assert_eq!(top[0].0.component, "clean");
+        assert_eq!(top[1].0.component, "train");
+        assert!(top[0].1 > top[1].1);
+        // etl never failed → not present.
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let g = graph();
+        let top = most_problematic(&g, 10_000, 10_000, 1);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_empty_summary() {
+        let g = LineageGraph::new();
+        assert!(component_summary(&g).is_empty());
+        assert!(most_problematic(&g, 1, 1, 3).is_empty());
+    }
+}

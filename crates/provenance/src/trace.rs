@@ -1,0 +1,375 @@
+//! Output traces: "the end-to-end journey of a data point", computed on
+//! the fly via depth-first search (§3.1, UI layer).
+//!
+//! A trace starts from an output pointer, resolves the run that produced
+//! it at the relevant time, and expands that run's inputs recursively
+//! through their own producers, yielding a tree whose leaves are the most
+//! upstream sources.
+
+use crate::graph::{IoIdx, LineageGraph, RunIdx};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// One node of a trace tree: a run plus, per input pointer, the producing
+/// sub-trace (if any run produced that pointer in time).
+#[derive(Debug, Clone)]
+pub struct TraceNode {
+    /// The traced run.
+    pub run: RunIdx,
+    /// External run id.
+    pub run_id: u64,
+    /// Component name.
+    pub component: String,
+    /// Run start, epoch milliseconds.
+    pub start_ms: u64,
+    /// Whether the run failed.
+    pub failed: bool,
+    /// For each input pointer: (name, producing sub-trace or None).
+    pub inputs: Vec<(String, Option<TraceNode>)>,
+}
+
+impl TraceNode {
+    /// Number of runs in this trace (including self).
+    pub fn size(&self) -> usize {
+        1 + self
+            .inputs
+            .iter()
+            .filter_map(|(_, t)| t.as_ref())
+            .map(TraceNode::size)
+            .sum::<usize>()
+    }
+
+    /// Depth of the trace tree (a lone run is depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .inputs
+            .iter()
+            .filter_map(|(_, t)| t.as_ref())
+            .map(TraceNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pre-order visit of all runs in the trace.
+    pub fn visit<F: FnMut(&TraceNode)>(&self, f: &mut F) {
+        f(self);
+        for (_, sub) in &self.inputs {
+            if let Some(t) = sub {
+                t.visit(f);
+            }
+        }
+    }
+
+    /// Collect all (component, run_id) pairs in the trace.
+    pub fn runs(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        self.visit(&mut |n| out.push((n.component.clone(), n.run_id)));
+        out
+    }
+
+    /// Render an indented text view (the Figure 4 "trace" command).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0, None);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize, via: Option<&str>) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let marker = if self.failed { "✗" } else { "✓" };
+        match via {
+            Some(io) => {
+                let _ = writeln!(
+                    out,
+                    "{marker} {} (run#{}) ← {io}",
+                    self.component, self.run_id
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{marker} {} (run#{})", self.component, self.run_id);
+            }
+        }
+        for (io, sub) in &self.inputs {
+            match sub {
+                Some(t) => t.render_into(out, depth + 1, Some(io)),
+                None => {
+                    for _ in 0..depth + 1 {
+                        out.push_str("  ");
+                    }
+                    let _ = writeln!(out, "• source: {io}");
+                }
+            }
+        }
+    }
+}
+
+/// Options bounding a trace expansion.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOptions {
+    /// Maximum tree depth (guards pathological graphs).
+    pub max_depth: usize,
+    /// When true, resolve each input to the latest producer *before the
+    /// consuming run started* (time-travel semantics); when false, use the
+    /// freshest producer.
+    pub as_of_run_start: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            max_depth: 64,
+            as_of_run_start: true,
+        }
+    }
+}
+
+/// Trace the lineage of `output` (an I/O pointer name): DFS backward from
+/// its most recent producer. Returns `None` when nothing produced it.
+pub fn trace_output(graph: &LineageGraph, output: &str, opts: TraceOptions) -> Option<TraceNode> {
+    let io = graph.io_by_name(output)?;
+    let producer = graph.latest_producer(io)?;
+    let mut on_path = HashSet::new();
+    Some(expand(graph, producer, opts, 1, &mut on_path))
+}
+
+/// Trace from a specific run instead of an output pointer.
+pub fn trace_run(graph: &LineageGraph, run_id: u64, opts: TraceOptions) -> Option<TraceNode> {
+    let idx = graph.run_by_id(run_id)?;
+    let mut on_path = HashSet::new();
+    Some(expand(graph, idx, opts, 1, &mut on_path))
+}
+
+fn expand(
+    graph: &LineageGraph,
+    run: RunIdx,
+    opts: TraceOptions,
+    depth: usize,
+    on_path: &mut HashSet<RunIdx>,
+) -> TraceNode {
+    let node = graph.run(run);
+    let mut inputs = Vec::with_capacity(node.inputs.len());
+    on_path.insert(run);
+    for &io in &node.inputs {
+        let sub = if depth >= opts.max_depth {
+            None
+        } else {
+            resolve(graph, io, node.start_ms, opts)
+                .filter(|p| !on_path.contains(p))
+                .map(|p| expand(graph, p, opts, depth + 1, on_path))
+        };
+        inputs.push((graph.io_node(io).name.clone(), sub));
+    }
+    on_path.remove(&run);
+    TraceNode {
+        run,
+        run_id: node.run_id,
+        component: node.component.clone(),
+        start_ms: node.start_ms,
+        failed: node.failed,
+        inputs,
+    }
+}
+
+fn resolve(graph: &LineageGraph, io: IoIdx, at_ms: u64, opts: TraceOptions) -> Option<RunIdx> {
+    if opts.as_of_run_start {
+        graph.producer_at(io, at_ms)
+    } else {
+        graph.latest_producer(io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// etl(1) → raw.csv → clean(2) → clean.csv ┐
+    ///                    featurize(3) → f.csv ┴→ train(4) → model.bin
+    ///                                  f.csv ──→ infer(5: f.csv+model.bin) → preds.csv
+    fn pipeline() -> LineageGraph {
+        let mut g = LineageGraph::new();
+        g.add_run(1, "etl", 100, false, &[], &strs(&["raw.csv"]), &[]);
+        g.add_run(
+            2,
+            "clean",
+            200,
+            false,
+            &strs(&["raw.csv"]),
+            &strs(&["clean.csv"]),
+            &[1],
+        );
+        g.add_run(
+            3,
+            "featurize",
+            300,
+            false,
+            &strs(&["clean.csv"]),
+            &strs(&["f.csv"]),
+            &[2],
+        );
+        g.add_run(
+            4,
+            "train",
+            400,
+            true,
+            &strs(&["f.csv"]),
+            &strs(&["model.bin"]),
+            &[3],
+        );
+        g.add_run(
+            5,
+            "infer",
+            500,
+            false,
+            &strs(&["f.csv", "model.bin"]),
+            &strs(&["preds.csv"]),
+            &[3, 4],
+        );
+        g
+    }
+
+    #[test]
+    fn trace_reaches_sources() {
+        let g = pipeline();
+        let t = trace_output(&g, "preds.csv", TraceOptions::default()).unwrap();
+        assert_eq!(t.component, "infer");
+        assert_eq!(t.depth(), 5); // infer→train→featurize→clean→etl
+        let runs = t.runs();
+        let components: Vec<&str> = runs.iter().map(|(c, _)| c.as_str()).collect();
+        assert!(components.contains(&"etl"));
+        assert!(components.contains(&"train"));
+        // f.csv is reached via both infer and train: size counts both paths.
+        assert!(t.size() >= 5);
+    }
+
+    #[test]
+    fn trace_unknown_output_is_none() {
+        let g = pipeline();
+        assert!(trace_output(&g, "ghost.csv", TraceOptions::default()).is_none());
+    }
+
+    #[test]
+    fn io_without_producer_is_source_leaf() {
+        let mut g = LineageGraph::new();
+        g.add_run(
+            1,
+            "clean",
+            100,
+            false,
+            &strs(&["external.csv"]),
+            &strs(&["out.csv"]),
+            &[],
+        );
+        let t = trace_output(&g, "out.csv", TraceOptions::default()).unwrap();
+        assert_eq!(t.inputs.len(), 1);
+        assert_eq!(t.inputs[0].0, "external.csv");
+        assert!(t.inputs[0].1.is_none());
+        assert!(t.render().contains("source: external.csv"));
+    }
+
+    #[test]
+    fn time_travel_resolution_picks_contemporary_producer() {
+        let mut g = LineageGraph::new();
+        g.add_run(1, "featurize", 100, false, &[], &strs(&["f.csv"]), &[]);
+        g.add_run(
+            2,
+            "infer",
+            200,
+            false,
+            &strs(&["f.csv"]),
+            &strs(&["p1"]),
+            &[1],
+        );
+        g.add_run(3, "featurize", 300, false, &[], &strs(&["f.csv"]), &[]);
+        // Tracing p1 with as-of semantics sees featurize run 1, not run 3.
+        let t = trace_output(&g, "p1", TraceOptions::default()).unwrap();
+        let sub = t.inputs[0].1.as_ref().unwrap();
+        assert_eq!(sub.run_id, 1);
+        // Freshest semantics would pick run 3.
+        let t = trace_output(
+            &g,
+            "p1",
+            TraceOptions {
+                as_of_run_start: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.inputs[0].1.as_ref().unwrap().run_id, 3);
+    }
+
+    #[test]
+    fn cyclic_io_terminates() {
+        let mut g = LineageGraph::new();
+        // Run 1 consumes and produces state.bin (self-loop); run 2 reads it.
+        g.add_run(
+            1,
+            "updater",
+            100,
+            false,
+            &strs(&["state.bin"]),
+            &strs(&["state.bin"]),
+            &[],
+        );
+        g.add_run(
+            2,
+            "reader",
+            200,
+            false,
+            &strs(&["state.bin"]),
+            &strs(&["out"]),
+            &[1],
+        );
+        let t = trace_output(&g, "out", TraceOptions::default()).unwrap();
+        assert!(t.size() <= 3, "cycle must not blow up the trace");
+    }
+
+    #[test]
+    fn max_depth_bounds_expansion() {
+        let mut g = LineageGraph::new();
+        let mut prev = "src".to_string();
+        for i in 0..100u64 {
+            let out = format!("io{i}");
+            let deps: Vec<u64> = if i == 0 { vec![] } else { vec![i] };
+            g.add_run(
+                i + 1,
+                &format!("stage{i}"),
+                (i + 1) * 10,
+                false,
+                &[prev.clone()],
+                std::slice::from_ref(&out),
+                &deps,
+            );
+            prev = out;
+        }
+        let t = trace_output(
+            &g,
+            "io99",
+            TraceOptions {
+                max_depth: 10,
+                as_of_run_start: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(t.depth(), 10);
+    }
+
+    #[test]
+    fn trace_run_and_render() {
+        let g = pipeline();
+        let t = trace_run(&g, 4, TraceOptions::default()).unwrap();
+        assert_eq!(t.component, "train");
+        let rendered = t.render();
+        assert!(
+            rendered.contains("✗ train"),
+            "failed run marked: {rendered}"
+        );
+        assert!(rendered.contains("✓ featurize"));
+        assert!(rendered.contains("← f.csv"));
+    }
+}

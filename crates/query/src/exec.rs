@@ -1,0 +1,1042 @@
+//! Query executor: scan → filter → group/aggregate → having → project →
+//! order → limit, over the store's virtual tables.
+
+use crate::ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
+use crate::parser::{parse, ParseError};
+use mltrace_store::schema::{column_index, scan, table_schema, Row, Table};
+use mltrace_store::{Store, StoreError, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Execution error.
+#[derive(Debug)]
+pub enum QueryError {
+    /// SQL text did not parse.
+    Parse(ParseError),
+    /// Unknown table.
+    UnknownTable(String),
+    /// Unknown column in the chosen table.
+    UnknownColumn(String),
+    /// Storage failure during scan.
+    Store(StoreError),
+    /// Semantically invalid query (e.g. bare column with aggregates).
+    Semantic(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            QueryError::Store(e) => write!(f, "store error: {e}"),
+            QueryError::Semantic(m) => write!(f, "invalid query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<StoreError> for QueryError {
+    fn from(e: StoreError) -> Self {
+        QueryError::Store(e)
+    }
+}
+
+/// A query result: column names plus value rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(out, "{:<width$}  ", c, width = widths[i]);
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parse and execute `sql` against `store`.
+///
+/// ```
+/// use mltrace_query::execute;
+/// use mltrace_store::{ComponentRecord, MemoryStore, Store};
+///
+/// let store = MemoryStore::new();
+/// store.register_component(ComponentRecord::named("etl")).unwrap();
+/// let result = execute(&store, "SELECT name FROM components").unwrap();
+/// assert_eq!(result.rows.len(), 1);
+/// ```
+pub fn execute(store: &dyn Store, sql: &str) -> Result<QueryResult, QueryError> {
+    let query = parse(sql)?;
+    execute_query(store, &query)
+}
+
+/// Execute a pre-parsed query.
+pub fn execute_query(store: &dyn Store, query: &Query) -> Result<QueryResult, QueryError> {
+    let table =
+        Table::parse(&query.from).ok_or_else(|| QueryError::UnknownTable(query.from.clone()))?;
+    let schema = table_schema(table);
+    let resolve = |name: &str| -> Result<usize, QueryError> {
+        column_index(table, name).map_err(|_| QueryError::UnknownColumn(name.to_owned()))
+    };
+
+    // Validate column references up front.
+    validate_columns(query, &resolve)?;
+
+    let mut rows = scan(store, table)?;
+
+    // WHERE
+    if let Some(filter) = &query.where_clause {
+        if filter.has_aggregate() {
+            return Err(QueryError::Semantic("aggregate in WHERE".into()));
+        }
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if eval(filter, &row, &resolve)?.truthy() {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    let grouped = !query.group_by.is_empty()
+        || query
+            .select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Expr { expr, .. } if expr.has_aggregate()));
+
+    let (columns, mut out_rows) = if grouped {
+        aggregate(query, rows, &resolve)?
+    } else {
+        project_plain(query, rows, schema, &resolve)?
+    };
+
+    // DISTINCT over the projected rows.
+    if query.distinct {
+        let mut seen: Vec<Row> = Vec::new();
+        out_rows.retain(|row| {
+            if seen.iter().any(|s| {
+                s.len() == row.len() && s.iter().zip(row.iter()).all(|(a, b)| a.loose_eq(b))
+            }) {
+                false
+            } else {
+                seen.push(row.clone());
+                true
+            }
+        });
+    }
+
+    // ORDER BY over output columns first, then table columns (plain mode).
+    if !query.order_by.is_empty() {
+        let keys: Vec<(SortKey, bool)> = query
+            .order_by
+            .iter()
+            .map(|(e, desc)| Ok((sort_key(e, &columns, query, &resolve)?, *desc)))
+            .collect::<Result<_, QueryError>>()?;
+        out_rows.sort_by(|a, b| {
+            for (key, desc) in &keys {
+                let (va, vb) = match key {
+                    SortKey::Output(i) => (&a[*i], &b[*i]),
+                };
+                let c = va.total_cmp(vb);
+                let c = if *desc { c.reverse() } else { c };
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    if let Some(limit) = query.limit {
+        out_rows.truncate(limit);
+    }
+
+    Ok(QueryResult {
+        columns,
+        rows: out_rows,
+    })
+}
+
+enum SortKey {
+    /// Index into the projected output row.
+    Output(usize),
+}
+
+fn sort_key(
+    e: &Expr,
+    columns: &[String],
+    query: &Query,
+    resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
+) -> Result<SortKey, QueryError> {
+    // Match by alias / default name of a projected column.
+    let name = e.default_name();
+    if let Some(i) = columns.iter().position(|c| c.eq_ignore_ascii_case(&name)) {
+        return Ok(SortKey::Output(i));
+    }
+    // Match a projected expression structurally.
+    for (i, item) in query.select.iter().enumerate() {
+        if let SelectItem::Expr { expr, .. } = item {
+            if expr == e {
+                return Ok(SortKey::Output(i));
+            }
+        }
+    }
+    // Plain-table queries: any column is available if SELECT * was used.
+    if query.select == vec![SelectItem::Wildcard] {
+        if let Expr::Column(c) = e {
+            let i = resolve(c)?;
+            return Ok(SortKey::Output(i));
+        }
+    }
+    Err(QueryError::Semantic(format!(
+        "ORDER BY expression '{name}' is not in the select list"
+    )))
+}
+
+fn validate_columns(
+    query: &Query,
+    resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
+) -> Result<(), QueryError> {
+    fn walk(
+        e: &Expr,
+        resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
+    ) -> Result<(), QueryError> {
+        match e {
+            Expr::Column(c) => resolve(c).map(|_| ()),
+            Expr::Literal(_) => Ok(()),
+            Expr::Binary { left, right, .. } => {
+                walk(left, resolve)?;
+                walk(right, resolve)
+            }
+            Expr::Not(x) | Expr::Neg(x) => walk(x, resolve),
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => walk(expr, resolve),
+            Expr::In { expr, list, .. } => {
+                walk(expr, resolve)?;
+                list.iter().try_for_each(|x| walk(x, resolve))
+            }
+            Expr::Agg { arg, .. } => arg.as_deref().map_or(Ok(()), |a| walk(a, resolve)),
+            Expr::Scalar { args, .. } => args.iter().try_for_each(|a| walk(a, resolve)),
+            Expr::Between { expr, lo, hi, .. } => {
+                walk(expr, resolve)?;
+                walk(lo, resolve)?;
+                walk(hi, resolve)
+            }
+        }
+    }
+    for item in &query.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk(expr, resolve)?;
+        }
+    }
+    if let Some(w) = &query.where_clause {
+        walk(w, resolve)?;
+    }
+    if let Some(h) = &query.having {
+        walk(h, resolve)?;
+    }
+    for g in &query.group_by {
+        resolve(g)?;
+    }
+    Ok(())
+}
+
+fn project_plain(
+    query: &Query,
+    rows: Vec<Row>,
+    schema: &[&str],
+    resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
+) -> Result<(Vec<String>, Vec<Row>), QueryError> {
+    if query.select == vec![SelectItem::Wildcard] {
+        return Ok((schema.iter().map(|s| s.to_string()).collect(), rows));
+    }
+    let mut columns = Vec::new();
+    let mut exprs = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(QueryError::Semantic(
+                    "mixed wildcard and expressions unsupported".into(),
+                ))
+            }
+            SelectItem::Expr { expr, alias } => {
+                columns.push(alias.clone().unwrap_or_else(|| expr.default_name()));
+                exprs.push(expr);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut projected = Vec::with_capacity(exprs.len());
+        for e in &exprs {
+            projected.push(eval(e, row, resolve)?);
+        }
+        out.push(projected);
+    }
+    Ok((columns, out))
+}
+
+/// Accumulator for one aggregate within one group.
+#[derive(Debug, Clone)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn add(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(x) = v.as_f64() {
+            self.sum += x;
+        }
+        match &self.min {
+            Some(m) if m.total_cmp(v) != Ordering::Greater => {}
+            _ => self.min = Some(v.clone()),
+        }
+        match &self.max {
+            Some(m) if m.total_cmp(v) != Ordering::Less => {}
+            _ => self.max = Some(v.clone()),
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::from(self.count),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn aggregate(
+    query: &Query,
+    rows: Vec<Row>,
+    resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
+) -> Result<(Vec<String>, Vec<Row>), QueryError> {
+    // Collect every aggregate expression appearing in SELECT or HAVING.
+    let mut agg_exprs: Vec<(AggFunc, Option<Expr>)> = Vec::new();
+    let mut collect = |e: &Expr| collect_aggs(e, &mut agg_exprs);
+    for item in &query.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect(expr);
+        }
+    }
+    if let Some(h) = &query.having {
+        collect_aggs(h, &mut agg_exprs);
+    }
+
+    let group_idx: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|g| resolve(g))
+        .collect::<Result<_, _>>()?;
+
+    // Group rows.
+    let mut groups: HashMap<String, (Row, Vec<AggState>)> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for row in &rows {
+        let key_vals: Row = group_idx.iter().map(|&i| row[i].clone()).collect();
+        let key = format!("{key_vals:?}");
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (key_vals, vec![AggState::new(); agg_exprs.len()])
+        });
+        for (state, (_, arg)) in entry.1.iter_mut().zip(agg_exprs.iter()) {
+            let v = match arg {
+                Some(e) => eval(e, row, resolve)?,
+                None => Value::Bool(true), // COUNT(*): every row counts
+            };
+            state.add(&v);
+        }
+    }
+    // A global aggregate over zero rows still yields one group.
+    if groups.is_empty() && group_idx.is_empty() {
+        order.push("<global>".into());
+        groups.insert(
+            "<global>".into(),
+            (Vec::new(), vec![AggState::new(); agg_exprs.len()]),
+        );
+    }
+
+    // Project each group.
+    let mut columns = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(QueryError::Semantic("SELECT * with GROUP BY".into()))
+            }
+            SelectItem::Expr { expr, alias } => {
+                columns.push(alias.clone().unwrap_or_else(|| expr.default_name()));
+                // Bare (non-aggregate, non-group) columns are invalid.
+                if !expr.has_aggregate() {
+                    if let Expr::Column(c) = expr {
+                        if !query.group_by.iter().any(|g| g.eq_ignore_ascii_case(c)) {
+                            return Err(QueryError::Semantic(format!(
+                                "column {c} is neither aggregated nor grouped"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out_rows = Vec::new();
+    for key in &order {
+        let (key_vals, states) = &groups[key];
+        // HAVING
+        if let Some(h) = &query.having {
+            let v = eval_agg(h, key_vals, states, &agg_exprs, query, resolve)?;
+            if !v.truthy() {
+                continue;
+            }
+        }
+        let mut row = Vec::with_capacity(query.select.len());
+        for item in &query.select {
+            if let SelectItem::Expr { expr, .. } = item {
+                row.push(eval_agg(
+                    expr, key_vals, states, &agg_exprs, query, resolve,
+                )?);
+            }
+        }
+        out_rows.push(row);
+    }
+    Ok((columns, out_rows))
+}
+
+fn collect_aggs(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
+    match e {
+        Expr::Agg { func, arg } => {
+            let key = (*func, arg.as_deref().cloned());
+            if !out.iter().any(|(f, a)| *f == key.0 && *a == key.1) {
+                out.push(key);
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_aggs(left, out);
+            collect_aggs(right, out);
+        }
+        Expr::Not(x) | Expr::Neg(x) => collect_aggs(x, out),
+        Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => collect_aggs(expr, out),
+        Expr::In { expr, list, .. } => {
+            collect_aggs(expr, out);
+            for x in list {
+                collect_aggs(x, out);
+            }
+        }
+        Expr::Scalar { args, .. } => {
+            for a in args {
+                collect_aggs(a, out);
+            }
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            collect_aggs(expr, out);
+            collect_aggs(lo, out);
+            collect_aggs(hi, out);
+        }
+        Expr::Column(_) | Expr::Literal(_) => {}
+    }
+}
+
+/// Evaluate an expression in aggregate context: aggregates read their
+/// group state; bare grouped columns read the group key.
+#[allow(clippy::only_used_in_recursion)]
+fn eval_agg(
+    e: &Expr,
+    key_vals: &[Value],
+    states: &[AggState],
+    agg_exprs: &[(AggFunc, Option<Expr>)],
+    query: &Query,
+    resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
+) -> Result<Value, QueryError> {
+    match e {
+        Expr::Agg { func, arg } => {
+            let idx = agg_exprs
+                .iter()
+                .position(|(f, a)| f == func && a.as_ref() == arg.as_deref())
+                .expect("aggregate was collected");
+            Ok(states[idx].finish(*func))
+        }
+        Expr::Column(c) => {
+            let pos = query
+                .group_by
+                .iter()
+                .position(|g| g.eq_ignore_ascii_case(c))
+                .ok_or_else(|| {
+                    QueryError::Semantic(format!("column {c} is neither aggregated nor grouped"))
+                })?;
+            Ok(key_vals[pos].clone())
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Binary { op, left, right } => {
+            let l = eval_agg(left, key_vals, states, agg_exprs, query, resolve)?;
+            let r = eval_agg(right, key_vals, states, agg_exprs, query, resolve)?;
+            Ok(apply_binop(*op, &l, &r))
+        }
+        Expr::Not(x) => Ok(Value::Bool(
+            !eval_agg(x, key_vals, states, agg_exprs, query, resolve)?.truthy(),
+        )),
+        Expr::Neg(x) => {
+            let v = eval_agg(x, key_vals, states, agg_exprs, query, resolve)?;
+            Ok(v.as_f64().map(|f| Value::Float(-f)).unwrap_or(Value::Null))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_agg(expr, key_vals, states, agg_exprs, query, resolve)?;
+            Ok(Value::Bool(like_match(&v, pattern) != *negated))
+        }
+        Expr::In {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_agg(expr, key_vals, states, agg_exprs, query, resolve)?;
+            let mut found = false;
+            for item in list {
+                let w = eval_agg(item, key_vals, states, agg_exprs, query, resolve)?;
+                if v.loose_eq(&w) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_agg(expr, key_vals, states, agg_exprs, query, resolve)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Scalar { func, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_agg(a, key_vals, states, agg_exprs, query, resolve))
+                .collect::<Result<_, _>>()?;
+            Ok(apply_scalar(*func, &vals))
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            let v = eval_agg(expr, key_vals, states, agg_exprs, query, resolve)?;
+            let l = eval_agg(lo, key_vals, states, agg_exprs, query, resolve)?;
+            let h = eval_agg(hi, key_vals, states, agg_exprs, query, resolve)?;
+            Ok(eval_between(&v, &l, &h, *negated))
+        }
+    }
+}
+
+/// Evaluate an expression against one table row.
+fn eval(
+    e: &Expr,
+    row: &Row,
+    resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
+) -> Result<Value, QueryError> {
+    match e {
+        Expr::Column(c) => Ok(row[resolve(c)?].clone()),
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Binary { op, left, right } => {
+            let l = eval(left, row, resolve)?;
+            let r = eval(right, row, resolve)?;
+            Ok(apply_binop(*op, &l, &r))
+        }
+        Expr::Not(x) => Ok(Value::Bool(!eval(x, row, resolve)?.truthy())),
+        Expr::Neg(x) => {
+            let v = eval(x, row, resolve)?;
+            Ok(v.as_f64().map(|f| Value::Float(-f)).unwrap_or(Value::Null))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, row, resolve)?;
+            Ok(Value::Bool(like_match(&v, pattern) != *negated))
+        }
+        Expr::In {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, row, resolve)?;
+            let mut found = false;
+            for item in list {
+                if v.loose_eq(&eval(item, row, resolve)?) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, row, resolve)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Agg { .. } => Err(QueryError::Semantic(
+            "aggregate outside aggregation context".into(),
+        )),
+        Expr::Scalar { func, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, row, resolve))
+                .collect::<Result<_, _>>()?;
+            Ok(apply_scalar(*func, &vals))
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            let v = eval(expr, row, resolve)?;
+            let l = eval(lo, row, resolve)?;
+            let h = eval(hi, row, resolve)?;
+            Ok(eval_between(&v, &l, &h, *negated))
+        }
+    }
+}
+
+/// `v BETWEEN l AND h` with SQL null semantics (null operand → false).
+fn eval_between(v: &Value, l: &Value, h: &Value, negated: bool) -> Value {
+    if v.is_null() || l.is_null() || h.is_null() {
+        return Value::Bool(false);
+    }
+    let inside = v.total_cmp(l) != Ordering::Less && v.total_cmp(h) != Ordering::Greater;
+    Value::Bool(inside != negated)
+}
+
+/// Apply a scalar function with loose SQL semantics (null in → null out,
+/// except COALESCE).
+fn apply_scalar(func: ScalarFunc, args: &[Value]) -> Value {
+    match func {
+        ScalarFunc::Coalesce => args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null),
+        ScalarFunc::Abs => match args.first() {
+            Some(Value::Int(i)) => Value::Int(i.saturating_abs()),
+            Some(v) => v
+                .as_f64()
+                .map(|f| Value::Float(f.abs()))
+                .unwrap_or(Value::Null),
+            None => Value::Null,
+        },
+        ScalarFunc::Round => match args.first().and_then(Value::as_f64) {
+            Some(f) if f.is_finite() => Value::Int(f.round() as i64),
+            _ => Value::Null,
+        },
+        ScalarFunc::Length => match args.first() {
+            Some(Value::Str(s)) => Value::from(s.chars().count()),
+            Some(Value::List(l)) => Value::from(l.len()),
+            _ => Value::Null,
+        },
+        ScalarFunc::Lower => match args.first() {
+            Some(Value::Str(s)) => Value::from(s.to_lowercase()),
+            _ => Value::Null,
+        },
+        ScalarFunc::Upper => match args.first() {
+            Some(Value::Str(s)) => Value::from(s.to_uppercase()),
+            _ => Value::Null,
+        },
+    }
+}
+
+fn apply_binop(op: BinOp, l: &Value, r: &Value) -> Value {
+    use BinOp::*;
+    match op {
+        And => Value::Bool(l.truthy() && r.truthy()),
+        Or => Value::Bool(l.truthy() || r.truthy()),
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            // SQL-ish null semantics: comparisons with NULL are false.
+            if l.is_null() || r.is_null() {
+                return Value::Bool(false);
+            }
+            let c = l.total_cmp(r);
+            let b = match op {
+                Eq => c == Ordering::Equal,
+                Ne => c != Ordering::Equal,
+                Lt => c == Ordering::Less,
+                Le => c != Ordering::Greater,
+                Gt => c == Ordering::Greater,
+                Ge => c != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Value::Bool(b)
+        }
+        Add | Sub | Mul | Div | Mod => match (l.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) => {
+                let x = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    Mod => a % b,
+                    _ => unreachable!(),
+                };
+                // Keep integer results integral when both sides were ints.
+                match (l, r) {
+                    (Value::Int(_), Value::Int(_))
+                        if x.fract() == 0.0 && x.is_finite() && !matches!(op, Div) =>
+                    {
+                        Value::Int(x as i64)
+                    }
+                    _ => Value::Float(x),
+                }
+            }
+            _ => Value::Null,
+        },
+    }
+}
+
+/// SQL LIKE with `%` (any run) and `_` (single char), case-sensitive.
+fn like_match(v: &Value, pattern: &str) -> bool {
+    let Value::Str(s) = v else { return false };
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match (p.first(), s.first()) {
+            (None, None) => true,
+            (None, Some(_)) => false,
+            (Some(b'%'), _) => rec(s, &p[1..]) || (!s.is_empty() && rec(&s[1..], p)),
+            (Some(b'_'), Some(_)) => rec(&s[1..], &p[1..]),
+            (Some(&c), Some(&d)) if c == d => rec(&s[1..], &p[1..]),
+            _ => false,
+        }
+    }
+    rec(s.as_bytes(), pattern.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltrace_store::{
+        ComponentRecord, ComponentRunRecord, MemoryStore, MetricRecord, RunStatus,
+    };
+
+    fn seeded() -> MemoryStore {
+        let s = MemoryStore::new();
+        for (name, owner) in [("etl", "data-eng"), ("train", "ml"), ("infer", "ml")] {
+            let mut c = ComponentRecord::named(name);
+            c.owner = owner.into();
+            s.register_component(c).unwrap();
+        }
+        for (component, start, dur, status) in [
+            ("etl", 100u64, 50u64, RunStatus::Success),
+            ("etl", 200, 60, RunStatus::Success),
+            ("train", 300, 500, RunStatus::Failed),
+            ("infer", 400, 5, RunStatus::Success),
+            ("infer", 500, 7, RunStatus::TriggerFailed),
+            ("infer", 600, 6, RunStatus::Success),
+        ] {
+            s.log_run(ComponentRunRecord {
+                component: component.into(),
+                start_ms: start,
+                end_ms: start + dur,
+                outputs: vec![format!("out-{start}")],
+                status,
+                ..Default::default()
+            })
+            .unwrap();
+        }
+        for (ts, v) in [(1u64, 0.9), (2, 0.85), (3, 0.6)] {
+            s.log_metric(MetricRecord {
+                component: "infer".into(),
+                run_id: None,
+                name: "accuracy".into(),
+                value: v,
+                ts_ms: ts,
+            })
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn select_star_with_filter_and_order() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "SELECT * FROM component_runs WHERE component = 'infer' ORDER BY start_ms DESC LIMIT 2",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let start_idx = r.columns.iter().position(|c| c == "start_ms").unwrap();
+        assert_eq!(r.rows[0][start_idx], Value::Int(600));
+        assert_eq!(r.rows[1][start_idx], Value::Int(500));
+    }
+
+    #[test]
+    fn projection_with_alias_and_arithmetic() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "SELECT component, duration_ms / 2 AS half FROM component_runs WHERE duration_ms > 100",
+        )
+        .unwrap();
+        assert_eq!(r.columns, vec!["component", "half"]);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::from("train"));
+        assert_eq!(r.rows[0][1], Value::Float(250.0));
+    }
+
+    #[test]
+    fn group_by_with_having_and_order() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "SELECT component, count(*) AS runs, avg(duration_ms) AS avg_dur \
+             FROM component_runs GROUP BY component HAVING count(*) >= 2 \
+             ORDER BY runs DESC",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::from("infer"));
+        assert_eq!(r.rows[0][1], Value::Int(3));
+        assert_eq!(r.rows[1][0], Value::from("etl"));
+        let avg: f64 = r.rows[1][2].as_f64().unwrap();
+        assert!((avg - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "SELECT count(*), min(value), max(value), avg(value) FROM metrics",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(3));
+        assert_eq!(r.rows[0][1], Value::Float(0.6));
+        assert_eq!(r.rows[0][2], Value::Float(0.9));
+        let avg = r.rows[0][3].as_f64().unwrap();
+        assert!((avg - 0.7833333).abs() < 1e-5);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_scan() {
+        let s = MemoryStore::new();
+        let r = execute(&s, "SELECT count(*) FROM metrics").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn like_and_in() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "SELECT name FROM components WHERE name LIKE 'e%' OR name IN ('train')",
+        )
+        .unwrap();
+        let names: Vec<String> = r.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["etl", "train"]);
+        let r = execute(&s, "SELECT name FROM components WHERE name NOT LIKE '%n%'").unwrap();
+        assert_eq!(r.rows.len(), 1); // etl
+    }
+
+    #[test]
+    fn is_null_semantics() {
+        let s = seeded();
+        // metrics.run_id is NULL for externally-fed series.
+        let r = execute(&s, "SELECT count(*) FROM metrics WHERE run_id IS NULL").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+        let r = execute(&s, "SELECT count(*) FROM metrics WHERE run_id IS NOT NULL").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        // Comparisons with NULL are false, not errors.
+        let r = execute(&s, "SELECT count(*) FROM metrics WHERE run_id = 1").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn errors() {
+        let s = seeded();
+        assert!(matches!(
+            execute(&s, "SELECT * FROM nope"),
+            Err(QueryError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            execute(&s, "SELECT bogus FROM components"),
+            Err(QueryError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            execute(&s, "SELECT owner FROM components GROUP BY name"),
+            Err(QueryError::Semantic(_))
+        ));
+        assert!(matches!(
+            execute(&s, "SELECT * FROM components WHERE count(*) > 1"),
+            Err(QueryError::Semantic(_))
+        ));
+        assert!(execute(&s, "SELEC * FROM components").is_err());
+    }
+
+    #[test]
+    fn render_table() {
+        let s = seeded();
+        let r = execute(&s, "SELECT name, owner FROM components ORDER BY name").unwrap();
+        let text = r.render();
+        assert!(text.contains("name"));
+        assert!(text.contains("data-eng"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2 + 3, "header + separator + rows");
+    }
+
+    #[test]
+    fn like_match_wildcards() {
+        assert!(like_match(&Value::from("pred-17"), "pred-%"));
+        assert!(like_match(&Value::from("abc"), "a_c"));
+        assert!(!like_match(&Value::from("abc"), "a_"));
+        assert!(like_match(&Value::from(""), "%"));
+        assert!(!like_match(&Value::Int(5), "5"));
+        assert!(like_match(&Value::from("x%y"), "x%y"));
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "SELECT DISTINCT component FROM component_runs ORDER BY component",
+        )
+        .unwrap();
+        let names: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(names, vec!["etl", "infer", "train"]);
+        // Without DISTINCT there are 6 rows.
+        let r = execute(&s, "SELECT component FROM component_runs").unwrap();
+        assert_eq!(r.rows.len(), 6);
+    }
+
+    #[test]
+    fn between_inclusive_and_negated() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "SELECT count(*) FROM component_runs WHERE start_ms BETWEEN 200 AND 400",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3), "200, 300, 400 inclusive");
+        let r = execute(
+            &s,
+            "SELECT count(*) FROM component_runs WHERE start_ms NOT BETWEEN 200 AND 400",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+        // BETWEEN composes with AND.
+        let r = execute(
+            &s,
+            "SELECT count(*) FROM component_runs WHERE start_ms BETWEEN 100 AND 600 AND component = 'infer'",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "SELECT upper(name) AS u, length(name) AS l, abs(0 - 3) AS a, \
+             round(2.6) AS r, coalesce(NULL, name, 'x') AS c \
+             FROM components WHERE name = 'etl'",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0], Value::from("ETL"));
+        assert_eq!(r.rows[0][1], Value::Int(3));
+        assert_eq!(r.rows[0][2], Value::Int(3));
+        assert_eq!(r.rows[0][3], Value::Int(3));
+        assert_eq!(r.rows[0][4], Value::from("etl"));
+    }
+
+    #[test]
+    fn scalar_null_semantics() {
+        let s = seeded();
+        // run_id is NULL for these metric points: abs(NULL) → NULL.
+        let r = execute(&s, "SELECT count(abs(run_id)) FROM metrics").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0), "nulls excluded from count");
+        let r = execute(&s, "SELECT count(coalesce(run_id, 0)) FROM metrics").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn scalar_inside_aggregate_group() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "SELECT component, max(abs(duration_ms)) AS m FROM component_runs \
+             GROUP BY component ORDER BY m DESC LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0], Value::from("train"));
+    }
+
+    #[test]
+    fn order_by_requires_projected_or_wildcard() {
+        let s = seeded();
+        assert!(matches!(
+            execute(&s, "SELECT name FROM components ORDER BY owner"),
+            Err(QueryError::Semantic(_))
+        ));
+        // But works with wildcard.
+        assert!(execute(&s, "SELECT * FROM components ORDER BY owner").is_ok());
+    }
+}

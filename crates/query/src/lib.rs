@@ -1,0 +1,25 @@
+//! # mltrace-query
+//!
+//! A SQL subset over the observability store's virtual tables
+//! (`components`, `component_runs`, `io_pointers`, `metrics`,
+//! `summaries`) — the paper's §4.2 escape hatch: "for more specific
+//! queries, users can query the logs and metadata via SQL."
+//!
+//! Supported: projections with aliases and arithmetic, `SELECT DISTINCT`,
+//! `WHERE` with `AND`/`OR`/`NOT`, comparisons, `LIKE`, `IN`,
+//! `IS [NOT] NULL`, `[NOT] BETWEEN`, scalar functions (`ABS`, `LENGTH`,
+//! `COALESCE`, `LOWER`, `UPPER`, `ROUND`), `GROUP BY` with
+//! `COUNT`/`SUM`/`AVG`/`MIN`/`MAX` and `HAVING`, `ORDER BY ... [DESC]`,
+//! and `LIMIT`.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+pub mod token;
+
+pub use ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
+pub use exec::{execute, execute_query, QueryError, QueryResult};
+pub use parser::{parse, ParseError};
+pub use token::{tokenize, LexError, Symbol, Token};

@@ -1,0 +1,561 @@
+//! Recursive-descent parser for the SQL subset:
+//!
+//! ```text
+//! query   := SELECT [DISTINCT] items FROM ident [WHERE expr] [GROUP BY cols]
+//!            [HAVING expr] [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//! items   := * | item (, item)*
+//! item    := expr [AS ident]
+//! expr    := or
+//! or      := and (OR and)*
+//! and     := not (AND not)*
+//! not     := NOT not | cmp
+//! cmp     := add (op add | [NOT] LIKE str | [NOT] IN (...) |
+//!            [NOT] BETWEEN add AND add | IS [NOT] NULL)?
+//! add     := mul ((+|-) mul)*
+//! mul     := unary ((*|/|%) unary)*
+//! unary   := - unary | primary
+//! primary := number | string | TRUE | FALSE | NULL | func(expr|*) |
+//!            ident | ( expr )
+//! ```
+
+use crate::ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
+use crate::token::{tokenize, LexError, Symbol, Token};
+use mltrace_store::Value;
+use std::fmt;
+
+/// Parse error.
+#[derive(Debug, PartialEq)]
+pub struct ParseError {
+    /// Description with context.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError {
+            message: format!("trailing input at token {}", p.peek_text()),
+        });
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_text(&self) -> String {
+        self.peek()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "<end>".into())
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: format!("{} (at {})", msg.into(), self.peek_text()),
+        })
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw}"))
+        }
+    }
+
+    fn symbol(&mut self, s: Symbol) -> bool {
+        if self.peek() == Some(&Token::Symbol(s)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Symbol) -> Result<(), ParseError> {
+        if self.symbol(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected {s:?}"))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err("expected identifier")
+            }
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.keyword("DISTINCT");
+        let select = self.select_items()?;
+        self.expect_keyword("FROM")?;
+        let from = self.identifier()?;
+        let where_clause = if self.keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.identifier()?);
+                if !self.symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.keyword("DESC") {
+                    true
+                } else {
+                    self.keyword("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Some(n as usize),
+                _ => return self.err("expected non-negative integer after LIMIT"),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>, ParseError> {
+        if self.symbol(Symbol::Star) {
+            return Ok(vec![SelectItem::Wildcard]);
+        }
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.keyword("AS") {
+                Some(self.identifier()?)
+            } else {
+                None
+            };
+            items.push(SelectItem::Expr { expr, alias });
+            if !self.symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.add_expr()?;
+        // Optional comparison suffix.
+        let op = match self.peek() {
+            Some(Token::Symbol(Symbol::Eq)) => Some(BinOp::Eq),
+            Some(Token::Symbol(Symbol::Ne)) => Some(BinOp::Ne),
+            Some(Token::Symbol(Symbol::Lt)) => Some(BinOp::Lt),
+            Some(Token::Symbol(Symbol::Le)) => Some(BinOp::Le),
+            Some(Token::Symbol(Symbol::Gt)) => Some(BinOp::Gt),
+            Some(Token::Symbol(Symbol::Ge)) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        // [NOT] LIKE / [NOT] IN / IS [NOT] NULL
+        let negated = if self.peek_keyword("NOT")
+            && self
+                .tokens
+                .get(self.pos + 1)
+                .map(|t| matches!(t, Token::Ident(s) if s.eq_ignore_ascii_case("LIKE") || s.eq_ignore_ascii_case("IN") || s.eq_ignore_ascii_case("BETWEEN")))
+                .unwrap_or(false)
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.keyword("BETWEEN") {
+            let lo = self.add_expr()?;
+            self.expect_keyword("AND")?;
+            let hi = self.add_expr()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.keyword("LIKE") {
+            match self.next() {
+                Some(Token::Str(pattern)) => {
+                    return Ok(Expr::Like {
+                        expr: Box::new(left),
+                        pattern,
+                        negated,
+                    })
+                }
+                _ => return self.err("expected string pattern after LIKE"),
+            }
+        }
+        if self.keyword("IN") {
+            self.expect_symbol(Symbol::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(Expr::In {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return self.err("expected LIKE, IN or BETWEEN after NOT");
+        }
+        if self.keyword("IS") {
+            let negated = self.keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Symbol::Plus)) => BinOp::Add,
+                Some(Token::Symbol(Symbol::Minus)) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Symbol::Star)) => BinOp::Mul,
+                Some(Token::Symbol(Symbol::Slash)) => BinOp::Div,
+                Some(Token::Symbol(Symbol::Percent)) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.symbol(Symbol::Minus) {
+            Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    Ok(Expr::Literal(Value::Int(n as i64)))
+                } else {
+                    Ok(Expr::Literal(Value::Float(n)))
+                }
+            }
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::Symbol(Symbol::LParen)) => {
+                let e = self.expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("TRUE") {
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("NULL") {
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                // Aggregate call?
+                if self.peek() == Some(&Token::Symbol(Symbol::LParen)) {
+                    if let Some(func) = AggFunc::parse(&name) {
+                        self.pos += 1; // consume '('
+                        let arg = if self.symbol(Symbol::Star) {
+                            None
+                        } else {
+                            Some(Box::new(self.expr()?))
+                        };
+                        self.expect_symbol(Symbol::RParen)?;
+                        return Ok(Expr::Agg { func, arg });
+                    }
+                    if let Some(func) = ScalarFunc::parse(&name) {
+                        self.pos += 1; // consume '('
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Token::Symbol(Symbol::RParen)) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.symbol(Symbol::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect_symbol(Symbol::RParen)?;
+                        return Ok(Expr::Scalar { func, args });
+                    }
+                    return self.err(format!("unknown function {name}"));
+                }
+                Ok(Expr::Column(name))
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!(
+                    "expected expression, got {}",
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "<end>".into())
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_query_parses() {
+        let q = parse(
+            "SELECT component, count(*) AS runs FROM component_runs \
+             WHERE status != 'success' AND duration_ms >= 100 \
+             GROUP BY component HAVING count(*) > 2 \
+             ORDER BY runs DESC, component LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.from, "component_runs");
+        assert_eq!(q.select.len(), 2);
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.group_by, vec!["component"]);
+        assert!(q.having.as_ref().unwrap().has_aggregate());
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].1, "first key descending");
+        assert!(!q.order_by[1].1);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn wildcard_and_minimal() {
+        let q = parse("select * from metrics").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Wildcard]);
+        assert!(q.where_clause.is_none());
+        assert!(q.limit.is_none());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * 2 = c AND d OR e  →  ((((a+(b*2))=c) AND d) OR e)
+        let q = parse("SELECT * FROM t WHERE a + b * 2 = c AND d OR e").unwrap();
+        let Expr::Binary { op: BinOp::Or, .. } = q.where_clause.unwrap() else {
+            panic!("top level should be OR");
+        };
+    }
+
+    #[test]
+    fn like_in_isnull() {
+        let q = parse(
+            "SELECT * FROM io_pointers WHERE name LIKE 'pred-%' \
+             AND ptype IN ('data', 'model') AND artifact IS NOT NULL",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        let text = format!("{w:?}");
+        assert!(text.contains("Like"));
+        assert!(text.contains("In"));
+        assert!(text.contains("IsNull"));
+        // Negated variants.
+        let q = parse("SELECT * FROM t WHERE a NOT LIKE 'x%' AND b NOT IN (1,2)").unwrap();
+        let text = format!("{:?}", q.where_clause.unwrap());
+        assert!(text.contains("negated: true"));
+    }
+
+    #[test]
+    fn literals() {
+        let q =
+            parse("SELECT * FROM t WHERE a = TRUE AND b = NULL AND c = 2.5 AND d = -3").unwrap();
+        let text = format!("{:?}", q.where_clause.unwrap());
+        assert!(text.contains("Bool(true)"));
+        assert!(text.contains("Null"));
+        assert!(text.contains("Float(2.5)"));
+        assert!(text.contains("Neg"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t LIMIT -1").is_err());
+        assert!(parse("SELECT * FROM t extra").is_err());
+        assert!(
+            parse("SELECT median(x) FROM t").is_err(),
+            "unknown function"
+        );
+        assert!(parse("SELECT * FROM t WHERE a NOT 5").is_err());
+    }
+
+    #[test]
+    fn count_star_and_count_col() {
+        let q = parse("SELECT count(*), count(run_id) FROM metrics").unwrap();
+        assert_eq!(q.select.len(), 2);
+        let SelectItem::Expr {
+            expr: Expr::Agg { arg, .. },
+            ..
+        } = &q.select[0]
+        else {
+            panic!()
+        };
+        assert!(arg.is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! Tokenizer for the SQL subset (§4.2: "for more specific queries, users
+//! can query the logs and metadata via SQL").
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    /// Single-quoted string literal (with `''` escapes).
+    Str(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Punctuation / operator.
+    Symbol(Symbol),
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Symbol(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Tokenization error with byte position.
+#[derive(Debug, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::Symbol(Symbol::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(Symbol::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Symbol(Symbol::Comma));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol(Symbol::Star));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Symbol(Symbol::Plus));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Symbol(Symbol::Minus));
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Symbol(Symbol::Slash));
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Symbol(Symbol::Percent));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol(Symbol::Eq));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Symbol::Ne));
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        position: i,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Symbol(Symbol::Le));
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::Symbol(Symbol::Ne));
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Symbol(Symbol::Lt));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Symbol::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Symbol::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let start = i;
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                position: start,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    position: start,
+                    message: format!("bad number '{text}'"),
+                })?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.'
+                        || bytes[i] == b':')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_symbols() {
+        let t = tokenize("SELECT * FROM runs WHERE a >= 2 AND b != 'x'").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert_eq!(t[1], Token::Symbol(Symbol::Star));
+        assert!(t.contains(&Token::Symbol(Symbol::Ge)));
+        assert!(t.contains(&Token::Symbol(Symbol::Ne)));
+        assert!(t.contains(&Token::Str("x".into())));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("1 2.5 1e3 1.5e-2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(1000.0),
+                Token::Number(0.015),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = tokenize("'it''s fine'").unwrap();
+        assert_eq!(t, vec![Token::Str("it's fine".into())]);
+    }
+
+    #[test]
+    fn ne_spellings() {
+        assert_eq!(tokenize("<>").unwrap(), vec![Token::Symbol(Symbol::Ne)]);
+        assert_eq!(tokenize("!=").unwrap(), vec![Token::Symbol(Symbol::Ne)]);
+    }
+
+    #[test]
+    fn identifiers_allow_metric_names() {
+        // Metric series like `drift_ks:fare` are addressable.
+        let t = tokenize("drift_ks:fare").unwrap();
+        assert_eq!(t, vec![Token::Ident("drift_ks:fare".into())]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = tokenize("a ? b").unwrap_err();
+        assert_eq!(e.position, 2);
+        let e = tokenize("'unterminated").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+        let e = tokenize("!x").unwrap_err();
+        assert!(e.message.contains("after '!'"));
+    }
+}

@@ -1,0 +1,479 @@
+//! Content-addressed artifact store with chunk-level deduplication.
+//!
+//! §5.1 of the paper: the system must "store copies of data and artifacts
+//! (e.g., saved functions or models) and deduplicate them on successive
+//! runs", which is hard when artifacts are "large (e.g., DNNs) and
+//! frequently-changing (e.g., continual learning or retraining)".
+//!
+//! Successive model versions differ in small deltas, so whole-file
+//! addressing dedups nothing. This store splits payloads with
+//! content-defined chunking (a gear rolling hash), addresses each chunk by
+//! its FNV-1a-128 digest, and refcounts chunks so deleting one artifact
+//! version never corrupts another. Insertions or deletions in the payload
+//! shift chunk *boundaries* only locally, so unchanged regions keep their
+//! chunk identities and dedup survives byte shifts — the property
+//! fixed-size chunking lacks.
+
+use crate::error::{Result, StoreError};
+use crate::hash::{fnv1a_128, hex128};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Chunking configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkerConfig {
+    /// Minimum chunk size in bytes (boundaries are suppressed before this).
+    pub min_size: usize,
+    /// Mask determining expected chunk size: a boundary occurs when
+    /// `gear & mask == 0`, giving an expected size of `mask + 1` bytes past
+    /// the minimum.
+    pub mask: u64,
+    /// Hard maximum chunk size.
+    pub max_size: usize,
+}
+
+impl Default for ChunkerConfig {
+    fn default() -> Self {
+        // ~8 KiB expected chunks: small enough to dedup model deltas,
+        // large enough to keep per-chunk overhead low.
+        ChunkerConfig {
+            min_size: 2 * 1024,
+            mask: (1 << 13) - 1,
+            max_size: 64 * 1024,
+        }
+    }
+}
+
+/// 256-entry random gear table for the rolling hash, generated from a
+/// fixed-seed xorshift so chunk boundaries are stable across builds.
+fn gear_table() -> &'static [u64; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        let mut t = [0u64; 256];
+        for slot in t.iter_mut() {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            *slot = state.wrapping_mul(0x2545F4914F6CDD1D);
+        }
+        t
+    })
+}
+
+/// Split `data` into content-defined chunks. Every byte belongs to exactly
+/// one chunk; concatenating the chunks reproduces `data`.
+pub fn chunk_boundaries(data: &[u8], cfg: &ChunkerConfig) -> Vec<(usize, usize)> {
+    let table = gear_table();
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut gear: u64 = 0;
+    let mut i = 0usize;
+    while i < data.len() {
+        gear = (gear << 1).wrapping_add(table[data[i] as usize]);
+        let len = i - start + 1;
+        if (len >= cfg.min_size && gear & cfg.mask == 0) || len >= cfg.max_size {
+            chunks.push((start, i + 1));
+            start = i + 1;
+            gear = 0;
+        }
+        i += 1;
+    }
+    if start < data.len() || data.is_empty() {
+        chunks.push((start, data.len()));
+    }
+    chunks
+}
+
+/// Identifier of a stored artifact: hex digest over its chunk digests.
+pub type ArtifactId = String;
+
+/// Snapshot form of the chunk table: (digest, refcount, payload).
+pub(crate) type ChunkExport = Vec<(u128, u64, Vec<u8>)>;
+/// Snapshot form of the artifact table: (id, length, chunk digests).
+pub(crate) type ArtifactExport = Vec<(String, usize, Vec<u128>)>;
+
+#[derive(Debug, Clone)]
+struct ArtifactMeta {
+    chunks: Vec<u128>,
+    len: usize,
+}
+
+#[derive(Default)]
+struct ArtifactInner {
+    chunks: HashMap<u128, (Bytes, u64)>, // digest → (payload, refcount)
+    artifacts: HashMap<ArtifactId, ArtifactMeta>,
+    logical_bytes: u64,
+    stored_bytes: u64,
+}
+
+/// Deduplication statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ArtifactStats {
+    /// Number of stored artifacts.
+    pub artifacts: usize,
+    /// Number of distinct chunks held.
+    pub chunks: usize,
+    /// Sum of artifact sizes as written by clients.
+    pub logical_bytes: u64,
+    /// Bytes actually held after dedup.
+    pub stored_bytes: u64,
+}
+
+impl ArtifactStats {
+    /// logical / stored; 1.0 means no dedup benefit.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            if self.logical_bytes == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.logical_bytes as f64 / self.stored_bytes as f64
+        }
+    }
+}
+
+/// In-memory content-addressed chunk store.
+///
+/// ```
+/// use mltrace_store::ArtifactStore;
+///
+/// let store = ArtifactStore::default();
+/// let id = store.put(b"model weights v1");
+/// assert_eq!(store.get(&id).unwrap(), b"model weights v1");
+/// assert_eq!(store.put(b"model weights v1"), id, "content addressed");
+/// ```
+pub struct ArtifactStore {
+    cfg: ChunkerConfig,
+    inner: RwLock<ArtifactInner>,
+}
+
+impl Default for ArtifactStore {
+    fn default() -> Self {
+        Self::new(ChunkerConfig::default())
+    }
+}
+
+impl ArtifactStore {
+    /// Create a store with the given chunking configuration.
+    pub fn new(cfg: ChunkerConfig) -> Self {
+        ArtifactStore {
+            cfg,
+            inner: RwLock::new(ArtifactInner::default()),
+        }
+    }
+
+    /// Store a payload, returning its content address. Re-storing identical
+    /// or near-identical payloads reuses existing chunks.
+    pub fn put(&self, data: &[u8]) -> ArtifactId {
+        let bounds = chunk_boundaries(data, &self.cfg);
+        let digests: Vec<u128> = bounds
+            .iter()
+            .map(|&(s, e)| fnv1a_128(&data[s..e]))
+            .collect();
+        // Artifact id = digest of the chunk-digest list (plus length, so
+        // the empty artifact is addressable).
+        let mut idbytes = Vec::with_capacity(digests.len() * 16 + 8);
+        for d in &digests {
+            idbytes.extend_from_slice(&d.to_le_bytes());
+        }
+        idbytes.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        let id = hex128(fnv1a_128(&idbytes));
+
+        let mut g = self.inner.write();
+        if g.artifacts.contains_key(&id) {
+            // Identical payload already stored: bump chunk refcounts so a
+            // later delete of either reference is safe.
+            for d in &digests {
+                if let Some((_, rc)) = g.chunks.get_mut(d) {
+                    *rc += 1;
+                }
+            }
+            g.logical_bytes += data.len() as u64;
+            return id;
+        }
+        for (&(s, e), &d) in bounds.iter().zip(digests.iter()) {
+            match g.chunks.get_mut(&d) {
+                Some((_, rc)) => *rc += 1,
+                None => {
+                    g.stored_bytes += (e - s) as u64;
+                    g.chunks.insert(d, (Bytes::copy_from_slice(&data[s..e]), 1));
+                }
+            }
+        }
+        g.logical_bytes += data.len() as u64;
+        g.artifacts.insert(
+            id.clone(),
+            ArtifactMeta {
+                chunks: digests,
+                len: data.len(),
+            },
+        );
+        id
+    }
+
+    /// Reassemble a stored artifact.
+    pub fn get(&self, id: &str) -> Result<Vec<u8>> {
+        let g = self.inner.read();
+        let meta = g
+            .artifacts
+            .get(id)
+            .ok_or_else(|| StoreError::NotFound(format!("artifact {id}")))?;
+        let mut out = Vec::with_capacity(meta.len);
+        for d in &meta.chunks {
+            let (bytes, _) = g
+                .chunks
+                .get(d)
+                .ok_or_else(|| StoreError::Corrupt(format!("missing chunk {d:032x}")))?;
+            out.extend_from_slice(bytes);
+        }
+        Ok(out)
+    }
+
+    /// True if the artifact is stored.
+    pub fn contains(&self, id: &str) -> bool {
+        self.inner.read().artifacts.contains_key(id)
+    }
+
+    /// Drop one reference to an artifact, freeing chunks whose refcount
+    /// reaches zero. Supports the paper's GDPR forward-deletion: removing a
+    /// client-derived model never breaks other artifacts sharing chunks.
+    pub fn delete(&self, id: &str) -> Result<()> {
+        let mut g = self.inner.write();
+        let meta = g
+            .artifacts
+            .remove(id)
+            .ok_or_else(|| StoreError::NotFound(format!("artifact {id}")))?;
+        for d in &meta.chunks {
+            let remove = match g.chunks.get_mut(d) {
+                Some((bytes, rc)) => {
+                    *rc -= 1;
+                    if *rc == 0 {
+                        g.stored_bytes -= bytes.len() as u64;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            };
+            if remove {
+                g.chunks.remove(d);
+            }
+        }
+        g.logical_bytes = g.logical_bytes.saturating_sub(meta.len as u64);
+        Ok(())
+    }
+
+    /// Export all state for snapshotting: (digest, refcount, payload)
+    /// chunks, (id, length, chunk digests) artifacts, and logical bytes.
+    pub(crate) fn export_state(&self) -> (ChunkExport, ArtifactExport, u64) {
+        let g = self.inner.read();
+        let chunks = g
+            .chunks
+            .iter()
+            .map(|(&d, (bytes, rc))| (d, *rc, bytes.to_vec()))
+            .collect();
+        let artifacts = g
+            .artifacts
+            .iter()
+            .map(|(id, meta)| (id.clone(), meta.len, meta.chunks.clone()))
+            .collect();
+        (chunks, artifacts, g.logical_bytes)
+    }
+
+    /// Restore state exported by [`ArtifactStore::export_state`] into an
+    /// empty store. Validates that every artifact's chunks are present.
+    pub(crate) fn import_state(
+        &self,
+        chunks: ChunkExport,
+        artifacts: ArtifactExport,
+        logical_bytes: u64,
+    ) -> std::result::Result<(), String> {
+        let mut g = self.inner.write();
+        if !g.artifacts.is_empty() || !g.chunks.is_empty() {
+            return Err("import into a non-empty store".into());
+        }
+        let mut stored = 0u64;
+        for (digest, refcount, payload) in chunks {
+            stored += payload.len() as u64;
+            g.chunks.insert(digest, (Bytes::from(payload), refcount));
+        }
+        for (id, len, digests) in artifacts {
+            for d in &digests {
+                if !g.chunks.contains_key(d) {
+                    return Err(format!("artifact {id} references missing chunk {d:032x}"));
+                }
+            }
+            g.artifacts.insert(
+                id,
+                ArtifactMeta {
+                    chunks: digests,
+                    len,
+                },
+            );
+        }
+        g.stored_bytes = stored;
+        g.logical_bytes = logical_bytes;
+        Ok(())
+    }
+
+    /// Current dedup statistics.
+    pub fn stats(&self) -> ArtifactStats {
+        let g = self.inner.read();
+        ArtifactStats {
+            artifacts: g.artifacts.len(),
+            chunks: g.chunks.len(),
+            logical_bytes: g.logical_bytes,
+            stored_bytes: g.stored_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudorandom payload (xorshift), aperiodic so the
+    /// content-defined chunker finds natural boundaries.
+    fn payload(n: usize, seed: u8) -> Vec<u8> {
+        let mut state: u64 = 0x1234_5678_9abc_def0 ^ (seed as u64) << 32 | 1;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let word = state.wrapping_mul(0x2545F4914F6CDD1D);
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out.truncate(n);
+        out
+    }
+
+    #[test]
+    fn chunks_cover_input_exactly() {
+        let data = payload(100_000, 1);
+        let cfg = ChunkerConfig::default();
+        let bounds = chunk_boundaries(&data, &cfg);
+        let mut pos = 0;
+        for &(s, e) in &bounds {
+            assert_eq!(s, pos);
+            assert!(e > s);
+            pos = e;
+        }
+        assert_eq!(pos, data.len());
+        for &(s, e) in &bounds[..bounds.len() - 1] {
+            assert!(e - s >= cfg.min_size, "chunk under min");
+            assert!(e - s <= cfg.max_size, "chunk over max");
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_one_empty_chunk() {
+        let bounds = chunk_boundaries(&[], &ChunkerConfig::default());
+        assert_eq!(bounds, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = ArtifactStore::default();
+        let data = payload(50_000, 3);
+        let id = store.put(&data);
+        assert!(store.contains(&id));
+        assert_eq!(store.get(&id).unwrap(), data);
+        assert!(store.get("nope").is_err());
+    }
+
+    #[test]
+    fn identical_payloads_share_all_chunks() {
+        let store = ArtifactStore::default();
+        let data = payload(40_000, 5);
+        let a = store.put(&data);
+        let b = store.put(&data);
+        assert_eq!(a, b);
+        let st = store.stats();
+        assert_eq!(st.logical_bytes, 80_000);
+        assert!(st.stored_bytes <= 40_000 + 100);
+        assert!(st.dedup_ratio() > 1.9);
+    }
+
+    #[test]
+    fn shifted_payload_still_dedups() {
+        // Insert 100 bytes at the front: fixed-size chunking would re-store
+        // everything; content-defined chunking re-stores only a prefix.
+        let store = ArtifactStore::default();
+        let base = payload(200_000, 7);
+        store.put(&base);
+        let mut shifted = payload(100, 99);
+        shifted.extend_from_slice(&base);
+        store.put(&shifted);
+        let st = store.stats();
+        // Stored should be far less than logical (400 KB).
+        assert!(
+            (st.stored_bytes as f64) < 0.6 * st.logical_bytes as f64,
+            "stored {} vs logical {}",
+            st.stored_bytes,
+            st.logical_bytes
+        );
+    }
+
+    #[test]
+    fn small_delta_model_versions_dedup() {
+        let store = ArtifactStore::default();
+        let mut model = payload(500_000, 11);
+        store.put(&model);
+        // "Retrain": rewrite one contiguous 1% region (a layer's weights).
+        let delta = payload(5_000, 23);
+        model[200_000..205_000].copy_from_slice(&delta);
+        store.put(&model);
+        let st = store.stats();
+        assert!(
+            st.dedup_ratio() > 1.7,
+            "unchanged regions should dedup, ratio {}",
+            st.dedup_ratio()
+        );
+    }
+
+    #[test]
+    fn delete_respects_refcounts() {
+        let store = ArtifactStore::default();
+        let data = payload(30_000, 13);
+        let a = store.put(&data);
+        let b = store.put(&data); // same id, refcounted
+        assert_eq!(a, b);
+        store.delete(&a).unwrap();
+        // Second reference gone with the artifact entry, but chunks survive
+        // only while referenced: after first delete artifact id is gone.
+        assert!(!store.contains(&a));
+        assert!(store.delete(&a).is_err());
+    }
+
+    #[test]
+    fn delete_frees_unshared_chunks_only() {
+        let store = ArtifactStore::default();
+        let base = payload(100_000, 17);
+        let a = store.put(&base);
+        let mut v2 = base.clone();
+        v2.extend_from_slice(&payload(50_000, 19));
+        let b = store.put(&v2);
+        let before = store.stats().stored_bytes;
+        store.delete(&a).unwrap();
+        let after = store.stats();
+        assert!(after.stored_bytes <= before);
+        // b must still reassemble correctly.
+        assert_eq!(store.get(&b).unwrap(), v2);
+    }
+
+    #[test]
+    fn stats_empty_store() {
+        let store = ArtifactStore::default();
+        let st = store.stats();
+        assert_eq!(st.artifacts, 0);
+        assert_eq!(st.dedup_ratio(), 1.0);
+    }
+}

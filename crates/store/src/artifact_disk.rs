@@ -1,0 +1,215 @@
+//! Artifact-store persistence: a single-file snapshot format so stored
+//! payloads survive restarts alongside the WAL (the WAL durably records
+//! *pointers* and their content addresses; this file durably records the
+//! chunks those addresses resolve to).
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic "MLTA" | version u32
+//! chunk_count u64
+//!   per chunk: digest u128 | refcount u64 | len u64 | bytes
+//! artifact_count u64
+//!   per artifact: id_len u64 | id bytes | payload_len u64 |
+//!                 chunk_count u64 | digests u128...
+//! logical_bytes u64
+//! ```
+
+use crate::artifact::ArtifactStore;
+use crate::error::{Result, StoreError};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MLTA";
+const VERSION: u32 = 1;
+
+impl ArtifactStore {
+    /// Write a snapshot of every chunk and artifact to `path`
+    /// (atomically, via a sibling temp file).
+    pub fn write_snapshot(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+            w.write_all(MAGIC)?;
+            w.write_all(&VERSION.to_le_bytes())?;
+            let (chunks, artifacts, logical) = self.export_state();
+            w.write_all(&(chunks.len() as u64).to_le_bytes())?;
+            for (digest, refcount, payload) in &chunks {
+                w.write_all(&digest.to_le_bytes())?;
+                w.write_all(&refcount.to_le_bytes())?;
+                w.write_all(&(payload.len() as u64).to_le_bytes())?;
+                w.write_all(payload)?;
+            }
+            w.write_all(&(artifacts.len() as u64).to_le_bytes())?;
+            for (id, len, digests) in &artifacts {
+                w.write_all(&(id.len() as u64).to_le_bytes())?;
+                w.write_all(id.as_bytes())?;
+                w.write_all(&(*len as u64).to_le_bytes())?;
+                w.write_all(&(digests.len() as u64).to_le_bytes())?;
+                for d in digests {
+                    w.write_all(&d.to_le_bytes())?;
+                }
+            }
+            w.write_all(&logical.to_le_bytes())?;
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load a snapshot written by [`ArtifactStore::write_snapshot`] into a
+    /// fresh store (keeping the default chunker configuration for new
+    /// writes).
+    pub fn read_snapshot(path: impl AsRef<Path>) -> Result<ArtifactStore> {
+        let mut r = BufReader::new(std::fs::File::open(path.as_ref())?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(StoreError::Corrupt("bad artifact snapshot magic".into()));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported artifact snapshot version {version}"
+            )));
+        }
+        let chunk_count = read_u64(&mut r)? as usize;
+        let mut chunks = Vec::with_capacity(chunk_count.min(1 << 20));
+        for _ in 0..chunk_count {
+            let digest = read_u128(&mut r)?;
+            let refcount = read_u64(&mut r)?;
+            let len = read_u64(&mut r)? as usize;
+            let mut payload = vec![0u8; len];
+            r.read_exact(&mut payload)?;
+            chunks.push((digest, refcount, payload));
+        }
+        let artifact_count = read_u64(&mut r)? as usize;
+        let mut artifacts = Vec::with_capacity(artifact_count.min(1 << 20));
+        for _ in 0..artifact_count {
+            let id_len = read_u64(&mut r)? as usize;
+            let mut id = vec![0u8; id_len];
+            r.read_exact(&mut id)?;
+            let id = String::from_utf8(id)
+                .map_err(|_| StoreError::Corrupt("artifact id not utf-8".into()))?;
+            let len = read_u64(&mut r)? as usize;
+            let digest_count = read_u64(&mut r)? as usize;
+            let mut digests = Vec::with_capacity(digest_count.min(1 << 20));
+            for _ in 0..digest_count {
+                digests.push(read_u128(&mut r)?);
+            }
+            artifacts.push((id, len, digests));
+        }
+        let logical = read_u64(&mut r)?;
+        let store = ArtifactStore::default();
+        store
+            .import_state(chunks, artifacts, logical)
+            .map_err(StoreError::Corrupt)?;
+        Ok(store)
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u128(r: &mut impl Read) -> Result<u128> {
+    let mut b = [0u8; 16];
+    r.read_exact(&mut b)?;
+    Ok(u128::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            out.extend_from_slice(&state.wrapping_mul(0x2545F4914F6CDD1D).to_le_bytes());
+        }
+        out.truncate(n);
+        out
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mltrace-artsnap-{name}-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn snapshot_round_trips_everything() {
+        let store = ArtifactStore::default();
+        let a = payload(100_000, 3);
+        let mut b = a.clone();
+        b.extend_from_slice(&payload(20_000, 5));
+        let id_a = store.put(&a);
+        let id_b = store.put(&b);
+        let id_dup = store.put(&a); // refcounted duplicate
+        assert_eq!(id_a, id_dup);
+        let before = store.stats();
+
+        let path = tmp("roundtrip");
+        store.write_snapshot(&path).unwrap();
+        let restored = ArtifactStore::read_snapshot(&path).unwrap();
+        assert_eq!(restored.stats(), before);
+        assert_eq!(restored.get(&id_a).unwrap(), a);
+        assert_eq!(restored.get(&id_b).unwrap(), b);
+
+        // Refcounts survived: deleting one reference of `a` keeps it.
+        restored.delete(&id_a).unwrap();
+        assert_eq!(restored.get(&id_b).unwrap(), b, "shared chunks intact");
+        // New writes still work after restore.
+        let c = restored.put(&payload(5_000, 9));
+        assert!(restored.contains(&c));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = ArtifactStore::default();
+        let path = tmp("empty");
+        store.write_snapshot(&path).unwrap();
+        let restored = ArtifactStore::read_snapshot(&path).unwrap();
+        assert_eq!(restored.stats().artifacts, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        assert!(matches!(
+            ArtifactStore::read_snapshot(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let store = ArtifactStore::default();
+        store.put(&payload(50_000, 7));
+        let path = tmp("trunc");
+        store.write_snapshot(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(ArtifactStore::read_snapshot(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,201 @@
+//! Forward-trace deletion (§5.3): "when an application client deletes
+//! their account, practitioners need to delete all artifacts derived from
+//! that client's data."
+//!
+//! Starting from a set of source I/O pointers, [`forward_closure`] walks
+//! the consumer index transitively — every run that read a tainted pointer
+//! taints all of its outputs — and [`delete_derived`] removes the derived
+//! runs and pointers (optionally sparing the roots, e.g. when the client
+//! data itself lives outside the store).
+
+use crate::error::Result;
+use crate::record::RunId;
+use crate::store::Store;
+use std::collections::{BTreeSet, VecDeque};
+
+/// The transitive closure of data derived from a set of source pointers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ForwardClosure {
+    /// All tainted I/O pointer names (including the roots).
+    pub pointers: BTreeSet<String>,
+    /// All runs that consumed tainted data (and therefore produced tainted
+    /// outputs).
+    pub runs: BTreeSet<RunId>,
+}
+
+/// Compute the forward closure of `roots` over the consumer index.
+pub fn forward_closure(store: &dyn Store, roots: &[String]) -> Result<ForwardClosure> {
+    let mut closure = ForwardClosure::default();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    for r in roots {
+        if closure.pointers.insert(r.clone()) {
+            queue.push_back(r.clone());
+        }
+    }
+    while let Some(io) = queue.pop_front() {
+        for rid in store.consumers_of(&io)? {
+            if !closure.runs.insert(rid) {
+                continue;
+            }
+            if let Some(run) = store.run(rid)? {
+                for out in run.outputs {
+                    if closure.pointers.insert(out.clone()) {
+                        queue.push_back(out);
+                    }
+                }
+            }
+        }
+    }
+    Ok(closure)
+}
+
+/// Report of a forward deletion.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeletionReport {
+    /// Runs deleted.
+    pub runs_deleted: usize,
+    /// Pointers deleted.
+    pub pointers_deleted: usize,
+    /// Components whose latest artifacts were affected — the paper warns
+    /// that "deleting artifacts without rerunning dependent components ...
+    /// could break production", so callers must be told what to re-run.
+    pub components_needing_rerun: BTreeSet<String>,
+}
+
+/// Delete everything derived from `roots`. When `keep_roots` is true the
+/// root pointers themselves are retained (only derived data is purged).
+pub fn delete_derived(
+    store: &dyn Store,
+    roots: &[String],
+    keep_roots: bool,
+) -> Result<DeletionReport> {
+    let closure = forward_closure(store, roots)?;
+    let mut components = BTreeSet::new();
+    for rid in &closure.runs {
+        if let Some(run) = store.run(*rid)? {
+            components.insert(run.component);
+        }
+    }
+    let run_ids: Vec<RunId> = closure.runs.iter().copied().collect();
+    let runs_deleted = store.delete_runs(&run_ids)?;
+    let root_set: BTreeSet<&String> = roots.iter().collect();
+    let pointer_names: Vec<String> = closure
+        .pointers
+        .iter()
+        .filter(|p| !(keep_roots && root_set.contains(p)))
+        .cloned()
+        .collect();
+    let pointers_deleted = store.delete_io_pointers(&pointer_names)?;
+    Ok(DeletionReport {
+        runs_deleted,
+        pointers_deleted,
+        components_needing_rerun: components,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStore;
+    use crate::record::{ComponentRunRecord, IoPointerRecord};
+
+    fn log(
+        s: &MemoryStore,
+        component: &str,
+        start: u64,
+        inputs: &[&str],
+        outputs: &[&str],
+    ) -> RunId {
+        for io in inputs.iter().chain(outputs.iter()) {
+            s.upsert_io_pointer(IoPointerRecord::new(*io, start))
+                .unwrap();
+        }
+        s.log_run(ComponentRunRecord {
+            component: component.into(),
+            start_ms: start,
+            end_ms: start + 1,
+            inputs: inputs.iter().map(|x| x.to_string()).collect(),
+            outputs: outputs.iter().map(|x| x.to_string()).collect(),
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    /// client.csv → [clean] → clean.csv → [train] → model.bin
+    ///               other.csv ─────────────↗
+    /// unrelated.csv → [other_pipeline] → other_out.csv
+    fn diamond(s: &MemoryStore) -> (RunId, RunId, RunId) {
+        let clean = log(s, "clean", 10, &["client.csv"], &["clean.csv"]);
+        let train = log(s, "train", 20, &["clean.csv", "other.csv"], &["model.bin"]);
+        let other = log(
+            s,
+            "other_pipeline",
+            30,
+            &["unrelated.csv"],
+            &["other_out.csv"],
+        );
+        (clean, train, other)
+    }
+
+    #[test]
+    fn closure_follows_transitive_consumers() {
+        let s = MemoryStore::new();
+        let (clean, train, _other) = diamond(&s);
+        let c = forward_closure(&s, &["client.csv".to_string()]).unwrap();
+        assert!(c.runs.contains(&clean));
+        assert!(c.runs.contains(&train));
+        assert_eq!(c.runs.len(), 2);
+        assert!(c.pointers.contains("client.csv"));
+        assert!(c.pointers.contains("clean.csv"));
+        assert!(c.pointers.contains("model.bin"));
+        assert!(
+            !c.pointers.contains("other.csv"),
+            "inputs of tainted runs are not tainted"
+        );
+        assert!(!c.pointers.contains("unrelated.csv"));
+    }
+
+    #[test]
+    fn closure_of_unknown_root_is_just_root() {
+        let s = MemoryStore::new();
+        diamond(&s);
+        let c = forward_closure(&s, &["ghost.csv".to_string()]).unwrap();
+        assert!(c.runs.is_empty());
+        assert_eq!(c.pointers.len(), 1);
+    }
+
+    #[test]
+    fn delete_derived_removes_downstream_and_reports_components() {
+        let s = MemoryStore::new();
+        let (_clean, _train, other) = diamond(&s);
+        let report = delete_derived(&s, &["client.csv".to_string()], true).unwrap();
+        assert_eq!(report.runs_deleted, 2);
+        assert_eq!(report.pointers_deleted, 2); // clean.csv + model.bin
+        assert!(report.components_needing_rerun.contains("clean"));
+        assert!(report.components_needing_rerun.contains("train"));
+        // Roots kept, unrelated pipeline untouched.
+        assert!(s.io_pointer("client.csv").unwrap().is_some());
+        assert!(s.io_pointer("clean.csv").unwrap().is_none());
+        assert!(s.run(other).unwrap().is_some());
+    }
+
+    #[test]
+    fn delete_derived_can_drop_roots_too() {
+        let s = MemoryStore::new();
+        diamond(&s);
+        let report = delete_derived(&s, &["client.csv".to_string()], false).unwrap();
+        assert_eq!(report.pointers_deleted, 3);
+        assert!(s.io_pointer("client.csv").unwrap().is_none());
+    }
+
+    #[test]
+    fn cycle_in_io_names_terminates() {
+        // A component that reads and writes the same pointer (in-place
+        // update) must not loop the traversal forever.
+        let s = MemoryStore::new();
+        log(&s, "updater", 5, &["state.bin"], &["state.bin"]);
+        let c = forward_closure(&s, &["state.bin".to_string()]).unwrap();
+        assert_eq!(c.runs.len(), 1);
+        assert_eq!(c.pointers.len(), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A referenced record does not exist.
+    NotFound(String),
+    /// A record with the same primary key already exists and the operation
+    /// does not permit overwrite.
+    AlreadyExists(String),
+    /// The record is malformed (e.g. end time before start time).
+    InvalidRecord(String),
+    /// Underlying I/O failure (WAL append, snapshot write, ...).
+    Io(std::io::Error),
+    /// A persisted record could not be decoded during replay.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(what) => write!(f, "not found: {what}"),
+            StoreError::AlreadyExists(what) => write!(f, "already exists: {what}"),
+            StoreError::InvalidRecord(why) => write!(f, "invalid record: {why}"),
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Corrupt(why) => write!(f, "corrupt log: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Corrupt(e.to_string())
+    }
+}
+
+/// Convenience alias used across the storage layer.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            StoreError::NotFound("run 7".into()).to_string(),
+            "not found: run 7"
+        );
+        assert_eq!(
+            StoreError::AlreadyExists("component etl".into()).to_string(),
+            "already exists: component etl"
+        );
+        assert_eq!(
+            StoreError::InvalidRecord("end < start".into()).to_string(),
+            "invalid record: end < start"
+        );
+        assert_eq!(
+            StoreError::Corrupt("bad json".into()).to_string(),
+            "corrupt log: bad json"
+        );
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let e: StoreError = std::io::Error::other("disk on fire").into();
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(e.source().is_some());
+    }
+}

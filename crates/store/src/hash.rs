@@ -1,0 +1,73 @@
+//! Small, dependency-free hashing utilities used for content addressing
+//! (artifact dedup, code snapshots). FNV-1a at 64 and 128 bits: not
+//! cryptographic, but collision-safe enough at the scale of an embedded
+//! observability store, and fully deterministic across platforms.
+
+/// 64-bit FNV-1a.
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// 128-bit FNV-1a.
+pub fn fnv1a_128(data: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Hex-encode a 128-bit hash, the textual form of content addresses.
+pub fn hex128(h: u128) -> String {
+    format!("{h:032x}")
+}
+
+/// A content hash of arbitrary text, used for the paper's "code snapshot"
+/// when no git hash is supplied.
+pub fn content_hash(text: &str) -> String {
+    hex128(fnv1a_128(text.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv128_distinguishes_and_is_deterministic() {
+        assert_eq!(fnv1a_128(b"abc"), fnv1a_128(b"abc"));
+        assert_ne!(fnv1a_128(b"abc"), fnv1a_128(b"abd"));
+        assert_ne!(fnv1a_128(b"abc"), fnv1a_128(b"acb"));
+    }
+
+    #[test]
+    fn hex_is_32_chars_zero_padded() {
+        let s = hex128(0x1f);
+        assert_eq!(s.len(), 32);
+        assert!(s.starts_with("000000000000000000000000000000"));
+        assert!(s.ends_with("1f"));
+    }
+
+    #[test]
+    fn content_hash_stable() {
+        assert_eq!(content_hash("fn main() {}"), content_hash("fn main() {}"));
+        assert_ne!(content_hash("v1"), content_hash("v2"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # mltrace-store
+//!
+//! The storage layer of the mltrace reproduction (Figure 2 of *"Towards
+//! Observability for Machine Learning Pipelines"*, VLDB 2022): an embedded
+//! store for component metadata, component-run logs, I/O pointers, metric
+//! series, plus the operational machinery the paper's challenges sections
+//! call for — WAL durability, content-addressed artifact dedup (§5.1), log
+//! compaction (§5.3), and forward-trace GDPR deletion (§5.3).
+//!
+//! Entry points:
+//! * [`MemoryStore`] / [`WalStore`] — [`Store`] implementations.
+//! * [`ArtifactStore`] — chunk-deduplicating payload storage.
+//! * [`retention::compact_before`], [`deletion::delete_derived`] —
+//!   maintenance operations over any [`Store`].
+//! * [`schema`] — relational view consumed by the SQL engine.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod artifact_disk;
+pub mod clock;
+pub mod deletion;
+pub mod error;
+pub mod hash;
+pub mod memory;
+pub mod record;
+pub mod retention;
+pub mod schema;
+pub mod store;
+pub mod value;
+pub mod wal;
+
+pub use artifact::{ArtifactStats, ArtifactStore, ChunkerConfig};
+pub use clock::{Clock, ManualClock, SystemClock, MS_PER_DAY};
+pub use error::{Result, StoreError};
+pub use memory::MemoryStore;
+pub use record::{
+    CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricAggregate,
+    MetricRecord, PointerType, RunId, RunStatus, TriggerOutcomeRecord,
+};
+pub use store::{Store, StoreStats};
+pub use value::Value;
+pub use wal::WalStore;

@@ -1,0 +1,574 @@
+//! In-memory [`Store`] implementation with the secondary indexes the
+//! paper's execution layer needs at runtime (producer/consumer indexes for
+//! dependency inference, per-component run lists for history queries).
+//!
+//! All state lives behind a single `parking_lot::RwLock`; reads (the hot
+//! path for queries) take the shared lock, writes the exclusive lock.
+
+use crate::error::{Result, StoreError};
+use crate::record::{
+    CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
+};
+use crate::store::{Store, StoreStats};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Default)]
+struct Inner {
+    components: BTreeMap<String, ComponentRecord>,
+    runs: HashMap<u64, ComponentRunRecord>,
+    /// component name → run ids ascending by start time
+    runs_by_component: HashMap<String, Vec<RunId>>,
+    /// all live run ids, ascending (ids are assigned monotonically and runs
+    /// are logged at completion, so insertion order == id order)
+    run_order: Vec<RunId>,
+    io_pointers: BTreeMap<String, IoPointerRecord>,
+    /// io name → producing runs ascending
+    producers: HashMap<String, Vec<RunId>>,
+    /// io name → consuming runs ascending
+    consumers: HashMap<String, Vec<RunId>>,
+    /// (component, metric) → points ascending by ts
+    metrics: HashMap<(String, String), Vec<MetricRecord>>,
+    /// component → ordered metric names
+    metric_names: HashMap<String, Vec<String>>,
+    /// component → compaction summaries ascending by window start
+    summaries: HashMap<String, Vec<CompactionSummary>>,
+    next_run_id: u64,
+    runs_removed: u64,
+}
+
+/// In-memory store. Cheap to create; share via `Arc` for concurrent use.
+#[derive(Default)]
+pub struct MemoryStore {
+    inner: RwLock<Inner>,
+}
+
+impl MemoryStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        MemoryStore {
+            inner: RwLock::new(Inner {
+                next_run_id: 1,
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Re-insert a run with a pre-assigned id. Used by WAL replay; also
+    /// keeps `next_run_id` ahead of every replayed id.
+    pub(crate) fn restore_run(&self, run: ComponentRunRecord) -> Result<()> {
+        run.validate().map_err(StoreError::InvalidRecord)?;
+        let mut g = self.inner.write();
+        let id = run.id;
+        if g.runs.contains_key(&id.0) {
+            return Err(StoreError::AlreadyExists(format!("{id}")));
+        }
+        g.next_run_id = g.next_run_id.max(id.0 + 1);
+        Self::index_run(&mut g, id, &run);
+        g.runs.insert(id.0, run);
+        Ok(())
+    }
+
+    fn index_run(g: &mut Inner, id: RunId, run: &ComponentRunRecord) {
+        g.runs_by_component
+            .entry(run.component.clone())
+            .or_default()
+            .push(id);
+        g.run_order.push(id);
+        // A run may legitimately list the same pointer twice (e.g. a file
+        // read in two roles); index it once per run either way.
+        for io in &run.outputs {
+            let list = g.producers.entry(io.clone()).or_default();
+            if list.last() != Some(&id) {
+                list.push(id);
+            }
+        }
+        for io in &run.inputs {
+            let list = g.consumers.entry(io.clone()).or_default();
+            if list.last() != Some(&id) {
+                list.push(id);
+            }
+        }
+    }
+}
+
+impl Store for MemoryStore {
+    fn register_component(&self, rec: ComponentRecord) -> Result<()> {
+        if rec.name.is_empty() {
+            return Err(StoreError::InvalidRecord("component name is empty".into()));
+        }
+        self.inner.write().components.insert(rec.name.clone(), rec);
+        Ok(())
+    }
+
+    fn component(&self, name: &str) -> Result<Option<ComponentRecord>> {
+        Ok(self.inner.read().components.get(name).cloned())
+    }
+
+    fn components(&self) -> Result<Vec<ComponentRecord>> {
+        Ok(self.inner.read().components.values().cloned().collect())
+    }
+
+    fn log_run(&self, mut run: ComponentRunRecord) -> Result<RunId> {
+        run.validate().map_err(StoreError::InvalidRecord)?;
+        let mut g = self.inner.write();
+        let id = RunId(g.next_run_id);
+        g.next_run_id += 1;
+        run.id = id;
+        Self::index_run(&mut g, id, &run);
+        g.runs.insert(id.0, run);
+        Ok(id)
+    }
+
+    fn run(&self, id: RunId) -> Result<Option<ComponentRunRecord>> {
+        Ok(self.inner.read().runs.get(&id.0).cloned())
+    }
+
+    fn runs_for_component(&self, name: &str) -> Result<Vec<RunId>> {
+        Ok(self
+            .inner
+            .read()
+            .runs_by_component
+            .get(name)
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    fn latest_run(&self, name: &str) -> Result<Option<ComponentRunRecord>> {
+        let g = self.inner.read();
+        Ok(g.runs_by_component
+            .get(name)
+            .and_then(|ids| ids.last())
+            .and_then(|id| g.runs.get(&id.0))
+            .cloned())
+    }
+
+    fn run_ids(&self) -> Result<Vec<RunId>> {
+        Ok(self.inner.read().run_order.clone())
+    }
+
+    fn upsert_io_pointer(&self, rec: IoPointerRecord) -> Result<()> {
+        if rec.name.is_empty() {
+            return Err(StoreError::InvalidRecord("io pointer name is empty".into()));
+        }
+        let mut g = self.inner.write();
+        match g.io_pointers.get_mut(&rec.name) {
+            Some(existing) => {
+                // Preserve flag and first-seen time; refresh type/artifact.
+                existing.ptype = rec.ptype;
+                if rec.artifact.is_some() {
+                    existing.artifact = rec.artifact;
+                }
+            }
+            None => {
+                g.io_pointers.insert(rec.name.clone(), rec);
+            }
+        }
+        Ok(())
+    }
+
+    fn io_pointer(&self, name: &str) -> Result<Option<IoPointerRecord>> {
+        Ok(self.inner.read().io_pointers.get(name).cloned())
+    }
+
+    fn io_pointers(&self) -> Result<Vec<IoPointerRecord>> {
+        Ok(self.inner.read().io_pointers.values().cloned().collect())
+    }
+
+    fn producers_of(&self, io: &str) -> Result<Vec<RunId>> {
+        Ok(self
+            .inner
+            .read()
+            .producers
+            .get(io)
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    fn consumers_of(&self, io: &str) -> Result<Vec<RunId>> {
+        Ok(self
+            .inner
+            .read()
+            .consumers
+            .get(io)
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    fn set_flag(&self, io: &str, flag: bool) -> Result<bool> {
+        let mut g = self.inner.write();
+        let rec = g
+            .io_pointers
+            .get_mut(io)
+            .ok_or_else(|| StoreError::NotFound(format!("io pointer {io}")))?;
+        let prev = rec.flag;
+        rec.flag = flag;
+        Ok(prev)
+    }
+
+    fn flagged(&self) -> Result<Vec<String>> {
+        Ok(self
+            .inner
+            .read()
+            .io_pointers
+            .values()
+            .filter(|p| p.flag)
+            .map(|p| p.name.clone())
+            .collect())
+    }
+
+    fn log_metric(&self, m: MetricRecord) -> Result<()> {
+        if m.name.is_empty() {
+            return Err(StoreError::InvalidRecord("metric name is empty".into()));
+        }
+        let mut g = self.inner.write();
+        let key = (m.component.clone(), m.name.clone());
+        let names = g.metric_names.entry(m.component.clone()).or_default();
+        if let Err(pos) = names.binary_search(&m.name) {
+            names.insert(pos, m.name.clone());
+        }
+        let series = g.metrics.entry(key).or_default();
+        // Points normally arrive in time order; tolerate stragglers.
+        match series.last() {
+            Some(last) if last.ts_ms > m.ts_ms => {
+                let pos = series.partition_point(|p| p.ts_ms <= m.ts_ms);
+                series.insert(pos, m);
+            }
+            _ => series.push(m),
+        }
+        Ok(())
+    }
+
+    fn metrics(&self, component: &str, name: &str) -> Result<Vec<MetricRecord>> {
+        Ok(self
+            .inner
+            .read()
+            .metrics
+            .get(&(component.to_owned(), name.to_owned()))
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    fn metric_names(&self, component: &str) -> Result<Vec<String>> {
+        Ok(self
+            .inner
+            .read()
+            .metric_names
+            .get(component)
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    fn delete_runs(&self, ids: &[RunId]) -> Result<usize> {
+        use std::collections::HashSet;
+        let mut g = self.inner.write();
+        // Batch the index maintenance: one retain pass per touched list
+        // instead of one per victim (bulk deletions — compaction, GDPR —
+        // hand in thousands of ids at once).
+        let mut removed_set: HashSet<RunId> = HashSet::with_capacity(ids.len());
+        let mut components: HashSet<String> = HashSet::new();
+        let mut producer_ios: HashSet<String> = HashSet::new();
+        let mut consumer_ios: HashSet<String> = HashSet::new();
+        for id in ids {
+            let Some(run) = g.runs.remove(&id.0) else {
+                continue;
+            };
+            removed_set.insert(*id);
+            components.insert(run.component);
+            producer_ios.extend(run.outputs);
+            consumer_ios.extend(run.inputs);
+        }
+        if removed_set.is_empty() {
+            return Ok(0);
+        }
+        for component in &components {
+            if let Some(list) = g.runs_by_component.get_mut(component) {
+                list.retain(|r| !removed_set.contains(r));
+            }
+        }
+        for io in &producer_ios {
+            if let Some(list) = g.producers.get_mut(io) {
+                list.retain(|r| !removed_set.contains(r));
+            }
+        }
+        for io in &consumer_ios {
+            if let Some(list) = g.consumers.get_mut(io) {
+                list.retain(|r| !removed_set.contains(r));
+            }
+        }
+        g.run_order.retain(|r| !removed_set.contains(r));
+        let removed = removed_set.len();
+        g.runs_removed += removed as u64;
+        Ok(removed)
+    }
+
+    fn delete_io_pointers(&self, names: &[String]) -> Result<usize> {
+        let mut g = self.inner.write();
+        let mut removed = 0usize;
+        for name in names {
+            if g.io_pointers.remove(name).is_some() {
+                removed += 1;
+            }
+            g.producers.remove(name);
+            g.consumers.remove(name);
+        }
+        Ok(removed)
+    }
+
+    fn put_summary(&self, s: CompactionSummary) -> Result<()> {
+        let mut g = self.inner.write();
+        let list = g.summaries.entry(s.component.clone()).or_default();
+        let pos = list.partition_point(|x| x.window_start_ms <= s.window_start_ms);
+        list.insert(pos, s);
+        Ok(())
+    }
+
+    fn summaries(&self, component: &str) -> Result<Vec<CompactionSummary>> {
+        Ok(self
+            .inner
+            .read()
+            .summaries
+            .get(component)
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        let g = self.inner.read();
+        Ok(StoreStats {
+            components: g.components.len(),
+            runs: g.runs.len(),
+            io_pointers: g.io_pointers.len(),
+            metric_points: g.metrics.values().map(Vec::len).sum(),
+            summaries: g.summaries.values().map(Vec::len).sum(),
+            runs_removed: g.runs_removed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PointerType, RunStatus};
+
+    fn run(component: &str, start: u64, inputs: &[&str], outputs: &[&str]) -> ComponentRunRecord {
+        ComponentRunRecord {
+            component: component.into(),
+            start_ms: start,
+            end_ms: start + 10,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn component_upsert_and_ordering() {
+        let s = MemoryStore::new();
+        s.register_component(ComponentRecord::named("zeta"))
+            .unwrap();
+        s.register_component(ComponentRecord::named("alpha"))
+            .unwrap();
+        let mut a = ComponentRecord::named("alpha");
+        a.owner = "ml-team".into();
+        s.register_component(a).unwrap();
+        let all = s.components().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].name, "alpha");
+        assert_eq!(all[0].owner, "ml-team");
+        assert_eq!(s.component("zeta").unwrap().unwrap().name, "zeta");
+        assert!(s.component("nope").unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_component_name_rejected() {
+        let s = MemoryStore::new();
+        assert!(matches!(
+            s.register_component(ComponentRecord::default()),
+            Err(StoreError::InvalidRecord(_))
+        ));
+    }
+
+    #[test]
+    fn run_ids_are_monotonic_and_indexed() {
+        let s = MemoryStore::new();
+        let a = s.log_run(run("etl", 100, &[], &["raw.csv"])).unwrap();
+        let b = s
+            .log_run(run("clean", 200, &["raw.csv"], &["clean.csv"]))
+            .unwrap();
+        let c = s.log_run(run("etl", 300, &[], &["raw.csv"])).unwrap();
+        assert!(a < b && b < c);
+        assert_eq!(s.runs_for_component("etl").unwrap(), vec![a, c]);
+        assert_eq!(s.producers_of("raw.csv").unwrap(), vec![a, c]);
+        assert_eq!(s.consumers_of("raw.csv").unwrap(), vec![b]);
+        assert_eq!(s.latest_run("etl").unwrap().unwrap().id, c);
+        assert_eq!(s.run_ids().unwrap(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn invalid_run_rejected() {
+        let s = MemoryStore::new();
+        let mut r = run("x", 100, &[], &[]);
+        r.end_ms = 50;
+        assert!(s.log_run(r).is_err());
+    }
+
+    #[test]
+    fn io_pointer_upsert_preserves_flag_and_created() {
+        let s = MemoryStore::new();
+        s.upsert_io_pointer(IoPointerRecord::new("features.csv", 10))
+            .unwrap();
+        assert!(!s.set_flag("features.csv", true).unwrap());
+        // Re-upsert with new type info; flag and created_ms must survive.
+        let mut rec = IoPointerRecord::new("features.csv", 999);
+        rec.ptype = PointerType::Data;
+        s.upsert_io_pointer(rec).unwrap();
+        let p = s.io_pointer("features.csv").unwrap().unwrap();
+        assert!(p.flag);
+        assert_eq!(p.created_ms, 10);
+        assert_eq!(s.flagged().unwrap(), vec!["features.csv".to_string()]);
+        assert!(s.set_flag("features.csv", false).unwrap());
+        assert!(s.flagged().unwrap().is_empty());
+    }
+
+    #[test]
+    fn flag_on_unknown_pointer_errors() {
+        let s = MemoryStore::new();
+        assert!(matches!(
+            s.set_flag("ghost", true),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn metrics_keep_time_order_even_with_stragglers() {
+        let s = MemoryStore::new();
+        for (ts, v) in [(10u64, 1.0), (30, 3.0), (20, 2.0)] {
+            s.log_metric(MetricRecord {
+                component: "inference".into(),
+                run_id: None,
+                name: "accuracy".into(),
+                value: v,
+                ts_ms: ts,
+            })
+            .unwrap();
+        }
+        let pts = s.metrics("inference", "accuracy").unwrap();
+        assert_eq!(
+            pts.iter().map(|p| p.ts_ms).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        assert_eq!(s.metric_names("inference").unwrap(), vec!["accuracy"]);
+        assert!(s.metric_names("other").unwrap().is_empty());
+    }
+
+    #[test]
+    fn metric_names_sorted_unique() {
+        let s = MemoryStore::new();
+        for name in ["z", "a", "z", "m"] {
+            s.log_metric(MetricRecord {
+                component: "c".into(),
+                run_id: None,
+                name: name.into(),
+                value: 0.0,
+                ts_ms: 0,
+            })
+            .unwrap();
+        }
+        assert_eq!(s.metric_names("c").unwrap(), vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn delete_runs_updates_all_indexes() {
+        let s = MemoryStore::new();
+        let a = s.log_run(run("etl", 100, &[], &["raw.csv"])).unwrap();
+        let b = s
+            .log_run(run("clean", 200, &["raw.csv"], &["clean.csv"]))
+            .unwrap();
+        assert_eq!(s.delete_runs(&[a, RunId(999)]).unwrap(), 1);
+        assert!(s.run(a).unwrap().is_none());
+        assert!(s.runs_for_component("etl").unwrap().is_empty());
+        assert!(s.producers_of("raw.csv").unwrap().is_empty());
+        assert_eq!(s.consumers_of("raw.csv").unwrap(), vec![b]);
+        assert_eq!(s.run_ids().unwrap(), vec![b]);
+        assert_eq!(s.stats().unwrap().runs_removed, 1);
+    }
+
+    #[test]
+    fn delete_io_pointers_removes_indexes() {
+        let s = MemoryStore::new();
+        s.upsert_io_pointer(IoPointerRecord::new("x.csv", 0))
+            .unwrap();
+        s.log_run(run("a", 1, &[], &["x.csv"])).unwrap();
+        assert_eq!(s.delete_io_pointers(&["x.csv".to_string()]).unwrap(), 1);
+        assert!(s.io_pointer("x.csv").unwrap().is_none());
+        assert!(s.producers_of("x.csv").unwrap().is_empty());
+    }
+
+    #[test]
+    fn summaries_sorted_by_window() {
+        let s = MemoryStore::new();
+        for start in [200u64, 100, 300] {
+            s.put_summary(CompactionSummary {
+                component: "etl".into(),
+                window_start_ms: start,
+                window_end_ms: start + 100,
+                run_count: 1,
+                failed_count: 0,
+                mean_duration_ms: 5.0,
+                metric_aggregates: Default::default(),
+            })
+            .unwrap();
+        }
+        let windows: Vec<u64> = s
+            .summaries("etl")
+            .unwrap()
+            .iter()
+            .map(|x| x.window_start_ms)
+            .collect();
+        assert_eq!(windows, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn stats_counts_everything() {
+        let s = MemoryStore::new();
+        s.register_component(ComponentRecord::named("c")).unwrap();
+        s.log_run(run("c", 1, &["in.csv"], &["out.csv"])).unwrap();
+        s.upsert_io_pointer(IoPointerRecord::new("in.csv", 0))
+            .unwrap();
+        s.log_metric(MetricRecord {
+            component: "c".into(),
+            run_id: None,
+            name: "m".into(),
+            value: 1.0,
+            ts_ms: 0,
+        })
+        .unwrap();
+        let st = s.stats().unwrap();
+        assert_eq!(st.components, 1);
+        assert_eq!(st.runs, 1);
+        assert_eq!(st.io_pointers, 1);
+        assert_eq!(st.metric_points, 1);
+    }
+
+    #[test]
+    fn restore_run_respects_ids() {
+        let s = MemoryStore::new();
+        let mut r = run("c", 1, &[], &["o"]);
+        r.id = RunId(42);
+        s.restore_run(r.clone()).unwrap();
+        assert!(s.restore_run(r).is_err(), "duplicate id rejected");
+        // A fresh run must get an id above the restored one.
+        let next = s.log_run(run("c", 2, &[], &[])).unwrap();
+        assert!(next.0 > 42);
+    }
+
+    #[test]
+    fn trigger_failed_status_round_trips() {
+        let s = MemoryStore::new();
+        let mut r = run("c", 1, &[], &[]);
+        r.status = RunStatus::TriggerFailed;
+        let id = s.log_run(r).unwrap();
+        assert_eq!(s.run(id).unwrap().unwrap().status, RunStatus::TriggerFailed);
+    }
+}

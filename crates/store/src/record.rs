@@ -1,0 +1,395 @@
+//! The logical schema of the mltrace storage layer: components, component
+//! runs, I/O pointers, and metric points (Figure 2 of the paper: "pointers
+//! to inputs and outputs, logs capturing state every time a component is
+//! run, and metrics").
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a logged [`ComponentRunRecord`], assigned monotonically by
+/// the store at log time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RunId(pub u64);
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run#{}", self.0)
+    }
+}
+
+/// The type of artifact an [`IoPointerRecord`] references. The paper's
+/// prototype distinguishes `model`, `data` and `endpoint`, inferring the
+/// type from file extensions when possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PointerType {
+    /// A dataset or file of records.
+    Data,
+    /// A serialized model or other learned artifact.
+    Model,
+    /// A serving endpoint or live prediction identifier.
+    Endpoint,
+    /// Anything else.
+    #[default]
+    Unknown,
+}
+
+impl PointerType {
+    /// Infer the pointer type from a file-extension-bearing identifier,
+    /// mirroring the paper's prototype behaviour (e.g. `features.csv` →
+    /// data, `model.joblib` → model).
+    pub fn infer(identifier: &str) -> PointerType {
+        let lower = identifier.to_ascii_lowercase();
+        if lower.starts_with("http://")
+            || lower.starts_with("https://")
+            || lower.starts_with("grpc://")
+        {
+            return PointerType::Endpoint;
+        }
+        let ext = lower.rsplit('.').next().unwrap_or("");
+        match ext {
+            "csv" | "tsv" | "parquet" | "json" | "jsonl" | "arrow" | "feather" | "txt" => {
+                PointerType::Data
+            }
+            "joblib" | "pkl" | "pickle" | "pt" | "pth" | "onnx" | "h5" | "model" | "bin" => {
+                PointerType::Model
+            }
+            _ => PointerType::Unknown,
+        }
+    }
+
+    /// Short lowercase name for display and SQL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PointerType::Data => "data",
+            PointerType::Model => "model",
+            PointerType::Endpoint => "endpoint",
+            PointerType::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for PointerType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static metadata of a pipeline component (§3.2 "Component"). The name is
+/// the primary key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ComponentRecord {
+    /// Primary key.
+    pub name: String,
+    /// Human description.
+    pub description: String,
+    /// Owning person or team.
+    pub owner: String,
+    /// Free-form string tags.
+    pub tags: Vec<String>,
+}
+
+impl ComponentRecord {
+    /// Create a record with just a name; remaining attributes can be added
+    /// later (the paper: "the user does not need to specify attributes other
+    /// than the name").
+    pub fn named(name: impl Into<String>) -> Self {
+        ComponentRecord {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Completion status of a component run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RunStatus {
+    /// Component body and all triggers completed without error.
+    #[default]
+    Success,
+    /// The component body failed.
+    Failed,
+    /// The body succeeded but at least one trigger reported failure.
+    TriggerFailed,
+}
+
+impl RunStatus {
+    /// Short name for display and SQL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunStatus::Success => "success",
+            RunStatus::Failed => "failed",
+            RunStatus::TriggerFailed => "trigger_failed",
+        }
+    }
+}
+
+/// Outcome of one trigger (test/metric computation) executed in the
+/// `beforeRun` / `afterRun` phase of a component run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriggerOutcomeRecord {
+    /// Trigger name (e.g. `no_nulls`, `outlier_check`).
+    pub trigger: String,
+    /// Which phase the trigger ran in: `"before"` or `"after"`.
+    pub phase: String,
+    /// Whether the trigger passed.
+    pub passed: bool,
+    /// Human-readable detail (failure reason, measured values).
+    pub detail: String,
+    /// Structured values the trigger recorded (aggregates, test statistics).
+    pub values: BTreeMap<String, Value>,
+}
+
+/// Dynamic, per-execution state of a component (§3.2 "ComponentRun").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ComponentRunRecord {
+    /// Assigned by the store at log time; `RunId(0)` before logging.
+    pub id: RunId,
+    /// Foreign key to [`ComponentRecord::name`].
+    pub component: String,
+    /// Start of execution, epoch milliseconds.
+    pub start_ms: u64,
+    /// End of execution, epoch milliseconds.
+    pub end_ms: u64,
+    /// Names of input [`IoPointerRecord`]s.
+    pub inputs: Vec<String>,
+    /// Names of output [`IoPointerRecord`]s.
+    pub outputs: Vec<String>,
+    /// Code snapshot identifier (git hash or content hash).
+    pub code_hash: String,
+    /// Free-form notes.
+    pub notes: String,
+    /// Completion status.
+    pub status: RunStatus,
+    /// Dependencies: runs that produced this run's inputs. Inferred by the
+    /// execution layer at runtime from I/O identity, never user-declared.
+    pub dependencies: Vec<RunId>,
+    /// Trigger outcomes recorded during this run.
+    pub triggers: Vec<TriggerOutcomeRecord>,
+    /// Arbitrary extra state captured at runtime.
+    pub metadata: BTreeMap<String, Value>,
+}
+
+impl ComponentRunRecord {
+    /// Duration of the run in milliseconds.
+    pub fn duration_ms(&self) -> u64 {
+        self.end_ms.saturating_sub(self.start_ms)
+    }
+
+    /// True if any trigger in either phase failed.
+    pub fn any_trigger_failed(&self) -> bool {
+        self.triggers.iter().any(|t| !t.passed)
+    }
+
+    /// Validate internal consistency before logging.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.component.is_empty() {
+            return Err("component name is empty".into());
+        }
+        if self.end_ms < self.start_ms {
+            return Err(format!(
+                "end_ms {} precedes start_ms {}",
+                self.end_ms, self.start_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A named reference to an input or output artifact (§3.2 "IOPointer").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct IoPointerRecord {
+    /// Identifier, e.g. `features.csv` or a per-prediction id. Primary key.
+    pub name: String,
+    /// Artifact type, user-set or inferred from the identifier.
+    pub ptype: PointerType,
+    /// Debugging flag, settable/clearable at any time (paper Figure 4:
+    /// flagged outputs drive the review workflow).
+    pub flag: bool,
+    /// First time this pointer was seen, epoch milliseconds.
+    pub created_ms: u64,
+    /// Optional content-hash of the stored artifact payload, when the
+    /// artifact store holds a copy.
+    pub artifact: Option<String>,
+}
+
+impl IoPointerRecord {
+    /// Create a pointer with an inferred type.
+    pub fn new(name: impl Into<String>, created_ms: u64) -> Self {
+        let name = name.into();
+        let ptype = PointerType::infer(&name);
+        IoPointerRecord {
+            name,
+            ptype,
+            flag: false,
+            created_ms,
+            artifact: None,
+        }
+    }
+}
+
+/// One point of a monitored metric series (§3.1 "metrics: quantitative
+/// measures monitored across consecutive runs of the same component").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricRecord {
+    /// Component the metric belongs to.
+    pub component: String,
+    /// Run that produced the point; `None` for externally-fed series.
+    pub run_id: Option<RunId>,
+    /// Metric name, e.g. `accuracy`, `kl_divergence:fare`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Measurement time, epoch milliseconds.
+    pub ts_ms: u64,
+}
+
+/// Aggregate left behind when raw runs in a time window are compacted
+/// (§5.3 efficiency/utility trade-off): `history`-style queries can still
+/// be answered after individual traces are gone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompactionSummary {
+    /// Component the summary covers.
+    pub component: String,
+    /// Window start (inclusive), epoch milliseconds.
+    pub window_start_ms: u64,
+    /// Window end (exclusive), epoch milliseconds.
+    pub window_end_ms: u64,
+    /// Number of runs compacted away.
+    pub run_count: u64,
+    /// Number of runs that failed (body or trigger).
+    pub failed_count: u64,
+    /// Mean run duration in milliseconds.
+    pub mean_duration_ms: f64,
+    /// Per-metric aggregate: name → (count, mean, min, max).
+    pub metric_aggregates: BTreeMap<String, MetricAggregate>,
+}
+
+/// Compact summary of one metric series over a compacted window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricAggregate {
+    /// Number of points aggregated.
+    pub count: u64,
+    /// Arithmetic mean of the points.
+    pub mean: f64,
+    /// Minimum point.
+    pub min: f64,
+    /// Maximum point.
+    pub max: f64,
+}
+
+impl MetricAggregate {
+    /// Fold a value into the aggregate.
+    pub fn add(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+            self.mean = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+            // numerically-stable running mean
+            self.mean += (v - self.mean) / (self.count as f64 + 1.0);
+        }
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_type_inference_matches_paper_examples() {
+        assert_eq!(PointerType::infer("features.csv"), PointerType::Data);
+        assert_eq!(PointerType::infer("model.joblib"), PointerType::Model);
+        assert_eq!(PointerType::infer("weights.ONNX"), PointerType::Model);
+        assert_eq!(
+            PointerType::infer("https://api.example.com/predict"),
+            PointerType::Endpoint
+        );
+        assert_eq!(PointerType::infer("prediction-12345"), PointerType::Unknown);
+    }
+
+    #[test]
+    fn run_validation() {
+        let mut r = ComponentRunRecord {
+            component: "etl".into(),
+            start_ms: 10,
+            end_ms: 20,
+            ..Default::default()
+        };
+        assert!(r.validate().is_ok());
+        r.end_ms = 5;
+        assert!(r.validate().is_err());
+        r.end_ms = 20;
+        r.component.clear();
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn run_duration_and_trigger_failure() {
+        let mut r = ComponentRunRecord {
+            component: "x".into(),
+            start_ms: 100,
+            end_ms: 350,
+            ..Default::default()
+        };
+        assert_eq!(r.duration_ms(), 250);
+        assert!(!r.any_trigger_failed());
+        r.triggers.push(TriggerOutcomeRecord {
+            trigger: "no_nulls".into(),
+            phase: "before".into(),
+            passed: false,
+            detail: "32% nulls".into(),
+            values: BTreeMap::new(),
+        });
+        assert!(r.any_trigger_failed());
+    }
+
+    #[test]
+    fn metric_aggregate_folds_correctly() {
+        let mut agg = MetricAggregate::default();
+        for v in [2.0, 4.0, 6.0] {
+            agg.add(v);
+        }
+        assert_eq!(agg.count, 3);
+        assert!((agg.mean - 4.0).abs() < 1e-12);
+        assert_eq!(agg.min, 2.0);
+        assert_eq!(agg.max, 6.0);
+    }
+
+    #[test]
+    fn io_pointer_new_infers_type() {
+        let p = IoPointerRecord::new("clean.parquet", 42);
+        assert_eq!(p.ptype, PointerType::Data);
+        assert_eq!(p.created_ms, 42);
+        assert!(!p.flag);
+    }
+
+    #[test]
+    fn serde_round_trip_run_record() {
+        let r = ComponentRunRecord {
+            id: RunId(7),
+            component: "train".into(),
+            start_ms: 1,
+            end_ms: 2,
+            inputs: vec!["features.csv".into()],
+            outputs: vec!["model.bin".into()],
+            code_hash: "abc123".into(),
+            dependencies: vec![RunId(3)],
+            ..Default::default()
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        let back: ComponentRunRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn run_id_display() {
+        assert_eq!(RunId(9).to_string(), "run#9");
+    }
+}

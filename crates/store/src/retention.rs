@@ -1,0 +1,217 @@
+//! Log compaction (§5.3 "Efficiency and utility tradeoff"): "as time
+//! progresses, we may want to compact these logs to support aggregate
+//! queries even if individual tracing is no longer relevant on old data."
+//!
+//! [`compact_before`] folds all runs older than a cutoff into per-component
+//! daily [`CompactionSummary`] windows (run counts, failure counts, mean
+//! durations, metric aggregates), then deletes the raw runs. History-style
+//! queries keep working off the summaries; per-run traces in the compacted
+//! range are intentionally given up.
+
+use crate::clock::MS_PER_DAY;
+use crate::error::Result;
+use crate::record::{CompactionSummary, MetricAggregate, RunId};
+use crate::store::Store;
+use std::collections::BTreeMap;
+
+/// Outcome of one compaction pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Runs folded into summaries and deleted.
+    pub runs_compacted: usize,
+    /// Summary windows written.
+    pub windows_written: usize,
+}
+
+/// Compact all runs with `start_ms < cutoff_ms` into daily summaries.
+///
+/// `window_ms` controls summary granularity (use [`MS_PER_DAY`] for the
+/// paper's daily aggregates). Metric points attributed to compacted runs
+/// are aggregated into the window summary.
+pub fn compact_before(
+    store: &dyn Store,
+    cutoff_ms: u64,
+    window_ms: u64,
+) -> Result<CompactionReport> {
+    assert!(window_ms > 0, "window must be positive");
+    // (component, window_start) → summary under construction
+    let mut windows: BTreeMap<(String, u64), CompactionSummary> = BTreeMap::new();
+    let mut victims: Vec<RunId> = Vec::new();
+
+    // Metric points are keyed by (component, name) series; pre-index the
+    // run ids we compact so we can attribute points via run_id.
+    for id in store.run_ids()? {
+        let Some(run) = store.run(id)? else { continue };
+        if run.start_ms >= cutoff_ms {
+            continue;
+        }
+        let wstart = run.start_ms / window_ms * window_ms;
+        let entry = windows
+            .entry((run.component.clone(), wstart))
+            .or_insert_with(|| CompactionSummary {
+                component: run.component.clone(),
+                window_start_ms: wstart,
+                window_end_ms: wstart + window_ms,
+                run_count: 0,
+                failed_count: 0,
+                mean_duration_ms: 0.0,
+                metric_aggregates: BTreeMap::new(),
+            });
+        entry.run_count += 1;
+        if run.status != crate::record::RunStatus::Success {
+            entry.failed_count += 1;
+        }
+        entry.mean_duration_ms +=
+            (run.duration_ms() as f64 - entry.mean_duration_ms) / entry.run_count as f64;
+        victims.push(id);
+    }
+
+    // Aggregate metric points produced by compacted runs.
+    if !victims.is_empty() {
+        let victim_set: std::collections::HashSet<RunId> = victims.iter().copied().collect();
+        for comp in store.components()? {
+            for mname in store.metric_names(&comp.name)? {
+                for point in store.metrics(&comp.name, &mname)? {
+                    let Some(rid) = point.run_id else { continue };
+                    if !victim_set.contains(&rid) {
+                        continue;
+                    }
+                    let wstart = point.ts_ms / window_ms * window_ms;
+                    if let Some(summary) = windows.get_mut(&(point.component.clone(), wstart)) {
+                        summary
+                            .metric_aggregates
+                            .entry(point.name.clone())
+                            .or_insert_with(MetricAggregate::default)
+                            .add(point.value);
+                    }
+                }
+            }
+        }
+    }
+
+    let windows_written = windows.len();
+    for (_, summary) in windows {
+        store.put_summary(summary)?;
+    }
+    let runs_compacted = store.delete_runs(&victims)?;
+    Ok(CompactionReport {
+        runs_compacted,
+        windows_written,
+    })
+}
+
+/// Convenience: compact everything older than `days` days before `now_ms`,
+/// with daily windows.
+pub fn compact_older_than_days(
+    store: &dyn Store,
+    now_ms: u64,
+    days: u64,
+) -> Result<CompactionReport> {
+    let cutoff = now_ms.saturating_sub(days * MS_PER_DAY);
+    compact_before(store, cutoff, MS_PER_DAY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStore;
+    use crate::record::{ComponentRecord, ComponentRunRecord, MetricRecord, RunStatus};
+
+    fn run_at(component: &str, start: u64, status: RunStatus) -> ComponentRunRecord {
+        ComponentRunRecord {
+            component: component.into(),
+            start_ms: start,
+            end_ms: start + 100,
+            status,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn compaction_folds_and_deletes() {
+        let s = MemoryStore::new();
+        s.register_component(ComponentRecord::named("etl")).unwrap();
+        // 3 old runs on day 0, 1 old run on day 1, 1 fresh run on day 40.
+        let day = MS_PER_DAY;
+        for t in [100, 200, 300] {
+            s.log_run(run_at("etl", t, RunStatus::Success)).unwrap();
+        }
+        let failed = s
+            .log_run(run_at("etl", day + 50, RunStatus::Failed))
+            .unwrap();
+        let fresh = s
+            .log_run(run_at("etl", 40 * day, RunStatus::Success))
+            .unwrap();
+
+        let report = compact_before(&s, 30 * day, day).unwrap();
+        assert_eq!(report.runs_compacted, 4);
+        assert_eq!(report.windows_written, 2);
+        assert!(s.run(failed).unwrap().is_none());
+        assert!(s.run(fresh).unwrap().is_some());
+
+        let sums = s.summaries("etl").unwrap();
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].run_count, 3);
+        assert_eq!(sums[0].failed_count, 0);
+        assert!((sums[0].mean_duration_ms - 100.0).abs() < 1e-9);
+        assert_eq!(sums[1].run_count, 1);
+        assert_eq!(sums[1].failed_count, 1);
+    }
+
+    #[test]
+    fn compaction_aggregates_metrics_of_compacted_runs() {
+        let s = MemoryStore::new();
+        s.register_component(ComponentRecord::named("inference"))
+            .unwrap();
+        let day = MS_PER_DAY;
+        let old = s
+            .log_run(run_at("inference", 500, RunStatus::Success))
+            .unwrap();
+        let fresh = s
+            .log_run(run_at("inference", 50 * day, RunStatus::Success))
+            .unwrap();
+        for (rid, ts, v) in [
+            (old, 600u64, 0.9),
+            (old, 700, 0.8),
+            (fresh, 50 * day + 1, 0.5),
+        ] {
+            s.log_metric(MetricRecord {
+                component: "inference".into(),
+                run_id: Some(rid),
+                name: "accuracy".into(),
+                value: v,
+                ts_ms: ts,
+            })
+            .unwrap();
+        }
+        compact_older_than_days(&s, 60 * day, 30).unwrap();
+        let sums = s.summaries("inference").unwrap();
+        assert_eq!(sums.len(), 1);
+        let agg = sums[0].metric_aggregates.get("accuracy").unwrap();
+        assert_eq!(agg.count, 2);
+        assert!((agg.mean - 0.85).abs() < 1e-9);
+        assert_eq!(agg.min, 0.8);
+        assert_eq!(agg.max, 0.9);
+    }
+
+    #[test]
+    fn nothing_to_compact_is_a_noop() {
+        let s = MemoryStore::new();
+        s.log_run(run_at("x", 1_000_000, RunStatus::Success))
+            .unwrap();
+        let report = compact_before(&s, 500, MS_PER_DAY).unwrap();
+        assert_eq!(report, CompactionReport::default());
+        assert_eq!(s.stats().unwrap().runs, 1);
+    }
+
+    #[test]
+    fn repeated_compaction_is_idempotent_on_runs() {
+        let s = MemoryStore::new();
+        s.register_component(ComponentRecord::named("c")).unwrap();
+        s.log_run(run_at("c", 10, RunStatus::Success)).unwrap();
+        let r1 = compact_before(&s, 1_000, MS_PER_DAY).unwrap();
+        let r2 = compact_before(&s, 1_000, MS_PER_DAY).unwrap();
+        assert_eq!(r1.runs_compacted, 1);
+        assert_eq!(r2.runs_compacted, 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Relational view of the store for the SQL layer (§4.2: "users can query
+//! the logs and metadata via SQL").
+//!
+//! Five virtual tables are exposed: `components`, `component_runs`,
+//! `io_pointers`, `metrics`, and `summaries`. [`scan`] materializes a table
+//! as rows of [`Value`]s in the column order given by [`table_schema`].
+
+use crate::error::{Result, StoreError};
+use crate::record::RunId;
+use crate::store::Store;
+use crate::value::Value;
+
+/// A materialized row.
+pub type Row = Vec<Value>;
+
+/// The virtual tables exposed to SQL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table {
+    /// Component metadata.
+    Components,
+    /// Component run logs.
+    ComponentRuns,
+    /// I/O pointers.
+    IoPointers,
+    /// Metric points.
+    Metrics,
+    /// Compaction summaries.
+    Summaries,
+}
+
+impl Table {
+    /// Resolve a (case-insensitive) table name.
+    pub fn parse(name: &str) -> Option<Table> {
+        match name.to_ascii_lowercase().as_str() {
+            "components" => Some(Table::Components),
+            "component_runs" | "runs" => Some(Table::ComponentRuns),
+            "io_pointers" | "iopointers" => Some(Table::IoPointers),
+            "metrics" => Some(Table::Metrics),
+            "summaries" => Some(Table::Summaries),
+            _ => None,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Table::Components => "components",
+            Table::ComponentRuns => "component_runs",
+            Table::IoPointers => "io_pointers",
+            Table::Metrics => "metrics",
+            Table::Summaries => "summaries",
+        }
+    }
+}
+
+/// Column names of a table, in scan order.
+pub fn table_schema(table: Table) -> &'static [&'static str] {
+    match table {
+        Table::Components => &["name", "description", "owner", "tags"],
+        Table::ComponentRuns => &[
+            "id",
+            "component",
+            "start_ms",
+            "end_ms",
+            "duration_ms",
+            "status",
+            "inputs",
+            "outputs",
+            "code_hash",
+            "notes",
+            "dependencies",
+            "trigger_failures",
+        ],
+        Table::IoPointers => &["name", "ptype", "flag", "created_ms", "artifact"],
+        Table::Metrics => &["component", "run_id", "name", "value", "ts_ms"],
+        Table::Summaries => &[
+            "component",
+            "window_start_ms",
+            "window_end_ms",
+            "run_count",
+            "failed_count",
+            "mean_duration_ms",
+        ],
+    }
+}
+
+/// Materialize all rows of a table.
+pub fn scan(store: &dyn Store, table: Table) -> Result<Vec<Row>> {
+    match table {
+        Table::Components => Ok(store
+            .components()?
+            .into_iter()
+            .map(|c| {
+                vec![
+                    Value::from(c.name),
+                    Value::from(c.description),
+                    Value::from(c.owner),
+                    Value::from(c.tags),
+                ]
+            })
+            .collect()),
+        Table::ComponentRuns => {
+            let mut rows = Vec::new();
+            for id in store.run_ids()? {
+                let Some(r) = store.run(id)? else { continue };
+                let failures: Vec<String> = r
+                    .triggers
+                    .iter()
+                    .filter(|t| !t.passed)
+                    .map(|t| t.trigger.clone())
+                    .collect();
+                rows.push(vec![
+                    Value::from(r.id.0),
+                    Value::from(r.component),
+                    Value::from(r.start_ms),
+                    Value::from(r.end_ms),
+                    Value::from(r.end_ms.saturating_sub(r.start_ms)),
+                    Value::from(r.status.name()),
+                    Value::from(r.inputs),
+                    Value::from(r.outputs),
+                    Value::from(r.code_hash),
+                    Value::from(r.notes),
+                    Value::List(r.dependencies.iter().map(|d| Value::from(d.0)).collect()),
+                    Value::from(failures),
+                ]);
+            }
+            Ok(rows)
+        }
+        Table::IoPointers => Ok(store
+            .io_pointers()?
+            .into_iter()
+            .map(|p| {
+                vec![
+                    Value::from(p.name),
+                    Value::from(p.ptype.name()),
+                    Value::from(p.flag),
+                    Value::from(p.created_ms),
+                    Value::from(p.artifact),
+                ]
+            })
+            .collect()),
+        Table::Metrics => {
+            let mut rows = Vec::new();
+            for comp in store.components()? {
+                for name in store.metric_names(&comp.name)? {
+                    for m in store.metrics(&comp.name, &name)? {
+                        rows.push(vec![
+                            Value::from(m.component),
+                            m.run_id
+                                .map(|RunId(i)| Value::from(i))
+                                .unwrap_or(Value::Null),
+                            Value::from(m.name),
+                            Value::from(m.value),
+                            Value::from(m.ts_ms),
+                        ]);
+                    }
+                }
+            }
+            Ok(rows)
+        }
+        Table::Summaries => {
+            let mut rows = Vec::new();
+            for comp in store.components()? {
+                for s in store.summaries(&comp.name)? {
+                    rows.push(vec![
+                        Value::from(s.component),
+                        Value::from(s.window_start_ms),
+                        Value::from(s.window_end_ms),
+                        Value::from(s.run_count),
+                        Value::from(s.failed_count),
+                        Value::from(s.mean_duration_ms),
+                    ]);
+                }
+            }
+            Ok(rows)
+        }
+    }
+}
+
+/// Index of a column in a table's schema, or an error naming the table.
+pub fn column_index(table: Table, column: &str) -> Result<usize> {
+    table_schema(table)
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case(column))
+        .ok_or_else(|| StoreError::NotFound(format!("column {column} in table {}", table.name())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStore;
+    use crate::record::{
+        ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, TriggerOutcomeRecord,
+    };
+
+    fn seeded() -> MemoryStore {
+        let s = MemoryStore::new();
+        let mut c = ComponentRecord::named("etl");
+        c.owner = "data-eng".into();
+        s.register_component(c).unwrap();
+        s.upsert_io_pointer(IoPointerRecord::new("raw.csv", 1))
+            .unwrap();
+        s.log_run(ComponentRunRecord {
+            component: "etl".into(),
+            start_ms: 10,
+            end_ms: 30,
+            outputs: vec!["raw.csv".into()],
+            triggers: vec![TriggerOutcomeRecord {
+                trigger: "no_nulls".into(),
+                phase: "after".into(),
+                passed: false,
+                detail: "".into(),
+                values: Default::default(),
+            }],
+            ..Default::default()
+        })
+        .unwrap();
+        s.log_metric(MetricRecord {
+            component: "etl".into(),
+            run_id: None,
+            name: "rows".into(),
+            value: 5.0,
+            ts_ms: 11,
+        })
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn table_parsing_and_names() {
+        assert_eq!(Table::parse("RUNS"), Some(Table::ComponentRuns));
+        assert_eq!(Table::parse("component_runs"), Some(Table::ComponentRuns));
+        assert_eq!(Table::parse("bogus"), None);
+        assert_eq!(Table::Metrics.name(), "metrics");
+    }
+
+    #[test]
+    fn scan_component_runs_has_schema_arity() {
+        let s = seeded();
+        let rows = scan(&s, Table::ComponentRuns).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), table_schema(Table::ComponentRuns).len());
+        let dur_idx = column_index(Table::ComponentRuns, "duration_ms").unwrap();
+        assert_eq!(rows[0][dur_idx], Value::Int(20));
+        let tf_idx = column_index(Table::ComponentRuns, "trigger_failures").unwrap();
+        assert_eq!(rows[0][tf_idx], Value::from(vec!["no_nulls"]));
+    }
+
+    #[test]
+    fn scan_all_tables() {
+        let s = seeded();
+        for t in [
+            Table::Components,
+            Table::ComponentRuns,
+            Table::IoPointers,
+            Table::Metrics,
+            Table::Summaries,
+        ] {
+            let rows = scan(&s, t).unwrap();
+            for row in &rows {
+                assert_eq!(row.len(), table_schema(t).len(), "table {}", t.name());
+            }
+        }
+        assert_eq!(scan(&s, Table::Metrics).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn column_index_case_insensitive_and_errors() {
+        assert_eq!(column_index(Table::Components, "OWNER").unwrap(), 2);
+        assert!(column_index(Table::Components, "nope").is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! The [`Store`] trait: the storage layer contract of Figure 2.
+//!
+//! The execution layer logs components, runs, I/O pointers and metrics
+//! through this interface; the query commands and the SQL engine read
+//! through it. Implementations: [`crate::memory::MemoryStore`] (indexes in
+//! RAM) and [`crate::wal::WalStore`] (same, plus an append-only JSON-lines
+//! log for durability and replay).
+
+use crate::error::Result;
+use crate::record::{
+    CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
+};
+
+/// Counters describing the current contents of a store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Registered components.
+    pub components: usize,
+    /// Logged component runs (excluding deleted/compacted).
+    pub runs: usize,
+    /// Distinct I/O pointers.
+    pub io_pointers: usize,
+    /// Metric points.
+    pub metric_points: usize,
+    /// Compaction summaries retained.
+    pub summaries: usize,
+    /// Runs removed by deletion or compaction since the store was opened.
+    pub runs_removed: u64,
+}
+
+/// Storage-layer contract. All methods take `&self`; implementations are
+/// internally synchronized so a store can be shared via `Arc` across the
+/// execution layer and concurrent trigger threads.
+pub trait Store: Send + Sync {
+    // ------------------------------------------------------------------
+    // Components
+    // ------------------------------------------------------------------
+
+    /// Register or update a component (upsert keyed by name).
+    fn register_component(&self, rec: ComponentRecord) -> Result<()>;
+
+    /// Fetch a component by name.
+    fn component(&self, name: &str) -> Result<Option<ComponentRecord>>;
+
+    /// All registered components, ordered by name.
+    fn components(&self) -> Result<Vec<ComponentRecord>>;
+
+    // ------------------------------------------------------------------
+    // Component runs
+    // ------------------------------------------------------------------
+
+    /// Log a run. The store assigns and returns a fresh monotonically
+    /// increasing [`RunId`]; the `id` field of the passed record is ignored.
+    fn log_run(&self, run: ComponentRunRecord) -> Result<RunId>;
+
+    /// Fetch a run by id. Returns `Ok(None)` for unknown or deleted runs.
+    fn run(&self, id: RunId) -> Result<Option<ComponentRunRecord>>;
+
+    /// Ids of all runs of a component, ascending by start time.
+    fn runs_for_component(&self, name: &str) -> Result<Vec<RunId>>;
+
+    /// The most recently *started* run of a component.
+    fn latest_run(&self, name: &str) -> Result<Option<ComponentRunRecord>>;
+
+    /// All live run ids, ascending.
+    fn run_ids(&self) -> Result<Vec<RunId>>;
+
+    // ------------------------------------------------------------------
+    // I/O pointers and the runtime dependency index
+    // ------------------------------------------------------------------
+
+    /// Upsert an I/O pointer record (keyed by name). An existing `flag` is
+    /// preserved unless the new record changes it explicitly via
+    /// [`Store::set_flag`].
+    fn upsert_io_pointer(&self, rec: IoPointerRecord) -> Result<()>;
+
+    /// Fetch an I/O pointer by name.
+    fn io_pointer(&self, name: &str) -> Result<Option<IoPointerRecord>>;
+
+    /// All pointers, ordered by name.
+    fn io_pointers(&self) -> Result<Vec<IoPointerRecord>>;
+
+    /// Runs that listed `io` as an *output*, ascending by start time. This
+    /// is the index behind the paper's runtime dependency inference.
+    fn producers_of(&self, io: &str) -> Result<Vec<RunId>>;
+
+    /// Runs that listed `io` as an *input*, ascending by start time. Drives
+    /// forward tracing (GDPR deletion) and impact analysis.
+    fn consumers_of(&self, io: &str) -> Result<Vec<RunId>>;
+
+    /// Set or clear the debugging flag on a pointer. Returns the previous
+    /// flag value.
+    fn set_flag(&self, io: &str, flag: bool) -> Result<bool>;
+
+    /// Names of all currently-flagged pointers, ordered by name.
+    fn flagged(&self) -> Result<Vec<String>>;
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// Append one metric point.
+    fn log_metric(&self, m: MetricRecord) -> Result<()>;
+
+    /// All points of a metric series, ascending by timestamp.
+    fn metrics(&self, component: &str, name: &str) -> Result<Vec<MetricRecord>>;
+
+    /// Names of metric series recorded for a component, ordered.
+    fn metric_names(&self, component: &str) -> Result<Vec<String>>;
+
+    // ------------------------------------------------------------------
+    // Maintenance: deletion and compaction
+    // ------------------------------------------------------------------
+
+    /// Hard-delete runs by id. Pointer and metric records are retained;
+    /// indexes are updated. Returns how many existed and were removed.
+    fn delete_runs(&self, ids: &[RunId]) -> Result<usize>;
+
+    /// Hard-delete I/O pointers by name (their index entries go too).
+    fn delete_io_pointers(&self, names: &[String]) -> Result<usize>;
+
+    /// Store an aggregate summary produced by compaction.
+    fn put_summary(&self, s: CompactionSummary) -> Result<()>;
+
+    /// Summaries for a component, ascending by window start.
+    fn summaries(&self, component: &str) -> Result<Vec<CompactionSummary>>;
+
+    /// Current record counts.
+    fn stats(&self) -> Result<StoreStats>;
+}

@@ -1,0 +1,354 @@
+//! Dynamically-typed values stored in component-run metadata, trigger
+//! results, and metric records, and surfaced to the SQL layer.
+//!
+//! The paper's storage layer must hold heterogeneous per-run state (string
+//! identifiers, numeric aggregates, nested structures captured by triggers),
+//! so the store exposes one self-describing value type rather than a fixed
+//! schema.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dynamically-typed value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "t", content = "v")]
+pub enum Value {
+    /// Absent / unknown value. Sorts before everything else.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. `NaN` is permitted but compares as the smallest float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered list of values.
+    List(Vec<Value>),
+    /// String-keyed map of values (ordered for deterministic output).
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Name of the value's type, used in error messages and `typeof`-style
+    /// SQL output.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// True if the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: ints and floats coerce to `f64`, bools to 0/1.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view (no float truncation: a float must be integral).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view with SQL-ish truthiness for numerics.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0 && !f.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::List(l) => !l.is_empty(),
+            Value::Map(m) => !m.is_empty(),
+        }
+    }
+
+    /// Total ordering across all value types, used for ORDER BY and index
+    /// comparisons. Nulls first, then bools, numbers (ints and floats
+    /// interleaved by numeric value), strings, lists, maps.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+                List(_) => 4,
+                Map(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (List(a), List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.total_cmp(y);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Map(a), Map(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    let c = ka.cmp(kb);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                    let c = va.total_cmp(vb);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Loose equality used by SQL `=`: numeric types compare by value.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<u64> for Value {
+    fn from(i: u64) -> Self {
+        // Saturate rather than wrap: run ids / timestamps fit comfortably.
+        Value::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::from(true).type_name(), "bool");
+        assert_eq!(Value::from(1i64).type_name(), "int");
+        assert_eq!(Value::from(1.5).type_name(), "float");
+        assert_eq!(Value::from("x").type_name(), "str");
+        assert_eq!(Value::List(vec![]).type_name(), "list");
+        assert_eq!(Value::Map(BTreeMap::new()).type_name(), "map");
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from(true).as_f64(), Some(1.0));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::from(4.0).as_i64(), Some(4));
+        assert_eq!(Value::from(4.5).as_i64(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::from(0i64).truthy());
+        assert!(Value::from(0.1).truthy());
+        assert!(!Value::from("").truthy());
+        assert!(Value::from("a").truthy());
+        assert!(!Value::Float(f64::NAN).truthy());
+    }
+
+    #[test]
+    fn cross_type_ordering_is_total() {
+        let vals = vec![
+            Value::Null,
+            Value::from(false),
+            Value::from(true),
+            Value::from(-1i64),
+            Value::from(0.5),
+            Value::from(2i64),
+            Value::from("a"),
+            Value::List(vec![Value::from(1i64)]),
+        ];
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(sorted, vals, "constructed list was already in order");
+    }
+
+    #[test]
+    fn int_float_interleave() {
+        assert_eq!(
+            Value::from(1i64).total_cmp(&Value::from(1.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::from(1i64).total_cmp(&Value::from(1.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::from(2.5).total_cmp(&Value::from(2i64)),
+            Ordering::Greater
+        );
+        assert!(Value::from(1i64).loose_eq(&Value::from(1.0)));
+    }
+
+    #[test]
+    fn nan_sorts_deterministically() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(a.total_cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn list_ordering_is_lexicographic() {
+        let a = Value::from(vec![1i64, 2]);
+        let b = Value::from(vec![1i64, 3]);
+        let c = Value::from(vec![1i64, 2, 0]);
+        assert_eq!(a.total_cmp(&b), Ordering::Less);
+        assert_eq!(a.total_cmp(&c), Ordering::Less);
+    }
+
+    #[test]
+    fn display_round_trips_common_values() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::from(3i64).to_string(), "3");
+        assert_eq!(Value::from(3.0).to_string(), "3.0");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(Value::from(vec![1i64, 2]).to_string(), "[1, 2]");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), Value::from(vec![1i64, 2]));
+        let v = Value::Map(m);
+        let s = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn option_and_from_conversions() {
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(2i64)), Value::Int(2));
+        assert_eq!(Value::from(7u64), Value::Int(7));
+        assert_eq!(Value::from(usize::MAX), Value::Int(i64::MAX));
+    }
+}

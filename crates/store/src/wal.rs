@@ -1,0 +1,396 @@
+//! Durable [`Store`]: an in-memory store fronted by an append-only
+//! JSON-lines write-ahead log.
+//!
+//! Observability logs must survive process restarts (the paper: regulated
+//! industries "may need to query over previous months or even years"). The
+//! WAL format is deliberately human-greppable — one JSON event per line —
+//! because the log *is* the product in an observability tool.
+
+use crate::error::{Result, StoreError};
+use crate::memory::MemoryStore;
+use crate::record::{
+    CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
+};
+use crate::store::{Store, StoreStats};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// One durable event. The WAL is the sequence of all mutations.
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(tag = "event")]
+enum WalEvent {
+    Component { rec: ComponentRecord },
+    Run { rec: ComponentRunRecord },
+    IoPointer { rec: IoPointerRecord },
+    Flag { io: String, flag: bool },
+    Metric { rec: MetricRecord },
+    DeleteRuns { ids: Vec<RunId> },
+    DeleteIos { names: Vec<String> },
+    Summary { rec: CompactionSummary },
+}
+
+/// A [`MemoryStore`] that records every mutation to an append-only log and
+/// rebuilds itself from that log on open.
+pub struct WalStore {
+    mem: MemoryStore,
+    writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl WalStore {
+    /// Open (creating if absent) a WAL-backed store at `path` and replay
+    /// any existing log into memory.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mem = MemoryStore::new();
+        if path.exists() {
+            let reader = BufReader::new(File::open(&path)?);
+            for (lineno, line) in reader.lines().enumerate() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let event: WalEvent = serde_json::from_str(&line)
+                    .map_err(|e| StoreError::Corrupt(format!("line {}: {e}", lineno + 1)))?;
+                Self::apply(&mem, event)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(WalStore {
+            mem,
+            writer: Mutex::new(BufWriter::new(file)),
+            path,
+        })
+    }
+
+    /// Path of the backing log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flush buffered log writes to the OS.
+    pub fn sync(&self) -> Result<()> {
+        let mut w = self.writer.lock();
+        w.flush()?;
+        w.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    fn apply(mem: &MemoryStore, event: WalEvent) -> Result<()> {
+        match event {
+            WalEvent::Component { rec } => mem.register_component(rec),
+            WalEvent::Run { rec } => mem.restore_run(rec),
+            WalEvent::IoPointer { rec } => mem.upsert_io_pointer(rec),
+            WalEvent::Flag { io, flag } => mem.set_flag(&io, flag).map(|_| ()),
+            WalEvent::Metric { rec } => mem.log_metric(rec),
+            WalEvent::DeleteRuns { ids } => mem.delete_runs(&ids).map(|_| ()),
+            WalEvent::DeleteIos { names } => mem.delete_io_pointers(&names).map(|_| ()),
+            WalEvent::Summary { rec } => mem.put_summary(rec),
+        }
+    }
+
+    fn append(&self, event: &WalEvent) -> Result<()> {
+        let mut line = serde_json::to_string(event)?;
+        line.push('\n');
+        let mut w = self.writer.lock();
+        w.write_all(line.as_bytes())?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Rewrite the log to contain only the store's current state (dropping
+    /// deleted runs and superseded records). Used after compaction/deletion
+    /// to reclaim disk. Returns bytes before and after.
+    pub fn rewrite(&self) -> Result<(u64, u64)> {
+        let before = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
+        let tmp = self.path.with_extension("rewrite");
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            let mut emit = |e: &WalEvent| -> Result<()> {
+                let mut line = serde_json::to_string(e)?;
+                line.push('\n');
+                out.write_all(line.as_bytes())?;
+                Ok(())
+            };
+            for rec in self.mem.components()? {
+                emit(&WalEvent::Component { rec })?;
+            }
+            for rec in self.mem.io_pointers()? {
+                let flag = rec.flag;
+                let name = rec.name.clone();
+                emit(&WalEvent::IoPointer { rec })?;
+                if flag {
+                    emit(&WalEvent::Flag {
+                        io: name,
+                        flag: true,
+                    })?;
+                }
+            }
+            for id in self.mem.run_ids()? {
+                if let Some(rec) = self.mem.run(id)? {
+                    emit(&WalEvent::Run { rec })?;
+                }
+            }
+            for comp in self.mem.components()? {
+                for name in self.mem.metric_names(&comp.name)? {
+                    for rec in self.mem.metrics(&comp.name, &name)? {
+                        emit(&WalEvent::Metric { rec })?;
+                    }
+                }
+                for rec in self.mem.summaries(&comp.name)? {
+                    emit(&WalEvent::Summary { rec })?;
+                }
+            }
+            out.flush()?;
+            out.get_ref().sync_data()?;
+        }
+        // Swap in the rewritten log and reopen the writer on it.
+        {
+            let mut w = self.writer.lock();
+            w.flush()?;
+            std::fs::rename(&tmp, &self.path)?;
+            let file = OpenOptions::new().append(true).open(&self.path)?;
+            *w = BufWriter::new(file);
+        }
+        let after = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
+        Ok((before, after))
+    }
+}
+
+impl Store for WalStore {
+    fn register_component(&self, rec: ComponentRecord) -> Result<()> {
+        self.mem.register_component(rec.clone())?;
+        self.append(&WalEvent::Component { rec })
+    }
+
+    fn component(&self, name: &str) -> Result<Option<ComponentRecord>> {
+        self.mem.component(name)
+    }
+
+    fn components(&self) -> Result<Vec<ComponentRecord>> {
+        self.mem.components()
+    }
+
+    fn log_run(&self, run: ComponentRunRecord) -> Result<RunId> {
+        let id = self.mem.log_run(run)?;
+        // Log the record with its assigned id so replay restores ids.
+        let rec = self.mem.run(id)?.expect("run just logged must be present");
+        self.append(&WalEvent::Run { rec })?;
+        Ok(id)
+    }
+
+    fn run(&self, id: RunId) -> Result<Option<ComponentRunRecord>> {
+        self.mem.run(id)
+    }
+
+    fn runs_for_component(&self, name: &str) -> Result<Vec<RunId>> {
+        self.mem.runs_for_component(name)
+    }
+
+    fn latest_run(&self, name: &str) -> Result<Option<ComponentRunRecord>> {
+        self.mem.latest_run(name)
+    }
+
+    fn run_ids(&self) -> Result<Vec<RunId>> {
+        self.mem.run_ids()
+    }
+
+    fn upsert_io_pointer(&self, rec: IoPointerRecord) -> Result<()> {
+        self.mem.upsert_io_pointer(rec.clone())?;
+        self.append(&WalEvent::IoPointer { rec })
+    }
+
+    fn io_pointer(&self, name: &str) -> Result<Option<IoPointerRecord>> {
+        self.mem.io_pointer(name)
+    }
+
+    fn io_pointers(&self) -> Result<Vec<IoPointerRecord>> {
+        self.mem.io_pointers()
+    }
+
+    fn producers_of(&self, io: &str) -> Result<Vec<RunId>> {
+        self.mem.producers_of(io)
+    }
+
+    fn consumers_of(&self, io: &str) -> Result<Vec<RunId>> {
+        self.mem.consumers_of(io)
+    }
+
+    fn set_flag(&self, io: &str, flag: bool) -> Result<bool> {
+        let prev = self.mem.set_flag(io, flag)?;
+        self.append(&WalEvent::Flag {
+            io: io.to_owned(),
+            flag,
+        })?;
+        Ok(prev)
+    }
+
+    fn flagged(&self) -> Result<Vec<String>> {
+        self.mem.flagged()
+    }
+
+    fn log_metric(&self, m: MetricRecord) -> Result<()> {
+        self.mem.log_metric(m.clone())?;
+        self.append(&WalEvent::Metric { rec: m })
+    }
+
+    fn metrics(&self, component: &str, name: &str) -> Result<Vec<MetricRecord>> {
+        self.mem.metrics(component, name)
+    }
+
+    fn metric_names(&self, component: &str) -> Result<Vec<String>> {
+        self.mem.metric_names(component)
+    }
+
+    fn delete_runs(&self, ids: &[RunId]) -> Result<usize> {
+        let n = self.mem.delete_runs(ids)?;
+        self.append(&WalEvent::DeleteRuns { ids: ids.to_vec() })?;
+        Ok(n)
+    }
+
+    fn delete_io_pointers(&self, names: &[String]) -> Result<usize> {
+        let n = self.mem.delete_io_pointers(names)?;
+        self.append(&WalEvent::DeleteIos {
+            names: names.to_vec(),
+        })?;
+        Ok(n)
+    }
+
+    fn put_summary(&self, s: CompactionSummary) -> Result<()> {
+        self.mem.put_summary(s.clone())?;
+        self.append(&WalEvent::Summary { rec: s })
+    }
+
+    fn summaries(&self, component: &str) -> Result<Vec<CompactionSummary>> {
+        self.mem.summaries(component)
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        self.mem.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "mltrace-wal-test-{}-{}.jsonl",
+            name,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn run(component: &str, start: u64, inputs: &[&str], outputs: &[&str]) -> ComponentRunRecord {
+        ComponentRunRecord {
+            component: component.into(),
+            start_ms: start,
+            end_ms: start + 1,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn replay_restores_full_state() {
+        let path = tmp("replay");
+        let (a, b);
+        {
+            let s = WalStore::open(&path).unwrap();
+            s.register_component(ComponentRecord::named("etl")).unwrap();
+            s.upsert_io_pointer(IoPointerRecord::new("raw.csv", 5))
+                .unwrap();
+            a = s.log_run(run("etl", 100, &[], &["raw.csv"])).unwrap();
+            b = s
+                .log_run(run("clean", 200, &["raw.csv"], &["clean.csv"]))
+                .unwrap();
+            s.set_flag("raw.csv", true).unwrap();
+            s.log_metric(MetricRecord {
+                component: "etl".into(),
+                run_id: Some(a),
+                name: "rows".into(),
+                value: 123.0,
+                ts_ms: 101,
+            })
+            .unwrap();
+            s.sync().unwrap();
+        }
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.component("etl").unwrap().unwrap().name, "etl");
+        assert_eq!(s.run(a).unwrap().unwrap().component, "etl");
+        assert_eq!(s.producers_of("raw.csv").unwrap(), vec![a]);
+        assert_eq!(s.consumers_of("raw.csv").unwrap(), vec![b]);
+        assert_eq!(s.flagged().unwrap(), vec!["raw.csv".to_string()]);
+        assert_eq!(s.metrics("etl", "rows").unwrap().len(), 1);
+        // Fresh ids continue above replayed ones.
+        let c = s.log_run(run("etl", 300, &[], &[])).unwrap();
+        assert!(c > b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_applies_deletions() {
+        let path = tmp("delete");
+        {
+            let s = WalStore::open(&path).unwrap();
+            let a = s.log_run(run("etl", 100, &[], &["raw.csv"])).unwrap();
+            s.log_run(run("etl", 200, &[], &["raw.csv"])).unwrap();
+            s.delete_runs(&[a]).unwrap();
+            s.sync().unwrap();
+        }
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.stats().unwrap().runs, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_line_is_reported_with_line_number() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "{\"event\":\"Component\",\"rec\"").unwrap();
+        match WalStore::open(&path) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("line 1"), "{msg}"),
+            Err(other) => panic!("expected corrupt error, got {other:?}"),
+            Ok(_) => panic!("expected corrupt error, got Ok"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewrite_shrinks_log_after_deletions() {
+        let path = tmp("rewrite");
+        let s = WalStore::open(&path).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..50 {
+            ids.push(s.log_run(run("c", i, &[], &["out.csv"])).unwrap());
+        }
+        s.delete_runs(&ids[..45]).unwrap();
+        s.sync().unwrap();
+        let (before, after) = s.rewrite().unwrap();
+        assert!(after < before, "rewrite should shrink: {before} -> {after}");
+        assert_eq!(s.stats().unwrap().runs, 5);
+        // Store still writable after rewrite, and state replays.
+        s.log_run(run("c", 999, &[], &[])).unwrap();
+        s.sync().unwrap();
+        drop(s);
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.stats().unwrap().runs, 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_lines_tolerated() {
+        let path = tmp("blank");
+        std::fs::write(&path, "\n\n").unwrap();
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.stats().unwrap().runs, 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

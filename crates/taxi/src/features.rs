@@ -1,0 +1,166 @@
+//! The fitted feature-engineering artifact of the demo pipeline: mean
+//! imputation + standardization over the numeric trip columns, plus a
+//! one-hot borough encoding. Serialized to JSON and stored through the
+//! artifact store, so every model version's featurizer is content-
+//! addressed and traceable (and its *absence of refitting* is what makes
+//! Example 4.4's preprocessor stale).
+
+use mltrace_pipeline::{DataFrame, FrameError, MeanImputer, OneHotEncoder, StandardScaler};
+use serde::{Deserialize, Serialize};
+
+/// Numeric feature columns, in model order.
+pub const NUMERIC_FEATURES: [&str; 6] = [
+    "distance_km",
+    "duration_min",
+    "fare",
+    "passengers",
+    "hour",
+    "paid_card",
+];
+
+/// Fitted featurizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Featurizer {
+    imputer: MeanImputer,
+    scaler: StandardScaler,
+    encoder: OneHotEncoder,
+}
+
+impl Featurizer {
+    /// Fit on a training frame.
+    pub fn fit(df: &DataFrame) -> Result<Self, FrameError> {
+        let rows = df.to_matrix(&NUMERIC_FEATURES)?;
+        let imputer = MeanImputer::fit(&rows).expect("non-empty fit");
+        let mut imputed = rows;
+        imputer.transform(&mut imputed).expect("fit width");
+        let scaler = StandardScaler::fit(&imputed).expect("non-empty fit");
+        let boroughs = borough_values(df)?;
+        let encoder = OneHotEncoder::fit(boroughs.iter().map(|b| b.as_deref()));
+        Ok(Featurizer {
+            imputer,
+            scaler,
+            encoder,
+        })
+    }
+
+    /// Transform a frame into the model's feature matrix.
+    pub fn transform(&self, df: &DataFrame) -> Result<Vec<Vec<f64>>, FrameError> {
+        let mut rows = df.to_matrix(&NUMERIC_FEATURES)?;
+        self.imputer.transform(&mut rows).expect("fit width");
+        self.scaler.transform(&mut rows).expect("fit width");
+        let boroughs = borough_values(df)?;
+        for (row, borough) in rows.iter_mut().zip(boroughs.iter()) {
+            row.extend(self.encoder.encode(borough.as_deref()));
+        }
+        Ok(rows)
+    }
+
+    /// Total feature width (numeric + one-hot categories).
+    pub fn width(&self) -> usize {
+        NUMERIC_FEATURES.len() + self.encoder.categories().len()
+    }
+
+    /// Per-column means of a transformed matrix — the aggregate the
+    /// featurize components log for cross-component comparison (Ex 4.3).
+    pub fn feature_means(matrix: &[Vec<f64>]) -> Vec<f64> {
+        if matrix.is_empty() {
+            return Vec::new();
+        }
+        let width = matrix[0].len();
+        let mut means = vec![0.0; width];
+        for row in matrix {
+            for (m, &v) in means.iter_mut().zip(row.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= matrix.len() as f64;
+        }
+        means
+    }
+}
+
+fn borough_values(df: &DataFrame) -> Result<Vec<Option<String>>, FrameError> {
+    match df.column("borough")? {
+        mltrace_pipeline::Column::Str(v) => Ok(v.clone()),
+        other => Err(FrameError::TypeMismatch {
+            column: "borough".into(),
+            wanted: "str",
+            got: other.dtype(),
+        }),
+    }
+}
+
+/// Extract the boolean labels (`high_tip`).
+pub fn labels(df: &DataFrame) -> Result<Vec<bool>, FrameError> {
+    Ok(df
+        .float_column("high_tip")?
+        .into_iter()
+        .map(|v| v >= 0.5)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{trips_to_frame, TripConfig, TripGenerator};
+
+    fn frame(n: usize) -> DataFrame {
+        let mut g = TripGenerator::new(TripConfig::default());
+        trips_to_frame(&g.take(n))
+    }
+
+    #[test]
+    fn fit_transform_shapes() {
+        let df = frame(500);
+        let f = Featurizer::fit(&df).unwrap();
+        let m = f.transform(&df).unwrap();
+        assert_eq!(m.len(), 500);
+        assert_eq!(m[0].len(), f.width());
+        assert_eq!(f.width(), 6 + 4, "numeric + 4 boroughs");
+        // Standardized numerics: near-zero means.
+        let means = Featurizer::feature_means(&m);
+        for (i, m) in means.iter().take(6).enumerate() {
+            assert!(m.abs() < 1e-9, "feature {i} mean {m}");
+        }
+        // One-hot block sums to ~1 per row.
+        for row in m.iter().take(20) {
+            let onehot: f64 = row[6..].iter().sum();
+            assert_eq!(onehot, 1.0);
+        }
+    }
+
+    #[test]
+    fn transform_handles_nulls_via_imputation() {
+        let train = frame(500);
+        let f = Featurizer::fit(&train).unwrap();
+        let faulty = crate::scenarios::inject_nulls(&frame(100), "fare", 0.5, 3);
+        let m = f.transform(&faulty).unwrap();
+        assert!(m.iter().all(|r| r.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let df = frame(200);
+        let f = Featurizer::fit(&df).unwrap();
+        let bytes = serde_json::to_vec(&f).unwrap();
+        let back: Featurizer = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn labels_match_high_tip() {
+        let mut g = TripGenerator::new(TripConfig::default());
+        let trips = g.take(50);
+        let df = trips_to_frame(&trips);
+        let l = labels(&df).unwrap();
+        for (trip, label) in trips.iter().zip(l.iter()) {
+            assert_eq!(trip.high_tip(), *label);
+        }
+    }
+
+    #[test]
+    fn feature_means_empty() {
+        assert!(Featurizer::feature_means(&[]).is_empty());
+    }
+}

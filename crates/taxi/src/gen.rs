@@ -1,0 +1,375 @@
+//! Synthetic NYC-taxi trip generator.
+//!
+//! Substitute for the paper's §5 NYC TLC Trip Record dataset (see
+//! DESIGN.md): reproduces the schema and statistical structure of taxi
+//! trips — log-normal distances, fare = flagfall + per-km + per-minute,
+//! tip behaviour correlated with payment type, hour, and trip length —
+//! plus *controllable* drift so the paper's debugging walkthroughs become
+//! deterministic scenarios. The demo task is the paper's: predict whether
+//! the rider tips at least 20% of the fare.
+
+use mltrace_pipeline::{Column, DataFrame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trip {
+    /// Unique trip id.
+    pub id: u64,
+    /// Pickup time, epoch milliseconds.
+    pub pickup_ms: u64,
+    /// Trip distance in kilometres.
+    pub distance_km: f64,
+    /// Trip duration in minutes.
+    pub duration_min: f64,
+    /// Metered fare in dollars.
+    pub fare: f64,
+    /// Passenger count.
+    pub passengers: i64,
+    /// Pickup borough.
+    pub borough: &'static str,
+    /// Pickup hour of day (0–23).
+    pub hour: i64,
+    /// Paid by card (tips on cash trips go unrecorded, as in the real
+    /// TLC data).
+    pub paid_card: bool,
+    /// Recorded tip in dollars.
+    pub tip: f64,
+}
+
+impl Trip {
+    /// The demo label: tip at least 20% of the fare (§5).
+    pub fn high_tip(&self) -> bool {
+        self.fare > 0.0 && self.tip >= 0.2 * self.fare
+    }
+}
+
+/// Boroughs with fixed sampling weights (roughly trip-volume ordered).
+pub const BOROUGHS: [(&str, f64); 4] = [
+    ("manhattan", 0.62),
+    ("brooklyn", 0.18),
+    ("queens", 0.14),
+    ("bronx", 0.06),
+];
+
+/// Drift applied progressively over the generated stream — the covariate
+/// shift behind Example 4.2 ("it takes about a month for prediction
+/// quality to degrade").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriftProfile {
+    /// Added to mean log-distance per generated trip (×1e-6 scale).
+    pub distance_shift_per_trip: f64,
+    /// Multiplied into the fare per generated trip (surge creep),
+    /// applied as `(1 + x)^index`.
+    pub fare_inflation_per_trip: f64,
+    /// Added to the card-payment log-odds per trip (payment-mix shift).
+    pub card_shift_per_trip: f64,
+    /// Rotates the tipping log-odds' distance slope per trip — *concept*
+    /// drift: the relationship between a feature and the label itself
+    /// changes (centered on the mean distance so the base rate stays
+    /// stable), which no amount of correct extrapolation can survive
+    /// (Example 4.2's "prediction quality degrades enough to violate
+    /// business SLAs").
+    pub tip_shift_per_trip: f64,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TripConfig {
+    /// RNG seed; same seed → identical stream.
+    pub seed: u64,
+    /// First pickup timestamp, epoch milliseconds.
+    pub start_ms: u64,
+    /// Milliseconds between consecutive pickups.
+    pub cadence_ms: u64,
+    /// Progressive drift.
+    pub drift: DriftProfile,
+}
+
+impl Default for TripConfig {
+    fn default() -> Self {
+        TripConfig {
+            seed: 7,
+            start_ms: 1_600_000_000_000,
+            cadence_ms: 60_000,
+            drift: DriftProfile::default(),
+        }
+    }
+}
+
+/// Streaming trip generator.
+pub struct TripGenerator {
+    rng: StdRng,
+    config: TripConfig,
+    index: u64,
+}
+
+impl TripGenerator {
+    /// Create a generator.
+    pub fn new(config: TripConfig) -> Self {
+        TripGenerator {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            index: 0,
+        }
+    }
+
+    fn normal(&mut self) -> f64 {
+        // Box–Muller.
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Generate the next trip.
+    pub fn next_trip(&mut self) -> Trip {
+        let i = self.index;
+        self.index += 1;
+        let drift = self.config.drift;
+
+        let hour = self.rng.gen_range(0..24i64);
+        // Borough by weight.
+        let mut pick: f64 = self.rng.gen_range(0.0..1.0);
+        let mut borough = BOROUGHS[0].0;
+        for (name, w) in BOROUGHS {
+            if pick < w {
+                borough = name;
+                break;
+            }
+            pick -= w;
+        }
+        // Log-normal distance, mean log drifts upward over time.
+        let mu = 1.0 + drift.distance_shift_per_trip * i as f64;
+        let distance_km = (mu + 0.6 * self.normal()).exp().clamp(0.3, 60.0);
+        // Duration: urban speed ~ 18 km/h ± traffic noise, rush hours slower.
+        let rush = if (7..10).contains(&hour) || (16..19).contains(&hour) {
+            1.35
+        } else {
+            1.0
+        };
+        let duration_min =
+            (distance_km / 18.0 * 60.0 * rush * (1.0 + 0.15 * self.normal().abs())).max(1.0);
+        // Fare: flagfall + per-km + per-minute, with drifting surge.
+        let surge = (1.0 + drift.fare_inflation_per_trip).powf(i as f64);
+        let fare = ((3.0 + 1.75 * distance_km + 0.35 * duration_min) * surge).max(3.0);
+        let passengers = 1 + (self.rng.gen_range(0.0..1.0f64).powi(3) * 4.0) as i64;
+        // Payment type: card-heavy, drifting log-odds.
+        let card_logit = 1.2 + drift.card_shift_per_trip * i as f64;
+        let paid_card = self.rng.gen_range(0.0..1.0) < sigmoid(card_logit);
+        // Tip: cash tips unrecorded; card tip fraction depends on trip
+        // profile (the learnable signal).
+        let tip = if paid_card {
+            let gen_logit = 1.4 - 0.35 * distance_km + 0.5 * f64::from(!(2..18).contains(&hour))
+                - 0.5 * f64::from(borough == "bronx")
+                + drift.tip_shift_per_trip * i as f64 * (distance_km - 3.3)
+                + 0.3 * self.normal();
+            let tips_well = self.rng.gen_range(0.0..1.0) < sigmoid(gen_logit);
+            let fraction = if tips_well {
+                0.24 + 0.04 * self.normal().abs()
+            } else {
+                (0.08 + 0.02 * self.normal()).max(0.0)
+            };
+            fare * fraction
+        } else {
+            0.0
+        };
+
+        Trip {
+            id: i,
+            pickup_ms: self.config.start_ms + i * self.config.cadence_ms,
+            distance_km,
+            duration_min,
+            fare,
+            passengers,
+            borough,
+            hour,
+            paid_card,
+            tip,
+        }
+    }
+
+    /// Generate a batch.
+    pub fn take(&mut self, n: usize) -> Vec<Trip> {
+        (0..n).map(|_| self.next_trip()).collect()
+    }
+
+    /// Trips generated so far.
+    pub fn generated(&self) -> u64 {
+        self.index
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Convert trips to the raw-data frame shape flowing into the pipeline.
+pub fn trips_to_frame(trips: &[Trip]) -> DataFrame {
+    DataFrame::from_columns(vec![
+        (
+            "trip_id",
+            Column::Int(trips.iter().map(|t| Some(t.id as i64)).collect()),
+        ),
+        (
+            "pickup_ms",
+            Column::Int(trips.iter().map(|t| Some(t.pickup_ms as i64)).collect()),
+        ),
+        (
+            "distance_km",
+            Column::Float(trips.iter().map(|t| t.distance_km).collect()),
+        ),
+        (
+            "duration_min",
+            Column::Float(trips.iter().map(|t| t.duration_min).collect()),
+        ),
+        (
+            "fare",
+            Column::Float(trips.iter().map(|t| t.fare).collect()),
+        ),
+        (
+            "passengers",
+            Column::Int(trips.iter().map(|t| Some(t.passengers)).collect()),
+        ),
+        (
+            "borough",
+            Column::Str(trips.iter().map(|t| Some(t.borough.to_string())).collect()),
+        ),
+        (
+            "hour",
+            Column::Int(trips.iter().map(|t| Some(t.hour)).collect()),
+        ),
+        (
+            "paid_card",
+            Column::Bool(trips.iter().map(|t| Some(t.paid_card)).collect()),
+        ),
+        ("tip", Column::Float(trips.iter().map(|t| t.tip).collect())),
+        (
+            "high_tip",
+            Column::Bool(trips.iter().map(|t| Some(t.high_tip())).collect()),
+        ),
+    ])
+    .expect("trip frame construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = TripGenerator::new(TripConfig::default());
+        let mut b = TripGenerator::new(TripConfig::default());
+        assert_eq!(a.take(50), b.take(50));
+        let mut c = TripGenerator::new(TripConfig {
+            seed: 8,
+            ..Default::default()
+        });
+        assert_ne!(a.take(50), c.take(50));
+    }
+
+    #[test]
+    fn trips_look_like_taxi_trips() {
+        let mut g = TripGenerator::new(TripConfig::default());
+        let trips = g.take(5000);
+        for t in &trips {
+            assert!(t.distance_km >= 0.3 && t.distance_km <= 60.0);
+            assert!(t.fare >= 3.0);
+            assert!(t.duration_min >= 1.0);
+            assert!((1..=5).contains(&t.passengers));
+            assert!((0..24).contains(&t.hour));
+            assert!(t.tip >= 0.0);
+            if !t.paid_card {
+                assert_eq!(t.tip, 0.0, "cash tips are unrecorded");
+            }
+        }
+        // Label balance is learnable, not degenerate.
+        let positives = trips.iter().filter(|t| t.high_tip()).count();
+        let rate = positives as f64 / trips.len() as f64;
+        assert!((0.15..0.75).contains(&rate), "high-tip rate {rate}");
+        // Median fare in a plausible range.
+        let mut fares: Vec<f64> = trips.iter().map(|t| t.fare).collect();
+        fares.sort_by(|a, b| a.total_cmp(b));
+        let median = fares[fares.len() / 2];
+        assert!((5.0..40.0).contains(&median), "median fare {median}");
+    }
+
+    #[test]
+    fn timestamps_advance_by_cadence() {
+        let mut g = TripGenerator::new(TripConfig {
+            start_ms: 1000,
+            cadence_ms: 10,
+            ..Default::default()
+        });
+        let trips = g.take(3);
+        assert_eq!(trips[0].pickup_ms, 1000);
+        assert_eq!(trips[2].pickup_ms, 1020);
+        assert_eq!(g.generated(), 3);
+    }
+
+    #[test]
+    fn drift_shifts_distance_distribution() {
+        let mut stable = TripGenerator::new(TripConfig::default());
+        let mut drifting = TripGenerator::new(TripConfig {
+            drift: DriftProfile {
+                distance_shift_per_trip: 5e-5,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let early: f64 = drifting
+            .take(2000)
+            .iter()
+            .map(|t| t.distance_km)
+            .sum::<f64>()
+            / 2000.0;
+        let _ = stable.take(18000);
+        let late: f64 = {
+            let mut d2 = TripGenerator::new(TripConfig {
+                drift: DriftProfile {
+                    distance_shift_per_trip: 5e-5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let _ = d2.take(18000);
+            d2.take(2000).iter().map(|t| t.distance_km).sum::<f64>() / 2000.0
+        };
+        assert!(
+            late > early * 1.5,
+            "drift should lengthen trips: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn fare_inflation_drifts_fares() {
+        let cfg = TripConfig {
+            drift: DriftProfile {
+                fare_inflation_per_trip: 2e-5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut g = TripGenerator::new(cfg);
+        let early: f64 = g.take(1000).iter().map(|t| t.fare).sum::<f64>() / 1000.0;
+        let _ = g.take(20_000);
+        let late: f64 = g.take(1000).iter().map(|t| t.fare).sum::<f64>() / 1000.0;
+        assert!(late > early * 1.2, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn frame_conversion_preserves_shape() {
+        let mut g = TripGenerator::new(TripConfig::default());
+        let trips = g.take(100);
+        let df = trips_to_frame(&trips);
+        assert_eq!(df.num_rows(), 100);
+        assert_eq!(df.num_columns(), 11);
+        assert_eq!(df.column("fare").unwrap().null_count(), 0);
+        let labels = df.float_column("high_tip").unwrap();
+        let from_trips: Vec<f64> = trips
+            .iter()
+            .map(|t| if t.high_tip() { 1.0 } else { 0.0 })
+            .collect();
+        assert_eq!(labels, from_trips);
+    }
+}

@@ -1,0 +1,24 @@
+//! # mltrace-taxi
+//!
+//! The paper's §5 demonstration, rebuilt end to end: a synthetic NYC-taxi
+//! trip stream with controllable drift and fault injection ([`gen`],
+//! [`scenarios`]), a serializable featurizer artifact ([`features`]), and
+//! an eight-component tip-prediction pipeline fully wrapped in mltrace
+//! ([`pipeline`]) — the substrate for reproducing the paper's four
+//! observability walkthroughs (Examples 4.1–4.4).
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod gen;
+pub mod pipeline;
+pub mod retrain;
+pub mod scenarios;
+
+pub use features::{labels, Featurizer, NUMERIC_FEATURES};
+pub use gen::{trips_to_frame, DriftProfile, Trip, TripConfig, TripGenerator, BOROUGHS};
+pub use pipeline::{
+    MonitorReport, ServeOptions, ServeReport, TaxiConfig, TaxiPipeline, TrainReport, COMPONENTS,
+};
+pub use retrain::{RetrainDecision, RetrainDriver, RetrainPolicy};
+pub use scenarios::{drop_rows, inject_nulls, skew_feature, Incident};

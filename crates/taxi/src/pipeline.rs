@@ -1,0 +1,931 @@
+//! The paper's §5 demo, end to end: an eight-component pipeline that
+//! "predicts, for the NYC Taxicab dataset, whether a rider will give a
+//! high tip (at least 20% of the fare)", fully wrapped in mltrace.
+//!
+//! Components (each box of Figure 1 instantiated):
+//! `ingest` → `clean` → `featurize_offline` → `split` → `train` →
+//! (`featurize_online` → `inference`)* → `monitor`.
+//!
+//! The driver owns the simulated clock, the trip generator, and the
+//! shared fitted state (featurizer, model, drift references) that trigger
+//! closures read through an `Arc<RwLock<_>>`.
+
+use crate::features::{labels, Featurizer};
+use crate::gen::{trips_to_frame, DriftProfile, TripConfig, TripGenerator};
+use crate::scenarios::Incident;
+use mltrace_core::library::{MinCountTrigger, NoMissingTrigger, OverfitTrigger};
+use mltrace_core::{ComponentDef, CoreError, FnTrigger, Mltrace, RunSpec, TriggerOutcome};
+use mltrace_metrics::{
+    roc_auc, AlertManager, AlertRule, Comparator, ConfusionMatrix, DriftConfig, DriftDetector,
+    DriftMethod, Severity, Sla,
+};
+use mltrace_pipeline::{train_test_split, DataFrame, LogisticConfig, LogisticRegression};
+use mltrace_store::{ManualClock, RunId, Value};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Names of the demo pipeline's components.
+pub const COMPONENTS: [&str; 8] = [
+    "ingest",
+    "clean",
+    "featurize_offline",
+    "featurize_online",
+    "split",
+    "train",
+    "inference",
+    "monitor",
+];
+
+/// Shared fitted state read by trigger closures.
+#[derive(Default)]
+struct SharedState {
+    featurizer: Option<Featurizer>,
+    featurizer_artifact: Option<String>,
+    featurizer_io: Option<String>,
+    model: Option<LogisticRegression>,
+    model_io: Option<String>,
+    prediction_reference: Option<DriftDetector>,
+    offline_feature_mean: Option<f64>,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct TaxiConfig {
+    /// Trip generator seed.
+    pub seed: u64,
+    /// Progressive drift applied to generated trips.
+    pub drift: DriftProfile,
+    /// Simulated milliseconds the clock advances per component run.
+    pub step_ms: u64,
+    /// Accuracy floor for the inference SLA (§4.1's business metric).
+    pub accuracy_floor: f64,
+}
+
+impl Default for TaxiConfig {
+    fn default() -> Self {
+        TaxiConfig {
+            seed: 7,
+            drift: DriftProfile::default(),
+            step_ms: 60_000,
+            accuracy_floor: 0.70,
+        }
+    }
+}
+
+/// Result of a training cycle.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Accuracy on the training split.
+    pub train_accuracy: f64,
+    /// Accuracy on the held-out split.
+    pub test_accuracy: f64,
+    /// ROC-AUC on the held-out split.
+    pub auc: f64,
+    /// Run id of the train component run.
+    pub run_id: RunId,
+    /// Name of the model artifact pointer.
+    pub model_io: String,
+}
+
+/// Options for a serving batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Fault injected upstream of the online featurizer.
+    pub incident: Incident,
+    /// Emit one output pointer per trip (`pred-<id>`) instead of one per
+    /// batch — needed for slice-level tracing (Example 4.4).
+    pub per_trip_outputs: bool,
+}
+
+/// Result of a serving batch.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Batch sequence number.
+    pub batch: u64,
+    /// Accuracy against (delayed) ground truth.
+    pub accuracy: f64,
+    /// Positive-class probabilities.
+    pub probabilities: Vec<f64>,
+    /// Output pointer names produced (one, or one per trip).
+    pub outputs: Vec<String>,
+    /// Run id of the inference run.
+    pub run_id: RunId,
+}
+
+/// Result of a monitor pass.
+#[derive(Debug, Clone)]
+pub struct MonitorReport {
+    /// Whether the accuracy SLA is currently violated.
+    pub sla_violated: bool,
+    /// Mean accuracy observed in the SLA window (None = no data).
+    pub observed_accuracy: Option<f64>,
+    /// Alerts fired by this pass.
+    pub alerts: Vec<String>,
+}
+
+/// The demo pipeline driver.
+pub struct TaxiPipeline {
+    ml: Mltrace,
+    clock: Arc<ManualClock>,
+    generator: TripGenerator,
+    state: Arc<RwLock<SharedState>>,
+    alerts: AlertManager,
+    sla: Sla,
+    config: TaxiConfig,
+    batch: u64,
+    train_cycle: u64,
+}
+
+impl TaxiPipeline {
+    /// Build the pipeline: instantiate mltrace, register all eight
+    /// components with their library triggers.
+    pub fn new(config: TaxiConfig) -> Self {
+        let clock = ManualClock::starting_at(1_600_000_000_000);
+        let ml = Mltrace::with_clock(clock.clone());
+        let state: Arc<RwLock<SharedState>> = Arc::new(RwLock::new(SharedState::default()));
+
+        // ingest: sanity-check batch size.
+        ml.register(
+            ComponentDef::builder("ingest")
+                .description("pull raw trip records from the source")
+                .owner("data-eng")
+                .after_run(MinCountTrigger {
+                    var: "rows".into(),
+                    min: 1.0,
+                })
+                .build(),
+        )
+        .expect("register ingest");
+
+        // clean: the Figure 3a preprocessor — missing-value check on the
+        // raw fare column before, count check after.
+        ml.register(
+            ComponentDef::builder("clean")
+                .description("validate and clean raw trips")
+                .owner("data-eng")
+                .before_run(NoMissingTrigger {
+                    var: "fare_raw".into(),
+                    max_null_fraction: 0.05,
+                })
+                .after_run(MinCountTrigger {
+                    var: "rows_out".into(),
+                    min: 1.0,
+                })
+                .build(),
+        )
+        .expect("register clean");
+
+        // featurize_offline: logs its post-transform feature mean for the
+        // online path to compare against (Ex 4.3's propagated test).
+        {
+            let state = Arc::clone(&state);
+            ml.register(
+                ComponentDef::builder("featurize_offline")
+                    .description("fit/apply the featurizer for training")
+                    .owner("ml-platform")
+                    .after_run(FnTrigger::new("record_feature_profile", move |ctx| {
+                        let Some(mean) =
+                            ctx.capture("distance_feature_mean").and_then(Value::as_f64)
+                        else {
+                            return TriggerOutcome::fail("feature mean not captured");
+                        };
+                        state.write().offline_feature_mean = Some(mean);
+                        TriggerOutcome::pass(format!("distance feature mean {mean:.4}"))
+                            .with_metric("feature_mean:distance_km", mean)
+                    }))
+                    .build(),
+            )
+            .expect("register featurize_offline");
+        }
+
+        // featurize_online: compares its profile to the offline one.
+        {
+            let state = Arc::clone(&state);
+            ml.register(
+                ComponentDef::builder("featurize_online")
+                    .description("apply the fitted featurizer at serving time")
+                    .owner("ml-platform")
+                    .after_run(FnTrigger::new("offline_online_consistency", move |ctx| {
+                        let Some(online) =
+                            ctx.capture("distance_feature_mean").and_then(Value::as_f64)
+                        else {
+                            return TriggerOutcome::fail("feature mean not captured");
+                        };
+                        let offline = state.read().offline_feature_mean;
+                        let Some(offline) = offline else {
+                            return TriggerOutcome::pass("no offline profile yet");
+                        };
+                        // Standardized features: offline mean ≈ 0, so an
+                        // absolute gap works where a relative one cannot.
+                        let gap = (online - offline).abs();
+                        let outcome = if gap <= 0.5 {
+                            TriggerOutcome::pass(format!(
+                                "online/offline distance profile gap {gap:.4}"
+                            ))
+                        } else {
+                            TriggerOutcome::fail(format!(
+                                "online featurization disagrees with offline: gap {gap:.4}"
+                            ))
+                        };
+                        outcome
+                            .with_value("gap", gap)
+                            .with_metric("feature_gap:distance_km", gap)
+                    }))
+                    .build(),
+            )
+            .expect("register featurize_online");
+        }
+
+        // split: leakage check runs inside `train` captures; split itself
+        // verifies both halves are non-trivial.
+        ml.register(
+            ComponentDef::builder("split")
+                .description("train/test split")
+                .owner("ml-platform")
+                .after_run(MinCountTrigger {
+                    var: "test_rows".into(),
+                    min: 10.0,
+                })
+                .build(),
+        )
+        .expect("register split");
+
+        // train: the paper's TrainingComponent — leakage before,
+        // overfitting after.
+        ml.register(
+            ComponentDef::builder("train")
+                .description("fit the tip classifier")
+                .owner("ml-platform")
+                .before_run(mltrace_core::library::LeakageTrigger {
+                    train_var: "train_ids".into(),
+                    test_var: "test_ids".into(),
+                })
+                .after_run(OverfitTrigger {
+                    train_metric_var: "train_accuracy".into(),
+                    test_metric_var: "test_accuracy".into(),
+                    max_gap: 0.08,
+                })
+                .build(),
+        )
+        .expect("register train");
+
+        // inference: drift check on prediction distribution vs the
+        // training-time reference, plus the accuracy floor (logs the
+        // accuracy metric either way).
+        {
+            let state = Arc::clone(&state);
+            let floor = config.accuracy_floor;
+            ml.register(
+                ComponentDef::builder("inference")
+                    .description("serve tip predictions")
+                    .owner("ml-serving")
+                    .after_run(FnTrigger::new("prediction_drift", move |ctx| {
+                        let Some(preds) = ctx.numeric_capture("probabilities") else {
+                            return TriggerOutcome::fail("probabilities not captured");
+                        };
+                        let guard = state.read();
+                        let Some(detector) = guard.prediction_reference.as_ref() else {
+                            return TriggerOutcome::pass("no reference yet");
+                        };
+                        let finding = detector.check(DriftMethod::Ks, &preds);
+                        let outcome = if finding.drifted {
+                            TriggerOutcome::fail(format!(
+                                "prediction drift: KS {:.4}",
+                                finding.score
+                            ))
+                        } else {
+                            TriggerOutcome::pass(format!(
+                                "predictions stable: KS {:.4}",
+                                finding.score
+                            ))
+                        };
+                        outcome
+                            .with_value("ks", finding.score)
+                            .with_metric("drift_ks:predictions", finding.score)
+                    }))
+                    .after_run(mltrace_core::library::MetricFloorTrigger {
+                        var: "accuracy".into(),
+                        metric: "accuracy".into(),
+                        floor,
+                    })
+                    .build(),
+            )
+            .expect("register inference");
+        }
+
+        ml.register(
+            ComponentDef::builder("monitor")
+                .description("evaluate SLAs over the metric history")
+                .owner("ml-platform")
+                .build(),
+        )
+        .expect("register monitor");
+
+        let sla = Sla::mean_at_least("tip-accuracy-sla", "accuracy", config.accuracy_floor, 5);
+        let mut alerts = AlertManager::new();
+        alerts.add_rule(AlertRule {
+            id: "tip-accuracy-sla".into(),
+            metric: "accuracy_window_mean".into(),
+            comparator: Comparator::Gte,
+            threshold: config.accuracy_floor,
+            severity: Severity::Page,
+            cooldown_ms: 0,
+        });
+
+        let generator = TripGenerator::new(TripConfig {
+            seed: config.seed,
+            start_ms: 1_600_000_000_000,
+            cadence_ms: 1_000,
+            drift: config.drift,
+        });
+
+        TaxiPipeline {
+            ml,
+            clock,
+            generator,
+            state,
+            alerts,
+            sla,
+            config,
+            batch: 0,
+            train_cycle: 0,
+        }
+    }
+
+    /// The observability handle.
+    pub fn ml(&self) -> &Mltrace {
+        &self.ml
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &Arc<ManualClock> {
+        &self.clock
+    }
+
+    /// Alert log from monitor passes.
+    pub fn alerts(&self) -> &AlertManager {
+        &self.alerts
+    }
+
+    fn step(&self) {
+        self.clock.advance(self.config.step_ms);
+    }
+
+    /// Components `ingest` + `clean`: generate `n` trips, apply the
+    /// incident, validate, and clean. Returns the cleaned frame.
+    pub fn ingest(&mut self, n: usize, incident: Incident) -> Result<DataFrame, CoreError> {
+        let batch = self.batch;
+        let raw_name = format!("raw_trips-{batch}.csv");
+        let trips = self.generator.take(n);
+        let raw = incident.apply(&trips_to_frame(&trips), self.config.seed ^ batch);
+
+        let raw_rows = raw.num_rows();
+        self.ml.run(
+            "ingest",
+            RunSpec::new()
+                .output(raw_name.clone())
+                .capture("rows", raw_rows)
+                .code("ingest-v1"),
+            move |ctx| {
+                ctx.set_metadata("source", "trip-generator");
+                ctx.log_metric("rows", raw_rows as f64);
+                Ok(())
+            },
+        )?;
+        self.step();
+
+        let clean_name = format!("clean_trips-{batch}.csv");
+        let fare_raw = Value::List(
+            raw.float_column("fare")
+                .expect("fare column")
+                .into_iter()
+                .map(Value::Float)
+                .collect(),
+        );
+        let raw_clone = raw.clone();
+        let report = self.ml.run(
+            "clean",
+            RunSpec::new()
+                .input(raw_name)
+                .output(clean_name)
+                .capture("fare_raw", fare_raw)
+                .code("clean-v1"),
+            move |ctx| {
+                // Drop rows with null fares; everything else imputes later.
+                let fares = raw_clone.float_column("fare").expect("fare column");
+                let mask: Vec<bool> = fares.iter().map(|f| f.is_finite()).collect();
+                let cleaned = raw_clone.filter(&mask).expect("mask fits");
+                ctx.capture("rows_out", cleaned.num_rows());
+                ctx.log_metric("rows", cleaned.num_rows() as f64);
+                Ok(cleaned)
+            },
+        )?;
+        self.step();
+        Ok(report.value)
+    }
+
+    /// Components `featurize_offline` + `split` + `train`: fit (or reuse)
+    /// the featurizer, split, train the classifier, store artifacts, and
+    /// snapshot the drift references.
+    ///
+    /// `refit_featurizer = false` reproduces Example 4.4's stale
+    /// preprocessor: the model retrains but the featurizer's fitted
+    /// statistics stay frozen.
+    pub fn train(
+        &mut self,
+        df: &DataFrame,
+        refit_featurizer: bool,
+    ) -> Result<TrainReport, CoreError> {
+        let cycle = self.train_cycle;
+        self.train_cycle += 1;
+        let clean_name = format!("clean_trips-{}.csv", self.batch);
+        let features_name = format!("train_features-{cycle}.csv");
+        let featurizer_name = "featurizer.json".to_string();
+
+        // featurize_offline
+        let state = Arc::clone(&self.state);
+        let df_body = df.clone();
+        let featurizer_out = featurizer_name.clone();
+        let report = self.ml.run(
+            "featurize_offline",
+            RunSpec::new()
+                .input(clean_name.clone())
+                .output(features_name.clone())
+                .code(if refit_featurizer {
+                    "featurize-v2-refit"
+                } else {
+                    "featurize-v1"
+                }),
+            move |ctx| {
+                let mut guard = state.write();
+                if refit_featurizer || guard.featurizer.is_none() {
+                    let fitted =
+                        Featurizer::fit(&df_body).map_err(|e| format!("featurizer fit: {e}"))?;
+                    let bytes = serde_json::to_vec(&fitted).expect("featurizer serializes");
+                    let artifact = ctx.save_artifact(featurizer_out.clone(), &bytes);
+                    guard.featurizer = Some(fitted);
+                    guard.featurizer_artifact = Some(artifact);
+                    guard.featurizer_io = Some(featurizer_out.clone());
+                } else {
+                    // Stale path: reuse the old artifact as an input.
+                    ctx.add_input(featurizer_out.clone());
+                }
+                let featurizer = guard.featurizer.clone().expect("featurizer fitted");
+                drop(guard);
+                let matrix = featurizer
+                    .transform(&df_body)
+                    .map_err(|e| format!("transform: {e}"))?;
+                let means = Featurizer::feature_means(&matrix);
+                ctx.capture("distance_feature_mean", means[0]);
+                ctx.log_metric("rows", matrix.len() as f64);
+                Ok(matrix)
+            },
+        )?;
+        let matrix = report.value;
+        self.step();
+
+        // split
+        let labels_all = labels(df).map_err(|e| CoreError::Invalid(e.to_string()))?;
+        let n = matrix.len();
+        let train_name = format!("train_split-{cycle}.csv");
+        let test_name = format!("test_split-{cycle}.csv");
+        let split_seed = 100 + cycle;
+        let split_report = self.ml.run(
+            "split",
+            RunSpec::new()
+                .input(features_name.clone())
+                .output(train_name.clone())
+                .output(test_name.clone())
+                .code("split-v1"),
+            move |ctx| {
+                let idx_frame = DataFrame::from_columns(vec![(
+                    "idx",
+                    mltrace_pipeline::Column::Int((0..n as i64).map(Some).collect()),
+                )])
+                .expect("index frame");
+                let (train_idx, test_idx) = train_test_split(&idx_frame, 0.25, split_seed);
+                let to_ids = |f: &DataFrame| -> Vec<i64> {
+                    f.float_column("idx")
+                        .expect("idx")
+                        .into_iter()
+                        .map(|v| v as i64)
+                        .collect()
+                };
+                let train_ids = to_ids(&train_idx);
+                let test_ids = to_ids(&test_idx);
+                ctx.capture(
+                    "train_ids",
+                    Value::List(train_ids.iter().map(|&i| Value::Int(i)).collect()),
+                );
+                ctx.capture(
+                    "test_ids",
+                    Value::List(test_ids.iter().map(|&i| Value::Int(i)).collect()),
+                );
+                ctx.capture("test_rows", test_ids.len());
+                Ok((train_ids, test_ids))
+            },
+        )?;
+        let (train_ids, test_ids) = split_report.value;
+        self.step();
+
+        // train
+        let model_name = format!("tip_model-{cycle}.json");
+        let take = |ids: &[i64]| -> (Vec<Vec<f64>>, Vec<bool>) {
+            (
+                ids.iter().map(|&i| matrix[i as usize].clone()).collect(),
+                ids.iter().map(|&i| labels_all[i as usize]).collect(),
+            )
+        };
+        let (train_x, train_y) = take(&train_ids);
+        let (test_x, test_y) = take(&test_ids);
+        let state = Arc::clone(&self.state);
+        let model_out = model_name.clone();
+        let train_ids_v = Value::List(train_ids.iter().map(|&i| Value::Int(i)).collect());
+        let test_ids_v = Value::List(test_ids.iter().map(|&i| Value::Int(i)).collect());
+        let train_report = self.ml.run(
+            "train",
+            RunSpec::new()
+                .input(train_name)
+                .input(test_name)
+                .output(model_name.clone())
+                .capture("train_ids", train_ids_v)
+                .capture("test_ids", test_ids_v)
+                .code("train-logistic-v1"),
+            move |ctx| {
+                let model = LogisticRegression::fit(
+                    &train_x,
+                    &train_y,
+                    LogisticConfig {
+                        epochs: 60,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| format!("fit: {e}"))?;
+                let accuracy = |x: &[Vec<f64>], y: &[bool]| -> f64 {
+                    let preds = model.predict(x).expect("predict");
+                    ConfusionMatrix::from_pairs(&preds, y).accuracy()
+                };
+                let train_acc = accuracy(&train_x, &train_y);
+                let test_acc = accuracy(&test_x, &test_y);
+                let probs = model.predict_proba(&test_x).expect("proba");
+                let auc = roc_auc(&probs, &test_y);
+                ctx.capture("train_accuracy", train_acc);
+                ctx.capture("test_accuracy", test_acc);
+                ctx.log_metric("train_accuracy", train_acc);
+                ctx.log_metric("test_accuracy", test_acc);
+                ctx.log_metric("auc", auc);
+                let bytes = serde_json::to_vec(&model).expect("model serializes");
+                ctx.save_artifact(model_out.clone(), &bytes);
+                let mut guard = state.write();
+                guard.model = Some(model);
+                guard.model_io = Some(model_out.clone());
+                // Snapshot the prediction distribution as drift reference.
+                guard.prediction_reference =
+                    Some(DriftDetector::fit(&probs, DriftConfig::default()));
+                Ok((train_acc, test_acc, auc, probs))
+            },
+        )?;
+        self.step();
+        let (train_accuracy, test_accuracy, auc, _probs) = train_report.value;
+        Ok(TrainReport {
+            train_accuracy,
+            test_accuracy,
+            auc,
+            run_id: train_report.run_id,
+            model_io: model_name,
+        })
+    }
+
+    /// Components `featurize_online` + `inference`: featurize a serving
+    /// batch (optionally through an incident) and predict. Ground-truth
+    /// labels are scored immediately, simulating delayed feedback
+    /// arriving in time for the run's accuracy metric.
+    pub fn serve(&mut self, df: &DataFrame, opts: ServeOptions) -> Result<ServeReport, CoreError> {
+        let batch = self.batch;
+        self.batch += 1;
+        let skewed = opts.incident.apply(df, self.config.seed ^ (batch << 8));
+        let clean_name = format!("clean_trips-{batch}.csv");
+        let online_features = format!("online_features-{batch}.csv");
+
+        let (featurizer, featurizer_io, model, model_io) = {
+            let guard = self.state.read();
+            (
+                guard
+                    .featurizer
+                    .clone()
+                    .ok_or_else(|| CoreError::Invalid("serve before train".into()))?,
+                guard.featurizer_io.clone().unwrap_or_default(),
+                guard
+                    .model
+                    .clone()
+                    .ok_or_else(|| CoreError::Invalid("serve before train".into()))?,
+                guard.model_io.clone().unwrap_or_default(),
+            )
+        };
+
+        // featurize_online
+        let skew_body = skewed.clone();
+        let report = self.ml.run(
+            "featurize_online",
+            RunSpec::new()
+                .input(clean_name)
+                .input(featurizer_io)
+                .output(online_features.clone())
+                .code("featurize-online-v1"),
+            move |ctx| {
+                let matrix = featurizer
+                    .transform(&skew_body)
+                    .map_err(|e| format!("transform: {e}"))?;
+                let means = Featurizer::feature_means(&matrix);
+                ctx.capture("distance_feature_mean", means[0]);
+                Ok(matrix)
+            },
+        )?;
+        let matrix = report.value;
+        self.step();
+
+        // inference
+        let truth = labels(df).map_err(|e| CoreError::Invalid(e.to_string()))?;
+        let trip_ids: Vec<i64> = df
+            .float_column("trip_id")
+            .map_err(|e| CoreError::Invalid(e.to_string()))?
+            .into_iter()
+            .map(|v| v as i64)
+            .collect();
+        let outputs: Vec<String> = if opts.per_trip_outputs {
+            trip_ids.iter().map(|id| format!("pred-{id}")).collect()
+        } else {
+            vec![format!("predictions-{batch}.csv")]
+        };
+        let mut spec = RunSpec::new()
+            .input(online_features)
+            .input(model_io)
+            .code("inference-v1")
+            .notes(format!("batch {batch}"));
+        for o in &outputs {
+            spec = spec.output(o.clone());
+        }
+        let truth_body = truth.clone();
+        let infer_report = self.ml.run("inference", spec, move |ctx| {
+            let probs = model.predict_proba(&matrix).map_err(|e| format!("{e}"))?;
+            let preds: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
+            let accuracy = ConfusionMatrix::from_pairs(&preds, &truth_body).accuracy();
+            ctx.capture(
+                "probabilities",
+                Value::List(probs.iter().map(|&p| Value::Float(p)).collect()),
+            );
+            ctx.capture("accuracy", accuracy);
+            ctx.log_metric(
+                "mean_prediction",
+                probs.iter().sum::<f64>() / probs.len().max(1) as f64,
+            );
+            Ok((probs, accuracy))
+        })?;
+        self.step();
+        let (probabilities, accuracy) = infer_report.value;
+        Ok(ServeReport {
+            batch,
+            accuracy,
+            probabilities,
+            outputs,
+            run_id: infer_report.run_id,
+        })
+    }
+
+    /// Convenience: ingest then serve one batch.
+    pub fn ingest_and_serve(
+        &mut self,
+        n: usize,
+        ingest_incident: Incident,
+        opts: ServeOptions,
+    ) -> Result<ServeReport, CoreError> {
+        let df = self.ingest(n, ingest_incident)?;
+        self.serve(&df, opts)
+    }
+
+    /// Component `monitor`: evaluate the accuracy SLA over the metric
+    /// history and fire a page on violation (§4.1: SLA-gated alerting).
+    pub fn monitor(&mut self) -> Result<MonitorReport, CoreError> {
+        let series: Vec<f64> = self
+            .ml
+            .store()
+            .metrics("inference", "accuracy")?
+            .into_iter()
+            .map(|m| m.value)
+            .collect();
+        let status = self.sla.evaluate(&series);
+        let observed = status.observed();
+        let violated = status.is_violated();
+        let now = self.ml.now_ms();
+        let sla_name = self.sla.name.clone();
+        self.ml
+            .run("monitor", RunSpec::new().code("monitor-v1"), move |ctx| {
+                ctx.set_metadata("sla", sla_name);
+                ctx.set_metadata("violated", violated);
+                if let Some(acc) = observed {
+                    ctx.log_metric("accuracy_window_mean", acc);
+                }
+                Ok(())
+            })?;
+        self.step();
+        let mut fired = Vec::new();
+        if let Some(acc) = observed {
+            for alert in self.alerts.observe("accuracy_window_mean", acc, now) {
+                fired.push(alert.rule_id);
+            }
+        }
+        Ok(MonitorReport {
+            sla_violated: violated,
+            observed_accuracy: observed,
+            alerts: fired,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltrace_core::Commands;
+    use mltrace_store::RunStatus;
+
+    fn trained_pipeline() -> (TaxiPipeline, TrainReport) {
+        let mut p = TaxiPipeline::new(TaxiConfig::default());
+        let df = p.ingest(2000, Incident::None).unwrap();
+        let report = p.train(&df, true).unwrap();
+        (p, report)
+    }
+
+    #[test]
+    fn healthy_cycle_trains_and_serves() {
+        let (mut p, train) = trained_pipeline();
+        assert!(
+            train.test_accuracy > 0.60,
+            "model should beat chance: {}",
+            train.test_accuracy
+        );
+        assert!(train.auc > 0.60, "auc {}", train.auc);
+        let serve = p
+            .ingest_and_serve(500, Incident::None, ServeOptions::default())
+            .unwrap();
+        assert!(serve.accuracy > 0.55, "serving accuracy {}", serve.accuracy);
+        // All eight components have runs or at least registrations.
+        let store = p.ml().store();
+        for c in [
+            "ingest",
+            "clean",
+            "featurize_offline",
+            "featurize_online",
+            "split",
+            "train",
+            "inference",
+        ] {
+            assert!(
+                !store.runs_for_component(c).unwrap().is_empty(),
+                "component {c} should have run"
+            );
+        }
+        let monitor = p.monitor().unwrap();
+        assert!(!monitor.sla_violated, "healthy pipeline meets SLA");
+        assert!(monitor.alerts.is_empty());
+    }
+
+    #[test]
+    fn lineage_connects_predictions_to_ingest() {
+        let (mut p, _train) = trained_pipeline();
+        let serve = p
+            .ingest_and_serve(300, Incident::None, ServeOptions::default())
+            .unwrap();
+        let mut cmds = Commands::new(p.ml());
+        let trace = cmds.trace(&serve.outputs[0]).unwrap();
+        let components: Vec<String> = trace.runs().into_iter().map(|(c, _)| c).collect();
+        assert!(components.contains(&"inference".to_string()));
+        assert!(components.contains(&"featurize_online".to_string()));
+        assert!(components.contains(&"train".to_string()), "{components:?}");
+        assert!(components.contains(&"clean".to_string()));
+        assert!(components.contains(&"ingest".to_string()));
+    }
+
+    #[test]
+    fn null_spike_fails_clean_trigger() {
+        let (mut p, _train) = trained_pipeline();
+        let df = p
+            .ingest(500, Incident::NullSpike { fraction: 0.4 })
+            .unwrap();
+        // The clean run logged a failed no_missing trigger.
+        let store = p.ml().store();
+        let clean_run = store.latest_run("clean").unwrap().unwrap();
+        assert_eq!(clean_run.status, RunStatus::TriggerFailed);
+        let failing: Vec<&str> = clean_run
+            .triggers
+            .iter()
+            .filter(|t| !t.passed)
+            .map(|t| t.trigger.as_str())
+            .collect();
+        assert_eq!(failing, vec!["no_missing"]);
+        // Cleaned frame dropped the nulls.
+        assert_eq!(df.column("fare").unwrap().null_count(), 0);
+    }
+
+    #[test]
+    fn serve_skew_fails_consistency_trigger() {
+        let (mut p, _train) = trained_pipeline();
+        let df = p.ingest(500, Incident::None).unwrap();
+        let _ = p
+            .serve(
+                &df,
+                ServeOptions {
+                    incident: Incident::ServeSkew { scale: 1000.0 },
+                    per_trip_outputs: false,
+                },
+            )
+            .unwrap();
+        let run = p
+            .ml()
+            .store()
+            .latest_run("featurize_online")
+            .unwrap()
+            .unwrap();
+        assert_eq!(run.status, RunStatus::TriggerFailed);
+        assert!(run
+            .triggers
+            .iter()
+            .any(|t| t.trigger == "offline_online_consistency" && !t.passed));
+    }
+
+    #[test]
+    fn serve_before_train_rejected() {
+        let mut p = TaxiPipeline::new(TaxiConfig::default());
+        let df = p.ingest(100, Incident::None).unwrap();
+        assert!(matches!(
+            p.serve(&df, ServeOptions::default()),
+            Err(CoreError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn per_trip_outputs_enable_slice_tracing() {
+        let (mut p, _train) = trained_pipeline();
+        let serve = p
+            .ingest_and_serve(
+                20,
+                Incident::None,
+                ServeOptions {
+                    incident: Incident::None,
+                    per_trip_outputs: true,
+                },
+            )
+            .unwrap();
+        assert_eq!(serve.outputs.len(), 20);
+        let mut cmds = Commands::new(p.ml());
+        let t = cmds.trace(&serve.outputs[3]).unwrap();
+        assert_eq!(t.component, "inference");
+    }
+
+    #[test]
+    fn stale_featurizer_keeps_old_artifact() {
+        let (mut p, _train) = trained_pipeline();
+        let artifact_before = p.state.read().featurizer_artifact.clone().unwrap();
+        let df = p.ingest(1000, Incident::None).unwrap();
+        // Retrain without refitting the featurizer (Ex 4.4 setup).
+        let _ = p.train(&df, false).unwrap();
+        let artifact_after = p.state.read().featurizer_artifact.clone().unwrap();
+        assert_eq!(artifact_before, artifact_after, "featurizer not refit");
+        // The second featurize_offline run consumed the old featurizer.
+        let store = p.ml().store();
+        let run = store.latest_run("featurize_offline").unwrap().unwrap();
+        assert!(run.inputs.contains(&"featurizer.json".to_string()));
+    }
+
+    #[test]
+    fn sla_violation_pages_once() {
+        // Tight SLA: the skewed model degrades to majority-class
+        // prediction (~0.75), below a 0.80 floor.
+        let mut p = TaxiPipeline::new(TaxiConfig {
+            accuracy_floor: 0.80,
+            ..Default::default()
+        });
+        let df = p.ingest(2000, Incident::None).unwrap();
+        let train = p.train(&df, true).unwrap();
+        assert!(train.test_accuracy > 0.60);
+        // Serve five severely skewed batches: accuracy collapses.
+        for _ in 0..5 {
+            let df = p.ingest(300, Incident::None).unwrap();
+            let _ = p
+                .serve(
+                    &df,
+                    ServeOptions {
+                        incident: Incident::ServeSkew { scale: -50.0 },
+                        per_trip_outputs: false,
+                    },
+                )
+                .unwrap();
+        }
+        let report = p.monitor().unwrap();
+        assert!(
+            report.sla_violated,
+            "observed {:?}",
+            report.observed_accuracy
+        );
+        assert_eq!(report.alerts, vec!["tip-accuracy-sla".to_string()]);
+    }
+}

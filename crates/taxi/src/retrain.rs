@@ -1,0 +1,243 @@
+//! Retraining policies — the remedy loop of Example 4.2: after observing
+//! that "it takes about a month for prediction quality to degrade enough
+//! to violate business SLAs", the user "encodes a trigger to retrain the
+//! model monthly".
+//!
+//! [`RetrainPolicy`] decides, from the observability log alone, whether a
+//! training cycle is due: on a schedule, on an SLA breach, or on
+//! prediction drift. [`RetrainDriver`] applies the decision to a
+//! [`TaxiPipeline`].
+
+use crate::pipeline::{TaxiPipeline, TrainReport};
+use crate::scenarios::Incident;
+use mltrace_core::CoreError;
+use mltrace_store::MS_PER_DAY;
+
+/// When to retrain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetrainPolicy {
+    /// Never retrain (the degradation baseline).
+    Never,
+    /// Retrain every `days` days (the paper's "monthly" trigger).
+    Scheduled {
+        /// Days between training cycles.
+        days: u64,
+    },
+    /// Retrain when the trailing mean accuracy falls below a floor.
+    OnSlaBreach {
+        /// Accuracy floor.
+        floor: f64,
+        /// Trailing points averaged.
+        window: usize,
+    },
+    /// Retrain when the logged prediction-drift score crosses a bound.
+    OnDrift {
+        /// Maximum tolerated KS score on predictions.
+        max_ks: f64,
+    },
+}
+
+/// One decision with its evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetrainDecision {
+    /// No action needed.
+    Keep,
+    /// Retrain, with the reason string for the run notes.
+    Retrain(String),
+}
+
+impl RetrainPolicy {
+    /// Decide from the pipeline's observability log.
+    pub fn decide(&self, p: &TaxiPipeline, last_train_ms: u64) -> RetrainDecision {
+        let store = p.ml().store();
+        match *self {
+            RetrainPolicy::Never => RetrainDecision::Keep,
+            RetrainPolicy::Scheduled { days } => {
+                let age = p.ml().now_ms().saturating_sub(last_train_ms);
+                if age >= days * MS_PER_DAY {
+                    RetrainDecision::Retrain(format!(
+                        "scheduled: {:.1} days since last training",
+                        age as f64 / MS_PER_DAY as f64
+                    ))
+                } else {
+                    RetrainDecision::Keep
+                }
+            }
+            RetrainPolicy::OnSlaBreach { floor, window } => {
+                let series: Vec<f64> = store
+                    .metrics("inference", "accuracy")
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|m| m.value)
+                    .collect();
+                if series.is_empty() {
+                    return RetrainDecision::Keep;
+                }
+                let tail = &series[series.len().saturating_sub(window.max(1))..];
+                let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+                if mean < floor {
+                    RetrainDecision::Retrain(format!(
+                        "sla breach: window accuracy {mean:.3} < {floor:.3}"
+                    ))
+                } else {
+                    RetrainDecision::Keep
+                }
+            }
+            RetrainPolicy::OnDrift { max_ks } => {
+                let last = store
+                    .metrics("inference", "drift_ks:predictions")
+                    .unwrap_or_default()
+                    .last()
+                    .map(|m| m.value);
+                match last {
+                    Some(score) if score > max_ks => RetrainDecision::Retrain(format!(
+                        "prediction drift: KS {score:.3} > {max_ks:.3}"
+                    )),
+                    _ => RetrainDecision::Keep,
+                }
+            }
+        }
+    }
+}
+
+/// Applies a policy across serving cycles.
+pub struct RetrainDriver {
+    policy: RetrainPolicy,
+    last_train_ms: u64,
+    retrains: Vec<String>,
+}
+
+impl RetrainDriver {
+    /// Driver with the given policy; `trained_at_ms` is the time of the
+    /// initial training.
+    pub fn new(policy: RetrainPolicy, trained_at_ms: u64) -> Self {
+        RetrainDriver {
+            policy,
+            last_train_ms: trained_at_ms,
+            retrains: Vec::new(),
+        }
+    }
+
+    /// Check the policy and retrain (fresh data, refit featurizer) when
+    /// due. Returns the training report when one happened.
+    pub fn maybe_retrain(
+        &mut self,
+        p: &mut TaxiPipeline,
+        training_rows: usize,
+    ) -> Result<Option<TrainReport>, CoreError> {
+        match self.policy.decide(p, self.last_train_ms) {
+            RetrainDecision::Keep => Ok(None),
+            RetrainDecision::Retrain(reason) => {
+                let df = p.ingest(training_rows, Incident::None)?;
+                let report = p.train(&df, true)?;
+                self.last_train_ms = p.ml().now_ms();
+                self.retrains.push(reason);
+                Ok(Some(report))
+            }
+        }
+    }
+
+    /// Reasons for every retrain performed.
+    pub fn retrain_reasons(&self) -> &[String] {
+        &self.retrains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::DriftProfile;
+    use crate::pipeline::{ServeOptions, TaxiConfig};
+
+    fn drifting_pipeline() -> TaxiPipeline {
+        let mut p = TaxiPipeline::new(TaxiConfig {
+            drift: DriftProfile {
+                distance_shift_per_trip: 8e-5,
+                tip_shift_per_trip: 1e-4,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let df = p.ingest(2000, Incident::None).unwrap();
+        p.train(&df, true).unwrap();
+        p
+    }
+
+    #[test]
+    fn scheduled_policy_fires_on_time() {
+        let mut p = drifting_pipeline();
+        let t0 = p.ml().now_ms();
+        let mut driver = RetrainDriver::new(RetrainPolicy::Scheduled { days: 30 }, t0);
+        assert!(driver.maybe_retrain(&mut p, 500).unwrap().is_none());
+        p.clock().advance(31 * MS_PER_DAY);
+        let report = driver.maybe_retrain(&mut p, 500).unwrap();
+        assert!(report.is_some());
+        assert!(driver.retrain_reasons()[0].contains("scheduled"));
+        // Timer reset: immediately after, nothing fires.
+        assert!(driver.maybe_retrain(&mut p, 500).unwrap().is_none());
+    }
+
+    #[test]
+    fn never_policy_never_fires() {
+        let mut p = drifting_pipeline();
+        let mut driver = RetrainDriver::new(RetrainPolicy::Never, 0);
+        p.clock().advance(365 * MS_PER_DAY);
+        assert!(driver.maybe_retrain(&mut p, 500).unwrap().is_none());
+    }
+
+    #[test]
+    fn sla_policy_fires_on_degradation_and_recovers() {
+        let mut p = drifting_pipeline();
+        let mut driver = RetrainDriver::new(
+            RetrainPolicy::OnSlaBreach {
+                floor: 0.62,
+                window: 3,
+            },
+            p.ml().now_ms(),
+        );
+        // Serve under drift until the policy fires.
+        let mut fired_at = None;
+        let mut before = 0.0;
+        for week in 0..12 {
+            let r = p
+                .ingest_and_serve(600, Incident::None, ServeOptions::default())
+                .unwrap();
+            before = r.accuracy;
+            p.clock().advance(7 * MS_PER_DAY);
+            if driver.maybe_retrain(&mut p, 2000).unwrap().is_some() {
+                fired_at = Some(week);
+                break;
+            }
+        }
+        let week = fired_at.expect("drift must eventually breach the SLA");
+        assert!(week >= 1, "should not fire on the first healthy week");
+        assert!(driver.retrain_reasons()[0].contains("sla breach"));
+        // Post-retrain accuracy beats the breach-time accuracy.
+        let after = p
+            .ingest_and_serve(600, Incident::None, ServeOptions::default())
+            .unwrap();
+        assert!(
+            after.accuracy > before,
+            "retrain should recover: {before:.3} → {:.3}",
+            after.accuracy
+        );
+    }
+
+    #[test]
+    fn drift_policy_reads_logged_scores() {
+        let mut p = drifting_pipeline();
+        let mut driver = RetrainDriver::new(RetrainPolicy::OnDrift { max_ks: 0.15 }, 0);
+        let mut fired = false;
+        for _ in 0..12 {
+            p.ingest_and_serve(600, Incident::None, ServeOptions::default())
+                .unwrap();
+            p.clock().advance(7 * MS_PER_DAY);
+            if driver.maybe_retrain(&mut p, 2000).unwrap().is_some() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "accumulating drift must cross KS 0.15");
+        assert!(driver.retrain_reasons()[0].contains("prediction drift"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Fault injection: deterministic reproductions of the paper's four
+//! debugging walkthroughs (§4.2, Examples 4.1–4.4).
+//!
+//! Each injector transforms a data frame the way the corresponding
+//! production incident would: NULL spikes in a raw column (4.1),
+//! progressive covariate shift (4.2, via [`crate::gen::DriftProfile`]),
+//! online/offline feature-code skew (4.3), and a stale preprocessor
+//! (4.4, via the pipeline driver simply not refitting).
+
+use mltrace_pipeline::{Column, DataFrame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replace a deterministic random `fraction` of a float column with NaN
+/// (the Example 4.1 incident: "the fraction of NULL values in an
+/// important column in the raw, unprocessed data is abnormally high").
+pub fn inject_nulls(df: &DataFrame, column: &str, fraction: f64, seed: u64) -> DataFrame {
+    assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+    let mut out = df.clone();
+    let mut values = df
+        .float_column(column)
+        .unwrap_or_else(|e| panic!("column {column}: {e}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    for v in values.iter_mut() {
+        if rng.gen_range(0.0..1.0) < fraction {
+            *v = f64::NAN;
+        }
+    }
+    out.add_column(column, Column::Float(values))
+        .expect("same length");
+    out
+}
+
+/// Apply a linear mis-scaling to a float column — the Example 4.3
+/// incident: "a discrepancy between the online and offline feature
+/// generation code" (e.g. the online path computing metres where the
+/// offline path computed kilometres).
+pub fn skew_feature(df: &DataFrame, column: &str, scale: f64, offset: f64) -> DataFrame {
+    let mut out = df.clone();
+    let values: Vec<f64> = df
+        .float_column(column)
+        .unwrap_or_else(|e| panic!("column {column}: {e}"))
+        .into_iter()
+        .map(|v| v * scale + offset)
+        .collect();
+    out.add_column(column, Column::Float(values))
+        .expect("same length");
+    out
+}
+
+/// Drop a deterministic random `fraction` of rows (ingestion loss).
+pub fn drop_rows(df: &DataFrame, fraction: f64, seed: u64) -> DataFrame {
+    assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask: Vec<bool> = (0..df.num_rows())
+        .map(|_| rng.gen_range(0.0..1.0) >= fraction)
+        .collect();
+    df.filter(&mask).expect("mask fits")
+}
+
+/// The scripted incidents used by tests, examples, and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Incident {
+    /// Example 4.1: NULL spike in a raw column.
+    NullSpike {
+        /// Fraction of values nulled.
+        fraction: f64,
+    },
+    /// Example 4.3: online featurizer disagrees with offline code.
+    ServeSkew {
+        /// Multiplier applied online.
+        scale: f64,
+    },
+    /// No fault.
+    #[default]
+    None,
+}
+
+impl Incident {
+    /// Apply the incident to a raw batch.
+    pub fn apply(&self, df: &DataFrame, seed: u64) -> DataFrame {
+        match self {
+            Incident::NullSpike { fraction } => inject_nulls(df, "fare", *fraction, seed),
+            Incident::ServeSkew { scale } => skew_feature(df, "distance_km", *scale, 0.0),
+            Incident::None => df.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{trips_to_frame, TripConfig, TripGenerator};
+
+    fn frame() -> DataFrame {
+        let mut g = TripGenerator::new(TripConfig::default());
+        trips_to_frame(&g.take(1000))
+    }
+
+    #[test]
+    fn null_injection_hits_requested_fraction() {
+        let df = frame();
+        assert_eq!(df.column("fare").unwrap().null_count(), 0);
+        let faulty = inject_nulls(&df, "fare", 0.3, 42);
+        let frac = faulty.column("fare").unwrap().null_fraction();
+        assert!((frac - 0.3).abs() < 0.05, "got {frac}");
+        // Other columns untouched.
+        assert_eq!(faulty.column("distance_km").unwrap().null_count(), 0);
+        // Deterministic.
+        let again = inject_nulls(&df, "fare", 0.3, 42);
+        assert_eq!(
+            again.column("fare").unwrap().null_count(),
+            faulty.column("fare").unwrap().null_count()
+        );
+    }
+
+    #[test]
+    fn skew_scales_linearly() {
+        let df = frame();
+        let skewed = skew_feature(&df, "distance_km", 1000.0, 0.0);
+        let orig = df.float_column("distance_km").unwrap();
+        let got = skewed.float_column("distance_km").unwrap();
+        assert!((got[0] - orig[0] * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_rows_fraction() {
+        let df = frame();
+        let thinned = drop_rows(&df, 0.5, 1);
+        let kept = thinned.num_rows() as f64 / df.num_rows() as f64;
+        assert!((kept - 0.5).abs() < 0.06, "kept {kept}");
+    }
+
+    #[test]
+    fn incident_dispatch() {
+        let df = frame();
+        let spiked = Incident::NullSpike { fraction: 0.4 }.apply(&df, 1);
+        assert!(spiked.column("fare").unwrap().null_fraction() > 0.3);
+        let skewed = Incident::ServeSkew { scale: 1000.0 }.apply(&df, 1);
+        assert!(
+            skewed.float_column("distance_km").unwrap()[0]
+                > df.float_column("distance_km").unwrap()[0] * 100.0
+        );
+        let clean = Incident::None.apply(&df, 1);
+        assert_eq!(clean.num_rows(), df.num_rows());
+    }
+}

@@ -1,0 +1,163 @@
+//! A narrated debugging session reproducing all four of the paper's
+//! observability query patterns (§4.2, Examples 4.1–4.4) against scripted
+//! incidents.
+//!
+//! Run with: `cargo run --example debugging_session`
+
+use mltrace::core::Commands;
+use mltrace::store::{Value, MS_PER_DAY};
+use mltrace::taxi::{DriftProfile, Incident, ServeOptions, TaxiConfig, TaxiPipeline};
+
+fn main() {
+    example_4_1();
+    example_4_2();
+    example_4_3();
+    example_4_4();
+}
+
+fn banner(s: &str) {
+    println!("\n=== {s} ===");
+}
+
+/// "Why is there a large, sudden drop in accuracy?"
+fn example_4_1() {
+    banner("Example 4.1: sudden accuracy drop → run-level query");
+    let mut p = TaxiPipeline::new(TaxiConfig::default());
+    let df = p.ingest(2000, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+    let report = p
+        .ingest_and_serve(
+            400,
+            Incident::NullSpike { fraction: 0.45 },
+            ServeOptions::default(),
+        )
+        .unwrap();
+    println!("inference batch accuracy: {:.3}", report.accuracy);
+
+    let mut cmds = Commands::new(p.ml());
+    let trace = cmds.trace(&report.outputs[0]).unwrap();
+    println!("$ trace {}\n{}", report.outputs[0], trace.render());
+    trace.visit(&mut |node| {
+        if let Ok(run) = cmds.inspect(node.run_id) {
+            for t in run.triggers.iter().filter(|t| !t.passed) {
+                println!(
+                    "finding: {}:{} failed — {} {:?}",
+                    run.component, t.trigger, t.detail, t.values
+                );
+            }
+        }
+    });
+}
+
+/// "When should I retrain my model?"
+fn example_4_2() {
+    banner("Example 4.2: when to retrain → component history query");
+    let mut p = TaxiPipeline::new(TaxiConfig {
+        drift: DriftProfile {
+            distance_shift_per_trip: 8e-5,
+            tip_shift_per_trip: 1e-4,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let df = p.ingest(2000, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+    for week in 0..8 {
+        let r = p
+            .ingest_and_serve(800, Incident::None, ServeOptions::default())
+            .unwrap();
+        println!("week {week}: accuracy {:.3}", r.accuracy);
+        p.clock().advance(7 * MS_PER_DAY);
+    }
+    let drift: Vec<f64> = p
+        .ml()
+        .store()
+        .metrics("inference", "drift_ks:predictions")
+        .unwrap()
+        .iter()
+        .map(|m| m.value)
+        .collect();
+    println!("prediction drift (KS) over the weeks: {drift:.2?}");
+    let fresh = p.ingest(2000, Incident::None).unwrap();
+    p.train(&fresh, true).unwrap();
+    let after = p
+        .ingest_and_serve(800, Incident::None, ServeOptions::default())
+        .unwrap();
+    println!("after retraining: accuracy {:.3}", after.accuracy);
+}
+
+/// "Why is the accuracy much lower than expected right after deployment?"
+fn example_4_3() {
+    banner("Example 4.3: post-deploy gap → cross-component query");
+    let mut p = TaxiPipeline::new(TaxiConfig::default());
+    let df = p.ingest(2000, Incident::None).unwrap();
+    let train = p.train(&df, true).unwrap();
+    let serve_df = p.ingest(600, Incident::None).unwrap();
+    let deployed = p
+        .serve(
+            &serve_df,
+            ServeOptions {
+                incident: Incident::ServeSkew { scale: 500.0 },
+                per_trip_outputs: false,
+            },
+        )
+        .unwrap();
+    println!(
+        "offline test accuracy {:.3} vs deployed accuracy {:.3}",
+        train.test_accuracy, deployed.accuracy
+    );
+    let online = p
+        .ml()
+        .store()
+        .latest_run("featurize_online")
+        .unwrap()
+        .unwrap();
+    for t in online.triggers.iter().filter(|t| !t.passed) {
+        println!(
+            "finding: featurize_online:{} — {} (gap {:?})",
+            t.trigger,
+            t.detail,
+            t.values.get("gap").and_then(Value::as_f64)
+        );
+    }
+}
+
+/// "Why are these clients complaining about predictions from the last
+/// several months?"
+fn example_4_4() {
+    banner("Example 4.4: complaining clients → slice lineage query");
+    let mut p = TaxiPipeline::new(TaxiConfig {
+        drift: DriftProfile {
+            distance_shift_per_trip: 6e-5,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let df = p.ingest(2000, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+    // Six weeks of weekly model retrains — but the featurizer is never
+    // refit.
+    for _ in 0..6 {
+        p.clock().advance(7 * MS_PER_DAY);
+        let df = p.ingest(1000, Incident::None).unwrap();
+        p.train(&df, false).unwrap();
+    }
+    let served = p
+        .ingest_and_serve(
+            25,
+            Incident::None,
+            ServeOptions {
+                incident: Incident::None,
+                per_trip_outputs: true,
+            },
+        )
+        .unwrap();
+    let mut cmds = Commands::new(p.ml());
+    for out in &served.outputs[..8] {
+        cmds.flag(out).unwrap();
+    }
+    let review = cmds.review_flagged().unwrap();
+    println!("$ review_flagged\n{}", review.render());
+    let stale = cmds.stale(None).unwrap();
+    println!("$ stale\n{}", cmds.render_stale(&stale));
+}

@@ -1,0 +1,88 @@
+//! Quickstart: wrap an existing pipeline step in mltrace (the Figure 3
+//! integration shape) and ask post-hoc questions about it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mltrace::core::library::{NoMissingTrigger, OutlierTrigger};
+use mltrace::core::{Commands, ComponentDef, Mltrace, RunSpec};
+use mltrace::store::Value;
+
+fn main() {
+    // 1. Create an mltrace instance (use `Mltrace::open(path)` for a
+    //    durable, WAL-backed log).
+    let ml = Mltrace::in_memory();
+
+    // 2. Define a component once — outside the application, as the paper
+    //    recommends — with checks to run before and after every run.
+    ml.register(
+        ComponentDef::builder("preprocessing")
+            .description("cleans raw feature vectors")
+            .owner("ml-platform")
+            .before_run(NoMissingTrigger {
+                var: "features".into(),
+                max_null_fraction: 0.05,
+            })
+            .after_run(OutlierTrigger {
+                var: "scaled".into(),
+                max_abs_z: 5.0,
+            })
+            .build(),
+    )
+    .expect("register");
+
+    // 3. Wrap the existing step. Inputs/outputs are just identifiers —
+    //    mltrace infers run dependencies from them at runtime.
+    let raw: Vec<f64> = (0..100).map(|i| (i % 17) as f64).collect();
+    let report = ml
+        .run(
+            "preprocessing",
+            RunSpec::new()
+                .input("raw_features.csv")
+                .output("clean_features.csv")
+                .capture(
+                    "features",
+                    Value::List(raw.iter().map(|&v| Value::Float(v)).collect()),
+                )
+                .code("fn preprocess(raw) { scale(raw) }"),
+            |ctx| {
+                // ... the user's existing code, unchanged ...
+                let mean = raw.iter().sum::<f64>() / raw.len() as f64;
+                let scaled: Vec<f64> = raw.iter().map(|v| v - mean).collect();
+                ctx.capture(
+                    "scaled",
+                    Value::List(scaled.iter().map(|&v| Value::Float(v)).collect()),
+                );
+                ctx.log_metric("rows", scaled.len() as f64);
+                Ok(scaled)
+            },
+        )
+        .expect("run succeeds");
+    println!(
+        "ran preprocessing as {} [{:?}]",
+        report.run_id, report.status
+    );
+
+    // A downstream step that consumes the output — its dependency on the
+    // preprocessing run is inferred, never declared.
+    ml.run(
+        "train",
+        RunSpec::new()
+            .input("clean_features.csv")
+            .output("model.json"),
+        |ctx| {
+            ctx.log_metric("accuracy", 0.93);
+            Ok(())
+        },
+    )
+    .expect("train");
+
+    // 4. Ask questions.
+    let mut cmds = Commands::new(&ml);
+    println!("\n$ trace model.json");
+    println!("{}", cmds.trace("model.json").unwrap().render());
+    println!("$ history preprocessing");
+    println!("{}", cmds.history("preprocessing", 5).unwrap().render());
+    println!("$ inspect 1");
+    let run = cmds.inspect(1).unwrap();
+    println!("{}", cmds.render_inspect(&run));
+}

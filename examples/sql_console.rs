@@ -1,0 +1,58 @@
+//! An interactive-style SQL console over the observability log (§4.2's
+//! "query the logs and metadata via SQL"), run against a freshly
+//! simulated pipeline. Pass a query as the first argument, or get the
+//! canned tour.
+//!
+//! Run with:
+//!   cargo run --example sql_console
+//!   cargo run --example sql_console -- "SELECT * FROM components"
+
+use mltrace::query::execute;
+use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
+
+fn main() {
+    // Simulate some pipeline history to query.
+    let mut p = TaxiPipeline::new(TaxiConfig::default());
+    let df = p.ingest(1500, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+    for i in 0..4 {
+        let incident = if i == 2 {
+            Incident::NullSpike { fraction: 0.5 }
+        } else {
+            Incident::None
+        };
+        p.ingest_and_serve(300, incident, ServeOptions::default())
+            .unwrap();
+        p.monitor().unwrap();
+    }
+    let store = p.ml().store();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries: Vec<String> = if args.is_empty() {
+        [
+            "SELECT name, owner, description FROM components ORDER BY name",
+            "SELECT component, count(*) AS runs, avg(duration_ms) AS avg_ms \
+             FROM component_runs GROUP BY component ORDER BY runs DESC",
+            "SELECT id, component, status, trigger_failures FROM component_runs \
+             WHERE status != 'success' ORDER BY id",
+            "SELECT name, count(*) AS points, min(value) AS lo, max(value) AS hi \
+             FROM metrics GROUP BY name ORDER BY name",
+            "SELECT name, ptype, flag FROM io_pointers WHERE artifact IS NOT NULL",
+            "SELECT component, count(*) AS n FROM component_runs \
+             WHERE start_ms > 0 GROUP BY component HAVING count(*) >= 4 ORDER BY n DESC",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    } else {
+        args
+    };
+
+    for q in queries {
+        println!("sql> {q}");
+        match execute(store.as_ref(), &q) {
+            Ok(result) => println!("{}", result.render()),
+            Err(e) => println!("error: {e}\n"),
+        }
+    }
+}

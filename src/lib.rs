@@ -1,0 +1,13 @@
+//! # mltrace
+//!
+//! Facade crate re-exporting the full public API of the mltrace-rs
+//! workspace. See the individual crates for details.
+#![warn(missing_docs)]
+
+pub use mltrace_core as core;
+pub use mltrace_metrics as metrics;
+pub use mltrace_pipeline as pipeline;
+pub use mltrace_provenance as provenance;
+pub use mltrace_query as query;
+pub use mltrace_store as store;
+pub use mltrace_taxi as taxi;

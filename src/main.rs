@@ -1,0 +1,277 @@
+//! The mltrace command-line UI: the paper's eight query commands plus
+//! ad-hoc SQL and maintenance operations, over a WAL-backed run log.
+//!
+//! ```text
+//! mltrace --db obs.wal demo --batches 5     # simulate the taxi pipeline into the log
+//! mltrace --db obs.wal recent 10
+//! mltrace --db obs.wal history inference
+//! mltrace --db obs.wal trace predictions-3.csv
+//! mltrace --db obs.wal inspect 12
+//! mltrace --db obs.wal flag pred-17 && mltrace --db obs.wal review
+//! mltrace --db obs.wal stale
+//! mltrace --db obs.wal sql "SELECT component, count(*) FROM runs GROUP BY component"
+//! mltrace --db obs.wal compact --days 30
+//! mltrace --db obs.wal delete-derived clean_trips-0.csv
+//! mltrace --db obs.wal stats
+//! ```
+
+use mltrace::core::{Commands, Mltrace};
+use mltrace::query::execute;
+use mltrace::store::deletion::delete_derived;
+use mltrace::store::retention::compact_older_than_days;
+use mltrace::store::{Store, WalStore};
+use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+mltrace — observability for ML pipelines
+
+USAGE: mltrace [--db <path>] <command> [args]
+
+COMMANDS
+  components                 list registered components
+  recent [n]                 latest runs across all components (default 10)
+  history <component> [n]    run history with metrics and trigger outcomes
+  trace <output>             lineage tree of an output pointer
+  inspect <run_id>           full ComponentRun record
+  flag <output>              mark an output for review
+  unflag <output>            clear a review flag
+  review                     rank component runs across flagged traces
+  stale [component]          staleness of the latest run(s)
+  health                     one-screen pipeline health summary
+  sql <query>                ad-hoc SQL over the log tables
+  stats                      record counts
+  compact --days <n>         fold runs older than n days into summaries
+  delete-derived <output>    GDPR: purge everything derived from <output>
+  demo [--batches <n>]       simulate the taxi demo pipeline into the log
+
+OPTIONS
+  --db <path>                WAL file (default: mltrace.wal)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(mut args: Vec<String>) -> Result<(), String> {
+    let mut db = "mltrace.wal".to_string();
+    if args.first().map(String::as_str) == Some("--db") {
+        if args.len() < 2 {
+            return Err("--db requires a path".into());
+        }
+        db = args[1].clone();
+        args.drain(..2);
+    }
+    let Some(command) = args.first().cloned() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let rest = &args[1..];
+
+    // `demo` builds its own in-memory pipeline, then replays its log into
+    // the WAL so the other commands have something real to query.
+    if command == "demo" {
+        return demo(&db, rest);
+    }
+
+    let store = Arc::new(WalStore::open(&db).map_err(|e| format!("open {db}: {e}"))?);
+    let ml = Mltrace::with_store(store.clone(), Arc::new(mltrace::store::SystemClock));
+    let mut cmds = Commands::new(&ml);
+
+    match command.as_str() {
+        "components" => {
+            for c in store.components().map_err(err)? {
+                println!(
+                    "{:<24} owner={:<12} tags={:?}  {}",
+                    c.name, c.owner, c.tags, c.description
+                );
+            }
+        }
+        "recent" => {
+            let n = parse_num(rest.first(), 10)?;
+            for run in cmds.recent(n).map_err(err)? {
+                println!(
+                    "{:<8} {:<20} [{}] start={} dur={}ms",
+                    run.id.to_string(),
+                    run.component,
+                    run.status.name(),
+                    run.start_ms,
+                    run.duration_ms()
+                );
+            }
+        }
+        "history" => {
+            let component = rest.first().ok_or("history needs a component name")?;
+            let n = parse_num(rest.get(1), 10)?;
+            print!("{}", cmds.history(component, n).map_err(err)?.render());
+        }
+        "trace" => {
+            let output = rest.first().ok_or("trace needs an output name")?;
+            print!("{}", cmds.trace(output).map_err(err)?.render());
+        }
+        "inspect" => {
+            let id: u64 = rest
+                .first()
+                .ok_or("inspect needs a run id")?
+                .parse()
+                .map_err(|_| "run id must be a number".to_string())?;
+            let run = cmds.inspect(id).map_err(err)?;
+            print!("{}", cmds.render_inspect(&run));
+        }
+        "flag" => {
+            let output = rest.first().ok_or("flag needs an output name")?;
+            cmds.flag(output).map_err(err)?;
+            println!("flagged {output}");
+        }
+        "unflag" => {
+            let output = rest.first().ok_or("unflag needs an output name")?;
+            cmds.unflag(output).map_err(err)?;
+            println!("unflagged {output}");
+        }
+        "review" => {
+            print!("{}", cmds.review_flagged().map_err(err)?.render());
+        }
+        "stale" => {
+            let entries = cmds.stale(rest.first().map(String::as_str)).map_err(err)?;
+            print!("{}", cmds.render_stale(&entries));
+        }
+        "health" => {
+            let report = mltrace::core::health_report(&ml, 30, 5).map_err(err)?;
+            print!("{}", report.render());
+        }
+        "sql" => {
+            let query = rest.first().ok_or("sql needs a query string")?;
+            let result = execute(store.as_ref(), query).map_err(err)?;
+            print!("{}", result.render());
+        }
+        "stats" => {
+            let s = store.stats().map_err(err)?;
+            println!("components:    {}", s.components);
+            println!("runs:          {}", s.runs);
+            println!("io pointers:   {}", s.io_pointers);
+            println!("metric points: {}", s.metric_points);
+            println!("summaries:     {}", s.summaries);
+            println!("runs removed:  {}", s.runs_removed);
+        }
+        "compact" => {
+            let days = if rest.first().map(String::as_str) == Some("--days") {
+                parse_num(rest.get(1), 30)? as u64
+            } else {
+                30
+            };
+            let report = compact_older_than_days(store.as_ref(), ml.now_ms(), days).map_err(err)?;
+            println!(
+                "compacted {} runs into {} windows; rewriting log...",
+                report.runs_compacted, report.windows_written
+            );
+            let (before, after) = store.rewrite().map_err(err)?;
+            println!("log size {before} → {after} bytes");
+        }
+        "delete-derived" => {
+            let output = rest.first().ok_or("delete-derived needs an output name")?;
+            let report =
+                delete_derived(store.as_ref(), std::slice::from_ref(output), true).map_err(err)?;
+            println!(
+                "deleted {} runs and {} pointers derived from {output}",
+                report.runs_deleted, report.pointers_deleted
+            );
+            if !report.components_needing_rerun.is_empty() {
+                println!(
+                    "components needing a rerun: {:?}",
+                    report.components_needing_rerun
+                );
+            }
+            let (before, after) = store.rewrite().map_err(err)?;
+            println!("log size {before} → {after} bytes");
+        }
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => return Err(format!("unknown command '{other}' (try: mltrace help)")),
+    }
+    store.sync().map_err(err)?;
+    Ok(())
+}
+
+fn demo(db: &str, rest: &[String]) -> Result<(), String> {
+    let batches = if rest.first().map(String::as_str) == Some("--batches") {
+        parse_num(rest.get(1), 5)?
+    } else {
+        5
+    };
+    println!("simulating the taxi demo pipeline ({batches} serving batches)...");
+    let mut p = TaxiPipeline::new(TaxiConfig::default());
+    let df = p.ingest(2000, Incident::None).map_err(err)?;
+    let train = p.train(&df, true).map_err(err)?;
+    println!("trained: test accuracy {:.3}", train.test_accuracy);
+    for b in 0..batches {
+        let incident = if b == batches / 2 {
+            Incident::NullSpike { fraction: 0.4 }
+        } else {
+            Incident::None
+        };
+        let r = p
+            .ingest_and_serve(300, incident, ServeOptions::default())
+            .map_err(err)?;
+        println!("batch {}: accuracy {:.3}", r.batch, r.accuracy);
+        p.monitor().map_err(err)?;
+    }
+    // Replay the in-memory log into the WAL file.
+    let wal = WalStore::open(db).map_err(|e| format!("open {db}: {e}"))?;
+    let mem = p.ml().store();
+    for c in mem.components().map_err(err)? {
+        wal.register_component(c).map_err(err)?;
+    }
+    for ptr in mem.io_pointers().map_err(err)? {
+        let flagged = ptr.flag;
+        let name = ptr.name.clone();
+        wal.upsert_io_pointer(ptr).map_err(err)?;
+        if flagged {
+            wal.set_flag(&name, true).map_err(err)?;
+        }
+    }
+    for id in mem.run_ids().map_err(err)? {
+        if let Some(run) = mem.run(id).map_err(err)? {
+            wal.log_run(run).map_err(err)?;
+        }
+    }
+    for c in mem.components().map_err(err)? {
+        for metric in mem.metric_names(&c.name).map_err(err)? {
+            for point in mem.metrics(&c.name, &metric).map_err(err)? {
+                wal.log_metric(point).map_err(err)?;
+            }
+        }
+    }
+    wal.sync().map_err(err)?;
+    // Persist model/featurizer payloads beside the WAL so `trace` +
+    // artifact inspection work after the demo process exits.
+    p.ml()
+        .artifacts()
+        .write_snapshot(format!("{db}.artifacts"))
+        .map_err(err)?;
+    let stats = wal.stats().map_err(err)?;
+    println!(
+        "wrote {} runs / {} metric points to {db}; try `mltrace --db {db} recent`",
+        stats.runs, stats.metric_points
+    );
+    Ok(())
+}
+
+fn parse_num(arg: Option<&String>, default: usize) -> Result<usize, String> {
+    match arg {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("expected a number, got '{s}'")),
+    }
+}
+
+fn err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}

@@ -1,0 +1,146 @@
+//! E8: §4.1's alert-fatigue argument, quantified — per-feature threshold
+//! alerting vs SLA-gated alerting over the same faulty pipeline stream.
+
+use mltrace::metrics::{AlertManager, AlertRule, Comparator, Severity, Sla, SlaStatus};
+use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
+
+/// Run the same 20-batch stream (2 real incidents) through both alerting
+/// philosophies and compare page volume.
+#[test]
+fn sla_gated_alerting_beats_per_feature_fatigue() {
+    // Ambient covariate drift: feature means wander while the model's
+    // accuracy barely moves — exactly the regime where per-feature
+    // alarms mislead (§4.1: "what would a user do if ... one of their
+    // thousand features' mean value dropped by 50%?").
+    let mut p = TaxiPipeline::new(TaxiConfig {
+        accuracy_floor: 0.80,
+        drift: mltrace::taxi::DriftProfile {
+            distance_shift_per_trip: 5e-5,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let df = p.ingest(2000, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+
+    // Per-feature alerting: a threshold rule on every numeric feature's
+    // batch mean (the "what would a user do with this?" alarm).
+    let features = ["distance_km", "duration_min", "fare", "passengers", "hour"];
+    let mut per_feature = AlertManager::new();
+    for f in &features {
+        per_feature.add_rule(AlertRule {
+            id: format!("feature-mean-{f}"),
+            metric: format!("mean:{f}"),
+            comparator: Comparator::Lte,
+            // Deliberately tight: ±5% of the training mean, the kind of
+            // threshold teams set "to be safe".
+            threshold: 1.05,
+            severity: Severity::Page,
+            cooldown_ms: 0,
+        });
+        per_feature.add_rule(AlertRule {
+            id: format!("feature-mean-lo-{f}"),
+            metric: format!("mean_ratio_lo:{f}"),
+            comparator: Comparator::Gte,
+            threshold: 0.95,
+            severity: Severity::Page,
+            cooldown_ms: 0,
+        });
+    }
+
+    // SLA-gated alerting: one business rule, set below the healthy
+    // operating point (~0.73) but above the broken one (~0.51).
+    let sla = Sla::mean_at_least("accuracy-sla", "accuracy", 0.65, 3);
+    let mut gated = AlertManager::new();
+
+    // Training means as the reference.
+    let train_means: Vec<f64> = features
+        .iter()
+        .map(|f| {
+            let v = df.float_column(f).unwrap();
+            v.iter().sum::<f64>() / v.len() as f64
+        })
+        .collect();
+
+    let mut accuracy_series = Vec::new();
+    let mut real_incidents = 0;
+    for batch in 0..20u64 {
+        let incident = if (7..=8).contains(&batch) || (14..=15).contains(&batch) {
+            real_incidents += 1;
+            Incident::ServeSkew { scale: -50.0 }
+        } else {
+            Incident::None
+        };
+        let frame = p.ingest(300, Incident::None).unwrap();
+        let report = p
+            .serve(
+                &frame,
+                ServeOptions {
+                    incident,
+                    per_trip_outputs: false,
+                },
+            )
+            .unwrap();
+        accuracy_series.push(report.accuracy);
+
+        // Feed per-feature monitors with batch means (relative to train).
+        for (f, &train_mean) in features.iter().zip(train_means.iter()) {
+            let v = frame.float_column(f).unwrap();
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            let ratio = mean / train_mean;
+            per_feature.observe(&format!("mean:{f}"), ratio, batch);
+            per_feature.observe(&format!("mean_ratio_lo:{f}"), ratio, batch);
+        }
+        // Feed the SLA monitor.
+        if let Some(alert) = gated.observe_sla(&sla, &accuracy_series, batch) {
+            assert_eq!(alert.severity, Severity::Page);
+        }
+    }
+
+    let noisy_pages = per_feature.stats().pages;
+    let gated_pages = gated.stats().pages;
+    assert_eq!(real_incidents, 4, "two incidents of two batches each");
+    assert!(
+        gated_pages >= 1,
+        "the SLA monitor must catch the incident window"
+    );
+    assert!(
+        gated_pages <= 10,
+        "gated paging stays near the incident windows, got {gated_pages}"
+    );
+    assert!(
+        noisy_pages >= gated_pages * 3,
+        "per-feature fatigue: {noisy_pages} pages vs {gated_pages} gated"
+    );
+}
+
+#[test]
+fn sla_evaluation_states() {
+    let sla = Sla::mean_at_least("recall-90", "recall", 0.9, 4);
+    assert!(matches!(
+        sla.evaluate(&[]),
+        SlaStatus::InsufficientData { .. }
+    ));
+    assert!(!sla.evaluate(&[0.92, 0.91, 0.95, 0.93]).is_violated());
+    assert!(sla.evaluate(&[0.92, 0.5, 0.5, 0.5]).is_violated());
+}
+
+#[test]
+fn cooldown_compresses_alert_storms_end_to_end() {
+    let mut m = AlertManager::new();
+    m.add_rule(AlertRule {
+        id: "acc".into(),
+        metric: "accuracy".into(),
+        comparator: Comparator::Gte,
+        threshold: 0.9,
+        severity: Severity::Page,
+        cooldown_ms: 60_000,
+    });
+    // A 30-minute outage sampled every 30 s: 60 violations.
+    let mut fired = 0;
+    for i in 0..60u64 {
+        fired += m.observe("accuracy", 0.4, i * 30_000).len();
+    }
+    assert_eq!(fired, 30, "one page per cooldown window");
+    assert_eq!(m.stats().suppressed, 30);
+}

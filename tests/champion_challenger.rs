@@ -1,0 +1,108 @@
+//! Extending the demo pipeline with a user-defined component, as the
+//! paper intends ("users can create their own types of components if they
+//! want to have finer-grained control", §3.2): a random-forest challenger
+//! trained beside the logistic champion, with the comparison flowing
+//! through the observability layer (metrics + SQL + artifacts).
+
+use mltrace::core::RunSpec;
+use mltrace::metrics::{roc_auc, ConfusionMatrix};
+use mltrace::pipeline::{ForestConfig, RandomForest};
+use mltrace::query::execute;
+use mltrace::store::Value;
+use mltrace::taxi::{labels, Featurizer, Incident, TaxiConfig, TaxiPipeline};
+
+#[test]
+fn challenger_model_trains_through_the_same_observability_layer() {
+    let mut p = TaxiPipeline::new(TaxiConfig::default());
+    let df = p.ingest(2500, Incident::None).unwrap();
+    let champion = p.train(&df, true).unwrap();
+
+    // The user's own component: featurize + fit a forest, logged like any
+    // built-in stage. The featurizer artifact is shared with the champion
+    // path via its pointer name.
+    let featurizer_bytes = {
+        let pointer = p
+            .ml()
+            .store()
+            .io_pointer("featurizer.json")
+            .unwrap()
+            .unwrap();
+        p.ml()
+            .artifacts()
+            .get(&pointer.artifact.expect("featurizer stored"))
+            .unwrap()
+    };
+    let featurizer: Featurizer = serde_json::from_slice(&featurizer_bytes).unwrap();
+    let matrix = featurizer.transform(&df).unwrap();
+    let truth = labels(&df).unwrap();
+
+    let ml = p.ml();
+    let report = ml
+        .run(
+            "train_challenger",
+            RunSpec::new()
+                .input("featurizer.json")
+                .input("clean_trips-0.csv")
+                .output("challenger_model.json")
+                .code("forest-v1"),
+            |ctx| {
+                let split = matrix.len() * 3 / 4;
+                let forest = RandomForest::fit(
+                    &matrix[..split],
+                    &truth[..split],
+                    ForestConfig {
+                        trees: 10,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                let probs = forest
+                    .predict_proba(&matrix[split..])
+                    .map_err(|e| e.to_string())?;
+                let preds: Vec<bool> = probs.iter().map(|&x| x >= 0.5).collect();
+                let acc = ConfusionMatrix::from_pairs(&preds, &truth[split..]).accuracy();
+                let auc = roc_auc(&probs, &truth[split..]);
+                ctx.log_metric("test_accuracy", acc);
+                ctx.log_metric("auc", auc);
+                ctx.save_artifact(
+                    "challenger_model.json",
+                    &serde_json::to_vec(&forest).unwrap(),
+                );
+                Ok((acc, auc))
+            },
+        )
+        .unwrap();
+    let (challenger_acc, challenger_auc) = report.value;
+    assert!(challenger_acc > 0.6, "challenger learns: {challenger_acc}");
+    assert!(challenger_auc > 0.6);
+
+    // Lineage: the challenger depends on the featurizer run.
+    let run = p.ml().store().run(report.run_id).unwrap().unwrap();
+    assert!(
+        !run.dependencies.is_empty(),
+        "featurizer dependency inferred"
+    );
+
+    // The comparison is a SQL query over the shared metric log.
+    let result = execute(
+        p.ml().store().as_ref(),
+        "SELECT component, max(value) AS acc FROM metrics \
+         WHERE name = 'test_accuracy' GROUP BY component ORDER BY component",
+    )
+    .unwrap();
+    assert_eq!(result.rows.len(), 2, "champion and challenger both logged");
+    let acc_of = |component: &str| -> f64 {
+        result
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::from(component))
+            .and_then(|r| r[1].as_f64())
+            .unwrap()
+    };
+    assert!((acc_of("train") - champion.test_accuracy).abs() < 1e-9);
+    assert!((acc_of("train_challenger") - challenger_acc).abs() < 1e-9);
+
+    // Both model artifacts live in the dedup store.
+    let stats = p.ml().artifacts().stats();
+    assert!(stats.artifacts >= 3, "featurizer + champion + challenger");
+}

@@ -1,0 +1,112 @@
+//! F4: the eight UI commands (§5, Figure 4) exercised against the taxi
+//! demo, including the text renderings a terminal user would see.
+
+use mltrace::core::Commands;
+use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
+
+fn demo() -> TaxiPipeline {
+    let mut p = TaxiPipeline::new(TaxiConfig::default());
+    let df = p.ingest(1200, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+    p.ingest_and_serve(
+        200,
+        Incident::None,
+        ServeOptions {
+            incident: Incident::None,
+            per_trip_outputs: false,
+        },
+    )
+    .unwrap();
+    p.monitor().unwrap();
+    p
+}
+
+#[test]
+fn command_1_history() {
+    let p = demo();
+    let cmds = Commands::new(p.ml());
+    let h = cmds.history("inference", 10).unwrap();
+    assert_eq!(h.entries.len(), 1);
+    let rendered = h.render();
+    assert!(rendered.contains("history of 'inference'"));
+    assert!(rendered.contains("accuracy"));
+    assert!(rendered.contains("✓"));
+}
+
+#[test]
+fn command_2_trace() {
+    let p = demo();
+    let mut cmds = Commands::new(p.ml());
+    let t = cmds.trace("predictions-0.csv").unwrap();
+    let rendered = t.render();
+    // The Figure 4 trace view: inference at the root, sources at leaves.
+    assert!(rendered.starts_with("✓ inference"));
+    assert!(rendered.contains("featurize_online"));
+    assert!(rendered.contains("← "));
+    assert!(t.depth() >= 4);
+}
+
+#[test]
+fn command_3_inspect() {
+    let p = demo();
+    let cmds = Commands::new(p.ml());
+    let latest = p.ml().store().latest_run("train").unwrap().unwrap();
+    let run = cmds.inspect(latest.id.0).unwrap();
+    let rendered = cmds.render_inspect(&run);
+    assert!(rendered.contains("train"));
+    assert!(rendered.contains("status:   success"));
+    assert!(rendered.contains("code:"));
+    assert!(rendered.contains("tip_model-0.json"));
+}
+
+#[test]
+fn commands_4_5_6_flag_unflag_review() {
+    let p = demo();
+    let mut cmds = Commands::new(p.ml());
+    // 4: flag
+    assert!(!cmds.flag("predictions-0.csv").unwrap());
+    // 6: review
+    let review = cmds.review_flagged().unwrap();
+    assert_eq!(review.flagged, vec!["predictions-0.csv".to_string()]);
+    assert!(!review.ranked.is_empty());
+    assert!(review.render().contains("⚑ predictions-0.csv"));
+    // 5: unflag
+    assert!(cmds.unflag("predictions-0.csv").unwrap());
+    assert!(cmds.review_flagged().unwrap().flagged.is_empty());
+    // Flagging something unknown errors cleanly.
+    assert!(cmds.flag("no-such-output").is_err());
+}
+
+#[test]
+fn command_7_stale() {
+    let p = demo();
+    // Six weeks later, nothing has been refreshed.
+    p.clock().advance(42 * mltrace::store::MS_PER_DAY);
+    let cmds = Commands::new(p.ml());
+    let entries = cmds.stale(None).unwrap();
+    assert_eq!(entries.len(), 8, "all components evaluated");
+    let stale_components: Vec<&str> = entries
+        .iter()
+        .filter(|e| !e.reasons.is_empty())
+        .map(|e| e.component.as_str())
+        .collect();
+    assert!(
+        stale_components.contains(&"inference"),
+        "inference depends on 6-week-old artifacts: {stale_components:?}"
+    );
+    let rendered = cmds.render_stale(&entries);
+    assert!(rendered.contains("STALE"));
+    assert!(rendered.contains("days old"));
+}
+
+#[test]
+fn command_8_recent() {
+    let p = demo();
+    let cmds = Commands::new(p.ml());
+    let recent = cmds.recent(3).unwrap();
+    assert_eq!(recent.len(), 3);
+    assert_eq!(recent[0].component, "monitor", "newest first");
+    // Larger than history returns everything.
+    let all = cmds.recent(1000).unwrap();
+    assert!(all.len() >= 8);
+}

@@ -1,0 +1,124 @@
+//! Continuous monitoring composition: the O(1)-state detectors
+//! (CUSUM/EWMA), sliding windows, and calibration diagnostics applied to
+//! the live accuracy stream of the demo pipeline — the §4.1 monitoring
+//! loop running purely off logged metrics.
+
+use mltrace::metrics::{CountWindow, Cusum, EwmaChart, ReliabilityCurve, Shift};
+use mltrace::taxi::{labels, DriftProfile, Incident, ServeOptions, TaxiConfig, TaxiPipeline};
+
+#[test]
+fn cusum_on_logged_accuracy_catches_slow_degradation() {
+    // Slow concept drift: each batch's accuracy dips slightly — no single
+    // batch breaches a threshold, but CUSUM accumulates the evidence.
+    let mut p = TaxiPipeline::new(TaxiConfig {
+        drift: DriftProfile {
+            distance_shift_per_trip: 8e-5,
+            tip_shift_per_trip: 1e-4,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let df = p.ingest(2000, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+
+    // Calibrate on the first healthy batches.
+    let mut reference = Vec::new();
+    for _ in 0..5 {
+        let r = p
+            .ingest_and_serve(400, Incident::None, ServeOptions::default())
+            .unwrap();
+        reference.push(r.accuracy);
+    }
+    let mean = reference.iter().sum::<f64>() / reference.len() as f64;
+    let mut cusum = Cusum::new(mean, 0.03, 0.25, 4.0);
+    let mut ewma = EwmaChart::new(mean, 0.03, 0.3, 3.0);
+    for &a in &reference {
+        cusum.push(a);
+        ewma.push(a);
+    }
+
+    let mut cusum_fired = None;
+    let mut ewma_fired = None;
+    for batch in 0..25 {
+        let r = p
+            .ingest_and_serve(400, Incident::None, ServeOptions::default())
+            .unwrap();
+        if cusum_fired.is_none() {
+            if let Some(shift) = cusum.push(r.accuracy) {
+                assert_eq!(shift, Shift::Down, "degradation is a downward shift");
+                cusum_fired = Some(batch);
+            }
+        }
+        if ewma_fired.is_none() && ewma.push(r.accuracy) == Some(Shift::Down) {
+            ewma_fired = Some(batch);
+        }
+    }
+    assert!(
+        cusum_fired.is_some(),
+        "CUSUM must accumulate the slow degradation"
+    );
+    assert!(ewma_fired.is_some(), "EWMA must catch it too");
+}
+
+#[test]
+fn sliding_window_summarizes_accuracy_stream() {
+    let mut p = TaxiPipeline::new(TaxiConfig::default());
+    let df = p.ingest(1500, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+    let mut window = CountWindow::new(5);
+    for i in 0..8 {
+        let incident = if i == 6 {
+            Incident::ServeSkew { scale: -50.0 }
+        } else {
+            Incident::None
+        };
+        let r = p
+            .ingest_and_serve(300, incident, ServeOptions::default())
+            .unwrap();
+        window.push(r.accuracy);
+    }
+    assert!(window.is_full());
+    let m = window.moments();
+    assert_eq!(m.count(), 5);
+    // The incident batch drags the window minimum well below the mean.
+    assert!(
+        m.min() < m.mean() - 0.05,
+        "min {} mean {}",
+        m.min(),
+        m.mean()
+    );
+}
+
+#[test]
+fn model_probabilities_are_roughly_calibrated() {
+    let mut p = TaxiPipeline::new(TaxiConfig::default());
+    let df = p.ingest(3000, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+    let serve_df = p.ingest(2000, Incident::None).unwrap();
+    let report = p.serve(&serve_df, ServeOptions::default()).unwrap();
+    let truth = labels(&serve_df).unwrap();
+    let curve = ReliabilityCurve::fit(&report.probabilities, &truth, 10);
+    let ece = curve.ece();
+    assert!(
+        ece < 0.12,
+        "logistic regression on its own distribution stays roughly calibrated, ECE {ece}"
+    );
+    // Feature skew decalibrates without necessarily zeroing accuracy —
+    // the silent failure calibration monitoring exists for.
+    let skew_df = p.ingest(2000, Incident::None).unwrap();
+    let skewed = p
+        .serve(
+            &skew_df,
+            ServeOptions {
+                incident: Incident::ServeSkew { scale: -50.0 },
+                per_trip_outputs: false,
+            },
+        )
+        .unwrap();
+    let skew_truth = labels(&skew_df).unwrap();
+    let skewed_ece = ReliabilityCurve::fit(&skewed.probabilities, &skew_truth, 10).ece();
+    assert!(
+        skewed_ece > ece + 0.05,
+        "skew decalibrates: {ece:.3} → {skewed_ece:.3}"
+    );
+}

@@ -1,0 +1,106 @@
+//! E7 accuracy assertions (§5.2): false-positive rates under no drift and
+//! detection rates per drift shape, as hard test bounds (the table form
+//! lives in `examples/detector_study.rs`).
+
+use mltrace::metrics::{DriftConfig, DriftDetector, DriftMethod};
+
+fn uniform(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+fn rate(
+    detector: &DriftDetector,
+    method: DriftMethod,
+    transform: impl Fn(&[f64]) -> Vec<f64>,
+    trials: u64,
+) -> f64 {
+    let mut hits = 0u64;
+    for t in 0..trials {
+        let window = transform(&uniform(2000, 40_000 + t * 13));
+        if detector.check(method, &window).drifted {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+fn detector() -> DriftDetector {
+    DriftDetector::fit(&uniform(20_000, 1), DriftConfig::default())
+}
+
+#[test]
+fn false_positive_rates_stay_near_alpha() {
+    let d = detector();
+    for method in DriftMethod::ALL {
+        let fp = rate(&d, method, |w| w.to_vec(), 100);
+        assert!(
+            fp <= 0.06,
+            "{:?}: FP rate {fp} exceeds tolerance around α=0.01",
+            method
+        );
+    }
+}
+
+#[test]
+fn every_method_catches_location_drift() {
+    let d = detector();
+    for method in DriftMethod::ALL {
+        let det = rate(&d, method, |w| w.iter().map(|x| x + 0.25).collect(), 50);
+        assert!(det >= 0.95, "{method:?}: location detection {det}");
+    }
+}
+
+#[test]
+fn distribution_methods_catch_scale_drift_simple_stats_miss_it() {
+    let d = detector();
+    let squeeze = |w: &[f64]| -> Vec<f64> {
+        let m = w.iter().sum::<f64>() / w.len() as f64;
+        w.iter().map(|x| m + (x - m) * 0.4).collect()
+    };
+    for method in [DriftMethod::Ks, DriftMethod::Psi, DriftMethod::Kl] {
+        let det = rate(&d, method, squeeze, 50);
+        assert!(det >= 0.95, "{method:?}: scale detection {det}");
+    }
+    let median_det = rate(&d, DriftMethod::MedianShift, squeeze, 50);
+    assert!(
+        median_det <= 0.05,
+        "median should be blind to a symmetric squeeze, fired {median_det}"
+    );
+    // Welch-t fires occasionally on a squeeze (its variance estimate
+    // shifts) but far below the distribution tests.
+    let mean_det = rate(&d, DriftMethod::MeanShift, squeeze, 50);
+    assert!(mean_det <= 0.5, "mean test largely blind, fired {mean_det}");
+}
+
+#[test]
+fn shape_only_drift_is_the_simple_stat_blind_spot() {
+    // The paper's skew/kurtosis failure mode: same mean and near-same
+    // median, different shape.
+    let d = detector();
+    let reshape = |w: &[f64]| -> Vec<f64> {
+        let m = w.iter().sum::<f64>() / w.len() as f64;
+        let out: Vec<f64> = w
+            .iter()
+            .map(|x| m + (x - m) * (x - m).abs() * 2.0)
+            .collect();
+        let m2 = out.iter().sum::<f64>() / out.len() as f64;
+        out.iter().map(|x| x - m2 + m).collect()
+    };
+    for method in [DriftMethod::Ks, DriftMethod::Psi, DriftMethod::Kl] {
+        let det = rate(&d, method, reshape, 50);
+        assert!(det >= 0.95, "{method:?}: shape detection {det}");
+    }
+    let mean_det = rate(&d, DriftMethod::MeanShift, reshape, 50);
+    assert!(
+        mean_det <= 0.6,
+        "mean test substantially blind to shape drift, fired {mean_det}"
+    );
+}

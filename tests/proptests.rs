@@ -1,0 +1,306 @@
+//! Property-based tests on the core data structures and invariants.
+
+use mltrace::metrics::{
+    exact_quantile, js_divergence, kl_divergence, ks_two_sample, total_variation, Histogram,
+    P2Quantile, StreamingMoments,
+};
+use mltrace::pipeline::{parse_csv, to_csv, Column, DataFrame};
+use mltrace::provenance::{topo_order, trace_output, LineageGraph, TraceOptions};
+use mltrace::store::artifact::{chunk_boundaries, ArtifactStore, ChunkerConfig};
+use mltrace::store::{ComponentRunRecord, MemoryStore, Store, Value};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Value ordering
+// ---------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::Str),
+    ]
+}
+
+proptest! {
+    /// total_cmp is a total order: antisymmetric and transitive on samples.
+    #[test]
+    fn value_ordering_is_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        // Transitivity: a<=b<=c implies a<=c.
+        if ab != Greater && b.total_cmp(&c) != Greater {
+            prop_assert_ne!(a.total_cmp(&c), Greater);
+        }
+        prop_assert_eq!(a.total_cmp(&a), Equal);
+    }
+
+    /// Serde round-trips preserve exact equality (incl. float bits via
+    /// the float_roundtrip feature), except NaN (which serializes as null).
+    #[test]
+    fn value_serde_round_trip(v in arb_value()) {
+        let is_nan = matches!(&v, Value::Float(f) if f.is_nan());
+        prop_assume!(!is_nan);
+        let s = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&s).unwrap();
+        prop_assert!(v.loose_eq(&back), "{v:?} vs {back:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming statistics
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Merging split accumulators equals accumulating the whole stream.
+    #[test]
+    fn moments_merge_associative(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let whole = StreamingMoments::from_slice(&xs);
+        let mut left = StreamingMoments::from_slice(&xs[..split]);
+        let right = StreamingMoments::from_slice(&xs[split..]);
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance() - whole.variance()).abs()
+            < 1e-5 * (1.0 + whole.variance().abs()));
+    }
+
+    /// The P² estimate lies within the sample range and tracks the exact
+    /// quantile's order-of-magnitude on moderately sized samples.
+    #[test]
+    fn p2_stays_within_range(xs in prop::collection::vec(-1e3f64..1e3, 5..500)) {
+        let mut p = P2Quantile::median();
+        for &x in &xs {
+            p.push(x);
+        }
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let v = p.value();
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "median {v} outside [{lo}, {hi}]");
+    }
+
+    /// Exact quantiles are monotone in q.
+    #[test]
+    fn exact_quantiles_monotone(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(exact_quantile(&xs, lo_q) <= exact_quantile(&xs, hi_q) + 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histograms and divergences
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Histogram total equals finite input count; probabilities sum to 1.
+    #[test]
+    fn histogram_conservation(xs in prop::collection::vec(-1e4f64..1e4, 1..300)) {
+        let h = Histogram::from_samples(&xs, 16);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let p = h.probabilities(0.5);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    /// Divergences: non-negative; zero iff identical; JS symmetric and
+    /// bounded by ln 2; TV within [0,1].
+    #[test]
+    fn divergence_axioms(raw in prop::collection::vec(0.01f64..1.0, 2..20)) {
+        let total: f64 = raw.iter().sum();
+        let p: Vec<f64> = raw.iter().map(|x| x / total).collect();
+        let mut shifted = raw.clone();
+        shifted.rotate_left(1);
+        let total2: f64 = shifted.iter().sum();
+        let q: Vec<f64> = shifted.iter().map(|x| x / total2).collect();
+
+        prop_assert!(kl_divergence(&p, &p) < 1e-12);
+        prop_assert!(kl_divergence(&p, &q) >= 0.0);
+        let js_pq = js_divergence(&p, &q);
+        let js_qp = js_divergence(&q, &p);
+        prop_assert!((js_pq - js_qp).abs() < 1e-12);
+        prop_assert!((0.0..=std::f64::consts::LN_2 + 1e-12).contains(&js_pq));
+        let tv = total_variation(&p, &q);
+        prop_assert!((0.0..=1.0).contains(&tv));
+    }
+
+    /// KS statistic is symmetric and within [0, 1].
+    #[test]
+    fn ks_symmetry(
+        a in prop::collection::vec(-100f64..100.0, 2..100),
+        b in prop::collection::vec(-100f64..100.0, 2..100),
+    ) {
+        let r1 = ks_two_sample(&a, &b);
+        let r2 = ks_two_sample(&b, &a);
+        prop_assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&r1.statistic));
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Artifact chunking
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Chunks exactly partition any payload, and put/get round-trips.
+    #[test]
+    fn chunker_partitions(data in prop::collection::vec(any::<u8>(), 0..50_000)) {
+        let cfg = ChunkerConfig::default();
+        let bounds = chunk_boundaries(&data, &cfg);
+        let mut pos = 0;
+        for &(s, e) in &bounds {
+            prop_assert_eq!(s, pos);
+            pos = e;
+        }
+        prop_assert_eq!(pos, data.len());
+
+        let store = ArtifactStore::default();
+        let id = store.put(&data);
+        prop_assert_eq!(store.get(&id).unwrap(), data);
+    }
+
+    /// Identical payloads get identical addresses; different payloads
+    /// (virtually always) different ones.
+    #[test]
+    fn content_addressing(data in prop::collection::vec(any::<u8>(), 1..10_000)) {
+        let store = ArtifactStore::default();
+        let a = store.put(&data);
+        let b = store.put(&data);
+        prop_assert_eq!(&a, &b);
+        let mut mutated = data.clone();
+        mutated[0] = mutated[0].wrapping_add(1);
+        let c = store.put(&mutated);
+        prop_assert_ne!(&a, &c);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store + provenance invariants
+// ---------------------------------------------------------------------
+
+/// A random layered pipeline shape: each run consumes outputs of earlier
+/// runs only, so the dependency graph is a DAG by construction.
+fn arb_pipeline() -> impl Strategy<Value = Vec<(usize, Vec<usize>)>> {
+    // (component id, inputs as indexes of earlier runs)
+    prop::collection::vec((0usize..5, prop::collection::vec(0usize..20, 0..3)), 1..25)
+}
+
+proptest! {
+    /// Invariants: producer/consumer indexes agree with records; the
+    /// reconstructed graph is a DAG; traces terminate and stay within
+    /// depth bounds.
+    #[test]
+    fn store_graph_invariants(shape in arb_pipeline()) {
+        let store = MemoryStore::new();
+        let mut logged: Vec<(mltrace::store::RunId, String)> = Vec::new();
+        for (i, (component, input_refs)) in shape.iter().enumerate() {
+            let inputs: Vec<String> = input_refs
+                .iter()
+                .filter_map(|&r| logged.get(r % logged.len().max(1)).map(|(_, o)| o.clone()))
+                .collect();
+            let deps: Vec<mltrace::store::RunId> = input_refs
+                .iter()
+                .filter_map(|&r| logged.get(r % logged.len().max(1)).map(|(id, _)| *id))
+                .collect();
+            let output = format!("io-{i}");
+            let id = store
+                .log_run(ComponentRunRecord {
+                    component: format!("comp-{component}"),
+                    start_ms: i as u64 * 10,
+                    end_ms: i as u64 * 10 + 5,
+                    inputs: inputs.clone(),
+                    outputs: vec![output.clone()],
+                    dependencies: deps,
+                    ..Default::default()
+                })
+                .unwrap();
+            logged.push((id, output));
+        }
+        // Index agreement.
+        for (id, output) in &logged {
+            let producers = store.producers_of(output).unwrap();
+            prop_assert!(producers.contains(id));
+        }
+        // DAG + trace termination.
+        let graph = mltrace::core::build_graph(&store).unwrap();
+        prop_assert!(topo_order(&graph).is_some());
+        let (_, last_output) = logged.last().unwrap();
+        if let Some(trace) = trace_output(&graph, last_output, TraceOptions::default()) {
+            prop_assert!(trace.depth() <= 64);
+            prop_assert!(trace.size() < 10_000);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSV round trip
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Arbitrary string frames survive CSV serialization (quoting,
+    /// commas, embedded quotes).
+    #[test]
+    fn csv_string_round_trip(
+        cells in prop::collection::vec("[ -~]{0,12}", 1..40),
+    ) {
+        // One string column. Empty cells are nulls by convention, and a
+        // single-column all-null row serializes as a blank line (which the
+        // parser skips), so this property uses non-empty cells only.
+        prop_assume!(cells.iter().all(|s| !s.is_empty()));
+        let values: Vec<Option<String>> = cells
+            .iter()
+            .map(|s| Some(s.replace(['\n', '\r'], " ")))
+            .collect();
+        let df = DataFrame::from_columns(vec![("note", Column::Str(values))]).unwrap();
+        let text = to_csv(&df);
+        let back = parse_csv(&text).unwrap();
+        prop_assert_eq!(back.num_rows(), df.num_rows());
+        // String-typed column comparison, unless inference promoted it
+        // (possible when all cells parse as numbers/bools).
+        if let (Ok(Column::Str(a)), Ok(Column::Str(b))) = (df.column("note"), back.column("note")) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace cycle-resistance under adversarial io reuse
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Even with runs that consume their own outputs and shared pointer
+    /// names, traces terminate.
+    #[test]
+    fn traces_terminate_with_io_reuse(edges in prop::collection::vec((0usize..6, 0usize..6), 1..30)) {
+        let mut g = LineageGraph::new();
+        for (i, (a, b)) in edges.iter().enumerate() {
+            g.add_run(
+                i as u64 + 1,
+                &format!("c{}", i % 3),
+                i as u64 * 7,
+                false,
+                &[format!("io-{a}")],
+                &[format!("io-{b}")],
+                &[],
+            );
+        }
+        for target in 0..6 {
+            if let Some(t) = trace_output(&g, &format!("io-{target}"), TraceOptions::default()) {
+                prop_assert!(t.size() < 100_000);
+            }
+        }
+    }
+}

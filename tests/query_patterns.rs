@@ -1,0 +1,311 @@
+//! The paper's four observability query patterns (§2.2, §4.2), each
+//! reproduced end to end on the taxi demo pipeline:
+//!
+//! * Example 4.1 — component run-level query: a sudden accuracy drop is
+//!   traced to an abnormal NULL fraction in a raw column.
+//! * Example 4.2 — component history query: drift metrics over the
+//!   inference history reveal when to retrain.
+//! * Example 4.3 — cross-component query: offline tests propagated to the
+//!   online featurizer expose train/serve skew.
+//! * Example 4.4 — cross-component history query: slicing bad outputs and
+//!   ranking their traces surfaces a stale preprocessor.
+
+use mltrace::core::{Commands, Mltrace, RunSpec};
+use mltrace::store::{RunStatus, Value, MS_PER_DAY};
+use mltrace::taxi::{DriftProfile, Incident, ServeOptions, TaxiConfig, TaxiPipeline};
+
+fn trained(config: TaxiConfig) -> TaxiPipeline {
+    let mut p = TaxiPipeline::new(config);
+    let df = p.ingest(2000, Incident::None).unwrap();
+    let report = p.train(&df, true).unwrap();
+    assert!(report.test_accuracy > 0.6, "sane model");
+    p
+}
+
+/// Example 4.1: "Why is there a large, sudden drop in accuracy?"
+///
+/// The user traces outputs of the most recent inference run, inspects the
+/// trigger results of each run in the trace, and finds the NULL spike in
+/// the raw data.
+#[test]
+fn example_4_1_null_spike_found_via_run_level_query() {
+    let mut p = trained(TaxiConfig::default());
+
+    // Healthy batch, then the incident batch.
+    let healthy = p
+        .ingest_and_serve(400, Incident::None, ServeOptions::default())
+        .unwrap();
+    let incident = p
+        .ingest_and_serve(
+            400,
+            Incident::NullSpike { fraction: 0.45 },
+            ServeOptions::default(),
+        )
+        .unwrap();
+
+    // Debugging session: trace the most recent prediction output.
+    let mut cmds = Commands::new(p.ml());
+    let trace = cmds.trace(&incident.outputs[0]).unwrap();
+
+    // Walk the trace, inspecting each run's trigger outcomes — the clean
+    // run in the lineage shows the failed missing-value check.
+    let mut found_null_failure = None;
+    trace.visit(&mut |node| {
+        if let Ok(run) = cmds.inspect(node.run_id) {
+            for t in &run.triggers {
+                if !t.passed && t.trigger == "no_missing" {
+                    found_null_failure = Some((run.component.clone(), t.values.clone()));
+                }
+            }
+        }
+    });
+    let (component, values) = found_null_failure.expect("trace must expose the NULL spike");
+    assert_eq!(component, "clean");
+    let fraction = values.get("null_fraction").and_then(Value::as_f64).unwrap();
+    assert!(fraction > 0.35, "abnormally high nulls, got {fraction}");
+
+    // The healthy batch's trace shows no such failure.
+    let trace = cmds.trace(&healthy.outputs[0]).unwrap();
+    let mut clean_failures = 0;
+    trace.visit(&mut |node| {
+        if let Ok(run) = cmds.inspect(node.run_id) {
+            clean_failures += run.triggers.iter().filter(|t| !t.passed).count();
+        }
+    });
+    assert_eq!(clean_failures, 0, "healthy trace is clean");
+}
+
+/// Example 4.2: "When should I retrain my model?"
+///
+/// The user performs a component-history query on the inference component,
+/// watching drift scores and accuracy decline as covariate shift
+/// accumulates, and picks the retraining point where the SLA would break.
+#[test]
+fn example_4_2_history_query_reveals_degradation() {
+    // Progressive covariate shift (longer trips) plus concept drift
+    // (tipping behaviour itself changes).
+    let mut p = trained(TaxiConfig {
+        drift: DriftProfile {
+            distance_shift_per_trip: 8e-5,
+            tip_shift_per_trip: 1e-4,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+
+    // A month of weekly serving batches over drifting data.
+    let mut accuracies = Vec::new();
+    for _week in 0..8 {
+        let report = p
+            .ingest_and_serve(800, Incident::None, ServeOptions::default())
+            .unwrap();
+        accuracies.push(report.accuracy);
+        p.clock().advance(7 * MS_PER_DAY);
+    }
+
+    // History query: the accuracy metric series for the inference
+    // component, plus the drift score series logged by its trigger.
+    let store = p.ml().store();
+    let acc_series: Vec<f64> = store
+        .metrics("inference", "accuracy")
+        .unwrap()
+        .into_iter()
+        .map(|m| m.value)
+        .collect();
+    let drift_series: Vec<f64> = store
+        .metrics("inference", "drift_ks:predictions")
+        .unwrap()
+        .into_iter()
+        .map(|m| m.value)
+        .collect();
+    assert_eq!(acc_series.len(), 8);
+    assert_eq!(drift_series.len(), 8);
+
+    // Degradation: late accuracy below early accuracy; drift grows.
+    let early_acc = acc_series[..2].iter().sum::<f64>() / 2.0;
+    let late_acc = acc_series[6..].iter().sum::<f64>() / 2.0;
+    assert!(
+        late_acc < early_acc - 0.03,
+        "accuracy should degrade: early {early_acc:.3}, late {late_acc:.3}"
+    );
+    let early_drift = drift_series[..2].iter().sum::<f64>() / 2.0;
+    let late_drift = drift_series[6..].iter().sum::<f64>() / 2.0;
+    assert!(
+        late_drift > early_drift,
+        "drift score should grow: {early_drift:.3} → {late_drift:.3}"
+    );
+
+    // The user's remedy: retrain on fresh data restores accuracy.
+    let fresh = p.ingest(2000, Incident::None).unwrap();
+    let retrained = p.train(&fresh, true).unwrap();
+    let after = p
+        .ingest_and_serve(800, Incident::None, ServeOptions::default())
+        .unwrap();
+    assert!(
+        after.accuracy > late_acc,
+        "retraining should recover: {:.3} → {:.3} (train acc {:.3})",
+        late_acc,
+        after.accuracy,
+        retrained.test_accuracy
+    );
+}
+
+/// Example 4.3: "Why is the accuracy much lower than expected right after
+/// deployment?"
+///
+/// Cross-component query: the offline featurizer's logged profile is
+/// compared against the online component's; the skewed online path fails
+/// the propagated consistency test.
+#[test]
+fn example_4_3_cross_component_query_exposes_serve_skew() {
+    let mut p = trained(TaxiConfig::default());
+
+    // Deployment: online feature code disagrees (unit mismatch).
+    let df = p.ingest(600, Incident::None).unwrap();
+    let skewed = p
+        .serve(
+            &df,
+            ServeOptions {
+                incident: Incident::ServeSkew { scale: 500.0 },
+                per_trip_outputs: false,
+            },
+        )
+        .unwrap();
+
+    // The cross-component consistency trigger failed on the online side.
+    let store = p.ml().store();
+    let online = store.latest_run("featurize_online").unwrap().unwrap();
+    assert_eq!(online.status, RunStatus::TriggerFailed);
+    let failure = online
+        .triggers
+        .iter()
+        .find(|t| t.trigger == "offline_online_consistency" && !t.passed)
+        .expect("consistency check must fail");
+    let gap = failure.values.get("gap").and_then(Value::as_f64).unwrap();
+    assert!(gap > 0.5, "large online/offline gap, got {gap}");
+
+    // The offline component, by contrast, is healthy.
+    let offline = store.latest_run("featurize_offline").unwrap().unwrap();
+    assert!(offline.triggers.iter().all(|t| t.passed));
+
+    // And the deployment's accuracy really did crater relative to offline
+    // expectations (the symptom that started the investigation).
+    let offline_test_acc = store
+        .metrics("train", "test_accuracy")
+        .unwrap()
+        .last()
+        .unwrap()
+        .value;
+    assert!(
+        skewed.accuracy < offline_test_acc - 0.03,
+        "deployed {:.3} vs offline {:.3}",
+        skewed.accuracy,
+        offline_test_acc
+    );
+}
+
+/// Example 4.4: "Why are these clients complaining about the predictions
+/// we gave them over the last several months?"
+///
+/// Cross-component history query: slice the complained-about outputs,
+/// aggregate their traces, and rank ComponentRuns by frequency — the top
+/// hit is a preprocessing component that hasn't been refit in six weeks.
+#[test]
+fn example_4_4_slice_query_finds_stale_preprocessor() {
+    let mut p = trained(TaxiConfig {
+        drift: DriftProfile {
+            distance_shift_per_trip: 6e-5,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+
+    // Six weeks pass; the model is retrained weekly but the featurizer is
+    // never refit (the stale preprocessor).
+    for _week in 0..6 {
+        p.clock().advance(7 * MS_PER_DAY);
+        let df = p.ingest(1200, Incident::None).unwrap();
+        p.train(&df, false).unwrap();
+    }
+
+    // Clients receive predictions (per-trip outputs so they can complain
+    // about specific ones).
+    let served = p
+        .ingest_and_serve(
+            30,
+            Incident::None,
+            ServeOptions {
+                incident: Incident::None,
+                per_trip_outputs: true,
+            },
+        )
+        .unwrap();
+
+    // The complaints: clients flag their predictions for review.
+    let mut cmds = Commands::new(p.ml());
+    for output in &served.outputs[..10] {
+        cmds.flag(output).unwrap();
+    }
+
+    // The review: aggregate traces of the flagged slice, rank runs.
+    let review = cmds.review_flagged().unwrap();
+    assert_eq!(review.flagged.len(), 10);
+    assert!(!review.ranked.is_empty());
+    // Shared upstream runs have frequency 10; among them must be the
+    // featurize_offline run whose fitted artifact everything depends on.
+    let top_frequency = review.ranked[0].frequency;
+    assert_eq!(
+        top_frequency, 10,
+        "shared upstream runs appear in every trace"
+    );
+    let shared: Vec<&str> = review
+        .ranked
+        .iter()
+        .take_while(|r| r.frequency == top_frequency)
+        .map(|r| r.component.as_str())
+        .collect();
+    assert!(
+        shared.contains(&"featurize_offline"),
+        "stale preprocessor among top-ranked: {shared:?}"
+    );
+
+    // Staleness check confirms: the inference component's dependencies
+    // are weeks old.
+    let stale = cmds.stale(Some("featurize_offline")).unwrap();
+    let featurize_stale = &stale[0];
+    assert!(
+        !featurize_stale.reasons.is_empty(),
+        "featurizer runs on a six-week-old artifact"
+    );
+}
+
+/// The four categories also hold for ad-hoc instrumentation, not just the
+/// taxi demo: a run-level query on a hand-wrapped component.
+#[test]
+fn run_level_query_on_custom_component() {
+    let ml = Mltrace::in_memory();
+    let report = ml
+        .run(
+            "adhoc",
+            RunSpec::new()
+                .input("upstream.csv")
+                .output("downstream.csv")
+                .capture("row_count", 512i64)
+                .notes("manual experiment"),
+            |ctx| {
+                ctx.log_metric("rows", 512.0);
+                Ok("done")
+            },
+        )
+        .unwrap();
+    let cmds = Commands::new(&ml);
+    let run = cmds.inspect(report.run_id.0).unwrap();
+    assert_eq!(run.notes, "manual experiment");
+    assert_eq!(run.inputs, vec!["upstream.csv"]);
+    let history = cmds.history("adhoc", 5).unwrap();
+    assert_eq!(history.entries.len(), 1);
+    assert_eq!(
+        history.entries[0].metrics,
+        vec![("rows".to_string(), 512.0)]
+    );
+}

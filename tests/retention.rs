@@ -1,0 +1,141 @@
+//! E10: §5.3's efficiency/utility trade-off — compaction keeps aggregate
+//! queries answerable after raw traces are dropped — and GDPR
+//! forward-trace deletion through the live pipeline.
+
+use mltrace::core::{Commands, Mltrace, RunSpec};
+use mltrace::store::deletion::{delete_derived, forward_closure};
+use mltrace::store::retention::compact_older_than_days;
+use mltrace::store::{ManualClock, Store, MS_PER_DAY};
+use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
+
+fn aged_instance() -> (Mltrace, std::sync::Arc<ManualClock>) {
+    let clock = ManualClock::starting_at(1_000_000);
+    let ml = Mltrace::with_clock(clock.clone());
+    // 60 daily etl runs.
+    for day in 0..60u64 {
+        ml.run(
+            "etl",
+            RunSpec::new().output("raw.csv").notes(format!("day {day}")),
+            |ctx| {
+                ctx.log_metric("rows", 100.0 + day as f64);
+                Ok(())
+            },
+        )
+        .unwrap();
+        clock.advance(MS_PER_DAY);
+    }
+    (ml, clock)
+}
+
+#[test]
+fn compaction_preserves_history_answers() {
+    let (ml, _clock) = aged_instance();
+    let store = ml.store();
+    assert_eq!(store.stats().unwrap().runs, 60);
+
+    // Compact everything older than 30 days.
+    let report = compact_older_than_days(store.as_ref(), ml.now_ms(), 30).unwrap();
+    assert_eq!(report.runs_compacted, 30);
+    assert_eq!(report.windows_written, 30, "daily windows");
+    assert_eq!(store.stats().unwrap().runs, 30);
+
+    // The history command still answers over the compacted range.
+    let cmds = Commands::new(&ml);
+    let h = cmds.history("etl", 100).unwrap();
+    assert_eq!(h.entries.len(), 30, "raw runs for the recent window");
+    assert_eq!(h.compacted.len(), 30, "aggregates for the old window");
+    let total_runs: u64 = h.compacted.iter().map(|s| s.run_count).sum();
+    assert_eq!(total_runs, 30);
+    // Metric aggregates survived.
+    let first = &h.compacted[0];
+    let rows = first.metric_aggregates.get("rows").unwrap();
+    assert_eq!(rows.count, 1);
+    assert_eq!(rows.min, 100.0);
+    let rendered = h.render();
+    assert!(rendered.contains("[compacted]"));
+}
+
+#[test]
+fn compaction_is_incremental_over_time() {
+    let (ml, clock) = aged_instance();
+    let store = ml.store();
+    compact_older_than_days(store.as_ref(), ml.now_ms(), 30).unwrap();
+    // Ten more days pass; compact again.
+    clock.advance(10 * MS_PER_DAY);
+    let report = compact_older_than_days(store.as_ref(), ml.now_ms(), 30).unwrap();
+    assert_eq!(report.runs_compacted, 10);
+    let cmds = Commands::new(&ml);
+    let h = cmds.history("etl", 100).unwrap();
+    assert_eq!(h.entries.len(), 20);
+    assert_eq!(h.compacted.len(), 40);
+}
+
+#[test]
+fn gdpr_deletion_through_the_pipeline() {
+    let mut p = TaxiPipeline::new(TaxiConfig::default());
+    let df = p.ingest(800, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+    p.ingest_and_serve(200, Incident::None, ServeOptions::default())
+        .unwrap();
+    let store = p.ml().store();
+    let before = store.stats().unwrap();
+
+    // A client's raw batch must be purged: everything derived from
+    // clean_trips-0.csv (featurization, splits, model, predictions).
+    let closure = forward_closure(store.as_ref(), &["clean_trips-0.csv".to_string()]).unwrap();
+    assert!(
+        closure.pointers.iter().any(|p| p.starts_with("tip_model")),
+        "model derives from client data: {:?}",
+        closure.pointers
+    );
+    assert!(closure.runs.len() >= 3);
+
+    let report = delete_derived(store.as_ref(), &["clean_trips-0.csv".to_string()], true).unwrap();
+    assert!(report.runs_deleted >= 3);
+    assert!(
+        report.components_needing_rerun.contains("train"),
+        "caller is told production will break without a rerun: {:?}",
+        report.components_needing_rerun
+    );
+    let after = store.stats().unwrap();
+    assert!(after.runs < before.runs);
+    // Root kept; derived artifacts gone.
+    assert!(store.io_pointer("clean_trips-0.csv").unwrap().is_some());
+    assert!(store.io_pointer("tip_model-0.json").unwrap().is_none());
+    // Untainted components survive (ingest produced, never consumed).
+    assert!(!store.runs_for_component("ingest").unwrap().is_empty());
+
+    // The lineage graph rebuilds cleanly after the deletion.
+    let mut cmds = Commands::new(p.ml());
+    assert!(cmds.trace("tip_model-0.json").is_err());
+}
+
+#[test]
+fn wal_rewrite_reclaims_space_after_retention() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("retained.wal");
+    let store = mltrace::store::WalStore::open(&path).unwrap();
+    for i in 0..200u64 {
+        store
+            .log_run(mltrace::store::ComponentRunRecord {
+                component: "etl".into(),
+                start_ms: i * MS_PER_DAY / 10,
+                end_ms: i * MS_PER_DAY / 10 + 5,
+                outputs: vec![format!("out-{i}")],
+                ..Default::default()
+            })
+            .unwrap();
+    }
+    store
+        .register_component(mltrace::store::ComponentRecord::named("etl"))
+        .unwrap();
+    compact_older_than_days(&store, 200 * MS_PER_DAY / 10, 2).unwrap();
+    let (before, after) = store.rewrite().unwrap();
+    assert!(after < before, "rewrite shrinks: {before} → {after}");
+    drop(store);
+    // Replay after rewrite preserves summaries and surviving runs.
+    let store = mltrace::store::WalStore::open(&path).unwrap();
+    let stats = store.stats().unwrap();
+    assert!(stats.runs < 200);
+    assert!(stats.summaries > 0);
+}

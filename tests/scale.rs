@@ -1,0 +1,125 @@
+//! E1 (test-scale slice): §3.4's scenario — a 10-component pipeline whose
+//! inference endpoint is pinged constantly, adding CR and IOPointer nodes
+//! continuously. The full Ω(1M)-node measurement lives in the bench suite
+//! (`ingest_scale`); this test checks correctness properties at 100k+
+//! nodes in debug-friendly time.
+
+use mltrace::core::{build_graph, Commands};
+use mltrace::provenance::{slice_lineage, trace_output, TraceOptions};
+use mltrace::store::{ComponentRunRecord, MemoryStore, RunId, Store};
+
+/// Build the §3.4 topology directly against the store: 9 upstream
+/// components refreshed periodically, plus an inference component pinged
+/// per prediction.
+fn populate(store: &MemoryStore, predictions: usize) -> Vec<String> {
+    let mut t = 0u64;
+    let mut upstream_outputs: Vec<String> = Vec::new();
+    let mut last_refresh: Vec<RunId> = Vec::new();
+    for stage in 0..9u64 {
+        let out = format!("stage-{stage}.out");
+        let deps: Vec<RunId> = last_refresh.last().copied().into_iter().collect();
+        let inputs = upstream_outputs.last().cloned().into_iter().collect();
+        let id = store
+            .log_run(ComponentRunRecord {
+                component: format!("stage-{stage}"),
+                start_ms: t,
+                end_ms: t + 1,
+                inputs,
+                outputs: vec![out.clone()],
+                dependencies: deps,
+                ..Default::default()
+            })
+            .unwrap();
+        last_refresh.push(id);
+        upstream_outputs.push(out);
+        t += 10;
+    }
+    let model_run = *last_refresh.last().unwrap();
+    let mut outputs = Vec::with_capacity(predictions);
+    for i in 0..predictions {
+        let out = format!("pred-{i}");
+        store
+            .log_run(ComponentRunRecord {
+                component: "inference".into(),
+                start_ms: t + i as u64,
+                end_ms: t + i as u64 + 1,
+                inputs: vec![upstream_outputs.last().unwrap().clone()],
+                outputs: vec![out.clone()],
+                dependencies: vec![model_run],
+                ..Default::default()
+            })
+            .unwrap();
+        outputs.push(out);
+    }
+    outputs
+}
+
+#[test]
+fn hundred_thousand_node_graph_stays_queryable() {
+    let store = MemoryStore::new();
+    // 50k predictions → 50k CRs + 50k pointers + upstream ≈ 100k nodes.
+    let outputs = populate(&store, 50_000);
+    let stats = store.stats().unwrap();
+    assert_eq!(stats.runs, 50_009);
+    assert!(
+        stats.io_pointers == 0,
+        "pointers upserted separately in this direct-log path"
+    );
+
+    let graph = build_graph(&store).unwrap();
+    assert_eq!(graph.run_count(), 50_009);
+    assert_eq!(graph.io_count(), 50_009);
+
+    // Tracing a single prediction touches only its lineage, not the
+    // 50k-sibling fan-out.
+    let t = trace_output(&graph, &outputs[25_000], TraceOptions::default()).unwrap();
+    assert_eq!(t.component, "inference");
+    assert_eq!(t.depth(), 10, "one inference hop + 9 upstream stages");
+    assert!(t.size() <= 10);
+
+    // Slicing 1000 predictions ranks the shared upstream first.
+    let slice: Vec<String> = outputs[..1000].to_vec();
+    let report = slice_lineage(&graph, &slice, TraceOptions::default());
+    assert_eq!(report.traced_outputs, 1000);
+    assert_eq!(report.ranked[0].frequency, 1000);
+    assert!(report.ranked[0].component.starts_with("stage-"));
+}
+
+#[test]
+fn history_stays_fast_with_many_runs_of_one_component() {
+    let store = MemoryStore::new();
+    populate(&store, 20_000);
+    let ids = store.runs_for_component("inference").unwrap();
+    assert_eq!(ids.len(), 20_000);
+    // Tail access is index-backed, not a scan.
+    let latest = store.latest_run("inference").unwrap().unwrap();
+    assert_eq!(latest.outputs, vec!["pred-19999"]);
+}
+
+#[test]
+fn incremental_graph_refresh_tracks_live_ingest() {
+    let store = std::sync::Arc::new(MemoryStore::new());
+    populate(&store, 1000);
+    let clock = mltrace::store::ManualClock::starting_at(1);
+    let ml = mltrace::core::Mltrace::with_store(store.clone(), clock);
+    let mut cmds = Commands::new(&ml);
+    assert!(cmds.trace("pred-999").is_ok());
+    // More predictions arrive; the cached graph picks them up.
+    populate_more(&store, 1000, 2000);
+    assert!(cmds.trace("pred-extra-2999").is_ok());
+}
+
+fn populate_more(store: &MemoryStore, n: usize, offset: usize) {
+    for i in 0..n {
+        store
+            .log_run(ComponentRunRecord {
+                component: "inference".into(),
+                start_ms: 10_000_000 + i as u64,
+                end_ms: 10_000_001 + i as u64,
+                inputs: vec!["stage-8.out".into()],
+                outputs: vec![format!("pred-extra-{}", offset + i)],
+                ..Default::default()
+            })
+            .unwrap();
+    }
+}

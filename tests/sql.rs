@@ -1,0 +1,117 @@
+//! E11: ad-hoc SQL over the observability log of a real pipeline run
+//! (§4.2: "users can query the logs and metadata via SQL").
+
+use mltrace::query::execute;
+use mltrace::store::Value;
+use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
+
+fn demo() -> TaxiPipeline {
+    let mut p = TaxiPipeline::new(TaxiConfig::default());
+    let df = p.ingest(1000, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+    for i in 0..3 {
+        let incident = if i == 1 {
+            Incident::NullSpike { fraction: 0.5 }
+        } else {
+            Incident::None
+        };
+        p.ingest_and_serve(200, incident, ServeOptions::default())
+            .unwrap();
+    }
+    p
+}
+
+#[test]
+fn runs_per_component() {
+    let p = demo();
+    let store = p.ml().store();
+    let r = execute(
+        store.as_ref(),
+        "SELECT component, count(*) AS runs FROM component_runs \
+         GROUP BY component ORDER BY runs DESC, component",
+    )
+    .unwrap();
+    assert_eq!(r.columns, vec!["component", "runs"]);
+    // ingest/clean ran 4× (1 train batch + 3 serve batches).
+    let ingest = r
+        .rows
+        .iter()
+        .find(|row| row[0] == Value::from("ingest"))
+        .unwrap();
+    assert_eq!(ingest[1], Value::Int(4));
+}
+
+#[test]
+fn find_failed_runs_by_status() {
+    let p = demo();
+    let r = execute(
+        p.ml().store().as_ref(),
+        "SELECT component, id, trigger_failures FROM component_runs \
+         WHERE status = 'trigger_failed' ORDER BY id",
+    )
+    .unwrap();
+    assert!(
+        !r.rows.is_empty(),
+        "the NULL-spike batch failed its trigger"
+    );
+    assert_eq!(r.rows[0][0], Value::from("clean"));
+    assert_eq!(r.rows[0][2], Value::from(vec!["no_missing"]));
+}
+
+#[test]
+fn metric_aggregation_and_windows() {
+    let p = demo();
+    let r = execute(
+        p.ml().store().as_ref(),
+        "SELECT name, count(*) AS points, min(value) AS lo, max(value) AS hi \
+         FROM metrics WHERE component = 'inference' GROUP BY name ORDER BY name",
+    )
+    .unwrap();
+    let names: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+    assert!(names.contains(&"accuracy".to_string()));
+    let acc = r
+        .rows
+        .iter()
+        .find(|row| row[0] == Value::from("accuracy"))
+        .unwrap();
+    assert_eq!(acc[1], Value::Int(3));
+    let lo = acc[2].as_f64().unwrap();
+    let hi = acc[3].as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&lo) && lo <= hi);
+}
+
+#[test]
+fn lineage_ish_queries_on_io_pointers() {
+    let p = demo();
+    let r = execute(
+        p.ml().store().as_ref(),
+        "SELECT name, ptype FROM io_pointers WHERE name LIKE 'tip_model%'",
+    )
+    .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    // `.json` infers as a data payload (extension-based inference).
+    assert_eq!(r.rows[0][1], Value::from("data"));
+    // Artifact-backed pointers are queryable by address presence.
+    let r = execute(
+        p.ml().store().as_ref(),
+        "SELECT count(*) FROM io_pointers WHERE artifact IS NOT NULL",
+    )
+    .unwrap();
+    assert!(r.rows[0][0].as_i64().unwrap() >= 2, "featurizer + model");
+}
+
+#[test]
+fn slow_run_hunt_with_arithmetic() {
+    let p = demo();
+    let r = execute(
+        p.ml().store().as_ref(),
+        "SELECT component, duration_ms FROM component_runs \
+         WHERE end_ms - start_ms >= 0 ORDER BY duration_ms DESC, component LIMIT 5",
+    )
+    .unwrap();
+    assert_eq!(r.rows.len(), 5);
+    // Render produces the Figure-4-style table.
+    let text = r.render();
+    assert!(text.lines().count() >= 7);
+    assert!(text.contains("duration_ms"));
+}

@@ -1,0 +1,301 @@
+//! Parser round-trip fuzzing: generate random query ASTs, render them to
+//! SQL text, re-parse, and require the same AST back. Exercises
+//! precedence, keyword handling, literals and every expression form.
+
+use mltrace::query::{parse, AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
+use mltrace::store::Value;
+use proptest::prelude::*;
+
+/// Render an expression back to SQL, fully parenthesized so the printed
+/// form is precedence-unambiguous.
+fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => c.clone(),
+        Expr::Literal(Value::Null) => "NULL".into(),
+        Expr::Literal(Value::Bool(b)) => if *b { "TRUE" } else { "FALSE" }.into(),
+        Expr::Literal(Value::Int(i)) => {
+            if *i < 0 {
+                format!("(0 - {})", i.unsigned_abs())
+            } else {
+                i.to_string()
+            }
+        }
+        Expr::Literal(Value::Float(f)) => format!("{f:?}"),
+        Expr::Literal(Value::Str(s)) => format!("'{}'", s.replace('\'', "''")),
+        Expr::Literal(_) => unreachable!("only scalar literals generated"),
+        Expr::Binary { op, left, right } => {
+            let op = match op {
+                BinOp::Eq => "=",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+            };
+            format!("({} {} {})", render_expr(left), op, render_expr(right))
+        }
+        Expr::Not(x) => format!("(NOT {})", render_expr(x)),
+        Expr::Neg(x) => format!("(- {})", render_expr(x)),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => format!(
+            "({} {}LIKE '{}')",
+            render_expr(expr),
+            if *negated { "NOT " } else { "" },
+            pattern.replace('\'', "''")
+        ),
+        Expr::In {
+            expr,
+            list,
+            negated,
+        } => format!(
+            "({} {}IN ({}))",
+            render_expr(expr),
+            if *negated { "NOT " } else { "" },
+            list.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::IsNull { expr, negated } => format!(
+            "({} IS {}NULL)",
+            render_expr(expr),
+            if *negated { "NOT " } else { "" }
+        ),
+        Expr::Agg { func, arg } => match arg {
+            Some(a) => format!("{}({})", func.name(), render_expr(a)),
+            None => format!("{}(*)", func.name()),
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => format!(
+            "({} {}BETWEEN {} AND {})",
+            render_expr(expr),
+            if *negated { "NOT " } else { "" },
+            render_expr(lo),
+            render_expr(hi)
+        ),
+        Expr::Scalar { func, args } => format!(
+            "{}({})",
+            func.name(),
+            args.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+fn render_query(q: &Query) -> String {
+    let mut out = String::from("SELECT ");
+    if q.distinct {
+        out.push_str("DISTINCT ");
+    }
+    let items: Vec<String> = q
+        .select
+        .iter()
+        .map(|item| match item {
+            SelectItem::Wildcard => "*".to_string(),
+            SelectItem::Expr { expr, alias } => match alias {
+                Some(a) => format!("{} AS {a}", render_expr(expr)),
+                None => render_expr(expr),
+            },
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push_str(&format!(" FROM {}", q.from));
+    if let Some(w) = &q.where_clause {
+        out.push_str(&format!(" WHERE {}", render_expr(w)));
+    }
+    if !q.group_by.is_empty() {
+        out.push_str(&format!(" GROUP BY {}", q.group_by.join(", ")));
+    }
+    if let Some(h) = &q.having {
+        out.push_str(&format!(" HAVING {}", render_expr(h)));
+    }
+    if !q.order_by.is_empty() {
+        let keys: Vec<String> = q
+            .order_by
+            .iter()
+            .map(|(e, desc)| {
+                format!("{}{}", render_expr(e), if *desc { " DESC" } else { " ASC" })
+            })
+            .collect();
+        out.push_str(&format!(" ORDER BY {}", keys.join(", ")));
+    }
+    if let Some(l) = q.limit {
+        out.push_str(&format!(" LIMIT {l}"));
+    }
+    out
+}
+
+/// Column names that cannot collide with SQL keywords.
+fn arb_column() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("component".to_string()),
+        Just("start_ms".to_string()),
+        Just("duration_ms".to_string()),
+        Just("value_col".to_string()),
+    ]
+}
+
+fn arb_literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::Literal(Value::Null)),
+        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
+        (0i64..1000).prop_map(|i| Expr::Literal(Value::Int(i))),
+        // Non-negative: a leading '-' parses as Neg(lit), a distinct AST.
+        (0.0f64..100.0)
+            .prop_filter("finite non-integer floats parse cleanly", |f| f.fract() != 0.0)
+            .prop_map(|f| Expr::Literal(Value::Float(f))),
+        "[a-z ]{0,6}".prop_map(|s| Expr::Literal(Value::Str(s))),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![arb_column().prop_map(Expr::Column), arb_literal()];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Mod),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r)
+                }),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), "[a-z%_]{0,5}", any::<bool>()).prop_map(
+                |(e, pattern, negated)| Expr::Like {
+                    expr: Box::new(e),
+                    pattern,
+                    negated
+                }
+            ),
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::In {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    negated
+                }
+            ),
+            (
+                prop_oneof![
+                    Just(ScalarFunc::Abs),
+                    Just(ScalarFunc::Length),
+                    Just(ScalarFunc::Coalesce),
+                    Just(ScalarFunc::Lower),
+                    Just(ScalarFunc::Upper),
+                    Just(ScalarFunc::Round),
+                ],
+                prop::collection::vec(inner, 1..3)
+            )
+                .prop_map(|(func, args)| Expr::Scalar { func, args }),
+        ]
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        any::<bool>(),
+        prop::collection::vec((arb_expr(), prop::option::of("[a-z]{1,6}")), 1..4),
+        prop::option::of(arb_expr()),
+        prop::option::of((0usize..50).prop_map(Some)),
+    )
+        .prop_map(|(distinct, items, where_clause, limit)| Query {
+            distinct,
+            select: items
+                .into_iter()
+                .map(|(expr, alias)| SelectItem::Expr { expr, alias })
+                .collect(),
+            from: "component_runs".into(),
+            where_clause,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: limit.flatten(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// render(parse(render(ast))) is the identity on the AST, modulo
+    /// aggregate usage (not generated here) — every expression form,
+    /// precedence level, and literal survives the text round trip.
+    #[test]
+    fn ast_survives_render_parse_round_trip(q in arb_query()) {
+        let sql = render_query(&q);
+        let parsed = parse(&sql).unwrap_or_else(|e| panic!("{sql}\n{e}"));
+        prop_assert_eq!(parsed, q, "sql was: {}", sql);
+    }
+
+    /// COUNT/SUM/AVG/MIN/MAX render-parse round trip.
+    #[test]
+    fn aggregate_round_trip(
+        func in prop_oneof![
+            Just(AggFunc::Count), Just(AggFunc::Sum), Just(AggFunc::Avg),
+            Just(AggFunc::Min), Just(AggFunc::Max),
+        ],
+        column in arb_column(),
+        star in any::<bool>(),
+    ) {
+        let arg = if star && func == AggFunc::Count {
+            None
+        } else {
+            Some(Box::new(Expr::Column(column)))
+        };
+        let q = Query {
+            distinct: false,
+            select: vec![SelectItem::Expr {
+                expr: Expr::Agg { func, arg },
+                alias: Some("x".into()),
+            }],
+            from: "metrics".into(),
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+        };
+        let sql = render_query(&q);
+        prop_assert_eq!(parse(&sql).unwrap(), q, "sql was: {}", sql);
+    }
+}

@@ -1,0 +1,110 @@
+//! E6: the paper's three-part staleness definition (§3.1), verified
+//! through the live pipeline: 30-day-old dependencies, not-freshest
+//! dependencies, and failing user-defined tests.
+
+use mltrace::core::{Commands, StalenessPolicy, StalenessReason};
+use mltrace::store::MS_PER_DAY;
+use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
+
+fn trained() -> TaxiPipeline {
+    let mut p = TaxiPipeline::new(TaxiConfig::default());
+    let df = p.ingest(1000, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+    p
+}
+
+#[test]
+fn old_dependency_staleness_after_thirty_days() {
+    let mut p = trained();
+    p.ingest_and_serve(200, Incident::None, ServeOptions::default())
+        .unwrap();
+    let cmds = Commands::new(p.ml());
+    // Fresh: nothing stale.
+    let entries = cmds.stale(Some("inference")).unwrap();
+    assert!(entries[0].reasons.is_empty());
+    // 31 days later the same run's dependencies are over the limit.
+    p.clock().advance(31 * MS_PER_DAY);
+    let entries = cmds.stale(Some("inference")).unwrap();
+    assert!(entries[0]
+        .reasons
+        .iter()
+        .any(|r| matches!(r, StalenessReason::OldDependency { age_days, .. } if *age_days > 30.0)));
+}
+
+#[test]
+fn not_freshest_staleness_when_new_model_appears() {
+    let mut p = trained();
+    p.ingest_and_serve(200, Incident::None, ServeOptions::default())
+        .unwrap();
+    // A new featurizer + model are trained *after* the serving run.
+    let df = p.ingest(1000, Incident::None).unwrap();
+    p.train(&df, true).unwrap();
+    // The serving-time featurizer run consumed featurizer.json, which now
+    // has a fresher producer.
+    let store = p.ml().store();
+    let online = store
+        .runs_for_component("featurize_online")
+        .unwrap()
+        .first()
+        .copied()
+        .unwrap();
+    let run = store.run(online).unwrap().unwrap();
+    let reasons = mltrace::core::staleness::evaluate_run(
+        store.as_ref(),
+        &run,
+        &StalenessPolicy::default(),
+        p.ml().now_ms(),
+    )
+    .unwrap();
+    assert!(
+        reasons
+            .iter()
+            .any(|r| matches!(r, StalenessReason::NotFreshest { .. })),
+        "serving run used superseded artifacts: {reasons:?}"
+    );
+}
+
+#[test]
+fn failing_tests_staleness() {
+    let mut p = trained();
+    // A NULL-spiked batch fails the clean component's data test.
+    p.ingest(300, Incident::NullSpike { fraction: 0.5 })
+        .unwrap();
+    let cmds = Commands::new(p.ml());
+    let entries = cmds.stale(Some("clean")).unwrap();
+    assert!(entries[0].reasons.iter().any(
+        |r| matches!(r, StalenessReason::FailingTests { trigger } if trigger == "no_missing")
+    ));
+}
+
+#[test]
+fn policy_is_tunable_per_component() {
+    let mut p = trained();
+    p.ingest_and_serve(200, Incident::None, ServeOptions::default())
+        .unwrap();
+    p.clock().advance(10 * MS_PER_DAY);
+    let store = p.ml().store();
+    let run = store.latest_run("inference").unwrap().unwrap();
+    // Default 30-day policy: fine at 10 days.
+    let default_reasons = mltrace::core::staleness::evaluate_run(
+        store.as_ref(),
+        &run,
+        &StalenessPolicy::default(),
+        p.ml().now_ms(),
+    )
+    .unwrap();
+    assert!(default_reasons
+        .iter()
+        .all(|r| !matches!(r, StalenessReason::OldDependency { .. })));
+    // A 7-day policy flags the same run.
+    let strict = StalenessPolicy {
+        max_dependency_age_ms: 7 * MS_PER_DAY,
+        ..Default::default()
+    };
+    let strict_reasons =
+        mltrace::core::staleness::evaluate_run(store.as_ref(), &run, &strict, p.ml().now_ms())
+            .unwrap();
+    assert!(strict_reasons
+        .iter()
+        .any(|r| matches!(r, StalenessReason::OldDependency { .. })));
+}

@@ -1,0 +1,292 @@
+//! Model-based testing of the storage layer: random operation sequences
+//! are applied both to the real stores (MemoryStore, and WAL-backed with
+//! a mid-sequence crash/reopen) and to a naive reference model; all
+//! observable state must agree afterwards.
+
+use mltrace::store::{
+    ComponentRecord, ComponentRunRecord, IoPointerRecord, MemoryStore, MetricRecord, RunId, Store,
+    WalStore,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The operations the model covers.
+#[derive(Debug, Clone)]
+enum Op {
+    RegisterComponent(u8),
+    LogRun {
+        component: u8,
+        inputs: Vec<u8>,
+        outputs: Vec<u8>,
+    },
+    UpsertPointer(u8),
+    SetFlag(u8, bool),
+    LogMetric {
+        component: u8,
+        metric: u8,
+        value: i16,
+    },
+    DeleteNthRun(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..5).prop_map(Op::RegisterComponent),
+        (
+            0u8..5,
+            prop::collection::vec(0u8..10, 0..3),
+            prop::collection::vec(0u8..10, 0..3)
+        )
+            .prop_map(|(component, inputs, outputs)| Op::LogRun {
+                component,
+                inputs,
+                outputs
+            }),
+        (0u8..10).prop_map(Op::UpsertPointer),
+        (0u8..10, any::<bool>()).prop_map(|(io, f)| Op::SetFlag(io, f)),
+        (0u8..5, 0u8..3, any::<i16>()).prop_map(|(component, metric, value)| Op::LogMetric {
+            component,
+            metric,
+            value
+        }),
+        (0u8..20).prop_map(Op::DeleteNthRun),
+    ]
+}
+
+/// Naive reference model of the store.
+#[derive(Default)]
+struct Model {
+    components: BTreeSet<String>,
+    /// (id, component, inputs, outputs) in log order.
+    runs: Vec<(u64, String, Vec<String>, Vec<String>)>,
+    deleted: BTreeSet<u64>,
+    pointers: BTreeMap<String, bool>, // name → flag
+    metrics: Vec<(String, String, f64)>,
+}
+
+impl Model {
+    fn live_runs(&self) -> Vec<&(u64, String, Vec<String>, Vec<String>)> {
+        self.runs
+            .iter()
+            .filter(|r| !self.deleted.contains(&r.0))
+            .collect()
+    }
+
+    fn producers_of(&self, io: &str) -> Vec<u64> {
+        self.live_runs()
+            .iter()
+            .filter(|(_, _, _, outs)| outs.iter().any(|o| o == io))
+            .map(|r| r.0)
+            .collect()
+    }
+
+    fn consumers_of(&self, io: &str) -> Vec<u64> {
+        self.live_runs()
+            .iter()
+            .filter(|(_, _, ins, _)| ins.iter().any(|i| i == io))
+            .map(|r| r.0)
+            .collect()
+    }
+}
+
+fn apply(store: &dyn Store, model: &mut Model, op: &Op, tick: u64) {
+    match op {
+        Op::RegisterComponent(c) => {
+            let name = format!("comp-{c}");
+            store
+                .register_component(ComponentRecord::named(&name))
+                .unwrap();
+            model.components.insert(name);
+        }
+        Op::LogRun {
+            component,
+            inputs,
+            outputs,
+        } => {
+            let component = format!("comp-{component}");
+            let inputs: Vec<String> = inputs.iter().map(|i| format!("io-{i}")).collect();
+            let outputs: Vec<String> = outputs.iter().map(|o| format!("io-{o}")).collect();
+            let id = store
+                .log_run(ComponentRunRecord {
+                    component: component.clone(),
+                    start_ms: tick,
+                    end_ms: tick + 1,
+                    inputs: inputs.clone(),
+                    outputs: outputs.clone(),
+                    ..Default::default()
+                })
+                .unwrap();
+            model.runs.push((id.0, component, inputs, outputs));
+        }
+        Op::UpsertPointer(io) => {
+            let name = format!("io-{io}");
+            store
+                .upsert_io_pointer(IoPointerRecord::new(&name, tick))
+                .unwrap();
+            model.pointers.entry(name).or_insert(false);
+        }
+        Op::SetFlag(io, flag) => {
+            let name = format!("io-{io}");
+            let result = store.set_flag(&name, *flag);
+            match model.pointers.get_mut(&name) {
+                Some(state) => {
+                    assert!(result.is_ok(), "flag on known pointer");
+                    *state = *flag;
+                }
+                None => assert!(result.is_err(), "flag on unknown pointer must error"),
+            }
+        }
+        Op::LogMetric {
+            component,
+            metric,
+            value,
+        } => {
+            let component = format!("comp-{component}");
+            let metric = format!("metric-{metric}");
+            store
+                .log_metric(MetricRecord {
+                    component: component.clone(),
+                    run_id: None,
+                    name: metric.clone(),
+                    value: f64::from(*value),
+                    ts_ms: tick,
+                })
+                .unwrap();
+            model.metrics.push((component, metric, f64::from(*value)));
+        }
+        Op::DeleteNthRun(n) => {
+            let live: Vec<u64> = model
+                .runs
+                .iter()
+                .filter(|r| !model.deleted.contains(&r.0))
+                .map(|r| r.0)
+                .collect();
+            if live.is_empty() {
+                return;
+            }
+            let victim = live[*n as usize % live.len()];
+            let removed = store.delete_runs(&[RunId(victim)]).unwrap();
+            assert_eq!(removed, 1);
+            model.deleted.insert(victim);
+        }
+    }
+}
+
+fn check_agreement(store: &dyn Store, model: &Model) {
+    // Run counts and per-run contents.
+    let live = model.live_runs();
+    assert_eq!(store.stats().unwrap().runs, live.len());
+    for (id, component, inputs, outputs) in &live {
+        let run = store.run(RunId(*id)).unwrap().expect("live run present");
+        assert_eq!(&run.component, component);
+        assert_eq!(&run.inputs, inputs);
+        assert_eq!(&run.outputs, outputs);
+    }
+    for id in &model.deleted {
+        assert!(store.run(RunId(*id)).unwrap().is_none());
+    }
+    // Producer/consumer indexes.
+    for io in 0..10u8 {
+        let name = format!("io-{io}");
+        let got: Vec<u64> = store
+            .producers_of(&name)
+            .unwrap()
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        assert_eq!(got, model.producers_of(&name), "producers of {name}");
+        let got: Vec<u64> = store
+            .consumers_of(&name)
+            .unwrap()
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        assert_eq!(got, model.consumers_of(&name), "consumers of {name}");
+    }
+    // Flags.
+    let expected_flagged: Vec<String> = model
+        .pointers
+        .iter()
+        .filter(|(_, &f)| f)
+        .map(|(n, _)| n.clone())
+        .collect();
+    assert_eq!(store.flagged().unwrap(), expected_flagged);
+    // Metrics per (component, name) series.
+    for c in 0..5u8 {
+        let component = format!("comp-{c}");
+        for m in 0..3u8 {
+            let metric = format!("metric-{m}");
+            let got: Vec<f64> = store
+                .metrics(&component, &metric)
+                .unwrap()
+                .iter()
+                .map(|p| p.value)
+                .collect();
+            let expected: Vec<f64> = model
+                .metrics
+                .iter()
+                .filter(|(mc, mm, _)| mc == &component && mm == &metric)
+                .map(|(_, _, v)| *v)
+                .collect();
+            assert_eq!(got, expected, "{component}/{metric}");
+        }
+    }
+    // Per-component run lists are ascending and complete.
+    for c in 0..5u8 {
+        let component = format!("comp-{c}");
+        let got: Vec<u64> = store
+            .runs_for_component(&component)
+            .unwrap()
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        let expected: Vec<u64> = live
+            .iter()
+            .filter(|(_, rc, _, _)| rc == &component)
+            .map(|r| r.0)
+            .collect();
+        assert_eq!(got, expected, "runs of {component}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MemoryStore agrees with the reference model under arbitrary op
+    /// sequences.
+    #[test]
+    fn memory_store_matches_model(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let store = MemoryStore::new();
+        let mut model = Model::default();
+        for (tick, op) in ops.iter().enumerate() {
+            apply(&store, &mut model, op, tick as u64);
+        }
+        check_agreement(&store, &model);
+    }
+
+    /// The WAL store agrees too — including across a crash/reopen placed
+    /// mid-sequence (durability of every op class).
+    #[test]
+    fn wal_store_survives_reopen_mid_sequence(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        cut in 0usize..40,
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("model.wal");
+        let mut model = Model::default();
+        let cut = cut.min(ops.len());
+        {
+            let store = WalStore::open(&path).unwrap();
+            for (tick, op) in ops[..cut].iter().enumerate() {
+                apply(&store, &mut model, op, tick as u64);
+            }
+            store.sync().unwrap();
+            // Drop without any graceful shutdown beyond sync.
+        }
+        let store = WalStore::open(&path).unwrap();
+        for (tick, op) in ops[cut..].iter().enumerate() {
+            apply(&store, &mut model, op, (cut + tick) as u64);
+        }
+        check_agreement(&store, &model);
+    }
+}
