@@ -1,0 +1,87 @@
+//! E1 (concurrency axis) — multi-threaded ingest on the sharded store.
+//!
+//! The §3.4 scale scenario's Ω(1 million) nodes/day arrive from many
+//! pipeline processes at once; this bench measures how ingest throughput
+//! scales with writer threads, scalar vs. batched, and what each WAL
+//! [`DurabilityPolicy`] costs under concurrent writers.
+//!
+//! Note: thread-scaling numbers are only meaningful on multi-core hosts;
+//! on a single-vCPU machine the threaded variants measure contention
+//! overhead, not parallel speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mltrace_bench::ingest_threads;
+use mltrace_store::{DurabilityPolicy, MemoryStore, WalStore};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const TOTAL: u64 = 40_000;
+
+fn memory_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/ingest_concurrency");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TOTAL));
+    for &threads in &[1u64, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("scalar", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let store = MemoryStore::new();
+                black_box(ingest_threads(&store, t, TOTAL, 1))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batch1k", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let store = MemoryStore::new();
+                black_box(ingest_threads(&store, t, TOTAL, 1_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn wal_policy_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/ingest_wal_policy");
+    group.sample_size(10);
+    // Scalar appends so the flush cadence is the variable under test
+    // (batched appends already amortize the flush inside `append_all`).
+    const WAL_TOTAL: u64 = 16_000;
+    group.throughput(Throughput::Elements(WAL_TOTAL));
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let policies = [
+        ("every_event", DurabilityPolicy::EveryEvent),
+        ("batch256", DurabilityPolicy::Batch(256)),
+        ("interval5ms", DurabilityPolicy::Interval(5)),
+        ("on_sync", DurabilityPolicy::OnSync),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(BenchmarkId::new("4-thread", name), |b| {
+            b.iter(|| {
+                let path = std::env::temp_dir().join(format!(
+                    "mltrace-bench-walpolicy-{}-{}.jsonl",
+                    std::process::id(),
+                    SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                let _ = std::fs::remove_file(&path);
+                let store = WalStore::open_with(&path, policy).unwrap();
+                let runs = ingest_threads(&store, 4, WAL_TOTAL, 1);
+                store.sync().unwrap();
+                drop(store);
+                let _ = std::fs::remove_file(&path);
+                black_box(runs)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = memory_concurrency, wal_policy_concurrency
+}
+criterion_main!(benches);

@@ -6,12 +6,17 @@
 //! indexes live, (b) graph reconstruction over large logs, (c) point
 //! queries after a million-node day.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use mltrace_bench::{prediction_record, scale_store};
 use mltrace_core::build_graph;
 use mltrace_provenance::{trace_output, TraceOptions};
-use mltrace_store::{MemoryStore, Store};
+use mltrace_store::{ComponentRunRecord, DurabilityPolicy, MemoryStore, Store, WalStore};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn prebuilt(n: usize) -> Vec<ComponentRunRecord> {
+    (0..n as u64).map(prediction_record).collect()
+}
 
 fn ingest_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("E1/ingest");
@@ -26,7 +31,106 @@ fn ingest_throughput(c: &mut Criterion) {
                 black_box(store.stats().unwrap().runs)
             });
         });
+        // Prebuilt-record variants isolate the store's lock/index path
+        // from record construction, making scalar vs. batched a fair
+        // comparison of the ingest APIs themselves.
+        group.bench_with_input(
+            BenchmarkId::new("log_run_prebuilt", batch),
+            &batch,
+            |b, &n| {
+                b.iter_batched(
+                    || prebuilt(n),
+                    |records| {
+                        let store = MemoryStore::new();
+                        for rec in records {
+                            store.log_run(rec).unwrap();
+                        }
+                        black_box(store.stats().unwrap().runs)
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("log_runs_batched", batch),
+            &batch,
+            |b, &n| {
+                b.iter_batched(
+                    || prebuilt(n),
+                    |records| {
+                        let store = MemoryStore::new();
+                        black_box(store.log_runs(records).unwrap().len())
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
     }
+    group.finish();
+}
+
+/// A WAL store on a unique temp file, removed (log + any artifacts of the
+/// run) when the guard drops — which `iter_batched` does outside the
+/// timed region.
+struct TempWal {
+    store: WalStore,
+    path: std::path::PathBuf,
+}
+
+impl TempWal {
+    fn new(policy: DurabilityPolicy) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "mltrace-bench-ingest-{}-{}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&path);
+        let store = WalStore::open_with(&path, policy).expect("open wal");
+        TempWal { store, path }
+    }
+}
+
+impl Drop for TempWal {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn wal_ingest_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/ingest_wal");
+    group.sample_size(10);
+    let n = 5_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    // Per-event flush (the pre-group-commit behavior), scalar appends.
+    group.bench_function("log_run_every_event", |b| {
+        b.iter_batched(
+            || (TempWal::new(DurabilityPolicy::EveryEvent), prebuilt(n)),
+            |(wal, records)| {
+                for rec in records {
+                    wal.store.log_run(rec).unwrap();
+                }
+                wal.store.sync().unwrap();
+                wal
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    // Group commit + batched appends: one buffered write per 1k events,
+    // one fsync at the end.
+    group.bench_function("log_runs_group_commit", |b| {
+        b.iter_batched(
+            || (TempWal::new(DurabilityPolicy::OnSync), prebuilt(n)),
+            |(wal, records)| {
+                for chunk in records.chunks(1_000) {
+                    wal.store.log_runs(chunk.to_vec()).unwrap();
+                }
+                wal.store.sync().unwrap();
+                wal
+            },
+            BatchSize::PerIteration,
+        );
+    });
     group.finish();
 }
 
@@ -87,6 +191,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = ingest_throughput, graph_reconstruction, point_queries_at_scale
+    targets = ingest_throughput, wal_ingest_throughput, graph_reconstruction, point_queries_at_scale
 }
 criterion_main!(benches);

@@ -63,6 +63,40 @@ pub fn prediction_record(i: u64) -> ComponentRunRecord {
     }
 }
 
+/// Drive `total` §3.4 prediction records through `store` from `threads`
+/// writer threads (scoped, joined before returning). `batch <= 1` logs
+/// through scalar [`Store::log_run`]; larger values send chunks of
+/// `batch` records through [`Store::log_runs`]. Returns the store's run
+/// count afterwards.
+pub fn ingest_threads(store: &dyn Store, threads: u64, total: u64, batch: usize) -> usize {
+    let per_thread = total / threads;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let lo = t * per_thread;
+                let hi = lo + per_thread;
+                if batch <= 1 {
+                    for i in lo..hi {
+                        store.log_run(prediction_record(i)).unwrap();
+                    }
+                } else {
+                    let mut buf = Vec::with_capacity(batch);
+                    for i in lo..hi {
+                        buf.push(prediction_record(i));
+                        if buf.len() == batch {
+                            store.log_runs(std::mem::take(&mut buf)).unwrap();
+                        }
+                    }
+                    if !buf.is_empty() {
+                        store.log_runs(buf).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    store.stats().unwrap().runs
+}
+
 /// Deterministic pseudo-uniform sample in [0, 1).
 pub fn uniform(n: usize, seed: u64) -> Vec<f64> {
     let mut state = seed | 1;
@@ -86,6 +120,17 @@ mod tests {
         assert_eq!(store.stats().unwrap().runs, 109);
         assert_eq!(outputs.len(), 100);
         assert_eq!(store.producers_of("pred-50").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ingest_threads_logs_everything() {
+        let store = MemoryStore::new();
+        assert_eq!(ingest_threads(&store, 2, 100, 1), 100);
+        let store = MemoryStore::new();
+        assert_eq!(ingest_threads(&store, 4, 100, 10), 100);
+        let ids = store.run_ids().unwrap();
+        assert_eq!(ids.len(), 100);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

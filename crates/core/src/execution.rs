@@ -15,10 +15,11 @@
 
 use crate::component::{ComponentDef, ComponentRegistry};
 use crate::error::{CoreError, Result};
-use crate::trigger::{log_trigger_metrics, outcome_to_record, Phase, TriggerContext, TriggerSpec};
+use crate::trigger::{outcome_to_record, Phase, TriggerContext, TriggerSpec};
 use mltrace_store::{
     hash::content_hash, ArtifactStore, Clock, ComponentRunRecord, IoPointerRecord, MemoryStore,
-    MetricRecord, RunId, RunStatus, Store, SystemClock, TriggerOutcomeRecord, Value, WalStore,
+    MetricRecord, RunBundle, RunId, RunStatus, Store, SystemClock, TriggerOutcomeRecord, Value,
+    WalStore,
 };
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -463,18 +464,25 @@ impl Mltrace {
             (Ok(_), false) => RunStatus::Success,
         };
 
-        // Step 6: upsert pointers, log the ComponentRun, flush metrics.
+        // Step 6: log pointers, the ComponentRun, and its metrics (body
+        // metrics plus trigger metrics) as one store transaction — at the
+        // paper's §3.4 scale the difference between one locked call and
+        // ~2+F of them is the ingest bottleneck.
         let artifact_map: BTreeMap<&str, &str> = artifact_ids
             .iter()
             .map(|(n, a)| (n.as_str(), a.as_str()))
             .collect();
-        for io in inputs.iter().chain(outputs.iter()) {
-            let mut rec = IoPointerRecord::new(io.clone(), start_ms);
-            if let Some(&aid) = artifact_map.get(io.as_str()) {
-                rec.artifact = Some(aid.to_owned());
-            }
-            self.store.upsert_io_pointer(rec)?;
-        }
+        let pointers: Vec<IoPointerRecord> = inputs
+            .iter()
+            .chain(outputs.iter())
+            .map(|io| {
+                let mut rec = IoPointerRecord::new(io.clone(), start_ms);
+                if let Some(&aid) = artifact_map.get(io.as_str()) {
+                    rec.artifact = Some(aid.to_owned());
+                }
+                rec
+            })
+            .collect();
         if let Err(msg) = &body_result {
             metadata.insert("error".to_owned(), Value::from(msg.clone()));
         }
@@ -483,36 +491,35 @@ impl Mltrace {
             .filter(|t| !t.passed)
             .map(|t| t.trigger.clone())
             .collect();
-        let run_id = self.store.log_run(ComponentRunRecord {
-            id: RunId(0),
-            component: component.to_owned(),
-            start_ms,
-            end_ms,
-            inputs,
-            outputs,
-            code_hash,
-            notes: spec.notes,
-            status,
-            dependencies,
-            triggers: trigger_records,
-            metadata,
-        })?;
-        for (name, value) in &metrics {
-            self.store.log_metric(MetricRecord {
+        let metric_points: Vec<MetricRecord> = metrics
+            .iter()
+            .chain(trigger_metrics.iter())
+            .map(|(name, value)| MetricRecord {
                 component: component.to_owned(),
-                run_id: Some(run_id),
+                run_id: None, // stamped with the assigned id by the store
                 name: name.clone(),
                 value: *value,
                 ts_ms: end_ms,
-            })?;
-        }
-        log_trigger_metrics(
-            self.store.as_ref(),
-            component,
-            Some(run_id),
-            end_ms,
-            &trigger_metrics,
-        );
+            })
+            .collect();
+        let run_id = self.store.log_run_bundle(RunBundle {
+            run: ComponentRunRecord {
+                id: RunId(0),
+                component: component.to_owned(),
+                start_ms,
+                end_ms,
+                inputs,
+                outputs,
+                code_hash,
+                notes: spec.notes,
+                status,
+                dependencies,
+                triggers: trigger_records,
+                metadata,
+            },
+            pointers,
+            metrics: metric_points,
+        })?;
 
         match body_result {
             Ok(value) => Ok(RunReport {

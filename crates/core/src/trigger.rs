@@ -9,7 +9,7 @@
 //! asynchronous (the paper's `@asynchronous` decorator): the execution
 //! layer then runs them on worker threads overlapping the component body.
 
-use mltrace_store::{MetricRecord, RunId, Store, TriggerOutcomeRecord, Value};
+use mltrace_store::{RunId, Store, TriggerOutcomeRecord, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -237,29 +237,10 @@ pub(crate) fn outcome_to_record(
     )
 }
 
-/// Append metric points produced by a trigger to the store.
-pub(crate) fn log_trigger_metrics(
-    store: &dyn Store,
-    component: &str,
-    run_id: Option<RunId>,
-    now_ms: u64,
-    metrics: &[(String, f64)],
-) {
-    for (name, value) in metrics {
-        let _ = store.log_metric(MetricRecord {
-            component: component.to_owned(),
-            run_id,
-            name: name.clone(),
-            value: *value,
-            ts_ms: now_ms,
-        });
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mltrace_store::MemoryStore;
+    use mltrace_store::{MemoryStore, MetricRecord};
 
     #[test]
     fn outcome_builders() {

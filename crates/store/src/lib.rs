@@ -8,7 +8,12 @@
 //! compaction (§5.3), and forward-trace GDPR deletion (§5.3).
 //!
 //! Entry points:
-//! * [`MemoryStore`] / [`WalStore`] — [`Store`] implementations.
+//! * [`MemoryStore`] / [`WalStore`] — [`Store`] implementations. The
+//!   memory store is lock-sharded for concurrent ingest; the WAL store
+//!   adds group commit with a configurable [`DurabilityPolicy`] (see the
+//!   [`wal`] module docs for the durability/throughput trade-off table).
+//! * [`Store::log_runs`] / [`Store::log_run_bundle`] — batched ingest
+//!   APIs for the paper's §3.4 million-node/day scale scenario.
 //! * [`ArtifactStore`] — chunk-deduplicating payload storage.
 //! * [`retention::compact_before`], [`deletion::delete_derived`] —
 //!   maintenance operations over any [`Store`].
@@ -38,6 +43,6 @@ pub use record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricAggregate,
     MetricRecord, PointerType, RunId, RunStatus, TriggerOutcomeRecord,
 };
-pub use store::{Store, StoreStats};
+pub use store::{RunBundle, Store, StoreStats};
 pub use value::Value;
-pub use wal::WalStore;
+pub use wal::{DurabilityPolicy, WalStore};

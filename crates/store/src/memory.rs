@@ -2,55 +2,163 @@
 //! paper's execution layer needs at runtime (producer/consumer indexes for
 //! dependency inference, per-component run lists for history queries).
 //!
-//! All state lives behind a single `parking_lot::RwLock`; reads (the hot
-//! path for queries) take the shared lock, writes the exclusive lock.
+//! # Sharded locking
+//!
+//! The paper's §3.4 scale scenario adds Ω(1 million) IOPointer and
+//! ComponentRun nodes per day; a single global lock would serialize every
+//! writer thread on the ingest path. State is therefore split into
+//! independently-locked regions:
+//!
+//! * run records are sharded by run id (`id % SHARD_COUNT`),
+//! * the per-component run lists and the producer/consumer indexes are
+//!   sharded by name hash,
+//! * components, I/O pointers, metrics, and summaries each sit behind
+//!   their own per-table lock,
+//! * run ids come from a lock-free atomic counter, so [`Store::log_run`]
+//!   never takes a global exclusive lock and N writer threads scale.
+//!
+//! Reads (the hot path for queries) take the shared lock of exactly the
+//! shard they touch. Cross-shard reads (e.g. [`Store::run_ids`],
+//! [`Store::stats`]) visit shards one at a time and therefore observe a
+//! near-point-in-time snapshot, which is all the query layer needs.
+//!
+//! The batched [`Store::log_runs`] override additionally groups index
+//! updates per shard, taking each shard lock once per batch instead of
+//! once per record, and avoids the per-record key clones of the scalar
+//! path.
 
 use crate::error::{Result, StoreError};
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
-use crate::store::{Store, StoreStats};
+use crate::store::{RunBundle, Store, StoreStats};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-#[derive(Default)]
-struct Inner {
-    components: BTreeMap<String, ComponentRecord>,
-    runs: HashMap<u64, ComponentRunRecord>,
-    /// component name → run ids ascending by start time
-    runs_by_component: HashMap<String, Vec<RunId>>,
-    /// all live run ids, ascending (ids are assigned monotonically and runs
-    /// are logged at completion, so insertion order == id order)
-    run_order: Vec<RunId>,
-    io_pointers: BTreeMap<String, IoPointerRecord>,
-    /// io name → producing runs ascending
-    producers: HashMap<String, Vec<RunId>>,
-    /// io name → consuming runs ascending
-    consumers: HashMap<String, Vec<RunId>>,
-    /// (component, metric) → points ascending by ts
-    metrics: HashMap<(String, String), Vec<MetricRecord>>,
-    /// component → ordered metric names
-    metric_names: HashMap<String, Vec<String>>,
-    /// component → compaction summaries ascending by window start
-    summaries: HashMap<String, Vec<CompactionSummary>>,
-    next_run_id: u64,
-    runs_removed: u64,
+/// Number of lock shards for runs and name-keyed indexes. A power of two
+/// so shard selection is a mask; 16 is comfortably above the writer
+/// parallelism an embedded observability store sees.
+const SHARD_COUNT: usize = 16;
+
+/// Shard index for a run id.
+#[inline]
+fn run_shard(id: u64) -> usize {
+    (id as usize) & (SHARD_COUNT - 1)
 }
 
-/// In-memory store. Cheap to create; share via `Arc` for concurrent use.
+/// Shard index for a name (component or I/O pointer), FNV-1a.
+#[inline]
+fn name_shard(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) & (SHARD_COUNT - 1)
+}
+
+/// Insert `id` into an ascending id list, deduplicating. The common case
+/// (ids arrive in order) is an O(1) append; concurrent writers that lose
+/// the race insert at the sorted position instead.
+fn insert_sorted(list: &mut Vec<RunId>, id: RunId) {
+    match list.last() {
+        None => list.push(id),
+        Some(&last) if last < id => list.push(id),
+        Some(&last) if last == id => {}
+        _ => {
+            let pos = list.partition_point(|&r| r < id);
+            if list.get(pos).copied() != Some(id) {
+                list.insert(pos, id);
+            }
+        }
+    }
+}
+
+/// Metric series and the per-component name directory, kept under one
+/// lock so the two can never disagree.
 #[derive(Default)]
+struct MetricsTable {
+    /// (component, metric) → points ascending by ts
+    series: HashMap<(String, String), Vec<MetricRecord>>,
+    /// component → ordered metric names
+    names: HashMap<String, Vec<String>>,
+}
+
+impl MetricsTable {
+    fn log(&mut self, m: MetricRecord) {
+        let names = self.names.entry(m.component.clone()).or_default();
+        if let Err(pos) = names.binary_search(&m.name) {
+            names.insert(pos, m.name.clone());
+        }
+        let series = self
+            .series
+            .entry((m.component.clone(), m.name.clone()))
+            .or_default();
+        // Points normally arrive in time order; tolerate stragglers.
+        match series.last() {
+            Some(last) if last.ts_ms > m.ts_ms => {
+                let pos = series.partition_point(|p| p.ts_ms <= m.ts_ms);
+                series.insert(pos, m);
+            }
+            _ => series.push(m),
+        }
+    }
+}
+
+type IdIndexShard = RwLock<HashMap<String, Vec<RunId>>>;
+
+/// In-memory store. Cheap to create; share via `Arc` (or borrow across
+/// scoped threads) for concurrent use.
 pub struct MemoryStore {
-    inner: RwLock<Inner>,
+    /// Next run id to assign. Pre-allocated atomically so `log_run` and
+    /// `log_runs` never take a global exclusive lock.
+    next_run_id: AtomicU64,
+    runs_removed: AtomicU64,
+    components: RwLock<BTreeMap<String, ComponentRecord>>,
+    /// Run records, sharded by `id % SHARD_COUNT`.
+    run_shards: Box<[RwLock<HashMap<u64, ComponentRunRecord>>]>,
+    /// component name → run ids ascending, sharded by component hash.
+    by_component: Box<[IdIndexShard]>,
+    /// io name → producing runs ascending, sharded by io hash.
+    producers: Box<[IdIndexShard]>,
+    /// io name → consuming runs ascending, sharded by io hash.
+    consumers: Box<[IdIndexShard]>,
+    io_pointers: RwLock<BTreeMap<String, IoPointerRecord>>,
+    metrics: RwLock<MetricsTable>,
+    /// component → compaction summaries ascending by window start
+    summaries: RwLock<HashMap<String, Vec<CompactionSummary>>>,
+}
+
+fn shard_vec<T: Default>() -> Box<[RwLock<T>]> {
+    (0..SHARD_COUNT)
+        .map(|_| RwLock::new(T::default()))
+        .collect()
+}
+
+impl Default for MemoryStore {
+    /// Same as [`MemoryStore::new`]. (A derived `Default` would leave
+    /// `next_run_id` at zero and hand out `RunId(0)`, diverging from a
+    /// `new()`-constructed store whose first id is `RunId(1)`.)
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemoryStore {
     /// Create an empty store.
     pub fn new() -> Self {
         MemoryStore {
-            inner: RwLock::new(Inner {
-                next_run_id: 1,
-                ..Default::default()
-            }),
+            next_run_id: AtomicU64::new(1),
+            runs_removed: AtomicU64::new(0),
+            components: RwLock::new(BTreeMap::new()),
+            run_shards: shard_vec(),
+            by_component: shard_vec(),
+            producers: shard_vec(),
+            consumers: shard_vec(),
+            io_pointers: RwLock::new(BTreeMap::new()),
+            metrics: RwLock::new(MetricsTable::default()),
+            summaries: RwLock::new(HashMap::new()),
         }
     }
 
@@ -58,35 +166,76 @@ impl MemoryStore {
     /// keeps `next_run_id` ahead of every replayed id.
     pub(crate) fn restore_run(&self, run: ComponentRunRecord) -> Result<()> {
         run.validate().map_err(StoreError::InvalidRecord)?;
-        let mut g = self.inner.write();
         let id = run.id;
-        if g.runs.contains_key(&id.0) {
+        if self.run_shards[run_shard(id.0)].read().contains_key(&id.0) {
             return Err(StoreError::AlreadyExists(format!("{id}")));
         }
-        g.next_run_id = g.next_run_id.max(id.0 + 1);
-        Self::index_run(&mut g, id, &run);
-        g.runs.insert(id.0, run);
+        self.next_run_id.fetch_max(id.0 + 1, Ordering::Relaxed);
+        self.index_run(id, &run.component, &run.inputs, &run.outputs);
+        self.run_shards[run_shard(id.0)].write().insert(id.0, run);
         Ok(())
     }
 
-    fn index_run(g: &mut Inner, id: RunId, run: &ComponentRunRecord) {
-        g.runs_by_component
-            .entry(run.component.clone())
-            .or_default()
-            .push(id);
-        g.run_order.push(id);
-        // A run may legitimately list the same pointer twice (e.g. a file
-        // read in two roles); index it once per run either way.
-        for io in &run.outputs {
-            let list = g.producers.entry(io.clone()).or_default();
-            if list.last() != Some(&id) {
-                list.push(id);
+    /// Add one run to the per-component list and the producer/consumer
+    /// indexes. Each shard lock is taken and released independently.
+    fn index_run(&self, id: RunId, component: &str, inputs: &[String], outputs: &[String]) {
+        {
+            let mut g = self.by_component[name_shard(component)].write();
+            match g.get_mut(component) {
+                Some(list) => insert_sorted(list, id),
+                None => {
+                    g.insert(component.to_owned(), vec![id]);
+                }
             }
         }
-        for io in &run.inputs {
-            let list = g.consumers.entry(io.clone()).or_default();
-            if list.last() != Some(&id) {
-                list.push(id);
+        // A run may legitimately list the same pointer twice (e.g. a file
+        // read in two roles); `insert_sorted` indexes it once per run.
+        for io in outputs {
+            let mut g = self.producers[name_shard(io)].write();
+            match g.get_mut(io.as_str()) {
+                Some(list) => insert_sorted(list, id),
+                None => {
+                    g.insert(io.clone(), vec![id]);
+                }
+            }
+        }
+        for io in inputs {
+            let mut g = self.consumers[name_shard(io)].write();
+            match g.get_mut(io.as_str()) {
+                Some(list) => insert_sorted(list, id),
+                None => {
+                    g.insert(io.clone(), vec![id]);
+                }
+            }
+        }
+    }
+
+    /// Apply pre-grouped index updates, taking each shard lock once.
+    /// `groups` maps a name to the ascending ids to merge into its list.
+    fn apply_index_groups(shards: &[IdIndexShard], groups: HashMap<&str, Vec<RunId>>) {
+        let mut per_shard: Vec<Vec<(&str, Vec<RunId>)>> =
+            (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+        for (name, ids) in groups {
+            per_shard[name_shard(name)].push((name, ids));
+        }
+        for (si, entries) in per_shard.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let mut g = shards[si].write();
+            for (name, ids) in entries {
+                match g.get_mut(name) {
+                    Some(list) => {
+                        list.reserve(ids.len());
+                        for id in ids {
+                            insert_sorted(list, id);
+                        }
+                    }
+                    None => {
+                        // Fresh key: the group is already ascending.
+                        g.insert(name.to_owned(), ids);
+                    }
+                }
             }
         }
     }
@@ -97,108 +246,170 @@ impl Store for MemoryStore {
         if rec.name.is_empty() {
             return Err(StoreError::InvalidRecord("component name is empty".into()));
         }
-        self.inner.write().components.insert(rec.name.clone(), rec);
+        self.components.write().insert(rec.name.clone(), rec);
         Ok(())
     }
 
     fn component(&self, name: &str) -> Result<Option<ComponentRecord>> {
-        Ok(self.inner.read().components.get(name).cloned())
+        Ok(self.components.read().get(name).cloned())
     }
 
     fn components(&self) -> Result<Vec<ComponentRecord>> {
-        Ok(self.inner.read().components.values().cloned().collect())
+        Ok(self.components.read().values().cloned().collect())
     }
 
     fn log_run(&self, mut run: ComponentRunRecord) -> Result<RunId> {
         run.validate().map_err(StoreError::InvalidRecord)?;
-        let mut g = self.inner.write();
-        let id = RunId(g.next_run_id);
-        g.next_run_id += 1;
+        let id = RunId(self.next_run_id.fetch_add(1, Ordering::Relaxed));
         run.id = id;
-        Self::index_run(&mut g, id, &run);
-        g.runs.insert(id.0, run);
+        self.index_run(id, &run.component, &run.inputs, &run.outputs);
+        self.run_shards[run_shard(id.0)].write().insert(id.0, run);
+        Ok(id)
+    }
+
+    fn log_runs(&self, runs: Vec<ComponentRunRecord>) -> Result<Vec<RunId>> {
+        if runs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Validate everything before assigning ids so a bad record logs
+        // nothing (and burns no ids).
+        for run in &runs {
+            run.validate().map_err(StoreError::InvalidRecord)?;
+        }
+        let base = self
+            .next_run_id
+            .fetch_add(runs.len() as u64, Ordering::Relaxed);
+        // Group index updates locally (borrowed keys, no per-record
+        // clones), then merge each group under one shard-lock acquisition.
+        {
+            let mut comp_groups: HashMap<&str, Vec<RunId>> = HashMap::new();
+            let mut prod_groups: HashMap<&str, Vec<RunId>> = HashMap::new();
+            let mut cons_groups: HashMap<&str, Vec<RunId>> = HashMap::new();
+            for (i, run) in runs.iter().enumerate() {
+                let id = RunId(base + i as u64);
+                comp_groups
+                    .entry(run.component.as_str())
+                    .or_default()
+                    .push(id);
+                for io in &run.outputs {
+                    let list = prod_groups.entry(io.as_str()).or_default();
+                    if list.last() != Some(&id) {
+                        list.push(id);
+                    }
+                }
+                for io in &run.inputs {
+                    let list = cons_groups.entry(io.as_str()).or_default();
+                    if list.last() != Some(&id) {
+                        list.push(id);
+                    }
+                }
+            }
+            Self::apply_index_groups(&self.by_component, comp_groups);
+            Self::apply_index_groups(&self.producers, prod_groups);
+            Self::apply_index_groups(&self.consumers, cons_groups);
+        }
+        // Move the records into their shards, one lock per touched shard.
+        let mut ids = Vec::with_capacity(runs.len());
+        let mut per_shard: Vec<Vec<ComponentRunRecord>> =
+            (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+        for (i, mut run) in runs.into_iter().enumerate() {
+            let id = RunId(base + i as u64);
+            run.id = id;
+            ids.push(id);
+            per_shard[run_shard(id.0)].push(run);
+        }
+        for (si, records) in per_shard.into_iter().enumerate() {
+            if records.is_empty() {
+                continue;
+            }
+            let mut g = self.run_shards[si].write();
+            g.reserve(records.len());
+            for run in records {
+                g.insert(run.id.0, run);
+            }
+        }
+        Ok(ids)
+    }
+
+    fn log_run_bundle(&self, bundle: RunBundle) -> Result<RunId> {
+        {
+            let mut g = self.io_pointers.write();
+            for rec in bundle.pointers {
+                upsert_pointer(&mut g, rec)?;
+            }
+        }
+        let id = self.log_run(bundle.run)?;
+        let mut metrics = bundle.metrics;
+        for m in &mut metrics {
+            m.run_id = Some(id);
+        }
+        self.log_metrics(metrics)?;
         Ok(id)
     }
 
     fn run(&self, id: RunId) -> Result<Option<ComponentRunRecord>> {
-        Ok(self.inner.read().runs.get(&id.0).cloned())
+        Ok(self.run_shards[run_shard(id.0)].read().get(&id.0).cloned())
     }
 
     fn runs_for_component(&self, name: &str) -> Result<Vec<RunId>> {
-        Ok(self
-            .inner
+        Ok(self.by_component[name_shard(name)]
             .read()
-            .runs_by_component
             .get(name)
             .cloned()
             .unwrap_or_default())
     }
 
     fn latest_run(&self, name: &str) -> Result<Option<ComponentRunRecord>> {
-        let g = self.inner.read();
-        Ok(g.runs_by_component
+        let last = self.by_component[name_shard(name)]
+            .read()
             .get(name)
-            .and_then(|ids| ids.last())
-            .and_then(|id| g.runs.get(&id.0))
-            .cloned())
+            .and_then(|ids| ids.last().copied());
+        match last {
+            Some(id) => self.run(id),
+            None => Ok(None),
+        }
     }
 
     fn run_ids(&self) -> Result<Vec<RunId>> {
-        Ok(self.inner.read().run_order.clone())
+        let mut ids: Vec<RunId> = Vec::new();
+        for shard in self.run_shards.iter() {
+            ids.extend(shard.read().keys().map(|&k| RunId(k)));
+        }
+        ids.sort_unstable();
+        Ok(ids)
     }
 
     fn upsert_io_pointer(&self, rec: IoPointerRecord) -> Result<()> {
-        if rec.name.is_empty() {
-            return Err(StoreError::InvalidRecord("io pointer name is empty".into()));
-        }
-        let mut g = self.inner.write();
-        match g.io_pointers.get_mut(&rec.name) {
-            Some(existing) => {
-                // Preserve flag and first-seen time; refresh type/artifact.
-                existing.ptype = rec.ptype;
-                if rec.artifact.is_some() {
-                    existing.artifact = rec.artifact;
-                }
-            }
-            None => {
-                g.io_pointers.insert(rec.name.clone(), rec);
-            }
-        }
-        Ok(())
+        upsert_pointer(&mut self.io_pointers.write(), rec)
     }
 
     fn io_pointer(&self, name: &str) -> Result<Option<IoPointerRecord>> {
-        Ok(self.inner.read().io_pointers.get(name).cloned())
+        Ok(self.io_pointers.read().get(name).cloned())
     }
 
     fn io_pointers(&self) -> Result<Vec<IoPointerRecord>> {
-        Ok(self.inner.read().io_pointers.values().cloned().collect())
+        Ok(self.io_pointers.read().values().cloned().collect())
     }
 
     fn producers_of(&self, io: &str) -> Result<Vec<RunId>> {
-        Ok(self
-            .inner
+        Ok(self.producers[name_shard(io)]
             .read()
-            .producers
             .get(io)
             .cloned()
             .unwrap_or_default())
     }
 
     fn consumers_of(&self, io: &str) -> Result<Vec<RunId>> {
-        Ok(self
-            .inner
+        Ok(self.consumers[name_shard(io)]
             .read()
-            .consumers
             .get(io)
             .cloned()
             .unwrap_or_default())
     }
 
     fn set_flag(&self, io: &str, flag: bool) -> Result<bool> {
-        let mut g = self.inner.write();
+        let mut g = self.io_pointers.write();
         let rec = g
-            .io_pointers
             .get_mut(io)
             .ok_or_else(|| StoreError::NotFound(format!("io pointer {io}")))?;
         let prev = rec.flag;
@@ -208,9 +419,8 @@ impl Store for MemoryStore {
 
     fn flagged(&self) -> Result<Vec<String>> {
         Ok(self
-            .inner
-            .read()
             .io_pointers
+            .read()
             .values()
             .filter(|p| p.flag)
             .map(|p| p.name.clone())
@@ -221,29 +431,31 @@ impl Store for MemoryStore {
         if m.name.is_empty() {
             return Err(StoreError::InvalidRecord("metric name is empty".into()));
         }
-        let mut g = self.inner.write();
-        let key = (m.component.clone(), m.name.clone());
-        let names = g.metric_names.entry(m.component.clone()).or_default();
-        if let Err(pos) = names.binary_search(&m.name) {
-            names.insert(pos, m.name.clone());
+        self.metrics.write().log(m);
+        Ok(())
+    }
+
+    fn log_metrics(&self, metrics: Vec<MetricRecord>) -> Result<()> {
+        if metrics.is_empty() {
+            return Ok(());
         }
-        let series = g.metrics.entry(key).or_default();
-        // Points normally arrive in time order; tolerate stragglers.
-        match series.last() {
-            Some(last) if last.ts_ms > m.ts_ms => {
-                let pos = series.partition_point(|p| p.ts_ms <= m.ts_ms);
-                series.insert(pos, m);
+        for m in &metrics {
+            if m.name.is_empty() {
+                return Err(StoreError::InvalidRecord("metric name is empty".into()));
             }
-            _ => series.push(m),
+        }
+        let mut g = self.metrics.write();
+        for m in metrics {
+            g.log(m);
         }
         Ok(())
     }
 
     fn metrics(&self, component: &str, name: &str) -> Result<Vec<MetricRecord>> {
         Ok(self
-            .inner
-            .read()
             .metrics
+            .read()
+            .series
             .get(&(component.to_owned(), name.to_owned()))
             .cloned()
             .unwrap_or_default())
@@ -251,9 +463,9 @@ impl Store for MemoryStore {
 
     fn metric_names(&self, component: &str) -> Result<Vec<String>> {
         Ok(self
-            .inner
+            .metrics
             .read()
-            .metric_names
+            .names
             .get(component)
             .cloned()
             .unwrap_or_default())
@@ -261,7 +473,6 @@ impl Store for MemoryStore {
 
     fn delete_runs(&self, ids: &[RunId]) -> Result<usize> {
         use std::collections::HashSet;
-        let mut g = self.inner.write();
         // Batch the index maintenance: one retain pass per touched list
         // instead of one per victim (bulk deletions — compaction, GDPR —
         // hand in thousands of ids at once).
@@ -270,7 +481,8 @@ impl Store for MemoryStore {
         let mut producer_ios: HashSet<String> = HashSet::new();
         let mut consumer_ios: HashSet<String> = HashSet::new();
         for id in ids {
-            let Some(run) = g.runs.remove(&id.0) else {
+            let run = self.run_shards[run_shard(id.0)].write().remove(&id.0);
+            let Some(run) = run else {
                 continue;
             };
             removed_set.insert(*id);
@@ -282,42 +494,49 @@ impl Store for MemoryStore {
             return Ok(0);
         }
         for component in &components {
-            if let Some(list) = g.runs_by_component.get_mut(component) {
+            if let Some(list) = self.by_component[name_shard(component)]
+                .write()
+                .get_mut(component.as_str())
+            {
                 list.retain(|r| !removed_set.contains(r));
             }
         }
         for io in &producer_ios {
-            if let Some(list) = g.producers.get_mut(io) {
+            if let Some(list) = self.producers[name_shard(io)].write().get_mut(io.as_str()) {
                 list.retain(|r| !removed_set.contains(r));
             }
         }
         for io in &consumer_ios {
-            if let Some(list) = g.consumers.get_mut(io) {
+            if let Some(list) = self.consumers[name_shard(io)].write().get_mut(io.as_str()) {
                 list.retain(|r| !removed_set.contains(r));
             }
         }
-        g.run_order.retain(|r| !removed_set.contains(r));
         let removed = removed_set.len();
-        g.runs_removed += removed as u64;
+        self.runs_removed
+            .fetch_add(removed as u64, Ordering::Relaxed);
         Ok(removed)
     }
 
     fn delete_io_pointers(&self, names: &[String]) -> Result<usize> {
-        let mut g = self.inner.write();
         let mut removed = 0usize;
-        for name in names {
-            if g.io_pointers.remove(name).is_some() {
-                removed += 1;
+        {
+            let mut g = self.io_pointers.write();
+            for name in names {
+                if g.remove(name).is_some() {
+                    removed += 1;
+                }
             }
-            g.producers.remove(name);
-            g.consumers.remove(name);
+        }
+        for name in names {
+            self.producers[name_shard(name)].write().remove(name);
+            self.consumers[name_shard(name)].write().remove(name);
         }
         Ok(removed)
     }
 
     fn put_summary(&self, s: CompactionSummary) -> Result<()> {
-        let mut g = self.inner.write();
-        let list = g.summaries.entry(s.component.clone()).or_default();
+        let mut g = self.summaries.write();
+        let list = g.entry(s.component.clone()).or_default();
         let pos = list.partition_point(|x| x.window_start_ms <= s.window_start_ms);
         list.insert(pos, s);
         Ok(())
@@ -325,25 +544,48 @@ impl Store for MemoryStore {
 
     fn summaries(&self, component: &str) -> Result<Vec<CompactionSummary>> {
         Ok(self
-            .inner
-            .read()
             .summaries
+            .read()
             .get(component)
             .cloned()
             .unwrap_or_default())
     }
 
     fn stats(&self) -> Result<StoreStats> {
-        let g = self.inner.read();
+        let runs = self.run_shards.iter().map(|s| s.read().len()).sum();
+        let metric_points = self.metrics.read().series.values().map(Vec::len).sum();
         Ok(StoreStats {
-            components: g.components.len(),
-            runs: g.runs.len(),
-            io_pointers: g.io_pointers.len(),
-            metric_points: g.metrics.values().map(Vec::len).sum(),
-            summaries: g.summaries.values().map(Vec::len).sum(),
-            runs_removed: g.runs_removed,
+            components: self.components.read().len(),
+            runs,
+            io_pointers: self.io_pointers.read().len(),
+            metric_points,
+            summaries: self.summaries.read().values().map(Vec::len).sum(),
+            runs_removed: self.runs_removed.load(Ordering::Relaxed),
         })
     }
+}
+
+/// Upsert into the pointer table: preserve flag and first-seen time,
+/// refresh type and artifact. Shared by the scalar and bundle paths.
+fn upsert_pointer(
+    table: &mut BTreeMap<String, IoPointerRecord>,
+    rec: IoPointerRecord,
+) -> Result<()> {
+    if rec.name.is_empty() {
+        return Err(StoreError::InvalidRecord("io pointer name is empty".into()));
+    }
+    match table.get_mut(&rec.name) {
+        Some(existing) => {
+            existing.ptype = rec.ptype;
+            if rec.artifact.is_some() {
+                existing.artifact = rec.artifact;
+            }
+        }
+        None => {
+            table.insert(rec.name.clone(), rec);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -406,11 +648,130 @@ mod tests {
     }
 
     #[test]
+    fn default_store_matches_new() {
+        // Regression: a derived Default left next_run_id = 0 and issued
+        // RunId(0), diverging from new()'s RunId(1).
+        let s = MemoryStore::default();
+        let id = s.log_run(run("etl", 100, &[], &[])).unwrap();
+        assert_eq!(id, RunId(1));
+    }
+
+    #[test]
     fn invalid_run_rejected() {
         let s = MemoryStore::new();
         let mut r = run("x", 100, &[], &[]);
         r.end_ms = 50;
         assert!(s.log_run(r).is_err());
+    }
+
+    #[test]
+    fn batch_log_runs_matches_scalar() {
+        let records = vec![
+            run("etl", 100, &[], &["raw.csv"]),
+            run("clean", 200, &["raw.csv"], &["clean.csv", "clean.csv"]),
+            run("etl", 300, &[], &["raw.csv"]),
+            run("infer", 400, &["clean.csv"], &["pred-0"]),
+        ];
+        let scalar = MemoryStore::new();
+        for r in records.clone() {
+            scalar.log_run(r).unwrap();
+        }
+        let batched = MemoryStore::new();
+        let ids = batched.log_runs(records).unwrap();
+        assert_eq!(ids, vec![RunId(1), RunId(2), RunId(3), RunId(4)]);
+        assert_eq!(batched.run_ids().unwrap(), scalar.run_ids().unwrap());
+        for io in ["raw.csv", "clean.csv", "pred-0"] {
+            assert_eq!(
+                batched.producers_of(io).unwrap(),
+                scalar.producers_of(io).unwrap(),
+                "producers of {io}"
+            );
+            assert_eq!(
+                batched.consumers_of(io).unwrap(),
+                scalar.consumers_of(io).unwrap(),
+                "consumers of {io}"
+            );
+        }
+        for c in ["etl", "clean", "infer"] {
+            assert_eq!(
+                batched.runs_for_component(c).unwrap(),
+                scalar.runs_for_component(c).unwrap()
+            );
+        }
+        // Duplicate output within one run indexed once.
+        assert_eq!(batched.producers_of("clean.csv").unwrap(), vec![RunId(2)]);
+        // A fresh scalar log continues above the batch.
+        let next = batched.log_run(run("etl", 500, &[], &[])).unwrap();
+        assert_eq!(next, RunId(5));
+    }
+
+    #[test]
+    fn batch_log_runs_validates_before_logging() {
+        let s = MemoryStore::new();
+        let mut bad = run("x", 100, &[], &[]);
+        bad.end_ms = 50;
+        let err = s.log_runs(vec![run("ok", 1, &[], &["o"]), bad]);
+        assert!(err.is_err());
+        assert_eq!(s.stats().unwrap().runs, 0, "all-or-nothing validation");
+        // Ids were not burned.
+        assert_eq!(s.log_run(run("ok", 1, &[], &[])).unwrap(), RunId(1));
+    }
+
+    #[test]
+    fn bundle_logs_run_pointers_and_stamped_metrics() {
+        let s = MemoryStore::new();
+        let id = s
+            .log_run_bundle(RunBundle {
+                run: run("infer", 100, &["features.csv"], &["pred-1"]),
+                pointers: vec![
+                    IoPointerRecord::new("features.csv", 100),
+                    IoPointerRecord::new("pred-1", 100),
+                ],
+                metrics: vec![MetricRecord {
+                    component: "infer".into(),
+                    run_id: None,
+                    name: "latency_ms".into(),
+                    value: 3.5,
+                    ts_ms: 110,
+                }],
+            })
+            .unwrap();
+        assert_eq!(id, RunId(1));
+        assert!(s.io_pointer("features.csv").unwrap().is_some());
+        let pts = s.metrics("infer", "latency_ms").unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].run_id, Some(id), "bundle stamps the assigned id");
+        assert_eq!(s.producers_of("pred-1").unwrap(), vec![id]);
+    }
+
+    #[test]
+    fn concurrent_scalar_ingest_is_consistent() {
+        let s = MemoryStore::new();
+        let store = &s;
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        store
+                            .log_run(run(
+                                &format!("writer-{t}"),
+                                t * 1000 + i,
+                                &["shared.csv"],
+                                &[],
+                            ))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.stats().unwrap().runs, 200);
+        let ids = s.run_ids().unwrap();
+        assert_eq!(ids.len(), 200);
+        assert_eq!(ids.first(), Some(&RunId(1)));
+        assert_eq!(ids.last(), Some(&RunId(200)));
+        let consumers = s.consumers_of("shared.csv").unwrap();
+        assert_eq!(consumers.len(), 200);
+        assert!(consumers.windows(2).all(|w| w[0] < w[1]), "index ascending");
     }
 
     #[test]
@@ -476,6 +837,31 @@ mod tests {
             .unwrap();
         }
         assert_eq!(s.metric_names("c").unwrap(), vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn batch_log_metrics_matches_scalar() {
+        let points: Vec<MetricRecord> = [(10u64, 1.0), (30, 3.0), (20, 2.0)]
+            .iter()
+            .map(|&(ts, v)| MetricRecord {
+                component: "c".into(),
+                run_id: None,
+                name: "m".into(),
+                value: v,
+                ts_ms: ts,
+            })
+            .collect();
+        let scalar = MemoryStore::new();
+        for p in points.clone() {
+            scalar.log_metric(p).unwrap();
+        }
+        let batched = MemoryStore::new();
+        batched.log_metrics(points).unwrap();
+        assert_eq!(
+            batched.metrics("c", "m").unwrap(),
+            scalar.metrics("c", "m").unwrap()
+        );
+        assert_eq!(batched.metric_names("c").unwrap(), vec!["m"]);
     }
 
     #[test]

@@ -11,6 +11,29 @@ use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
 
+/// One component run plus the I/O pointer upserts and metric points that
+/// belong to it, logged through [`Store::log_run_bundle`] as a single store
+/// transaction.
+///
+/// The execution layer's §3.4 step 6 produces exactly this shape — F
+/// pointer upserts, one ComponentRun, and the run's metric points — and at
+/// the paper's Ω(1 million)-nodes/day scale, issuing them as ~2+F separate
+/// locked store calls is the difference between saturating the hardware
+/// and serializing on the ingest path.
+#[derive(Debug, Clone, Default)]
+pub struct RunBundle {
+    /// The run record to log (its `id` field is ignored; the store assigns
+    /// a fresh [`RunId`], as for [`Store::log_run`]).
+    pub run: ComponentRunRecord,
+    /// I/O pointer upserts for the run's inputs and outputs, applied
+    /// before the run is logged.
+    pub pointers: Vec<IoPointerRecord>,
+    /// Metric points produced by the run (body metrics and trigger
+    /// metrics). The store stamps each point's `run_id` with the assigned
+    /// id before logging it.
+    pub metrics: Vec<MetricRecord>,
+}
+
 /// Counters describing the current contents of a store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -64,6 +87,49 @@ pub trait Store: Send + Sync {
 
     /// All live run ids, ascending.
     fn run_ids(&self) -> Result<Vec<RunId>>;
+
+    // ------------------------------------------------------------------
+    // Batched ingest (the §3.4 scale path)
+    // ------------------------------------------------------------------
+
+    /// Log a batch of runs, returning their assigned ids in order.
+    ///
+    /// Semantically equivalent to calling [`Store::log_run`] once per
+    /// record (the default implementation does exactly that), but
+    /// implementations amortize locking, serialization, and syscalls
+    /// across the batch. If any record fails validation, no record in the
+    /// batch is logged.
+    fn log_runs(&self, runs: Vec<ComponentRunRecord>) -> Result<Vec<RunId>> {
+        runs.into_iter().map(|r| self.log_run(r)).collect()
+    }
+
+    /// Append a batch of metric points. Equivalent to per-point
+    /// [`Store::log_metric`] calls; implementations amortize locking and
+    /// durability work across the batch.
+    fn log_metrics(&self, metrics: Vec<MetricRecord>) -> Result<()> {
+        for m in metrics {
+            self.log_metric(m)?;
+        }
+        Ok(())
+    }
+
+    /// Log one run together with its I/O pointer upserts and metric
+    /// points as a single store transaction (see [`RunBundle`]). Pointer
+    /// upserts are applied first, then the run, then the metrics with
+    /// their `run_id` stamped to the assigned id. Returns the assigned
+    /// run id.
+    fn log_run_bundle(&self, bundle: RunBundle) -> Result<RunId> {
+        for rec in bundle.pointers {
+            self.upsert_io_pointer(rec)?;
+        }
+        let id = self.log_run(bundle.run)?;
+        let mut metrics = bundle.metrics;
+        for m in &mut metrics {
+            m.run_id = Some(id);
+        }
+        self.log_metrics(metrics)?;
+        Ok(id)
+    }
 
     // ------------------------------------------------------------------
     // I/O pointers and the runtime dependency index

@@ -123,9 +123,7 @@ fn render_query(q: &Query) -> String {
         let keys: Vec<String> = q
             .order_by
             .iter()
-            .map(|(e, desc)| {
-                format!("{}{}", render_expr(e), if *desc { " DESC" } else { " ASC" })
-            })
+            .map(|(e, desc)| format!("{}{}", render_expr(e), if *desc { " DESC" } else { " ASC" }))
             .collect();
         out.push_str(&format!(" ORDER BY {}", keys.join(", ")));
     }
@@ -152,7 +150,8 @@ fn arb_literal() -> impl Strategy<Value = Expr> {
         (0i64..1000).prop_map(|i| Expr::Literal(Value::Int(i))),
         // Non-negative: a leading '-' parses as Neg(lit), a distinct AST.
         (0.0f64..100.0)
-            .prop_filter("finite non-integer floats parse cleanly", |f| f.fract() != 0.0)
+            .prop_filter("finite non-integer floats parse cleanly", |f| f.fract()
+                != 0.0)
             .prop_map(|f| Expr::Literal(Value::Float(f))),
         "[a-z ]{0,6}".prop_map(|s| Expr::Literal(Value::Str(s))),
     ]
@@ -187,13 +186,13 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     right: Box::new(r)
                 }),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), "[a-z%_]{0,5}", any::<bool>()).prop_map(
-                |(e, pattern, negated)| Expr::Like {
+            (inner.clone(), "[a-z%_]{0,5}", any::<bool>()).prop_map(|(e, pattern, negated)| {
+                Expr::Like {
                     expr: Box::new(e),
                     pattern,
-                    negated
+                    negated,
                 }
-            ),
+            }),
             (
                 inner.clone(),
                 prop::collection::vec(inner.clone(), 1..3),

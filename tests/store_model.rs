@@ -4,8 +4,8 @@
 //! observable state must agree afterwards.
 
 use mltrace::store::{
-    ComponentRecord, ComponentRunRecord, IoPointerRecord, MemoryStore, MetricRecord, RunId, Store,
-    WalStore,
+    ComponentRecord, ComponentRunRecord, DurabilityPolicy, IoPointerRecord, MemoryStore,
+    MetricRecord, RunId, Store, WalStore,
 };
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
@@ -265,28 +265,37 @@ proptest! {
     }
 
     /// The WAL store agrees too — including across a crash/reopen placed
-    /// mid-sequence (durability of every op class).
+    /// mid-sequence (durability of every op class), under every durability
+    /// policy: `sync()` must remain a strict barrier whether events were
+    /// flushed eagerly or group-committed.
     #[test]
     fn wal_store_survives_reopen_mid_sequence(
         ops in prop::collection::vec(arb_op(), 1..40),
         cut in 0usize..40,
+        policy in prop::sample::select(vec![
+            DurabilityPolicy::EveryEvent,
+            DurabilityPolicy::Batch(4),
+            DurabilityPolicy::Interval(10),
+            DurabilityPolicy::OnSync,
+        ]),
     ) {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("model.wal");
         let mut model = Model::default();
         let cut = cut.min(ops.len());
         {
-            let store = WalStore::open(&path).unwrap();
+            let store = WalStore::open_with(&path, policy).unwrap();
             for (tick, op) in ops[..cut].iter().enumerate() {
                 apply(&store, &mut model, op, tick as u64);
             }
             store.sync().unwrap();
             // Drop without any graceful shutdown beyond sync.
         }
-        let store = WalStore::open(&path).unwrap();
+        let store = WalStore::open_with(&path, policy).unwrap();
         for (tick, op) in ops[cut..].iter().enumerate() {
             apply(&store, &mut model, op, (cut + tick) as u64);
         }
+        store.sync().unwrap();
         check_agreement(&store, &model);
     }
 }
