@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mltrace_core::{ComponentDef, FnTrigger, Mltrace, RunSpec, TriggerOutcome};
 use mltrace_store::Value;
+use mltrace_telemetry::Telemetry;
 use std::hint::black_box;
 
 /// The "user code": a feature computation of fixed cost.
@@ -58,6 +59,42 @@ fn logging_overhead(c: &mut Criterion) {
             .value
         });
     });
+    group.finish();
+}
+
+/// The telemetry record path itself: the self-instrumentation must be far
+/// cheaper than what it measures, or the observer distorts the observed.
+/// Every `Mltrace::run` pays a handful of these operations.
+fn telemetry_record_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12/telemetry");
+
+    group.bench_function("counter_incr_cached_handle", |b| {
+        let tele = Telemetry::new();
+        let counter = tele.counter("bench.counter");
+        b.iter(|| counter.incr());
+    });
+
+    group.bench_function("counter_incr_by_name", |b| {
+        let tele = Telemetry::new();
+        tele.incr("bench.counter"); // pre-create so iters measure lookup, not insert
+        b.iter(|| tele.incr(black_box("bench.counter")));
+    });
+
+    group.bench_function("histogram_record_cached_handle", |b| {
+        let tele = Telemetry::new();
+        let hist = tele.histogram("bench.hist");
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(131);
+            hist.record(black_box(v));
+        });
+    });
+
+    group.bench_function("span_create_and_drop", |b| {
+        let tele = Telemetry::new();
+        b.iter(|| drop(black_box(tele.span("bench.span"))));
+    });
+
     group.finish();
 }
 
@@ -129,6 +166,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = logging_overhead, trigger_scheduling_ablation
+    targets = logging_overhead, telemetry_record_path, trigger_scheduling_ablation
 }
 criterion_main!(benches);

@@ -159,6 +159,7 @@ impl<'a> Commands<'a> {
     /// by DFS with time-travel producer resolution.
     pub fn trace(&mut self, output: &str) -> Result<TraceNode> {
         let ml = self.ml;
+        let _span = ml.telemetry().span("provenance.trace");
         self.cache.refresh(ml.store().as_ref())?;
         trace_output(self.cache.graph(), output, TraceOptions::default())
             .ok_or_else(|| CoreError::UnknownOutput(output.to_owned()))

@@ -21,6 +21,7 @@ use mltrace_store::{
     MetricRecord, RunBundle, RunId, RunStatus, Store, SystemClock, TriggerOutcomeRecord, Value,
     WalStore,
 };
+use mltrace_telemetry::Telemetry;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -166,6 +167,11 @@ pub struct Mltrace {
     clock: Arc<dyn Clock>,
     registry: RwLock<ComponentRegistry>,
     artifact_path: Option<std::path::PathBuf>,
+    /// Engine self-telemetry (§3.2: "logging should not interfere with
+    /// the normal operation of the pipeline" — this registry is how that
+    /// claim gets measured instead of asserted). Shared with the store's
+    /// registry when the store keeps one.
+    telemetry: Telemetry,
 }
 
 fn artifact_snapshot_path(wal: &Path) -> std::path::PathBuf {
@@ -210,20 +216,29 @@ impl Mltrace {
         Ok(())
     }
 
-    /// Assemble from explicit parts.
+    /// Assemble from explicit parts. Adopts the store's telemetry
+    /// registry when it has one, so engine spans and store counters land
+    /// in a single snapshot; otherwise a private registry is created.
     pub fn with_store(store: Arc<dyn Store>, clock: Arc<dyn Clock>) -> Self {
+        let telemetry = store.telemetry().cloned().unwrap_or_default();
         Mltrace {
             store,
             artifacts: Arc::new(ArtifactStore::default()),
             clock,
             registry: RwLock::new(ComponentRegistry::new()),
             artifact_path: None,
+            telemetry,
         }
     }
 
     /// The underlying store.
     pub fn store(&self) -> &Arc<dyn Store> {
         &self.store
+    }
+
+    /// The engine's self-telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The artifact store.
@@ -293,6 +308,11 @@ impl Mltrace {
         body: impl FnOnce(&mut RunContext<'_>) -> std::result::Result<T, String>,
     ) -> Result<RunReport<T>> {
         let def = self.definition(component)?;
+        // Everything from here to the final store write is one
+        // `component_run` span; the body is timed separately so the
+        // difference — what the engine adds on top of the user's code —
+        // can be reported per run and in aggregate.
+        let run_span = self.telemetry.span("component_run");
         let start_ms = self.clock.now_ms();
 
         let mut captures = spec.captures;
@@ -308,19 +328,22 @@ impl Mltrace {
         // run on scoped worker threads overlapping the body (step 2).
         let (before_sync, before_async): (Vec<&TriggerSpec>, Vec<&TriggerSpec>) =
             def.before.iter().partition(|t| !t.asynchronous);
-        for spec in before_sync {
-            let ctx = TriggerContext::new(
-                component,
-                &captures,
-                &inputs,
-                &outputs,
-                start_ms,
-                self.store.as_ref(),
-            );
-            let outcome = spec.trigger.run(&ctx);
-            let (rec, m) = outcome_to_record(spec.trigger.name(), Phase::Before, &outcome);
-            trigger_records.push(rec);
-            trigger_metrics.extend(m);
+        if !before_sync.is_empty() {
+            let _span = run_span.child("before_triggers");
+            for spec in before_sync {
+                let ctx = TriggerContext::new(
+                    component,
+                    &captures,
+                    &inputs,
+                    &outputs,
+                    start_ms,
+                    self.store.as_ref(),
+                );
+                let outcome = spec.trigger.run(&ctx);
+                let (rec, m) = outcome_to_record(spec.trigger.name(), Phase::Before, &outcome);
+                trigger_records.push(rec);
+                trigger_metrics.extend(m);
+            }
         }
 
         // Async before-triggers get a snapshot of the pre-body state.
@@ -330,7 +353,7 @@ impl Mltrace {
             Some((captures.clone(), inputs.clone(), outputs.clone()))
         };
 
-        let body_result = std::thread::scope(|scope| {
+        let (body_result, body_ns) = std::thread::scope(|scope| {
             let async_handles: Vec<_> = before_async
                 .iter()
                 .map(|spec| {
@@ -365,21 +388,24 @@ impl Mltrace {
                 artifact_ids: &mut artifact_ids,
                 now_ms: start_ms,
             };
+            let body_span = run_span.child("component_body");
             let result = body(&mut ctx);
+            let body_ns = body_span.finish();
 
             for h in async_handles {
                 let (rec, m) = h.join().expect("async trigger thread panicked");
                 trigger_records.push(rec);
                 trigger_metrics.extend(m);
             }
-            result
+            (result, body_ns)
         });
 
         // Steps 3–4: afterRun triggers see the post-body captures plus the
         // materialized history (available through the TriggerContext's
         // store handle). Async after-triggers run concurrently with each
         // other, joined before logging.
-        if body_result.is_ok() {
+        if body_result.is_ok() && !def.after.is_empty() {
+            let _span = run_span.child("after_triggers");
             let (after_sync, after_async): (Vec<&TriggerSpec>, Vec<&TriggerSpec>) =
                 def.after.iter().partition(|t| !t.asynchronous);
             for spec in after_sync {
@@ -434,22 +460,25 @@ impl Mltrace {
         // Step 5: infer dependencies from inputs — the latest producer of
         // each input pointer that started at or before this run.
         let mut dependencies: Vec<RunId> = Vec::new();
-        for input in &inputs {
-            let producers = self.store.producers_of(input)?;
-            let dep = producers
-                .iter()
-                .rev()
-                .find_map(|&id| match self.store.run(id) {
-                    Ok(Some(r)) if r.start_ms <= start_ms => Some(id),
-                    _ => None,
-                });
-            if let Some(d) = dep {
-                if !dependencies.contains(&d) {
-                    dependencies.push(d);
+        if !inputs.is_empty() {
+            let _span = run_span.child("dependency_inference");
+            for input in &inputs {
+                let producers = self.store.producers_of(input)?;
+                let dep = producers
+                    .iter()
+                    .rev()
+                    .find_map(|&id| match self.store.run(id) {
+                        Ok(Some(r)) if r.start_ms <= start_ms => Some(id),
+                        _ => None,
+                    });
+                if let Some(d) = dep {
+                    if !dependencies.contains(&d) {
+                        dependencies.push(d);
+                    }
                 }
             }
+            dependencies.sort();
         }
-        dependencies.sort();
 
         let code_hash = spec
             .git_hash
@@ -491,6 +520,25 @@ impl Mltrace {
             .filter(|t| !t.passed)
             .map(|t| t.trigger.clone())
             .collect();
+        // Engine overhead so far: wall time minus the user's body. Stamped
+        // on the record itself so each run answers "what did observability
+        // cost me?" without a telemetry snapshot. Measured before the final
+        // store write (which hasn't happened yet); that write is visible in
+        // the `store.log_run_bundle` histogram instead.
+        let overhead_ns = run_span.elapsed_ns().saturating_sub(body_ns);
+        metadata.insert(
+            "mltrace.overhead_ms".to_owned(),
+            Value::Float(overhead_ns as f64 / 1e6),
+        );
+        self.telemetry.record("run_overhead", overhead_ns);
+        self.telemetry.incr("core.runs_total");
+        if body_result.is_err() {
+            self.telemetry.incr("core.run_failures_total");
+        }
+        if !trigger_failures.is_empty() {
+            self.telemetry
+                .add("core.trigger_failures_total", trigger_failures.len() as u64);
+        }
         let metric_points: Vec<MetricRecord> = metrics
             .iter()
             .chain(trigger_metrics.iter())
@@ -812,6 +860,31 @@ mod tests {
         assert_eq!(pointer.artifact.as_deref(), Some(artifact_id.as_str()));
         std::fs::remove_file(&wal).ok();
         std::fs::remove_file(artifact_snapshot_path(&wal)).ok();
+    }
+
+    #[test]
+    fn every_run_carries_engine_overhead_metadata() {
+        let (ml, _clock) = instance();
+        let ok = ml.run("c", RunSpec::new(), |_| Ok(())).unwrap();
+        let run = ml.store().run(ok.run_id).unwrap().unwrap();
+        assert!(
+            matches!(run.metadata.get("mltrace.overhead_ms"), Some(Value::Float(v)) if *v >= 0.0),
+            "overhead metadata missing or wrong type: {:?}",
+            run.metadata.get("mltrace.overhead_ms")
+        );
+        // Failed runs are instrumented too.
+        let _ = ml.run("c", RunSpec::new(), |_| Err::<(), _>("boom".into()));
+        let failed = ml.store().latest_run("c").unwrap().unwrap();
+        assert!(failed.metadata.contains_key("mltrace.overhead_ms"));
+
+        let snap = ml.telemetry().snapshot();
+        assert_eq!(snap.histograms["component_run"].count, 2);
+        assert_eq!(snap.histograms["component_body"].count, 2);
+        assert_eq!(snap.histograms["run_overhead"].count, 2);
+        assert_eq!(snap.counters["core.runs_total"], 2);
+        assert_eq!(snap.counters["core.run_failures_total"], 1);
+        // The in-memory store reports into the same registry.
+        assert_eq!(snap.histograms["store.log_run_bundle"].count, 2);
     }
 
     #[test]

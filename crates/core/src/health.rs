@@ -14,7 +14,25 @@ use crate::execution::Mltrace;
 use crate::graph::build_graph;
 use mltrace_provenance::{component_summary, most_problematic, ComponentSummary};
 use mltrace_store::MS_PER_DAY;
+use mltrace_telemetry::format_ns;
 use std::fmt::Write as _;
+
+/// Aggregate engine self-telemetry: what observability itself costs, from
+/// the `component_run` and `run_overhead` histograms (§3.2: "logging
+/// should not interfere with the normal operation of the pipeline").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineOverhead {
+    /// Runs captured by the `component_run` span.
+    pub instrumented_runs: u64,
+    /// Median wall time of a full instrumented run.
+    pub run_p50_ns: u64,
+    /// 95th-percentile wall time of a full instrumented run.
+    pub run_p95_ns: u64,
+    /// Median engine-added time (run minus user body).
+    pub overhead_p50_ns: u64,
+    /// 95th-percentile engine-added time.
+    pub overhead_p95_ns: u64,
+}
 
 /// One screen of pipeline health.
 #[derive(Debug, Clone)]
@@ -34,6 +52,10 @@ pub struct HealthReport {
     pub total_runs: usize,
     /// Total failed runs.
     pub total_failures: usize,
+    /// Engine self-overhead rollup; `None` until an instrumented run has
+    /// executed in this process (telemetry is per-process, not replayed
+    /// from the store).
+    pub engine: Option<EngineOverhead>,
 }
 
 impl HealthReport {
@@ -89,6 +111,17 @@ impl HealthReport {
         if !self.flagged.is_empty() {
             let _ = writeln!(out, "{} output(s) flagged for review", self.flagged.len());
         }
+        if let Some(e) = &self.engine {
+            let _ = writeln!(
+                out,
+                "engine overhead: {} instrumented run(s), run p50 {} / p95 {}, engine-added p50 {} / p95 {}",
+                e.instrumented_runs,
+                format_ns(e.run_p50_ns),
+                format_ns(e.run_p95_ns),
+                format_ns(e.overhead_p50_ns),
+                format_ns(e.overhead_p95_ns),
+            );
+        }
         out
     }
 }
@@ -111,6 +144,20 @@ pub fn health_report(ml: &Mltrace, horizon_days: u64, top_k: usize) -> Result<He
     let flagged = store.flagged()?;
     let total_runs: usize = components.iter().map(|c| c.runs).sum();
     let total_failures: usize = components.iter().map(|c| c.failures).sum();
+    let snap = ml.telemetry().snapshot();
+    let engine = match (
+        snap.histograms.get("component_run"),
+        snap.histograms.get("run_overhead"),
+    ) {
+        (Some(run), Some(overhead)) if run.count > 0 => Some(EngineOverhead {
+            instrumented_runs: run.count,
+            run_p50_ns: run.quantile(0.50).unwrap_or(0),
+            run_p95_ns: run.quantile(0.95).unwrap_or(0),
+            overhead_p50_ns: overhead.quantile(0.50).unwrap_or(0),
+            overhead_p95_ns: overhead.quantile(0.95).unwrap_or(0),
+        }),
+        _ => None,
+    };
     Ok(HealthReport {
         now_ms,
         components,
@@ -119,6 +166,7 @@ pub fn health_report(ml: &Mltrace, horizon_days: u64, top_k: usize) -> Result<He
         flagged,
         total_runs,
         total_failures,
+        engine,
     })
 }
 
@@ -194,5 +242,64 @@ mod tests {
         assert!(report.healthy());
         assert_eq!(report.total_runs, 0);
         assert_eq!(report.failure_rate(), 0.0);
+        assert!(
+            report.engine.is_none(),
+            "no instrumented runs → no engine section"
+        );
+        assert!(!report.render().contains("engine overhead"));
+    }
+
+    #[test]
+    fn problematic_ranking_orders_by_failure_rate_times_recency() {
+        let clock = ManualClock::starting_at(1_000_000);
+        let ml = Mltrace::with_clock(clock.clone());
+        // old_bad: 100% failure rate, but the failure is 29 days old →
+        // recency floor 0.1 → score 0.1.
+        let _ = ml.run("old_bad", RunSpec::new(), |_| Err::<(), _>("x".into()));
+        clock.advance(29 * MS_PER_DAY);
+        // recent_bad: 1 of 2 runs failed just now → 0.5 × 1.0 = 0.5.
+        ml.run("recent_bad", RunSpec::new(), |_| Ok(())).unwrap();
+        let _ = ml.run("recent_bad", RunSpec::new(), |_| Err::<(), _>("x".into()));
+        // recent_mild: 1 of 4 runs failed just now → 0.25 × 1.0 = 0.25.
+        for _ in 0..3 {
+            ml.run("recent_mild", RunSpec::new(), |_| Ok(())).unwrap();
+        }
+        let _ = ml.run("recent_mild", RunSpec::new(), |_| Err::<(), _>("x".into()));
+
+        let report = health_report(&ml, 30, 5).unwrap();
+        let order: Vec<&str> = report
+            .problematic
+            .iter()
+            .map(|(s, _)| s.component.as_str())
+            .collect();
+        assert_eq!(order, vec!["recent_bad", "recent_mild", "old_bad"]);
+        let scores: Vec<f64> = report.problematic.iter().map(|(_, sc)| *sc).collect();
+        assert!((scores[0] - 0.5).abs() < 1e-9, "{scores:?}");
+        assert!((scores[1] - 0.25).abs() < 1e-9, "{scores:?}");
+        assert!((scores[2] - 0.1).abs() < 1e-9, "{scores:?}");
+        assert!(
+            scores.windows(2).all(|w| w[0] >= w[1]),
+            "descending: {scores:?}"
+        );
+    }
+
+    #[test]
+    fn engine_overhead_section_appears_after_instrumented_runs() {
+        let clock = ManualClock::starting_at(1_000_000);
+        let ml = Mltrace::with_clock(clock.clone());
+        ml.run("etl", RunSpec::new().output("raw.csv"), |_| Ok(()))
+            .unwrap();
+        ml.run("etl", RunSpec::new().output("raw.csv"), |_| Ok(()))
+            .unwrap();
+        let report = health_report(&ml, 30, 5).unwrap();
+        let engine = report.engine.as_ref().expect("engine section populated");
+        assert_eq!(engine.instrumented_runs, 2);
+        assert!(engine.run_p50_ns > 0);
+        assert!(engine.run_p95_ns >= engine.run_p50_ns);
+        let rendered = report.render();
+        assert!(
+            rendered.contains("engine overhead: 2 instrumented run(s)"),
+            "{rendered}"
+        );
     }
 }

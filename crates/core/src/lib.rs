@@ -36,6 +36,6 @@ pub use component::{ComponentBuilder, ComponentDef, ComponentRegistry};
 pub use error::{CoreError, Result};
 pub use execution::{Mltrace, RunContext, RunReport, RunSpec};
 pub use graph::{build_graph, GraphCache};
-pub use health::{health_report, HealthReport};
+pub use health::{health_report, EngineOverhead, HealthReport};
 pub use staleness::{StalenessPolicy, StalenessReason};
 pub use trigger::{FnTrigger, Phase, Trigger, TriggerContext, TriggerOutcome, TriggerSpec};

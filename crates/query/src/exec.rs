@@ -104,7 +104,18 @@ impl QueryResult {
 /// assert_eq!(result.rows.len(), 1);
 /// ```
 pub fn execute(store: &dyn Store, sql: &str) -> Result<QueryResult, QueryError> {
-    let query = parse(sql)?;
+    // Self-telemetry rides on the store's registry when it keeps one;
+    // parse and execution latency are recorded separately because a slow
+    // parse and a slow scan need different fixes.
+    let tele = store.telemetry().cloned();
+    if let Some(t) = &tele {
+        t.incr("query.statements_total");
+    }
+    let query = {
+        let _span = tele.as_ref().map(|t| t.span("query.parse"));
+        parse(sql)?
+    };
+    let _span = tele.as_ref().map(|t| t.span("query.exec"));
     execute_query(store, &query)
 }
 
@@ -773,6 +784,20 @@ mod tests {
     use mltrace_store::{
         ComponentRecord, ComponentRunRecord, MemoryStore, MetricRecord, RunStatus,
     };
+
+    #[test]
+    fn queries_record_store_telemetry() {
+        let s = seeded();
+        execute(&s, "SELECT name FROM components").unwrap();
+        assert!(execute(&s, "SELECT nonsense FROM").is_err());
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.counters["query.statements_total"], 2);
+        assert_eq!(
+            snap.histograms["query.parse"].count, 2,
+            "failed parse timed too"
+        );
+        assert_eq!(snap.histograms["query.exec"].count, 1);
+    }
 
     fn seeded() -> MemoryStore {
         let s = MemoryStore::new();

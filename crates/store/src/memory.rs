@@ -32,9 +32,11 @@ use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
 use crate::store::{RunBundle, Store, StoreStats};
-use parking_lot::RwLock;
+use mltrace_telemetry::{Counter, Histogram, Telemetry};
+use parking_lot::{RwLock, RwLockWriteGuard};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Number of lock shards for runs and name-keyed indexes. A power of two
 /// so shard selection is a mask; 16 is comfortably above the writer
@@ -108,6 +110,47 @@ impl MetricsTable {
 
 type IdIndexShard = RwLock<HashMap<String, Vec<RunId>>>;
 
+/// Pre-resolved telemetry handles for the store's hot paths (handle
+/// lookup by name takes a registry read lock; the ingest path should pay
+/// only relaxed atomic ops).
+struct StoreTelemetry {
+    registry: Telemetry,
+    /// Runs logged through any ingest path.
+    runs_logged: Counter,
+    /// Metric points logged.
+    metrics_logged: Counter,
+    /// `log_run_bundle` transactions.
+    bundles: Counter,
+    /// Pointer upserts.
+    pointer_upserts: Counter,
+    /// Runs removed by deletion/compaction.
+    runs_deleted: Counter,
+    /// Runs re-inserted by WAL replay.
+    runs_restored: Counter,
+    /// Times a writer found a shard lock contended (`try_write` failed
+    /// and it had to block) — the direct measure of whether 16 shards
+    /// are enough for the writer parallelism actually seen.
+    shard_contention: Counter,
+    /// End-to-end `log_run_bundle` latency.
+    bundle_latency: Histogram,
+}
+
+impl StoreTelemetry {
+    fn new(registry: Telemetry) -> Self {
+        StoreTelemetry {
+            runs_logged: registry.counter("store.runs_logged_total"),
+            metrics_logged: registry.counter("store.metrics_logged_total"),
+            bundles: registry.counter("store.bundles_total"),
+            pointer_upserts: registry.counter("store.pointer_upserts_total"),
+            runs_deleted: registry.counter("store.runs_deleted_total"),
+            runs_restored: registry.counter("store.runs_restored_total"),
+            shard_contention: registry.counter("store.shard_contention_total"),
+            bundle_latency: registry.histogram("store.log_run_bundle"),
+            registry,
+        }
+    }
+}
+
 /// In-memory store. Cheap to create; share via `Arc` (or borrow across
 /// scoped threads) for concurrent use.
 pub struct MemoryStore {
@@ -128,6 +171,8 @@ pub struct MemoryStore {
     metrics: RwLock<MetricsTable>,
     /// component → compaction summaries ascending by window start
     summaries: RwLock<HashMap<String, Vec<CompactionSummary>>>,
+    /// Self-telemetry handles (see the `tele` module docs).
+    tele: StoreTelemetry,
 }
 
 fn shard_vec<T: Default>() -> Box<[RwLock<T>]> {
@@ -146,8 +191,15 @@ impl Default for MemoryStore {
 }
 
 impl MemoryStore {
-    /// Create an empty store.
+    /// Create an empty store with its own telemetry registry.
     pub fn new() -> Self {
+        Self::with_telemetry(Telemetry::new())
+    }
+
+    /// Create an empty store reporting into an existing telemetry
+    /// registry (so e.g. a WAL wrapper and its inner memory store share
+    /// one registry).
+    pub fn with_telemetry(registry: Telemetry) -> Self {
         MemoryStore {
             next_run_id: AtomicU64::new(1),
             runs_removed: AtomicU64::new(0),
@@ -159,6 +211,20 @@ impl MemoryStore {
             io_pointers: RwLock::new(BTreeMap::new()),
             metrics: RwLock::new(MetricsTable::default()),
             summaries: RwLock::new(HashMap::new()),
+            tele: StoreTelemetry::new(registry),
+        }
+    }
+
+    /// Take a shard write lock, counting the times a writer had to block
+    /// behind another holder (shard-contention telemetry).
+    #[inline]
+    fn write_shard<'a, T>(&self, lock: &'a RwLock<T>) -> RwLockWriteGuard<'a, T> {
+        match lock.try_write() {
+            Some(g) => g,
+            None => {
+                self.tele.shard_contention.incr();
+                lock.write()
+            }
         }
     }
 
@@ -172,7 +238,9 @@ impl MemoryStore {
         }
         self.next_run_id.fetch_max(id.0 + 1, Ordering::Relaxed);
         self.index_run(id, &run.component, &run.inputs, &run.outputs);
-        self.run_shards[run_shard(id.0)].write().insert(id.0, run);
+        self.write_shard(&self.run_shards[run_shard(id.0)])
+            .insert(id.0, run);
+        self.tele.runs_restored.incr();
         Ok(())
     }
 
@@ -180,7 +248,7 @@ impl MemoryStore {
     /// indexes. Each shard lock is taken and released independently.
     fn index_run(&self, id: RunId, component: &str, inputs: &[String], outputs: &[String]) {
         {
-            let mut g = self.by_component[name_shard(component)].write();
+            let mut g = self.write_shard(&self.by_component[name_shard(component)]);
             match g.get_mut(component) {
                 Some(list) => insert_sorted(list, id),
                 None => {
@@ -191,7 +259,7 @@ impl MemoryStore {
         // A run may legitimately list the same pointer twice (e.g. a file
         // read in two roles); `insert_sorted` indexes it once per run.
         for io in outputs {
-            let mut g = self.producers[name_shard(io)].write();
+            let mut g = self.write_shard(&self.producers[name_shard(io)]);
             match g.get_mut(io.as_str()) {
                 Some(list) => insert_sorted(list, id),
                 None => {
@@ -200,7 +268,7 @@ impl MemoryStore {
             }
         }
         for io in inputs {
-            let mut g = self.consumers[name_shard(io)].write();
+            let mut g = self.write_shard(&self.consumers[name_shard(io)]);
             match g.get_mut(io.as_str()) {
                 Some(list) => insert_sorted(list, id),
                 None => {
@@ -212,7 +280,7 @@ impl MemoryStore {
 
     /// Apply pre-grouped index updates, taking each shard lock once.
     /// `groups` maps a name to the ascending ids to merge into its list.
-    fn apply_index_groups(shards: &[IdIndexShard], groups: HashMap<&str, Vec<RunId>>) {
+    fn apply_index_groups(&self, shards: &[IdIndexShard], groups: HashMap<&str, Vec<RunId>>) {
         let mut per_shard: Vec<Vec<(&str, Vec<RunId>)>> =
             (0..SHARD_COUNT).map(|_| Vec::new()).collect();
         for (name, ids) in groups {
@@ -222,7 +290,7 @@ impl MemoryStore {
             if entries.is_empty() {
                 continue;
             }
-            let mut g = shards[si].write();
+            let mut g = self.write_shard(&shards[si]);
             for (name, ids) in entries {
                 match g.get_mut(name) {
                     Some(list) => {
@@ -263,7 +331,9 @@ impl Store for MemoryStore {
         let id = RunId(self.next_run_id.fetch_add(1, Ordering::Relaxed));
         run.id = id;
         self.index_run(id, &run.component, &run.inputs, &run.outputs);
-        self.run_shards[run_shard(id.0)].write().insert(id.0, run);
+        self.write_shard(&self.run_shards[run_shard(id.0)])
+            .insert(id.0, run);
+        self.tele.runs_logged.incr();
         Ok(id)
     }
 
@@ -304,9 +374,9 @@ impl Store for MemoryStore {
                     }
                 }
             }
-            Self::apply_index_groups(&self.by_component, comp_groups);
-            Self::apply_index_groups(&self.producers, prod_groups);
-            Self::apply_index_groups(&self.consumers, cons_groups);
+            self.apply_index_groups(&self.by_component, comp_groups);
+            self.apply_index_groups(&self.producers, prod_groups);
+            self.apply_index_groups(&self.consumers, cons_groups);
         }
         // Move the records into their shards, one lock per touched shard.
         let mut ids = Vec::with_capacity(runs.len());
@@ -322,21 +392,25 @@ impl Store for MemoryStore {
             if records.is_empty() {
                 continue;
             }
-            let mut g = self.run_shards[si].write();
+            let mut g = self.write_shard(&self.run_shards[si]);
             g.reserve(records.len());
             for run in records {
                 g.insert(run.id.0, run);
             }
         }
+        self.tele.runs_logged.add(ids.len() as u64);
         Ok(ids)
     }
 
     fn log_run_bundle(&self, bundle: RunBundle) -> Result<RunId> {
+        let started = Instant::now();
         {
+            let pointer_count = bundle.pointers.len() as u64;
             let mut g = self.io_pointers.write();
             for rec in bundle.pointers {
                 upsert_pointer(&mut g, rec)?;
             }
+            self.tele.pointer_upserts.add(pointer_count);
         }
         let id = self.log_run(bundle.run)?;
         let mut metrics = bundle.metrics;
@@ -344,6 +418,10 @@ impl Store for MemoryStore {
             m.run_id = Some(id);
         }
         self.log_metrics(metrics)?;
+        self.tele.bundles.incr();
+        self.tele
+            .bundle_latency
+            .record(started.elapsed().as_nanos() as u64);
         Ok(id)
     }
 
@@ -380,7 +458,9 @@ impl Store for MemoryStore {
     }
 
     fn upsert_io_pointer(&self, rec: IoPointerRecord) -> Result<()> {
-        upsert_pointer(&mut self.io_pointers.write(), rec)
+        upsert_pointer(&mut self.io_pointers.write(), rec)?;
+        self.tele.pointer_upserts.incr();
+        Ok(())
     }
 
     fn io_pointer(&self, name: &str) -> Result<Option<IoPointerRecord>> {
@@ -432,6 +512,7 @@ impl Store for MemoryStore {
             return Err(StoreError::InvalidRecord("metric name is empty".into()));
         }
         self.metrics.write().log(m);
+        self.tele.metrics_logged.incr();
         Ok(())
     }
 
@@ -444,10 +525,13 @@ impl Store for MemoryStore {
                 return Err(StoreError::InvalidRecord("metric name is empty".into()));
             }
         }
+        let count = metrics.len() as u64;
         let mut g = self.metrics.write();
         for m in metrics {
             g.log(m);
         }
+        drop(g);
+        self.tele.metrics_logged.add(count);
         Ok(())
     }
 
@@ -514,6 +598,7 @@ impl Store for MemoryStore {
         let removed = removed_set.len();
         self.runs_removed
             .fetch_add(removed as u64, Ordering::Relaxed);
+        self.tele.runs_deleted.add(removed as u64);
         Ok(removed)
     }
 
@@ -562,6 +647,10 @@ impl Store for MemoryStore {
             summaries: self.summaries.read().values().map(Vec::len).sum(),
             runs_removed: self.runs_removed.load(Ordering::Relaxed),
         })
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.tele.registry)
     }
 }
 
@@ -947,6 +1036,36 @@ mod tests {
         // A fresh run must get an id above the restored one.
         let next = s.log_run(run("c", 2, &[], &[])).unwrap();
         assert!(next.0 > 42);
+    }
+
+    #[test]
+    fn store_telemetry_counts_ingest_ops() {
+        let s = MemoryStore::new();
+        s.log_run(run("etl", 100, &[], &["raw.csv"])).unwrap();
+        s.log_runs(vec![run("etl", 200, &[], &[]), run("etl", 300, &[], &[])])
+            .unwrap();
+        s.log_run_bundle(RunBundle {
+            run: run("infer", 400, &["raw.csv"], &["pred"]),
+            pointers: vec![IoPointerRecord::new("raw.csv", 0)],
+            metrics: vec![MetricRecord {
+                component: "infer".into(),
+                run_id: None,
+                name: "latency_ms".into(),
+                value: 1.0,
+                ts_ms: 410,
+            }],
+        })
+        .unwrap();
+        s.delete_runs(&[RunId(1)]).unwrap();
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.counters["store.runs_logged_total"], 4);
+        assert_eq!(snap.counters["store.bundles_total"], 1);
+        assert_eq!(snap.counters["store.pointer_upserts_total"], 1);
+        assert_eq!(snap.counters["store.metrics_logged_total"], 1);
+        assert_eq!(snap.counters["store.runs_deleted_total"], 1);
+        let hist = &snap.histograms["store.log_run_bundle"];
+        assert_eq!(hist.count, 1);
+        assert!(hist.sum > 0, "bundle latency recorded");
     }
 
     #[test]

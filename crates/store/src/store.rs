@@ -10,6 +10,7 @@ use crate::error::Result;
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
+use mltrace_telemetry::Telemetry;
 
 /// One component run plus the I/O pointer upserts and metric points that
 /// belong to it, logged through [`Store::log_run_bundle`] as a single store
@@ -193,4 +194,18 @@ pub trait Store: Send + Sync {
 
     /// Current record counts.
     fn stats(&self) -> Result<StoreStats>;
+
+    // ------------------------------------------------------------------
+    // Self-telemetry
+    // ------------------------------------------------------------------
+
+    /// The store's self-telemetry registry, when it keeps one. The
+    /// execution layer adopts this registry so engine-level spans
+    /// (`component_run`, trigger phases) and store-level metrics
+    /// (`store.log_run_bundle`, `wal.*`) land in one place. The default
+    /// is `None`: trait implementers without instrumentation stay valid,
+    /// and callers fall back to a private registry.
+    fn telemetry(&self) -> Option<&Telemetry> {
+        None
+    }
 }

@@ -41,6 +41,7 @@ use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
 use crate::store::{RunBundle, Store, StoreStats};
+use mltrace_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
@@ -90,6 +91,50 @@ fn encode_event(buf: &mut Vec<u8>, event: &WalEvent) -> Result<()> {
     Ok(())
 }
 
+/// Pre-resolved telemetry handles for the WAL's hot paths. Cloned into
+/// the writer so flush accounting happens under the writer lock without
+/// touching the registry.
+#[derive(Clone)]
+struct WalTelemetry {
+    /// Physical append calls (single or batched).
+    appends: Counter,
+    /// Events appended (a batch of N counts N).
+    events: Counter,
+    /// Flushes of buffered events to the OS.
+    flushes: Counter,
+    /// `fsync` barriers issued by [`WalStore::sync`].
+    fsyncs: Counter,
+    /// Bytes handed to the log writer.
+    bytes: Counter,
+    /// Torn-tail truncations performed on open.
+    recoveries: Counter,
+    /// Log rewrites (compaction reclaim).
+    rewrites: Counter,
+    /// Events per flush — the group-commit batch-size distribution. The
+    /// ratio of `wal.append_events_total` to `wal.flushes_total` is the
+    /// syscall amortization the §3.4 scale path buys.
+    batch_events: Histogram,
+    /// Latency of a physical WAL append, single or batched (serialize +
+    /// buffered write + any policy-due flush).
+    append_latency: Histogram,
+}
+
+impl WalTelemetry {
+    fn new(registry: &Telemetry) -> Self {
+        WalTelemetry {
+            appends: registry.counter("wal.appends_total"),
+            events: registry.counter("wal.append_events_total"),
+            flushes: registry.counter("wal.flushes_total"),
+            fsyncs: registry.counter("wal.fsyncs_total"),
+            bytes: registry.counter("wal.bytes_written_total"),
+            recoveries: registry.counter("wal.recoveries_total"),
+            rewrites: registry.counter("wal.rewrites_total"),
+            batch_events: registry.histogram("wal.group_commit_events"),
+            append_latency: registry.histogram("wal.append_all"),
+        }
+    }
+}
+
 /// The log writer plus the group-commit bookkeeping it needs, kept under
 /// one mutex so flush decisions see a consistent count.
 struct WalWriter {
@@ -97,14 +142,16 @@ struct WalWriter {
     /// Events written since the last flush-to-OS.
     pending_events: usize,
     last_flush: Instant,
+    tele: WalTelemetry,
 }
 
 impl WalWriter {
-    fn new(file: File) -> Self {
+    fn new(file: File, tele: WalTelemetry) -> Self {
         WalWriter {
             out: BufWriter::new(file),
             pending_events: 0,
             last_flush: Instant::now(),
+            tele,
         }
     }
 
@@ -112,6 +159,8 @@ impl WalWriter {
     fn write(&mut self, bytes: &[u8], events: usize, policy: DurabilityPolicy) -> Result<()> {
         self.out.write_all(bytes)?;
         self.pending_events += events;
+        self.tele.bytes.add(bytes.len() as u64);
+        self.tele.events.add(events as u64);
         let due = match policy {
             DurabilityPolicy::EveryEvent => true,
             DurabilityPolicy::Batch(n) => self.pending_events >= n,
@@ -129,6 +178,10 @@ impl WalWriter {
     /// Flush buffered bytes to the OS (not an fsync).
     fn flush_os(&mut self) -> Result<()> {
         self.out.flush()?;
+        if self.pending_events > 0 {
+            self.tele.flushes.incr();
+            self.tele.batch_events.record(self.pending_events as u64);
+        }
         self.pending_events = 0;
         self.last_flush = Instant::now();
         Ok(())
@@ -143,6 +196,10 @@ pub struct WalStore {
     path: PathBuf,
     policy: DurabilityPolicy,
     recovered: bool,
+    /// Shared with `mem`, so `store.*` and `wal.*` metrics land in one
+    /// registry and one snapshot covers the whole storage layer.
+    registry: Telemetry,
+    tele: WalTelemetry,
 }
 
 impl WalStore {
@@ -156,7 +213,9 @@ impl WalStore {
     /// Open with an explicit durability policy (see the module docs).
     pub fn open_with(path: impl AsRef<Path>, policy: DurabilityPolicy) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let mem = MemoryStore::new();
+        let registry = Telemetry::new();
+        let tele = WalTelemetry::new(&registry);
+        let mem = MemoryStore::with_telemetry(registry.clone());
         let mut recovered = false;
         let mut missing_final_newline = false;
         if path.exists() {
@@ -198,10 +257,11 @@ impl WalStore {
                 f.set_len(at)?;
                 f.sync_data()?;
                 recovered = true;
+                tele.recoveries.incr();
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        let mut writer = WalWriter::new(file);
+        let mut writer = WalWriter::new(file, tele.clone());
         if missing_final_newline {
             writer.write(b"\n", 0, DurabilityPolicy::EveryEvent)?;
         }
@@ -211,6 +271,8 @@ impl WalStore {
             path,
             policy,
             recovered,
+            registry,
+            tele,
         })
     }
 
@@ -236,6 +298,7 @@ impl WalStore {
         let mut w = self.writer.lock();
         w.flush_os()?;
         w.out.get_ref().sync_data()?;
+        self.tele.fsyncs.incr();
         Ok(())
     }
 
@@ -254,9 +317,15 @@ impl WalStore {
 
     fn append(&self, event: &WalEvent) -> Result<()> {
         // Serialize outside the writer lock.
+        let started = Instant::now();
         let mut buf = Vec::with_capacity(256);
         encode_event(&mut buf, event)?;
-        self.writer.lock().write(&buf, 1, self.policy)
+        self.writer.lock().write(&buf, 1, self.policy)?;
+        self.tele.appends.incr();
+        self.tele
+            .append_latency
+            .record(started.elapsed().as_nanos() as u64);
+        Ok(())
     }
 
     /// Append a batch of events with one lock acquisition and one buffered
@@ -265,11 +334,17 @@ impl WalStore {
         if events.is_empty() {
             return Ok(());
         }
+        let started = Instant::now();
         let mut buf = Vec::with_capacity(256 * events.len());
         for event in events {
             encode_event(&mut buf, event)?;
         }
-        self.writer.lock().write(&buf, events.len(), self.policy)
+        self.writer.lock().write(&buf, events.len(), self.policy)?;
+        self.tele.appends.incr();
+        self.tele
+            .append_latency
+            .record(started.elapsed().as_nanos() as u64);
+        Ok(())
     }
 
     /// Rewrite the log to contain only the store's current state (dropping
@@ -325,8 +400,9 @@ impl WalStore {
             w.flush_os()?;
             std::fs::rename(&tmp, &self.path)?;
             let file = OpenOptions::new().append(true).open(&self.path)?;
-            *w = WalWriter::new(file);
+            *w = WalWriter::new(file, self.tele.clone());
         }
+        self.tele.rewrites.incr();
         let after = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
         Ok((before, after))
     }
@@ -484,6 +560,10 @@ impl Store for WalStore {
     fn stats(&self) -> Result<StoreStats> {
         self.mem.stats()
     }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(&self.registry)
+    }
 }
 
 #[cfg(test)]
@@ -599,6 +679,11 @@ mod tests {
         }
         let s = WalStore::open(&path).unwrap();
         assert!(s.recovered(), "torn tail should be recovered, not fatal");
+        assert_eq!(
+            s.telemetry().unwrap().snapshot().counters["wal.recoveries_total"],
+            1,
+            "recovery surfaces in telemetry"
+        );
         assert_eq!(s.run_ids().unwrap(), vec![a, b], "complete events survive");
         assert_eq!(
             std::fs::metadata(&path).unwrap().len(),
@@ -707,6 +792,39 @@ mod tests {
         drop(s);
         let s = WalStore::open(&path).unwrap();
         assert_eq!(s.stats().unwrap().runs, 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wal_telemetry_counts_appends_flushes_and_fsyncs() {
+        let path = tmp("telemetry");
+        let s = WalStore::open_with(&path, DurabilityPolicy::Batch(4)).unwrap();
+        s.log_runs(vec![
+            run("etl", 100, &[], &["raw.csv"]),
+            run("etl", 200, &[], &["raw.csv"]),
+        ])
+        .unwrap();
+        s.log_run(run("etl", 300, &[], &[])).unwrap();
+        s.sync().unwrap();
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.counters["wal.append_events_total"], 3);
+        assert_eq!(
+            snap.counters["wal.appends_total"], 2,
+            "one batched + one scalar"
+        );
+        assert_eq!(snap.counters["wal.fsyncs_total"], 1);
+        assert!(snap.counters["wal.bytes_written_total"] > 0);
+        assert!(snap.counters["wal.flushes_total"] >= 1);
+        assert_eq!(snap.counters["wal.recoveries_total"], 0);
+        let lat = &snap.histograms["wal.append_all"];
+        assert_eq!(lat.count, 2, "both physical appends timed");
+        // The memory store underneath reports into the same registry.
+        assert_eq!(snap.counters["store.runs_logged_total"], 3);
+        let batches = &snap.histograms["wal.group_commit_events"];
+        assert_eq!(
+            batches.sum, 3,
+            "every appended event is attributed to some flush"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,176 @@
+//! Fixed-bucket log2 latency histogram with a lock-free record path.
+//!
+//! Bucket `i` holds values whose bit length is `i` (i.e. values in
+//! `[2^(i-1), 2^i - 1]`; bucket 0 holds exactly the value 0, bucket 1
+//! exactly the value 1). With [`BUCKET_COUNT`] = 48 buckets the range
+//! covers 0 ns up to `2^47 - 1` ns (~39 hours) before the final bucket
+//! absorbs everything larger, which comfortably brackets every engine
+//! operation from a 20 ns counter bump to a multi-hour training run.
+//! Relative quantile error is bounded by the 2× bucket width.
+
+use crate::snapshot::HistogramSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log2 buckets per histogram.
+pub const BUCKET_COUNT: usize = 48;
+
+/// Bucket index for a value: its bit length, saturated to the last bucket.
+#[inline]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    let bits = (64 - value.leading_zeros()) as usize;
+    bits.min(BUCKET_COUNT - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (the last bucket is unbounded).
+#[inline]
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 >= BUCKET_COUNT {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+#[inline]
+pub(crate) fn bucket_lower_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1 => 1,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Shared histogram state: one atomic per bucket plus count and sum.
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A handle to a registered histogram. Cloning shares the underlying
+/// buckets; recording through a held handle is entirely lock-free.
+#[derive(Clone)]
+pub struct Histogram {
+    pub(crate) core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Record one observation (nanoseconds by convention for durations).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.core.record(value);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn bounds_are_consistent() {
+        for i in 0..BUCKET_COUNT {
+            let lo = bucket_lower_bound(i);
+            let hi = bucket_upper_bound(i);
+            assert!(lo <= hi, "bucket {i}: {lo} > {hi}");
+            assert_eq!(bucket_index(lo), i, "lower bound of {i}");
+            if hi != u64::MAX {
+                assert_eq!(bucket_index(hi), i, "upper bound of {i}");
+                assert_eq!(bucket_index(hi + 1), i + 1, "first value past {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_accumulates_count_and_sum() {
+        let core = HistogramCore::new();
+        for v in [0u64, 1, 5, 1000, 1_000_000] {
+            core.record(v);
+        }
+        let snap = core.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1_001_006);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        let h = Histogram {
+            core: Arc::new(HistogramCore::new()),
+        };
+        let threads = 4u64;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), threads * per_thread);
+        assert_eq!(
+            h.snapshot().buckets.iter().sum::<u64>(),
+            threads * per_thread
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! # mltrace-telemetry
+//!
+//! Self-telemetry for the mltrace engine: the observability tool made
+//! observable. Leest et al. ("Monitoring and Observability of Machine
+//! Learning Systems") point out that monitoring tooling is usually itself
+//! unmonitorable; and the source paper's §3.2 requires that "logging
+//! should add minimal overhead to component runs" — a claim that stays
+//! rhetorical until the engine can measure its own hot paths at runtime.
+//! This crate provides the measuring instruments:
+//!
+//! * [`Telemetry`] — a clonable, global-free registry handing out
+//!   [`Counter`]s, [`Gauge`]s, and [`Histogram`]s by name. Handle
+//!   acquisition takes a short-lived read lock; every *record* operation
+//!   afterwards is a relaxed atomic op (no locks, no allocation).
+//! * [`Histogram`] — fixed log2 buckets over `u64` values (nanoseconds by
+//!   convention) backed by an `AtomicU64` array, so the record path is a
+//!   handful of `fetch_add`s.
+//! * [`TelemetrySpan`] — RAII timer that records its elapsed time into a
+//!   histogram on drop, with parent/child nesting so a `component_run`
+//!   span decomposes into `before_triggers` / `component_body` /
+//!   `after_triggers` children and the parent can report self-time.
+//! * [`TelemetrySnapshot`] — a point-in-time copy of every metric that
+//!   can be merged (across registries or process invocations), persisted
+//!   as a line-oriented text file, rendered for humans with
+//!   p50/p95/p99, or rendered as Prometheus text exposition.
+//!
+//! The crate is dependency-free (std only): it sits below every other
+//! mltrace crate so the storage, execution, query, and provenance layers
+//! can all report into one registry.
+//!
+//! ```
+//! use mltrace_telemetry::Telemetry;
+//!
+//! let t = Telemetry::new();
+//! t.counter("wal.fsyncs_total").incr();
+//! {
+//!     let _span = t.span("component_run"); // records elapsed ns on drop
+//! }
+//! let snap = t.snapshot();
+//! assert_eq!(snap.counters["wal.fsyncs_total"], 1);
+//! assert_eq!(snap.histograms["component_run"].count, 1);
+//! assert!(snap.render_prometheus().contains("# TYPE mltrace_wal_fsyncs_total counter"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod prometheus;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use histogram::{Histogram, BUCKET_COUNT};
+pub use registry::{Counter, Gauge, Telemetry};
+pub use snapshot::{format_count, format_ns, HistogramSnapshot, TelemetrySnapshot};
+pub use span::TelemetrySpan;

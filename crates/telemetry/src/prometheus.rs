@@ -1,0 +1,241 @@
+//! Prometheus text exposition rendering.
+//!
+//! [`TelemetrySnapshot::render_prometheus`] emits the standard text
+//! format: one `# TYPE` line per metric; counters and gauges as single
+//! samples; histograms as cumulative `_bucket{le="..."}` series plus
+//! `_sum` and `_count`. All metric names are prefixed `mltrace_` and
+//! sanitized to the Prometheus charset; duration histograms (recorded in
+//! nanoseconds) are exported in seconds with an `_seconds` suffix, per
+//! Prometheus convention.
+
+use crate::histogram::bucket_upper_bound;
+use crate::snapshot::{HistogramSnapshot, TelemetrySnapshot};
+use std::fmt::Write as _;
+
+/// Map a registry name to a Prometheus metric name: `mltrace_` prefix,
+/// `[^a-zA-Z0-9_]` → `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("mltrace_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Same suffix convention as the human renderer: histograms not named
+/// `*_events`/`*_bytes`/`*_size` hold nanosecond durations.
+fn is_duration(name: &str) -> bool {
+    !(name.ends_with("_events") || name.ends_with("_bytes") || name.ends_with("_size"))
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let duration = is_duration(name);
+    let base = if duration {
+        format!("{}_seconds", prom_name(name))
+    } else {
+        prom_name(name)
+    };
+    let _ = writeln!(out, "# TYPE {base} histogram");
+    // Emit buckets only up to the last occupied one — the exposition
+    // format does not require every boundary, and 48 mostly-zero lines
+    // per histogram would drown the scrape.
+    let last_occupied = h
+        .buckets
+        .iter()
+        .rposition(|&b| b > 0)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let mut cumulative = 0u64;
+    for (i, &b) in h.buckets.iter().take(last_occupied).enumerate() {
+        cumulative += b;
+        let bound = bucket_upper_bound(i);
+        if bound == u64::MAX {
+            // The unbounded final bucket is the +Inf line below.
+            continue;
+        }
+        let le = if duration {
+            format!("{}", bound as f64 / 1e9)
+        } else {
+            format!("{bound}")
+        };
+        let _ = writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let sum = if duration {
+        format!("{}", h.sum as f64 / 1e9)
+    } else {
+        format!("{}", h.sum)
+    };
+    let _ = writeln!(out, "{base}_sum {sum}");
+    let _ = writeln!(out, "{base}_count {}", h.count);
+}
+
+impl TelemetrySnapshot {
+    /// Render every metric in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, h) in &self.histograms {
+            render_histogram(&mut out, name, h);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Telemetry;
+    use std::collections::BTreeMap;
+
+    /// Minimal exposition-format checker: every sample line belongs to a
+    /// `# TYPE`-declared metric, each metric is declared exactly once,
+    /// histogram buckets are cumulative (monotone nondecreasing), the
+    /// `+Inf` bucket equals `_count`, and names match the Prometheus
+    /// charset.
+    fn validate(text: &str) {
+        let mut types: BTreeMap<String, String> = BTreeMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().expect("type line has a name").to_owned();
+                let kind = it.next().expect("type line has a kind").to_owned();
+                assert!(!types.contains_key(&name), "duplicate # TYPE for {name}");
+                assert!(
+                    name.chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                    "bad metric name {name}"
+                );
+                types.insert(name, kind);
+            }
+        }
+        let base_of = |sample: &str| -> String {
+            let name = sample.split(['{', ' ']).next().unwrap().to_owned();
+            for suffix in ["_bucket", "_sum", "_count"] {
+                if let Some(stripped) = name.strip_suffix(suffix) {
+                    if types.contains_key(stripped) {
+                        return stripped.to_owned();
+                    }
+                }
+            }
+            name
+        };
+        // Histogram bucket monotonicity + +Inf == count.
+        let mut last_bucket: BTreeMap<String, u64> = BTreeMap::new();
+        let mut inf: BTreeMap<String, u64> = BTreeMap::new();
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for line in text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let base = base_of(line);
+            let kind = types
+                .get(&base)
+                .unwrap_or_else(|| panic!("sample without # TYPE: {line}"));
+            let value: f64 = line
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap_or_else(|_| panic!("unparseable value: {line}"));
+            if kind == "histogram" {
+                if line.contains("_bucket{le=") {
+                    let v = value as u64;
+                    let prev = last_bucket.entry(base.clone()).or_insert(0);
+                    assert!(v >= *prev, "non-monotone buckets: {line}");
+                    *prev = v;
+                    if line.contains("le=\"+Inf\"") {
+                        inf.insert(base, v);
+                    }
+                } else if line.starts_with(&format!("{base}_count")) {
+                    counts.insert(base, value as u64);
+                }
+            }
+        }
+        for (base, count) in &counts {
+            assert_eq!(
+                inf.get(base),
+                Some(count),
+                "+Inf bucket != count for {base}"
+            );
+        }
+    }
+
+    fn sample() -> TelemetrySnapshot {
+        let t = Telemetry::new();
+        t.add("wal.fsyncs_total", 3);
+        t.add("core.runs_total", 40);
+        t.gauge("wal.pending_events").set(5);
+        for i in 1..=1000u64 {
+            t.record("component_run", i * 997);
+        }
+        for _ in 0..10 {
+            t.record("wal.group_commit_events", 256);
+        }
+        t.snapshot()
+    }
+
+    #[test]
+    fn exposition_is_valid() {
+        validate(&sample().render_prometheus());
+    }
+
+    #[test]
+    fn one_type_line_per_metric_and_expected_names() {
+        let text = sample().render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE mltrace_component_run_seconds histogram")
+                .count(),
+            1
+        );
+        assert_eq!(
+            text.matches("# TYPE mltrace_wal_fsyncs_total counter")
+                .count(),
+            1
+        );
+        assert_eq!(
+            text.matches("# TYPE mltrace_wal_pending_events gauge")
+                .count(),
+            1
+        );
+        // Non-duration histogram keeps raw-unit buckets, no _seconds.
+        assert!(text.contains("# TYPE mltrace_wal_group_commit_events histogram"));
+        assert!(!text.contains("mltrace_wal_group_commit_events_seconds"));
+        assert!(text.contains("mltrace_wal_group_commit_events_bucket{le=\"511\"} 10"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_inf_only() {
+        let t = Telemetry::new();
+        t.histogram("quiet");
+        let text = t.render_prometheus();
+        validate(&text);
+        assert!(text.contains("mltrace_quiet_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("mltrace_quiet_seconds_count 0"));
+    }
+
+    #[test]
+    fn duration_buckets_are_in_seconds() {
+        let t = Telemetry::new();
+        t.record("op", 1_500_000); // 1.5ms → bucket upper bound 2^21-1 ns
+        let text = t.render_prometheus();
+        validate(&text);
+        let bound = (1u64 << 21) - 1;
+        let expected = format!("le=\"{}\"", bound as f64 / 1e9);
+        assert!(text.contains(&expected), "{text}");
+    }
+}

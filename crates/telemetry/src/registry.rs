@@ -1,0 +1,265 @@
+//! The [`Telemetry`] registry: named metrics, shared by cloning.
+//!
+//! The registry is deliberately *not* a global/static: each store or
+//! engine instance owns (a clone of) one, so tests and embedded multi-
+//! instance deployments never share state by accident. All layers of one
+//! engine instance report into the same registry because the handle is
+//! threaded top-down (the `Mltrace` handle adopts its store's registry).
+//!
+//! Handle acquisition (`counter`/`gauge`/`histogram`/`span`) takes a
+//! read lock on a small name map — acquire once and hold the handle on
+//! hot paths. Recording through a held handle is a relaxed atomic op.
+
+use crate::histogram::{Histogram, HistogramCore};
+use crate::snapshot::TelemetrySnapshot;
+use crate::span::TelemetrySpan;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A monotonically increasing counter handle.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can go up and down.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Metric names: lowercase words joined by `_`, namespaced by `.`
+/// (e.g. `wal.fsyncs_total`, `store.log_run_bundle`). Anything outside
+/// `[a-zA-Z0-9_.]` is replaced with `_` so the snapshot text format and
+/// the Prometheus renderer stay unambiguous.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The telemetry registry. Cloning is cheap and shares all metrics.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Registry>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Arc::new(Registry {
+                counters: RwLock::new(BTreeMap::new()),
+                gauges: RwLock::new(BTreeMap::new()),
+                histograms: RwLock::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(cell) = read(&self.inner.counters).get(name) {
+            return Counter { cell: cell.clone() };
+        }
+        let name = sanitize(name);
+        let mut g = write(&self.inner.counters);
+        let cell = g
+            .entry(name)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Counter { cell }
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(cell) = read(&self.inner.gauges).get(name) {
+            return Gauge { cell: cell.clone() };
+        }
+        let name = sanitize(name);
+        let mut g = write(&self.inner.gauges);
+        let cell = g
+            .entry(name)
+            .or_insert_with(|| Arc::new(AtomicI64::new(0)))
+            .clone();
+        Gauge { cell }
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(core) = read(&self.inner.histograms).get(name) {
+            return Histogram { core: core.clone() };
+        }
+        let name = sanitize(name);
+        let mut g = write(&self.inner.histograms);
+        let core = g
+            .entry(name)
+            .or_insert_with(|| Arc::new(HistogramCore::new()))
+            .clone();
+        Histogram { core }
+    }
+
+    /// One-shot counter increment (looks the handle up by name; prefer a
+    /// held [`Counter`] on hot paths).
+    pub fn incr(&self, name: &str) {
+        self.counter(name).incr();
+    }
+
+    /// One-shot counter add.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// One-shot histogram record.
+    pub fn record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Start an RAII span recording into the histogram named `name`: the
+    /// elapsed nanoseconds are recorded when the span drops (or on
+    /// [`TelemetrySpan::finish`]).
+    pub fn span(&self, name: &str) -> TelemetrySpan {
+        TelemetrySpan::new(self.clone(), self.histogram(name))
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let counters = read(&self.inner.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = read(&self.inner.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = read(&self.inner.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Render the current state in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_the_cell() {
+        let t = Telemetry::new();
+        let a = t.counter("x_total");
+        let b = t.counter("x_total");
+        a.incr();
+        b.add(2);
+        assert_eq!(t.counter("x_total").get(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let t = Telemetry::new();
+        let t2 = t.clone();
+        t.counter("shared_total").incr();
+        assert_eq!(t2.snapshot().counters["shared_total"], 1);
+    }
+
+    #[test]
+    fn gauges_go_both_ways() {
+        let t = Telemetry::new();
+        let g = t.gauge("depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        assert_eq!(t.snapshot().gauges["depth"], 7);
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let t = Telemetry::new();
+        t.incr("weird name{x=\"1\"}");
+        let snap = t.snapshot();
+        assert!(snap.counters.contains_key("weird_name_x__1__"), "{snap:?}");
+    }
+
+    #[test]
+    fn snapshot_is_a_copy() {
+        let t = Telemetry::new();
+        t.record("h", 100);
+        let snap = t.snapshot();
+        t.record("h", 100);
+        assert_eq!(snap.histograms["h"].count, 1);
+        assert_eq!(t.snapshot().histograms["h"].count, 2);
+    }
+}

@@ -1,0 +1,403 @@
+//! Point-in-time metric snapshots: merge, persist, render.
+//!
+//! A [`TelemetrySnapshot`] is a plain-data copy of a registry. Snapshots
+//! merge — across the registries of different subsystems, or across
+//! process invocations — which is how the CLI accumulates engine
+//! telemetry in a `<db>.telemetry` sidecar file: each invocation loads
+//! the sidecar, merges its own process-local registry, and writes the
+//! result back. The persistence format is line-oriented text (one metric
+//! per line, whitespace-separated), dependency-free and greppable like
+//! the WAL itself.
+
+use crate::histogram::{bucket_lower_bound, bucket_upper_bound, BUCKET_COUNT};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Plain-data copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (nanoseconds for duration histograms).
+    pub sum: u64,
+    /// Per-bucket observation counts ([`BUCKET_COUNT`] log2 buckets).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`). Returns the midpoint
+    /// of the bucket containing the target rank — within 2× of the true
+    /// value by construction of the log2 buckets. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= rank {
+                let lo = bucket_lower_bound(i);
+                let hi = bucket_upper_bound(i);
+                return Some(if hi == u64::MAX {
+                    lo.saturating_add(lo / 2)
+                } else {
+                    lo + (hi - lo) / 2
+                });
+            }
+        }
+        None
+    }
+
+    /// Mean observed value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Add another histogram's observations into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &b) in other.buckets.iter().enumerate() {
+            self.buckets[i] += b;
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a registry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+const HEADER: &str = "mltrace-telemetry v1";
+
+/// Histograms holding raw quantities rather than durations are named with
+/// one of these suffixes and rendered as plain numbers.
+fn is_duration(name: &str) -> bool {
+    !(name.ends_with("_events") || name.ends_with("_bytes") || name.ends_with("_size"))
+}
+
+/// Human-friendly duration from nanoseconds: `420ns`, `3.4µs`, `12.7ms`,
+/// `2.41s`.
+pub fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Thousands-separated integer (`1_234_567`-style with commas).
+pub fn format_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+impl TelemetrySnapshot {
+    /// Merge `other` into `self`: counters and histograms accumulate,
+    /// gauges take `other`'s (more recent) value.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// Serialize to the line-oriented persistence format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter {name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = write!(out, "hist {name} {} {}", h.count, h.sum);
+            for b in &h.buckets {
+                let _ = write!(out, " {b}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Parse the persistence format produced by [`Self::to_text`].
+    pub fn from_text(text: &str) -> Result<TelemetrySnapshot, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        match lines.next() {
+            Some(h) if h.trim() == HEADER => {}
+            Some(h) => return Err(format!("unrecognized telemetry header: {h:?}")),
+            None => return Ok(TelemetrySnapshot::default()),
+        }
+        let mut snap = TelemetrySnapshot::default();
+        for (lineno, line) in lines.enumerate() {
+            let mut tokens = line.split_whitespace();
+            let kind = tokens.next().unwrap_or_default();
+            let name = tokens
+                .next()
+                .ok_or_else(|| format!("line {}: missing metric name", lineno + 2))?
+                .to_owned();
+            let bad = |what: &str| format!("line {}: bad {what} for {name}", lineno + 2);
+            match kind {
+                "counter" => {
+                    let v: u64 = tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("counter value"))?;
+                    snap.counters.insert(name, v);
+                }
+                "gauge" => {
+                    let v: i64 = tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("gauge value"))?;
+                    snap.gauges.insert(name, v);
+                }
+                "hist" => {
+                    let count: u64 = tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("histogram count"))?;
+                    let sum: u64 = tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("histogram sum"))?;
+                    let mut buckets = Vec::with_capacity(BUCKET_COUNT);
+                    for t in tokens {
+                        buckets.push(t.parse::<u64>().map_err(|_| bad("bucket"))?);
+                    }
+                    // Tolerate snapshots from builds with a different
+                    // bucket count: pad or truncate (tail spill merges
+                    // into the last kept bucket).
+                    if buckets.len() > BUCKET_COUNT {
+                        let spill: u64 = buckets[BUCKET_COUNT..].iter().sum();
+                        buckets.truncate(BUCKET_COUNT);
+                        buckets[BUCKET_COUNT - 1] += spill;
+                    } else {
+                        buckets.resize(BUCKET_COUNT, 0);
+                    }
+                    snap.histograms.insert(
+                        name,
+                        HistogramSnapshot {
+                            count,
+                            sum,
+                            buckets,
+                        },
+                    );
+                }
+                other => return Err(format!("line {}: unknown record {other:?}", lineno + 2)),
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Load a snapshot from a sidecar file; `None` if the file is absent
+    /// or unreadable/corrupt (telemetry loss is never fatal).
+    pub fn load_file(path: impl AsRef<Path>) -> Option<TelemetrySnapshot> {
+        let text = std::fs::read_to_string(path).ok()?;
+        TelemetrySnapshot::from_text(&text).ok()
+    }
+
+    /// Write the snapshot to a sidecar file.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// One-screen human rendering: counters, histograms with
+    /// p50/p95/p99/mean, and the WAL group-commit efficiency line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            let _ = writeln!(out, "no engine telemetry recorded yet");
+            return out;
+        }
+        let _ = writeln!(out, "engine telemetry");
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "histogram", "count", "p50", "p95", "p99", "mean"
+            );
+            // Busiest first: these are the engine's hot paths.
+            let mut hists: Vec<(&String, &HistogramSnapshot)> = self.histograms.iter().collect();
+            hists.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.0.cmp(b.0)));
+            for (name, h) in hists {
+                let fmt = |v: Option<u64>| match v {
+                    Some(v) if is_duration(name) => format_ns(v),
+                    Some(v) => format_count(v),
+                    None => "-".to_owned(),
+                };
+                let mean = match h.mean() {
+                    Some(m) if is_duration(name) => format_ns(m as u64),
+                    Some(m) => format!("{m:.1}"),
+                    None => "-".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<32} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    name,
+                    format_count(h.count),
+                    fmt(h.quantile(0.50)),
+                    fmt(h.quantile(0.95)),
+                    fmt(h.quantile(0.99)),
+                    mean,
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  counters:");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "    {:<34} {:>12}", name, format_count(*value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "  gauges:");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "    {name:<34} {value:>12}");
+            }
+        }
+        let events = self.counters.get("wal.append_events_total").copied();
+        let flushes = self.counters.get("wal.flushes_total").copied();
+        if let (Some(events), Some(flushes)) = (events, flushes) {
+            if flushes > 0 {
+                let fsyncs = self.counters.get("wal.fsyncs_total").copied().unwrap_or(0);
+                let bytes = self
+                    .counters
+                    .get("wal.bytes_written_total")
+                    .copied()
+                    .unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  wal group commit: {} events in {} flushes ({:.1} events/flush), {} fsyncs, {} bytes written",
+                    format_count(events),
+                    format_count(flushes),
+                    events as f64 / flushes as f64,
+                    format_count(fsyncs),
+                    format_count(bytes),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Telemetry;
+
+    fn sample() -> TelemetrySnapshot {
+        let t = Telemetry::new();
+        t.add("wal.append_events_total", 1000);
+        t.add("wal.flushes_total", 10);
+        t.add("wal.fsyncs_total", 2);
+        t.gauge("wal.pending_events").set(7);
+        for i in 0..100u64 {
+            t.record("component_run", (i + 1) * 1000);
+        }
+        t.record("wal.group_commit_events", 256);
+        t.snapshot()
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        let snap = sample();
+        let parsed = TelemetrySnapshot::from_text(&snap.to_text()).unwrap();
+        assert_eq!(snap, parsed);
+    }
+
+    #[test]
+    fn empty_text_parses_to_empty_snapshot() {
+        assert_eq!(
+            TelemetrySnapshot::from_text("").unwrap(),
+            TelemetrySnapshot::default()
+        );
+        assert!(TelemetrySnapshot::from_text("not-a-header\n").is_err());
+        assert!(
+            TelemetrySnapshot::from_text("mltrace-telemetry v1\ncounter x notanumber\n").is_err()
+        );
+    }
+
+    #[test]
+    fn merge_accumulates_counters_and_histograms() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counters["wal.append_events_total"], 2000);
+        assert_eq!(a.histograms["component_run"].count, 200);
+        assert_eq!(a.gauges["wal.pending_events"], 7);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let snap = sample();
+        let h = &snap.histograms["component_run"];
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // True p50 of 1k..100k is ~50µs; log2 buckets bound error by 2x.
+        assert!((25_000..=100_000).contains(&p50), "{p50}");
+        assert!(h.quantile(1.0).unwrap() >= p99);
+        assert!(HistogramSnapshot::default().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn human_rendering_has_the_headline_sections() {
+        let text = sample().render_human();
+        assert!(text.contains("engine telemetry"));
+        assert!(text.contains("component_run"));
+        assert!(text.contains("p95"));
+        assert!(text.contains("events/flush"));
+        assert!(TelemetrySnapshot::default()
+            .render_human()
+            .contains("no engine telemetry"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(format_ns(420), "420ns");
+        assert_eq!(format_ns(3_400), "3.4µs");
+        assert_eq!(format_ns(12_700_000), "12.7ms");
+        assert_eq!(format_ns(2_410_000_000), "2.41s");
+        assert_eq!(format_count(999), "999");
+        assert_eq!(format_count(1_234_567), "1,234,567");
+    }
+}

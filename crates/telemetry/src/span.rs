@@ -1,0 +1,155 @@
+//! RAII timing spans.
+//!
+//! A [`TelemetrySpan`] samples a monotonic clock on creation and records
+//! the elapsed nanoseconds into its histogram when it is dropped (or
+//! explicitly finished). Spans nest: a child created with
+//! [`TelemetrySpan::child`] records into its *own* histogram and, on
+//! completion, adds its elapsed time to the parent's child accumulator so
+//! the parent can report self-time ([`TelemetrySpan::self_ns`]) — e.g. a
+//! `component_run` span decomposes into `before_triggers` /
+//! `component_body` / `after_triggers` children, and
+//! `component_run.self_ns()` is the engine bookkeeping left over.
+
+use crate::histogram::Histogram;
+use crate::registry::Telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An in-flight timed operation; records on drop.
+pub struct TelemetrySpan {
+    telemetry: Telemetry,
+    hist: Histogram,
+    start: Instant,
+    /// Nanoseconds accumulated by completed children of this span.
+    child_ns: Arc<AtomicU64>,
+    /// Where to report our own elapsed time when we complete, if nested.
+    parent_child_ns: Option<Arc<AtomicU64>>,
+    finished: bool,
+}
+
+impl TelemetrySpan {
+    pub(crate) fn new(telemetry: Telemetry, hist: Histogram) -> Self {
+        TelemetrySpan {
+            telemetry,
+            hist,
+            start: Instant::now(),
+            child_ns: Arc::new(AtomicU64::new(0)),
+            parent_child_ns: None,
+            finished: false,
+        }
+    }
+
+    /// Start a child span recording into the histogram named `name` in
+    /// the same registry. The child's elapsed time is added to this
+    /// span's child accumulator when the child completes.
+    pub fn child(&self, name: &str) -> TelemetrySpan {
+        let mut span = self.telemetry.span(name);
+        span.parent_child_ns = Some(self.child_ns.clone());
+        span
+    }
+
+    /// Nanoseconds since the span started.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Nanoseconds spent in completed children so far.
+    pub fn children_ns(&self) -> u64 {
+        self.child_ns.load(Ordering::Relaxed)
+    }
+
+    /// Elapsed time not attributed to any completed child.
+    pub fn self_ns(&self) -> u64 {
+        self.elapsed_ns().saturating_sub(self.children_ns())
+    }
+
+    fn complete(&mut self) -> u64 {
+        if self.finished {
+            return 0;
+        }
+        self.finished = true;
+        let ns = self.elapsed_ns();
+        self.hist.record(ns);
+        if let Some(parent) = &self.parent_child_ns {
+            parent.fetch_add(ns, Ordering::Relaxed);
+        }
+        ns
+    }
+
+    /// Finish the span now, recording and returning the elapsed
+    /// nanoseconds (drop would do the same, minus the return value).
+    pub fn finish(mut self) -> u64 {
+        self.complete()
+    }
+}
+
+impl Drop for TelemetrySpan {
+    fn drop(&mut self) {
+        self.complete();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let t = Telemetry::new();
+        {
+            let _span = t.span("op");
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.histograms["op"].count, 1);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let t = Telemetry::new();
+        let span = t.span("op");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let ns = span.finish();
+        assert!(ns >= 1_000_000, "slept 2ms, recorded {ns}ns");
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.histograms["op"].count, 1,
+            "finish + drop is one record"
+        );
+        assert_eq!(snap.histograms["op"].sum, ns);
+    }
+
+    #[test]
+    fn children_attribute_time_to_the_parent() {
+        let t = Telemetry::new();
+        let parent = t.span("parent");
+        {
+            let _child = parent.child("child_a");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(parent.children_ns() >= 1_000_000);
+        assert!(parent.elapsed_ns() >= parent.children_ns());
+        let total = parent.finish();
+        let snap = t.snapshot();
+        assert_eq!(snap.histograms["parent"].count, 1);
+        assert_eq!(snap.histograms["child_a"].count, 1);
+        assert!(total >= snap.histograms["child_a"].sum);
+    }
+
+    #[test]
+    fn grandchildren_report_to_their_own_parent() {
+        let t = Telemetry::new();
+        let root = t.span("root");
+        {
+            let mid = root.child("mid");
+            {
+                let _leaf = mid.child("leaf");
+            }
+            assert_eq!(t.snapshot().histograms["leaf"].count, 1);
+            assert!(mid.children_ns() <= mid.elapsed_ns() + 1_000_000);
+        }
+        // mid completed → root's child accumulator includes mid only once.
+        assert_eq!(t.snapshot().histograms["mid"].count, 1);
+        assert!(root.children_ns() > 0);
+    }
+}

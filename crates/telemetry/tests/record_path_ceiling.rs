@@ -1,0 +1,69 @@
+//! Tier-1 guard on the telemetry record path: the instruments must stay
+//! cheap enough that instrumenting the engine cannot meaningfully distort
+//! what the engine measures (the §3.2 "minimal overhead" requirement,
+//! applied to the observer itself).
+//!
+//! Ceilings are deliberately generous — they are meant to catch a
+//! regression that puts a lock, an allocation, or a syscall on the record
+//! path (microseconds → tens of microseconds), not to benchmark. The
+//! precise numbers live in `cargo bench --bench logging_overhead`
+//! (`E12/telemetry/*`).
+
+use mltrace_telemetry::Telemetry;
+use std::time::Instant;
+
+const ITERS: u32 = 100_000;
+
+/// Average nanoseconds per call of `op` over [`ITERS`] iterations.
+fn avg_ns(mut op: impl FnMut()) -> f64 {
+    // Warm up: first calls pay the name-insertion write lock.
+    for _ in 0..100 {
+        op();
+    }
+    let started = Instant::now();
+    for _ in 0..ITERS {
+        op();
+    }
+    started.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+#[test]
+fn counter_incr_stays_under_ceiling() {
+    let tele = Telemetry::new();
+    let counter = tele.counter("ceiling.counter");
+    let avg = avg_ns(|| counter.incr());
+    // A relaxed fetch_add is single-digit ns; 2 µs is ~3 orders of margin
+    // for CI-shared vCPUs while still failing on an accidental mutex.
+    assert!(avg < 2_000.0, "counter incr averaged {avg:.0} ns/op");
+}
+
+#[test]
+fn histogram_record_stays_under_ceiling() {
+    let tele = Telemetry::new();
+    let hist = tele.histogram("ceiling.hist");
+    let mut v = 0u64;
+    let avg = avg_ns(|| {
+        v = v.wrapping_add(997);
+        hist.record(v);
+    });
+    assert!(avg < 2_000.0, "histogram record averaged {avg:.0} ns/op");
+}
+
+#[test]
+fn named_lookup_record_stays_under_ceiling() {
+    // The one-shot `incr(name)` path takes a read lock + BTreeMap lookup;
+    // it must still be well under a microsecond-scale budget.
+    let tele = Telemetry::new();
+    tele.incr("ceiling.named");
+    let avg = avg_ns(|| tele.incr("ceiling.named"));
+    assert!(avg < 5_000.0, "named counter incr averaged {avg:.0} ns/op");
+}
+
+#[test]
+fn span_create_and_drop_stays_under_ceiling() {
+    // Two `Instant::now()` calls plus a histogram record; budget covers
+    // slow clock sources on virtualized CI.
+    let tele = Telemetry::new();
+    let avg = avg_ns(|| drop(tele.span("ceiling.span")));
+    assert!(avg < 20_000.0, "span create+drop averaged {avg:.0} ns/op");
+}

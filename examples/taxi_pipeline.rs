@@ -88,4 +88,8 @@ fn main() {
     )
     .unwrap();
     println!("{}", result.render());
+
+    // Observing the observer: what did the instrumentation itself cost?
+    println!("$ telemetry");
+    println!("{}", ml.telemetry().snapshot().render_human());
 }

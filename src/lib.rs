@@ -11,3 +11,4 @@ pub use mltrace_provenance as provenance;
 pub use mltrace_query as query;
 pub use mltrace_store as store;
 pub use mltrace_taxi as taxi;
+pub use mltrace_telemetry as telemetry;

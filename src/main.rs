@@ -21,6 +21,7 @@ use mltrace::store::deletion::delete_derived;
 use mltrace::store::retention::compact_older_than_days;
 use mltrace::store::{Store, WalStore};
 use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
+use mltrace::telemetry::TelemetrySnapshot;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -40,6 +41,7 @@ COMMANDS
   review                     rank component runs across flagged traces
   stale [component]          staleness of the latest run(s)
   health                     one-screen pipeline health summary
+  telemetry [--prometheus]   the engine's own counters and latency histograms
   sql <query>                ad-hoc SQL over the log tables
   stats                      record counts
   compact --days <n>         fold runs older than n days into summaries
@@ -83,6 +85,12 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     }
 
     let store = Arc::new(WalStore::open(&db).map_err(|e| format!("open {db}: {e}"))?);
+    if store.recovered() {
+        eprintln!(
+            "warning: {db}: torn write from a previous crash truncated away; \
+             the log is consistent up to the last complete record"
+        );
+    }
     let ml = Mltrace::with_store(store.clone(), Arc::new(mltrace::store::SystemClock));
     let mut cmds = Commands::new(&ml);
 
@@ -147,6 +155,17 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             let report = mltrace::core::health_report(&ml, 30, 5).map_err(err)?;
             print!("{}", report.render());
         }
+        "telemetry" => {
+            // Accumulated engine telemetry from previous invocations plus
+            // whatever this process has recorded so far (the WAL replay).
+            let mut snap = TelemetrySnapshot::load_file(telemetry_sidecar(&db)).unwrap_or_default();
+            snap.merge(&ml.telemetry().snapshot());
+            if rest.first().map(String::as_str) == Some("--prometheus") {
+                print!("{}", snap.render_prometheus());
+            } else {
+                print!("{}", snap.render_human());
+            }
+        }
         "sql" => {
             let query = rest.first().ok_or("sql needs a query string")?;
             let result = execute(store.as_ref(), query).map_err(err)?;
@@ -196,7 +215,22 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         other => return Err(format!("unknown command '{other}' (try: mltrace help)")),
     }
     store.sync().map_err(err)?;
+    persist_telemetry(&db, &ml.telemetry().snapshot());
     Ok(())
+}
+
+/// Sidecar file accumulating engine telemetry across CLI invocations.
+fn telemetry_sidecar(db: &str) -> String {
+    format!("{db}.telemetry")
+}
+
+/// Fold this process's telemetry into the sidecar (load → merge → save).
+/// Telemetry loss is never fatal, so errors are swallowed.
+fn persist_telemetry(db: &str, live: &TelemetrySnapshot) {
+    let path = telemetry_sidecar(db);
+    let mut snap = TelemetrySnapshot::load_file(&path).unwrap_or_default();
+    snap.merge(live);
+    let _ = snap.save_file(&path);
 }
 
 fn demo(db: &str, rest: &[String]) -> Result<(), String> {
@@ -255,6 +289,15 @@ fn demo(db: &str, rest: &[String]) -> Result<(), String> {
         .artifacts()
         .write_snapshot(format!("{db}.artifacts"))
         .map_err(err)?;
+    // Fold both registries into the sidecar: the in-memory pipeline's
+    // (component_run spans, store.log_run_bundle) and the WAL's
+    // (wal.append_all, fsyncs) — so `mltrace telemetry` can report on the
+    // demo afterwards.
+    let mut live = p.ml().telemetry().snapshot();
+    if let Some(t) = wal.telemetry() {
+        live.merge(&t.snapshot());
+    }
+    persist_telemetry(db, &live);
     let stats = wal.stats().map_err(err)?;
     println!(
         "wrote {} runs / {} metric points to {db}; try `mltrace --db {db} recent`",

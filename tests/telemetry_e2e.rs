@@ -1,0 +1,145 @@
+//! End-to-end check of the self-telemetry subsystem: a WAL-backed
+//! pipeline run must leave a complete, externally consumable account of
+//! what the engine itself did — per-run overhead metadata, populated
+//! latency histograms at every layer, valid Prometheus exposition, and a
+//! sidecar snapshot that survives "process" boundaries via merge.
+
+use mltrace::core::{Mltrace, RunSpec};
+use mltrace::store::{Store, Value, WalStore};
+use mltrace::telemetry::TelemetrySnapshot;
+use std::sync::Arc;
+
+/// Drive a few runs through a WAL-backed engine and return it.
+fn run_workload(ml: &Mltrace) {
+    for i in 0..4 {
+        ml.run(
+            "featurize",
+            RunSpec::new()
+                .input("raw.csv")
+                .output(format!("features-{i}.csv")),
+            |ctx| {
+                ctx.log_metric("rows", 100.0 + i as f64);
+                Ok(())
+            },
+        )
+        .unwrap();
+    }
+    // One failing run so failure counters move too.
+    let _ = ml.run("featurize", RunSpec::new().input("raw.csv"), |_| {
+        Err::<(), _>("injected".into())
+    });
+}
+
+#[test]
+fn every_layer_reports_into_one_registry() {
+    let dir = tempfile::tempdir().unwrap();
+    let store = Arc::new(WalStore::open(dir.path().join("obs.wal")).unwrap());
+    let ml = Mltrace::with_store(store.clone(), Arc::new(mltrace::store::SystemClock));
+    run_workload(&ml);
+    store.sync().unwrap();
+
+    // Every run — success or failure — carries the engine's own cost.
+    for id in store.run_ids().unwrap() {
+        let run = store.run(id).unwrap().unwrap();
+        assert!(
+            matches!(
+                run.metadata.get("mltrace.overhead_ms"),
+                Some(Value::Float(v)) if *v >= 0.0
+            ),
+            "run {id} missing mltrace.overhead_ms metadata"
+        );
+    }
+
+    let snap = ml.telemetry().snapshot();
+
+    // Execution layer: spans and counters.
+    assert_eq!(snap.histograms["component_run"].count, 5);
+    assert_eq!(snap.counters["core.runs_total"], 5);
+    assert_eq!(snap.counters["core.run_failures_total"], 1);
+    let run_hist = &snap.histograms["component_run"];
+    for q in [0.5, 0.95, 0.99] {
+        assert!(
+            run_hist.quantile(q).unwrap() > 0,
+            "p{} of component_run",
+            q * 100.0
+        );
+    }
+
+    // Storage layer: the bundle write path.
+    assert_eq!(snap.histograms["store.log_run_bundle"].count, 5);
+    assert_eq!(snap.counters["store.runs_logged_total"], 5);
+
+    // WAL layer: appends happened and the sync was an fsync.
+    assert!(snap.histograms["wal.append_all"].count >= 5);
+    assert!(snap.counters["wal.appends_total"] >= 5);
+    assert!(snap.counters["wal.flushes_total"] >= 1);
+    assert!(snap.counters["wal.fsyncs_total"] >= 1);
+    assert!(snap.counters["wal.bytes_written_total"] > 0);
+    assert_eq!(snap.counters["wal.recoveries_total"], 0);
+}
+
+#[test]
+fn prometheus_exposition_covers_the_required_series() {
+    let dir = tempfile::tempdir().unwrap();
+    let store = Arc::new(WalStore::open(dir.path().join("obs.wal")).unwrap());
+    let ml = Mltrace::with_store(store.clone(), Arc::new(mltrace::store::SystemClock));
+    run_workload(&ml);
+    store.sync().unwrap();
+
+    let text = ml.telemetry().snapshot().render_prometheus();
+    // The same series CI greps for after the demo (ci.yml telemetry-smoke).
+    for series in [
+        "# TYPE mltrace_component_run_seconds histogram",
+        "# TYPE mltrace_store_log_run_bundle_seconds histogram",
+        "# TYPE mltrace_wal_append_all_seconds histogram",
+        "# TYPE mltrace_wal_fsyncs_total counter",
+    ] {
+        assert!(text.contains(series), "missing {series:?} in exposition");
+    }
+    assert!(text.contains("mltrace_component_run_seconds_count 5"));
+    assert!(text.contains("mltrace_component_run_seconds_bucket{le=\"+Inf\"} 5"));
+}
+
+#[test]
+fn sidecar_snapshot_round_trips_and_merges_across_processes() {
+    let dir = tempfile::tempdir().unwrap();
+    let wal = dir.path().join("obs.wal");
+    let sidecar = dir.path().join("obs.wal.telemetry");
+
+    // "Process" 1: run, snapshot, persist.
+    {
+        let ml = Mltrace::open(&wal).unwrap();
+        run_workload(&ml);
+        ml.telemetry().snapshot().save_file(&sidecar).unwrap();
+    }
+
+    // "Process" 2: reopen (WAL replay re-logs the 5 runs into the new
+    // registry), then fold into the sidecar the way the CLI does.
+    let mut accumulated = TelemetrySnapshot::load_file(&sidecar).expect("sidecar parses");
+    assert_eq!(accumulated.counters["core.runs_total"], 5);
+    {
+        let ml = Mltrace::open(&wal).unwrap();
+        assert_eq!(
+            ml.store().stats().unwrap().runs,
+            5,
+            "workload survived restart"
+        );
+        accumulated.merge(&ml.telemetry().snapshot());
+        accumulated.save_file(&sidecar).unwrap();
+    }
+
+    // Counters added; histograms merged bucket-wise; text format stable.
+    let reloaded = TelemetrySnapshot::load_file(&sidecar).unwrap();
+    // Process 1 logged the runs; process 2's replay *restored* them — the
+    // merged sidecar keeps the two paths distinguishable.
+    assert_eq!(reloaded.counters["store.runs_logged_total"], 5);
+    assert_eq!(reloaded.counters["store.runs_restored_total"], 5);
+    assert_eq!(
+        reloaded.histograms["component_run"].count,
+        accumulated.histograms["component_run"].count
+    );
+    // The run spans only exist in process 1 (replay is not a run).
+    assert_eq!(reloaded.counters["core.runs_total"], 5);
+    assert!(!reloaded.is_empty());
+    assert!(reloaded.render_human().contains("component_run"));
+}
