@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mltrace_bench::scale_store;
 use mltrace_query::execute;
-use mltrace_store::{ComponentRecord, MetricRecord, Store};
+use mltrace_store::{ComponentRecord, MetricRecord, RunFilter, RunId, Store};
 use std::hint::black_box;
 
 fn seeded(n: usize) -> mltrace_store::MemoryStore {
@@ -56,12 +56,73 @@ fn queries(c: &mut Criterion) {
                 "like_scan",
                 "SELECT count(*) FROM component_runs WHERE component LIKE 'stage-%'",
             ),
+            // Fully-pushed WHERE: the scan filters inside each shard lock
+            // and only survivors become Value rows.
+            (
+                "filter_pushdown",
+                "SELECT id, component FROM component_runs \
+                 WHERE component = 'inference' AND start_ms >= 90",
+            ),
+            // Pushed WHERE + pushed LIMIT: clones bounded by the limit.
+            (
+                "limit_pushdown",
+                "SELECT id, component FROM component_runs \
+                 WHERE component = 'inference' AND start_ms >= 90 LIMIT 10",
+            ),
+            // ORDER BY + LIMIT: bounded top-K instead of full sort.
+            (
+                "topk",
+                "SELECT id, component, duration_ms FROM component_runs \
+                 ORDER BY duration_ms DESC LIMIT 10",
+            ),
         ];
         for (name, sql) in cases {
             group.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, sql| {
                 b.iter(|| black_box(execute(&store, sql).unwrap().rows.len()));
             });
         }
+        group.finish();
+    }
+}
+
+/// E11/scan — the raw store read path under the SQL layer: per-run point
+/// lookups vs the batched snapshot scan, unfiltered and filtered.
+fn scans(c: &mut Criterion) {
+    for &n in &[10_000usize, 100_000] {
+        let store = seeded(n);
+        let ids: Vec<RunId> = store.run_ids().unwrap();
+        let mut group = c.benchmark_group(format!("E11/scan/n={n}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function("point_lookups", |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &id in &ids {
+                    if store.run(id).unwrap().is_some() {
+                        total += 1;
+                    }
+                }
+                black_box(total)
+            });
+        });
+        group.bench_function("scan_full", |b| {
+            b.iter(|| {
+                black_box(
+                    store
+                        .scan_runs(None, &RunFilter::default(), None)
+                        .unwrap()
+                        .len(),
+                )
+            });
+        });
+        group.bench_function("scan_filtered", |b| {
+            let filter = RunFilter::all().with_component("stage-3");
+            b.iter(|| black_box(store.scan_runs(None, &filter, None).unwrap().len()));
+        });
+        group.bench_function("scan_filtered_limit", |b| {
+            let filter = RunFilter::all().with_component("stage-3");
+            b.iter(|| black_box(store.scan_runs(None, &filter, Some(100)).unwrap().len()));
+        });
         group.finish();
     }
 }
@@ -78,6 +139,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = queries
+    targets = queries, scans
 }
 criterion_main!(benches);

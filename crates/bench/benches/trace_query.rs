@@ -77,7 +77,9 @@ fn slice_vs_size(c: &mut Criterion) {
 
 fn incremental_graph_refresh(c: &mut Criterion) {
     // Ablation (DESIGN.md §5): incremental refresh vs full rebuild after
-    // appending one run.
+    // appending one run. Both paths now feed from the store's batched
+    // snapshot scan (one lock per shard per chunk) rather than a point
+    // lookup per run; E11/scan in sql_query.rs isolates that delta.
     let mut group = c.benchmark_group("graph_refresh/after_one_append");
     group.sample_size(10);
     let (store, _) = scale_store(50_000);
@@ -95,6 +97,22 @@ fn incremental_graph_refresh(c: &mut Criterion) {
     group.finish();
 }
 
+fn graph_build_vs_scale(c: &mut Criterion) {
+    // Cold-build cost of the lineage graph at E11 scales: dominated by
+    // the run read path, so it tracks the batched-scan improvement
+    // directly (the pre-overhaul build did one store lock per run).
+    let mut group = c.benchmark_group("graph_refresh/cold_build");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let (store, _) = scale_store(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(build_graph(&store).unwrap().run_count()));
+        });
+    }
+    group.finish();
+}
+
 /// Shared criterion config: short measurement windows keep the full
 /// suite runnable in CI while remaining stable on these workloads.
 fn config() -> Criterion {
@@ -107,6 +125,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = trace_vs_depth, slice_vs_size, incremental_graph_refresh
+    targets = trace_vs_depth, slice_vs_size, incremental_graph_refresh, graph_build_vs_scale
 }
 criterion_main!(benches);

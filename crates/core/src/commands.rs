@@ -9,6 +9,7 @@ use crate::graph::GraphCache;
 use crate::staleness::{self, StalenessReason};
 use mltrace_provenance::{slice_lineage, trace_output, RankedRun, TraceNode, TraceOptions};
 use mltrace_store::{CompactionSummary, ComponentRunRecord, RunId, Store};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Stateful command surface over an [`Mltrace`] instance. Keeps an
@@ -132,22 +133,28 @@ impl<'a> Commands<'a> {
         if self.store().component(component)?.is_none() {
             return Err(CoreError::UnknownComponent(component.to_owned()));
         }
-        let ids = self.store().runs_for_component(component)?;
-        let mut entries = Vec::new();
-        for &id in ids.iter().rev().take(limit) {
-            let Some(run) = self.store().run(id)? else {
-                continue;
-            };
-            let mut metrics = Vec::new();
-            for name in self.store().metric_names(component)? {
-                for point in self.store().metrics(component, &name)? {
-                    if point.run_id == Some(id) {
-                        metrics.push((name.clone(), point.value));
-                    }
+        // One batched accessor (one index lock + one fetch per shard)
+        // instead of a point lookup per run.
+        let runs = self.store().component_history(component, limit)?;
+        // Attribute metric points in a single pass over each series rather
+        // than rescanning every series once per run. Per-run metric order
+        // is unchanged: series in `metric_names` order, points in log
+        // order within a series.
+        let wanted: HashMap<RunId, usize> =
+            runs.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+        let mut metrics: Vec<Vec<(String, f64)>> = vec![Vec::new(); runs.len()];
+        for name in self.store().metric_names(component)? {
+            for point in self.store().metrics(component, &name)? {
+                if let Some(&i) = point.run_id.as_ref().and_then(|id| wanted.get(id)) {
+                    metrics[i].push((name.clone(), point.value));
                 }
             }
-            entries.push(HistoryEntry { run, metrics });
         }
+        let entries = runs
+            .into_iter()
+            .zip(metrics)
+            .map(|(run, metrics)| HistoryEntry { run, metrics })
+            .collect();
         Ok(History {
             component: component.to_owned(),
             entries,

@@ -5,7 +5,11 @@
 
 use crate::error::Result;
 use mltrace_provenance::LineageGraph;
-use mltrace_store::{RunId, RunStatus, Store};
+use mltrace_store::{RunFilter, RunId, RunStatus, Store};
+
+/// Runs fetched per scan batch during a refresh; bounds peak cloned-record
+/// memory without giving up the one-lock-per-shard batched read path.
+const REFRESH_CHUNK: usize = 4096;
 
 /// Build a lineage graph over every live run in the store.
 pub fn build_graph(store: &dyn Store) -> Result<LineageGraph> {
@@ -50,24 +54,32 @@ impl GraphCache {
             self.last_seen = None;
             self.runs_removed_at_build = removed;
         }
-        for id in store.run_ids()? {
-            if Some(id) <= self.last_seen {
-                continue;
-            }
-            if let Some(run) = store.run(id)? {
-                let deps: Vec<u64> = run.dependencies.iter().map(|d| d.0).collect();
-                self.graph.add_run(
-                    run.id.0,
-                    &run.component,
-                    run.start_ms,
-                    run.status != RunStatus::Success,
-                    &run.inputs,
-                    &run.outputs,
-                    &deps,
-                );
-            }
-            self.last_seen = Some(id);
-        }
+        // Batched snapshot scan: one lock acquisition per shard per chunk
+        // instead of one point lookup per run. Batches arrive in ascending
+        // id order, so producers are inserted before their dependents.
+        let graph = &mut self.graph;
+        let last_seen = &mut self.last_seen;
+        store.scan_runs_chunked(
+            *last_seen,
+            &RunFilter::default(),
+            REFRESH_CHUNK,
+            &mut |batch| {
+                for run in batch {
+                    let deps: Vec<u64> = run.dependencies.iter().map(|d| d.0).collect();
+                    graph.add_run(
+                        run.id.0,
+                        &run.component,
+                        run.start_ms,
+                        run.status != RunStatus::Success,
+                        &run.inputs,
+                        &run.outputs,
+                        &deps,
+                    );
+                    *last_seen = Some(run.id);
+                }
+                true
+            },
+        )?;
         Ok(())
     }
 

@@ -243,6 +243,30 @@ impl Expr {
         }
     }
 
+    /// Split a predicate into its top-level `AND` conjuncts, in
+    /// left-to-right evaluation order. A non-`AND` expression is a single
+    /// conjunct. The pushdown planner consumes this: each conjunct can be
+    /// absorbed into a scan filter or retained as a residual independently.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                left.collect_conjuncts(out);
+                right.collect_conjuncts(out);
+            }
+            other => out.push(other),
+        }
+    }
+
     /// Default output name for an unaliased projection.
     pub fn default_name(&self) -> String {
         match self {

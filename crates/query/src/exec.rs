@@ -3,10 +3,13 @@
 
 use crate::ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
 use crate::parser::{parse, ParseError};
-use mltrace_store::schema::{column_index, scan, table_schema, Row, Table};
+use crate::plan::{plan_metric_scan, plan_run_scan};
+use mltrace_store::schema::{
+    column_index, scan, scan_metrics_rows, scan_runs_rows, table_schema, Row, Table,
+};
 use mltrace_store::{Store, StoreError, Value};
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 /// Execution error.
@@ -119,8 +122,29 @@ pub fn execute(store: &dyn Store, sql: &str) -> Result<QueryResult, QueryError> 
     execute_query(store, &query)
 }
 
-/// Execute a pre-parsed query.
+/// Execute a pre-parsed query through the pushdown planner: simple WHERE
+/// conjuncts and (when safe) LIMIT run inside the store scan, so only
+/// surviving records are converted to [`Value`] rows.
 pub fn execute_query(store: &dyn Store, query: &Query) -> Result<QueryResult, QueryError> {
+    execute_query_inner(store, query, true)
+}
+
+/// Execute a pre-parsed query on the naive path: full scan, then evaluate
+/// the whole WHERE clause per materialized row. Kept as the reference
+/// implementation for the pushdown equivalence suite; results must match
+/// [`execute_query`] row for row.
+pub fn execute_query_unoptimized(
+    store: &dyn Store,
+    query: &Query,
+) -> Result<QueryResult, QueryError> {
+    execute_query_inner(store, query, false)
+}
+
+fn execute_query_inner(
+    store: &dyn Store,
+    query: &Query,
+    pushdown: bool,
+) -> Result<QueryResult, QueryError> {
     let table =
         Table::parse(&query.from).ok_or_else(|| QueryError::UnknownTable(query.from.clone()))?;
     let schema = table_schema(table);
@@ -128,16 +152,74 @@ pub fn execute_query(store: &dyn Store, query: &Query) -> Result<QueryResult, Qu
         column_index(table, name).map_err(|_| QueryError::UnknownColumn(name.to_owned()))
     };
 
-    // Validate column references up front.
+    // Validate column references and WHERE shape up front, before any
+    // scan, so both execution paths fail identically.
     validate_columns(query, &resolve)?;
-
-    let mut rows = scan(store, table)?;
-
-    // WHERE
     if let Some(filter) = &query.where_clause {
         if filter.has_aggregate() {
             return Err(QueryError::Semantic("aggregate in WHERE".into()));
         }
+    }
+
+    let grouped = !query.group_by.is_empty()
+        || query
+            .select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Expr { expr, .. } if expr.has_aggregate()));
+
+    // LIMIT can run inside the scan only when nothing downstream can drop
+    // or reorder rows: the whole WHERE must be pushed, and there must be
+    // no grouping, DISTINCT, or ORDER BY.
+    let limit_pushable = |residual: &Option<Expr>| -> Option<usize> {
+        if residual.is_none() && !grouped && !query.distinct && query.order_by.is_empty() {
+            query.limit
+        } else {
+            None
+        }
+    };
+    let tele = store.telemetry();
+
+    // Scan, splitting WHERE into a pushed-down part and a residual the
+    // executor still evaluates per row.
+    let (mut rows, residual) = if pushdown {
+        match table {
+            Table::ComponentRuns => {
+                let plan = plan_run_scan(query.where_clause.as_ref());
+                let limit = limit_pushable(&plan.residual);
+                if let Some(t) = tele {
+                    if !plan.filter.is_all() {
+                        t.incr("query.pushdown.filters_total");
+                    }
+                    if limit.is_some() {
+                        t.incr("query.pushdown.limits_total");
+                    }
+                }
+                (scan_runs_rows(store, &plan.filter, limit)?, plan.residual)
+            }
+            Table::Metrics => {
+                let plan = plan_metric_scan(query.where_clause.as_ref());
+                let limit = limit_pushable(&plan.residual);
+                if let Some(t) = tele {
+                    if plan.component.is_some() {
+                        t.incr("query.pushdown.filters_total");
+                    }
+                    if limit.is_some() {
+                        t.incr("query.pushdown.limits_total");
+                    }
+                }
+                (
+                    scan_metrics_rows(store, plan.component.as_deref(), limit)?,
+                    plan.residual,
+                )
+            }
+            other => (scan(store, other)?, query.where_clause.clone()),
+        }
+    } else {
+        (scan(store, table)?, query.where_clause.clone())
+    };
+
+    // Residual WHERE (the full clause on the naive path).
+    if let Some(filter) = &residual {
         let mut kept = Vec::with_capacity(rows.len());
         for row in rows {
             if eval(filter, &row, &resolve)?.truthy() {
@@ -147,31 +229,18 @@ pub fn execute_query(store: &dyn Store, query: &Query) -> Result<QueryResult, Qu
         rows = kept;
     }
 
-    let grouped = !query.group_by.is_empty()
-        || query
-            .select
-            .iter()
-            .any(|s| matches!(s, SelectItem::Expr { expr, .. } if expr.has_aggregate()));
-
     let (columns, mut out_rows) = if grouped {
         aggregate(query, rows, &resolve)?
     } else {
         project_plain(query, rows, schema, &resolve)?
     };
 
-    // DISTINCT over the projected rows.
+    // DISTINCT over the projected rows, via hashed canonical keys (the
+    // key encoding matches `Value::loose_eq`, see `canonical_row_key`) —
+    // O(n) instead of the old O(n²) pairwise comparison.
     if query.distinct {
-        let mut seen: Vec<Row> = Vec::new();
-        out_rows.retain(|row| {
-            if seen.iter().any(|s| {
-                s.len() == row.len() && s.iter().zip(row.iter()).all(|(a, b)| a.loose_eq(b))
-            }) {
-                false
-            } else {
-                seen.push(row.clone());
-                true
-            }
-        });
+        let mut seen: HashSet<String> = HashSet::with_capacity(out_rows.len());
+        out_rows.retain(|row| seen.insert(canonical_row_key(row)));
     }
 
     // ORDER BY over output columns first, then table columns (plain mode).
@@ -181,7 +250,7 @@ pub fn execute_query(store: &dyn Store, query: &Query) -> Result<QueryResult, Qu
             .iter()
             .map(|(e, desc)| Ok((sort_key(e, &columns, query, &resolve)?, *desc)))
             .collect::<Result<_, QueryError>>()?;
-        out_rows.sort_by(|a, b| {
+        let cmp = |a: &Row, b: &Row| -> Ordering {
             for (key, desc) in &keys {
                 let (va, vb) = match key {
                     SortKey::Output(i) => (&a[*i], &b[*i]),
@@ -193,7 +262,17 @@ pub fn execute_query(store: &dyn Store, query: &Query) -> Result<QueryResult, Qu
                 }
             }
             Ordering::Equal
-        });
+        };
+        match query.limit {
+            // Bounded top-K instead of full-sort-then-truncate.
+            Some(k) if k < out_rows.len() => {
+                if let Some(t) = tele {
+                    t.incr("query.topk_total");
+                }
+                top_k(&mut out_rows, k, cmp);
+            }
+            _ => out_rows.sort_by(cmp),
+        }
     }
 
     if let Some(limit) = query.limit {
@@ -204,6 +283,94 @@ pub fn execute_query(store: &dyn Store, query: &Query) -> Result<QueryResult, Qu
         columns,
         rows: out_rows,
     })
+}
+
+/// Keep the `k` smallest rows under `cmp`, in sorted order, equivalent to
+/// a full stable sort followed by `truncate(k)` but with memory and sort
+/// work bounded by `O(k)` instead of the input size.
+///
+/// Rows are tagged with their input position and compared by
+/// `(cmp, position)` — a total order whose prefix of length `k` is exactly
+/// what the stable sort would keep, so pruning the buffer to `k` whenever
+/// it reaches `2k` never discards a final survivor.
+fn top_k<F: Fn(&Row, &Row) -> Ordering>(rows: &mut Vec<Row>, k: usize, cmp: F) {
+    if k == 0 {
+        rows.clear();
+        return;
+    }
+    let full = |buf: &mut Vec<(usize, Row)>| {
+        buf.sort_by(|a, b| cmp(&a.1, &b.1).then(a.0.cmp(&b.0)));
+        buf.truncate(k);
+    };
+    let mut buf: Vec<(usize, Row)> = Vec::with_capacity(k.saturating_mul(2).min(rows.len()));
+    for (i, row) in rows.drain(..).enumerate() {
+        buf.push((i, row));
+        if buf.len() >= k.saturating_mul(2) {
+            full(&mut buf);
+        }
+    }
+    full(&mut buf);
+    rows.extend(buf.into_iter().map(|(_, r)| r));
+}
+
+/// Canonical string key for a projected row, used by hashed DISTINCT.
+///
+/// Two rows get the same key iff elementwise `Value::loose_eq` holds
+/// (i.e. `total_cmp == Equal`): cross-type comparisons are never equal
+/// except the numeric interleave, where an integer-valued float that
+/// round-trips through `i64` exactly shares the integer's key and any
+/// other float (NaNs, -0.0, fractional) keys on its exact bits. The one
+/// divergence from pairwise `loose_eq` is the regime above 2^53 where
+/// float precision makes `loose_eq` non-transitive and the old O(n²)
+/// scan was order-dependent anyway; the hashed key is deterministic there.
+fn canonical_row_key(row: &Row) -> String {
+    let mut key = String::with_capacity(row.len() * 8);
+    for v in row {
+        canonical_value_key(v, &mut key);
+    }
+    key
+}
+
+fn canonical_value_key(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("n;"),
+        Value::Bool(b) => {
+            let _ = write!(out, "b{};", u8::from(*b));
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "i{i};");
+        }
+        Value::Float(f) => {
+            // `total_cmp` compares Int × Float by converting the int to
+            // f64; a float is loose-equal to an int iff it is that int's
+            // exact f64 image, i.e. iff it survives the i64 round-trip
+            // bit-for-bit (rules out NaN, -0.0, fractions, out-of-range).
+            let i = *f as i64;
+            if (i as f64).to_bits() == f.to_bits() {
+                let _ = write!(out, "i{i};");
+            } else {
+                let _ = write!(out, "f{:x};", f.to_bits());
+            }
+        }
+        Value::Str(s) => {
+            let _ = write!(out, "s{}:{s};", s.len());
+        }
+        Value::List(items) => {
+            let _ = write!(out, "l{}[", items.len());
+            for item in items {
+                canonical_value_key(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            let _ = write!(out, "m{}{{", entries.len());
+            for (k, val) in entries {
+                let _ = write!(out, "s{}:{k};", k.len());
+                canonical_value_key(val, out);
+            }
+            out.push('}');
+        }
+    }
 }
 
 enum SortKey {
@@ -1052,6 +1219,109 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.rows[0][0], Value::from("train"));
+    }
+
+    #[test]
+    fn pushdown_matches_naive_on_seeded() {
+        let s = seeded();
+        for sql in [
+            "SELECT * FROM component_runs WHERE component = 'infer'",
+            "SELECT * FROM runs WHERE status = 'success' AND start_ms >= 200",
+            "SELECT * FROM runs WHERE 300 <= start_ms AND duration_ms > 4",
+            "SELECT * FROM runs WHERE start_ms BETWEEN 200 AND 500 LIMIT 2",
+            "SELECT component FROM runs WHERE component = 'etl' AND component = 'train'",
+            "SELECT * FROM runs WHERE id < 0",
+            "SELECT * FROM runs LIMIT 3",
+            "SELECT * FROM runs WHERE status = 'Success'",
+            "SELECT count(*) FROM runs WHERE component = 'infer'",
+            "SELECT DISTINCT component FROM runs WHERE start_ms >= 200 ORDER BY component",
+            "SELECT * FROM runs ORDER BY duration_ms DESC LIMIT 2",
+            "SELECT * FROM metrics WHERE component = 'infer' AND value > 0.7",
+            "SELECT * FROM metrics WHERE component = 'ghost'",
+            "SELECT name, value FROM metrics WHERE component = 'infer' LIMIT 2",
+        ] {
+            let q = parse(sql).unwrap();
+            let fast = execute_query(&s, &q).unwrap();
+            let slow = execute_query_unoptimized(&s, &q).unwrap();
+            assert_eq!(fast, slow, "{sql}");
+        }
+    }
+
+    #[test]
+    fn pushdown_records_planner_and_scan_counters() {
+        let s = seeded();
+        execute(
+            &s,
+            "SELECT * FROM component_runs WHERE component = 'infer' LIMIT 2",
+        )
+        .unwrap();
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.counters["query.pushdown.filters_total"], 1);
+        assert_eq!(snap.counters["query.pushdown.limits_total"], 1);
+        assert_eq!(snap.counters["query.rows_scanned"], 6, "all runs examined");
+        assert_eq!(
+            snap.counters["query.rows_returned"], 2,
+            "limit bounds clones"
+        );
+        assert!(!snap.counters.contains_key("query.topk_total"));
+
+        execute(&s, "SELECT * FROM runs ORDER BY duration_ms DESC LIMIT 1").unwrap();
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.counters["query.topk_total"], 1);
+        // ORDER BY forbids limit pushdown.
+        assert_eq!(snap.counters["query.pushdown.limits_total"], 1);
+    }
+
+    #[test]
+    fn top_k_equals_stable_sort_truncate() {
+        let rows: Vec<Row> = (0i64..100)
+            .map(|i| vec![Value::Int(i % 7), Value::Int(i)])
+            .collect();
+        let cmp = |a: &Row, b: &Row| a[0].total_cmp(&b[0]);
+        for k in [0, 1, 5, 7, 50, 99, 100, 150] {
+            let mut fast = rows.clone();
+            top_k(&mut fast, k, cmp);
+            let mut slow = rows.clone();
+            slow.sort_by(cmp);
+            slow.truncate(k);
+            assert_eq!(fast, slow, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn canonical_key_agrees_with_loose_eq() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(0),
+            Value::Int(1),
+            Value::Int(i64::MIN),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(1.0),
+            Value::Float(1.5),
+            Value::Float(f64::NAN),
+            Value::Float(-(2f64.powi(63))),
+            Value::from("1"),
+            Value::from(""),
+            Value::List(vec![Value::Int(1)]),
+            Value::List(vec![Value::Float(1.0)]),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let key = |v: &Value| {
+                    let mut s = String::new();
+                    canonical_value_key(v, &mut s);
+                    s
+                };
+                assert_eq!(
+                    key(a) == key(b),
+                    a.loose_eq(b),
+                    "key/loose_eq disagree on {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,15 +11,24 @@
 //! `COALESCE`, `LOWER`, `UPPER`, `ROUND`), `GROUP BY` with
 //! `COUNT`/`SUM`/`AVG`/`MIN`/`MAX` and `HAVING`, `ORDER BY ... [DESC]`,
 //! and `LIMIT`.
+//!
+//! Execution pushes simple `WHERE` conjuncts (component/status equality,
+//! id/time comparisons) and — when nothing downstream can drop or reorder
+//! rows — `LIMIT` down into the store's batched snapshot scan (see
+//! [`plan`]), and uses a bounded top-K sort when `ORDER BY` and `LIMIT`
+//! are combined. [`exec::execute_query_unoptimized`] keeps the naive
+//! full-scan path as the reference for equivalence testing.
 
 #![warn(missing_docs)]
 
 pub mod ast;
 pub mod exec;
 pub mod parser;
+pub mod plan;
 pub mod token;
 
 pub use ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
-pub use exec::{execute, execute_query, QueryError, QueryResult};
+pub use exec::{execute, execute_query, execute_query_unoptimized, QueryError, QueryResult};
 pub use parser::{parse, ParseError};
+pub use plan::{plan_metric_scan, plan_run_scan, MetricScanPlan, RunScanPlan};
 pub use token::{tokenize, LexError, Symbol, Token};

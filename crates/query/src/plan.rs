@@ -1,0 +1,396 @@
+//! Predicate pushdown planning: split a WHERE clause into the part a
+//! [`RunFilter`] can evaluate inside the store scan and a residual the
+//! executor still evaluates row-at-a-time.
+//!
+//! The contract is strict row-for-row equivalence with the naive path
+//! (scan everything, evaluate the whole WHERE per row). A conjunct is
+//! absorbed into the scan filter only when the filter's semantics provably
+//! match the executor's [`Value`] comparison semantics for it:
+//!
+//! * `component = '<str>'` / `status = '<exact status name>'` — exact
+//!   string equality on both sides. A status literal that
+//!   [`RunStatus::from_name`] rejects (wrong casing, unknown name) stays
+//!   residual rather than being coerced.
+//! * `id` / `start_ms` / `end_ms` compared (`=`, `<`, `<=`, `>`, `>=`,
+//!   `BETWEEN`) against non-negative integer literals below `i64::MAX` —
+//!   the range where the row's `u64 → i64`-saturating [`Value`]
+//!   conversion is the identity, so `u64` bounds in the filter agree with
+//!   the executor's `i64` comparisons. Negative or float literals stay
+//!   residual.
+//!
+//! Everything else (`OR`, `NOT`, `LIKE`, arithmetic, other columns) is
+//! residual. Two equality conjuncts on the same slot with different
+//! values leave the second one residual: the scan returns the first
+//! value's rows and the residual rejects them all, which is exactly the
+//! naive path's empty result. Range conjuncts always absorb — bounds
+//! intersect, and an infeasible intersection matches nothing, again
+//! matching the naive path.
+
+use crate::ast::{BinOp, Expr};
+use mltrace_store::{RunFilter, RunStatus, Value};
+
+/// Pushdown plan for a `component_runs` scan.
+#[derive(Debug, Clone, Default)]
+pub struct RunScanPlan {
+    /// Predicate evaluated inside the store scan.
+    pub filter: RunFilter,
+    /// Conjuncts the scan cannot evaluate; `None` when everything was
+    /// pushed down.
+    pub residual: Option<Expr>,
+}
+
+/// Pushdown plan for a `metrics` scan.
+#[derive(Debug, Clone, Default)]
+pub struct MetricScanPlan {
+    /// Restrict the scan to one component's series.
+    pub component: Option<String>,
+    /// Conjuncts the scan cannot evaluate.
+    pub residual: Option<Expr>,
+}
+
+/// Plan a `component_runs` scan for `where_clause`.
+pub fn plan_run_scan(where_clause: Option<&Expr>) -> RunScanPlan {
+    let mut plan = RunScanPlan::default();
+    let Some(clause) = where_clause else {
+        return plan;
+    };
+    let mut residual: Vec<&Expr> = Vec::new();
+    for conjunct in clause.conjuncts() {
+        if !absorb_run_conjunct(&mut plan.filter, conjunct) {
+            residual.push(conjunct);
+        }
+    }
+    plan.residual = rejoin(residual);
+    plan
+}
+
+/// Plan a `metrics` scan for `where_clause` (component equality only).
+pub fn plan_metric_scan(where_clause: Option<&Expr>) -> MetricScanPlan {
+    let mut plan = MetricScanPlan::default();
+    let Some(clause) = where_clause else {
+        return plan;
+    };
+    let mut residual: Vec<&Expr> = Vec::new();
+    for conjunct in clause.conjuncts() {
+        let absorbed = match as_column_cmp(conjunct) {
+            Some(("component", BinOp::Eq, Value::Str(s))) => match &plan.component {
+                None => {
+                    plan.component = Some(s.clone());
+                    true
+                }
+                Some(existing) => existing == s,
+            },
+            _ => false,
+        };
+        if !absorbed {
+            residual.push(conjunct);
+        }
+    }
+    plan.residual = rejoin(residual);
+    plan
+}
+
+/// AND the residual conjuncts back together, preserving order.
+fn rejoin(conjuncts: Vec<&Expr>) -> Option<Expr> {
+    conjuncts
+        .into_iter()
+        .cloned()
+        .reduce(|left, right| Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+}
+
+/// View a conjunct as `column <op> literal`, flipping a
+/// `literal <op> column` form. Returns the lowercased column name.
+fn as_column_cmp(e: &Expr) -> Option<(&str, BinOp, &Value)> {
+    let Expr::Binary { op, left, right } = e else {
+        return None;
+    };
+    let cmp = matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    );
+    if !cmp {
+        return None;
+    }
+    match (left.as_ref(), right.as_ref()) {
+        (Expr::Column(c), Expr::Literal(v)) => Some((c.as_str(), *op, v)),
+        (Expr::Literal(v), Expr::Column(c)) => {
+            let flipped = match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                other => *other,
+            };
+            Some((c.as_str(), flipped, v))
+        }
+        _ => None,
+    }
+}
+
+/// Integer literal in the range where the executor's saturating
+/// `u64 → i64` row conversion is the identity, making `u64` filter
+/// bounds and `i64` row comparisons agree.
+fn pushable_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) if *i >= 0 && *i < i64::MAX => Some(*i as u64),
+        _ => None,
+    }
+}
+
+fn tighten_min(slot: &mut Option<u64>, v: u64) {
+    *slot = Some(slot.map_or(v, |cur| cur.max(v)));
+}
+
+fn tighten_max(slot: &mut Option<u64>, v: u64) {
+    *slot = Some(slot.map_or(v, |cur| cur.min(v)));
+}
+
+/// Try to absorb one conjunct into the run filter; `false` leaves it
+/// residual.
+fn absorb_run_conjunct(filter: &mut RunFilter, e: &Expr) -> bool {
+    // BETWEEN on a time/id column with pushable integer bounds.
+    if let Expr::Between {
+        expr,
+        lo,
+        hi,
+        negated: false,
+    } = e
+    {
+        if let (Expr::Column(c), Expr::Literal(l), Expr::Literal(h)) =
+            (expr.as_ref(), lo.as_ref(), hi.as_ref())
+        {
+            if let (Some(slots), Some(l), Some(h)) =
+                (range_slots(filter, c), pushable_u64(l), pushable_u64(h))
+            {
+                tighten_min(slots.0, l);
+                tighten_max(slots.1, h);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    let Some((column, op, literal)) = as_column_cmp(e) else {
+        return false;
+    };
+
+    if column.eq_ignore_ascii_case("component") {
+        if op != BinOp::Eq {
+            return false;
+        }
+        let Value::Str(s) = literal else { return false };
+        return match &filter.component {
+            None => {
+                filter.component = Some(s.clone());
+                true
+            }
+            Some(existing) => existing == s,
+        };
+    }
+
+    if column.eq_ignore_ascii_case("status") {
+        if op != BinOp::Eq {
+            return false;
+        }
+        // Only the exact short names; anything else (wrong casing,
+        // unknown) keeps the executor's string comparison.
+        let Some(status) = literal.as_str().and_then(RunStatus::from_name) else {
+            return false;
+        };
+        return match filter.status {
+            None => {
+                filter.status = Some(status);
+                true
+            }
+            Some(existing) => existing == status,
+        };
+    }
+
+    let Some((min_slot, max_slot)) = range_slots(filter, column) else {
+        return false;
+    };
+    let Some(v) = pushable_u64(literal) else {
+        return false;
+    };
+    match op {
+        BinOp::Eq => {
+            tighten_min(min_slot, v);
+            tighten_max(max_slot, v);
+            true
+        }
+        BinOp::Ge => {
+            tighten_min(min_slot, v);
+            true
+        }
+        BinOp::Gt => {
+            // v < i64::MAX so v + 1 cannot overflow u64.
+            tighten_min(min_slot, v + 1);
+            true
+        }
+        BinOp::Le => {
+            tighten_max(max_slot, v);
+            true
+        }
+        BinOp::Lt => {
+            if v == 0 {
+                // `col < 0` is false for every row; leave it residual
+                // rather than inventing an unsatisfiable u64 bound.
+                return false;
+            }
+            tighten_max(max_slot, v - 1);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// The (min, max) filter slots for a pushable range column.
+#[allow(clippy::type_complexity)]
+fn range_slots<'a>(
+    filter: &'a mut RunFilter,
+    column: &str,
+) -> Option<(&'a mut Option<u64>, &'a mut Option<u64>)> {
+    if column.eq_ignore_ascii_case("id") {
+        Some((&mut filter.min_id, &mut filter.max_id))
+    } else if column.eq_ignore_ascii_case("start_ms") {
+        Some((&mut filter.min_start_ms, &mut filter.max_start_ms))
+    } else if column.eq_ignore_ascii_case("end_ms") {
+        Some((&mut filter.min_end_ms, &mut filter.max_end_ms))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Parse a full query and return its WHERE clause.
+    fn where_of(sql: &str) -> Expr {
+        parse(sql).unwrap().where_clause.unwrap()
+    }
+
+    #[test]
+    fn no_where_is_full_scan() {
+        let plan = plan_run_scan(None);
+        assert!(plan.filter.is_all());
+        assert!(plan.residual.is_none());
+    }
+
+    #[test]
+    fn component_and_status_equality_push_fully() {
+        let w = where_of("SELECT * FROM runs WHERE component = 'etl' AND status = 'failed'");
+        let plan = plan_run_scan(Some(&w));
+        assert_eq!(plan.filter.component.as_deref(), Some("etl"));
+        assert_eq!(plan.filter.status, Some(RunStatus::Failed));
+        assert!(plan.residual.is_none());
+    }
+
+    #[test]
+    fn flipped_literal_side_and_case_insensitive_column() {
+        let w = where_of("SELECT * FROM runs WHERE 'etl' = Component AND 100 <= START_MS");
+        let plan = plan_run_scan(Some(&w));
+        assert_eq!(plan.filter.component.as_deref(), Some("etl"));
+        assert_eq!(plan.filter.min_start_ms, Some(100));
+        assert!(plan.residual.is_none());
+    }
+
+    #[test]
+    fn range_bounds_intersect() {
+        let w = where_of(
+            "SELECT * FROM runs WHERE start_ms >= 100 AND start_ms > 150 \
+             AND start_ms <= 900 AND start_ms < 800 AND id = 7",
+        );
+        let plan = plan_run_scan(Some(&w));
+        assert_eq!(plan.filter.min_start_ms, Some(151));
+        assert_eq!(plan.filter.max_start_ms, Some(799));
+        assert_eq!(plan.filter.min_id, Some(7));
+        assert_eq!(plan.filter.max_id, Some(7));
+        assert!(plan.residual.is_none());
+    }
+
+    #[test]
+    fn between_pushes_inclusive_bounds() {
+        let w = where_of("SELECT * FROM runs WHERE end_ms BETWEEN 10 AND 20");
+        let plan = plan_run_scan(Some(&w));
+        assert_eq!(plan.filter.min_end_ms, Some(10));
+        assert_eq!(plan.filter.max_end_ms, Some(20));
+        assert!(plan.residual.is_none());
+        // NOT BETWEEN stays residual.
+        let w = where_of("SELECT * FROM runs WHERE end_ms NOT BETWEEN 10 AND 20");
+        let plan = plan_run_scan(Some(&w));
+        assert!(plan.filter.is_all());
+        assert!(plan.residual.is_some());
+    }
+
+    #[test]
+    fn unpushable_conjuncts_stay_residual() {
+        for sql in [
+            // OR is not a conjunct.
+            "SELECT * FROM runs WHERE component = 'a' OR component = 'b'",
+            // Wrong-case status literal must keep string semantics.
+            "SELECT * FROM runs WHERE status = 'Success'",
+            // Non-pushable column.
+            "SELECT * FROM runs WHERE duration_ms > 100",
+            // Negative literal: rows are non-negative, executor compares as i64.
+            "SELECT * FROM runs WHERE start_ms > 0 - 5",
+            // Float literal keeps numeric-interleave comparison.
+            "SELECT * FROM runs WHERE start_ms >= 99.5",
+            // col < 0 is unsatisfiable; stays residual.
+            "SELECT * FROM runs WHERE id < 0",
+            // status inequality has no filter form.
+            "SELECT * FROM runs WHERE status != 'success'",
+        ] {
+            let w = where_of(sql);
+            let plan = plan_run_scan(Some(&w));
+            assert!(plan.filter.is_all(), "{sql}");
+            assert_eq!(plan.residual.as_ref(), Some(&w), "{sql}");
+        }
+    }
+
+    #[test]
+    fn mixed_clause_splits() {
+        let w = where_of(
+            "SELECT * FROM runs WHERE component = 'etl' AND duration_ms > 10 AND start_ms <= 500",
+        );
+        let plan = plan_run_scan(Some(&w));
+        assert_eq!(plan.filter.component.as_deref(), Some("etl"));
+        assert_eq!(plan.filter.max_start_ms, Some(500));
+        let residual = plan.residual.unwrap();
+        assert_eq!(
+            residual,
+            where_of("SELECT * FROM runs WHERE duration_ms > 10")
+        );
+    }
+
+    #[test]
+    fn conflicting_equalities_leave_residual() {
+        let w = where_of("SELECT * FROM runs WHERE component = 'a' AND component = 'b'");
+        let plan = plan_run_scan(Some(&w));
+        assert_eq!(plan.filter.component.as_deref(), Some("a"));
+        assert!(plan.residual.is_some(), "second equality rejects all rows");
+        // A duplicate of the same value is a no-op, fully pushed.
+        let w = where_of("SELECT * FROM runs WHERE component = 'a' AND component = 'a'");
+        let plan = plan_run_scan(Some(&w));
+        assert_eq!(plan.filter.component.as_deref(), Some("a"));
+        assert!(plan.residual.is_none());
+    }
+
+    #[test]
+    fn metric_plan_pushes_component_only() {
+        let w = where_of("SELECT * FROM metrics WHERE component = 'infer' AND value > 0.5");
+        let plan = plan_metric_scan(Some(&w));
+        assert_eq!(plan.component.as_deref(), Some("infer"));
+        assert_eq!(
+            plan.residual,
+            Some(where_of("SELECT * FROM metrics WHERE value > 0.5"))
+        );
+        let plan = plan_metric_scan(None);
+        assert!(plan.component.is_none() && plan.residual.is_none());
+    }
+}

@@ -30,6 +30,7 @@ pub mod hash;
 pub mod memory;
 pub mod record;
 pub mod retention;
+pub mod scan;
 pub mod schema;
 pub mod store;
 pub mod value;
@@ -43,6 +44,7 @@ pub use record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricAggregate,
     MetricRecord, PointerType, RunId, RunStatus, TriggerOutcomeRecord,
 };
+pub use scan::RunFilter;
 pub use store::{RunBundle, Store, StoreStats};
 pub use value::Value;
 pub use wal::{DurabilityPolicy, WalStore};

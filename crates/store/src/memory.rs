@@ -31,6 +31,7 @@ use crate::error::{Result, StoreError};
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
+use crate::scan::RunFilter;
 use crate::store::{RunBundle, Store, StoreStats};
 use mltrace_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::{RwLock, RwLockWriteGuard};
@@ -133,6 +134,15 @@ struct StoreTelemetry {
     shard_contention: Counter,
     /// End-to-end `log_run_bundle` latency.
     bundle_latency: Histogram,
+    /// Run records examined by snapshot scans (filter evaluated against a
+    /// borrowed record, no clone yet).
+    rows_scanned: Counter,
+    /// Run records that survived scan filter + limit and were cloned out.
+    rows_returned: Counter,
+    /// Shard-lock acquisitions made by snapshot scans. Together with
+    /// `rows_scanned`/`rows_returned` this makes pushdown selectivity and
+    /// the locks-per-row amortization directly observable.
+    scan_locks: Counter,
 }
 
 impl StoreTelemetry {
@@ -146,6 +156,9 @@ impl StoreTelemetry {
             runs_restored: registry.counter("store.runs_restored_total"),
             shard_contention: registry.counter("store.shard_contention_total"),
             bundle_latency: registry.histogram("store.log_run_bundle"),
+            rows_scanned: registry.counter("query.rows_scanned"),
+            rows_returned: registry.counter("query.rows_returned"),
+            scan_locks: registry.counter("query.scan_locks_total"),
             registry,
         }
     }
@@ -276,6 +289,57 @@ impl MemoryStore {
                 }
             }
         }
+    }
+
+    /// Ids of runs past `since` that match `filter`, ascending, evaluated
+    /// against borrowed records under one read lock per shard — the
+    /// clone-free phase A of limited and chunked scans. Also counts the
+    /// records examined into the scan telemetry.
+    fn matching_run_ids(&self, since: Option<RunId>, filter: &RunFilter) -> Vec<RunId> {
+        let mut ids = Vec::new();
+        let mut scanned = 0u64;
+        for shard in self.run_shards.iter() {
+            let g = shard.read();
+            self.tele.scan_locks.incr();
+            for (&id, run) in g.iter() {
+                if since.is_some_and(|s| id <= s.0) {
+                    continue;
+                }
+                scanned += 1;
+                if filter.matches(run) {
+                    ids.push(RunId(id));
+                }
+            }
+        }
+        ids.sort_unstable();
+        self.tele.rows_scanned.add(scanned);
+        ids
+    }
+
+    /// Clone the records for `ids` (ascending), grouping the fetches so
+    /// each touched shard's lock is taken once — phase B of limited and
+    /// chunked scans. Ids deleted since phase A are skipped; the output
+    /// stays ascending by id.
+    fn fetch_runs_sorted(&self, ids: &[RunId]) -> Vec<ComponentRunRecord> {
+        let mut per_shard: Vec<Vec<u64>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+        for id in ids {
+            per_shard[run_shard(id.0)].push(id.0);
+        }
+        let mut out = Vec::with_capacity(ids.len());
+        for (si, shard_ids) in per_shard.into_iter().enumerate() {
+            if shard_ids.is_empty() {
+                continue;
+            }
+            let g = self.run_shards[si].read();
+            self.tele.scan_locks.incr();
+            for id in shard_ids {
+                if let Some(run) = g.get(&id) {
+                    out.push(run.clone());
+                }
+            }
+        }
+        out.sort_unstable_by_key(|r| r.id);
+        out
     }
 
     /// Apply pre-grouped index updates, taking each shard lock once.
@@ -455,6 +519,95 @@ impl Store for MemoryStore {
         }
         ids.sort_unstable();
         Ok(ids)
+    }
+
+    fn scan_runs(
+        &self,
+        since: Option<RunId>,
+        filter: &RunFilter,
+        limit: Option<usize>,
+    ) -> Result<Vec<ComponentRunRecord>> {
+        let out = match limit {
+            Some(0) => Vec::new(),
+            Some(cap) => {
+                // Two phases: find matching ids without cloning, then clone
+                // only the first `cap` — a selective or limited scan clones
+                // min(matches, cap) records instead of every match.
+                let mut ids = self.matching_run_ids(since, filter);
+                ids.truncate(cap);
+                self.fetch_runs_sorted(&ids)
+            }
+            None => {
+                // Single pass: filter under the shard lock, clone matches.
+                let mut out = Vec::new();
+                let mut scanned = 0u64;
+                for shard in self.run_shards.iter() {
+                    let g = shard.read();
+                    self.tele.scan_locks.incr();
+                    for (&id, run) in g.iter() {
+                        if since.is_some_and(|s| id <= s.0) {
+                            continue;
+                        }
+                        scanned += 1;
+                        if filter.matches(run) {
+                            out.push(run.clone());
+                        }
+                    }
+                }
+                out.sort_unstable_by_key(|r| r.id);
+                self.tele.rows_scanned.add(scanned);
+                out
+            }
+        };
+        self.tele.rows_returned.add(out.len() as u64);
+        Ok(out)
+    }
+
+    fn scan_runs_chunked(
+        &self,
+        since: Option<RunId>,
+        filter: &RunFilter,
+        chunk_size: usize,
+        visit: &mut dyn FnMut(&[ComponentRunRecord]) -> bool,
+    ) -> Result<()> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        // Resolve the matching ids once (the trait default would rescan
+        // every shard per chunk), then clone one chunk at a time so peak
+        // memory is bounded by `chunk_size` regardless of match count.
+        let ids = self.matching_run_ids(since, filter);
+        for chunk_ids in ids.chunks(chunk_size) {
+            let batch = self.fetch_runs_sorted(chunk_ids);
+            if batch.is_empty() {
+                continue;
+            }
+            self.tele.rows_returned.add(batch.len() as u64);
+            if !visit(&batch) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn component_history(&self, name: &str, limit: usize) -> Result<Vec<ComponentRunRecord>> {
+        // The tail of the per-component list, resolved under one index
+        // lock. The list is ascending by start time, so the reversed tail
+        // is the newest-first order `history` presents.
+        let tail: Vec<RunId> = {
+            let g = self.by_component[name_shard(name)].read();
+            self.tele.scan_locks.incr();
+            match g.get(name) {
+                Some(ids) => ids.iter().rev().take(limit).copied().collect(),
+                None => return Ok(Vec::new()),
+            }
+        };
+        let fetched = self.fetch_runs_sorted(&tail);
+        self.tele.rows_scanned.add(fetched.len() as u64);
+        self.tele.rows_returned.add(fetched.len() as u64);
+        // Re-emit in the tail's order (descending start time), which can
+        // differ from id order when runs are logged out of time order.
+        let mut by_id: HashMap<u64, ComponentRunRecord> =
+            fetched.into_iter().map(|r| (r.id.0, r)).collect();
+        Ok(tail.iter().filter_map(|id| by_id.remove(&id.0)).collect())
     }
 
     fn upsert_io_pointer(&self, rec: IoPointerRecord) -> Result<()> {
@@ -1075,5 +1228,152 @@ mod tests {
         r.status = RunStatus::TriggerFailed;
         let id = s.log_run(r).unwrap();
         assert_eq!(s.run(id).unwrap().unwrap().status, RunStatus::TriggerFailed);
+    }
+
+    /// 60 runs across 3 components with some failures; enough to populate
+    /// every shard.
+    fn scan_fixture() -> MemoryStore {
+        let s = MemoryStore::new();
+        for i in 0..60u64 {
+            let mut r = run(
+                ["etl", "clean", "infer"][(i % 3) as usize],
+                100 + i,
+                &[],
+                &[],
+            );
+            if i % 7 == 0 {
+                r.status = RunStatus::Failed;
+            }
+            s.log_run(r).unwrap();
+        }
+        s
+    }
+
+    /// The naive reference: run_ids + per-id fetch + filter + limit.
+    fn naive_scan(
+        s: &MemoryStore,
+        since: Option<RunId>,
+        filter: &RunFilter,
+        limit: Option<usize>,
+    ) -> Vec<ComponentRunRecord> {
+        let cap = limit.unwrap_or(usize::MAX);
+        let mut out = Vec::new();
+        if cap == 0 {
+            return out;
+        }
+        for id in s.run_ids().unwrap() {
+            if since.is_some_and(|x| id <= x) {
+                continue;
+            }
+            let r = s.run(id).unwrap().unwrap();
+            if filter.matches(&r) {
+                out.push(r);
+                if out.len() >= cap {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn scan_runs_matches_naive_path() {
+        let s = scan_fixture();
+        let filters = [
+            RunFilter::all(),
+            RunFilter::all().with_component("etl"),
+            RunFilter::all().with_status(RunStatus::Failed),
+            RunFilter::all()
+                .with_component("clean")
+                .started_at_or_after(120)
+                .started_at_or_before(150),
+        ];
+        for filter in &filters {
+            for since in [None, Some(RunId(0)), Some(RunId(30)), Some(RunId(60))] {
+                for limit in [None, Some(0), Some(5), Some(1000)] {
+                    let got = s.scan_runs(since, filter, limit).unwrap();
+                    let want = naive_scan(&s, since, filter, limit);
+                    assert_eq!(
+                        got, want,
+                        "filter={filter:?} since={since:?} limit={limit:?}"
+                    );
+                    assert!(
+                        got.windows(2).all(|w| w[0].id < w[1].id),
+                        "ascending id order"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_runs_chunked_preserves_global_order_and_early_stop() {
+        let s = scan_fixture();
+        let mut seen: Vec<RunId> = Vec::new();
+        s.scan_runs_chunked(Some(RunId(10)), &RunFilter::all(), 7, &mut |batch| {
+            seen.extend(batch.iter().map(|r| r.id));
+            true
+        })
+        .unwrap();
+        let want: Vec<RunId> = (11..=60).map(RunId).collect();
+        assert_eq!(seen, want, "chunks cover exactly the post-cursor runs");
+        // Early stop: visitor bails after the first chunk.
+        let mut batches = 0;
+        s.scan_runs_chunked(None, &RunFilter::all(), 7, &mut |_| {
+            batches += 1;
+            false
+        })
+        .unwrap();
+        assert_eq!(batches, 1);
+    }
+
+    #[test]
+    fn component_history_matches_point_lookup_tail() {
+        let s = scan_fixture();
+        for limit in [0, 1, 5, 100] {
+            let got = s.component_history("etl", limit).unwrap();
+            let ids = s.runs_for_component("etl").unwrap();
+            let want: Vec<ComponentRunRecord> = ids
+                .iter()
+                .rev()
+                .take(limit)
+                .map(|id| s.run(*id).unwrap().unwrap())
+                .collect();
+            assert_eq!(got, want, "limit={limit}");
+        }
+        assert!(s.component_history("ghost", 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scan_telemetry_counts_scanned_vs_returned() {
+        let s = scan_fixture();
+        let base = s.telemetry().unwrap().snapshot();
+        assert_eq!(
+            base.counters.get("query.rows_scanned").copied(),
+            Some(0),
+            "scan counters registered but untouched before the first scan"
+        );
+        // Selective filter: all 60 rows examined, 20 returned.
+        let got = s
+            .scan_runs(None, &RunFilter::all().with_component("etl"), None)
+            .unwrap();
+        assert_eq!(got.len(), 20);
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.counters["query.rows_scanned"], 60);
+        assert_eq!(snap.counters["query.rows_returned"], 20);
+        // One lock acquisition per shard, not per row.
+        assert_eq!(snap.counters["query.scan_locks_total"], 16);
+    }
+
+    #[test]
+    fn scan_limit_bounds_clones_and_counts() {
+        let s = scan_fixture();
+        let got = s.scan_runs(None, &RunFilter::all(), Some(3)).unwrap();
+        assert_eq!(
+            got.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![RunId(1), RunId(2), RunId(3)]
+        );
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.counters["query.rows_returned"], 3);
     }
 }

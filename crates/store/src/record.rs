@@ -125,6 +125,19 @@ impl RunStatus {
             RunStatus::TriggerFailed => "trigger_failed",
         }
     }
+
+    /// Inverse of [`RunStatus::name`]: parse the exact short name. Returns
+    /// `None` for anything else (including different casings), so callers
+    /// that push status predicates into a scan cannot accidentally widen a
+    /// comparison that the row-level path would have rejected.
+    pub fn from_name(name: &str) -> Option<RunStatus> {
+        match name {
+            "success" => Some(RunStatus::Success),
+            "failed" => Some(RunStatus::Failed),
+            "trigger_failed" => Some(RunStatus::TriggerFailed),
+            _ => None,
+        }
+    }
 }
 
 /// Outcome of one trigger (test/metric computation) executed in the

@@ -1,0 +1,162 @@
+//! Batched snapshot scans over the run log: the read-side counterpart of
+//! the batched ingest path.
+//!
+//! The §4.2 debugging workload — ad-hoc SQL, trace/history queries, and
+//! lineage-graph refreshes — reads *many* runs per query. Fetching them
+//! through [`crate::store::Store::run`] pays one shard-lock round trip
+//! and one full record clone per row *before* any filtering happens.
+//! [`crate::store::Store::scan_runs`] instead walks each shard under a
+//! single lock acquisition and evaluates a [`RunFilter`] against borrowed
+//! records, cloning only survivors; with a limit, record clones are
+//! bounded by the limit rather than the match count.
+//!
+//! The filter deliberately covers only the predicates the SQL planner can
+//! prove equivalent to the row-at-a-time path (id/component/status
+//! equality, start/end time bounds); everything else stays a residual
+//! predicate above the scan.
+
+use crate::record::{ComponentRunRecord, RunStatus};
+
+/// A conjunctive predicate over [`ComponentRunRecord`] fields that scan
+/// implementations evaluate *inside* the shard lock, before cloning.
+///
+/// All fields are optional and AND-ed together; the default value matches
+/// every run. Bounds are inclusive. An infeasible combination (e.g.
+/// `min_start_ms > max_start_ms`) simply matches nothing — callers do not
+/// need to pre-validate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunFilter {
+    /// Exact component name.
+    pub component: Option<String>,
+    /// Exact completion status.
+    pub status: Option<RunStatus>,
+    /// Inclusive lower bound on the run id.
+    pub min_id: Option<u64>,
+    /// Inclusive upper bound on the run id.
+    pub max_id: Option<u64>,
+    /// Inclusive lower bound on `start_ms`.
+    pub min_start_ms: Option<u64>,
+    /// Inclusive upper bound on `start_ms`.
+    pub max_start_ms: Option<u64>,
+    /// Inclusive lower bound on `end_ms`.
+    pub min_end_ms: Option<u64>,
+    /// Inclusive upper bound on `end_ms`.
+    pub max_end_ms: Option<u64>,
+}
+
+impl RunFilter {
+    /// The match-everything filter.
+    pub fn all() -> RunFilter {
+        RunFilter::default()
+    }
+
+    /// Restrict to one component.
+    pub fn with_component(mut self, name: impl Into<String>) -> RunFilter {
+        self.component = Some(name.into());
+        self
+    }
+
+    /// Restrict to one status.
+    pub fn with_status(mut self, status: RunStatus) -> RunFilter {
+        self.status = Some(status);
+        self
+    }
+
+    /// Intersect with `start_ms >= ms`.
+    pub fn started_at_or_after(mut self, ms: u64) -> RunFilter {
+        self.min_start_ms = Some(self.min_start_ms.map_or(ms, |v| v.max(ms)));
+        self
+    }
+
+    /// Intersect with `start_ms <= ms`.
+    pub fn started_at_or_before(mut self, ms: u64) -> RunFilter {
+        self.max_start_ms = Some(self.max_start_ms.map_or(ms, |v| v.min(ms)));
+        self
+    }
+
+    /// True when every run matches (scan implementations may skip the
+    /// per-record evaluation entirely).
+    pub fn is_all(&self) -> bool {
+        *self == RunFilter::default()
+    }
+
+    /// Evaluate the filter against one record.
+    pub fn matches(&self, run: &ComponentRunRecord) -> bool {
+        if let Some(c) = &self.component {
+            if run.component != *c {
+                return false;
+            }
+        }
+        if let Some(s) = self.status {
+            if run.status != s {
+                return false;
+            }
+        }
+        in_bounds(run.id.0, self.min_id, self.max_id)
+            && in_bounds(run.start_ms, self.min_start_ms, self.max_start_ms)
+            && in_bounds(run.end_ms, self.min_end_ms, self.max_end_ms)
+    }
+}
+
+#[inline]
+fn in_bounds(v: u64, lo: Option<u64>, hi: Option<u64>) -> bool {
+    lo.is_none_or(|l| v >= l) && hi.is_none_or(|h| v <= h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(component: &str, start: u64, end: u64, status: RunStatus) -> ComponentRunRecord {
+        ComponentRunRecord {
+            component: component.into(),
+            start_ms: start,
+            end_ms: end,
+            status,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn default_matches_everything() {
+        let f = RunFilter::all();
+        assert!(f.is_all());
+        assert!(f.matches(&run("etl", 0, 10, RunStatus::Success)));
+        assert!(f.matches(&run("x", u64::MAX, u64::MAX, RunStatus::Failed)));
+    }
+
+    #[test]
+    fn component_and_status_are_exact() {
+        let f = RunFilter::all()
+            .with_component("etl")
+            .with_status(RunStatus::Failed);
+        assert!(f.matches(&run("etl", 0, 1, RunStatus::Failed)));
+        assert!(!f.matches(&run("etl", 0, 1, RunStatus::Success)));
+        assert!(!f.matches(&run("ETL", 0, 1, RunStatus::Failed)));
+        assert!(!f.is_all());
+    }
+
+    #[test]
+    fn time_bounds_are_inclusive_and_intersect() {
+        let f = RunFilter::all()
+            .started_at_or_after(100)
+            .started_at_or_before(200);
+        assert!(f.matches(&run("c", 100, 101, RunStatus::Success)));
+        assert!(f.matches(&run("c", 200, 201, RunStatus::Success)));
+        assert!(!f.matches(&run("c", 99, 300, RunStatus::Success)));
+        assert!(!f.matches(&run("c", 201, 300, RunStatus::Success)));
+        // Re-applying a bound intersects rather than replaces.
+        let tighter = f.clone().started_at_or_after(150);
+        assert!(!tighter.matches(&run("c", 120, 130, RunStatus::Success)));
+        let unchanged = f.started_at_or_after(50);
+        assert!(!unchanged.matches(&run("c", 60, 70, RunStatus::Success)));
+    }
+
+    #[test]
+    fn infeasible_bounds_match_nothing() {
+        let f = RunFilter::all()
+            .started_at_or_after(200)
+            .started_at_or_before(100);
+        assert!(!f.matches(&run("c", 150, 160, RunStatus::Success)));
+    }
+}

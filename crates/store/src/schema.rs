@@ -6,7 +6,8 @@
 //! as rows of [`Value`]s in the column order given by [`table_schema`].
 
 use crate::error::{Result, StoreError};
-use crate::record::RunId;
+use crate::record::{ComponentRunRecord, MetricRecord, RunId};
+use crate::scan::RunFilter;
 use crate::store::Store;
 use crate::value::Value;
 
@@ -99,33 +100,7 @@ pub fn scan(store: &dyn Store, table: Table) -> Result<Vec<Row>> {
                 ]
             })
             .collect()),
-        Table::ComponentRuns => {
-            let mut rows = Vec::new();
-            for id in store.run_ids()? {
-                let Some(r) = store.run(id)? else { continue };
-                let failures: Vec<String> = r
-                    .triggers
-                    .iter()
-                    .filter(|t| !t.passed)
-                    .map(|t| t.trigger.clone())
-                    .collect();
-                rows.push(vec![
-                    Value::from(r.id.0),
-                    Value::from(r.component),
-                    Value::from(r.start_ms),
-                    Value::from(r.end_ms),
-                    Value::from(r.end_ms.saturating_sub(r.start_ms)),
-                    Value::from(r.status.name()),
-                    Value::from(r.inputs),
-                    Value::from(r.outputs),
-                    Value::from(r.code_hash),
-                    Value::from(r.notes),
-                    Value::List(r.dependencies.iter().map(|d| Value::from(d.0)).collect()),
-                    Value::from(failures),
-                ]);
-            }
-            Ok(rows)
-        }
+        Table::ComponentRuns => scan_runs_rows(store, &RunFilter::default(), None),
         Table::IoPointers => Ok(store
             .io_pointers()?
             .into_iter()
@@ -139,25 +114,7 @@ pub fn scan(store: &dyn Store, table: Table) -> Result<Vec<Row>> {
                 ]
             })
             .collect()),
-        Table::Metrics => {
-            let mut rows = Vec::new();
-            for comp in store.components()? {
-                for name in store.metric_names(&comp.name)? {
-                    for m in store.metrics(&comp.name, &name)? {
-                        rows.push(vec![
-                            Value::from(m.component),
-                            m.run_id
-                                .map(|RunId(i)| Value::from(i))
-                                .unwrap_or(Value::Null),
-                            Value::from(m.name),
-                            Value::from(m.value),
-                            Value::from(m.ts_ms),
-                        ]);
-                    }
-                }
-            }
-            Ok(rows)
-        }
+        Table::Metrics => scan_metrics_rows(store, None, None),
         Table::Summaries => {
             let mut rows = Vec::new();
             for comp in store.components()? {
@@ -175,6 +132,113 @@ pub fn scan(store: &dyn Store, table: Table) -> Result<Vec<Row>> {
             Ok(rows)
         }
     }
+}
+
+/// Convert one run record into its `component_runs` row (the column order
+/// of [`table_schema`]).
+pub fn run_row(r: &ComponentRunRecord) -> Row {
+    let failures: Vec<String> = r
+        .triggers
+        .iter()
+        .filter(|t| !t.passed)
+        .map(|t| t.trigger.clone())
+        .collect();
+    vec![
+        Value::from(r.id.0),
+        Value::from(r.component.clone()),
+        Value::from(r.start_ms),
+        Value::from(r.end_ms),
+        Value::from(r.end_ms.saturating_sub(r.start_ms)),
+        Value::from(r.status.name()),
+        Value::from(r.inputs.clone()),
+        Value::from(r.outputs.clone()),
+        Value::from(r.code_hash.clone()),
+        Value::from(r.notes.clone()),
+        Value::List(r.dependencies.iter().map(|d| Value::from(d.0)).collect()),
+        Value::from(failures),
+    ]
+}
+
+/// Convert one metric point into its `metrics` row.
+pub fn metric_row(m: &MetricRecord) -> Row {
+    vec![
+        Value::from(m.component.clone()),
+        m.run_id
+            .map(|RunId(i)| Value::from(i))
+            .unwrap_or(Value::Null),
+        Value::from(m.name.clone()),
+        Value::from(m.value),
+        Value::from(m.ts_ms),
+    ]
+}
+
+/// Materialize `component_runs` rows through the batched scan, converting
+/// only runs that survive `filter` (and `limit`) to [`Value`] rows. With
+/// no limit the scan streams in bounded chunks so peak record memory is
+/// independent of the match count.
+pub fn scan_runs_rows(
+    store: &dyn Store,
+    filter: &RunFilter,
+    limit: Option<usize>,
+) -> Result<Vec<Row>> {
+    match limit {
+        Some(cap) => Ok(store
+            .scan_runs(None, filter, Some(cap))?
+            .iter()
+            .map(run_row)
+            .collect()),
+        None => {
+            let mut rows = Vec::new();
+            store.scan_runs_chunked(None, filter, 4096, &mut |batch| {
+                rows.extend(batch.iter().map(run_row));
+                true
+            })?;
+            Ok(rows)
+        }
+    }
+}
+
+/// Materialize `metrics` rows, optionally restricted to one component and
+/// truncated at `limit` points.
+///
+/// Mirrors the full scan's registered-components-only semantics: metric
+/// points logged for a component that was never registered do not appear,
+/// with or without the `component` restriction — a pushed-down
+/// `component = 'x'` predicate must not widen the result.
+pub fn scan_metrics_rows(
+    store: &dyn Store,
+    component: Option<&str>,
+    limit: Option<usize>,
+) -> Result<Vec<Row>> {
+    let cap = limit.unwrap_or(usize::MAX);
+    let mut rows = Vec::new();
+    if cap == 0 {
+        return Ok(rows);
+    }
+    let names: Vec<String> = match component {
+        Some(c) => match store.component(c)? {
+            Some(rec) => vec![rec.name],
+            None => return Ok(rows),
+        },
+        None => store.components()?.into_iter().map(|c| c.name).collect(),
+    };
+    let mut scanned = 0u64;
+    'outer: for comp in &names {
+        for name in store.metric_names(comp)? {
+            for m in store.metrics(comp, &name)? {
+                scanned += 1;
+                rows.push(metric_row(&m));
+                if rows.len() >= cap {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    if let Some(t) = store.telemetry() {
+        t.add("query.rows_scanned", scanned);
+        t.add("query.rows_returned", rows.len() as u64);
+    }
+    Ok(rows)
 }
 
 /// Index of a column in a table's schema, or an error naming the table.
@@ -268,5 +332,60 @@ mod tests {
     fn column_index_case_insensitive_and_errors() {
         assert_eq!(column_index(Table::Components, "OWNER").unwrap(), 2);
         assert!(column_index(Table::Components, "nope").is_err());
+    }
+
+    #[test]
+    fn scan_runs_rows_filter_and_limit_match_full_scan() {
+        let s = seeded();
+        for i in 0..5u64 {
+            s.log_run(ComponentRunRecord {
+                component: if i % 2 == 0 { "etl" } else { "other" }.into(),
+                start_ms: 100 + i,
+                end_ms: 110 + i,
+                ..Default::default()
+            })
+            .unwrap();
+        }
+        let all = scan(&s, Table::ComponentRuns).unwrap();
+        assert_eq!(
+            scan_runs_rows(&s, &RunFilter::default(), None).unwrap(),
+            all
+        );
+        let comp_idx = column_index(Table::ComponentRuns, "component").unwrap();
+        let filtered =
+            scan_runs_rows(&s, &RunFilter::default().with_component("etl"), None).unwrap();
+        let naive: Vec<Row> = all
+            .iter()
+            .filter(|r| r[comp_idx] == Value::from("etl"))
+            .cloned()
+            .collect();
+        assert_eq!(filtered, naive);
+        let limited = scan_runs_rows(&s, &RunFilter::default(), Some(2)).unwrap();
+        assert_eq!(limited, all[..2].to_vec());
+    }
+
+    #[test]
+    fn scan_metrics_rows_component_pushdown_matches_full_scan() {
+        let s = seeded();
+        // Metric points for an unregistered component stay invisible,
+        // with or without the component restriction.
+        s.log_metric(MetricRecord {
+            component: "ghost".into(),
+            run_id: None,
+            name: "m".into(),
+            value: 1.0,
+            ts_ms: 0,
+        })
+        .unwrap();
+        let all = scan(&s, Table::Metrics).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(scan_metrics_rows(&s, None, None).unwrap(), all);
+        assert_eq!(scan_metrics_rows(&s, Some("etl"), None).unwrap(), all);
+        assert!(scan_metrics_rows(&s, Some("ghost"), None)
+            .unwrap()
+            .is_empty());
+        assert!(scan_metrics_rows(&s, Some("etl"), Some(0))
+            .unwrap()
+            .is_empty());
     }
 }

@@ -10,6 +10,7 @@ use crate::error::Result;
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
+use crate::scan::RunFilter;
 use mltrace_telemetry::Telemetry;
 
 /// One component run plus the I/O pointer upserts and metric points that
@@ -88,6 +89,102 @@ pub trait Store: Send + Sync {
 
     /// All live run ids, ascending.
     fn run_ids(&self) -> Result<Vec<RunId>>;
+
+    // ------------------------------------------------------------------
+    // Batched snapshot scans (the §4.2 read-scale path)
+    // ------------------------------------------------------------------
+
+    /// Scan runs with id strictly greater than `since` (all runs when
+    /// `None`) that match `filter`, in ascending id order, stopping after
+    /// `limit` matches.
+    ///
+    /// Semantically equivalent to `run_ids()` + per-id [`Store::run`] +
+    /// [`RunFilter::matches`] — the default implementation is exactly
+    /// that — but implementations amortize locking across whole shards
+    /// and evaluate the filter before cloning records, so a selective
+    /// filter clones only the survivors.
+    ///
+    /// Instrumented stores record `query.rows_scanned` (records examined
+    /// after the `since` cursor) and `query.rows_returned` (records that
+    /// survived filter + limit), making pushdown selectivity observable.
+    fn scan_runs(
+        &self,
+        since: Option<RunId>,
+        filter: &RunFilter,
+        limit: Option<usize>,
+    ) -> Result<Vec<ComponentRunRecord>> {
+        let cap = limit.unwrap_or(usize::MAX);
+        let mut out = Vec::new();
+        let mut scanned = 0u64;
+        if cap > 0 {
+            for id in self.run_ids()? {
+                if since.is_some_and(|s| id <= s) {
+                    continue;
+                }
+                let Some(run) = self.run(id)? else { continue };
+                scanned += 1;
+                if filter.matches(&run) {
+                    out.push(run);
+                    if out.len() >= cap {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(t) = self.telemetry() {
+            t.add("query.rows_scanned", scanned);
+            t.add("query.rows_returned", out.len() as u64);
+        }
+        Ok(out)
+    }
+
+    /// Chunked variant of [`Store::scan_runs`] for callers that must not
+    /// materialize the whole result (e.g. a 100k-run graph refresh).
+    ///
+    /// Delivers matching runs to `visit` in batches of at most
+    /// `chunk_size`, globally ascending by id both within and across
+    /// batches — consumers like the lineage graph rely on dependency
+    /// producers arriving before their dependents. The visitor returns
+    /// `false` to stop early. `chunk_size` must be non-zero.
+    fn scan_runs_chunked(
+        &self,
+        since: Option<RunId>,
+        filter: &RunFilter,
+        chunk_size: usize,
+        visit: &mut dyn FnMut(&[ComponentRunRecord]) -> bool,
+    ) -> Result<()> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        let mut cursor = since;
+        loop {
+            let batch = self.scan_runs(cursor, filter, Some(chunk_size))?;
+            let full = batch.len() == chunk_size;
+            if batch.is_empty() {
+                return Ok(());
+            }
+            cursor = Some(batch[batch.len() - 1].id);
+            if !visit(&batch) || !full {
+                return Ok(());
+            }
+        }
+    }
+
+    /// The last `limit` runs of a component, newest first (descending
+    /// start time, then descending id for ties).
+    ///
+    /// Equivalent to [`Store::runs_for_component`] followed by per-id
+    /// [`Store::run`] fetches of the tail — the shape every `history`-like
+    /// caller used to hand-roll — but implementations resolve the tail
+    /// under one index lock and batch the record fetches.
+    fn component_history(&self, name: &str, limit: usize) -> Result<Vec<ComponentRunRecord>> {
+        let ids = self.runs_for_component(name)?;
+        let mut out = Vec::with_capacity(limit.min(ids.len()));
+        for id in ids.iter().rev().take(limit) {
+            if let Some(run) = self.run(*id)? {
+                out.push(run);
+            }
+        }
+        Ok(out)
+    }
 
     // ------------------------------------------------------------------
     // Batched ingest (the §3.4 scale path)

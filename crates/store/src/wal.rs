@@ -40,6 +40,7 @@ use crate::memory::MemoryStore;
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
+use crate::scan::RunFilter;
 use crate::store::{RunBundle, Store, StoreStats};
 use mltrace_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::Mutex;
@@ -485,6 +486,31 @@ impl Store for WalStore {
 
     fn run_ids(&self) -> Result<Vec<RunId>> {
         self.mem.run_ids()
+    }
+
+    // Reads never touch the log; the sharded scan paths (and their
+    // telemetry, recorded in the shared registry) apply unchanged.
+    fn scan_runs(
+        &self,
+        since: Option<RunId>,
+        filter: &RunFilter,
+        limit: Option<usize>,
+    ) -> Result<Vec<ComponentRunRecord>> {
+        self.mem.scan_runs(since, filter, limit)
+    }
+
+    fn scan_runs_chunked(
+        &self,
+        since: Option<RunId>,
+        filter: &RunFilter,
+        chunk_size: usize,
+        visit: &mut dyn FnMut(&[ComponentRunRecord]) -> bool,
+    ) -> Result<()> {
+        self.mem.scan_runs_chunked(since, filter, chunk_size, visit)
+    }
+
+    fn component_history(&self, name: &str, limit: usize) -> Result<Vec<ComponentRunRecord>> {
+        self.mem.component_history(name, limit)
     }
 
     fn upsert_io_pointer(&self, rec: IoPointerRecord) -> Result<()> {
