@@ -1,0 +1,91 @@
+//! Journal emission cost — the observability spine must stay far cheaper
+//! than the runs it describes (the same "lightweight" claim E12 makes for
+//! the execution layer, applied to the event path). Three rungs:
+//!
+//! * `emit_only` — constructing the event records themselves.
+//! * `emit_persist` — batched `log_events` through the store.
+//! * `emit_persist_subscriber` — the same append with a live bus
+//!   subscriber draining the fan-out.
+//!
+//! Expected deltas are recorded in EXPERIMENTS.md alongside E12.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mltrace_store::{
+    EventKind, EventSeverity, MemoryStore, ObservabilityEvent, RunId, Store, Value,
+};
+use std::hint::black_box;
+
+const BATCH: usize = 64;
+
+/// One run's worth of journal traffic: lifecycle pair plus a trigger
+/// outcome, with the payload shapes the execution layer actually emits.
+fn make_batch(base_ts: u64) -> Vec<ObservabilityEvent> {
+    let mut events = Vec::with_capacity(BATCH);
+    for i in 0..BATCH as u64 {
+        let (kind, severity) = match i % 3 {
+            0 => (EventKind::RunStarted, EventSeverity::Info),
+            1 => (EventKind::TriggerOutcome, EventSeverity::Info),
+            _ => (EventKind::RunFinished, EventSeverity::Info),
+        };
+        events.push(
+            ObservabilityEvent::new(kind, severity, base_ts + i)
+                .component("bench_step")
+                .run(RunId(i / 3 + 1))
+                .detail("trigger outliers passed")
+                .payload("passed", Value::from(true)),
+        );
+    }
+    events
+}
+
+fn event_journal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_journal");
+    group.throughput(criterion::Throughput::Elements(BATCH as u64));
+
+    group.bench_function("emit_only", |b| {
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += BATCH as u64;
+            black_box(make_batch(ts))
+        });
+    });
+
+    group.bench_function("emit_persist", |b| {
+        let store = MemoryStore::new();
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += BATCH as u64;
+            store.log_events(make_batch(ts)).unwrap()
+        });
+    });
+
+    group.bench_function("emit_persist_subscriber", |b| {
+        let store = MemoryStore::new();
+        let sub = store.event_bus().unwrap().subscribe();
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += BATCH as u64;
+            let ids = store.log_events(make_batch(ts)).unwrap();
+            // Drain inside the measurement: a subscriber that keeps up is
+            // the steady state; an idle one would just measure drop-oldest.
+            black_box(sub.poll());
+            ids
+        });
+    });
+
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = event_journal
+}
+criterion_main!(benches);

@@ -8,7 +8,10 @@ use crate::execution::Mltrace;
 use crate::graph::GraphCache;
 use crate::staleness::{self, StalenessReason};
 use mltrace_provenance::{slice_lineage, trace_output, RankedRun, TraceNode, TraceOptions};
-use mltrace_store::{CompactionSummary, ComponentRunRecord, RunId, Store};
+use mltrace_store::{
+    CompactionSummary, ComponentRunRecord, EventKind, EventSeverity, ObservabilityEvent, RunId,
+    Store,
+};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -275,6 +278,33 @@ impl<'a> Commands<'a> {
         Ok(entries)
     }
 
+    /// `stale` plus journal emission: every component found stale is
+    /// recorded as a `staleness_flagged` event tied to the evaluated run.
+    /// The plain [`Commands::stale`] stays emission-free so passive
+    /// surfaces (the health report) can poll without flooding the journal.
+    pub fn stale_journaled(&self, component: Option<&str>) -> Result<Vec<StaleEntry>> {
+        let entries = self.stale(component)?;
+        let now = self.ml.now_ms();
+        let events: Vec<ObservabilityEvent> = entries
+            .iter()
+            .filter(|e| !e.reasons.is_empty())
+            .map(|e| {
+                ObservabilityEvent::new(EventKind::StalenessFlagged, EventSeverity::Warn, now)
+                    .component(e.component.clone())
+                    .run(e.run_id)
+                    .detail(
+                        e.reasons
+                            .iter()
+                            .map(|r| r.render())
+                            .collect::<Vec<_>>()
+                            .join("; "),
+                    )
+            })
+            .collect();
+        self.store().log_events(events)?;
+        Ok(entries)
+    }
+
     /// Render the stale listing.
     pub fn render_stale(&self, entries: &[StaleEntry]) -> String {
         let mut out = String::new();
@@ -427,6 +457,34 @@ mod tests {
         // All components view includes fresh ones.
         let all = cmds.stale(None).unwrap();
         assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn stale_journaled_emits_flag_events() {
+        use mltrace_store::EventFilter;
+        let (ml, clock) = demo();
+        clock.advance(40 * mltrace_store::MS_PER_DAY);
+        let cmds = Commands::new(&ml);
+        let flagged_filter =
+            EventFilter::all().with_kind(mltrace_store::EventKind::StalenessFlagged);
+        // The passive evaluator journals nothing.
+        let entries = cmds.stale(None).unwrap();
+        assert!(entries.iter().any(|e| !e.reasons.is_empty()));
+        let store = ml.store();
+        assert!(store
+            .scan_events(None, &flagged_filter, None)
+            .unwrap()
+            .is_empty());
+        // The journaling variant emits one event per stale component,
+        // tied to the evaluated run.
+        let entries = cmds.stale_journaled(None).unwrap();
+        let stale_count = entries.iter().filter(|e| !e.reasons.is_empty()).count();
+        assert!(stale_count > 0);
+        let events = store.scan_events(None, &flagged_filter, None).unwrap();
+        assert_eq!(events.len(), stale_count);
+        assert!(events.iter().all(|e| e.run_id.is_some()));
+        assert!(events[0].detail.contains("days old"), "{events:?}");
+        assert_eq!(events[0].severity, mltrace_store::EventSeverity::Warn);
     }
 
     #[test]

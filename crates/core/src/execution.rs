@@ -17,9 +17,9 @@ use crate::component::{ComponentDef, ComponentRegistry};
 use crate::error::{CoreError, Result};
 use crate::trigger::{outcome_to_record, Phase, TriggerContext, TriggerSpec};
 use mltrace_store::{
-    hash::content_hash, ArtifactStore, Clock, ComponentRunRecord, IoPointerRecord, MemoryStore,
-    MetricRecord, RunBundle, RunId, RunStatus, Store, SystemClock, TriggerOutcomeRecord, Value,
-    WalStore,
+    hash::content_hash, ArtifactStore, Clock, ComponentRunRecord, EventKind, EventSeverity,
+    IoPointerRecord, MemoryStore, MetricRecord, ObservabilityEvent, RunBundle, RunId, RunStatus,
+    Store, SystemClock, TriggerOutcomeRecord, Value, WalStore,
 };
 use mltrace_telemetry::Telemetry;
 use parking_lot::RwLock;
@@ -550,6 +550,50 @@ impl Mltrace {
                 ts_ms: end_ms,
             })
             .collect();
+        // The run's journal: started, each trigger outcome (sync or async —
+        // all are joined by now), then finished/failed. The events ride the
+        // same bundle append as the run record, so the story of the run
+        // lands in the `events` table atomically with the run itself, and
+        // the store stamps every event with the assigned run id.
+        let mut journal: Vec<ObservabilityEvent> = Vec::with_capacity(2 + trigger_records.len());
+        journal.push(
+            ObservabilityEvent::new(EventKind::RunStarted, EventSeverity::Info, start_ms)
+                .component(component),
+        );
+        for t in &trigger_records {
+            let severity = if t.passed {
+                EventSeverity::Info
+            } else {
+                EventSeverity::Warn
+            };
+            journal.push(
+                ObservabilityEvent::new(EventKind::TriggerOutcome, severity, end_ms)
+                    .component(component)
+                    .detail(format!(
+                        "{} [{}] {}: {}",
+                        t.trigger,
+                        t.phase,
+                        if t.passed { "passed" } else { "failed" },
+                        t.detail
+                    ))
+                    .payload("trigger", Value::from(t.trigger.clone()))
+                    .payload("passed", Value::Bool(t.passed)),
+            );
+        }
+        journal.push(match &body_result {
+            Err(msg) => ObservabilityEvent::new(EventKind::RunFailed, EventSeverity::Warn, end_ms)
+                .component(component)
+                .detail(msg.clone()),
+            Ok(_) => {
+                let severity = if any_trigger_failed {
+                    EventSeverity::Warn
+                } else {
+                    EventSeverity::Info
+                };
+                ObservabilityEvent::new(EventKind::RunFinished, severity, end_ms)
+                    .component(component)
+            }
+        });
         let run_id = self.store.log_run_bundle(RunBundle {
             run: ComponentRunRecord {
                 id: RunId(0),
@@ -567,6 +611,7 @@ impl Mltrace {
             },
             pointers,
             metrics: metric_points,
+            events: journal,
         })?;
 
         match body_result {
@@ -885,6 +930,88 @@ mod tests {
         assert_eq!(snap.counters["core.run_failures_total"], 1);
         // The in-memory store reports into the same registry.
         assert_eq!(snap.histograms["store.log_run_bundle"].count, 2);
+    }
+
+    #[test]
+    fn every_run_journals_start_and_finish() {
+        use mltrace_store::EventFilter;
+        let (ml, _clock) = instance();
+        let ok = ml.run("etl", RunSpec::new(), |_| Ok(())).unwrap();
+        let events = ml
+            .store()
+            .scan_events(None, &EventFilter::all(), None)
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::RunStarted);
+        assert_eq!(events[0].ts_ms, 1_000_000);
+        assert_eq!(events[1].kind, EventKind::RunFinished);
+        assert!(
+            events.iter().all(|e| e.run_id == Some(ok.run_id)),
+            "every journal event is stamped with the assigned run id"
+        );
+        // A body failure journals RunFailed (Warn) with the error text.
+        let _ = ml.run("etl", RunSpec::new(), |_| Err::<(), _>("boom".into()));
+        let failed = ml
+            .store()
+            .scan_events(
+                None,
+                &EventFilter::all().with_kind(EventKind::RunFailed),
+                None,
+            )
+            .unwrap();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].severity, EventSeverity::Warn);
+        assert_eq!(failed[0].detail, "boom");
+    }
+
+    #[test]
+    fn async_trigger_outcomes_journal_with_correct_run_id() {
+        // The satellite case: a trigger completing on a worker thread
+        // after the body must still land its TriggerOutcomeRecord AND a
+        // journal event carrying the run id assigned at the final bundle
+        // append — well after the trigger itself finished.
+        use mltrace_store::EventFilter;
+        let (ml, _clock) = instance();
+        ml.register(
+            ComponentDef::builder("lagged")
+                .after_run_async(FnTrigger::new("slow-check", |_| {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    TriggerOutcome::fail("drift detected")
+                }))
+                .build(),
+        )
+        .unwrap();
+        let report = ml.run("lagged", RunSpec::new(), |_| Ok(())).unwrap();
+        assert_eq!(report.status, RunStatus::TriggerFailed);
+        // The outcome record persisted on the run itself...
+        let run = ml.store().run(report.run_id).unwrap().unwrap();
+        assert_eq!(run.triggers.len(), 1);
+        assert!(!run.triggers[0].passed);
+        // ...and the journal event carries the same run id.
+        let outcomes = ml
+            .store()
+            .scan_events(
+                None,
+                &EventFilter::all().with_kind(EventKind::TriggerOutcome),
+                None,
+            )
+            .unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].run_id, Some(report.run_id));
+        assert_eq!(outcomes[0].severity, EventSeverity::Warn);
+        assert!(outcomes[0].detail.contains("slow-check"));
+        assert!(outcomes[0].detail.contains("drift detected"));
+        // The failed trigger downgrades the finish event to Warn.
+        let finish = ml
+            .store()
+            .scan_events(
+                None,
+                &EventFilter::all().with_kind(EventKind::RunFinished),
+                None,
+            )
+            .unwrap();
+        assert_eq!(finish.len(), 1);
+        assert_eq!(finish[0].severity, EventSeverity::Warn);
     }
 
     #[test]

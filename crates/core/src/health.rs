@@ -13,7 +13,9 @@ use crate::error::Result;
 use crate::execution::Mltrace;
 use crate::graph::build_graph;
 use mltrace_provenance::{component_summary, most_problematic, ComponentSummary};
-use mltrace_store::MS_PER_DAY;
+use mltrace_store::{
+    EventFilter, EventKind, EventSeverity, IncidentRecord, IncidentState, MS_PER_DAY,
+};
 use mltrace_telemetry::format_ns;
 use std::fmt::Write as _;
 
@@ -52,6 +54,11 @@ pub struct HealthReport {
     pub total_runs: usize,
     /// Total failed runs.
     pub total_failures: usize,
+    /// Unresolved incidents from the journal's incident table.
+    pub incidents: Vec<IncidentRecord>,
+    /// Recent warn-tier alert firings (never paged, surfaced here —
+    /// §4.1's middle ground between silence and fatigue).
+    pub warnings: Vec<String>,
     /// Engine self-overhead rollup; `None` until an instrumented run has
     /// executed in this process (telemetry is per-process, not replayed
     /// from the store).
@@ -69,9 +76,13 @@ impl HealthReport {
     }
 
     /// True when nothing demands attention: no problematic components, no
-    /// stale components, no flagged outputs.
+    /// stale components, no flagged outputs, no open incidents. Warnings
+    /// alone do not flip health — that is what makes them warn-tier.
     pub fn healthy(&self) -> bool {
-        self.problematic.is_empty() && self.stale.is_empty() && self.flagged.is_empty()
+        self.problematic.is_empty()
+            && self.stale.is_empty()
+            && self.flagged.is_empty()
+            && self.incidents.is_empty()
     }
 
     /// One-screen text rendering.
@@ -111,6 +122,27 @@ impl HealthReport {
         if !self.flagged.is_empty() {
             let _ = writeln!(out, "{} output(s) flagged for review", self.flagged.len());
         }
+        if !self.incidents.is_empty() {
+            let _ = writeln!(out, "open incidents:");
+            for i in &self.incidents {
+                let _ = writeln!(
+                    out,
+                    "  [{}] {} — {} fire(s), {} suppressed, burning {}ms: {}",
+                    i.state.name(),
+                    i.key,
+                    i.fire_count,
+                    i.suppressed_count,
+                    self.now_ms.saturating_sub(i.opened_ms),
+                    i.detail
+                );
+            }
+        }
+        if !self.warnings.is_empty() {
+            let _ = writeln!(out, "warnings (not paged):");
+            for w in &self.warnings {
+                let _ = writeln!(out, "  ⚠ {w}");
+            }
+        }
         if let Some(e) = &self.engine {
             let _ = writeln!(
                 out,
@@ -144,6 +176,30 @@ pub fn health_report(ml: &Mltrace, horizon_days: u64, top_k: usize) -> Result<He
     let flagged = store.flagged()?;
     let total_runs: usize = components.iter().map(|c| c.runs).sum();
     let total_failures: usize = components.iter().map(|c| c.failures).sum();
+    let incidents: Vec<IncidentRecord> = store
+        .incidents()?
+        .into_iter()
+        .filter(|i| i.state != IncidentState::Resolved)
+        .collect();
+    // Warn-tier alert firings: recorded, rendered here, never paged.
+    let warn_filter = EventFilter::all()
+        .with_kind(EventKind::AlertFired)
+        .with_severity(EventSeverity::Warn);
+    let mut warnings: Vec<String> = store
+        .scan_events(None, &warn_filter, None)?
+        .into_iter()
+        .map(|e| {
+            if e.component.is_empty() {
+                e.detail
+            } else {
+                format!("{}: {}", e.component, e.detail)
+            }
+        })
+        .collect();
+    const MAX_WARNINGS: usize = 10;
+    if warnings.len() > MAX_WARNINGS {
+        warnings = warnings.split_off(warnings.len() - MAX_WARNINGS);
+    }
     let snap = ml.telemetry().snapshot();
     let engine = match (
         snap.histograms.get("component_run"),
@@ -166,6 +222,8 @@ pub fn health_report(ml: &Mltrace, horizon_days: u64, top_k: usize) -> Result<He
         flagged,
         total_runs,
         total_failures,
+        incidents,
+        warnings,
         engine,
     })
 }
@@ -233,6 +291,56 @@ mod tests {
         assert_eq!(report.stale.len(), 1);
         assert_eq!(report.stale[0].0, "infer");
         assert!(report.stale[0].1[0].contains("days old"));
+    }
+
+    #[test]
+    fn open_incidents_and_warnings_surface_in_report() {
+        use crate::monitor::PipelineMonitor;
+        use mltrace_metrics::{AlertRule, Comparator, Severity};
+        let clock = ManualClock::starting_at(1_000_000);
+        let ml = Mltrace::with_clock(clock.clone());
+        ml.run("infer", RunSpec::new().output("pred"), |_| Ok(()))
+            .unwrap();
+        let mut mon = PipelineMonitor::new(0);
+        mon.add_rule(AlertRule {
+            id: "acc-floor".into(),
+            metric: "accuracy".into(),
+            comparator: Comparator::Gte,
+            threshold: 0.9,
+            severity: Severity::Page,
+            cooldown_ms: 0,
+        });
+        mon.add_rule(AlertRule {
+            id: "latency-creep".into(),
+            metric: "p99_ms".into(),
+            comparator: Comparator::Lte,
+            threshold: 250.0,
+            severity: Severity::Warn,
+            cooldown_ms: 0,
+        });
+        let store = ml.store();
+        // A warn alone keeps the pipeline healthy but shows up rendered.
+        mon.observe(store.as_ref(), "infer", "p99_ms", 400.0, 1_000_100)
+            .unwrap();
+        let report = health_report(&ml, 30, 5).unwrap();
+        assert!(report.healthy(), "warnings do not flip health");
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.render().contains("warnings (not paged):"));
+        assert!(report.render().contains("latency-creep"));
+        // An open incident demands attention.
+        mon.observe(store.as_ref(), "infer", "accuracy", 0.5, 1_000_200)
+            .unwrap();
+        let report = health_report(&ml, 30, 5).unwrap();
+        assert!(!report.healthy());
+        assert_eq!(report.incidents.len(), 1);
+        let rendered = report.render();
+        assert!(rendered.contains("open incidents:"), "{rendered}");
+        assert!(rendered.contains("acc-floor"), "{rendered}");
+        // Resolution clears the incident section.
+        mon.resolve(store.as_ref(), "acc-floor", 1_000_300).unwrap();
+        let report = health_report(&ml, 30, 5).unwrap();
+        assert!(report.incidents.is_empty());
+        assert!(report.healthy());
     }
 
     #[test]

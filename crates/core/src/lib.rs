@@ -17,6 +17,8 @@
 //! * [`staleness`] — the three-part staleness definition (§3.1).
 //! * [`graph`] — run-log → provenance-DAG reconstruction.
 //! * [`commands`] — the eight UI commands (§5, Figure 4).
+//! * [`monitor`] — alerts folded into journaled incident lifecycles.
+//! * [`trace_export`] — provenance trees as Chrome / OTLP-JSON traces.
 
 #![warn(missing_docs)]
 
@@ -28,7 +30,9 @@ pub mod graph;
 pub mod health;
 pub mod library;
 pub mod library_ext;
+pub mod monitor;
 pub mod staleness;
+pub mod trace_export;
 pub mod trigger;
 
 pub use commands::{Commands, FlaggedReview, History, HistoryEntry, StaleEntry};
@@ -37,5 +41,7 @@ pub use error::{CoreError, Result};
 pub use execution::{Mltrace, RunContext, RunReport, RunSpec};
 pub use graph::{build_graph, GraphCache};
 pub use health::{health_report, EngineOverhead, HealthReport};
+pub use monitor::PipelineMonitor;
 pub use staleness::{StalenessPolicy, StalenessReason};
+pub use trace_export::{export_trace, TraceFormat};
 pub use trigger::{FnTrigger, Phase, Trigger, TriggerContext, TriggerOutcome, TriggerSpec};

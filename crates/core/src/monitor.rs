@@ -1,0 +1,343 @@
+//! The alert → journal → incident bridge.
+//!
+//! [`PipelineMonitor`] owns an [`AlertManager`] and an [`IncidentManager`]
+//! and wires both into the store's observability journal: every firing
+//! (and every cooldown suppression) becomes an `alert_fired` /
+//! `alert_suppressed` event, Page-tier firings fold into deduplicated
+//! incidents, and each incident lifecycle step both persists an
+//! [`IncidentRecord`] (queryable via the `incidents` SQL table) and emits
+//! an `incident_*` journal event.
+
+use crate::error::Result;
+use mltrace_metrics::{
+    Alert, AlertManager, AlertRule, AlertStats, Incident, IncidentChange, IncidentManager,
+    IncidentPhase, Severity,
+};
+use mltrace_store::{
+    EventKind, EventSeverity, IncidentRecord, IncidentState, ObservabilityEvent, Store, Value,
+};
+
+/// Map an alert tier onto a journal severity.
+fn event_severity(s: Severity) -> EventSeverity {
+    match s {
+        Severity::Log => EventSeverity::Info,
+        Severity::Warn => EventSeverity::Warn,
+        Severity::Page => EventSeverity::Page,
+    }
+}
+
+/// Map an incident phase onto the persisted state.
+fn incident_state(p: IncidentPhase) -> IncidentState {
+    match p {
+        IncidentPhase::Open => IncidentState::Open,
+        IncidentPhase::Acknowledged => IncidentState::Acknowledged,
+        IncidentPhase::Resolved => IncidentState::Resolved,
+    }
+}
+
+/// Convert a live incident into its persisted record, freezing SLA burn
+/// at `now_ms` for unresolved incidents.
+fn incident_record(inc: &Incident, now_ms: u64) -> IncidentRecord {
+    IncidentRecord {
+        key: inc.key.clone(),
+        state: incident_state(inc.phase),
+        severity: event_severity(inc.severity),
+        subject: inc.subject.clone(),
+        opened_ms: inc.opened_ms,
+        last_fire_ms: inc.last_fire_ms,
+        resolved_ms: inc.resolved_ms,
+        fire_count: inc.fire_count,
+        suppressed_count: inc.suppressed_count,
+        burn_ms: inc.burn_ms(now_ms),
+        detail: inc.detail.clone(),
+    }
+}
+
+/// Alerting plus incident lifecycle, journaled and persisted.
+pub struct PipelineMonitor {
+    alerts: AlertManager,
+    incidents: IncidentManager,
+}
+
+impl PipelineMonitor {
+    /// Monitor with quiet-period incident auto-resolution (0 disables).
+    pub fn new(quiet_resolve_ms: u64) -> Self {
+        PipelineMonitor {
+            alerts: AlertManager::new(),
+            incidents: IncidentManager::new(quiet_resolve_ms),
+        }
+    }
+
+    /// Install an alert rule.
+    pub fn add_rule(&mut self, rule: AlertRule) {
+        self.alerts.add_rule(rule);
+    }
+
+    /// Fatigue counters of the underlying alert manager.
+    pub fn alert_stats(&self) -> AlertStats {
+        self.alerts.stats()
+    }
+
+    /// Live (in-memory) incidents, keyed order.
+    pub fn incidents(&self) -> impl Iterator<Item = &Incident> {
+        self.incidents.incidents()
+    }
+
+    /// Feed one metric observation attributed to `component`. Journals
+    /// every decision, folds Page firings into incidents, persists each
+    /// touched incident, and returns the alerts that actually fired.
+    pub fn observe(
+        &mut self,
+        store: &dyn Store,
+        component: &str,
+        metric: &str,
+        value: f64,
+        ts_ms: u64,
+    ) -> Result<Vec<Alert>> {
+        let outcomes = self.alerts.observe_outcomes(metric, value, ts_ms);
+        if outcomes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut events = Vec::with_capacity(outcomes.len() * 2);
+        let mut fired = Vec::new();
+        for outcome in &outcomes {
+            let a = &outcome.alert;
+            let (kind, severity) = if outcome.suppressed {
+                // Suppressions are bookkeeping, not pages.
+                (EventKind::AlertSuppressed, EventSeverity::Info)
+            } else {
+                (EventKind::AlertFired, event_severity(a.severity))
+            };
+            events.push(
+                ObservabilityEvent::new(kind, severity, ts_ms)
+                    .component(component)
+                    .detail(format!(
+                        "rule {} on {} = {}{}",
+                        a.rule_id,
+                        a.metric,
+                        a.value,
+                        if outcome.suppressed {
+                            " (cooldown)"
+                        } else {
+                            ""
+                        },
+                    ))
+                    .payload("rule", Value::from(a.rule_id.clone()))
+                    .payload("value", Value::Float(a.value)),
+            );
+            match self.incidents.fold(outcome) {
+                IncidentChange::Opened => {
+                    let inc = self.incidents.get(&a.rule_id).expect("just opened");
+                    store.upsert_incident(incident_record(inc, ts_ms))?;
+                    events.push(
+                        ObservabilityEvent::new(
+                            EventKind::IncidentOpened,
+                            EventSeverity::Page,
+                            ts_ms,
+                        )
+                        .component(component)
+                        .detail(inc.detail.clone())
+                        .payload("key", Value::from(inc.key.clone())),
+                    );
+                }
+                IncidentChange::Refired | IncidentChange::Suppressed => {
+                    let inc = self.incidents.get(&a.rule_id).expect("exists");
+                    store.upsert_incident(incident_record(inc, ts_ms))?;
+                }
+                _ => {}
+            }
+            if !outcome.suppressed {
+                fired.push(a.clone());
+            }
+        }
+        store.log_events(events)?;
+        Ok(fired)
+    }
+
+    /// Mark an incident as seen. Returns false when there was nothing
+    /// open under that key.
+    pub fn acknowledge(&mut self, store: &dyn Store, key: &str, ts_ms: u64) -> Result<bool> {
+        if self.incidents.acknowledge(key) != IncidentChange::Acknowledged {
+            return Ok(false);
+        }
+        let inc = self.incidents.get(key).expect("just acknowledged");
+        store.upsert_incident(incident_record(inc, ts_ms))?;
+        store.log_events(vec![ObservabilityEvent::new(
+            EventKind::IncidentAcknowledged,
+            EventSeverity::Info,
+            ts_ms,
+        )
+        .component(inc.subject.clone())
+        .detail(format!("incident {key} acknowledged"))
+        .payload("key", Value::from(key))])?;
+        Ok(true)
+    }
+
+    /// Explicitly resolve an incident. Returns false for unknown or
+    /// already-resolved keys.
+    pub fn resolve(&mut self, store: &dyn Store, key: &str, ts_ms: u64) -> Result<bool> {
+        if self.incidents.resolve(key, ts_ms) != IncidentChange::Resolved {
+            return Ok(false);
+        }
+        let inc = self.incidents.get(key).expect("just resolved").clone();
+        self.journal_resolution(store, &inc, ts_ms)?;
+        Ok(true)
+    }
+
+    /// Auto-resolve incidents quiet past the manager's quiet period;
+    /// returns the keys resolved.
+    pub fn resolve_quiet(&mut self, store: &dyn Store, now_ms: u64) -> Result<Vec<String>> {
+        let resolved = self.incidents.resolve_quiet(now_ms);
+        for inc in &resolved {
+            self.journal_resolution(store, inc, now_ms)?;
+        }
+        Ok(resolved.into_iter().map(|i| i.key).collect())
+    }
+
+    fn journal_resolution(&self, store: &dyn Store, inc: &Incident, ts_ms: u64) -> Result<()> {
+        store.upsert_incident(incident_record(inc, ts_ms))?;
+        store.log_events(vec![ObservabilityEvent::new(
+            EventKind::IncidentResolved,
+            EventSeverity::Info,
+            ts_ms,
+        )
+        .component(inc.subject.clone())
+        .detail(format!(
+            "incident {} resolved after {} fire(s), burn {}ms",
+            inc.key,
+            inc.fire_count,
+            inc.burn_ms(ts_ms),
+        ))
+        .payload("key", Value::from(inc.key.clone()))])?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltrace_metrics::Comparator;
+    use mltrace_store::{EventFilter, MemoryStore};
+
+    fn page_rule(cooldown: u64) -> AlertRule {
+        AlertRule {
+            id: "acc-floor".into(),
+            metric: "accuracy".into(),
+            comparator: Comparator::Gte,
+            threshold: 0.9,
+            severity: Severity::Page,
+            cooldown_ms: cooldown,
+        }
+    }
+
+    fn kinds(store: &MemoryStore) -> Vec<EventKind> {
+        store
+            .scan_events(None, &EventFilter::all(), None)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.kind)
+            .collect()
+    }
+
+    #[test]
+    fn fire_journals_and_opens_incident() {
+        let store = MemoryStore::new();
+        let mut mon = PipelineMonitor::new(0);
+        mon.add_rule(page_rule(1000));
+        assert!(mon
+            .observe(&store, "infer", "accuracy", 0.95, 10)
+            .unwrap()
+            .is_empty());
+        let fired = mon.observe(&store, "infer", "accuracy", 0.5, 20).unwrap();
+        assert_eq!(fired.len(), 1);
+        // Suppressed within the cooldown: tallied, journaled, no page.
+        assert!(mon
+            .observe(&store, "infer", "accuracy", 0.4, 30)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            kinds(&store),
+            vec![
+                EventKind::AlertFired,
+                EventKind::IncidentOpened,
+                EventKind::AlertSuppressed,
+            ]
+        );
+        let incidents = store.incidents().unwrap();
+        assert_eq!(incidents.len(), 1);
+        let inc = &incidents[0];
+        assert_eq!(inc.key, "acc-floor");
+        assert_eq!(inc.state, IncidentState::Open);
+        assert_eq!(inc.severity, EventSeverity::Page);
+        assert_eq!((inc.fire_count, inc.suppressed_count), (1, 1));
+        assert_eq!(inc.last_fire_ms, 30);
+    }
+
+    #[test]
+    fn lifecycle_persists_and_journals_each_step() {
+        let store = MemoryStore::new();
+        let mut mon = PipelineMonitor::new(0);
+        mon.add_rule(page_rule(0));
+        mon.observe(&store, "infer", "accuracy", 0.5, 10).unwrap();
+        assert!(mon.acknowledge(&store, "acc-floor", 20).unwrap());
+        assert!(!mon.acknowledge(&store, "acc-floor", 21).unwrap(), "no-op");
+        assert!(mon.resolve(&store, "acc-floor", 110).unwrap());
+        assert!(!mon.resolve(&store, "ghost", 111).unwrap());
+        assert_eq!(
+            kinds(&store),
+            vec![
+                EventKind::AlertFired,
+                EventKind::IncidentOpened,
+                EventKind::IncidentAcknowledged,
+                EventKind::IncidentResolved,
+            ]
+        );
+        let inc = &store.incidents().unwrap()[0];
+        assert_eq!(inc.state, IncidentState::Resolved);
+        assert_eq!(inc.resolved_ms, Some(110));
+        assert_eq!(inc.burn_ms, 100, "burn frozen at resolution");
+    }
+
+    #[test]
+    fn quiet_period_resolution_is_journaled() {
+        let store = MemoryStore::new();
+        let mut mon = PipelineMonitor::new(500);
+        mon.add_rule(page_rule(0));
+        mon.observe(&store, "infer", "accuracy", 0.5, 10).unwrap();
+        assert!(mon.resolve_quiet(&store, 400).unwrap().is_empty());
+        assert_eq!(mon.resolve_quiet(&store, 600).unwrap(), vec!["acc-floor"]);
+        let inc = &store.incidents().unwrap()[0];
+        assert_eq!(inc.state, IncidentState::Resolved);
+        let resolved = store
+            .scan_events(
+                None,
+                &EventFilter::all().with_kind(EventKind::IncidentResolved),
+                None,
+            )
+            .unwrap();
+        assert_eq!(resolved.len(), 1);
+        assert!(resolved[0].detail.contains("burn 590ms"), "{resolved:?}");
+    }
+
+    #[test]
+    fn warn_rules_journal_but_never_open_incidents() {
+        let store = MemoryStore::new();
+        let mut mon = PipelineMonitor::new(0);
+        mon.add_rule(AlertRule {
+            id: "latency-creep".into(),
+            metric: "p99_ms".into(),
+            comparator: Comparator::Lte,
+            threshold: 250.0,
+            severity: Severity::Warn,
+            cooldown_ms: 0,
+        });
+        let fired = mon.observe(&store, "serve", "p99_ms", 400.0, 10).unwrap();
+        assert_eq!(fired.len(), 1);
+        let events = store.scan_events(None, &EventFilter::all(), None).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::AlertFired);
+        assert_eq!(events[0].severity, EventSeverity::Warn);
+        assert!(store.incidents().unwrap().is_empty(), "warns never page");
+        assert_eq!(mon.alert_stats().warns, 1);
+    }
+}

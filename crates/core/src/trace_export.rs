@@ -1,0 +1,272 @@
+//! Export a run's provenance tree as a standard trace file.
+//!
+//! §5's debugging stories end with a human staring at a DAG; existing
+//! trace viewers (Perfetto / `chrome://tracing`, any OTLP-JSON consumer)
+//! already render such trees well. [`export_trace`] walks a run's
+//! dependency closure — the same run-to-run edges the execution layer
+//! infers from I/O identity — and serializes it either as a Chrome trace
+//! (`ph: "X"` complete events, microsecond timestamps) or as OTLP-JSON
+//! `resourceSpans` where each run is a span and its parent is the run
+//! that consumed its outputs.
+//!
+//! JSON is assembled by hand: the shapes are fixed and tiny, and only
+//! strings need escaping.
+
+use crate::error::{CoreError, Result};
+use mltrace_store::{ComponentRunRecord, RunId, RunStatus, Store};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Supported trace file formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome trace event format (Perfetto, `chrome://tracing`).
+    Chrome,
+    /// OpenTelemetry OTLP-JSON `resourceSpans`.
+    OtlpJson,
+}
+
+impl TraceFormat {
+    /// Parse a CLI format name.
+    pub fn parse(name: &str) -> Option<TraceFormat> {
+        match name.to_ascii_lowercase().as_str() {
+            "chrome" => Some(TraceFormat::Chrome),
+            "otlp" | "otlp-json" | "otlp_json" => Some(TraceFormat::OtlpJson),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The run's dependency closure in discovery (BFS) order, plus for each
+/// run the id of the run that consumed it (absent for the root).
+fn dependency_closure(
+    store: &dyn Store,
+    root: RunId,
+) -> Result<(Vec<ComponentRunRecord>, HashMap<RunId, RunId>)> {
+    let root_run = store.run(root)?.ok_or(CoreError::UnknownRun(root.0))?;
+    let mut runs = vec![root_run];
+    let mut parent: HashMap<RunId, RunId> = HashMap::new();
+    let mut queue = 0;
+    while queue < runs.len() {
+        let (id, deps) = (runs[queue].id, runs[queue].dependencies.clone());
+        queue += 1;
+        for dep in deps {
+            if dep == root || parent.contains_key(&dep) {
+                continue; // already reached via a shorter consumer chain
+            }
+            // A dependency compacted out of the log is skipped, not fatal:
+            // the exported trace is the surviving subtree.
+            if let Some(run) = store.run(dep)? {
+                parent.insert(dep, id);
+                runs.push(run);
+            }
+        }
+    }
+    Ok((runs, parent))
+}
+
+/// Export the provenance trace of `run_id` as a `format` document.
+pub fn export_trace(store: &dyn Store, run_id: RunId, format: TraceFormat) -> Result<String> {
+    let (runs, parent) = dependency_closure(store, run_id)?;
+    Ok(match format {
+        TraceFormat::Chrome => chrome_trace(&runs),
+        TraceFormat::OtlpJson => otlp_trace(run_id, &runs, &parent),
+    })
+}
+
+fn chrome_trace(runs: &[ComponentRunRecord]) -> String {
+    // One lane (tid) per component, in discovery order, so parallel runs
+    // of different components stack instead of overlapping.
+    let mut lanes: HashMap<&str, usize> = HashMap::new();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, run) in runs.iter().enumerate() {
+        let next = lanes.len() + 1;
+        let tid = *lanes.entry(run.component.as_str()).or_insert(next);
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"component_run\",\"ph\":\"X\",\
+             \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\
+             \"run_id\":{},\"status\":{},\"inputs\":{},\"outputs\":{}}}}}",
+            json_str(&format!("{} {}", run.component, run.id)),
+            run.start_ms * 1000,
+            run.duration_ms() * 1000,
+            tid,
+            run.id.0,
+            json_str(run.status.name()),
+            json_list(&run.inputs),
+            json_list(&run.outputs),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_list(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(item));
+    }
+    out.push(']');
+    out
+}
+
+fn otlp_trace(root: RunId, runs: &[ComponentRunRecord], parent: &HashMap<RunId, RunId>) -> String {
+    let trace_id = format!("{:032x}", root.0);
+    let mut out = String::from(
+        "{\"resourceSpans\":[{\"resource\":{\"attributes\":[\
+         {\"key\":\"service.name\",\"value\":{\"stringValue\":\"mltrace\"}}]},\
+         \"scopeSpans\":[{\"scope\":{\"name\":\"mltrace\"},\"spans\":[",
+    );
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let parent_field = match parent.get(&run.id) {
+            Some(consumer) => format!("\"parentSpanId\":\"{:016x}\",", consumer.0),
+            None => String::new(),
+        };
+        // OTLP status: 1 = OK, 2 = ERROR.
+        let status_code = match run.status {
+            RunStatus::Success => 1,
+            _ => 2,
+        };
+        let _ = write!(
+            out,
+            "{{\"traceId\":\"{trace_id}\",\"spanId\":\"{:016x}\",{parent_field}\
+             \"name\":{},\"kind\":1,\
+             \"startTimeUnixNano\":\"{}\",\"endTimeUnixNano\":\"{}\",\
+             \"attributes\":[\
+             {{\"key\":\"mltrace.run_id\",\"value\":{{\"intValue\":\"{}\"}}}},\
+             {{\"key\":\"mltrace.status\",\"value\":{{\"stringValue\":{}}}}},\
+             {{\"key\":\"mltrace.outputs\",\"value\":{{\"stringValue\":{}}}}}],\
+             \"status\":{{\"code\":{status_code}}}}}",
+            run.id.0,
+            json_str(&run.component),
+            run.start_ms * 1_000_000,
+            run.end_ms * 1_000_000,
+            run.id.0,
+            json_str(run.status.name()),
+            json_str(&run.outputs.join(",")),
+        );
+    }
+    out.push_str("]}]}]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::{Mltrace, RunSpec};
+    use mltrace_store::ManualClock;
+
+    fn pipeline() -> Mltrace {
+        let clock = ManualClock::starting_at(1_000);
+        let ml = Mltrace::with_clock(clock.clone());
+        ml.run("etl", RunSpec::new().output("raw.csv"), |_| Ok(()))
+            .unwrap();
+        clock.advance(10);
+        ml.run(
+            "clean",
+            RunSpec::new().input("raw.csv").output("clean.csv"),
+            |_| Ok(()),
+        )
+        .unwrap();
+        clock.advance(10);
+        let _ = ml.run(
+            "infer",
+            RunSpec::new().input("clean.csv").output("pred-1"),
+            |_| Err::<(), _>("boom".into()),
+        );
+        ml
+    }
+
+    #[test]
+    fn format_parse() {
+        assert_eq!(TraceFormat::parse("chrome"), Some(TraceFormat::Chrome));
+        assert_eq!(TraceFormat::parse("OTLP-JSON"), Some(TraceFormat::OtlpJson));
+        assert_eq!(TraceFormat::parse("otlp"), Some(TraceFormat::OtlpJson));
+        assert_eq!(TraceFormat::parse("jaeger"), None);
+    }
+
+    #[test]
+    fn chrome_trace_covers_dependency_closure() {
+        let ml = pipeline();
+        let store = ml.store();
+        let doc = export_trace(store.as_ref(), RunId(3), TraceFormat::Chrome).unwrap();
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        for name in ["etl run#1", "clean run#2", "infer run#3"] {
+            assert!(doc.contains(name), "{doc}");
+        }
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(
+            doc.contains("\"ts\":1020000"),
+            "infer start 1020 ms → µs: {doc}"
+        );
+        assert!(doc.contains("\"status\":\"failed\""), "{doc}");
+        // Three distinct components → three lanes.
+        for tid in 1..=3 {
+            assert!(doc.contains(&format!("\"tid\":{tid}")), "{doc}");
+        }
+    }
+
+    #[test]
+    fn otlp_trace_parents_spans_by_consumer() {
+        let ml = pipeline();
+        let store = ml.store();
+        let doc = export_trace(store.as_ref(), RunId(3), TraceFormat::OtlpJson).unwrap();
+        let root_span = format!("\"spanId\":\"{:016x}\"", 3);
+        assert!(doc.contains(&root_span), "{doc}");
+        // clean (run 2) is parented by infer (run 3); etl (1) by clean (2).
+        assert!(
+            doc.contains(&format!("\"parentSpanId\":\"{:016x}\"", 3)),
+            "{doc}"
+        );
+        assert!(
+            doc.contains(&format!("\"parentSpanId\":\"{:016x}\"", 2)),
+            "{doc}"
+        );
+        // Exactly one span (the root) has no parent.
+        assert_eq!(doc.matches("\"parentSpanId\"").count(), 2, "{doc}");
+        assert_eq!(doc.matches("\"traceId\"").count(), 3, "{doc}");
+        assert!(doc.contains("\"code\":2"), "failed root → ERROR: {doc}");
+        assert!(doc.contains("\"code\":1"), "clean deps → OK: {doc}");
+    }
+
+    #[test]
+    fn unknown_run_errors_and_strings_escape() {
+        let ml = pipeline();
+        let store = ml.store();
+        assert!(matches!(
+            export_trace(store.as_ref(), RunId(99), TraceFormat::Chrome),
+            Err(CoreError::UnknownRun(99))
+        ));
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

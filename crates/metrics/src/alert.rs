@@ -84,8 +84,22 @@ pub struct AlertStats {
     pub fired: u64,
     /// Page-severity alerts fired.
     pub pages: u64,
+    /// Warn-severity alerts fired: surfaced in the health report but
+    /// never routed to a pager.
+    pub warns: u64,
     /// Firings suppressed by cooldown.
     pub suppressed: u64,
+}
+
+/// One evaluation decision for a violated rule: either the alert fired,
+/// or the cooldown suppressed it. Suppressions carry the would-be alert
+/// so observers (e.g. the event journal) can record what was withheld.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertOutcome {
+    /// The alert that fired, or would have fired absent the cooldown.
+    pub alert: Alert,
+    /// True when the cooldown withheld it.
+    pub suppressed: bool,
 }
 
 /// Evaluates observations against a rule set with cooldown suppression.
@@ -121,21 +135,25 @@ impl AlertManager {
 
     /// Feed one observation; returns alerts fired by it.
     pub fn observe(&mut self, metric: &str, value: f64, ts_ms: u64) -> Vec<Alert> {
+        self.observe_outcomes(metric, value, ts_ms)
+            .into_iter()
+            .filter(|o| !o.suppressed)
+            .map(|o| o.alert)
+            .collect()
+    }
+
+    /// Feed one observation; returns every decision on a violated rule,
+    /// including cooldown suppressions (which `observe` drops).
+    pub fn observe_outcomes(&mut self, metric: &str, value: f64, ts_ms: u64) -> Vec<AlertOutcome> {
         self.stats.observations += 1;
         let Some(indexes) = self.by_metric.get(metric) else {
             return Vec::new();
         };
-        let mut fired = Vec::new();
+        let mut outcomes = Vec::new();
         for &i in indexes {
             let rule = &self.rules[i];
             if rule.comparator.holds(value, rule.threshold) {
                 continue; // healthy
-            }
-            if let Some(&last) = self.last_fired.get(&rule.id) {
-                if ts_ms.saturating_sub(last) < rule.cooldown_ms {
-                    self.stats.suppressed += 1;
-                    continue;
-                }
             }
             let alert = Alert {
                 rule_id: rule.id.clone(),
@@ -144,15 +162,30 @@ impl AlertManager {
                 ts_ms,
                 severity: rule.severity,
             };
+            if let Some(&last) = self.last_fired.get(&rule.id) {
+                if ts_ms.saturating_sub(last) < rule.cooldown_ms {
+                    self.stats.suppressed += 1;
+                    outcomes.push(AlertOutcome {
+                        alert,
+                        suppressed: true,
+                    });
+                    continue;
+                }
+            }
             self.last_fired.insert(rule.id.clone(), ts_ms);
             self.stats.fired += 1;
-            if rule.severity == Severity::Page {
-                self.stats.pages += 1;
+            match rule.severity {
+                Severity::Page => self.stats.pages += 1,
+                Severity::Warn => self.stats.warns += 1,
+                Severity::Log => {}
             }
             self.log.push(alert.clone());
-            fired.push(alert);
+            outcomes.push(AlertOutcome {
+                alert,
+                suppressed: false,
+            });
         }
-        fired
+        outcomes
     }
 
     /// Evaluate an SLA over a series at time `ts_ms`, firing a `Page`
@@ -247,6 +280,41 @@ mod tests {
         assert_eq!(fired[0].severity, Severity::Warn);
         let fired = m.observe("accuracy", 0.5, 2);
         assert_eq!(fired.len(), 2);
+    }
+
+    #[test]
+    fn warn_tier_is_recorded_but_never_pages() {
+        let mut m = AlertManager::new();
+        m.add_rule(AlertRule {
+            id: "latency-creep".into(),
+            metric: "p99_ms".into(),
+            comparator: Comparator::Lte,
+            threshold: 250.0,
+            severity: Severity::Warn,
+            cooldown_ms: 0,
+        });
+        let fired = m.observe("p99_ms", 400.0, 1);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].severity, Severity::Warn);
+        let stats = m.stats();
+        assert_eq!(stats.warns, 1, "warn firings have their own counter");
+        assert_eq!(stats.pages, 0, "a warn never pages");
+        assert_eq!(m.log().len(), 1, "but it is recorded");
+    }
+
+    #[test]
+    fn outcomes_expose_suppressed_decisions() {
+        let mut m = AlertManager::new();
+        m.add_rule(accuracy_rule(1000));
+        let first = m.observe_outcomes("accuracy", 0.5, 0);
+        assert_eq!(first.len(), 1);
+        assert!(!first[0].suppressed);
+        let second = m.observe_outcomes("accuracy", 0.4, 100);
+        assert_eq!(second.len(), 1, "cooldown decision still reported");
+        assert!(second[0].suppressed);
+        assert_eq!(second[0].alert.value, 0.4, "carries the withheld alert");
+        assert_eq!(m.log().len(), 1, "suppressed firings stay out of the log");
+        assert_eq!(m.stats().suppressed, 1);
     }
 
     #[test]

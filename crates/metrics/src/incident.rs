@@ -1,0 +1,331 @@
+//! Incident lifecycle on top of the alert stream.
+//!
+//! Raw page alerts are moments; an *incident* is the condition they point
+//! at. [`IncidentManager`] folds `Page`-tier firings into deduplicated
+//! incidents keyed by rule id, so a flapping SLA produces one incident
+//! with a `fire_count` instead of a page storm. Incidents move through
+//! open → acknowledged → resolved; a re-fire after resolution reopens the
+//! same key. Resolution is either explicit or automatic after a quiet
+//! period with no fires ([`IncidentManager::resolve_quiet`]).
+
+use crate::alert::{Alert, AlertOutcome, Severity};
+use std::collections::BTreeMap;
+
+/// Lifecycle phase of an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentPhase {
+    /// Firing (or fired and not yet dealt with).
+    Open,
+    /// A human has seen it; still unresolved.
+    Acknowledged,
+    /// Condition cleared.
+    Resolved,
+}
+
+/// One deduplicated incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Dedup key: the id of the rule whose firings fold in here.
+    pub key: String,
+    /// Lifecycle phase.
+    pub phase: IncidentPhase,
+    /// Severity of the underlying alerts.
+    pub severity: Severity,
+    /// Metric the incident is about.
+    pub subject: String,
+    /// When this incident (cycle) opened, epoch ms.
+    pub opened_ms: u64,
+    /// Most recent fire folded in.
+    pub last_fire_ms: u64,
+    /// When it resolved, if it has.
+    pub resolved_ms: Option<u64>,
+    /// Fires folded in, including the opening one.
+    pub fire_count: u64,
+    /// Cooldown-suppressed firings observed while open.
+    pub suppressed_count: u64,
+    /// Human-readable line from the opening alert.
+    pub detail: String,
+}
+
+impl Incident {
+    /// SLA burn: how long the incident has been (or was) unresolved.
+    pub fn burn_ms(&self, now_ms: u64) -> u64 {
+        self.resolved_ms
+            .unwrap_or(now_ms)
+            .saturating_sub(self.opened_ms)
+    }
+}
+
+/// What folding one observation did to the incident set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncidentChange {
+    /// A new incident opened (first fire, or re-fire after resolution).
+    Opened,
+    /// An existing open incident absorbed another fire.
+    Refired,
+    /// A suppressed firing was tallied onto an open incident.
+    Suppressed,
+    /// The incident moved to acknowledged.
+    Acknowledged,
+    /// The incident resolved.
+    Resolved,
+    /// Nothing tracked changed (non-page alert, unknown key, bad phase).
+    Ignored,
+}
+
+/// Folds page alerts into deduplicated incidents.
+#[derive(Debug, Default)]
+pub struct IncidentManager {
+    incidents: BTreeMap<String, Incident>,
+    /// Auto-resolve an open incident after this long with no fires;
+    /// 0 disables quiet resolution.
+    quiet_resolve_ms: u64,
+}
+
+impl IncidentManager {
+    /// Manager with quiet-period auto-resolution (0 disables it).
+    pub fn new(quiet_resolve_ms: u64) -> Self {
+        IncidentManager {
+            incidents: BTreeMap::new(),
+            quiet_resolve_ms,
+        }
+    }
+
+    /// Fold one alert decision in: fires open or re-fire incidents,
+    /// suppressions tally onto whatever is already open.
+    pub fn fold(&mut self, outcome: &AlertOutcome) -> IncidentChange {
+        if outcome.suppressed {
+            self.record_suppressed(&outcome.alert)
+        } else {
+            self.record_fire(&outcome.alert)
+        }
+    }
+
+    /// Fold a fired alert. Only `Page`-tier alerts become incidents —
+    /// warn/log tiers are fatigue by definition (§4.1) and stay in the
+    /// alert log.
+    pub fn record_fire(&mut self, alert: &Alert) -> IncidentChange {
+        if alert.severity != Severity::Page {
+            return IncidentChange::Ignored;
+        }
+        match self.incidents.get_mut(&alert.rule_id) {
+            Some(inc) if inc.phase != IncidentPhase::Resolved => {
+                inc.fire_count += 1;
+                inc.last_fire_ms = inc.last_fire_ms.max(alert.ts_ms);
+                IncidentChange::Refired
+            }
+            prior => {
+                // First fire for this key, or a re-fire after resolution:
+                // a fresh incident cycle under the same key.
+                let reopened = prior.is_some();
+                self.incidents.insert(
+                    alert.rule_id.clone(),
+                    Incident {
+                        key: alert.rule_id.clone(),
+                        phase: IncidentPhase::Open,
+                        severity: alert.severity,
+                        subject: alert.metric.clone(),
+                        opened_ms: alert.ts_ms,
+                        last_fire_ms: alert.ts_ms,
+                        resolved_ms: None,
+                        fire_count: 1,
+                        suppressed_count: 0,
+                        detail: format!(
+                            "{} = {} violated rule {}{}",
+                            alert.metric,
+                            alert.value,
+                            alert.rule_id,
+                            if reopened { " (reopened)" } else { "" },
+                        ),
+                    },
+                );
+                IncidentChange::Opened
+            }
+        }
+    }
+
+    /// Tally a cooldown-suppressed firing onto its open incident.
+    pub fn record_suppressed(&mut self, alert: &Alert) -> IncidentChange {
+        match self.incidents.get_mut(&alert.rule_id) {
+            Some(inc) if inc.phase != IncidentPhase::Resolved => {
+                inc.suppressed_count += 1;
+                inc.last_fire_ms = inc.last_fire_ms.max(alert.ts_ms);
+                IncidentChange::Suppressed
+            }
+            _ => IncidentChange::Ignored,
+        }
+    }
+
+    /// Mark an open incident as seen by a human.
+    pub fn acknowledge(&mut self, key: &str) -> IncidentChange {
+        match self.incidents.get_mut(key) {
+            Some(inc) if inc.phase == IncidentPhase::Open => {
+                inc.phase = IncidentPhase::Acknowledged;
+                IncidentChange::Acknowledged
+            }
+            _ => IncidentChange::Ignored,
+        }
+    }
+
+    /// Explicitly resolve an incident at `ts_ms`.
+    pub fn resolve(&mut self, key: &str, ts_ms: u64) -> IncidentChange {
+        match self.incidents.get_mut(key) {
+            Some(inc) if inc.phase != IncidentPhase::Resolved => {
+                inc.phase = IncidentPhase::Resolved;
+                inc.resolved_ms = Some(ts_ms.max(inc.opened_ms));
+                IncidentChange::Resolved
+            }
+            _ => IncidentChange::Ignored,
+        }
+    }
+
+    /// Auto-resolve every unresolved incident whose last fire is at least
+    /// the quiet period old; returns the resolved incidents. No-op when
+    /// the quiet period is 0.
+    pub fn resolve_quiet(&mut self, now_ms: u64) -> Vec<Incident> {
+        if self.quiet_resolve_ms == 0 {
+            return Vec::new();
+        }
+        let mut resolved = Vec::new();
+        for inc in self.incidents.values_mut() {
+            if inc.phase != IncidentPhase::Resolved
+                && now_ms.saturating_sub(inc.last_fire_ms) >= self.quiet_resolve_ms
+            {
+                inc.phase = IncidentPhase::Resolved;
+                inc.resolved_ms = Some(now_ms);
+                resolved.push(inc.clone());
+            }
+        }
+        resolved
+    }
+
+    /// Look up one incident.
+    pub fn get(&self, key: &str) -> Option<&Incident> {
+        self.incidents.get(key)
+    }
+
+    /// All incidents, keyed order.
+    pub fn incidents(&self) -> impl Iterator<Item = &Incident> {
+        self.incidents.values()
+    }
+
+    /// Unresolved incidents, keyed order.
+    pub fn open(&self) -> impl Iterator<Item = &Incident> {
+        self.incidents
+            .values()
+            .filter(|i| i.phase != IncidentPhase::Resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(rule: &str, value: f64, ts_ms: u64) -> Alert {
+        Alert {
+            rule_id: rule.into(),
+            metric: "accuracy".into(),
+            value,
+            ts_ms,
+            severity: Severity::Page,
+        }
+    }
+
+    #[test]
+    fn fires_dedup_into_one_incident() {
+        let mut m = IncidentManager::new(0);
+        assert_eq!(m.record_fire(&page("acc", 0.5, 10)), IncidentChange::Opened);
+        assert_eq!(
+            m.record_fire(&page("acc", 0.4, 20)),
+            IncidentChange::Refired
+        );
+        assert_eq!(
+            m.record_suppressed(&page("acc", 0.4, 25)),
+            IncidentChange::Suppressed
+        );
+        let inc = m.get("acc").unwrap();
+        assert_eq!(inc.fire_count, 2);
+        assert_eq!(inc.suppressed_count, 1);
+        assert_eq!(inc.last_fire_ms, 25);
+        assert_eq!(inc.burn_ms(110), 100, "burn counts from open while open");
+        assert_eq!(m.open().count(), 1);
+    }
+
+    #[test]
+    fn non_page_alerts_never_open_incidents() {
+        let mut m = IncidentManager::new(0);
+        let mut warn = page("latency", 400.0, 5);
+        warn.severity = Severity::Warn;
+        assert_eq!(m.record_fire(&warn), IncidentChange::Ignored);
+        assert_eq!(m.incidents().count(), 0);
+    }
+
+    #[test]
+    fn lifecycle_open_ack_resolve_reopen() {
+        let mut m = IncidentManager::new(0);
+        m.record_fire(&page("acc", 0.5, 10));
+        assert_eq!(m.acknowledge("acc"), IncidentChange::Acknowledged);
+        assert_eq!(
+            m.acknowledge("acc"),
+            IncidentChange::Ignored,
+            "ack is idempotent-ish: second ack is a no-op"
+        );
+        // A fire on an acknowledged incident is still a re-fire.
+        assert_eq!(
+            m.record_fire(&page("acc", 0.3, 30)),
+            IncidentChange::Refired
+        );
+        assert_eq!(m.resolve("acc", 100), IncidentChange::Resolved);
+        let inc = m.get("acc").unwrap();
+        assert_eq!(inc.resolved_ms, Some(100));
+        assert_eq!(inc.burn_ms(9999), 90, "burn freezes at resolution");
+        // Suppressions after resolution are ignored.
+        assert_eq!(
+            m.record_suppressed(&page("acc", 0.3, 110)),
+            IncidentChange::Ignored
+        );
+        // A new fire reopens a fresh cycle under the same key.
+        assert_eq!(
+            m.record_fire(&page("acc", 0.2, 200)),
+            IncidentChange::Opened
+        );
+        let inc = m.get("acc").unwrap();
+        assert_eq!(inc.phase, IncidentPhase::Open);
+        assert_eq!(inc.fire_count, 1, "counts reset on reopen");
+        assert!(inc.detail.contains("reopened"));
+    }
+
+    #[test]
+    fn quiet_period_auto_resolves() {
+        let mut m = IncidentManager::new(1000);
+        m.record_fire(&page("acc", 0.5, 0));
+        m.record_fire(&page("lat", 0.5, 500));
+        assert!(m.resolve_quiet(900).is_empty(), "neither quiet yet");
+        let resolved = m.resolve_quiet(1200);
+        assert_eq!(resolved.len(), 1, "only the 0-ts incident is quiet");
+        assert_eq!(resolved[0].key, "acc");
+        assert_eq!(m.get("acc").unwrap().resolved_ms, Some(1200));
+        assert_eq!(m.open().count(), 1);
+        // Disabled quiet period never resolves anything.
+        let mut m = IncidentManager::new(0);
+        m.record_fire(&page("acc", 0.5, 0));
+        assert!(m.resolve_quiet(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn fold_routes_by_suppression() {
+        let mut m = IncidentManager::new(0);
+        let fired = AlertOutcome {
+            alert: page("acc", 0.5, 1),
+            suppressed: false,
+        };
+        let held = AlertOutcome {
+            alert: page("acc", 0.5, 2),
+            suppressed: true,
+        };
+        assert_eq!(m.fold(&fired), IncidentChange::Opened);
+        assert_eq!(m.fold(&held), IncidentChange::Suppressed);
+        let inc = m.get("acc").unwrap();
+        assert_eq!((inc.fire_count, inc.suppressed_count), (1, 1));
+    }
+}

@@ -15,7 +15,8 @@
 //! * drift detectors combining all of the above ([`drift`]);
 //! * ML performance metrics: confusion-matrix family, ROC-AUC, log loss,
 //!   regression errors ([`mlmetrics`]);
-//! * SLA definitions and fatigue-suppressing alerting ([`sla`], [`alert`]).
+//! * SLA definitions and fatigue-suppressing alerting ([`sla`], [`alert`]),
+//!   folded into deduplicated incident lifecycles ([`incident`]).
 
 #![warn(missing_docs)]
 
@@ -26,6 +27,7 @@ pub mod desc;
 pub mod divergence;
 pub mod drift;
 pub mod histogram;
+pub mod incident;
 pub mod mlmetrics;
 pub mod quantile;
 pub mod reservoir;
@@ -34,7 +36,7 @@ pub mod special;
 pub mod stattests;
 pub mod window;
 
-pub use alert::{Alert, AlertManager, AlertRule, AlertStats, Severity};
+pub use alert::{Alert, AlertManager, AlertOutcome, AlertRule, AlertStats, Severity};
 pub use calibration::{expected_calibration_error, ReliabilityBin, ReliabilityCurve};
 pub use changepoint::{Cusum, EwmaChart, Shift};
 pub use desc::StreamingMoments;
@@ -43,6 +45,7 @@ pub use divergence::{
 };
 pub use drift::{DriftConfig, DriftDetector, DriftFinding, DriftMethod};
 pub use histogram::Histogram;
+pub use incident::{Incident, IncidentChange, IncidentManager, IncidentPhase};
 pub use mlmetrics::{brier_score, log_loss, mae, mse, r2, rmse, roc_auc, ConfusionMatrix};
 pub use quantile::{exact_median, exact_quantile, P2Quantile};
 pub use reservoir::Reservoir;

@@ -3,9 +3,10 @@
 
 use crate::ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
 use crate::parser::{parse, ParseError};
-use crate::plan::{plan_metric_scan, plan_run_scan};
+use crate::plan::{plan_event_scan, plan_metric_scan, plan_run_scan};
 use mltrace_store::schema::{
-    column_index, scan, scan_metrics_rows, scan_runs_rows, table_schema, Row, Table,
+    column_index, scan, scan_events_rows, scan_metrics_rows, scan_runs_rows, table_schema, Row,
+    Table,
 };
 use mltrace_store::{Store, StoreError, Value};
 use std::cmp::Ordering;
@@ -211,6 +212,19 @@ fn execute_query_inner(
                     scan_metrics_rows(store, plan.component.as_deref(), limit)?,
                     plan.residual,
                 )
+            }
+            Table::Events => {
+                let plan = plan_event_scan(query.where_clause.as_ref());
+                let limit = limit_pushable(&plan.residual);
+                if let Some(t) = tele {
+                    if !plan.filter.is_all() {
+                        t.incr("query.pushdown.filters_total");
+                    }
+                    if limit.is_some() {
+                        t.incr("query.pushdown.limits_total");
+                    }
+                }
+                (scan_events_rows(store, &plan.filter, limit)?, plan.residual)
             }
             other => (scan(store, other)?, query.where_clause.clone()),
         }
@@ -949,7 +963,8 @@ fn like_match(v: &Value, pattern: &str) -> bool {
 mod tests {
     use super::*;
     use mltrace_store::{
-        ComponentRecord, ComponentRunRecord, MemoryStore, MetricRecord, RunStatus,
+        ComponentRecord, ComponentRunRecord, EventKind, EventSeverity, IncidentRecord,
+        IncidentState, MemoryStore, MetricRecord, ObservabilityEvent, RunId, RunStatus,
     };
 
     #[test]
@@ -1001,6 +1016,43 @@ mod tests {
             })
             .unwrap();
         }
+        s.log_events(vec![
+            ObservabilityEvent::new(EventKind::RunStarted, EventSeverity::Info, 100)
+                .component("etl")
+                .run(RunId(1)),
+            ObservabilityEvent::new(EventKind::RunFinished, EventSeverity::Info, 150)
+                .component("etl")
+                .run(RunId(1)),
+            ObservabilityEvent::new(EventKind::StalenessFlagged, EventSeverity::Warn, 250)
+                .component("train")
+                .detail("no fresh run in 2h"),
+            ObservabilityEvent::new(EventKind::AlertFired, EventSeverity::Page, 400)
+                .component("infer")
+                .run(RunId(4))
+                .detail("accuracy below floor"),
+            ObservabilityEvent::new(EventKind::AlertSuppressed, EventSeverity::Info, 450)
+                .component("infer")
+                .run(RunId(4)),
+            ObservabilityEvent::new(EventKind::RunFailed, EventSeverity::Warn, 800)
+                .component("train")
+                .run(RunId(3))
+                .detail("boom"),
+        ])
+        .unwrap();
+        s.upsert_incident(IncidentRecord {
+            key: "infer/accuracy".into(),
+            state: IncidentState::Open,
+            severity: EventSeverity::Page,
+            subject: "infer".into(),
+            opened_ms: 400,
+            last_fire_ms: 400,
+            resolved_ms: None,
+            fire_count: 1,
+            suppressed_count: 1,
+            burn_ms: 0,
+            detail: "accuracy below floor".into(),
+        })
+        .unwrap();
         s
     }
 
@@ -1239,6 +1291,16 @@ mod tests {
             "SELECT * FROM metrics WHERE component = 'infer' AND value > 0.7",
             "SELECT * FROM metrics WHERE component = 'ghost'",
             "SELECT name, value FROM metrics WHERE component = 'infer' LIMIT 2",
+            "SELECT * FROM events WHERE kind = 'alert_fired'",
+            "SELECT * FROM events WHERE severity = 'warn' AND component = 'train'",
+            "SELECT * FROM events WHERE run_id = 4",
+            "SELECT * FROM events WHERE ts_ms BETWEEN 100 AND 450 LIMIT 2",
+            "SELECT * FROM events WHERE kind = 'AlertFired'",
+            "SELECT * FROM journal WHERE id >= 2 AND id < 5",
+            "SELECT kind, count(*) AS n FROM events GROUP BY kind ORDER BY kind",
+            "SELECT * FROM events ORDER BY ts_ms DESC LIMIT 3",
+            "SELECT * FROM events WHERE kind = 'run_failed' AND detail = 'boom'",
+            "SELECT key, state, fire_count FROM incidents WHERE state = 'open'",
         ] {
             let q = parse(sql).unwrap();
             let fast = execute_query(&s, &q).unwrap();

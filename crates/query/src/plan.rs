@@ -27,7 +27,7 @@
 //! matching the naive path.
 
 use crate::ast::{BinOp, Expr};
-use mltrace_store::{RunFilter, RunStatus, Value};
+use mltrace_store::{EventFilter, EventKind, EventSeverity, RunFilter, RunStatus, Value};
 
 /// Pushdown plan for a `component_runs` scan.
 #[derive(Debug, Clone, Default)]
@@ -44,6 +44,15 @@ pub struct RunScanPlan {
 pub struct MetricScanPlan {
     /// Restrict the scan to one component's series.
     pub component: Option<String>,
+    /// Conjuncts the scan cannot evaluate.
+    pub residual: Option<Expr>,
+}
+
+/// Pushdown plan for an `events` (journal) scan.
+#[derive(Debug, Clone, Default)]
+pub struct EventScanPlan {
+    /// Predicate evaluated inside the journal scan.
+    pub filter: EventFilter,
     /// Conjuncts the scan cannot evaluate.
     pub residual: Option<Expr>,
 }
@@ -83,6 +92,28 @@ pub fn plan_metric_scan(where_clause: Option<&Expr>) -> MetricScanPlan {
             _ => false,
         };
         if !absorbed {
+            residual.push(conjunct);
+        }
+    }
+    plan.residual = rejoin(residual);
+    plan
+}
+
+/// Plan an `events` scan for `where_clause`: kind / severity / component /
+/// run_id equality plus id / ts_ms ranges push into the [`EventFilter`],
+/// under the same provable-equivalence rules as [`plan_run_scan`]. A kind
+/// or severity literal that `from_name` rejects (wrong casing, unknown)
+/// stays residual rather than being coerced. `run_id = <int>` pushes
+/// because the filter matches only stamped events, exactly as the
+/// executor's NULL-comparison-is-false semantics drop unstamped rows.
+pub fn plan_event_scan(where_clause: Option<&Expr>) -> EventScanPlan {
+    let mut plan = EventScanPlan::default();
+    let Some(clause) = where_clause else {
+        return plan;
+    };
+    let mut residual: Vec<&Expr> = Vec::new();
+    for conjunct in clause.conjuncts() {
+        if !absorb_event_conjunct(&mut plan.filter, conjunct) {
             residual.push(conjunct);
         }
     }
@@ -216,6 +247,17 @@ fn absorb_run_conjunct(filter: &mut RunFilter, e: &Expr) -> bool {
     let Some(v) = pushable_u64(literal) else {
         return false;
     };
+    absorb_range_cmp(min_slot, max_slot, op, v)
+}
+
+/// Absorb `col <op> v` into a (min, max) bound pair; `false` leaves the
+/// conjunct residual.
+fn absorb_range_cmp(
+    min_slot: &mut Option<u64>,
+    max_slot: &mut Option<u64>,
+    op: BinOp,
+    v: u64,
+) -> bool {
     match op {
         BinOp::Eq => {
             tighten_min(min_slot, v);
@@ -245,6 +287,124 @@ fn absorb_run_conjunct(filter: &mut RunFilter, e: &Expr) -> bool {
             true
         }
         _ => false,
+    }
+}
+
+/// Try to absorb one conjunct into the event filter; `false` leaves it
+/// residual.
+fn absorb_event_conjunct(filter: &mut EventFilter, e: &Expr) -> bool {
+    if let Expr::Between {
+        expr,
+        lo,
+        hi,
+        negated: false,
+    } = e
+    {
+        if let (Expr::Column(c), Expr::Literal(l), Expr::Literal(h)) =
+            (expr.as_ref(), lo.as_ref(), hi.as_ref())
+        {
+            if let (Some(slots), Some(l), Some(h)) = (
+                event_range_slots(filter, c),
+                pushable_u64(l),
+                pushable_u64(h),
+            ) {
+                tighten_min(slots.0, l);
+                tighten_max(slots.1, h);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    let Some((column, op, literal)) = as_column_cmp(e) else {
+        return false;
+    };
+
+    if column.eq_ignore_ascii_case("component") {
+        if op != BinOp::Eq {
+            return false;
+        }
+        let Value::Str(s) = literal else { return false };
+        return match &filter.component {
+            None => {
+                filter.component = Some(s.clone());
+                true
+            }
+            Some(existing) => existing == s,
+        };
+    }
+
+    if column.eq_ignore_ascii_case("kind") {
+        if op != BinOp::Eq {
+            return false;
+        }
+        // Only the exact canonical names; anything else keeps the
+        // executor's string comparison.
+        let Some(kind) = literal.as_str().and_then(EventKind::from_name) else {
+            return false;
+        };
+        return match filter.kind {
+            None => {
+                filter.kind = Some(kind);
+                true
+            }
+            Some(existing) => existing == kind,
+        };
+    }
+
+    if column.eq_ignore_ascii_case("severity") {
+        if op != BinOp::Eq {
+            return false;
+        }
+        let Some(sev) = literal.as_str().and_then(EventSeverity::from_name) else {
+            return false;
+        };
+        return match filter.severity {
+            None => {
+                filter.severity = Some(sev);
+                true
+            }
+            Some(existing) => existing == sev,
+        };
+    }
+
+    if column.eq_ignore_ascii_case("run_id") {
+        if op != BinOp::Eq {
+            return false;
+        }
+        let Some(v) = pushable_u64(literal) else {
+            return false;
+        };
+        return match filter.run_id {
+            None => {
+                filter.run_id = Some(v);
+                true
+            }
+            Some(existing) => existing == v,
+        };
+    }
+
+    let Some((min_slot, max_slot)) = event_range_slots(filter, column) else {
+        return false;
+    };
+    let Some(v) = pushable_u64(literal) else {
+        return false;
+    };
+    absorb_range_cmp(min_slot, max_slot, op, v)
+}
+
+/// The (min, max) filter slots for a pushable event range column.
+#[allow(clippy::type_complexity)]
+fn event_range_slots<'a>(
+    filter: &'a mut EventFilter,
+    column: &str,
+) -> Option<(&'a mut Option<u64>, &'a mut Option<u64>)> {
+    if column.eq_ignore_ascii_case("id") {
+        Some((&mut filter.min_id, &mut filter.max_id))
+    } else if column.eq_ignore_ascii_case("ts_ms") {
+        Some((&mut filter.min_ts_ms, &mut filter.max_ts_ms))
+    } else {
+        None
     }
 }
 
@@ -379,6 +539,65 @@ mod tests {
         let plan = plan_run_scan(Some(&w));
         assert_eq!(plan.filter.component.as_deref(), Some("a"));
         assert!(plan.residual.is_none());
+    }
+
+    #[test]
+    fn event_plan_pushes_equalities_and_ranges() {
+        let w = where_of(
+            "SELECT * FROM events WHERE kind = 'alert_fired' AND severity = 'page' \
+             AND component = 'infer' AND run_id = 4 AND ts_ms BETWEEN 10 AND 90 \
+             AND id >= 2 AND id < 8",
+        );
+        let plan = plan_event_scan(Some(&w));
+        assert_eq!(plan.filter.kind, Some(EventKind::AlertFired));
+        assert_eq!(plan.filter.severity, Some(EventSeverity::Page));
+        assert_eq!(plan.filter.component.as_deref(), Some("infer"));
+        assert_eq!(plan.filter.run_id, Some(4));
+        assert_eq!(plan.filter.min_ts_ms, Some(10));
+        assert_eq!(plan.filter.max_ts_ms, Some(90));
+        assert_eq!(plan.filter.min_id, Some(2));
+        assert_eq!(plan.filter.max_id, Some(7));
+        assert!(plan.residual.is_none());
+    }
+
+    #[test]
+    fn event_plan_rejects_inexact_names() {
+        for sql in [
+            // Wrong casing must keep the executor's string comparison.
+            "SELECT * FROM events WHERE kind = 'AlertFired'",
+            "SELECT * FROM events WHERE severity = 'Page'",
+            // Unknown names never become filters.
+            "SELECT * FROM events WHERE kind = 'alert_cleared'",
+            // Inequalities on name columns have no filter form.
+            "SELECT * FROM events WHERE severity != 'info'",
+            // Negative run id cannot match any row; stays residual.
+            "SELECT * FROM events WHERE run_id = 0 - 1",
+        ] {
+            let w = where_of(sql);
+            let plan = plan_event_scan(Some(&w));
+            assert!(plan.filter.is_all(), "{sql}");
+            assert_eq!(plan.residual.as_ref(), Some(&w), "{sql}");
+        }
+    }
+
+    #[test]
+    fn event_plan_splits_mixed_clause() {
+        let w = where_of(
+            "SELECT * FROM events WHERE kind = 'run_failed' AND detail = 'boom' AND ts_ms <= 50",
+        );
+        let plan = plan_event_scan(Some(&w));
+        assert_eq!(plan.filter.kind, Some(EventKind::RunFailed));
+        assert_eq!(plan.filter.max_ts_ms, Some(50));
+        assert_eq!(
+            plan.residual,
+            Some(where_of("SELECT * FROM events WHERE detail = 'boom'"))
+        );
+        // Conflicting kinds: first wins, second stays residual.
+        let w =
+            where_of("SELECT * FROM events WHERE kind = 'run_failed' AND kind = 'run_finished'");
+        let plan = plan_event_scan(Some(&w));
+        assert_eq!(plan.filter.kind, Some(EventKind::RunFailed));
+        assert!(plan.residual.is_some());
     }
 
     #[test]

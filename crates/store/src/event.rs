@@ -1,0 +1,700 @@
+//! The observability event journal: one append-only spine that every
+//! signal the engine computes flows through.
+//!
+//! The paper's querying pillar assumes post-hoc questions can be asked
+//! about *everything the system observed* — yet trigger verdicts, alert
+//! decisions, staleness findings, and WAL recoveries are ephemeral unless
+//! something writes them down. An [`ObservabilityEvent`] is that record:
+//! a monotonic id, a timestamp, a severity, a [`EventKind`] taxonomy, the
+//! subject component/run, and a structured payload. Events persist through
+//! the normal store/WAL path (batched with the run bundle they belong to)
+//! and fan out in-process through a bounded broadcast [`EventBus`] so live
+//! consumers (`mltrace tail`, the incident fold) see them without polling.
+//!
+//! Incidents — the folded open→acknowledged→resolved view of Page-tier
+//! alerts — are persisted as [`IncidentRecord`]s keyed by their dedup key.
+
+use crate::record::RunId;
+use crate::value::Value;
+use mltrace_telemetry::{Counter, Gauge, Telemetry};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonically increasing identifier of a journal event, assigned by the
+/// store at persist time (first id is 1; 0 means "not yet assigned").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct EventId(pub u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evt#{}", self.0)
+    }
+}
+
+/// Severity tier of a journal event, mirroring the alert tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventSeverity {
+    /// Routine lifecycle traffic.
+    Info,
+    /// Something worth human eyes, but not paging anyone.
+    Warn,
+    /// Page-tier: an SLA-protected signal crossed its threshold.
+    Page,
+}
+
+impl EventSeverity {
+    /// Stable lowercase name, used in SQL output and predicates.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventSeverity::Info => "info",
+            EventSeverity::Warn => "warn",
+            EventSeverity::Page => "page",
+        }
+    }
+
+    /// Parse the exact output of [`Self::name`]. Deliberately rejects
+    /// other casings so callers that push severity predicates into a scan
+    /// cannot accidentally widen a comparison.
+    pub fn from_name(name: &str) -> Option<EventSeverity> {
+        match name {
+            "info" => Some(EventSeverity::Info),
+            "warn" => Some(EventSeverity::Warn),
+            "page" => Some(EventSeverity::Page),
+            _ => None,
+        }
+    }
+}
+
+/// What happened: the closed taxonomy of journal events. Every producer in
+/// the engine maps onto one of these kinds, so `SELECT ... WHERE kind =`
+/// queries can rely on a stable vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A component run entered the execution layer.
+    RunStarted,
+    /// A component run completed successfully.
+    RunFinished,
+    /// A component run failed (body error or trigger failure).
+    RunFailed,
+    /// A trigger produced an outcome (sync or async, before or after).
+    TriggerOutcome,
+    /// The staleness checker flagged a stale dependency.
+    StalenessFlagged,
+    /// An alert rule fired.
+    AlertFired,
+    /// An alert rule held but was suppressed by its cooldown.
+    AlertSuppressed,
+    /// A Page-tier alert opened a new incident.
+    IncidentOpened,
+    /// An open incident was acknowledged by an operator.
+    IncidentAcknowledged,
+    /// An incident was resolved (quiet period elapsed or manual).
+    IncidentResolved,
+    /// The WAL truncated a torn tail during crash recovery.
+    WalRecovered,
+    /// The WAL was opened under a non-default durability policy.
+    WalPolicy,
+}
+
+/// All kinds, in declaration order — handy for docs and exhaustive tests.
+pub const EVENT_KINDS: [EventKind; 12] = [
+    EventKind::RunStarted,
+    EventKind::RunFinished,
+    EventKind::RunFailed,
+    EventKind::TriggerOutcome,
+    EventKind::StalenessFlagged,
+    EventKind::AlertFired,
+    EventKind::AlertSuppressed,
+    EventKind::IncidentOpened,
+    EventKind::IncidentAcknowledged,
+    EventKind::IncidentResolved,
+    EventKind::WalRecovered,
+    EventKind::WalPolicy,
+];
+
+impl EventKind {
+    /// Stable snake_case name, used in SQL output and predicates.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RunStarted => "run_started",
+            EventKind::RunFinished => "run_finished",
+            EventKind::RunFailed => "run_failed",
+            EventKind::TriggerOutcome => "trigger_outcome",
+            EventKind::StalenessFlagged => "staleness_flagged",
+            EventKind::AlertFired => "alert_fired",
+            EventKind::AlertSuppressed => "alert_suppressed",
+            EventKind::IncidentOpened => "incident_opened",
+            EventKind::IncidentAcknowledged => "incident_acknowledged",
+            EventKind::IncidentResolved => "incident_resolved",
+            EventKind::WalRecovered => "wal_recovered",
+            EventKind::WalPolicy => "wal_policy",
+        }
+    }
+
+    /// Parse the exact output of [`Self::name`]. Rejects other casings so
+    /// pushed-down `kind =` predicates stay equivalent to the naive path.
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EVENT_KINDS.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One record in the observability journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservabilityEvent {
+    /// Monotonic journal id, assigned at persist time.
+    #[serde(default)]
+    pub id: EventId,
+    /// Epoch-milliseconds timestamp of the observation.
+    pub ts_ms: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// How loudly it should surface.
+    pub severity: EventSeverity,
+    /// Subject component (empty for engine-level events such as WAL
+    /// recovery).
+    #[serde(default)]
+    pub component: String,
+    /// Subject run, when the event is about one. Events carried inside a
+    /// [`crate::RunBundle`] may leave this `None`; the store stamps the
+    /// assigned run id at log time, exactly like bundled metric points.
+    #[serde(default)]
+    pub run_id: Option<RunId>,
+    /// One human-readable line.
+    #[serde(default)]
+    pub detail: String,
+    /// Structured payload (threshold values, trigger names, policies...).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub payload: BTreeMap<String, Value>,
+}
+
+impl ObservabilityEvent {
+    /// Start building an event; the store assigns the id at persist time.
+    pub fn new(kind: EventKind, severity: EventSeverity, ts_ms: u64) -> ObservabilityEvent {
+        ObservabilityEvent {
+            id: EventId(0),
+            ts_ms,
+            kind,
+            severity,
+            component: String::new(),
+            run_id: None,
+            detail: String::new(),
+            payload: BTreeMap::new(),
+        }
+    }
+
+    /// Set the subject component.
+    pub fn component(mut self, component: impl Into<String>) -> Self {
+        self.component = component.into();
+        self
+    }
+
+    /// Set the subject run.
+    pub fn run(mut self, id: RunId) -> Self {
+        self.run_id = Some(id);
+        self
+    }
+
+    /// Set the human-readable detail line.
+    pub fn detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = detail.into();
+        self
+    }
+
+    /// Attach one payload entry.
+    pub fn payload(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.payload.insert(key.into(), value);
+        self
+    }
+
+    /// One-line rendering for `mltrace tail`.
+    pub fn render_line(&self) -> String {
+        let mut out = format!(
+            "{:>8}  {:>13}  {:<5} {:<22}",
+            self.id.to_string(),
+            self.ts_ms,
+            self.severity.name(),
+            self.kind.name(),
+        );
+        if !self.component.is_empty() {
+            out.push_str(&format!(" {:<16}", self.component));
+        }
+        if let Some(run) = self.run_id {
+            out.push_str(&format!(" {run}"));
+        }
+        if !self.detail.is_empty() {
+            out.push_str("  ");
+            out.push_str(&self.detail);
+        }
+        out
+    }
+}
+
+#[inline]
+fn in_bounds(v: u64, lo: Option<u64>, hi: Option<u64>) -> bool {
+    lo.is_none_or(|l| v >= l) && hi.is_none_or(|h| v <= h)
+}
+
+/// Predicate over journal events, mirroring [`crate::RunFilter`]: every
+/// field is a conjunct, `None` means "don't care". This is the unit the
+/// query planner pushes `WHERE` clauses into.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventFilter {
+    /// Exact kind.
+    pub kind: Option<EventKind>,
+    /// Exact severity.
+    pub severity: Option<EventSeverity>,
+    /// Exact subject component.
+    pub component: Option<String>,
+    /// Exact subject run id.
+    pub run_id: Option<u64>,
+    /// Inclusive lower bound on the event id.
+    pub min_id: Option<u64>,
+    /// Inclusive upper bound on the event id.
+    pub max_id: Option<u64>,
+    /// Inclusive lower bound on the timestamp.
+    pub min_ts_ms: Option<u64>,
+    /// Inclusive upper bound on the timestamp.
+    pub max_ts_ms: Option<u64>,
+}
+
+impl EventFilter {
+    /// The match-everything filter.
+    pub fn all() -> EventFilter {
+        EventFilter::default()
+    }
+
+    /// Restrict to one kind.
+    pub fn with_kind(mut self, kind: EventKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Restrict to one severity.
+    pub fn with_severity(mut self, severity: EventSeverity) -> Self {
+        self.severity = Some(severity);
+        self
+    }
+
+    /// Restrict to one component.
+    pub fn with_component(mut self, component: impl Into<String>) -> Self {
+        self.component = Some(component.into());
+        self
+    }
+
+    /// Intersect a lower timestamp bound with any existing one.
+    pub fn at_or_after(mut self, ts_ms: u64) -> Self {
+        self.min_ts_ms = Some(self.min_ts_ms.map_or(ts_ms, |t| t.max(ts_ms)));
+        self
+    }
+
+    /// Intersect an upper timestamp bound with any existing one.
+    pub fn at_or_before(mut self, ts_ms: u64) -> Self {
+        self.max_ts_ms = Some(self.max_ts_ms.map_or(ts_ms, |t| t.min(ts_ms)));
+        self
+    }
+
+    /// True when the filter matches everything (scan fast path).
+    pub fn is_all(&self) -> bool {
+        *self == EventFilter::default()
+    }
+
+    /// Does `event` satisfy every conjunct?
+    pub fn matches(&self, event: &ObservabilityEvent) -> bool {
+        self.kind.is_none_or(|k| k == event.kind)
+            && self.severity.is_none_or(|s| s == event.severity)
+            && self
+                .component
+                .as_deref()
+                .is_none_or(|c| c == event.component)
+            && self
+                .run_id
+                .is_none_or(|r| event.run_id.is_some_and(|id| id.0 == r))
+            && in_bounds(event.id.0, self.min_id, self.max_id)
+            && in_bounds(event.ts_ms, self.min_ts_ms, self.max_ts_ms)
+    }
+}
+
+/// Lifecycle state of an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncidentState {
+    /// Firing, nobody has looked yet.
+    Open,
+    /// An operator has seen it; still firing.
+    Acknowledged,
+    /// Quiet long enough (or manually closed).
+    Resolved,
+}
+
+impl IncidentState {
+    /// Stable lowercase name, used in SQL output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IncidentState::Open => "open",
+            IncidentState::Acknowledged => "acknowledged",
+            IncidentState::Resolved => "resolved",
+        }
+    }
+
+    /// Parse the exact output of [`Self::name`].
+    pub fn from_name(name: &str) -> Option<IncidentState> {
+        match name {
+            "open" => Some(IncidentState::Open),
+            "acknowledged" => Some(IncidentState::Acknowledged),
+            "resolved" => Some(IncidentState::Resolved),
+            _ => None,
+        }
+    }
+}
+
+/// Persisted view of one incident: Page-tier alert events folded by dedup
+/// key into an open→acknowledged→resolved lifecycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentRecord {
+    /// Dedup key (the alert rule id): re-fires of the same rule update the
+    /// existing incident instead of opening a new one.
+    pub key: String,
+    /// Lifecycle state.
+    pub state: IncidentState,
+    /// Severity of the underlying alerts.
+    pub severity: EventSeverity,
+    /// Metric or component the incident is about.
+    #[serde(default)]
+    pub subject: String,
+    /// When the incident opened, epoch ms.
+    pub opened_ms: u64,
+    /// Timestamp of the most recent fire.
+    pub last_fire_ms: u64,
+    /// When the incident resolved, if it has.
+    #[serde(default)]
+    pub resolved_ms: Option<u64>,
+    /// Fires folded into this incident (including the opening one).
+    pub fire_count: u64,
+    /// Cooldown-suppressed observations while the incident was open.
+    #[serde(default)]
+    pub suppressed_count: u64,
+    /// SLA burn: how long the incident has been (or was) un-resolved.
+    #[serde(default)]
+    pub burn_ms: u64,
+    /// One human-readable line about the triggering condition.
+    #[serde(default)]
+    pub detail: String,
+}
+
+/// Per-subscriber bounded queue. Publishing never blocks: when a queue is
+/// full the oldest event is dropped and the drop is counted — a slow
+/// `tail --follow` must not be able to stall ingest.
+struct SubscriberQueue {
+    queue: Mutex<VecDeque<Arc<ObservabilityEvent>>>,
+    capacity: usize,
+    closed: AtomicBool,
+    dropped: AtomicU64,
+}
+
+/// Resolved telemetry handles so publish pays only relaxed atomics.
+struct BusTelemetry {
+    published: Counter,
+    dropped: Counter,
+    subscribers: Gauge,
+    depth: Gauge,
+}
+
+/// In-process broadcast bus for journal events.
+///
+/// Bounded, drop-oldest: each subscriber owns a fixed-capacity queue;
+/// `publish` appends to every live queue, evicting the oldest entries when
+/// full (counted in `events.bus_dropped_total` and per-subscription via
+/// [`EventSubscription::dropped`]). Events are shared as `Arc`s, so a
+/// publish is one small allocation per event regardless of fan-out.
+pub struct EventBus {
+    subscribers: RwLock<Vec<Arc<SubscriberQueue>>>,
+    tele: BusTelemetry,
+}
+
+impl EventBus {
+    /// Default per-subscriber queue capacity.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Create a bus registering its counters in `registry`.
+    pub fn new(registry: &Telemetry) -> EventBus {
+        EventBus {
+            subscribers: RwLock::new(Vec::new()),
+            tele: BusTelemetry {
+                published: registry.counter("events.bus_published_total"),
+                dropped: registry.counter("events.bus_dropped_total"),
+                subscribers: registry.gauge("events.bus_subscribers"),
+                depth: registry.gauge("events.bus_depth"),
+            },
+        }
+    }
+
+    /// Attach a subscriber with the default queue capacity.
+    pub fn subscribe(&self) -> EventSubscription {
+        self.subscribe_with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Attach a subscriber with an explicit queue capacity (min 1).
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> EventSubscription {
+        let inner = Arc::new(SubscriberQueue {
+            queue: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            capacity: capacity.max(1),
+            closed: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+        });
+        let mut subs = self.subscribers.write();
+        subs.retain(|s| !s.closed.load(Ordering::Relaxed));
+        subs.push(inner.clone());
+        self.tele.subscribers.set(subs.len() as i64);
+        EventSubscription { inner }
+    }
+
+    /// Fan `events` out to every live subscriber. Lock cost is one queue
+    /// mutex per subscriber per *batch*, not per event.
+    pub fn publish(&self, events: &[Arc<ObservabilityEvent>]) {
+        if events.is_empty() {
+            return;
+        }
+        self.tele.published.add(events.len() as u64);
+        let subs = self.subscribers.read();
+        if subs.is_empty() {
+            return;
+        }
+        let mut max_depth = 0usize;
+        let mut dropped = 0u64;
+        for sub in subs.iter() {
+            if sub.closed.load(Ordering::Relaxed) {
+                continue;
+            }
+            let mut q = sub.queue.lock();
+            let mut evicted = 0u64;
+            for ev in events {
+                if q.len() >= sub.capacity {
+                    q.pop_front();
+                    evicted += 1;
+                }
+                q.push_back(ev.clone());
+            }
+            max_depth = max_depth.max(q.len());
+            drop(q);
+            if evicted > 0 {
+                sub.dropped.fetch_add(evicted, Ordering::Relaxed);
+                dropped += evicted;
+            }
+        }
+        if dropped > 0 {
+            self.tele.dropped.add(dropped);
+        }
+        // Depth gauge tracks the laggiest subscriber: how far behind the
+        // slowest live consumer is.
+        self.tele.depth.set(max_depth as i64);
+    }
+
+    /// Number of live subscribers (closed ones are pruned lazily).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers
+            .read()
+            .iter()
+            .filter(|s| !s.closed.load(Ordering::Relaxed))
+            .count()
+    }
+}
+
+impl fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventBus")
+            .field("subscribers", &self.subscriber_count())
+            .finish()
+    }
+}
+
+/// A live subscription to the [`EventBus`]. Dropping it detaches the
+/// queue; the bus prunes it on the next subscribe.
+pub struct EventSubscription {
+    inner: Arc<SubscriberQueue>,
+}
+
+impl EventSubscription {
+    /// Drain everything queued since the last poll.
+    pub fn poll(&self) -> Vec<Arc<ObservabilityEvent>> {
+        let mut q = self.inner.queue.lock();
+        q.drain(..).collect()
+    }
+
+    /// Pop a single event, oldest first.
+    pub fn try_next(&self) -> Option<Arc<ObservabilityEvent>> {
+        self.inner.queue.lock().pop_front()
+    }
+
+    /// Events currently waiting in the queue.
+    pub fn depth(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Cumulative events this subscriber lost to queue overflow, counted
+    /// eviction-side at publish time (id-gap counting at poll time would
+    /// miss drops of events never polled).
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for EventSubscription {
+    fn drop(&mut self) {
+        self.inner.closed.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> ObservabilityEvent {
+        ObservabilityEvent::new(EventKind::RunStarted, EventSeverity::Info, ts).component("etl")
+    }
+
+    #[test]
+    fn kind_and_severity_names_round_trip_exactly() {
+        for kind in EVENT_KINDS {
+            assert_eq!(EventKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::from_name("Run_Started"), None);
+        assert_eq!(EventKind::from_name("RUN_STARTED"), None);
+        for sev in [
+            EventSeverity::Info,
+            EventSeverity::Warn,
+            EventSeverity::Page,
+        ] {
+            assert_eq!(EventSeverity::from_name(sev.name()), Some(sev));
+        }
+        assert_eq!(EventSeverity::from_name("PAGE"), None);
+        for st in [
+            IncidentState::Open,
+            IncidentState::Acknowledged,
+            IncidentState::Resolved,
+        ] {
+            assert_eq!(IncidentState::from_name(st.name()), Some(st));
+        }
+    }
+
+    #[test]
+    fn filter_conjuncts_all_apply() {
+        let mut e = ev(500);
+        e.id = EventId(7);
+        e.run_id = Some(RunId(3));
+        assert!(EventFilter::all().matches(&e));
+        assert!(EventFilter::all()
+            .with_kind(EventKind::RunStarted)
+            .matches(&e));
+        assert!(!EventFilter::all()
+            .with_kind(EventKind::RunFailed)
+            .matches(&e));
+        assert!(EventFilter::all()
+            .with_severity(EventSeverity::Info)
+            .matches(&e));
+        assert!(!EventFilter::all()
+            .with_severity(EventSeverity::Page)
+            .matches(&e));
+        assert!(EventFilter::all().with_component("etl").matches(&e));
+        assert!(!EventFilter::all().with_component("train").matches(&e));
+        assert!(EventFilter::all()
+            .at_or_after(500)
+            .at_or_before(500)
+            .matches(&e));
+        assert!(!EventFilter::all().at_or_after(501).matches(&e));
+        let by_run = EventFilter {
+            run_id: Some(3),
+            ..EventFilter::default()
+        };
+        assert!(by_run.matches(&e));
+        let by_other_run = EventFilter {
+            run_id: Some(4),
+            ..EventFilter::default()
+        };
+        assert!(!by_other_run.matches(&e));
+        // Bound intersection keeps the tighter bound.
+        let f = EventFilter::all().at_or_after(10).at_or_after(5);
+        assert_eq!(f.min_ts_ms, Some(10));
+        let f = EventFilter::all().at_or_before(10).at_or_before(20);
+        assert_eq!(f.max_ts_ms, Some(10));
+        assert!(EventFilter::all().is_all());
+        assert!(!EventFilter::all().with_component("x").is_all());
+    }
+
+    #[test]
+    fn bus_delivers_in_order_to_every_subscriber() {
+        let t = Telemetry::new();
+        let bus = EventBus::new(&t);
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        let events: Vec<Arc<ObservabilityEvent>> = (0..5).map(|i| Arc::new(ev(i))).collect();
+        bus.publish(&events);
+        let got_a: Vec<u64> = a.poll().iter().map(|e| e.ts_ms).collect();
+        let got_b: Vec<u64> = b.poll().iter().map(|e| e.ts_ms).collect();
+        assert_eq!(got_a, vec![0, 1, 2, 3, 4]);
+        assert_eq!(got_b, got_a);
+        assert_eq!(t.counter("events.bus_published_total").get(), 5);
+        assert_eq!(t.counter("events.bus_dropped_total").get(), 0);
+    }
+
+    #[test]
+    fn bus_drops_oldest_when_a_queue_overflows() {
+        let t = Telemetry::new();
+        let bus = EventBus::new(&t);
+        let slow = bus.subscribe_with_capacity(3);
+        let events: Vec<Arc<ObservabilityEvent>> = (0..10).map(|i| Arc::new(ev(i))).collect();
+        bus.publish(&events);
+        let got: Vec<u64> = slow.poll().iter().map(|e| e.ts_ms).collect();
+        assert_eq!(got, vec![7, 8, 9], "oldest evicted, newest kept");
+        assert_eq!(slow.dropped(), 7);
+        assert_eq!(t.counter("events.bus_dropped_total").get(), 7);
+    }
+
+    #[test]
+    fn dropped_subscription_stops_receiving_and_is_pruned() {
+        let t = Telemetry::new();
+        let bus = EventBus::new(&t);
+        let a = bus.subscribe();
+        assert_eq!(bus.subscriber_count(), 1);
+        drop(a);
+        assert_eq!(bus.subscriber_count(), 0);
+        bus.publish(&[Arc::new(ev(1))]);
+        // Publishing to a bus with only closed subscribers drops nothing.
+        assert_eq!(t.counter("events.bus_dropped_total").get(), 0);
+        let _b = bus.subscribe();
+        assert_eq!(bus.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn event_serde_round_trips_and_tolerates_missing_optionals() {
+        let mut e = ev(42).detail("hello").payload("k", Value::Int(1));
+        e.id = EventId(9);
+        e.run_id = Some(RunId(2));
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ObservabilityEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+        // Old writers may omit optional fields entirely.
+        let minimal = r#"{"ts_ms":1,"kind":"RunStarted","severity":"Info"}"#;
+        let back: ObservabilityEvent = serde_json::from_str(minimal).unwrap();
+        assert_eq!(back.id, EventId(0));
+        assert!(back.run_id.is_none() && back.component.is_empty());
+    }
+
+    #[test]
+    fn render_line_carries_the_essentials() {
+        let mut e = ev(42).detail("started");
+        e.id = EventId(3);
+        e.run_id = Some(RunId(7));
+        let line = e.render_line();
+        assert!(line.contains("evt#3"), "{line}");
+        assert!(line.contains("run_started"), "{line}");
+        assert!(line.contains("info"), "{line}");
+        assert!(line.contains("etl"), "{line}");
+        assert!(line.contains("run#7"), "{line}");
+        assert!(line.contains("started"), "{line}");
+    }
+}

@@ -26,6 +26,7 @@ pub mod artifact_disk;
 pub mod clock;
 pub mod deletion;
 pub mod error;
+pub mod event;
 pub mod hash;
 pub mod memory;
 pub mod record;
@@ -39,6 +40,10 @@ pub mod wal;
 pub use artifact::{ArtifactStats, ArtifactStore, ChunkerConfig};
 pub use clock::{Clock, ManualClock, SystemClock, MS_PER_DAY};
 pub use error::{Result, StoreError};
+pub use event::{
+    EventBus, EventFilter, EventId, EventKind, EventSeverity, EventSubscription, IncidentRecord,
+    IncidentState, ObservabilityEvent, EVENT_KINDS,
+};
 pub use memory::MemoryStore;
 pub use record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricAggregate,

@@ -28,6 +28,7 @@
 //! path.
 
 use crate::error::{Result, StoreError};
+use crate::event::{EventBus, EventFilter, EventId, IncidentRecord, ObservabilityEvent};
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
@@ -37,6 +38,7 @@ use mltrace_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::{RwLock, RwLockWriteGuard};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Number of lock shards for runs and name-keyed indexes. A power of two
@@ -143,6 +145,8 @@ struct StoreTelemetry {
     /// `rows_scanned`/`rows_returned` this makes pushdown selectivity and
     /// the locks-per-row amortization directly observable.
     scan_locks: Counter,
+    /// Journal events appended through any path.
+    events_logged: Counter,
 }
 
 impl StoreTelemetry {
@@ -159,6 +163,7 @@ impl StoreTelemetry {
             rows_scanned: registry.counter("query.rows_scanned"),
             rows_returned: registry.counter("query.rows_returned"),
             scan_locks: registry.counter("query.scan_locks_total"),
+            events_logged: registry.counter("store.events_logged_total"),
             registry,
         }
     }
@@ -184,6 +189,16 @@ pub struct MemoryStore {
     metrics: RwLock<MetricsTable>,
     /// component → compaction summaries ascending by window start
     summaries: RwLock<HashMap<String, Vec<CompactionSummary>>>,
+    /// Next journal event id. Atomic for the same reason as `next_run_id`:
+    /// id assignment must not take the journal lock.
+    next_event_id: AtomicU64,
+    /// The observability journal, ascending by event id. Append-only
+    /// (retention is future work), one lock taken once per batch.
+    events: RwLock<Vec<ObservabilityEvent>>,
+    /// Incidents keyed by dedup key.
+    incidents: RwLock<BTreeMap<String, IncidentRecord>>,
+    /// In-process fan-out of journal events to live subscribers.
+    bus: EventBus,
     /// Self-telemetry handles (see the `tele` module docs).
     tele: StoreTelemetry,
 }
@@ -224,6 +239,10 @@ impl MemoryStore {
             io_pointers: RwLock::new(BTreeMap::new()),
             metrics: RwLock::new(MetricsTable::default()),
             summaries: RwLock::new(HashMap::new()),
+            next_event_id: AtomicU64::new(1),
+            events: RwLock::new(Vec::new()),
+            incidents: RwLock::new(BTreeMap::new()),
+            bus: EventBus::new(&registry),
             tele: StoreTelemetry::new(registry),
         }
     }
@@ -254,6 +273,28 @@ impl MemoryStore {
         self.write_shard(&self.run_shards[run_shard(id.0)])
             .insert(id.0, run);
         self.tele.runs_restored.incr();
+        Ok(())
+    }
+
+    /// Re-insert a journal event with a pre-assigned id. Used by WAL
+    /// replay; keeps `next_event_id` ahead of every replayed id and does
+    /// NOT fan out on the bus (replayed history is not live traffic).
+    pub(crate) fn restore_event(&self, event: ObservabilityEvent) -> Result<()> {
+        if event.id.0 == 0 {
+            return Err(StoreError::InvalidRecord("restored event has no id".into()));
+        }
+        self.next_event_id
+            .fetch_max(event.id.0 + 1, Ordering::Relaxed);
+        let mut g = self.events.write();
+        // Replay order is normally ascending (the WAL is append-only);
+        // tolerate stragglers so a hand-edited log still loads.
+        match g.last() {
+            Some(last) if last.id >= event.id => {
+                let pos = g.partition_point(|e| e.id < event.id);
+                g.insert(pos, event);
+            }
+            _ => g.push(event),
+        }
         Ok(())
     }
 
@@ -482,6 +523,13 @@ impl Store for MemoryStore {
             m.run_id = Some(id);
         }
         self.log_metrics(metrics)?;
+        let mut events = bundle.events;
+        for e in &mut events {
+            if e.run_id.is_none() {
+                e.run_id = Some(id);
+            }
+        }
+        self.log_events(events)?;
         self.tele.bundles.incr();
         self.tele
             .bundle_latency
@@ -799,7 +847,108 @@ impl Store for MemoryStore {
             metric_points,
             summaries: self.summaries.read().values().map(Vec::len).sum(),
             runs_removed: self.runs_removed.load(Ordering::Relaxed),
+            events: self.events.read().len(),
+            incidents: self.incidents.read().len(),
         })
+    }
+
+    fn log_events(&self, mut events: Vec<ObservabilityEvent>) -> Result<Vec<EventId>> {
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Ids come from the atomic counter; the journal lock is taken once
+        // for the whole batch, matching the group-commit shape of the run
+        // ingest path.
+        let base = self
+            .next_event_id
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        let mut ids = Vec::with_capacity(events.len());
+        for (i, e) in events.iter_mut().enumerate() {
+            e.id = EventId(base + i as u64);
+            ids.push(e.id);
+        }
+        // Fan out first only if someone is listening: the common no-
+        // subscriber case pays zero Arc allocations.
+        let live = if self.bus.subscriber_count() > 0 {
+            Some(
+                events
+                    .iter()
+                    .map(|e| Arc::new(e.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            None
+        };
+        {
+            let mut g = self.events.write();
+            // Concurrent batches may land out of id order; keep the
+            // journal sorted so scans can cursor on the id.
+            let sorted_append = g.last().is_none_or(|last| last.id.0 < base);
+            if sorted_append {
+                g.extend(events);
+            } else {
+                for e in events {
+                    let pos = g.partition_point(|x| x.id < e.id);
+                    g.insert(pos, e);
+                }
+            }
+        }
+        if let Some(live) = live {
+            self.bus.publish(&live);
+        }
+        self.tele.events_logged.add(ids.len() as u64);
+        Ok(ids)
+    }
+
+    fn scan_events(
+        &self,
+        since: Option<EventId>,
+        filter: &EventFilter,
+        limit: Option<usize>,
+    ) -> Result<Vec<ObservabilityEvent>> {
+        let cap = limit.unwrap_or(usize::MAX);
+        let mut out = Vec::new();
+        if cap == 0 {
+            return Ok(out);
+        }
+        let g = self.events.read();
+        self.tele.scan_locks.incr();
+        let start = match since {
+            Some(s) => g.partition_point(|e| e.id <= s),
+            None => 0,
+        };
+        let mut scanned = 0u64;
+        for e in &g[start..] {
+            scanned += 1;
+            if filter.matches(e) {
+                out.push(e.clone());
+                if out.len() >= cap {
+                    break;
+                }
+            }
+        }
+        drop(g);
+        self.tele.rows_scanned.add(scanned);
+        self.tele.rows_returned.add(out.len() as u64);
+        Ok(out)
+    }
+
+    fn upsert_incident(&self, incident: IncidentRecord) -> Result<()> {
+        if incident.key.is_empty() {
+            return Err(StoreError::InvalidRecord("incident key is empty".into()));
+        }
+        self.incidents
+            .write()
+            .insert(incident.key.clone(), incident);
+        Ok(())
+    }
+
+    fn incidents(&self) -> Result<Vec<IncidentRecord>> {
+        Ok(self.incidents.read().values().cloned().collect())
+    }
+
+    fn event_bus(&self) -> Option<&EventBus> {
+        Some(&self.bus)
     }
 
     fn telemetry(&self) -> Option<&Telemetry> {
@@ -976,6 +1125,12 @@ mod tests {
                     value: 3.5,
                     ts_ms: 110,
                 }],
+                events: vec![ObservabilityEvent::new(
+                    crate::event::EventKind::RunFinished,
+                    crate::event::EventSeverity::Info,
+                    110,
+                )
+                .component("infer")],
             })
             .unwrap();
         assert_eq!(id, RunId(1));
@@ -984,6 +1139,10 @@ mod tests {
         assert_eq!(pts.len(), 1);
         assert_eq!(pts[0].run_id, Some(id), "bundle stamps the assigned id");
         assert_eq!(s.producers_of("pred-1").unwrap(), vec![id]);
+        let events = s.scan_events(None, &EventFilter::all(), None).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].run_id, Some(id), "bundle stamps event run ids");
+        assert_eq!(events[0].id, EventId(1));
     }
 
     #[test]
@@ -1207,6 +1366,7 @@ mod tests {
                 value: 1.0,
                 ts_ms: 410,
             }],
+            events: Vec::new(),
         })
         .unwrap();
         s.delete_runs(&[RunId(1)]).unwrap();
@@ -1375,5 +1535,132 @@ mod tests {
         );
         let snap = s.telemetry().unwrap().snapshot();
         assert_eq!(snap.counters["query.rows_returned"], 3);
+    }
+
+    use crate::event::{EventKind, EventSeverity};
+
+    fn event(kind: EventKind, sev: EventSeverity, ts: u64, component: &str) -> ObservabilityEvent {
+        ObservabilityEvent::new(kind, sev, ts).component(component)
+    }
+
+    #[test]
+    fn log_events_assigns_monotonic_ids_and_scans_back() {
+        let s = MemoryStore::new();
+        let ids = s
+            .log_events(vec![
+                event(EventKind::RunStarted, EventSeverity::Info, 100, "etl"),
+                event(EventKind::AlertFired, EventSeverity::Page, 200, "infer"),
+                event(EventKind::AlertFired, EventSeverity::Warn, 300, "infer"),
+            ])
+            .unwrap();
+        assert_eq!(ids, vec![EventId(1), EventId(2), EventId(3)]);
+        let all = s.scan_events(None, &EventFilter::all(), None).unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].id < w[1].id));
+        // Cursor: strictly after EventId(1).
+        let after = s
+            .scan_events(Some(EventId(1)), &EventFilter::all(), None)
+            .unwrap();
+        assert_eq!(after.len(), 2);
+        assert_eq!(after[0].id, EventId(2));
+        // Filter + limit.
+        let fired = s
+            .scan_events(
+                None,
+                &EventFilter::all().with_kind(EventKind::AlertFired),
+                Some(1),
+            )
+            .unwrap();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].severity, EventSeverity::Page);
+        let paged = s
+            .scan_events(
+                None,
+                &EventFilter::all().with_severity(EventSeverity::Page),
+                None,
+            )
+            .unwrap();
+        assert_eq!(paged.len(), 1);
+        assert_eq!(s.stats().unwrap().events, 3);
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.counters["store.events_logged_total"], 3);
+    }
+
+    #[test]
+    fn log_events_publishes_to_live_subscribers() {
+        let s = MemoryStore::new();
+        let sub = s.event_bus().unwrap().subscribe();
+        s.log_events(vec![event(
+            EventKind::WalRecovered,
+            EventSeverity::Warn,
+            5,
+            "",
+        )])
+        .unwrap();
+        let got = sub.poll();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, EventId(1), "published after id assignment");
+        assert_eq!(got[0].kind, EventKind::WalRecovered);
+    }
+
+    #[test]
+    fn restore_event_keeps_id_and_advances_counter() {
+        let s = MemoryStore::new();
+        let mut e = event(EventKind::RunStarted, EventSeverity::Info, 1, "etl");
+        e.id = EventId(7);
+        s.restore_event(e).unwrap();
+        let mut early = event(EventKind::RunStarted, EventSeverity::Info, 0, "etl");
+        early.id = EventId(3);
+        s.restore_event(early).unwrap();
+        let all = s.scan_events(None, &EventFilter::all(), None).unwrap();
+        assert_eq!(
+            all.iter().map(|e| e.id.0).collect::<Vec<_>>(),
+            vec![3, 7],
+            "straggler restored in sorted position"
+        );
+        let next = s
+            .log_events(vec![event(
+                EventKind::RunFinished,
+                EventSeverity::Info,
+                2,
+                "etl",
+            )])
+            .unwrap();
+        assert_eq!(next, vec![EventId(8)], "fresh ids continue past restores");
+        let mut unassigned = event(EventKind::RunStarted, EventSeverity::Info, 0, "x");
+        unassigned.id = EventId(0);
+        assert!(s.restore_event(unassigned).is_err());
+    }
+
+    #[test]
+    fn incidents_upsert_by_key_and_list_ordered() {
+        let s = MemoryStore::new();
+        let inc = |key: &str, fires: u64| IncidentRecord {
+            key: key.into(),
+            state: crate::event::IncidentState::Open,
+            severity: EventSeverity::Page,
+            subject: "accuracy".into(),
+            opened_ms: 100,
+            last_fire_ms: 100,
+            resolved_ms: None,
+            fire_count: fires,
+            suppressed_count: 0,
+            burn_ms: 0,
+            detail: String::new(),
+        };
+        s.upsert_incident(inc("zeta", 1)).unwrap();
+        s.upsert_incident(inc("alpha", 1)).unwrap();
+        s.upsert_incident(inc("zeta", 5)).unwrap();
+        let all = s.incidents().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].key, "alpha");
+        assert_eq!(all[1].fire_count, 5, "re-upsert replaced by key");
+        assert_eq!(s.stats().unwrap().incidents, 2);
+        assert!(s
+            .upsert_incident(IncidentRecord {
+                key: String::new(),
+                ..inc("x", 1)
+            })
+            .is_err());
     }
 }

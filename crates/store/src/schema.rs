@@ -1,11 +1,13 @@
 //! Relational view of the store for the SQL layer (§4.2: "users can query
 //! the logs and metadata via SQL").
 //!
-//! Five virtual tables are exposed: `components`, `component_runs`,
-//! `io_pointers`, `metrics`, and `summaries`. [`scan`] materializes a table
-//! as rows of [`Value`]s in the column order given by [`table_schema`].
+//! Seven virtual tables are exposed: `components`, `component_runs`,
+//! `io_pointers`, `metrics`, `summaries`, `events` (the observability
+//! journal), and `incidents`. [`scan`] materializes a table as rows of
+//! [`Value`]s in the column order given by [`table_schema`].
 
 use crate::error::{Result, StoreError};
+use crate::event::{EventFilter, IncidentRecord, ObservabilityEvent};
 use crate::record::{ComponentRunRecord, MetricRecord, RunId};
 use crate::scan::RunFilter;
 use crate::store::Store;
@@ -27,6 +29,10 @@ pub enum Table {
     Metrics,
     /// Compaction summaries.
     Summaries,
+    /// The observability journal (run lifecycle, triggers, alerts, WAL).
+    Events,
+    /// Incident lifecycle records folded from Page-tier alerts.
+    Incidents,
 }
 
 impl Table {
@@ -38,6 +44,8 @@ impl Table {
             "io_pointers" | "iopointers" => Some(Table::IoPointers),
             "metrics" => Some(Table::Metrics),
             "summaries" => Some(Table::Summaries),
+            "events" | "journal" => Some(Table::Events),
+            "incidents" => Some(Table::Incidents),
             _ => None,
         }
     }
@@ -50,6 +58,8 @@ impl Table {
             Table::IoPointers => "io_pointers",
             Table::Metrics => "metrics",
             Table::Summaries => "summaries",
+            Table::Events => "events",
+            Table::Incidents => "incidents",
         }
     }
 }
@@ -81,6 +91,28 @@ pub fn table_schema(table: Table) -> &'static [&'static str] {
             "run_count",
             "failed_count",
             "mean_duration_ms",
+        ],
+        Table::Events => &[
+            "id",
+            "ts_ms",
+            "kind",
+            "severity",
+            "component",
+            "run_id",
+            "detail",
+        ],
+        Table::Incidents => &[
+            "key",
+            "state",
+            "severity",
+            "subject",
+            "opened_ms",
+            "last_fire_ms",
+            "resolved_ms",
+            "fire_count",
+            "suppressed_count",
+            "burn_ms",
+            "detail",
         ],
     }
 }
@@ -131,7 +163,59 @@ pub fn scan(store: &dyn Store, table: Table) -> Result<Vec<Row>> {
             }
             Ok(rows)
         }
+        Table::Events => scan_events_rows(store, &EventFilter::all(), None),
+        Table::Incidents => Ok(store.incidents()?.iter().map(incident_row).collect()),
     }
+}
+
+/// Convert one journal event into its `events` row (the column order of
+/// [`table_schema`]). The structured payload is not a column: SQL filters
+/// on the typed fields; the payload travels with the record for trace
+/// export and `tail`.
+pub fn event_row(e: &ObservabilityEvent) -> Row {
+    vec![
+        Value::from(e.id.0),
+        Value::from(e.ts_ms),
+        Value::from(e.kind.name()),
+        Value::from(e.severity.name()),
+        Value::from(e.component.clone()),
+        e.run_id
+            .map(|RunId(i)| Value::from(i))
+            .unwrap_or(Value::Null),
+        Value::from(e.detail.clone()),
+    ]
+}
+
+/// Convert one incident into its `incidents` row.
+pub fn incident_row(i: &IncidentRecord) -> Row {
+    vec![
+        Value::from(i.key.clone()),
+        Value::from(i.state.name()),
+        Value::from(i.severity.name()),
+        Value::from(i.subject.clone()),
+        Value::from(i.opened_ms),
+        Value::from(i.last_fire_ms),
+        i.resolved_ms.map(Value::from).unwrap_or(Value::Null),
+        Value::from(i.fire_count),
+        Value::from(i.suppressed_count),
+        Value::from(i.burn_ms),
+        Value::from(i.detail.clone()),
+    ]
+}
+
+/// Materialize `events` rows through the journal's filtered scan. The
+/// store-side scan already records `query.rows_scanned` /
+/// `query.rows_returned`, so this is a pure conversion.
+pub fn scan_events_rows(
+    store: &dyn Store,
+    filter: &EventFilter,
+    limit: Option<usize>,
+) -> Result<Vec<Row>> {
+    Ok(store
+        .scan_events(None, filter, limit)?
+        .iter()
+        .map(event_row)
+        .collect())
 }
 
 /// Convert one run record into its `component_runs` row (the column order
@@ -252,6 +336,7 @@ pub fn column_index(table: Table, column: &str) -> Result<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{EventKind, EventSeverity, IncidentState};
     use crate::memory::MemoryStore;
     use crate::record::{
         ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, TriggerOutcomeRecord,
@@ -287,6 +372,29 @@ mod tests {
             ts_ms: 11,
         })
         .unwrap();
+        s.log_events(vec![
+            ObservabilityEvent::new(EventKind::RunFinished, EventSeverity::Info, 30)
+                .component("etl")
+                .run(RunId(1)),
+            ObservabilityEvent::new(EventKind::AlertFired, EventSeverity::Page, 31)
+                .component("etl")
+                .detail("null-rate breach"),
+        ])
+        .unwrap();
+        s.upsert_incident(IncidentRecord {
+            key: "etl/null-rate".into(),
+            state: IncidentState::Open,
+            severity: EventSeverity::Page,
+            subject: "etl".into(),
+            opened_ms: 31,
+            last_fire_ms: 31,
+            resolved_ms: None,
+            fire_count: 1,
+            suppressed_count: 0,
+            burn_ms: 0,
+            detail: "null-rate breach".into(),
+        })
+        .unwrap();
         s
     }
 
@@ -319,6 +427,8 @@ mod tests {
             Table::IoPointers,
             Table::Metrics,
             Table::Summaries,
+            Table::Events,
+            Table::Incidents,
         ] {
             let rows = scan(&s, t).unwrap();
             for row in &rows {
@@ -326,6 +436,8 @@ mod tests {
             }
         }
         assert_eq!(scan(&s, Table::Metrics).unwrap().len(), 1);
+        assert_eq!(scan(&s, Table::Events).unwrap().len(), 2);
+        assert_eq!(scan(&s, Table::Incidents).unwrap().len(), 1);
     }
 
     #[test]
@@ -362,6 +474,42 @@ mod tests {
         assert_eq!(filtered, naive);
         let limited = scan_runs_rows(&s, &RunFilter::default(), Some(2)).unwrap();
         assert_eq!(limited, all[..2].to_vec());
+    }
+
+    #[test]
+    fn events_and_incidents_tables_materialize() {
+        let s = seeded();
+        assert_eq!(Table::parse("events"), Some(Table::Events));
+        assert_eq!(Table::parse("JOURNAL"), Some(Table::Events));
+        assert_eq!(Table::parse("incidents"), Some(Table::Incidents));
+        let rows = scan(&s, Table::Events).unwrap();
+        let kind_idx = column_index(Table::Events, "kind").unwrap();
+        let run_idx = column_index(Table::Events, "run_id").unwrap();
+        assert_eq!(rows[0][kind_idx], Value::from("run_finished"));
+        assert_eq!(rows[0][run_idx], Value::Int(1));
+        assert_eq!(rows[1][run_idx], Value::Null, "unstamped event is NULL");
+        // The filtered scan matches a naive post-filter of the full scan.
+        let filtered = scan_events_rows(
+            &s,
+            &EventFilter::all().with_kind(EventKind::AlertFired),
+            None,
+        )
+        .unwrap();
+        let naive: Vec<Row> = rows
+            .iter()
+            .filter(|r| r[kind_idx] == Value::from("alert_fired"))
+            .cloned()
+            .collect();
+        assert_eq!(filtered, naive);
+        assert_eq!(
+            scan_events_rows(&s, &EventFilter::all(), Some(1)).unwrap(),
+            rows[..1].to_vec()
+        );
+        let inc = scan(&s, Table::Incidents).unwrap();
+        let state_idx = column_index(Table::Incidents, "state").unwrap();
+        let resolved_idx = column_index(Table::Incidents, "resolved_ms").unwrap();
+        assert_eq!(inc[0][state_idx], Value::from("open"));
+        assert_eq!(inc[0][resolved_idx], Value::Null);
     }
 
     #[test]

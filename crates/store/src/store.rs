@@ -7,6 +7,7 @@
 //! log for durability and replay).
 
 use crate::error::Result;
+use crate::event::{EventBus, EventFilter, EventId, IncidentRecord, ObservabilityEvent};
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
@@ -34,6 +35,11 @@ pub struct RunBundle {
     /// metrics). The store stamps each point's `run_id` with the assigned
     /// id before logging it.
     pub metrics: Vec<MetricRecord>,
+    /// Journal events observed during the run (lifecycle, trigger
+    /// outcomes). Events whose `run_id` is `None` are stamped with the
+    /// assigned id, exactly like the metric points, so emission rides the
+    /// same group-commit transaction instead of taking extra locks.
+    pub events: Vec<ObservabilityEvent>,
 }
 
 /// Counters describing the current contents of a store.
@@ -51,6 +57,10 @@ pub struct StoreStats {
     pub summaries: usize,
     /// Runs removed by deletion or compaction since the store was opened.
     pub runs_removed: u64,
+    /// Journal events retained.
+    pub events: usize,
+    /// Incidents retained (all lifecycle states).
+    pub incidents: usize,
 }
 
 /// Storage-layer contract. All methods take `&self`; implementations are
@@ -226,6 +236,13 @@ pub trait Store: Send + Sync {
             m.run_id = Some(id);
         }
         self.log_metrics(metrics)?;
+        let mut events = bundle.events;
+        for e in &mut events {
+            if e.run_id.is_none() {
+                e.run_id = Some(id);
+            }
+        }
+        self.log_events(events)?;
         Ok(id)
     }
 
@@ -291,6 +308,56 @@ pub trait Store: Send + Sync {
 
     /// Current record counts.
     fn stats(&self) -> Result<StoreStats>;
+
+    // ------------------------------------------------------------------
+    // The observability event journal
+    // ------------------------------------------------------------------
+
+    /// Append a batch of journal events, assigning each a fresh monotonic
+    /// [`EventId`] and returning the ids in order. Implementations take
+    /// their journal lock once per *batch* and fan the batch out to bus
+    /// subscribers after the append.
+    ///
+    /// The default is a no-op sink (`Ok(vec![])`): stores without a
+    /// journal stay valid `Store` implementations, and callers that emit
+    /// events unconditionally degrade to "not retained" rather than
+    /// erroring.
+    fn log_events(&self, events: Vec<ObservabilityEvent>) -> Result<Vec<EventId>> {
+        let _ = events;
+        Ok(Vec::new())
+    }
+
+    /// Scan journal events with id strictly greater than `since` (all
+    /// events when `None`) matching `filter`, ascending by id, stopping
+    /// after `limit` matches. Mirrors [`Store::scan_runs`], including the
+    /// `query.rows_scanned` / `query.rows_returned` telemetry contract.
+    fn scan_events(
+        &self,
+        since: Option<EventId>,
+        filter: &EventFilter,
+        limit: Option<usize>,
+    ) -> Result<Vec<ObservabilityEvent>> {
+        let _ = (since, filter, limit);
+        Ok(Vec::new())
+    }
+
+    /// Insert or replace an incident by its dedup `key`.
+    fn upsert_incident(&self, incident: IncidentRecord) -> Result<()> {
+        let _ = incident;
+        Ok(())
+    }
+
+    /// All incidents, ordered by key.
+    fn incidents(&self) -> Result<Vec<IncidentRecord>> {
+        Ok(Vec::new())
+    }
+
+    /// The in-process broadcast bus journal events fan out on, when the
+    /// store keeps one. `None` (the default) means live subscription is
+    /// unsupported; persisted scans still work.
+    fn event_bus(&self) -> Option<&EventBus> {
+        None
+    }
 
     // ------------------------------------------------------------------
     // Self-telemetry

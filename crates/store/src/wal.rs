@@ -36,17 +36,21 @@
 //! [`StoreError::Corrupt`].
 
 use crate::error::{Result, StoreError};
+use crate::event::{
+    EventBus, EventFilter, EventId, EventKind, EventSeverity, IncidentRecord, ObservabilityEvent,
+};
 use crate::memory::MemoryStore;
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
 use crate::scan::RunFilter;
 use crate::store::{RunBundle, Store, StoreStats};
+use crate::value::Value;
 use mltrace_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -62,6 +66,8 @@ enum WalEvent {
     DeleteRuns { ids: Vec<RunId> },
     DeleteIos { names: Vec<String> },
     Summary { rec: CompactionSummary },
+    Obs { rec: ObservabilityEvent },
+    Incident { rec: IncidentRecord },
 }
 
 /// When buffered WAL events are flushed to the OS (see the module docs for
@@ -90,6 +96,54 @@ fn encode_event(buf: &mut Vec<u8>, event: &WalEvent) -> Result<()> {
     serde_json::to_writer(&mut *buf, event)?;
     buf.push(b'\n');
     Ok(())
+}
+
+/// Wall-clock milliseconds for journal events the WAL itself emits
+/// (recovery, policy). The store layer has no injected clock; these are
+/// operator-facing timestamps, not test-controlled ones.
+fn wall_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Incrementally read journal events appended to the WAL at `path` from
+/// byte `offset` onward, without opening the store (and so without taking
+/// the owning process's locks). Complete lines that are not journal events
+/// (runs, metrics, …) are skipped; a torn tail — a partial line the owning
+/// process is still writing — is left in place for the next poll, exactly
+/// as crash recovery treats it. If the log shrank underneath us (a
+/// [`WalStore::rewrite`]), reading restarts from the top. Returns the
+/// decoded events and the offset to resume from. This is the cross-process
+/// streaming path behind `mltrace tail --follow`.
+pub fn read_events_from(
+    path: impl AsRef<Path>,
+    offset: u64,
+) -> Result<(Vec<ObservabilityEvent>, u64)> {
+    let path = path.as_ref();
+    let Ok(meta) = std::fs::metadata(path) else {
+        return Ok((Vec::new(), offset));
+    };
+    let mut at = if offset > meta.len() { 0 } else { offset };
+    let mut reader = BufReader::new(File::open(path)?);
+    reader.seek(SeekFrom::Start(at))?;
+    let mut line = String::new();
+    let mut out = Vec::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || !line.ends_with('\n') {
+            break;
+        }
+        if let Ok(WalEvent::Obs { rec }) =
+            serde_json::from_str::<WalEvent>(line.trim_end_matches('\n'))
+        {
+            out.push(rec);
+        }
+        at += n as u64;
+    }
+    Ok((out, at))
 }
 
 /// Pre-resolved telemetry handles for the WAL's hot paths. Cloned into
@@ -266,7 +320,7 @@ impl WalStore {
         if missing_final_newline {
             writer.write(b"\n", 0, DurabilityPolicy::EveryEvent)?;
         }
-        Ok(WalStore {
+        let store = WalStore {
             mem,
             writer: Mutex::new(writer),
             path,
@@ -274,7 +328,35 @@ impl WalStore {
             recovered,
             registry,
             tele,
-        })
+        };
+        // Journal the open itself: a torn-tail truncation is an operator
+        // fact worth keeping (queryable later via `SELECT … FROM events`),
+        // and a relaxed fsync policy changes what a crash can lose, so the
+        // transition is recorded too. The default policy is not journaled —
+        // every CLI invocation opens the store and would spam the log.
+        if store.recovered {
+            store.log_events(vec![ObservabilityEvent::new(
+                EventKind::WalRecovered,
+                EventSeverity::Warn,
+                wall_ms(),
+            )
+            .component("wal")
+            .detail(format!(
+                "torn tail truncated during recovery of {}",
+                store.path.display()
+            ))])?;
+        }
+        if store.policy != DurabilityPolicy::EveryEvent {
+            store.log_events(vec![ObservabilityEvent::new(
+                EventKind::WalPolicy,
+                EventSeverity::Info,
+                wall_ms(),
+            )
+            .component("wal")
+            .detail(format!("durability policy {:?}", store.policy))
+            .payload("policy", Value::Str(format!("{:?}", store.policy)))])?;
+        }
+        Ok(store)
     }
 
     /// Path of the backing log file.
@@ -313,6 +395,8 @@ impl WalStore {
             WalEvent::DeleteRuns { ids } => mem.delete_runs(&ids).map(|_| ()),
             WalEvent::DeleteIos { names } => mem.delete_io_pointers(&names).map(|_| ()),
             WalEvent::Summary { rec } => mem.put_summary(rec),
+            WalEvent::Obs { rec } => mem.restore_event(rec),
+            WalEvent::Incident { rec } => mem.upsert_incident(rec),
         }
     }
 
@@ -392,6 +476,12 @@ impl WalStore {
                     emit(&WalEvent::Summary { rec })?;
                 }
             }
+            for rec in self.mem.scan_events(None, &EventFilter::all(), None)? {
+                emit(&WalEvent::Obs { rec })?;
+            }
+            for rec in self.mem.incidents()? {
+                emit(&WalEvent::Incident { rec })?;
+            }
             out.flush()?;
             out.get_ref().sync_data()?;
         }
@@ -452,8 +542,9 @@ impl Store for WalStore {
     }
 
     fn log_run_bundle(&self, bundle: RunBundle) -> Result<RunId> {
-        let mut events: Vec<WalEvent> =
-            Vec::with_capacity(bundle.pointers.len() + 1 + bundle.metrics.len());
+        let mut events: Vec<WalEvent> = Vec::with_capacity(
+            bundle.pointers.len() + 1 + bundle.metrics.len() + bundle.events.len(),
+        );
         for rec in bundle.pointers {
             self.mem.upsert_io_pointer(rec.clone())?;
             events.push(WalEvent::IoPointer { rec });
@@ -468,6 +559,23 @@ impl Store for WalStore {
         }
         self.mem.log_metrics(metrics.clone())?;
         events.extend(metrics.into_iter().map(|rec| WalEvent::Metric { rec }));
+        // Journal events ride the same single group-commit append as the
+        // run and its metrics: stamp the run id, let the memory store
+        // assign ids (and fan out to live subscribers), then log the
+        // id-stamped records.
+        let mut obs = bundle.events;
+        for e in &mut obs {
+            if e.run_id.is_none() {
+                e.run_id = Some(id);
+            }
+        }
+        if !obs.is_empty() {
+            let event_ids = self.mem.log_events(obs.clone())?;
+            for (e, eid) in obs.iter_mut().zip(event_ids.iter()) {
+                e.id = *eid;
+            }
+            events.extend(obs.into_iter().map(|rec| WalEvent::Obs { rec }));
+        }
         self.append_all(&events)?;
         Ok(id)
     }
@@ -581,6 +689,44 @@ impl Store for WalStore {
 
     fn summaries(&self, component: &str) -> Result<Vec<CompactionSummary>> {
         self.mem.summaries(component)
+    }
+
+    fn log_events(&self, events: Vec<ObservabilityEvent>) -> Result<Vec<EventId>> {
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut recs = events.clone();
+        // The memory store assigns ids and publishes to live subscribers;
+        // the log gets the id-stamped records so replay restores ids.
+        let ids = self.mem.log_events(events)?;
+        for (rec, id) in recs.iter_mut().zip(ids.iter()) {
+            rec.id = *id;
+        }
+        let wal_events: Vec<WalEvent> = recs.into_iter().map(|rec| WalEvent::Obs { rec }).collect();
+        self.append_all(&wal_events)?;
+        Ok(ids)
+    }
+
+    fn scan_events(
+        &self,
+        since: Option<EventId>,
+        filter: &EventFilter,
+        limit: Option<usize>,
+    ) -> Result<Vec<ObservabilityEvent>> {
+        self.mem.scan_events(since, filter, limit)
+    }
+
+    fn upsert_incident(&self, rec: IncidentRecord) -> Result<()> {
+        self.mem.upsert_incident(rec.clone())?;
+        self.append(&WalEvent::Incident { rec })
+    }
+
+    fn incidents(&self) -> Result<Vec<IncidentRecord>> {
+        self.mem.incidents()
+    }
+
+    fn event_bus(&self) -> Option<&EventBus> {
+        self.mem.event_bus()
     }
 
     fn stats(&self) -> Result<StoreStats> {
@@ -711,11 +857,27 @@ mod tests {
             "recovery surfaces in telemetry"
         );
         assert_eq!(s.run_ids().unwrap(), vec![a, b], "complete events survive");
-        assert_eq!(
-            std::fs::metadata(&path).unwrap().len(),
-            clean_len,
-            "file truncated back to the last complete event"
+        // The torn fragment is gone; what grew past the clean prefix is the
+        // journaled recovery event, itself a complete line.
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            content.len() as u64 > clean_len,
+            "recovery event appended past the clean prefix"
         );
+        assert!(
+            !content.contains("{\"event\":\"Run\",\"rec\":{\"id\":3"),
+            "torn fragment truncated away"
+        );
+        assert!(content.ends_with('\n'), "log ends on a complete line");
+        let recoveries = s
+            .scan_events(
+                None,
+                &EventFilter::all().with_kind(EventKind::WalRecovered),
+                None,
+            )
+            .unwrap();
+        assert_eq!(recoveries.len(), 1, "recovery is journaled");
+        assert_eq!(recoveries[0].severity, EventSeverity::Warn);
         // Store remains writable and the next open replays cleanly.
         let c = s.log_run(run("etl", 300, &[], &[])).unwrap();
         assert!(c > b);
@@ -724,6 +886,17 @@ mod tests {
         let s = WalStore::open(&path).unwrap();
         assert!(!s.recovered());
         assert_eq!(s.stats().unwrap().runs, 3);
+        assert_eq!(
+            s.scan_events(
+                None,
+                &EventFilter::all().with_kind(EventKind::WalRecovered),
+                None
+            )
+            .unwrap()
+            .len(),
+            1,
+            "recovery event replays without being re-emitted"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -734,7 +907,14 @@ mod tests {
         let s = WalStore::open(&path).unwrap();
         assert!(s.recovered());
         assert_eq!(s.stats().unwrap().runs, 0);
-        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        // The log holds exactly one record now: the journaled recovery.
+        assert_eq!(s.stats().unwrap().events, 1);
+        let evs = s.scan_events(None, &EventFilter::all(), None).unwrap();
+        assert_eq!(evs[0].kind, EventKind::WalRecovered);
+        drop(s);
+        let s = WalStore::open(&path).unwrap();
+        assert!(!s.recovered());
+        assert_eq!(s.stats().unwrap().events, 1);
         std::fs::remove_file(&path).ok();
     }
 
@@ -785,6 +965,12 @@ mod tests {
                     value: 2.0,
                     ts_ms: 401,
                 }],
+                events: vec![ObservabilityEvent::new(
+                    EventKind::RunFinished,
+                    EventSeverity::Info,
+                    401,
+                )
+                .component("infer")],
             })
             .unwrap();
             s.sync().unwrap();
@@ -796,6 +982,20 @@ mod tests {
         let pts = s.metrics("infer", "latency_ms").unwrap();
         assert_eq!(pts.len(), 1);
         assert_eq!(pts[0].run_id, Some(RunId(4)));
+        // The bundled journal event replays with its assigned id and the
+        // run id it was stamped with (the OnSync open also journaled a
+        // WalPolicy event, which took id 1).
+        let evs = s
+            .scan_events(
+                None,
+                &EventFilter::all().with_kind(EventKind::RunFinished),
+                None,
+            )
+            .unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].id, EventId(2));
+        assert_eq!(evs[0].run_id, Some(RunId(4)));
+        assert_eq!(s.stats().unwrap().events, 2);
         std::fs::remove_file(&path).ok();
     }
 
@@ -833,22 +1033,23 @@ mod tests {
         s.log_run(run("etl", 300, &[], &[])).unwrap();
         s.sync().unwrap();
         let snap = s.telemetry().unwrap().snapshot();
-        assert_eq!(snap.counters["wal.append_events_total"], 3);
+        // 3 runs + the WalPolicy journal event the non-default open emits.
+        assert_eq!(snap.counters["wal.append_events_total"], 4);
         assert_eq!(
-            snap.counters["wal.appends_total"], 2,
-            "one batched + one scalar"
+            snap.counters["wal.appends_total"], 3,
+            "policy event + one batched + one scalar"
         );
         assert_eq!(snap.counters["wal.fsyncs_total"], 1);
         assert!(snap.counters["wal.bytes_written_total"] > 0);
         assert!(snap.counters["wal.flushes_total"] >= 1);
         assert_eq!(snap.counters["wal.recoveries_total"], 0);
         let lat = &snap.histograms["wal.append_all"];
-        assert_eq!(lat.count, 2, "both physical appends timed");
+        assert_eq!(lat.count, 3, "all physical appends timed");
         // The memory store underneath reports into the same registry.
         assert_eq!(snap.counters["store.runs_logged_total"], 3);
         let batches = &snap.histograms["wal.group_commit_events"];
         assert_eq!(
-            batches.sum, 3,
+            batches.sum, 4,
             "every appended event is attributed to some flush"
         );
         std::fs::remove_file(&path).ok();
@@ -860,6 +1061,153 @@ mod tests {
         std::fs::write(&path, "\n\n").unwrap();
         let s = WalStore::open(&path).unwrap();
         assert_eq!(s.stats().unwrap().runs, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_events_and_incidents_replay_identically() {
+        use crate::event::IncidentState;
+        let path = tmp("journal");
+        let ids;
+        {
+            let s = WalStore::open(&path).unwrap();
+            ids = s
+                .log_events(vec![
+                    ObservabilityEvent::new(EventKind::RunStarted, EventSeverity::Info, 100)
+                        .component("etl"),
+                    ObservabilityEvent::new(EventKind::AlertFired, EventSeverity::Page, 110)
+                        .component("infer")
+                        .detail("null-rate breach"),
+                ])
+                .unwrap();
+            assert_eq!(ids, vec![EventId(1), EventId(2)]);
+            s.upsert_incident(IncidentRecord {
+                key: "infer/null-rate".into(),
+                state: IncidentState::Open,
+                severity: EventSeverity::Page,
+                subject: "infer".into(),
+                opened_ms: 110,
+                last_fire_ms: 110,
+                resolved_ms: None,
+                fire_count: 1,
+                suppressed_count: 0,
+                burn_ms: 0,
+                detail: "null-rate breach".into(),
+            })
+            .unwrap();
+            s.sync().unwrap();
+        }
+        let s = WalStore::open(&path).unwrap();
+        let evs = s.scan_events(None, &EventFilter::all(), None).unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].id, EventId(1));
+        assert_eq!(evs[1].kind, EventKind::AlertFired);
+        assert_eq!(evs[1].detail, "null-rate breach");
+        let incs = s.incidents().unwrap();
+        assert_eq!(incs.len(), 1);
+        assert_eq!(incs[0].key, "infer/null-rate");
+        assert_eq!(incs[0].state, IncidentState::Open);
+        // Fresh event ids continue above replayed ones.
+        let next = s
+            .log_events(vec![ObservabilityEvent::new(
+                EventKind::RunFinished,
+                EventSeverity::Info,
+                120,
+            )])
+            .unwrap();
+        assert_eq!(next, vec![EventId(3)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewrite_preserves_journal_and_incidents() {
+        use crate::event::IncidentState;
+        let path = tmp("rewrite-journal");
+        let s = WalStore::open(&path).unwrap();
+        let mut run_ids = Vec::new();
+        for i in 0..20 {
+            run_ids.push(s.log_run(run("c", i, &[], &["out.csv"])).unwrap());
+        }
+        s.log_events(vec![ObservabilityEvent::new(
+            EventKind::StalenessFlagged,
+            EventSeverity::Warn,
+            50,
+        )
+        .component("c")])
+            .unwrap();
+        s.upsert_incident(IncidentRecord {
+            key: "c/stale".into(),
+            state: IncidentState::Resolved,
+            severity: EventSeverity::Page,
+            subject: "c".into(),
+            opened_ms: 10,
+            last_fire_ms: 20,
+            resolved_ms: Some(40),
+            fire_count: 3,
+            suppressed_count: 1,
+            burn_ms: 30,
+            detail: "resolved after quiet period".into(),
+        })
+        .unwrap();
+        s.delete_runs(&run_ids[..15]).unwrap();
+        s.sync().unwrap();
+        s.rewrite().unwrap();
+        drop(s);
+        let s = WalStore::open(&path).unwrap();
+        assert_eq!(s.stats().unwrap().runs, 5);
+        let evs = s.scan_events(None, &EventFilter::all(), None).unwrap();
+        assert_eq!(evs.len(), 1, "journal survives rewrite");
+        assert_eq!(evs[0].kind, EventKind::StalenessFlagged);
+        let incs = s.incidents().unwrap();
+        assert_eq!(incs.len(), 1, "incidents survive rewrite");
+        assert_eq!(incs[0].resolved_ms, Some(40));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_events_from_streams_and_tolerates_torn_tail() {
+        let path = tmp("follow");
+        let s = WalStore::open(&path).unwrap();
+        s.log_run(run("etl", 100, &[], &["raw.csv"])).unwrap();
+        s.log_events(vec![ObservabilityEvent::new(
+            EventKind::RunStarted,
+            EventSeverity::Info,
+            100,
+        )
+        .component("etl")])
+            .unwrap();
+        s.sync().unwrap();
+        // First poll from the top: run lines are skipped, the journal
+        // event is decoded.
+        let (evs, offset) = read_events_from(&path, 0).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::RunStarted);
+        assert_eq!(offset, std::fs::metadata(&path).unwrap().len());
+        // Nothing new: no events, offset stays put.
+        let (evs, offset2) = read_events_from(&path, offset).unwrap();
+        assert!(evs.is_empty());
+        assert_eq!(offset2, offset);
+        // New event arrives; the poll picks up only the delta.
+        s.log_events(vec![ObservabilityEvent::new(
+            EventKind::RunFinished,
+            EventSeverity::Info,
+            200,
+        )])
+        .unwrap();
+        s.sync().unwrap();
+        let (evs, offset3) = read_events_from(&path, offset2).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::RunFinished);
+        // A torn tail (writer mid-append) is left for the next poll.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"event\":\"Obs\",\"rec\":{\"id\":9")
+                .unwrap();
+        }
+        let (evs, offset4) = read_events_from(&path, offset3).unwrap();
+        assert!(evs.is_empty(), "partial line is not decoded");
+        assert_eq!(offset4, offset3, "offset does not advance past torn tail");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -14,10 +14,12 @@ use crate::features::{labels, Featurizer};
 use crate::gen::{trips_to_frame, DriftProfile, TripConfig, TripGenerator};
 use crate::scenarios::Incident;
 use mltrace_core::library::{MinCountTrigger, NoMissingTrigger, OverfitTrigger};
-use mltrace_core::{ComponentDef, CoreError, FnTrigger, Mltrace, RunSpec, TriggerOutcome};
+use mltrace_core::{
+    ComponentDef, CoreError, FnTrigger, Mltrace, PipelineMonitor, RunSpec, TriggerOutcome,
+};
 use mltrace_metrics::{
-    roc_auc, AlertManager, AlertRule, Comparator, ConfusionMatrix, DriftConfig, DriftDetector,
-    DriftMethod, Severity, Sla,
+    roc_auc, AlertRule, Comparator, ConfusionMatrix, DriftConfig, DriftDetector, DriftMethod,
+    Severity, Sla,
 };
 use mltrace_pipeline::{train_test_split, DataFrame, LogisticConfig, LogisticRegression};
 use mltrace_store::{ManualClock, RunId, Value};
@@ -129,7 +131,7 @@ pub struct TaxiPipeline {
     clock: Arc<ManualClock>,
     generator: TripGenerator,
     state: Arc<RwLock<SharedState>>,
-    alerts: AlertManager,
+    alerting: PipelineMonitor,
     sla: Sla,
     config: TaxiConfig,
     batch: u64,
@@ -322,8 +324,10 @@ impl TaxiPipeline {
         .expect("register monitor");
 
         let sla = Sla::mean_at_least("tip-accuracy-sla", "accuracy", config.accuracy_floor, 5);
-        let mut alerts = AlertManager::new();
-        alerts.add_rule(AlertRule {
+        // Alerts journal through the store and fold into incidents; no
+        // quiet-period auto-resolution — the demo resolves explicitly.
+        let mut alerting = PipelineMonitor::new(0);
+        alerting.add_rule(AlertRule {
             id: "tip-accuracy-sla".into(),
             metric: "accuracy_window_mean".into(),
             comparator: Comparator::Gte,
@@ -344,7 +348,7 @@ impl TaxiPipeline {
             clock,
             generator,
             state,
-            alerts,
+            alerting,
             sla,
             config,
             batch: 0,
@@ -362,9 +366,9 @@ impl TaxiPipeline {
         &self.clock
     }
 
-    /// Alert log from monitor passes.
-    pub fn alerts(&self) -> &AlertManager {
-        &self.alerts
+    /// Alerting + incident state accumulated by monitor passes.
+    pub fn alerting(&self) -> &PipelineMonitor {
+        &self.alerting
     }
 
     fn step(&self) {
@@ -730,7 +734,14 @@ impl TaxiPipeline {
         self.step();
         let mut fired = Vec::new();
         if let Some(acc) = observed {
-            for alert in self.alerts.observe("accuracy_window_mean", acc, now) {
+            let alerts = self.alerting.observe(
+                self.ml.store().as_ref(),
+                "monitor",
+                "accuracy_window_mean",
+                acc,
+                now,
+            )?;
+            for alert in alerts {
                 fired.push(alert.rule_id);
             }
         }

@@ -153,6 +153,68 @@ impl TelemetrySnapshot {
         out
     }
 
+    /// Parse one metric line into the snapshot. `lineno` is 1-based for
+    /// error messages.
+    fn parse_line(&mut self, lineno: usize, line: &str) -> Result<(), String> {
+        let mut tokens = line.split_whitespace();
+        let kind = tokens.next().unwrap_or_default();
+        let name = tokens
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing metric name"))?
+            .to_owned();
+        let bad = |what: &str| format!("line {lineno}: bad {what} for {name}");
+        match kind {
+            "counter" => {
+                let v: u64 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("counter value"))?;
+                self.counters.insert(name, v);
+            }
+            "gauge" => {
+                let v: i64 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("gauge value"))?;
+                self.gauges.insert(name, v);
+            }
+            "hist" => {
+                let count: u64 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("histogram count"))?;
+                let sum: u64 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("histogram sum"))?;
+                let mut buckets = Vec::with_capacity(BUCKET_COUNT);
+                for t in tokens {
+                    buckets.push(t.parse::<u64>().map_err(|_| bad("bucket"))?);
+                }
+                // Tolerate snapshots from builds with a different
+                // bucket count: pad or truncate (tail spill merges
+                // into the last kept bucket).
+                if buckets.len() > BUCKET_COUNT {
+                    let spill: u64 = buckets[BUCKET_COUNT..].iter().sum();
+                    buckets.truncate(BUCKET_COUNT);
+                    buckets[BUCKET_COUNT - 1] += spill;
+                } else {
+                    buckets.resize(BUCKET_COUNT, 0);
+                }
+                self.histograms.insert(
+                    name,
+                    HistogramSnapshot {
+                        count,
+                        sum,
+                        buckets,
+                    },
+                );
+            }
+            other => return Err(format!("line {lineno}: unknown record {other:?}")),
+        }
+        Ok(())
+    }
+
     /// Parse the persistence format produced by [`Self::to_text`].
     pub fn from_text(text: &str) -> Result<TelemetrySnapshot, String> {
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
@@ -163,64 +225,50 @@ impl TelemetrySnapshot {
         }
         let mut snap = TelemetrySnapshot::default();
         for (lineno, line) in lines.enumerate() {
-            let mut tokens = line.split_whitespace();
-            let kind = tokens.next().unwrap_or_default();
-            let name = tokens
-                .next()
-                .ok_or_else(|| format!("line {}: missing metric name", lineno + 2))?
-                .to_owned();
-            let bad = |what: &str| format!("line {}: bad {what} for {name}", lineno + 2);
-            match kind {
-                "counter" => {
-                    let v: u64 = tokens
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| bad("counter value"))?;
-                    snap.counters.insert(name, v);
-                }
-                "gauge" => {
-                    let v: i64 = tokens
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| bad("gauge value"))?;
-                    snap.gauges.insert(name, v);
-                }
-                "hist" => {
-                    let count: u64 = tokens
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| bad("histogram count"))?;
-                    let sum: u64 = tokens
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| bad("histogram sum"))?;
-                    let mut buckets = Vec::with_capacity(BUCKET_COUNT);
-                    for t in tokens {
-                        buckets.push(t.parse::<u64>().map_err(|_| bad("bucket"))?);
-                    }
-                    // Tolerate snapshots from builds with a different
-                    // bucket count: pad or truncate (tail spill merges
-                    // into the last kept bucket).
-                    if buckets.len() > BUCKET_COUNT {
-                        let spill: u64 = buckets[BUCKET_COUNT..].iter().sum();
-                        buckets.truncate(BUCKET_COUNT);
-                        buckets[BUCKET_COUNT - 1] += spill;
-                    } else {
-                        buckets.resize(BUCKET_COUNT, 0);
-                    }
-                    snap.histograms.insert(
-                        name,
-                        HistogramSnapshot {
-                            count,
-                            sum,
-                            buckets,
-                        },
-                    );
-                }
-                other => return Err(format!("line {}: unknown record {other:?}", lineno + 2)),
-            }
+            snap.parse_line(lineno + 2, line)?;
         }
         Ok(snap)
+    }
+
+    /// Parse like [`Self::from_text`], but salvage the valid prefix of a
+    /// truncated or concurrently-rewritten file instead of discarding it
+    /// — the sidecar analogue of WAL torn-tail recovery. An unterminated
+    /// final line is treated as torn and dropped *before* parsing (its
+    /// prefix could otherwise parse as a smaller, wrong number). Returns
+    /// the snapshot plus a warning when anything was dropped.
+    pub fn from_text_lossy(text: &str) -> (TelemetrySnapshot, Option<String>) {
+        let mut warning = None;
+        let complete = match text.rfind('\n') {
+            _ if text.is_empty() => text,
+            Some(last) if last + 1 == text.len() => text,
+            Some(last) => {
+                warning = Some("dropped unterminated final line".to_owned());
+                &text[..=last]
+            }
+            None => {
+                warning = Some("dropped unterminated final line".to_owned());
+                ""
+            }
+        };
+        let mut lines = complete.lines().filter(|l| !l.trim().is_empty());
+        match lines.next() {
+            Some(h) if h.trim() == HEADER => {}
+            Some(h) => {
+                return (
+                    TelemetrySnapshot::default(),
+                    Some(format!("unrecognized telemetry header: {h:?}")),
+                )
+            }
+            None => return (TelemetrySnapshot::default(), warning),
+        }
+        let mut snap = TelemetrySnapshot::default();
+        for (lineno, line) in lines.enumerate() {
+            if let Err(e) = snap.parse_line(lineno + 2, line) {
+                warning = Some(format!("salvaged prefix only: {e}"));
+                break;
+            }
+        }
+        (snap, warning)
     }
 
     /// Load a snapshot from a sidecar file; `None` if the file is absent
@@ -228,6 +276,22 @@ impl TelemetrySnapshot {
     pub fn load_file(path: impl AsRef<Path>) -> Option<TelemetrySnapshot> {
         let text = std::fs::read_to_string(path).ok()?;
         TelemetrySnapshot::from_text(&text).ok()
+    }
+
+    /// Load a sidecar leniently: an absent file is silently empty, while
+    /// a torn, truncated, or corrupt file yields its salvageable prefix
+    /// plus a warning the caller should surface.
+    pub fn load_file_lenient(path: impl AsRef<Path>) -> (TelemetrySnapshot, Option<String>) {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => TelemetrySnapshot::from_text_lossy(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                (TelemetrySnapshot::default(), None)
+            }
+            Err(e) => (
+                TelemetrySnapshot::default(),
+                Some(format!("unreadable telemetry sidecar: {e}")),
+            ),
+        }
     }
 
     /// Write the snapshot to a sidecar file.
@@ -353,6 +417,61 @@ mod tests {
         assert!(
             TelemetrySnapshot::from_text("mltrace-telemetry v1\ncounter x notanumber\n").is_err()
         );
+    }
+
+    #[test]
+    fn lossy_parse_salvages_truncated_sidecars() {
+        let full = sample().to_text();
+        // Clean text: identical to strict parsing, no warning.
+        let (snap, warn) = TelemetrySnapshot::from_text_lossy(&full);
+        assert_eq!(snap, TelemetrySnapshot::from_text(&full).unwrap());
+        assert!(warn.is_none());
+        // Torn mid-number: the unterminated line is dropped, not parsed
+        // as a smaller value.
+        let torn = &full[..full.len() - 2];
+        assert!(!torn.ends_with('\n'));
+        let (snap, warn) = TelemetrySnapshot::from_text_lossy(torn);
+        let last_metric = full
+            .lines()
+            .last()
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap();
+        assert!(
+            !snap.counters.contains_key(last_metric) && !snap.histograms.contains_key(last_metric),
+            "torn line for {last_metric} must not survive"
+        );
+        assert!(warn.unwrap().contains("unterminated"));
+        // Garbage in the middle: everything before it survives.
+        let corrupt = "mltrace-telemetry v1\ncounter a 1\nbogus line here\ncounter b 2\n";
+        let (snap, warn) = TelemetrySnapshot::from_text_lossy(corrupt);
+        assert_eq!(snap.counters.get("a"), Some(&1));
+        assert!(!snap.counters.contains_key("b"), "after the tear is gone");
+        assert!(warn.unwrap().contains("salvaged prefix"));
+        // Wrong header: empty with a warning.
+        let (snap, warn) = TelemetrySnapshot::from_text_lossy("not-a-header\n");
+        assert!(snap.is_empty());
+        assert!(warn.unwrap().contains("header"));
+        // Empty text: empty, no warning.
+        let (snap, warn) = TelemetrySnapshot::from_text_lossy("");
+        assert!(snap.is_empty() && warn.is_none());
+    }
+
+    #[test]
+    fn lenient_load_distinguishes_absent_from_corrupt() {
+        let dir = std::env::temp_dir().join(format!("mlt-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("missing.telemetry");
+        let (snap, warn) = TelemetrySnapshot::load_file_lenient(&missing);
+        assert!(snap.is_empty() && warn.is_none(), "absent is silent");
+        let torn = dir.join("torn.telemetry");
+        std::fs::write(&torn, "mltrace-telemetry v1\ncounter a 1\ncounter b 12").unwrap();
+        let (snap, warn) = TelemetrySnapshot::load_file_lenient(&torn);
+        assert_eq!(snap.counters.get("a"), Some(&1));
+        assert!(!snap.counters.contains_key("b"));
+        assert!(warn.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,17 +9,20 @@
 //! mltrace --db obs.wal inspect 12
 //! mltrace --db obs.wal flag pred-17 && mltrace --db obs.wal review
 //! mltrace --db obs.wal stale
-//! mltrace --db obs.wal sql "SELECT component, count(*) FROM runs GROUP BY component"
+//! mltrace --db obs.wal tail --severity page --follow
+//! mltrace --db obs.wal export-trace 12 --format chrome --out trace.json
+//! mltrace --db obs.wal sql "SELECT kind, count(*) FROM events GROUP BY kind"
 //! mltrace --db obs.wal compact --days 30
 //! mltrace --db obs.wal delete-derived clean_trips-0.csv
 //! mltrace --db obs.wal stats
 //! ```
 
-use mltrace::core::{Commands, Mltrace};
+use mltrace::core::{export_trace, Commands, Mltrace, TraceFormat};
 use mltrace::query::execute;
 use mltrace::store::deletion::delete_derived;
 use mltrace::store::retention::compact_older_than_days;
-use mltrace::store::{Store, WalStore};
+use mltrace::store::wal::read_events_from;
+use mltrace::store::{EventFilter, EventKind, EventSeverity, RunId, Store, WalStore};
 use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
 use mltrace::telemetry::TelemetrySnapshot;
 use std::process::ExitCode;
@@ -41,6 +44,10 @@ COMMANDS
   review                     rank component runs across flagged traces
   stale [component]          staleness of the latest run(s)
   health                     one-screen pipeline health summary
+  tail [--limit <n>] [--kind <k>] [--severity <s>] [--follow]
+                             journal events; --follow streams new ones live
+  export-trace <run_id> [--format chrome|otlp-json] [--out <path>]
+                             component-run tree as a loadable trace file
   telemetry [--prometheus]   the engine's own counters and latency histograms
   sql <query>                ad-hoc SQL over the log tables
   stats                      record counts
@@ -148,8 +155,56 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             print!("{}", cmds.review_flagged().map_err(err)?.render());
         }
         "stale" => {
-            let entries = cmds.stale(rest.first().map(String::as_str)).map_err(err)?;
+            // The journaling variant: flagged entries also land in the
+            // event journal, so `tail` shows when staleness was noticed.
+            let entries = cmds
+                .stale_journaled(rest.first().map(String::as_str))
+                .map_err(err)?;
             print!("{}", cmds.render_stale(&entries));
+        }
+        "tail" => {
+            let (filter, limit, follow) = parse_tail_args(rest)?;
+            let events = store.scan_events(None, &filter, None).map_err(err)?;
+            let skip = events.len().saturating_sub(limit);
+            for e in &events[skip..] {
+                println!("{}", e.render_line());
+            }
+            if follow {
+                follow_journal(&db, &filter)?;
+            }
+        }
+        "export-trace" => {
+            let id: u64 = rest
+                .first()
+                .ok_or("export-trace needs a run id")?
+                .parse()
+                .map_err(|_| "run id must be a number".to_string())?;
+            let mut format = TraceFormat::Chrome;
+            let mut out_path: Option<String> = None;
+            let mut i = 1;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--format" => {
+                        let name = rest.get(i + 1).ok_or("--format needs a value")?;
+                        format = TraceFormat::parse(name)
+                            .ok_or_else(|| format!("unknown trace format '{name}'"))?;
+                        i += 2;
+                    }
+                    "--out" => {
+                        out_path = Some(rest.get(i + 1).ok_or("--out needs a path")?.clone());
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown export-trace option '{other}'")),
+                }
+            }
+            let trace = export_trace(store.as_ref(), RunId(id), format).map_err(err)?;
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, &trace).map_err(|e| format!("write {path}: {e}"))?;
+                    println!("wrote trace for run#{id} to {path}");
+                }
+                None => println!("{trace}"),
+            }
         }
         "health" => {
             let report = mltrace::core::health_report(&ml, 30, 5).map_err(err)?;
@@ -158,7 +213,12 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         "telemetry" => {
             // Accumulated engine telemetry from previous invocations plus
             // whatever this process has recorded so far (the WAL replay).
-            let mut snap = TelemetrySnapshot::load_file(telemetry_sidecar(&db)).unwrap_or_default();
+            // The lenient loader tolerates a sidecar another invocation is
+            // mid-write on: it salvages the complete prefix and says so.
+            let (mut snap, warning) = TelemetrySnapshot::load_file_lenient(telemetry_sidecar(&db));
+            if let Some(w) = warning {
+                eprintln!("warning: {w}; starting from the salvaged prefix");
+            }
             snap.merge(&ml.telemetry().snapshot());
             if rest.first().map(String::as_str) == Some("--prometheus") {
                 print!("{}", snap.render_prometheus());
@@ -179,6 +239,8 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             println!("metric points: {}", s.metric_points);
             println!("summaries:     {}", s.summaries);
             println!("runs removed:  {}", s.runs_removed);
+            println!("events:        {}", s.events);
+            println!("incidents:     {}", s.incidents);
         }
         "compact" => {
             let days = if rest.first().map(String::as_str) == Some("--days") {
@@ -225,12 +287,67 @@ fn telemetry_sidecar(db: &str) -> String {
 }
 
 /// Fold this process's telemetry into the sidecar (load → merge → save).
-/// Telemetry loss is never fatal, so errors are swallowed.
+/// Telemetry loss is never fatal: a concurrently-truncated or corrupt
+/// sidecar degrades to its salvageable prefix (or empty), mirroring how
+/// the WAL treats a torn tail, and errors on save are swallowed.
 fn persist_telemetry(db: &str, live: &TelemetrySnapshot) {
     let path = telemetry_sidecar(db);
-    let mut snap = TelemetrySnapshot::load_file(&path).unwrap_or_default();
+    let (mut snap, _warning) = TelemetrySnapshot::load_file_lenient(&path);
     snap.merge(live);
     let _ = snap.save_file(&path);
+}
+
+/// Parse `tail` options into (filter, limit, follow).
+fn parse_tail_args(rest: &[String]) -> Result<(EventFilter, usize, bool), String> {
+    let mut filter = EventFilter::all();
+    let mut limit = 20usize;
+    let mut follow = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--limit" => {
+                limit = parse_num(Some(rest.get(i + 1).ok_or("--limit needs a number")?), 20)?;
+                i += 2;
+            }
+            "--kind" => {
+                let name = rest.get(i + 1).ok_or("--kind needs a value")?;
+                let kind = EventKind::from_name(name)
+                    .ok_or_else(|| format!("unknown event kind '{name}'"))?;
+                filter = filter.with_kind(kind);
+                i += 2;
+            }
+            "--severity" => {
+                let name = rest.get(i + 1).ok_or("--severity needs a value")?;
+                let sev = EventSeverity::from_name(name)
+                    .ok_or_else(|| format!("unknown severity '{name}' (info|warn|page)"))?;
+                filter = filter.with_severity(sev);
+                i += 2;
+            }
+            "--follow" | "-f" => {
+                follow = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown tail option '{other}'")),
+        }
+    }
+    Ok((filter, limit, follow))
+}
+
+/// Stream newly-journaled events from the WAL file until interrupted.
+/// Reads the log directly (no store locks), so it observes appends made
+/// by other mltrace processes; a log rewrite resets the read offset.
+fn follow_journal(db: &str, filter: &EventFilter) -> Result<(), String> {
+    let mut offset = std::fs::metadata(db).map(|m| m.len()).unwrap_or(0);
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        let (events, next) = read_events_from(db, offset).map_err(err)?;
+        offset = next;
+        for e in events {
+            if filter.matches(&e) {
+                println!("{}", e.render_line());
+            }
+        }
+    }
 }
 
 fn demo(db: &str, rest: &[String]) -> Result<(), String> {
@@ -245,16 +362,36 @@ fn demo(db: &str, rest: &[String]) -> Result<(), String> {
     let train = p.train(&df, true).map_err(err)?;
     println!("trained: test accuracy {:.3}", train.test_accuracy);
     for b in 0..batches {
-        let incident = if b == batches / 2 {
+        // Two scripted faults: a NULL spike in the raw data mid-stream
+        // (Example 4.1) and online/offline feature skew on the final
+        // batch (Example 4.3). The skew deterministically craters
+        // accuracy, so the monitor's SLA page — and the incident it
+        // opens — always shows up in the journal.
+        let ingest_incident = if b == batches / 2 && batches > 1 {
             Incident::NullSpike { fraction: 0.4 }
         } else {
             Incident::None
         };
+        let serve_opts = ServeOptions {
+            incident: if b + 1 == batches {
+                Incident::ServeSkew { scale: 1000.0 }
+            } else {
+                Incident::None
+            },
+            ..ServeOptions::default()
+        };
         let r = p
-            .ingest_and_serve(300, incident, ServeOptions::default())
+            .ingest_and_serve(300, ingest_incident, serve_opts)
             .map_err(err)?;
-        println!("batch {}: accuracy {:.3}", r.batch, r.accuracy);
-        p.monitor().map_err(err)?;
+        let m = p.monitor().map_err(err)?;
+        if m.alerts.is_empty() {
+            println!("batch {}: accuracy {:.3}", r.batch, r.accuracy);
+        } else {
+            println!(
+                "batch {}: accuracy {:.3}  PAGED {:?}",
+                r.batch, r.accuracy, m.alerts
+            );
+        }
     }
     // Replay the in-memory log into the WAL file.
     let wal = WalStore::open(db).map_err(|e| format!("open {db}: {e}"))?;
@@ -282,6 +419,17 @@ fn demo(db: &str, rest: &[String]) -> Result<(), String> {
             }
         }
     }
+    // Journal events and incidents ride along too, so `tail`,
+    // `export-trace`, and the events/incidents SQL tables work against
+    // the replayed log. `log_events` re-assigns ids in scan order, which
+    // preserves the original emission order.
+    let events = mem
+        .scan_events(None, &EventFilter::all(), None)
+        .map_err(err)?;
+    wal.log_events(events).map_err(err)?;
+    for incident in mem.incidents().map_err(err)? {
+        wal.upsert_incident(incident).map_err(err)?;
+    }
     wal.sync().map_err(err)?;
     // Persist model/featurizer payloads beside the WAL so `trace` +
     // artifact inspection work after the demo process exits.
@@ -300,8 +448,9 @@ fn demo(db: &str, rest: &[String]) -> Result<(), String> {
     persist_telemetry(db, &live);
     let stats = wal.stats().map_err(err)?;
     println!(
-        "wrote {} runs / {} metric points to {db}; try `mltrace --db {db} recent`",
-        stats.runs, stats.metric_points
+        "wrote {} runs / {} metric points / {} journal events to {db}; \
+         try `mltrace --db {db} recent` or `mltrace --db {db} tail`",
+        stats.runs, stats.metric_points, stats.events
     );
     Ok(())
 }

@@ -1,0 +1,163 @@
+//! End-to-end spine for the observability journal: a faulty component run
+//! emits structured events, a Page-tier alert folds into an incident, the
+//! journal and incidents are queryable through the pushdown SQL path
+//! (row-for-row identical to the naive executor), the component-run tree
+//! exports as a loadable Chrome / OTLP trace, and all of it survives a WAL
+//! reopen across the process boundary.
+
+use mltrace::core::{export_trace, Mltrace, PipelineMonitor, RunSpec, TraceFormat};
+use mltrace::metrics::{AlertRule, Comparator, Severity};
+use mltrace::query::{execute, execute_query, execute_query_unoptimized, parse};
+use mltrace::store::{
+    EventFilter, EventKind, IncidentState, ManualClock, MemoryStore, RunId, Store, WalStore,
+};
+use std::sync::Arc;
+
+fn accuracy_floor() -> AlertRule {
+    AlertRule {
+        id: "accuracy-floor".into(),
+        metric: "accuracy".into(),
+        comparator: Comparator::Gte,
+        threshold: 0.9,
+        severity: Severity::Page,
+        cooldown_ms: 0,
+    }
+}
+
+/// Drive a three-component pipeline to a failure, page on the accuracy
+/// drop, and return the id of the failed run. Every step below leaves its
+/// mark in the journal.
+fn drive_faulty_pipeline(store: Arc<dyn Store>) -> RunId {
+    let clock = ManualClock::starting_at(1_000);
+    let ml = Mltrace::with_store(store.clone(), clock.clone());
+    ml.run("etl", RunSpec::new().output("clean.csv"), |_| Ok(()))
+        .unwrap();
+    clock.advance(50);
+    ml.run(
+        "train",
+        RunSpec::new().input("clean.csv").output("model.bin"),
+        |_| Ok(()),
+    )
+    .unwrap();
+    clock.advance(50);
+    let failed = ml.run(
+        "infer",
+        RunSpec::new().input("model.bin").output("preds.csv"),
+        |_| Err::<(), _>("feature column went all-NaN".into()),
+    );
+    assert!(failed.is_err(), "body failure surfaces as an error");
+
+    let mut mon = PipelineMonitor::new(0);
+    mon.add_rule(accuracy_floor());
+    let fired = mon
+        .observe(store.as_ref(), "infer", "accuracy", 0.42, 1_200)
+        .unwrap();
+    assert_eq!(fired.len(), 1, "accuracy below floor must page");
+
+    let failed_ev = store
+        .scan_events(
+            None,
+            &EventFilter::all().with_kind(EventKind::RunFailed),
+            None,
+        )
+        .unwrap()
+        .pop()
+        .expect("the failed run was journaled");
+    failed_ev.run_id.expect("failure event is stamped")
+}
+
+/// Assert the full journal contract against a store that has been driven
+/// through `drive_faulty_pipeline`.
+fn assert_journal_contract(store: &dyn Store, failed_run: RunId) {
+    // ---- emission: the run lifecycle and the alert fold are all there ----
+    let events = store.scan_events(None, &EventFilter::all(), None).unwrap();
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+    for required in [
+        "run_started",
+        "run_finished",
+        "run_failed",
+        "alert_fired",
+        "incident_opened",
+    ] {
+        assert!(kinds.contains(&required), "missing {required} in {kinds:?}");
+    }
+    assert!(
+        events.windows(2).all(|w| w[0].id < w[1].id),
+        "event ids stay strictly monotonic in emission order"
+    );
+    let failed_ev = events
+        .iter()
+        .find(|e| e.kind == EventKind::RunFailed)
+        .unwrap();
+    assert_eq!(failed_ev.detail, "feature column went all-NaN");
+    assert_eq!(failed_ev.run_id, Some(failed_run));
+
+    // ---- incident fold: one open Page incident under the rule's key ----
+    let incidents = store.incidents().unwrap();
+    assert_eq!(incidents.len(), 1);
+    assert_eq!(incidents[0].key, "accuracy-floor");
+    assert_eq!(incidents[0].state, IncidentState::Open);
+    assert_eq!(incidents[0].fire_count, 1);
+
+    // ---- SQL: events/incidents through the planner, pushdown == naive ----
+    for sql in [
+        "SELECT id, kind, severity, component FROM events WHERE kind = 'run_failed'",
+        "SELECT * FROM events WHERE severity = 'page' ORDER BY ts_ms",
+        "SELECT * FROM events WHERE component = 'infer' AND id >= 2 LIMIT 3",
+        "SELECT kind, count(*) FROM events GROUP BY kind",
+        "SELECT key, state, fire_count FROM incidents WHERE state = 'open'",
+    ] {
+        let q = parse(sql).unwrap();
+        let fast = execute_query(store, &q).unwrap();
+        let slow = execute_query_unoptimized(store, &q).unwrap();
+        assert_eq!(fast, slow, "pushdown diverged from reference for: {sql}");
+    }
+    let r = execute(
+        store,
+        "SELECT component FROM events WHERE kind = 'run_failed'",
+    )
+    .unwrap();
+    assert_eq!(r.rows.len(), 1, "exactly one failure event");
+    let r = execute(store, "SELECT key FROM incidents WHERE resolved_ms IS NULL").unwrap();
+    assert_eq!(r.rows.len(), 1, "the incident is still burning");
+
+    // ---- trace export: the failed run's dependency tree, both formats ----
+    let chrome = export_trace(store, failed_run, TraceFormat::Chrome).unwrap();
+    assert!(chrome.contains("\"traceEvents\""));
+    for component in ["infer", "train", "etl"] {
+        assert!(
+            chrome.contains(component),
+            "chrome trace must contain the {component} lane"
+        );
+    }
+    let otlp = export_trace(store, failed_run, TraceFormat::OtlpJson).unwrap();
+    assert!(otlp.contains("resourceSpans"));
+    assert!(
+        otlp.contains("parentSpanId"),
+        "dependency edges become span parents"
+    );
+}
+
+#[test]
+fn faulty_run_flows_from_journal_to_incident_to_sql_to_trace() {
+    let store = Arc::new(MemoryStore::new());
+    let failed_run = drive_faulty_pipeline(store.clone());
+    assert_journal_contract(store.as_ref(), failed_run);
+}
+
+#[test]
+fn journal_and_incidents_survive_wal_reopen() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("journal.wal");
+    let failed_run = {
+        let store = Arc::new(WalStore::open(&path).unwrap());
+        let id = drive_faulty_pipeline(store.clone());
+        store.sync().unwrap();
+        id
+    };
+    // A fresh process sees the identical journal, incident, SQL rows, and
+    // trace — the whole contract, replayed from disk.
+    let store = WalStore::open(&path).unwrap();
+    assert!(!store.recovered(), "clean shutdown leaves no torn tail");
+    assert_journal_contract(&store, failed_run);
+}

@@ -9,8 +9,8 @@
 
 use mltrace::query::{execute_query, execute_query_unoptimized, parse};
 use mltrace::store::{
-    ComponentRecord, ComponentRunRecord, MemoryStore, MetricRecord, RunId, RunStatus, Store,
-    WalStore,
+    ComponentRecord, ComponentRunRecord, EventKind, EventSeverity, IncidentRecord, IncidentState,
+    MemoryStore, MetricRecord, ObservabilityEvent, RunId, RunStatus, Store, WalStore,
 };
 
 const COMPONENTS: [&str; 4] = ["etl", "train", "infer", "report"];
@@ -69,6 +69,61 @@ fn seed(store: &dyn Store) {
                 })
                 .unwrap();
         }
+    }
+    // Journal events: every kind × severity combination shows up somewhere,
+    // some events carry run ids / details and some don't, so NULL-column
+    // comparisons and residual predicates both get exercised.
+    let kinds = [
+        EventKind::RunStarted,
+        EventKind::RunFinished,
+        EventKind::RunFailed,
+        EventKind::AlertFired,
+        EventKind::AlertSuppressed,
+        EventKind::StalenessFlagged,
+    ];
+    let severities = [
+        EventSeverity::Info,
+        EventSeverity::Warn,
+        EventSeverity::Page,
+    ];
+    let mut events = Vec::new();
+    for i in 0u64..60 {
+        let mut e = ObservabilityEvent::new(
+            kinds[(i % 6) as usize],
+            severities[(i % 3) as usize],
+            2_000 + i * 5,
+        )
+        .component(COMPONENTS[(i % 4) as usize]);
+        if i % 2 == 0 {
+            e = e.run(RunId(i / 2 + 1));
+        }
+        if i % 5 == 0 {
+            e = e.detail(format!("condition {i} observed"));
+        }
+        events.push(e);
+    }
+    store.log_events(events).unwrap();
+    let incidents = [
+        ("infer/accuracy", IncidentState::Open, None, 3),
+        ("train/loss", IncidentState::Acknowledged, None, 2),
+        ("etl/nulls", IncidentState::Resolved, Some(2_400), 1),
+    ];
+    for (key, state, resolved_ms, fire_count) in incidents {
+        store
+            .upsert_incident(IncidentRecord {
+                key: key.into(),
+                state,
+                severity: EventSeverity::Page,
+                subject: key.split('/').next().unwrap_or_default().into(),
+                opened_ms: 2_100,
+                last_fire_ms: 2_300,
+                resolved_ms,
+                fire_count,
+                suppressed_count: fire_count / 2,
+                burn_ms: resolved_ms.map(|r| r - 2_100).unwrap_or(0),
+                detail: format!("{key} out of bounds"),
+            })
+            .unwrap();
     }
 }
 
@@ -143,6 +198,52 @@ fn query_grid() -> Vec<String> {
     for w in metric_wheres {
         for l in ["", "LIMIT 7"] {
             queries.push(format!("SELECT * FROM metrics {w} {l}"));
+        }
+    }
+    let event_wheres = [
+        "",
+        "WHERE kind = 'alert_fired'",
+        // Wrong-case kind literal: unpushable, must stay string-compared.
+        "WHERE kind = 'AlertFired'",
+        "WHERE severity = 'page'",
+        "WHERE severity = 'page' AND component = 'infer'",
+        "WHERE run_id = 3",
+        // run_id on an unstamped event compares against NULL on both paths.
+        "WHERE run_id = 9999",
+        "WHERE ts_ms BETWEEN 2050 AND 2200",
+        "WHERE ts_ms NOT BETWEEN 2050 AND 2200",
+        "WHERE id >= 10 AND id < 40",
+        // Mixed pushable + residual conjuncts.
+        "WHERE kind = 'run_failed' AND detail LIKE '%observed%'",
+        // OR is never pushed.
+        "WHERE kind = 'alert_fired' OR severity = 'warn'",
+        // Conflicting equalities: empty result on both paths.
+        "WHERE kind = 'run_started' AND kind = 'run_failed'",
+    ];
+    for w in event_wheres {
+        for o in ["", "ORDER BY ts_ms DESC", "ORDER BY severity, id DESC"] {
+            for l in ["", "LIMIT 9", "LIMIT 0"] {
+                queries.push(format!("SELECT * FROM events {w} {o} {l}"));
+            }
+        }
+        // The `journal` alias resolves to the same table.
+        queries.push(format!(
+            "SELECT id, kind, severity FROM journal {w} LIMIT 11"
+        ));
+        // Aggregation must never see a pushed limit.
+        queries.push(format!(
+            "SELECT kind, count(*) FROM events {w} GROUP BY kind LIMIT 2"
+        ));
+    }
+    let incident_wheres = [
+        "",
+        "WHERE state = 'open'",
+        "WHERE severity = 'page' AND fire_count >= 2",
+        "WHERE resolved_ms IS NULL",
+    ];
+    for w in incident_wheres {
+        for o in ["", "ORDER BY opened_ms DESC, key"] {
+            queries.push(format!("SELECT * FROM incidents {w} {o} LIMIT 10"));
         }
     }
     queries
