@@ -1,0 +1,145 @@
+//! E13 — checkpointed startup: cold-open recovery latency as a function
+//! of log size, snapshot presence, and replay parallelism. The claim under
+//! test: a store that checkpoints periodically reopens in time proportional
+//! to the post-checkpoint *tail* (here ~1% of the log), not the full
+//! history, and parallel tail replay further cuts the parse-bound cost of
+//! snapshotless recovery on large logs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mltrace_bench::prediction_record;
+use mltrace_store::{CheckpointPolicy, DurabilityPolicy, Store, WalOptions, WalStore};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Share of events logged *after* the checkpoint in the snapshot variants:
+/// the tail a checkpointed store must still replay on open.
+const TAIL_SHARE: usize = 100;
+
+/// An on-disk WAL fixture of `events` run records, optionally checkpointed
+/// with a ~1% tail. The whole file family (active log, snapshot, sealed
+/// segments) is removed on drop.
+struct Fixture {
+    path: PathBuf,
+}
+
+impl Fixture {
+    fn new(events: usize, checkpointed: bool) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "mltrace-bench-recovery-{}-{}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let fixture = Fixture { path };
+        fixture.remove_family();
+        let options = WalOptions {
+            durability: DurabilityPolicy::OnSync,
+            checkpoint: CheckpointPolicy::disabled(),
+            ..Default::default()
+        };
+        let store = WalStore::open_with_options(&fixture.path, options).expect("open wal");
+        let cut = if checkpointed {
+            events - events / TAIL_SHARE
+        } else {
+            events
+        };
+        let mut logged = 0usize;
+        let log_upto = |upto: usize, logged: &mut usize| {
+            while *logged < upto {
+                let n = 5_000.min(upto - *logged);
+                let chunk: Vec<_> = (*logged..*logged + n)
+                    .map(|i| prediction_record(i as u64))
+                    .collect();
+                store.log_runs(chunk).unwrap();
+                *logged += n;
+            }
+        };
+        log_upto(cut, &mut logged);
+        if checkpointed {
+            store.checkpoint().expect("checkpoint fixture");
+            store.compact_segments().expect("compact fixture");
+            log_upto(events, &mut logged);
+        }
+        store.sync().unwrap();
+        fixture
+    }
+
+    /// Delete the active log plus its snapshot and segment siblings.
+    fn remove_family(&self) {
+        let _ = std::fs::remove_file(&self.path);
+        let name = self.path.file_name().unwrap().to_string_lossy().to_string();
+        let _ = std::fs::remove_file(self.path.with_file_name(format!("{name}.snapshot")));
+        let Some(dir) = self.path.parent() else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            if entry
+                .file_name()
+                .to_string_lossy()
+                .starts_with(&format!("{name}.seg-"))
+            {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        self.remove_family();
+    }
+}
+
+fn open_options(workers: Option<usize>) -> WalOptions {
+    WalOptions {
+        durability: DurabilityPolicy::OnSync,
+        checkpoint: CheckpointPolicy::disabled(),
+        replay_workers: workers,
+    }
+}
+
+fn startup_recovery(c: &mut Criterion) {
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let mut group = c.benchmark_group(format!("E13/startup_{n}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(n as u64));
+        for (fixture_label, checkpointed) in [("no_snapshot", false), ("snapshot", true)] {
+            let fixture = Fixture::new(n, checkpointed);
+            for (replay_label, workers) in [("serial", Some(1)), ("parallel", None)] {
+                group.bench_with_input(
+                    BenchmarkId::new(fixture_label, replay_label),
+                    &workers,
+                    |b, &workers| {
+                        b.iter(|| {
+                            let store =
+                                WalStore::open_with_options(&fixture.path, open_options(workers))
+                                    .expect("recover");
+                            black_box(store.stats().unwrap().runs)
+                        });
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+/// Shared criterion config matching the rest of the suite: short windows
+/// keep the cold-open matrix runnable in CI smoke mode.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = startup_recovery
+}
+criterion_main!(benches);

@@ -100,10 +100,14 @@ pub enum EventKind {
     WalRecovered,
     /// The WAL was opened under a non-default durability policy.
     WalPolicy,
+    /// A checkpoint sealed the active log and wrote a store snapshot.
+    CheckpointWritten,
+    /// Compaction deleted WAL segments superseded by a snapshot.
+    WalCompacted,
 }
 
 /// All kinds, in declaration order — handy for docs and exhaustive tests.
-pub const EVENT_KINDS: [EventKind; 12] = [
+pub const EVENT_KINDS: [EventKind; 14] = [
     EventKind::RunStarted,
     EventKind::RunFinished,
     EventKind::RunFailed,
@@ -116,6 +120,8 @@ pub const EVENT_KINDS: [EventKind; 12] = [
     EventKind::IncidentResolved,
     EventKind::WalRecovered,
     EventKind::WalPolicy,
+    EventKind::CheckpointWritten,
+    EventKind::WalCompacted,
 ];
 
 impl EventKind {
@@ -134,6 +140,8 @@ impl EventKind {
             EventKind::IncidentResolved => "incident_resolved",
             EventKind::WalRecovered => "wal_recovered",
             EventKind::WalPolicy => "wal_policy",
+            EventKind::CheckpointWritten => "checkpoint_written",
+            EventKind::WalCompacted => "wal_compacted",
         }
     }
 

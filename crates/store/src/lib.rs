@@ -52,4 +52,7 @@ pub use record::{
 pub use scan::RunFilter;
 pub use store::{RunBundle, Store, StoreStats};
 pub use value::Value;
-pub use wal::{DurabilityPolicy, WalStore};
+pub use wal::{
+    CheckpointPolicy, CheckpointReport, DurabilityPolicy, JournalFollower, SegmentCompaction,
+    WalFootprint, WalOptions, WalStore,
+};

@@ -298,6 +298,51 @@ impl MemoryStore {
         Ok(())
     }
 
+    /// Current id watermarks and deletion counter, in the order
+    /// `(next_run_id, next_event_id, runs_removed)`. Snapshotted into a
+    /// checkpoint header: folded state drops deletion history, so the
+    /// counters themselves must travel with the snapshot or replay would
+    /// regress ids after deletions.
+    pub(crate) fn watermarks(&self) -> (u64, u64, u64) {
+        (
+            self.next_run_id.load(Ordering::Relaxed),
+            self.next_event_id.load(Ordering::Relaxed),
+            self.runs_removed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Restore watermarks from a checkpoint header. `fetch_max` so a
+    /// replayed tail that already advanced a counter is never regressed.
+    pub(crate) fn restore_watermarks(
+        &self,
+        next_run_id: u64,
+        next_event_id: u64,
+        runs_removed: u64,
+    ) {
+        self.next_run_id.fetch_max(next_run_id, Ordering::Relaxed);
+        self.next_event_id
+            .fetch_max(next_event_id, Ordering::Relaxed);
+        self.runs_removed.fetch_max(runs_removed, Ordering::Relaxed);
+    }
+
+    /// Every component with at least one metric series, sorted. Unlike
+    /// iterating registered components, this also surfaces metrics logged
+    /// for components that were never registered — a checkpoint must fold
+    /// those too or they would silently vanish.
+    pub(crate) fn metric_components(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.metrics.read().names.keys().cloned().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Every component with at least one compaction summary, sorted (same
+    /// rationale as [`MemoryStore::metric_components`]).
+    pub(crate) fn summary_components(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.summaries.read().keys().cloned().collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Add one run to the per-component list and the producer/consumer
     /// indexes. Each shard lock is taken and released independently.
     fn index_run(&self, id: RunId, component: &str, inputs: &[String], outputs: &[String]) {

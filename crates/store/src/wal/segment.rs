@@ -1,0 +1,78 @@
+//! WAL segment naming and discovery.
+//!
+//! The active log lives at the user-visible path (`obs.wal`). A checkpoint
+//! seals it by renaming it to `obs.wal.seg-0000001` and starting a fresh
+//! active file; the snapshot then records which segment sequence it covers.
+//! Sealed segments are immutable: they are only ever replayed (when newer
+//! than the snapshot) or deleted (compaction, once a snapshot covers them).
+
+use crate::error::Result;
+use std::ffi::OsString;
+use std::path::{Path, PathBuf};
+
+/// `<base>.<suffix>` — appends to the full file name rather than replacing
+/// the extension (`Path::with_extension` would clobber `.wal`).
+pub(crate) fn sibling(base: &Path, suffix: &str) -> PathBuf {
+    let mut name: OsString = base
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".");
+    name.push(suffix);
+    base.with_file_name(name)
+}
+
+/// Path of the sealed segment with sequence number `seq`. Zero-padded so
+/// plain `ls` shows segments in replay order; parsing accepts any width.
+pub(crate) fn segment_path(base: &Path, seq: u64) -> PathBuf {
+    sibling(base, &format!("seg-{seq:07}"))
+}
+
+/// Sealed segments beside `base`, ascending by sequence number. Files of
+/// other WAL families (and the snapshot / telemetry sidecars) never match
+/// the `<file-name>.seg-<digits>` shape.
+pub(crate) fn list_segments(base: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let Some(file_name) = base.file_name().and_then(|n| n.to_str()) else {
+        return Ok(Vec::new());
+    };
+    let prefix = format!("{file_name}.seg-");
+    let entries = match std::fs::read_dir(parent_dir(base)) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(digits) = name.strip_prefix(&prefix) else {
+            continue;
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        if let Ok(seq) = digits.parse::<u64>() {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
+
+/// The directory holding `base` (`.` when the path is bare).
+pub(crate) fn parent_dir(base: &Path) -> &Path {
+    match base.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
+}
+
+/// Best-effort directory fsync, making a just-completed rename durable.
+/// Not every filesystem supports opening a directory for sync, so errors
+/// are deliberately swallowed — the rename itself already happened.
+pub(crate) fn fsync_dir(base: &Path) {
+    if let Ok(dir) = std::fs::File::open(parent_dir(base)) {
+        let _ = dir.sync_all();
+    }
+}

@@ -1,0 +1,183 @@
+//! Checkpoint snapshots: the full store state in one compact file, so a
+//! cold open replays only the WAL tail written after the last checkpoint.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! bytes 0..8    magic  b"MLSNAP01"
+//! u32 LE        header length
+//! header        JSON   SnapshotHeader (covered segment, id watermarks, record count)
+//! records ×N    u32 LE record length + record JSON (one WAL event each)
+//! u64 LE        FNV-1a 64 checksum of every preceding byte
+//! ```
+//!
+//! Records reuse the WAL's own event encoding, so snapshot import is the
+//! same `apply` path as log replay — one semantics, two containers. The
+//! length prefixes let import split records without scanning for
+//! newlines, which is what lets the parse stage fan out across threads.
+//!
+//! # Crash safety
+//!
+//! A snapshot is staged at `<base>.snapshot.tmp`, fsynced, then renamed
+//! over `<base>.snapshot` (plus a best-effort directory fsync). A crash at
+//! any point leaves either the old complete snapshot or the new complete
+//! snapshot — never a torn one. Anything short of a valid checksum makes
+//! [`read_snapshot`] report [`SnapshotLoad::Corrupt`], and the open falls
+//! back to replaying every sealed segment from scratch.
+
+use super::segment::{fsync_dir, sibling};
+use crate::error::Result;
+use crate::hash::fnv1a_64;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Format magic: file type + version in one probe.
+const MAGIC: &[u8; 8] = b"MLSNAP01";
+
+/// Fixed overhead around the records: magic + header length + checksum.
+const MIN_LEN: usize = 8 + 4 + 8;
+
+/// Snapshot metadata, serialized as the JSON header.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SnapshotHeader {
+    /// Highest sealed segment sequence this snapshot covers: replay
+    /// resumes at `covered_seq + 1`.
+    pub covered_seq: u64,
+    /// `next_run_id` watermark at checkpoint time. State folding drops
+    /// deletion history, so replaying max-live-id + 1 would regress ids
+    /// after deletions; the exact counter travels with the snapshot.
+    pub next_run_id: u64,
+    /// `next_event_id` watermark (same rationale as `next_run_id`).
+    pub next_event_id: u64,
+    /// Lifetime `runs_removed` counter, also invisible in folded state.
+    pub runs_removed: u64,
+    /// Number of length-prefixed records following the header.
+    pub records: u64,
+    /// Wall-clock creation time, for operators reading `mltrace stats`.
+    pub created_ms: u64,
+}
+
+/// `<base>.snapshot` — the live snapshot beside the active log.
+pub(crate) fn snapshot_path(base: &Path) -> PathBuf {
+    sibling(base, "snapshot")
+}
+
+/// Staging path for the atomic write.
+fn snapshot_tmp_path(base: &Path) -> PathBuf {
+    sibling(base, "snapshot.tmp")
+}
+
+/// Write a snapshot atomically (temp + fsync + rename). `records` are
+/// pre-serialized WAL events. Returns the snapshot size in bytes.
+pub(crate) fn write_snapshot(
+    base: &Path,
+    header: &SnapshotHeader,
+    records: &[Vec<u8>],
+) -> Result<u64> {
+    let payload: usize = records.iter().map(|r| r.len() + 4).sum();
+    let mut buf = Vec::with_capacity(MIN_LEN + 256 + payload);
+    buf.extend_from_slice(MAGIC);
+    let head = serde_json::to_vec(header)?;
+    buf.extend_from_slice(&(head.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&head);
+    for rec in records {
+        buf.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+        buf.extend_from_slice(rec);
+    }
+    buf.extend_from_slice(&fnv1a_64(&buf).to_le_bytes());
+    let tmp = snapshot_tmp_path(base);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, snapshot_path(base))?;
+    fsync_dir(base);
+    Ok(buf.len() as u64)
+}
+
+/// What loading `<base>.snapshot` found.
+pub(crate) enum SnapshotLoad {
+    /// No snapshot beside the log (no checkpoint has run yet).
+    Missing,
+    /// A snapshot exists but cannot be trusted (short read, bad magic,
+    /// checksum mismatch, undecodable header). The open must fall back to
+    /// replaying every sealed segment.
+    Corrupt(String),
+    /// Decoded header plus `(offset, len)` slices of each record payload
+    /// within `buf`.
+    Loaded {
+        /// The decoded header.
+        header: SnapshotHeader,
+        /// The whole snapshot file.
+        buf: Vec<u8>,
+        /// Record payload positions into `buf`.
+        records: Vec<(usize, usize)>,
+    },
+}
+
+/// Load and structurally validate the snapshot beside `base`. Never
+/// returns a hard error: a snapshot is an accelerator, so anything
+/// unreadable degrades to [`SnapshotLoad::Corrupt`] and the caller's
+/// full-replay fallback.
+pub(crate) fn read_snapshot(base: &Path) -> SnapshotLoad {
+    let path = snapshot_path(base);
+    let buf = match std::fs::read(&path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return SnapshotLoad::Missing,
+        Err(e) => return SnapshotLoad::Corrupt(format!("read failed: {e}")),
+    };
+    match decode(&buf) {
+        Ok((header, records)) => SnapshotLoad::Loaded {
+            header,
+            buf,
+            records,
+        },
+        Err(why) => SnapshotLoad::Corrupt(why),
+    }
+}
+
+/// Validate checksum and framing; return the header and record positions.
+fn decode(buf: &[u8]) -> std::result::Result<(SnapshotHeader, Vec<(usize, usize)>), String> {
+    if buf.len() < MIN_LEN {
+        return Err(format!("file too short ({} bytes)", buf.len()));
+    }
+    if &buf[..8] != MAGIC {
+        return Err("bad magic (not an mltrace snapshot)".into());
+    }
+    let body_end = buf.len() - 8;
+    let stored = u64::from_le_bytes(buf[body_end..].try_into().expect("8-byte footer"));
+    let computed = fnv1a_64(&buf[..body_end]);
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+        ));
+    }
+    let mut at = 8usize;
+    let take_len = |at: &mut usize| -> std::result::Result<usize, String> {
+        if *at + 4 > body_end {
+            return Err("truncated length prefix".into());
+        }
+        let n = u32::from_le_bytes(buf[*at..*at + 4].try_into().expect("4-byte prefix")) as usize;
+        *at += 4;
+        if *at + n > body_end {
+            return Err("record overruns the checksummed body".into());
+        }
+        Ok(n)
+    };
+    let n = take_len(&mut at)?;
+    let header: SnapshotHeader =
+        serde_json::from_slice(&buf[at..at + n]).map_err(|e| format!("header: {e}"))?;
+    at += n;
+    let mut records = Vec::with_capacity(header.records as usize);
+    for _ in 0..header.records {
+        let n = take_len(&mut at)?;
+        records.push((at, n));
+        at += n;
+    }
+    if at != body_end {
+        return Err("trailing bytes after the final record".into());
+    }
+    Ok((header, records))
+}

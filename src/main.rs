@@ -21,7 +21,7 @@ use mltrace::core::{export_trace, Commands, Mltrace, TraceFormat};
 use mltrace::query::execute;
 use mltrace::store::deletion::delete_derived;
 use mltrace::store::retention::compact_older_than_days;
-use mltrace::store::wal::read_events_from;
+use mltrace::store::wal::JournalFollower;
 use mltrace::store::{EventFilter, EventKind, EventSeverity, RunId, Store, WalStore};
 use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
 use mltrace::telemetry::TelemetrySnapshot;
@@ -50,7 +50,8 @@ COMMANDS
                              component-run tree as a loadable trace file
   telemetry [--prometheus]   the engine's own counters and latency histograms
   sql <query>                ad-hoc SQL over the log tables
-  stats                      record counts
+  stats                      record counts and on-disk WAL footprint
+  checkpoint                 snapshot state + seal the log for fast restarts
   compact --days <n>         fold runs older than n days into summaries
   delete-derived <output>    GDPR: purge everything derived from <output>
   demo [--batches <n>]       simulate the taxi demo pipeline into the log
@@ -241,6 +242,35 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             println!("runs removed:  {}", s.runs_removed);
             println!("events:        {}", s.events);
             println!("incidents:     {}", s.incidents);
+            let fp = store.footprint().map_err(err)?;
+            println!("active wal:    {} bytes", fp.active_bytes);
+            println!(
+                "wal segments:  {} ({} bytes)",
+                fp.segment_count, fp.segment_bytes
+            );
+            println!("snapshot:      {} bytes", fp.snapshot_bytes);
+            println!("since ckpt:    {} events", fp.events_since_checkpoint);
+        }
+        "checkpoint" => {
+            let report = store.checkpoint().map_err(err)?;
+            if report.wrote_snapshot {
+                match report.sealed_seq {
+                    Some(seq) => println!(
+                        "sealed segment {seq}; snapshot {} bytes, {} events folded",
+                        report.snapshot_bytes, report.events_folded
+                    ),
+                    None => println!(
+                        "snapshot {} bytes, {} events folded (no new segment)",
+                        report.snapshot_bytes, report.events_folded
+                    ),
+                }
+                println!("cold opens now replay only events logged after this point");
+            } else {
+                println!(
+                    "nothing to checkpoint (snapshot {} bytes already current)",
+                    report.snapshot_bytes
+                );
+            }
         }
         "compact" => {
             let days = if rest.first().map(String::as_str) == Some("--days") {
@@ -333,16 +363,17 @@ fn parse_tail_args(rest: &[String]) -> Result<(EventFilter, usize, bool), String
     Ok((filter, limit, follow))
 }
 
-/// Stream newly-journaled events from the WAL file until interrupted.
-/// Reads the log directly (no store locks), so it observes appends made
-/// by other mltrace processes; a log rewrite resets the read offset.
+/// Stream newly-journaled events from the WAL until interrupted. Reads
+/// the log directly (no store locks), so it observes appends made by
+/// other mltrace processes, and follows the journal across checkpoint
+/// rollovers: when the active log is sealed into a segment mid-follow,
+/// the follower drains the rest of the segment before continuing into the
+/// fresh active log.
 fn follow_journal(db: &str, filter: &EventFilter) -> Result<(), String> {
-    let mut offset = std::fs::metadata(db).map(|m| m.len()).unwrap_or(0);
+    let mut follower = JournalFollower::from_end(db).map_err(err)?;
     loop {
         std::thread::sleep(std::time::Duration::from_millis(250));
-        let (events, next) = read_events_from(db, offset).map_err(err)?;
-        offset = next;
-        for e in events {
+        for e in follower.poll().map_err(err)? {
             if filter.matches(&e) {
                 println!("{}", e.render_line());
             }

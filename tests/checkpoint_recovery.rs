@@ -1,0 +1,200 @@
+//! Integration coverage for checkpointed startup: automatic snapshot
+//! triggers on the ingest path, the acceptance criterion that a cold open
+//! after a checkpoint replays only post-checkpoint events (asserted via
+//! telemetry), torn-tail recovery on top of a snapshot, and journal
+//! following across a checkpoint's segment rollover.
+
+use mltrace::store::wal::JournalFollower;
+use mltrace::store::{
+    CheckpointPolicy, ComponentRunRecord, DurabilityPolicy, EventKind, EventSeverity,
+    ObservabilityEvent, Store, WalOptions, WalStore,
+};
+
+fn run(component: &str, i: u64) -> ComponentRunRecord {
+    ComponentRunRecord {
+        component: component.into(),
+        start_ms: i,
+        end_ms: i + 1,
+        inputs: vec!["features.csv".into()],
+        outputs: vec![format!("preds-{i}.csv")],
+        ..Default::default()
+    }
+}
+
+fn note(detail: &str) -> ObservabilityEvent {
+    ObservabilityEvent::new(EventKind::RunStarted, EventSeverity::Info, 1_000)
+        .component("ingest")
+        .detail(detail)
+}
+
+/// The event-count threshold fires checkpoints automatically on the
+/// group-commit path, and a cold reopen replays only the events logged
+/// after the last one — the PR's headline acceptance criterion.
+#[test]
+fn auto_checkpoint_bounds_cold_open_replay() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("auto.wal");
+    let options = WalOptions {
+        durability: DurabilityPolicy::OnSync,
+        checkpoint: CheckpointPolicy {
+            every_events: 50,
+            every_bytes: 0,
+        },
+        ..Default::default()
+    };
+    {
+        let store = WalStore::open_with_options(&path, options).unwrap();
+        for i in 0..120 {
+            store.log_run(run("ingest", i)).unwrap();
+        }
+        store.sync().unwrap();
+        // Runs 1..=50 trip the first checkpoint; its journal line plus runs
+        // 51..=99 trip the second; 21 runs and one journal line remain.
+        let snap = store.telemetry().unwrap().snapshot();
+        assert_eq!(
+            snap.counters["wal.checkpoints_total"], 2,
+            "event threshold of 50 over 120 runs"
+        );
+        let fp = store.footprint().unwrap();
+        assert!(fp.snapshot_bytes > 0, "snapshot on disk");
+        assert_eq!(fp.segment_count, 2, "one sealed segment per checkpoint");
+        assert_eq!(fp.events_since_checkpoint, 22);
+    }
+    let store = WalStore::open_with_options(&path, options).unwrap();
+    assert_eq!(store.stats().unwrap().runs, 120, "no state lost");
+    let snap = store.telemetry().unwrap().snapshot();
+    assert_eq!(snap.counters["wal.snapshot_loads_total"], 1);
+    assert_eq!(
+        snap.counters["wal.replay_events_total"], 22,
+        "cold open must replay only the post-checkpoint tail"
+    );
+    assert_eq!(snap.histograms["wal.recovery"].count, 1);
+    // The journal records both checkpoints.
+    let written = store
+        .scan_events(
+            None,
+            &mltrace::store::EventFilter::all().with_kind(EventKind::CheckpointWritten),
+            None,
+        )
+        .unwrap();
+    assert_eq!(written.len(), 2);
+}
+
+/// A torn tail on top of a snapshot: recovery truncates the partial record
+/// in the active log while the checkpointed prefix loads from the snapshot
+/// untouched.
+#[test]
+fn torn_tail_after_checkpoint_recovers_cleanly() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("torn.wal");
+    let options = WalOptions {
+        durability: DurabilityPolicy::EveryEvent,
+        checkpoint: CheckpointPolicy::disabled(),
+        ..Default::default()
+    };
+    {
+        let store = WalStore::open_with_options(&path, options).unwrap();
+        for i in 0..30 {
+            store.log_run(run("train", i)).unwrap();
+        }
+        store.checkpoint().unwrap();
+        for i in 30..33 {
+            store.log_run(run("train", i)).unwrap();
+        }
+        store.sync().unwrap();
+    }
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"event\":\"Run\",\"rec\":{\"comp").unwrap();
+    }
+    let store = WalStore::open_with_options(&path, options).unwrap();
+    assert!(store.recovered(), "torn tail must be truncated");
+    assert!(!store.snapshot_fallback(), "snapshot itself is intact");
+    assert_eq!(store.stats().unwrap().runs, 33);
+    // The store stays writable after recovery.
+    store.log_run(run("train", 33)).unwrap();
+    store.sync().unwrap();
+    assert_eq!(store.stats().unwrap().runs, 34);
+}
+
+/// `tail --follow` stays correct across a checkpoint: events written to
+/// the log that gets sealed mid-follow, the checkpoint's own journal line,
+/// and events in the fresh active log all arrive, in order, and compaction
+/// between polls does not wedge the follower.
+#[test]
+fn journal_follower_crosses_segment_rollover() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("follow.wal");
+    let options = WalOptions {
+        durability: DurabilityPolicy::EveryEvent,
+        checkpoint: CheckpointPolicy::disabled(),
+        ..Default::default()
+    };
+    let store = WalStore::open_with_options(&path, options).unwrap();
+    store.log_events(vec![note("before-follow")]).unwrap();
+
+    let mut follower = JournalFollower::from_end(&path).unwrap();
+    assert!(follower.poll().unwrap().is_empty(), "starts at end");
+
+    store.log_events(vec![note("plain")]).unwrap();
+    let got = follower.poll().unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].detail, "plain");
+
+    // An event lands in the active log, which a checkpoint then seals;
+    // the next poll must drain the rest of that (now renamed) segment,
+    // then continue into the fresh active log.
+    store.log_events(vec![note("sealed-mid-follow")]).unwrap();
+    store.checkpoint().unwrap();
+    store.log_events(vec![note("after-rollover")]).unwrap();
+    let got = follower.poll().unwrap();
+    let details: Vec<&str> = got.iter().map(|e| e.detail.as_str()).collect();
+    assert_eq!(got[0].detail, "sealed-mid-follow", "order: {details:?}");
+    assert_eq!(
+        got[1].kind,
+        EventKind::CheckpointWritten,
+        "order: {details:?}"
+    );
+    assert_eq!(got[2].detail, "after-rollover", "order: {details:?}");
+    assert_eq!(got.len(), 3, "order: {details:?}");
+
+    // Compacting the drained segment away must not disturb the follower;
+    // compaction itself leaves a journal line the follower picks up.
+    let gone = store.compact_segments().unwrap();
+    assert_eq!(gone.segments_deleted, 1);
+    store.log_events(vec![note("after-compaction")]).unwrap();
+    let got = follower.poll().unwrap();
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0].kind, EventKind::WalCompacted);
+    assert_eq!(got[1].detail, "after-compaction");
+}
+
+/// `rewrite()` = checkpoint + compaction: after deletions the on-disk
+/// footprint shrinks to a snapshot of the surviving state plus a nearly
+/// empty active log, and the reported before/after totals reflect it.
+#[test]
+fn rewrite_reports_reclaimed_footprint() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("rewrite.wal");
+    let store = WalStore::open(&path).unwrap();
+    let mut ids = Vec::new();
+    for i in 0..200 {
+        ids.push(store.log_run(run("etl", i)).unwrap());
+    }
+    store.delete_runs(&ids[..190]).unwrap();
+    store.sync().unwrap();
+    let (before, after) = store.rewrite().unwrap();
+    assert!(
+        after < before,
+        "rewrite must shrink the footprint: {before} -> {after}"
+    );
+    let fp = store.footprint().unwrap();
+    assert_eq!(fp.segment_count, 0, "superseded segments deleted");
+    assert!(fp.snapshot_bytes > 0);
+    assert_eq!(fp.total_bytes(), after);
+    assert_eq!(store.stats().unwrap().runs, 10);
+}
