@@ -1,0 +1,162 @@
+//! E14 — zone-map segment pruning: cold journal reads (`mltrace tail
+//! --kind ...`) over a checkpointed WAL family, with and without zone
+//! footers. The claim under test: a selective filter over a long sealed
+//! history reads time proportional to the segments that can match, not to
+//! total history — pre-v2 (footerless) segments are the no-pruning
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mltrace_store::{
+    read_journal, CheckpointPolicy, DurabilityPolicy, EventFilter, EventKind, EventSeverity,
+    ObservabilityEvent, Store, WalOptions, WalStore,
+};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A WAL family with `segments` sealed segments of `per_segment` journal
+/// events each. Only the final segment contains an `AlertFired`; every
+/// earlier one is bulk `RunStarted` traffic, so a kind-filtered read can
+/// prune all but one segment. The snapshot is deleted afterwards to force
+/// the cold read down the segment path (the shape of a recovery box or a
+/// post-corruption tail). `zoned: false` strips the zone footers,
+/// reproducing the pre-v2 layout as the no-pruning baseline.
+struct Fixture {
+    path: PathBuf,
+}
+
+impl Fixture {
+    fn new(segments: usize, per_segment: usize, zoned: bool) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "mltrace-bench-pruning-{}-{}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let fixture = Fixture { path };
+        fixture.remove_family();
+        let store = WalStore::open_with_options(
+            &fixture.path,
+            WalOptions {
+                durability: DurabilityPolicy::OnSync,
+                checkpoint: CheckpointPolicy::disabled(),
+                ..Default::default()
+            },
+        )
+        .expect("open wal");
+        let mut ts = 0u64;
+        for seg in 0..segments {
+            let mut batch = Vec::with_capacity(per_segment);
+            for _ in 0..per_segment {
+                batch.push(
+                    ObservabilityEvent::new(EventKind::RunStarted, EventSeverity::Info, ts)
+                        .component("inference"),
+                );
+                ts += 1;
+            }
+            if seg == segments - 1 {
+                batch.push(
+                    ObservabilityEvent::new(EventKind::AlertFired, EventSeverity::Page, ts)
+                        .component("inference")
+                        .detail("accuracy below floor"),
+                );
+            }
+            store.log_events(batch).unwrap();
+            store.checkpoint().expect("seal segment");
+        }
+        drop(store);
+        std::fs::remove_file(fixture.snapshot_path()).expect("drop snapshot");
+        if !zoned {
+            fixture.strip_footers();
+        }
+        fixture
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        let name = self.path.file_name().unwrap().to_string_lossy().to_string();
+        self.path.with_file_name(format!("{name}.snapshot"))
+    }
+
+    /// Rewrite every sealed segment without its final (zone footer) line,
+    /// producing the pre-v2 on-disk layout.
+    fn strip_footers(&self) {
+        for seg in self.segment_paths() {
+            let body = std::fs::read(&seg).expect("read segment");
+            if body.last() != Some(&b'\n') {
+                continue;
+            }
+            if let Some(cut) = body[..body.len() - 1].iter().rposition(|&b| b == b'\n') {
+                std::fs::write(&seg, &body[..cut + 1]).expect("rewrite segment");
+            }
+        }
+    }
+
+    fn segment_paths(&self) -> Vec<PathBuf> {
+        let name = self.path.file_name().unwrap().to_string_lossy().to_string();
+        let Some(dir) = self.path.parent() else {
+            return Vec::new();
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        entries
+            .flatten()
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with(&format!("{name}.seg-"))
+            })
+            .map(|e| e.path())
+            .collect()
+    }
+
+    fn remove_family(&self) {
+        let _ = std::fs::remove_file(&self.path);
+        let _ = std::fs::remove_file(self.snapshot_path());
+        for seg in self.segment_paths() {
+            let _ = std::fs::remove_file(seg);
+        }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        self.remove_family();
+    }
+}
+
+fn segment_pruning(c: &mut Criterion) {
+    let filter = EventFilter::all().with_kind(EventKind::AlertFired);
+    for &(segments, per_segment) in &[(8usize, 2_000usize), (32, 2_000)] {
+        let total = (segments * per_segment) as u64;
+        let mut group = c.benchmark_group(format!("E14/pruning/segs={segments}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(total));
+        for (label, zoned) in [("zoned", true), ("unzoned", false)] {
+            let fixture = Fixture::new(segments, per_segment, zoned);
+            group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+                b.iter(|| {
+                    let read = read_journal(&fixture.path, &filter, Some(10), None).unwrap();
+                    assert_eq!(read.events.len(), 1);
+                    black_box((read.segments_pruned, read.events.len()))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Shared criterion config matching the rest of the suite.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = segment_pruning
+}
+criterion_main!(benches);

@@ -127,6 +127,57 @@ fn scans(c: &mut Criterion) {
     }
 }
 
+/// E11/index — planner routing on selective predicates: the same query
+/// forced down the sharded scan, forced through the secondary index, and
+/// auto-routed by the selectivity estimate. The gap between `scan` and
+/// `index` is the sub-linear read win; `auto` should track the winner.
+fn index_routes(c: &mut Criterion) {
+    use mltrace_query::{execute_query_with_route, parse, RoutePreference};
+    for &n in &[10_000usize, 100_000] {
+        let store = seeded(n);
+        let mut group = c.benchmark_group(format!("E11/index/n={n}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(n as u64));
+        let cases = [
+            // One run out of n+9 (a rarely-run upstream stage).
+            (
+                "component_eq",
+                "SELECT id FROM component_runs WHERE component = 'stage-3'",
+            ),
+            // 100-run window at the head of the prediction stream.
+            (
+                "time_window",
+                "SELECT id FROM component_runs WHERE start_ms BETWEEN 90 AND 189",
+            ),
+            // Dense primary-key range.
+            (
+                "id_range",
+                "SELECT id FROM component_runs WHERE id BETWEEN 10 AND 109",
+            ),
+        ];
+        for (name, sql) in cases {
+            let query = parse(sql).unwrap();
+            for (mode, pref) in [
+                ("scan", RoutePreference::ForceScan),
+                ("index", RoutePreference::ForceIndex),
+                ("auto", RoutePreference::Auto),
+            ] {
+                group.bench_function(format!("{name}/{mode}"), |b| {
+                    b.iter(|| {
+                        black_box(
+                            execute_query_with_route(&store, &query, pref)
+                                .unwrap()
+                                .rows
+                                .len(),
+                        )
+                    });
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
 /// Shared criterion config: short measurement windows keep the full
 /// suite runnable in CI while remaining stable on these workloads.
 fn config() -> Criterion {
@@ -139,6 +190,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = queries, scans
+    targets = queries, scans, index_routes
 }
 criterion_main!(benches);

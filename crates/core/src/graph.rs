@@ -5,7 +5,7 @@
 
 use crate::error::Result;
 use mltrace_provenance::LineageGraph;
-use mltrace_store::{RunFilter, RunId, RunStatus, Store};
+use mltrace_store::{ComponentRunRecord, IndexRoute, RunFilter, RunId, RunStatus, Store};
 
 /// Runs fetched per scan batch during a refresh; bounds peak cloned-record
 /// memory without giving up the one-lock-per-shard batched read path.
@@ -54,6 +54,35 @@ impl GraphCache {
             self.last_seen = None;
             self.runs_removed_at_build = removed;
         }
+        // Incremental resume: only runs with id > last_seen are missing,
+        // which is exactly the id-range secondary index's shape — the
+        // candidates come straight off the tail of the id index instead of
+        // walking every shard past the cursor.
+        if let Some(seen) = self.last_seen {
+            let filter = RunFilter::default().with_id_at_or_after(seen.0 + 1);
+            let mut cursor = Some(seen);
+            loop {
+                match store.scan_runs_indexed(
+                    cursor,
+                    &filter,
+                    Some(REFRESH_CHUNK),
+                    IndexRoute::IdRange,
+                )? {
+                    Some(batch) => {
+                        let full = batch.len() == REFRESH_CHUNK;
+                        for run in &batch {
+                            self.apply(run);
+                        }
+                        cursor = self.last_seen;
+                        if !full {
+                            return Ok(());
+                        }
+                    }
+                    // The store keeps no indexes: batched scan below.
+                    None => break,
+                }
+            }
+        }
         // Batched snapshot scan: one lock acquisition per shard per chunk
         // instead of one point lookup per run. Batches arrive in ascending
         // id order, so producers are inserted before their dependents.
@@ -81,6 +110,21 @@ impl GraphCache {
             },
         )?;
         Ok(())
+    }
+
+    /// Insert one run into the graph and advance the watermark.
+    fn apply(&mut self, run: &ComponentRunRecord) {
+        let deps: Vec<u64> = run.dependencies.iter().map(|d| d.0).collect();
+        self.graph.add_run(
+            run.id.0,
+            &run.component,
+            run.start_ms,
+            run.status != RunStatus::Success,
+            &run.inputs,
+            &run.outputs,
+            &deps,
+        );
+        self.last_seen = Some(run.id);
     }
 
     /// The current graph.

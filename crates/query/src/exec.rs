@@ -3,12 +3,15 @@
 
 use crate::ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
 use crate::parser::{parse, ParseError};
-use crate::plan::{plan_event_scan, plan_metric_scan, plan_run_scan};
-use mltrace_store::schema::{
-    column_index, scan, scan_events_rows, scan_metrics_rows, scan_runs_rows, table_schema, Row,
-    Table,
+use crate::plan::{
+    choose_run_route, choose_run_route_forced, plan_event_scan, plan_metric_scan, plan_run_scan,
+    ScanRoute,
 };
-use mltrace_store::{Store, StoreError, Value};
+use mltrace_store::schema::{
+    column_index, run_row, scan, scan_events_rows, scan_metrics_rows, scan_runs_rows, table_schema,
+    Row, Table,
+};
+use mltrace_store::{EventFilter, RunFilter, Store, StoreError, Value};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
@@ -115,19 +118,56 @@ pub fn execute(store: &dyn Store, sql: &str) -> Result<QueryResult, QueryError> 
     if let Some(t) = &tele {
         t.incr("query.statements_total");
     }
+    let explained = strip_explain(sql);
     let query = {
         let _span = tele.as_ref().map(|t| t.span("query.parse"));
-        parse(sql)?
+        parse(explained.unwrap_or(sql))?
     };
     let _span = tele.as_ref().map(|t| t.span("query.exec"));
+    if explained.is_some() {
+        if let Some(t) = &tele {
+            t.incr("query.explain_total");
+        }
+        return explain_query(store, &query);
+    }
     execute_query(store, &query)
+}
+
+/// Peel a leading `EXPLAIN` keyword off `sql`, returning the statement
+/// that follows it, or `None` when the text is a plain statement.
+fn strip_explain(sql: &str) -> Option<&str> {
+    let t = sql.trim_start();
+    let head = t.get(..7)?;
+    if head.eq_ignore_ascii_case("EXPLAIN") && t[7..].starts_with(|c: char| c.is_whitespace()) {
+        Some(&t[7..])
+    } else {
+        None
+    }
+}
+
+/// How the executor picks between the sharded scan and a secondary-index
+/// lookup for `component_runs` queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePreference {
+    /// Planner decides from the store's [`IndexStats`] selectivity
+    /// estimate (the default everywhere).
+    ///
+    /// [`IndexStats`]: mltrace_store::IndexStats
+    #[default]
+    Auto,
+    /// Take the best applicable index route regardless of estimated
+    /// selectivity. Test hook: pins the index executor against the scan
+    /// path on fixtures too small for `Auto` to pick an index.
+    ForceIndex,
+    /// Never consult the indexes (the pre-index behavior).
+    ForceScan,
 }
 
 /// Execute a pre-parsed query through the pushdown planner: simple WHERE
 /// conjuncts and (when safe) LIMIT run inside the store scan, so only
 /// surviving records are converted to [`Value`] rows.
 pub fn execute_query(store: &dyn Store, query: &Query) -> Result<QueryResult, QueryError> {
-    execute_query_inner(store, query, true)
+    execute_query_inner(store, query, true, RoutePreference::Auto)
 }
 
 /// Execute a pre-parsed query on the naive path: full scan, then evaluate
@@ -138,13 +178,24 @@ pub fn execute_query_unoptimized(
     store: &dyn Store,
     query: &Query,
 ) -> Result<QueryResult, QueryError> {
-    execute_query_inner(store, query, false)
+    execute_query_inner(store, query, false, RoutePreference::ForceScan)
+}
+
+/// [`execute_query`] with an explicit scan-vs-index routing preference,
+/// for tests and benchmarks that pin one executor path.
+pub fn execute_query_with_route(
+    store: &dyn Store,
+    query: &Query,
+    pref: RoutePreference,
+) -> Result<QueryResult, QueryError> {
+    execute_query_inner(store, query, true, pref)
 }
 
 fn execute_query_inner(
     store: &dyn Store,
     query: &Query,
     pushdown: bool,
+    pref: RoutePreference,
 ) -> Result<QueryResult, QueryError> {
     let table =
         Table::parse(&query.from).ok_or_else(|| QueryError::UnknownTable(query.from.clone()))?;
@@ -195,7 +246,19 @@ fn execute_query_inner(
                         t.incr("query.pushdown.limits_total");
                     }
                 }
-                (scan_runs_rows(store, &plan.filter, limit)?, plan.residual)
+                let route = choose_route(store, &plan.filter, pref)?;
+                let rows = match route {
+                    ScanRoute::Index(idx) => {
+                        match store.scan_runs_indexed(None, &plan.filter, limit, idx)? {
+                            Some(records) => records.iter().map(run_row).collect(),
+                            // The store declined the route (e.g. no
+                            // indexes behind this trait object after all).
+                            None => scan_runs_rows(store, &plan.filter, limit)?,
+                        }
+                    }
+                    ScanRoute::FullScan => scan_runs_rows(store, &plan.filter, limit)?,
+                };
+                (rows, plan.residual)
             }
             Table::Metrics => {
                 let plan = plan_metric_scan(query.where_clause.as_ref());
@@ -297,6 +360,191 @@ fn execute_query_inner(
         columns,
         rows: out_rows,
     })
+}
+
+/// Resolve the run-scan route for one query: the preference picks the
+/// policy, the store's index stats feed the estimate. Stores without
+/// secondary indexes always scan.
+fn choose_route(
+    store: &dyn Store,
+    filter: &RunFilter,
+    pref: RoutePreference,
+) -> Result<ScanRoute, QueryError> {
+    if pref == RoutePreference::ForceScan {
+        return Ok(ScanRoute::FullScan);
+    }
+    Ok(match store.index_stats()? {
+        Some(stats) if pref == RoutePreference::ForceIndex => {
+            choose_run_route_forced(filter, &stats)
+        }
+        Some(stats) => choose_run_route(filter, &stats),
+        None => ScanRoute::FullScan,
+    })
+}
+
+/// `EXPLAIN <select>`: plan the statement without scanning and return the
+/// decisions as `property`/`value` rows — chosen route, pushed conjuncts,
+/// residual size, limit pushdown, and (for cold event reads) how many
+/// sealed WAL segments the zone maps would prune.
+pub fn explain_query(store: &dyn Store, query: &Query) -> Result<QueryResult, QueryError> {
+    let table =
+        Table::parse(&query.from).ok_or_else(|| QueryError::UnknownTable(query.from.clone()))?;
+    let resolve = |name: &str| -> Result<usize, QueryError> {
+        column_index(table, name).map_err(|_| QueryError::UnknownColumn(name.to_owned()))
+    };
+    // Surface the same up-front errors a real execution would.
+    validate_columns(query, &resolve)?;
+
+    let grouped = !query.group_by.is_empty()
+        || query
+            .select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Expr { expr, .. } if expr.has_aggregate()));
+    let mut props: Vec<(&'static str, String)> = vec![("table", query.from.to_lowercase())];
+    let mut push = |k, v| props.push((k, v));
+
+    // Mirrors `limit_pushable` in the executor.
+    let pushed_limit = |residual: &Option<Expr>| -> Option<usize> {
+        if residual.is_none() && !grouped && !query.distinct && query.order_by.is_empty() {
+            query.limit
+        } else {
+            None
+        }
+    };
+    let limit_prop = |l: Option<usize>| match l {
+        Some(n) => format!("{n}"),
+        None => "none".to_owned(),
+    };
+
+    match table {
+        Table::ComponentRuns => {
+            let plan = plan_run_scan(query.where_clause.as_ref());
+            let route = choose_route(store, &plan.filter, RoutePreference::Auto)?;
+            push("route", route.describe());
+            push("pushed_filter", describe_run_filter(&plan.filter));
+            push(
+                "residual_conjuncts",
+                conjunct_count(plan.residual.as_ref()).to_string(),
+            );
+            push("pushed_limit", limit_prop(pushed_limit(&plan.residual)));
+        }
+        Table::Metrics => {
+            let plan = plan_metric_scan(query.where_clause.as_ref());
+            push("route", "scan".to_owned());
+            push(
+                "pushed_filter",
+                match &plan.component {
+                    Some(c) => format!("component={c}"),
+                    None => "all".to_owned(),
+                },
+            );
+            push(
+                "residual_conjuncts",
+                conjunct_count(plan.residual.as_ref()).to_string(),
+            );
+            push("pushed_limit", limit_prop(pushed_limit(&plan.residual)));
+        }
+        Table::Events => {
+            let plan = plan_event_scan(query.where_clause.as_ref());
+            let route = if plan.filter.kind.is_some() && store.index_stats()?.is_some() {
+                "index(event_kind)".to_owned()
+            } else {
+                "scan".to_owned()
+            };
+            push("route", route);
+            push("pushed_filter", describe_event_filter(&plan.filter));
+            push(
+                "residual_conjuncts",
+                conjunct_count(plan.residual.as_ref()).to_string(),
+            );
+            push("pushed_limit", limit_prop(pushed_limit(&plan.residual)));
+            if let Some((pruned, total)) = store.prunable_segments(&plan.filter)? {
+                push("prunable_segments", format!("{pruned} of {total}"));
+            }
+        }
+        _ => {
+            push("route", "scan".to_owned());
+            push("pushed_filter", "none".to_owned());
+            push(
+                "residual_conjuncts",
+                conjunct_count(query.where_clause.as_ref()).to_string(),
+            );
+            push("pushed_limit", "none".to_owned());
+        }
+    }
+
+    Ok(QueryResult {
+        columns: vec!["property".to_owned(), "value".to_owned()],
+        rows: props
+            .into_iter()
+            .map(|(k, v)| vec![Value::from(k), Value::from(v)])
+            .collect(),
+    })
+}
+
+/// Count the top-level AND conjuncts of a residual WHERE expression.
+fn conjunct_count(e: Option<&Expr>) -> usize {
+    fn walk(e: &Expr) -> usize {
+        match e {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => walk(left) + walk(right),
+            _ => 1,
+        }
+    }
+    e.map_or(0, walk)
+}
+
+/// Human-readable rendering of the pushed-down run filter bounds.
+fn describe_run_filter(f: &RunFilter) -> String {
+    if f.is_all() {
+        return "all".to_owned();
+    }
+    let mut parts = Vec::new();
+    if let Some(c) = &f.component {
+        parts.push(format!("component={c}"));
+    }
+    if let Some(s) = &f.status {
+        parts.push(format!("status={}", s.name()));
+    }
+    bound(&mut parts, "id", f.min_id, f.max_id);
+    bound(&mut parts, "start_ms", f.min_start_ms, f.max_start_ms);
+    bound(&mut parts, "end_ms", f.min_end_ms, f.max_end_ms);
+    parts.join(", ")
+}
+
+/// Human-readable rendering of the pushed-down event filter bounds.
+fn describe_event_filter(f: &EventFilter) -> String {
+    if f.is_all() {
+        return "all".to_owned();
+    }
+    let mut parts = Vec::new();
+    if let Some(k) = &f.kind {
+        parts.push(format!("kind={}", k.name()));
+    }
+    if let Some(s) = &f.severity {
+        parts.push(format!("severity={}", s.name()));
+    }
+    if let Some(c) = &f.component {
+        parts.push(format!("component={c}"));
+    }
+    if let Some(r) = &f.run_id {
+        parts.push(format!("run_id={r}"));
+    }
+    bound(&mut parts, "id", f.min_id, f.max_id);
+    bound(&mut parts, "ts_ms", f.min_ts_ms, f.max_ts_ms);
+    parts.join(", ")
+}
+
+fn bound(parts: &mut Vec<String>, name: &str, lo: Option<u64>, hi: Option<u64>) {
+    match (lo, hi) {
+        (Some(l), Some(h)) => parts.push(format!("{name} in [{l}, {h}]")),
+        (Some(l), None) => parts.push(format!("{name} >= {l}")),
+        (None, Some(h)) => parts.push(format!("{name} <= {h}")),
+        (None, None) => {}
+    }
 }
 
 /// Keep the `k` smallest rows under `cmp`, in sorted order, equivalent to
@@ -1395,5 +1643,109 @@ mod tests {
         ));
         // But works with wildcard.
         assert!(execute(&s, "SELECT * FROM components ORDER BY owner").is_ok());
+    }
+
+    #[test]
+    fn strip_explain_peels_only_the_keyword() {
+        assert_eq!(strip_explain("EXPLAIN SELECT 1"), Some(" SELECT 1"));
+        assert_eq!(strip_explain("  explain\tSELECT 1"), Some("\tSELECT 1"));
+        assert!(strip_explain("SELECT 1").is_none());
+        // The keyword must be a whole word, not a prefix.
+        assert!(strip_explain("EXPLAINSELECT 1").is_none());
+        assert!(strip_explain("EXPLAIN").is_none());
+        // Multi-byte text must not panic the boundary probe.
+        assert!(strip_explain("日本語のテキストです").is_none());
+    }
+
+    /// Property → value map of one EXPLAIN result.
+    fn explain_map(r: &QueryResult) -> std::collections::BTreeMap<String, String> {
+        assert_eq!(r.columns, vec!["property", "value"]);
+        r.rows
+            .iter()
+            .map(|row| {
+                let (Value::Str(k), Value::Str(v)) = (&row[0], &row[1]) else {
+                    panic!("non-string explain row: {row:?}");
+                };
+                (k.clone(), v.clone())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn explain_reports_route_pushdown_and_counter() {
+        let s = seeded();
+        // Selective run query: indexable, fully pushed, limit pushed.
+        let r = execute(
+            &s,
+            "EXPLAIN SELECT * FROM component_runs WHERE id <= 1 LIMIT 2",
+        )
+        .unwrap();
+        let m = explain_map(&r);
+        assert_eq!(m["table"], "component_runs");
+        assert_eq!(m["route"], "index(id_range)");
+        assert_eq!(m["pushed_filter"], "id <= 1");
+        assert_eq!(m["residual_conjuncts"], "0");
+        assert_eq!(m["pushed_limit"], "2");
+        // EXPLAIN plans without scanning: no rows examined, one explain.
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.counters["query.explain_total"], 1);
+        assert_eq!(snap.counters["query.rows_scanned"], 0);
+
+        // Unselective filter on a tiny table: the scan wins, and the
+        // unpushable conjunct is counted as residual.
+        let r = execute(
+            &s,
+            "EXPLAIN SELECT * FROM component_runs \
+             WHERE component = 'infer' AND duration_ms > 5 LIMIT 2",
+        )
+        .unwrap();
+        let m = explain_map(&r);
+        assert_eq!(m["route"], "scan");
+        assert_eq!(m["pushed_filter"], "component=infer");
+        assert_eq!(m["residual_conjuncts"], "1");
+        assert_eq!(m["pushed_limit"], "none", "residual blocks limit pushdown");
+    }
+
+    #[test]
+    fn explain_covers_events_and_errors_like_execution() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "EXPLAIN SELECT * FROM events WHERE kind = 'alert_fired' AND severity = 'page'",
+        )
+        .unwrap();
+        let m = explain_map(&r);
+        assert_eq!(m["table"], "events");
+        assert_eq!(m["route"], "index(event_kind)");
+        assert_eq!(m["pushed_filter"], "kind=alert_fired, severity=page");
+        // MemoryStore has no WAL segments, so no prunable_segments row.
+        assert!(!m.contains_key("prunable_segments"));
+        // EXPLAIN surfaces the same up-front errors as execution.
+        assert!(matches!(
+            execute(&s, "EXPLAIN SELECT * FROM nope"),
+            Err(QueryError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            execute(&s, "EXPLAIN SELECT nope FROM components"),
+            Err(QueryError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn forced_index_routes_agree_with_scan() {
+        let s = seeded();
+        for sql in [
+            "SELECT * FROM component_runs WHERE component = 'infer'",
+            "SELECT * FROM component_runs WHERE status = 'success'",
+            "SELECT * FROM component_runs WHERE start_ms BETWEEN 150 AND 450",
+            "SELECT * FROM component_runs WHERE id >= 3 AND id <= 5",
+            "SELECT id, duration_ms FROM component_runs WHERE component = 'infer' \
+             AND duration_ms > 5 ORDER BY id",
+        ] {
+            let q = parse(sql).unwrap();
+            let scan = execute_query_with_route(&s, &q, RoutePreference::ForceScan).unwrap();
+            let index = execute_query_with_route(&s, &q, RoutePreference::ForceIndex).unwrap();
+            assert_eq!(index, scan, "{sql}");
+        }
     }
 }

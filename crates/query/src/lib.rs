@@ -16,8 +16,12 @@
 //! id/time comparisons) and — when nothing downstream can drop or reorder
 //! rows — `LIMIT` down into the store's batched snapshot scan (see
 //! [`plan`]), and uses a bounded top-K sort when `ORDER BY` and `LIMIT`
-//! are combined. [`exec::execute_query_unoptimized`] keeps the naive
-//! full-scan path as the reference for equivalence testing.
+//! are combined. When the store keeps secondary indexes, the planner
+//! routes selective `component_runs` predicates through an index lookup
+//! instead of the sharded scan ([`plan::choose_run_route`]); `EXPLAIN
+//! <select>` prints the decision without running the query.
+//! [`exec::execute_query_unoptimized`] keeps the naive full-scan path as
+//! the reference for equivalence testing.
 
 #![warn(missing_docs)]
 
@@ -28,7 +32,13 @@ pub mod plan;
 pub mod token;
 
 pub use ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
-pub use exec::{execute, execute_query, execute_query_unoptimized, QueryError, QueryResult};
+pub use exec::{
+    execute, execute_query, execute_query_unoptimized, execute_query_with_route, explain_query,
+    QueryError, QueryResult, RoutePreference,
+};
 pub use parser::{parse, ParseError};
-pub use plan::{plan_metric_scan, plan_run_scan, MetricScanPlan, RunScanPlan};
+pub use plan::{
+    choose_run_route, choose_run_route_forced, plan_metric_scan, plan_run_scan, MetricScanPlan,
+    RunScanPlan, ScanRoute,
+};
 pub use token::{tokenize, LexError, Symbol, Token};

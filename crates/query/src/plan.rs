@@ -27,7 +27,9 @@
 //! matching the naive path.
 
 use crate::ast::{BinOp, Expr};
-use mltrace_store::{EventFilter, EventKind, EventSeverity, RunFilter, RunStatus, Value};
+use mltrace_store::{
+    EventFilter, EventKind, EventSeverity, IndexRoute, IndexStats, RunFilter, RunStatus, Value,
+};
 
 /// Pushdown plan for a `component_runs` scan.
 #[derive(Debug, Clone, Default)]
@@ -55,6 +57,111 @@ pub struct EventScanPlan {
     pub filter: EventFilter,
     /// Conjuncts the scan cannot evaluate.
     pub residual: Option<Expr>,
+}
+
+/// How the executor fetches `component_runs` rows for a planned filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanRoute {
+    /// Sharded full scan with the pushed-down filter (the default).
+    #[default]
+    FullScan,
+    /// Secondary-index lookup narrowing the candidate set before the full
+    /// filter re-checks each candidate — row-for-row equivalent to the
+    /// scan, just touching fewer rows.
+    Index(IndexRoute),
+}
+
+impl ScanRoute {
+    /// Render for `EXPLAIN` output: `scan` or `index(component)`.
+    pub fn describe(&self) -> String {
+        match self {
+            ScanRoute::FullScan => "scan".to_owned(),
+            ScanRoute::Index(route) => format!("index({})", route.name()),
+        }
+    }
+}
+
+/// An index route is only worth taking when it narrows the candidate set
+/// well below the full table; at or past `runs / SELECTIVITY_DENOM`
+/// estimated candidates, the sharded scan's sequential locality wins.
+const SELECTIVITY_DENOM: u64 = 4;
+
+/// Pick the cheapest applicable index route for `filter`, or the full
+/// scan when no route's estimated candidate count clears the selectivity
+/// bar. Estimates come from the store's live [`IndexStats`]; correctness
+/// never depends on them — every route re-checks the full filter.
+pub fn choose_run_route(filter: &RunFilter, stats: &IndexStats) -> ScanRoute {
+    match best_run_route(filter, stats) {
+        Some((route, est)) if est.saturating_mul(SELECTIVITY_DENOM) <= stats.runs => {
+            ScanRoute::Index(route)
+        }
+        _ => ScanRoute::FullScan,
+    }
+}
+
+/// Like [`choose_run_route`] but take the best applicable index route
+/// regardless of selectivity — the test hook behind the equivalence
+/// grid's forced-route axis.
+pub fn choose_run_route_forced(filter: &RunFilter, stats: &IndexStats) -> ScanRoute {
+    match best_run_route(filter, stats) {
+        Some((route, _)) => ScanRoute::Index(route),
+        None => ScanRoute::FullScan,
+    }
+}
+
+/// The applicable route with the smallest candidate estimate.
+fn best_run_route(filter: &RunFilter, stats: &IndexStats) -> Option<(IndexRoute, u64)> {
+    let mut best: Option<(IndexRoute, u64)> = None;
+    for route in [
+        IndexRoute::Component,
+        IndexRoute::Status,
+        IndexRoute::StartTime,
+        IndexRoute::IdRange,
+    ] {
+        if !route.applicable(filter) {
+            continue;
+        }
+        let est = estimate_candidates(route, filter, stats);
+        if best.is_none_or(|(_, b)| est < b) {
+            best = Some((route, est));
+        }
+    }
+    best
+}
+
+/// Estimated candidates a route would examine, under uniformity
+/// assumptions (runs spread evenly over components, statuses, and the
+/// observed `start_ms` span).
+fn estimate_candidates(route: IndexRoute, filter: &RunFilter, stats: &IndexStats) -> u64 {
+    match route {
+        IndexRoute::Component => stats.runs / stats.distinct_components.max(1),
+        IndexRoute::Status => stats.runs / stats.distinct_statuses.max(1),
+        IndexRoute::StartTime => {
+            let (Some(lo), Some(hi)) = (stats.min_start_ms, stats.max_start_ms) else {
+                return 0; // no runs at all
+            };
+            let w_lo = filter.min_start_ms.unwrap_or(lo).max(lo);
+            let w_hi = filter.max_start_ms.unwrap_or(hi).min(hi);
+            if w_lo > w_hi {
+                return 0;
+            }
+            let span = (hi - lo) as u128 + 1;
+            let window = (w_hi - w_lo) as u128 + 1;
+            ((stats.runs as u128 * window / span) as u64).min(stats.runs)
+        }
+        IndexRoute::IdRange => {
+            // The route enumerates the clamped dense id range, so its
+            // cost is the range width, not a uniformity estimate.
+            let hi_id = stats.next_id.saturating_sub(1);
+            let lo = filter.min_id.unwrap_or(1).max(1);
+            let hi = filter.max_id.unwrap_or(hi_id).min(hi_id);
+            if lo > hi {
+                0
+            } else {
+                hi - lo + 1
+            }
+        }
+    }
 }
 
 /// Plan a `component_runs` scan for `where_clause`.
@@ -611,5 +718,101 @@ mod tests {
         );
         let plan = plan_metric_scan(None);
         assert!(plan.component.is_none() && plan.residual.is_none());
+    }
+
+    /// Stats for a store of `runs` runs spread over `components`
+    /// components, 2 statuses, starts spanning `[0, runs)`.
+    fn stats(runs: u64, components: u64) -> IndexStats {
+        IndexStats {
+            runs,
+            distinct_components: components,
+            distinct_statuses: 2,
+            min_start_ms: (runs > 0).then_some(0),
+            max_start_ms: runs.checked_sub(1),
+            next_id: runs + 1,
+        }
+    }
+
+    #[test]
+    fn route_chooser_takes_index_only_when_selective() {
+        // 1000 runs over 10 components: est 100 ≤ 1000/4 → index.
+        let f = RunFilter::all().with_component("etl");
+        assert_eq!(
+            choose_run_route(&f, &stats(1000, 10)),
+            ScanRoute::Index(IndexRoute::Component)
+        );
+        // 2 components: est 500 > 250 → the sharded scan wins.
+        assert_eq!(choose_run_route(&f, &stats(1000, 2)), ScanRoute::FullScan);
+        // ...but the forced chooser still routes (equivalence-grid hook).
+        assert_eq!(
+            choose_run_route_forced(&f, &stats(1000, 2)),
+            ScanRoute::Index(IndexRoute::Component)
+        );
+        // No applicable route at all: both fall back to the scan.
+        assert_eq!(
+            choose_run_route_forced(&RunFilter::all(), &stats(1000, 10)),
+            ScanRoute::FullScan
+        );
+    }
+
+    #[test]
+    fn route_chooser_picks_smallest_estimate() {
+        // Component narrows to 100; a 2-wide id range narrows to 2.
+        let f = RunFilter::all()
+            .with_component("etl")
+            .with_id_at_or_after(5)
+            .with_id_at_or_before(6);
+        assert_eq!(
+            choose_run_route(&f, &stats(1000, 10)),
+            ScanRoute::Index(IndexRoute::IdRange)
+        );
+        // A narrow time window beats the component estimate too.
+        let f = RunFilter::all()
+            .with_component("etl")
+            .started_at_or_after(10)
+            .started_at_or_before(19);
+        assert_eq!(
+            choose_run_route(&f, &stats(1000, 10)),
+            ScanRoute::Index(IndexRoute::StartTime)
+        );
+    }
+
+    #[test]
+    fn route_estimates_clamp_to_observed_bounds() {
+        // Id range clamps against next_id: [900, ∞) over 1000 ids ≈ 101
+        // candidates, well under 1000/4.
+        let f = RunFilter::all().with_id_at_or_after(900);
+        assert_eq!(
+            choose_run_route(&f, &stats(1000, 1)),
+            ScanRoute::Index(IndexRoute::IdRange)
+        );
+        // An infeasible window estimates zero and still routes (the
+        // re-check returns no rows, same as the naive path).
+        let f = RunFilter::all()
+            .with_id_at_or_after(10)
+            .with_id_at_or_before(5);
+        assert_eq!(
+            choose_run_route(&f, &stats(1000, 1)),
+            ScanRoute::Index(IndexRoute::IdRange)
+        );
+        // Empty store: every estimate is 0, routing is still sound.
+        let f = RunFilter::all().started_at_or_after(50);
+        assert_eq!(
+            choose_run_route(&f, &stats(0, 0)),
+            ScanRoute::Index(IndexRoute::StartTime)
+        );
+    }
+
+    #[test]
+    fn scan_route_describes_for_explain() {
+        assert_eq!(ScanRoute::FullScan.describe(), "scan");
+        assert_eq!(
+            ScanRoute::Index(IndexRoute::Component).describe(),
+            "index(component)"
+        );
+        assert_eq!(
+            ScanRoute::Index(IndexRoute::StartTime).describe(),
+            "index(start_time)"
+        );
     }
 }

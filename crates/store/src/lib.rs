@@ -49,10 +49,10 @@ pub use record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricAggregate,
     MetricRecord, PointerType, RunId, RunStatus, TriggerOutcomeRecord,
 };
-pub use scan::RunFilter;
-pub use store::{RunBundle, Store, StoreStats};
+pub use scan::{IndexRoute, RunFilter};
+pub use store::{IndexFootprint, IndexStats, RunBundle, Store, StoreStats};
 pub use value::Value;
 pub use wal::{
-    CheckpointPolicy, CheckpointReport, DurabilityPolicy, JournalFollower, SegmentCompaction,
-    WalFootprint, WalOptions, WalStore,
+    read_journal, CheckpointPolicy, CheckpointReport, DurabilityPolicy, JournalFollower,
+    JournalRead, SegmentCompaction, WalFootprint, WalOptions, WalStore, ZoneMap,
 };

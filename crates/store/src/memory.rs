@@ -28,13 +28,16 @@
 //! path.
 
 use crate::error::{Result, StoreError};
-use crate::event::{EventBus, EventFilter, EventId, IncidentRecord, ObservabilityEvent};
+use crate::event::{
+    EventBus, EventFilter, EventId, EventKind, IncidentRecord, ObservabilityEvent, EVENT_KINDS,
+};
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
+    RunStatus,
 };
-use crate::scan::RunFilter;
-use crate::store::{RunBundle, Store, StoreStats};
-use mltrace_telemetry::{Counter, Histogram, Telemetry};
+use crate::scan::{IndexRoute, RunFilter};
+use crate::store::{IndexFootprint, IndexStats, RunBundle, Store, StoreStats};
+use mltrace_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use parking_lot::{RwLock, RwLockWriteGuard};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,7 +69,7 @@ fn name_shard(name: &str) -> usize {
 /// Insert `id` into an ascending id list, deduplicating. The common case
 /// (ids arrive in order) is an O(1) append; concurrent writers that lose
 /// the race insert at the sorted position instead.
-fn insert_sorted(list: &mut Vec<RunId>, id: RunId) {
+fn insert_sorted<T: Ord + Copy>(list: &mut Vec<T>, id: T) {
     match list.last() {
         None => list.push(id),
         Some(&last) if last < id => list.push(id),
@@ -78,6 +81,32 @@ fn insert_sorted(list: &mut Vec<RunId>, id: RunId) {
             }
         }
     }
+}
+
+/// Number of [`RunStatus`] variants, sizing the status index.
+const STATUS_COUNT: usize = 3;
+
+/// Posting-list slot for a status ([`RunStatus`] deliberately carries no
+/// `Hash`/`Ord`, so the index is a fixed array rather than a map).
+#[inline]
+fn status_slot(status: RunStatus) -> usize {
+    match status {
+        RunStatus::Success => 0,
+        RunStatus::Failed => 1,
+        RunStatus::TriggerFailed => 2,
+    }
+}
+
+/// Number of [`EventKind`] variants, sizing the kind index.
+const EVENT_KIND_COUNT: usize = EVENT_KINDS.len();
+
+/// Posting-list slot for an event kind (its position in [`EVENT_KINDS`]).
+#[inline]
+fn kind_slot(kind: EventKind) -> usize {
+    EVENT_KINDS
+        .iter()
+        .position(|k| *k == kind)
+        .expect("EVENT_KINDS enumerates every kind")
 }
 
 /// Metric series and the per-component name directory, kept under one
@@ -147,6 +176,14 @@ struct StoreTelemetry {
     scan_locks: Counter,
     /// Journal events appended through any path.
     events_logged: Counter,
+    /// Scans that resolved their candidate set from a secondary index.
+    index_hits: Counter,
+    /// Index-routed scans that fell back to a full shard scan (route not
+    /// applicable to the filter).
+    index_misses: Counter,
+    /// Approximate resident bytes across all secondary indexes, refreshed
+    /// whenever the footprint is computed.
+    index_bytes: Gauge,
 }
 
 impl StoreTelemetry {
@@ -164,6 +201,9 @@ impl StoreTelemetry {
             rows_returned: registry.counter("query.rows_returned"),
             scan_locks: registry.counter("query.scan_locks_total"),
             events_logged: registry.counter("store.events_logged_total"),
+            index_hits: registry.counter("query.index_hits_total"),
+            index_misses: registry.counter("query.index_misses_total"),
+            index_bytes: registry.gauge("store.index_bytes"),
             registry,
         }
     }
@@ -185,6 +225,14 @@ pub struct MemoryStore {
     producers: Box<[IdIndexShard]>,
     /// io name → consuming runs ascending, sharded by io hash.
     consumers: Box<[IdIndexShard]>,
+    /// `start_ms` → run ids ascending: the time-ordered secondary index
+    /// behind windowed history queries and the planner's `StartTime`
+    /// route. One lock (not sharded): writers touch it once per batch.
+    by_start: RwLock<BTreeMap<u64, Vec<RunId>>>,
+    /// status → run ids ascending, slot per [`status_slot`].
+    by_status: RwLock<[Vec<RunId>; STATUS_COUNT]>,
+    /// event kind → event ids ascending, slot per [`kind_slot`].
+    events_by_kind: RwLock<[Vec<EventId>; EVENT_KIND_COUNT]>,
     io_pointers: RwLock<BTreeMap<String, IoPointerRecord>>,
     metrics: RwLock<MetricsTable>,
     /// component → compaction summaries ascending by window start
@@ -236,6 +284,9 @@ impl MemoryStore {
             by_component: shard_vec(),
             producers: shard_vec(),
             consumers: shard_vec(),
+            by_start: RwLock::new(BTreeMap::new()),
+            by_status: RwLock::new(std::array::from_fn(|_| Vec::new())),
+            events_by_kind: RwLock::new(std::array::from_fn(|_| Vec::new())),
             io_pointers: RwLock::new(BTreeMap::new()),
             metrics: RwLock::new(MetricsTable::default()),
             summaries: RwLock::new(HashMap::new()),
@@ -269,7 +320,7 @@ impl MemoryStore {
             return Err(StoreError::AlreadyExists(format!("{id}")));
         }
         self.next_run_id.fetch_max(id.0 + 1, Ordering::Relaxed);
-        self.index_run(id, &run.component, &run.inputs, &run.outputs);
+        self.index_run(id, &run);
         self.write_shard(&self.run_shards[run_shard(id.0)])
             .insert(id.0, run);
         self.tele.runs_restored.incr();
@@ -285,16 +336,20 @@ impl MemoryStore {
         }
         self.next_event_id
             .fetch_max(event.id.0 + 1, Ordering::Relaxed);
-        let mut g = self.events.write();
-        // Replay order is normally ascending (the WAL is append-only);
-        // tolerate stragglers so a hand-edited log still loads.
-        match g.last() {
-            Some(last) if last.id >= event.id => {
-                let pos = g.partition_point(|e| e.id < event.id);
-                g.insert(pos, event);
+        let (eid, slot) = (event.id, kind_slot(event.kind));
+        {
+            let mut g = self.events.write();
+            // Replay order is normally ascending (the WAL is append-only);
+            // tolerate stragglers so a hand-edited log still loads.
+            match g.last() {
+                Some(last) if last.id >= event.id => {
+                    let pos = g.partition_point(|e| e.id < event.id);
+                    g.insert(pos, event);
+                }
+                _ => g.push(event),
             }
-            _ => g.push(event),
         }
+        insert_sorted(&mut self.events_by_kind.write()[slot], eid);
         Ok(())
     }
 
@@ -343,17 +398,29 @@ impl MemoryStore {
         out
     }
 
-    /// Add one run to the per-component list and the producer/consumer
-    /// indexes. Each shard lock is taken and released independently.
-    fn index_run(&self, id: RunId, component: &str, inputs: &[String], outputs: &[String]) {
+    /// Add one run to every secondary index: the per-component list, the
+    /// producer/consumer indexes, the time-ordered index, and the status
+    /// index. Each lock is taken and released independently. Shared by the
+    /// scalar ingest path and WAL replay (`restore_run`), so replayed
+    /// indexes are rebuilt by construction.
+    fn index_run(&self, id: RunId, run: &ComponentRunRecord) {
+        let (component, inputs, outputs) = (&run.component, &run.inputs, &run.outputs);
         {
             let mut g = self.write_shard(&self.by_component[name_shard(component)]);
-            match g.get_mut(component) {
+            match g.get_mut(component.as_str()) {
                 Some(list) => insert_sorted(list, id),
                 None => {
                     g.insert(component.to_owned(), vec![id]);
                 }
             }
+        }
+        {
+            let mut g = self.write_shard(&self.by_start);
+            insert_sorted(g.entry(run.start_ms).or_default(), id);
+        }
+        {
+            let mut g = self.write_shard(&self.by_status);
+            insert_sorted(&mut g[status_slot(run.status)], id);
         }
         // A run may legitimately list the same pointer twice (e.g. a file
         // read in two roles); `insert_sorted` indexes it once per run.
@@ -480,7 +547,7 @@ impl Store for MemoryStore {
         run.validate().map_err(StoreError::InvalidRecord)?;
         let id = RunId(self.next_run_id.fetch_add(1, Ordering::Relaxed));
         run.id = id;
-        self.index_run(id, &run.component, &run.inputs, &run.outputs);
+        self.index_run(id, &run);
         self.write_shard(&self.run_shards[run_shard(id.0)])
             .insert(id.0, run);
         self.tele.runs_logged.incr();
@@ -505,6 +572,8 @@ impl Store for MemoryStore {
             let mut comp_groups: HashMap<&str, Vec<RunId>> = HashMap::new();
             let mut prod_groups: HashMap<&str, Vec<RunId>> = HashMap::new();
             let mut cons_groups: HashMap<&str, Vec<RunId>> = HashMap::new();
+            let mut start_groups: BTreeMap<u64, Vec<RunId>> = BTreeMap::new();
+            let mut status_groups: [Vec<RunId>; STATUS_COUNT] = std::array::from_fn(|_| Vec::new());
             for (i, run) in runs.iter().enumerate() {
                 let id = RunId(base + i as u64);
                 comp_groups
@@ -523,10 +592,39 @@ impl Store for MemoryStore {
                         list.push(id);
                     }
                 }
+                start_groups.entry(run.start_ms).or_default().push(id);
+                status_groups[status_slot(run.status)].push(id);
             }
             self.apply_index_groups(&self.by_component, comp_groups);
             self.apply_index_groups(&self.producers, prod_groups);
             self.apply_index_groups(&self.consumers, cons_groups);
+            {
+                let mut g = self.write_shard(&self.by_start);
+                for (start, ids) in start_groups {
+                    match g.get_mut(&start) {
+                        Some(list) => {
+                            list.reserve(ids.len());
+                            for id in ids {
+                                insert_sorted(list, id);
+                            }
+                        }
+                        None => {
+                            // Batch ids are ascending within a group.
+                            g.insert(start, ids);
+                        }
+                    }
+                }
+            }
+            {
+                let mut g = self.write_shard(&self.by_status);
+                for (slot, ids) in status_groups.into_iter().enumerate() {
+                    let list = &mut g[slot];
+                    list.reserve(ids.len());
+                    for id in ids {
+                        insert_sorted(list, id);
+                    }
+                }
+            }
         }
         // Move the records into their shards, one lock per touched shard.
         let mut ids = Vec::with_capacity(runs.len());
@@ -681,6 +779,191 @@ impl Store for MemoryStore {
         Ok(())
     }
 
+    fn scan_runs_indexed(
+        &self,
+        since: Option<RunId>,
+        filter: &RunFilter,
+        limit: Option<usize>,
+        route: IndexRoute,
+    ) -> Result<Option<Vec<ComponentRunRecord>>> {
+        if !route.applicable(filter) {
+            self.tele.index_misses.incr();
+            return Ok(None);
+        }
+        // Phase A: candidate ids from the routed index (ascending). The
+        // route only narrows the candidate set; the full filter still
+        // runs against every candidate, so results are identical to
+        // `scan_runs` however the planner routes.
+        let mut candidates: Vec<RunId> = match route {
+            IndexRoute::Component => {
+                let name = filter.component.as_deref().expect("checked applicable");
+                let g = self.by_component[name_shard(name)].read();
+                self.tele.scan_locks.incr();
+                g.get(name).cloned().unwrap_or_default()
+            }
+            IndexRoute::Status => {
+                let g = self.by_status.read();
+                self.tele.scan_locks.incr();
+                g[status_slot(filter.status.expect("checked applicable"))].clone()
+            }
+            IndexRoute::StartTime => {
+                let lo = filter.min_start_ms.unwrap_or(0);
+                let hi = filter.max_start_ms.unwrap_or(u64::MAX);
+                if lo > hi {
+                    Vec::new()
+                } else {
+                    let g = self.by_start.read();
+                    self.tele.scan_locks.incr();
+                    let mut ids: Vec<RunId> = g
+                        .range(lo..=hi)
+                        .flat_map(|(_, v)| v.iter().copied())
+                        .collect();
+                    drop(g);
+                    // Buckets are time-ordered, not id-ordered.
+                    ids.sort_unstable();
+                    ids
+                }
+            }
+            IndexRoute::IdRange => {
+                // Dense enumeration of the live id range; no lock at all.
+                let next = self.next_run_id.load(Ordering::Relaxed);
+                let lo = filter.min_id.unwrap_or(1).max(1);
+                let hi = filter
+                    .max_id
+                    .unwrap_or(u64::MAX)
+                    .min(next.saturating_sub(1));
+                if lo > hi {
+                    Vec::new()
+                } else {
+                    (lo..=hi).map(RunId).collect()
+                }
+            }
+        };
+        if let Some(s) = since {
+            let pos = candidates.partition_point(|&id| id <= s);
+            candidates.drain(..pos);
+        }
+        let examined = candidates.len() as u64;
+        // Phase B: evaluate the full filter against borrowed records,
+        // grouping candidates so each touched shard's lock is taken once.
+        let mut per_shard: Vec<Vec<u64>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+        for id in &candidates {
+            per_shard[run_shard(id.0)].push(id.0);
+        }
+        let mut ids = Vec::new();
+        for (si, shard_ids) in per_shard.into_iter().enumerate() {
+            if shard_ids.is_empty() {
+                continue;
+            }
+            let g = self.run_shards[si].read();
+            self.tele.scan_locks.incr();
+            for id in shard_ids {
+                if let Some(run) = g.get(&id) {
+                    if filter.matches(run) {
+                        ids.push(RunId(id));
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        if let Some(cap) = limit {
+            ids.truncate(cap);
+        }
+        let out = self.fetch_runs_sorted(&ids);
+        self.tele.rows_scanned.add(examined);
+        self.tele.rows_returned.add(out.len() as u64);
+        self.tele.index_hits.incr();
+        Ok(Some(out))
+    }
+
+    fn index_stats(&self) -> Result<Option<IndexStats>> {
+        let mut runs = 0u64;
+        for shard in self.run_shards.iter() {
+            runs += shard.read().len() as u64;
+        }
+        let mut distinct_components = 0u64;
+        for shard in self.by_component.iter() {
+            distinct_components += shard.read().values().filter(|v| !v.is_empty()).count() as u64;
+        }
+        let distinct_statuses = self
+            .by_status
+            .read()
+            .iter()
+            .filter(|v| !v.is_empty())
+            .count() as u64;
+        let (min_start_ms, max_start_ms) = {
+            let g = self.by_start.read();
+            (g.keys().next().copied(), g.keys().next_back().copied())
+        };
+        Ok(Some(IndexStats {
+            runs,
+            distinct_components,
+            distinct_statuses,
+            min_start_ms,
+            max_start_ms,
+            next_id: self.next_run_id.load(Ordering::Relaxed),
+        }))
+    }
+
+    fn index_footprint(&self) -> Result<Vec<IndexFootprint>> {
+        const ID_BYTES: u64 = std::mem::size_of::<RunId>() as u64;
+        let mut out = Vec::with_capacity(4);
+        {
+            let (mut keys, mut entries, mut bytes) = (0u64, 0u64, 0u64);
+            for shard in self.by_component.iter() {
+                for (name, ids) in shard.read().iter() {
+                    keys += 1;
+                    entries += ids.len() as u64;
+                    bytes += name.len() as u64 + ids.len() as u64 * ID_BYTES;
+                }
+            }
+            out.push(IndexFootprint {
+                name: "by_component",
+                keys,
+                entries,
+                approx_bytes: bytes,
+            });
+        }
+        {
+            let (mut keys, mut entries) = (0u64, 0u64);
+            for (_, ids) in self.by_start.read().iter() {
+                keys += 1;
+                entries += ids.len() as u64;
+            }
+            out.push(IndexFootprint {
+                name: "by_start",
+                keys,
+                entries,
+                approx_bytes: keys * 8 + entries * ID_BYTES,
+            });
+        }
+        {
+            let g = self.by_status.read();
+            let keys = g.iter().filter(|v| !v.is_empty()).count() as u64;
+            let entries = g.iter().map(|v| v.len() as u64).sum::<u64>();
+            out.push(IndexFootprint {
+                name: "by_status",
+                keys,
+                entries,
+                approx_bytes: entries * ID_BYTES,
+            });
+        }
+        {
+            let g = self.events_by_kind.read();
+            let keys = g.iter().filter(|v| !v.is_empty()).count() as u64;
+            let entries = g.iter().map(|v| v.len() as u64).sum::<u64>();
+            out.push(IndexFootprint {
+                name: "events_by_kind",
+                keys,
+                entries,
+                approx_bytes: entries * ID_BYTES,
+            });
+        }
+        let total: u64 = out.iter().map(|f| f.approx_bytes).sum();
+        self.tele.index_bytes.set(total as i64);
+        Ok(out)
+    }
+
     fn component_history(&self, name: &str, limit: usize) -> Result<Vec<ComponentRunRecord>> {
         // The tail of the per-component list, resolved under one index
         // lock. The list is ascending by start time, so the reversed tail
@@ -810,12 +1093,16 @@ impl Store for MemoryStore {
         let mut components: HashSet<String> = HashSet::new();
         let mut producer_ios: HashSet<String> = HashSet::new();
         let mut consumer_ios: HashSet<String> = HashSet::new();
+        let mut starts: Vec<(u64, RunId)> = Vec::new();
+        let mut status_victims: [bool; STATUS_COUNT] = [false; STATUS_COUNT];
         for id in ids {
             let run = self.run_shards[run_shard(id.0)].write().remove(&id.0);
             let Some(run) = run else {
                 continue;
             };
             removed_set.insert(*id);
+            starts.push((run.start_ms, *id));
+            status_victims[status_slot(run.status)] = true;
             components.insert(run.component);
             producer_ios.extend(run.outputs);
             consumer_ios.extend(run.inputs);
@@ -839,6 +1126,27 @@ impl Store for MemoryStore {
         for io in &consumer_ios {
             if let Some(list) = self.consumers[name_shard(io)].write().get_mut(io.as_str()) {
                 list.retain(|r| !removed_set.contains(r));
+            }
+        }
+        {
+            // Empty time buckets are removed so the index's min/max keys
+            // (and the planner's span estimate) stay tight.
+            let mut g = self.by_start.write();
+            for (start, id) in starts {
+                if let Some(list) = g.get_mut(&start) {
+                    list.retain(|r| *r != id);
+                    if list.is_empty() {
+                        g.remove(&start);
+                    }
+                }
+            }
+        }
+        {
+            let mut g = self.by_status.write();
+            for (slot, touched) in status_victims.iter().enumerate() {
+                if *touched {
+                    g[slot].retain(|r| !removed_set.contains(r));
+                }
             }
         }
         let removed = removed_set.len();
@@ -908,9 +1216,11 @@ impl Store for MemoryStore {
             .next_event_id
             .fetch_add(events.len() as u64, Ordering::Relaxed);
         let mut ids = Vec::with_capacity(events.len());
+        let mut kind_ids = Vec::with_capacity(events.len());
         for (i, e) in events.iter_mut().enumerate() {
             e.id = EventId(base + i as u64);
             ids.push(e.id);
+            kind_ids.push((kind_slot(e.kind), e.id));
         }
         // Fan out first only if someone is listening: the common no-
         // subscriber case pays zero Arc allocations.
@@ -938,6 +1248,13 @@ impl Store for MemoryStore {
                 }
             }
         }
+        {
+            // One kind-index lock per batch, mirroring the journal lock.
+            let mut g = self.write_shard(&self.events_by_kind);
+            for (slot, id) in kind_ids {
+                insert_sorted(&mut g[slot], id);
+            }
+        }
         if let Some(live) = live {
             self.bus.publish(&live);
         }
@@ -954,6 +1271,41 @@ impl Store for MemoryStore {
         let cap = limit.unwrap_or(usize::MAX);
         let mut out = Vec::new();
         if cap == 0 {
+            return Ok(out);
+        }
+        if let Some(kind) = filter.kind {
+            // Kind-routed: candidates come from the kind index and are
+            // resolved in the journal by binary search, so a rare kind
+            // examines its own postings rather than the whole journal.
+            // The full filter still runs against every candidate.
+            let ids: Vec<EventId> = {
+                let idx = self.events_by_kind.read();
+                self.tele.scan_locks.incr();
+                idx[kind_slot(kind)].clone()
+            };
+            let g = self.events.read();
+            self.tele.scan_locks.incr();
+            let start = match since {
+                Some(s) => ids.partition_point(|&e| e <= s),
+                None => 0,
+            };
+            let mut scanned = 0u64;
+            for &eid in &ids[start..] {
+                scanned += 1;
+                let pos = g.partition_point(|e| e.id < eid);
+                if let Some(e) = g.get(pos) {
+                    if e.id == eid && filter.matches(e) {
+                        out.push(e.clone());
+                        if out.len() >= cap {
+                            break;
+                        }
+                    }
+                }
+            }
+            drop(g);
+            self.tele.rows_scanned.add(scanned);
+            self.tele.rows_returned.add(out.len() as u64);
+            self.tele.index_hits.incr();
             return Ok(out);
         }
         let g = self.events.read();
@@ -1707,5 +2059,163 @@ mod tests {
                 ..inc("x", 1)
             })
             .is_err());
+    }
+
+    /// A store with runs spread over components, statuses, and times, so
+    /// every index route has something to narrow.
+    fn indexed_fixture() -> MemoryStore {
+        let s = MemoryStore::new();
+        for i in 0u64..30 {
+            let mut r = run(
+                ["etl", "train", "infer"][(i % 3) as usize],
+                100 + i * 10,
+                &[],
+                &[],
+            );
+            if i % 5 == 0 {
+                r.status = RunStatus::Failed;
+            }
+            s.log_run(r).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn indexed_scan_matches_full_scan_on_every_route() {
+        let s = indexed_fixture();
+        let filters = [
+            RunFilter::all().with_component("train"),
+            RunFilter::all().with_status(RunStatus::Failed),
+            RunFilter::all()
+                .started_at_or_after(150)
+                .started_at_or_before(260),
+            RunFilter::all()
+                .with_id_at_or_after(7)
+                .with_id_at_or_before(19),
+            // Route column plus extra conjuncts the re-check must apply.
+            RunFilter::all()
+                .with_component("etl")
+                .started_at_or_after(250),
+            RunFilter::all().with_id_at_or_after(40), // clamps to empty
+        ];
+        for filter in &filters {
+            let reference = s.scan_runs(None, filter, None).unwrap();
+            for route in [
+                IndexRoute::Component,
+                IndexRoute::Status,
+                IndexRoute::StartTime,
+                IndexRoute::IdRange,
+            ] {
+                let Some(routed) = s.scan_runs_indexed(None, filter, None, route).unwrap() else {
+                    assert!(!route.applicable(filter), "{route:?} refused {filter:?}");
+                    continue;
+                };
+                assert_eq!(routed, reference, "route {route:?} on {filter:?}");
+            }
+        }
+        // `since` and `limit` compose with the routed path.
+        let filter = RunFilter::all().with_component("train");
+        let all = s.scan_runs(None, &filter, None).unwrap();
+        let since = all[2].id;
+        let routed = s
+            .scan_runs_indexed(Some(since), &filter, Some(3), IndexRoute::Component)
+            .unwrap()
+            .unwrap();
+        assert_eq!(routed, all[3..6].to_vec());
+    }
+
+    #[test]
+    fn inapplicable_route_misses_and_counts() {
+        let s = indexed_fixture();
+        let r = s
+            .scan_runs_indexed(None, &RunFilter::all(), None, IndexRoute::Component)
+            .unwrap();
+        assert!(r.is_none(), "no component bound, route not applicable");
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.counters["query.index_misses_total"], 1);
+        assert_eq!(snap.counters["query.index_hits_total"], 0);
+    }
+
+    #[test]
+    fn index_stats_reflect_live_runs() {
+        let s = indexed_fixture();
+        let stats = s.index_stats().unwrap().unwrap();
+        assert_eq!(stats.runs, 30);
+        assert_eq!(stats.distinct_components, 3);
+        assert_eq!(stats.distinct_statuses, 2);
+        assert_eq!(stats.min_start_ms, Some(100));
+        assert_eq!(stats.max_start_ms, Some(390));
+        assert_eq!(stats.next_id, 31);
+        // Deletions shrink the stats (indexes drop their postings).
+        let ids = s.run_ids().unwrap();
+        s.delete_runs(&ids[..10]).unwrap();
+        let stats = s.index_stats().unwrap().unwrap();
+        assert_eq!(stats.runs, 20);
+        assert_eq!(stats.min_start_ms, Some(200));
+    }
+
+    #[test]
+    fn index_footprint_counts_entries_and_sets_gauge() {
+        let s = indexed_fixture();
+        s.log_events(vec![ObservabilityEvent::new(
+            EventKind::AlertFired,
+            EventSeverity::Page,
+            50,
+        )])
+        .unwrap();
+        let fp = s.index_footprint().unwrap();
+        let names: Vec<&str> = fp.iter().map(|f| f.name).collect();
+        assert_eq!(
+            names,
+            vec!["by_component", "by_start", "by_status", "events_by_kind"]
+        );
+        let by = |n: &str| fp.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by("by_component").keys, 3);
+        assert_eq!(by("by_component").entries, 30);
+        assert_eq!(by("by_start").entries, 30);
+        assert_eq!(by("by_status").keys, 2);
+        assert_eq!(by("by_status").entries, 30);
+        assert_eq!(by("events_by_kind").keys, 1);
+        assert_eq!(by("events_by_kind").entries, 1);
+        assert!(fp.iter().all(|f| f.approx_bytes > 0));
+        let total: u64 = fp.iter().map(|f| f.approx_bytes).sum();
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.gauges["store.index_bytes"], total as i64);
+    }
+
+    #[test]
+    fn kind_routed_event_scan_examines_only_postings() {
+        let s = MemoryStore::new();
+        let mut events = Vec::new();
+        for i in 0u64..40 {
+            events.push(ObservabilityEvent::new(
+                EventKind::RunStarted,
+                EventSeverity::Info,
+                i,
+            ));
+        }
+        events.push(
+            ObservabilityEvent::new(EventKind::AlertFired, EventSeverity::Page, 99)
+                .component("infer"),
+        );
+        s.log_events(events).unwrap();
+        let snap = s.telemetry().unwrap().snapshot();
+        let before = snap.counters["query.rows_scanned"];
+        let got = s
+            .scan_events(
+                None,
+                &EventFilter::all().with_kind(EventKind::AlertFired),
+                None,
+            )
+            .unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].kind, EventKind::AlertFired);
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(
+            snap.counters["query.rows_scanned"] - before,
+            1,
+            "only the kind's postings examined, not the whole journal"
+        );
+        assert_eq!(snap.counters["query.index_hits_total"], 1);
     }
 }

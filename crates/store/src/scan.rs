@@ -74,6 +74,18 @@ impl RunFilter {
         self
     }
 
+    /// Intersect with `id >= id`.
+    pub fn with_id_at_or_after(mut self, id: u64) -> RunFilter {
+        self.min_id = Some(self.min_id.map_or(id, |v| v.max(id)));
+        self
+    }
+
+    /// Intersect with `id <= id`.
+    pub fn with_id_at_or_before(mut self, id: u64) -> RunFilter {
+        self.max_id = Some(self.max_id.map_or(id, |v| v.min(id)));
+        self
+    }
+
     /// True when every run matches (scan implementations may skip the
     /// per-record evaluation entirely).
     pub fn is_all(&self) -> bool {
@@ -101,6 +113,53 @@ impl RunFilter {
 #[inline]
 fn in_bounds(v: u64, lo: Option<u64>, hi: Option<u64>) -> bool {
     lo.is_none_or(|l| v >= l) && hi.is_none_or(|h| v <= h)
+}
+
+/// Which secondary index a run scan should resolve candidates from.
+///
+/// Produced by the query planner's selectivity estimate (or forced by a
+/// caller that knows better) and consumed by
+/// [`crate::store::Store::scan_runs_indexed`]. The route only narrows the
+/// *candidate set*; the full [`RunFilter`] is still evaluated against
+/// every candidate, so a route can never change results — only how many
+/// rows are examined to produce them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexRoute {
+    /// Resolve candidates from the component → run-ids index. Requires
+    /// `filter.component` to be set.
+    Component,
+    /// Resolve candidates from the status index. Requires
+    /// `filter.status` to be set.
+    Status,
+    /// Resolve candidates from the time-ordered (`start_ms`) index.
+    /// Requires at least one of `filter.min_start_ms` /
+    /// `filter.max_start_ms`.
+    StartTime,
+    /// Enumerate the primary-key range `[min_id, max_id]` directly.
+    /// Requires at least one of `filter.min_id` / `filter.max_id`.
+    IdRange,
+}
+
+impl IndexRoute {
+    /// Short name for plans, telemetry, and `EXPLAIN` output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexRoute::Component => "component",
+            IndexRoute::Status => "status",
+            IndexRoute::StartTime => "start_time",
+            IndexRoute::IdRange => "id_range",
+        }
+    }
+
+    /// True when `filter` carries the bounds this route needs.
+    pub fn applicable(&self, filter: &RunFilter) -> bool {
+        match self {
+            IndexRoute::Component => filter.component.is_some(),
+            IndexRoute::Status => filter.status.is_some(),
+            IndexRoute::StartTime => filter.min_start_ms.is_some() || filter.max_start_ms.is_some(),
+            IndexRoute::IdRange => filter.min_id.is_some() || filter.max_id.is_some(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +209,40 @@ mod tests {
         assert!(!tighter.matches(&run("c", 120, 130, RunStatus::Success)));
         let unchanged = f.started_at_or_after(50);
         assert!(!unchanged.matches(&run("c", 60, 70, RunStatus::Success)));
+    }
+
+    #[test]
+    fn id_bounds_are_inclusive_and_intersect() {
+        use crate::record::RunId;
+        let f = RunFilter::all()
+            .with_id_at_or_after(10)
+            .with_id_at_or_before(20);
+        let with_id = |id: u64| {
+            let mut r = run("c", 0, 1, RunStatus::Success);
+            r.id = RunId(id);
+            r
+        };
+        assert!(f.matches(&with_id(10)));
+        assert!(f.matches(&with_id(20)));
+        assert!(!f.matches(&with_id(9)));
+        assert!(!f.matches(&with_id(21)));
+        // Re-applying a bound intersects rather than replaces.
+        let tighter = f.clone().with_id_at_or_before(15);
+        assert!(!tighter.matches(&with_id(16)));
+        let unchanged = f.with_id_at_or_after(5);
+        assert!(!unchanged.matches(&with_id(6)));
+    }
+
+    #[test]
+    fn routes_know_their_required_bounds() {
+        let f = RunFilter::all()
+            .with_component("etl")
+            .with_id_at_or_after(3);
+        assert!(IndexRoute::Component.applicable(&f));
+        assert!(IndexRoute::IdRange.applicable(&f));
+        assert!(!IndexRoute::Status.applicable(&f));
+        assert!(!IndexRoute::StartTime.applicable(&f));
+        assert!(IndexRoute::StartTime.applicable(&RunFilter::all().started_at_or_before(9)));
     }
 
     #[test]

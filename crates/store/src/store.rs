@@ -11,7 +11,7 @@ use crate::event::{EventBus, EventFilter, EventId, IncidentRecord, Observability
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
-use crate::scan::RunFilter;
+use crate::scan::{IndexRoute, RunFilter};
 use mltrace_telemetry::Telemetry;
 
 /// One component run plus the I/O pointer upserts and metric points that
@@ -61,6 +61,40 @@ pub struct StoreStats {
     pub events: usize,
     /// Incidents retained (all lifecycle states).
     pub incidents: usize,
+}
+
+/// Cardinality summary of a store's run population, enough for the query
+/// planner's selectivity estimates without touching any shard lock twice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Live runs in the store.
+    pub runs: u64,
+    /// Distinct component names with at least one live run.
+    pub distinct_components: u64,
+    /// Distinct statuses with at least one live run.
+    pub distinct_statuses: u64,
+    /// Smallest live `start_ms`, when any run exists.
+    pub min_start_ms: Option<u64>,
+    /// Largest live `start_ms`, when any run exists.
+    pub max_start_ms: Option<u64>,
+    /// The store's `next_run_id` watermark (assigned ids are `< next_id`).
+    pub next_id: u64,
+}
+
+/// Entry count and approximate resident size of one secondary index, for
+/// `stats` output and the index-memory gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexFootprint {
+    /// Index name (`by_component`, `by_start`, `by_status`,
+    /// `events_by_kind`).
+    pub name: &'static str,
+    /// Number of keys (components, distinct start times, statuses, kinds).
+    pub keys: u64,
+    /// Number of posting entries (run ids / event ids) across all keys.
+    pub entries: u64,
+    /// Approximate resident bytes (keys + postings; excludes allocator
+    /// overhead).
+    pub approx_bytes: u64,
 }
 
 /// Storage-layer contract. All methods take `&self`; implementations are
@@ -176,6 +210,50 @@ pub trait Store: Send + Sync {
                 return Ok(());
             }
         }
+    }
+
+    /// Index-routed variant of [`Store::scan_runs`]: resolve the candidate
+    /// set from the secondary index named by `route`, then evaluate the
+    /// full `filter` against every candidate — identical results to
+    /// [`Store::scan_runs`], sub-linear rows examined when the route is
+    /// selective.
+    ///
+    /// Returns `Ok(None)` when the implementation keeps no secondary
+    /// indexes or the route is not applicable to `filter` (missing bound);
+    /// callers must then fall back to [`Store::scan_runs`]. Instrumented
+    /// stores count candidates examined into `query.rows_scanned` and
+    /// record `query.index_hits_total` / `query.index_misses_total`.
+    fn scan_runs_indexed(
+        &self,
+        since: Option<RunId>,
+        filter: &RunFilter,
+        limit: Option<usize>,
+        route: IndexRoute,
+    ) -> Result<Option<Vec<ComponentRunRecord>>> {
+        let _ = (since, filter, limit, route);
+        Ok(None)
+    }
+
+    /// Cardinalities for the planner's selectivity estimate. `None` (the
+    /// default) means the store keeps no secondary indexes and the planner
+    /// must route everything through [`Store::scan_runs`].
+    fn index_stats(&self) -> Result<Option<IndexStats>> {
+        Ok(None)
+    }
+
+    /// Entry counts and approximate memory of each secondary index, for
+    /// `stats` output. Empty (the default) when the store keeps none.
+    fn index_footprint(&self) -> Result<Vec<IndexFootprint>> {
+        Ok(Vec::new())
+    }
+
+    /// How many sealed WAL segments a cold read with `filter` could skip,
+    /// as `(prunable, total)`, judged from cached zone maps. `None` (the
+    /// default) for stores without segmented cold storage. Used by
+    /// `EXPLAIN`; the actual pruning happens inside the cold readers.
+    fn prunable_segments(&self, filter: &EventFilter) -> Result<Option<(u64, u64)>> {
+        let _ = filter;
+        Ok(None)
     }
 
     /// The last `limit` runs of a component, newest first (descending

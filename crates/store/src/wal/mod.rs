@@ -64,16 +64,18 @@ mod snapshot;
 use crate::error::{Result, StoreError};
 use crate::event::{
     EventBus, EventFilter, EventId, EventKind, EventSeverity, IncidentRecord, ObservabilityEvent,
+    EVENT_KINDS,
 };
 use crate::memory::MemoryStore;
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
-use crate::scan::RunFilter;
-use crate::store::{RunBundle, Store, StoreStats};
+use crate::scan::{IndexRoute, RunFilter};
+use crate::store::{IndexFootprint, IndexStats, RunBundle, Store, StoreStats};
 use crate::value::Value;
 use mltrace_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -86,16 +88,43 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Serialize, Deserialize)]
 #[serde(tag = "event")]
 enum WalEvent {
-    Component { rec: ComponentRecord },
-    Run { rec: ComponentRunRecord },
-    IoPointer { rec: IoPointerRecord },
-    Flag { io: String, flag: bool },
-    Metric { rec: MetricRecord },
-    DeleteRuns { ids: Vec<RunId> },
-    DeleteIos { names: Vec<String> },
-    Summary { rec: CompactionSummary },
-    Obs { rec: ObservabilityEvent },
-    Incident { rec: IncidentRecord },
+    Component {
+        rec: ComponentRecord,
+    },
+    Run {
+        rec: ComponentRunRecord,
+    },
+    IoPointer {
+        rec: IoPointerRecord,
+    },
+    Flag {
+        io: String,
+        flag: bool,
+    },
+    Metric {
+        rec: MetricRecord,
+    },
+    DeleteRuns {
+        ids: Vec<RunId>,
+    },
+    DeleteIos {
+        names: Vec<String>,
+    },
+    Summary {
+        rec: CompactionSummary,
+    },
+    Obs {
+        rec: ObservabilityEvent,
+    },
+    Incident {
+        rec: IncidentRecord,
+    },
+    /// Segment metadata, not a state mutation: the zone map of the sealed
+    /// segment this line terminates. Written as the final line of a
+    /// segment at seal time; replay skips it (and does not count it).
+    Zone {
+        map: ZoneMap,
+    },
 }
 
 /// When buffered WAL events are flushed to the OS (see the module docs for
@@ -210,6 +239,301 @@ impl WalFootprint {
     }
 }
 
+/// On-disk format version stamped into zone maps and v2 snapshot headers.
+/// Version 0 (the `#[serde(default)]` value) is the pre-zone format:
+/// readers treat it as "no zone information" and never prune.
+pub const ZONE_FORMAT_VERSION: u32 = 2;
+
+/// Min/max summaries of one sealed segment (or one snapshot), written as
+/// the segment's final line at seal time. Cold readers — `mltrace tail`,
+/// [`read_journal`], [`JournalFollower`] — test their filter against the
+/// zone and skip the whole file when no line inside can match, which is
+/// what makes time- and kind-bounded queries sub-linear in log history.
+///
+/// Every field is `#[serde(default)]`, so maps written by newer versions
+/// (or the empty `{}`) still decode; absent bounds mean "unknown — do not
+/// prune on this column".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneMap {
+    /// Format version ([`ZONE_FORMAT_VERSION`]); 0 = unversioned.
+    #[serde(default)]
+    pub version: u32,
+    /// Run records in the zone.
+    #[serde(default)]
+    pub runs: u64,
+    /// Journal events in the zone.
+    #[serde(default)]
+    pub events: u64,
+    /// Smallest run id logged in the zone.
+    #[serde(default)]
+    pub min_run_id: Option<u64>,
+    /// Largest run id logged in the zone.
+    #[serde(default)]
+    pub max_run_id: Option<u64>,
+    /// Smallest run `start_ms` in the zone.
+    #[serde(default)]
+    pub min_start_ms: Option<u64>,
+    /// Largest run `start_ms` in the zone.
+    #[serde(default)]
+    pub max_start_ms: Option<u64>,
+    /// Smallest journal event id in the zone.
+    #[serde(default)]
+    pub min_event_id: Option<u64>,
+    /// Largest journal event id in the zone.
+    #[serde(default)]
+    pub max_event_id: Option<u64>,
+    /// Smallest journal event timestamp in the zone.
+    #[serde(default)]
+    pub min_event_ts_ms: Option<u64>,
+    /// Largest journal event timestamp in the zone.
+    #[serde(default)]
+    pub max_event_ts_ms: Option<u64>,
+    /// Presence bitmap over [`EVENT_KINDS`] declaration order: bit `i`
+    /// set ⇔ at least one event of `EVENT_KINDS[i]` is in the zone.
+    #[serde(default)]
+    pub event_kinds: u32,
+    /// Presence bitmap over severities (`Info`=0, `Warn`=1, `Page`=2).
+    #[serde(default)]
+    pub event_severities: u32,
+}
+
+/// Bit index of `kind` in [`ZoneMap::event_kinds`].
+fn kind_bit(kind: EventKind) -> u32 {
+    EVENT_KINDS
+        .iter()
+        .position(|k| *k == kind)
+        .expect("EVENT_KINDS enumerates every kind") as u32
+}
+
+/// Bit index of `severity` in [`ZoneMap::event_severities`].
+fn severity_bit(severity: EventSeverity) -> u32 {
+    match severity {
+        EventSeverity::Info => 0,
+        EventSeverity::Warn => 1,
+        EventSeverity::Page => 2,
+    }
+}
+
+/// True when the closed intervals `[a_lo, a_hi]` and `[b_lo, b_hi]` are
+/// disjoint; unknown bounds (`None`) never exclude.
+fn disjoint(lo: Option<u64>, hi: Option<u64>, f_lo: Option<u64>, f_hi: Option<u64>) -> bool {
+    matches!((hi, f_lo), (Some(h), Some(l)) if h < l)
+        || matches!((lo, f_hi), (Some(l), Some(h)) if l > h)
+}
+
+impl ZoneMap {
+    /// An empty zone at the current format version.
+    pub fn new() -> ZoneMap {
+        ZoneMap {
+            version: ZONE_FORMAT_VERSION,
+            ..ZoneMap::default()
+        }
+    }
+
+    /// Fold one WAL event into the zone's bounds. Only runs and journal
+    /// events carry prunable columns; everything else merely rides along
+    /// in the segment.
+    fn observe(&mut self, event: &WalEvent) {
+        fn lo(slot: &mut Option<u64>, v: u64) {
+            *slot = Some(slot.map_or(v, |s| s.min(v)));
+        }
+        fn hi(slot: &mut Option<u64>, v: u64) {
+            *slot = Some(slot.map_or(v, |s| s.max(v)));
+        }
+        match event {
+            WalEvent::Run { rec } => {
+                self.runs += 1;
+                lo(&mut self.min_run_id, rec.id.0);
+                hi(&mut self.max_run_id, rec.id.0);
+                lo(&mut self.min_start_ms, rec.start_ms);
+                hi(&mut self.max_start_ms, rec.start_ms);
+            }
+            WalEvent::Obs { rec } => {
+                self.events += 1;
+                lo(&mut self.min_event_id, rec.id.0);
+                hi(&mut self.max_event_id, rec.id.0);
+                lo(&mut self.min_event_ts_ms, rec.ts_ms);
+                hi(&mut self.max_event_ts_ms, rec.ts_ms);
+                self.event_kinds |= 1 << kind_bit(rec.kind);
+                self.event_severities |= 1 << severity_bit(rec.severity);
+            }
+            _ => {}
+        }
+    }
+
+    /// At least one event of `kind` is in the zone.
+    pub fn kind_present(&self, kind: EventKind) -> bool {
+        self.event_kinds & (1 << kind_bit(kind)) != 0
+    }
+
+    /// True when **no** journal event in the zone can satisfy `filter` —
+    /// the segment may be skipped without decoding it. Conservative: any
+    /// unknown bound keeps the segment. Component and run-id conjuncts
+    /// are not summarized, so they never prune on their own.
+    pub fn excludes_events(&self, filter: &EventFilter) -> bool {
+        if self.version == 0 {
+            // Unversioned (pre-zone) data: nothing is known.
+            return false;
+        }
+        if self.events == 0 {
+            return true;
+        }
+        if let Some(kind) = filter.kind {
+            if !self.kind_present(kind) {
+                return true;
+            }
+        }
+        if let Some(sev) = filter.severity {
+            if self.event_severities & (1 << severity_bit(sev)) == 0 {
+                return true;
+            }
+        }
+        disjoint(
+            self.min_event_id,
+            self.max_event_id,
+            filter.min_id,
+            filter.max_id,
+        ) || disjoint(
+            self.min_event_ts_ms,
+            self.max_event_ts_ms,
+            filter.min_ts_ms,
+            filter.max_ts_ms,
+        )
+    }
+}
+
+/// How far from the end of a segment the zone footer is sought. Footers
+/// are one JSON line, well under this.
+const ZONE_FOOTER_PROBE_BYTES: u64 = 64 << 10;
+
+/// Read the zone footer of a sealed segment, if it has one. `None` for
+/// pre-v2 segments (no footer), unreadable files, or anything that does
+/// not parse — all of which degrade to "cannot prune", never to an error.
+pub(crate) fn read_zone_footer(path: &Path) -> Option<ZoneMap> {
+    let mut file = File::open(path).ok()?;
+    let len = file.metadata().ok()?.len();
+    if len == 0 {
+        return None;
+    }
+    let probe = len.min(ZONE_FOOTER_PROBE_BYTES);
+    file.seek(SeekFrom::End(-(probe as i64))).ok()?;
+    let mut buf = Vec::with_capacity(probe as usize);
+    std::io::Read::read_to_end(&mut file, &mut buf).ok()?;
+    // The footer is the last newline-terminated, non-blank line.
+    if buf.last() != Some(&b'\n') {
+        return None;
+    }
+    let body = &buf[..buf.len() - 1];
+    let line = match body.iter().rposition(|&b| b == b'\n') {
+        Some(pos) => &body[pos + 1..],
+        None if (len as usize) <= body.len() + 1 => body,
+        // The probe window starts mid-line; a real footer fits well
+        // within it, so this is not a footer.
+        None => return None,
+    };
+    match serde_json::from_slice::<WalEvent>(line) {
+        Ok(WalEvent::Zone { map }) => Some(map),
+        _ => None,
+    }
+}
+
+/// What one cold [`read_journal`] pass read and skipped.
+#[derive(Debug, Clone, Default)]
+pub struct JournalRead {
+    /// Matching events, ascending by id. With a limit, the **most
+    /// recent** `limit` matches (tail semantics).
+    pub events: Vec<ObservabilityEvent>,
+    /// Sealed segments not covered by the snapshot (candidates to read).
+    pub segments_total: u64,
+    /// Candidates skipped without decoding, via their zone footer.
+    pub segments_pruned: u64,
+    /// Journal events were imported from the snapshot.
+    pub snapshot_used: bool,
+    /// The snapshot's zone excluded the filter, so its records were
+    /// skipped without parsing.
+    pub snapshot_pruned: bool,
+}
+
+/// Read journal events from a WAL family on disk — snapshot, sealed
+/// segments, active log — without opening the store (no locks taken,
+/// usable cross-process). Zone maps make this sub-linear: segments (and
+/// the snapshot) whose zones exclude `filter` are skipped whole, counted
+/// in `wal.segments_pruned_total` on `registry` when one is given.
+pub fn read_journal(
+    path: impl AsRef<Path>,
+    filter: &EventFilter,
+    limit: Option<usize>,
+    registry: Option<&Telemetry>,
+) -> Result<JournalRead> {
+    let path = path.as_ref();
+    let mut out = JournalRead::default();
+    let mut events: Vec<ObservabilityEvent> = Vec::new();
+
+    // 1. The snapshot holds every journal event folded by checkpoints.
+    let mut covered: u64 = 0;
+    match snapshot::read_snapshot(path) {
+        snapshot::SnapshotLoad::Missing | snapshot::SnapshotLoad::Corrupt(_) => {
+            // No usable snapshot: the segments still hold the history
+            // (until compaction), so read them all from seq 1.
+        }
+        snapshot::SnapshotLoad::Loaded {
+            header,
+            buf,
+            records,
+        } => {
+            covered = header.covered_seq;
+            if header
+                .zone
+                .as_ref()
+                .is_some_and(|z| z.excludes_events(filter))
+            {
+                out.snapshot_pruned = true;
+            } else {
+                out.snapshot_used = true;
+                for &(at, len) in &records {
+                    if let Ok(WalEvent::Obs { rec }) =
+                        serde_json::from_slice::<WalEvent>(&buf[at..at + len])
+                    {
+                        events.push(rec);
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Sealed segments past the snapshot, pruned by their footers.
+    for (seq, seg_path) in segment::list_segments(path)? {
+        if seq <= covered {
+            continue;
+        }
+        out.segments_total += 1;
+        if read_zone_footer(&seg_path).is_some_and(|z| z.excludes_events(filter)) {
+            out.segments_pruned += 1;
+            continue;
+        }
+        let (evs, _) = read_events_from(&seg_path, 0)?;
+        events.extend(evs);
+    }
+    if let Some(registry) = registry {
+        registry.add("wal.segments_pruned_total", out.segments_pruned);
+    }
+
+    // 3. The active log (never pruned: its zone is only in memory).
+    let (evs, _) = read_events_from(path, 0)?;
+    events.extend(evs);
+
+    events.retain(|e| filter.matches(e));
+    events.sort_by_key(|e| e.id);
+    events.dedup_by_key(|e| e.id);
+    if let Some(n) = limit {
+        if events.len() > n {
+            events.drain(..events.len() - n);
+        }
+    }
+    out.events = events;
+    Ok(out)
+}
+
 /// Serialize one event in the on-disk line format (`<json>\n`) onto `buf`.
 /// The single definition of the format — `append`, `append_all`, and the
 /// checkpoint writer all go through here.
@@ -287,6 +611,11 @@ pub struct JournalFollower {
     /// Resume offset — into the first unseen segment if one appears,
     /// otherwise into the active log.
     offset: u64,
+    /// When set, only matching events are reported, and unseen sealed
+    /// segments whose zone footer excludes the filter are skipped whole.
+    filter: Option<EventFilter>,
+    /// Sealed segments skipped via their zone footer so far.
+    pruned: u64,
 }
 
 impl JournalFollower {
@@ -303,12 +632,36 @@ impl JournalFollower {
             path,
             seen_seq,
             offset,
+            filter: None,
+            pruned: 0,
         })
+    }
+
+    /// Report only events matching `filter`, and skip sealed segments the
+    /// filter's zone test excludes — without decoding a single line of
+    /// them.
+    pub fn with_filter(mut self, filter: EventFilter) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Sealed segments skipped whole (zone footer excluded the filter)
+    /// over this follower's lifetime.
+    pub fn segments_pruned(&self) -> u64 {
+        self.pruned
     }
 
     /// Decode every journal event appended since the last poll, in log
     /// order, crossing segment rollovers as needed.
     pub fn poll(&mut self) -> Result<Vec<ObservabilityEvent>> {
+        let mut out = self.poll_unfiltered()?;
+        if let Some(filter) = &self.filter {
+            out.retain(|e| filter.matches(e));
+        }
+        Ok(out)
+    }
+
+    fn poll_unfiltered(&mut self) -> Result<Vec<ObservabilityEvent>> {
         let mut out = Vec::new();
         for _attempt in 0..2 {
             // Drain sealed segments newer than what we've seen: our offset
@@ -317,6 +670,17 @@ impl JournalFollower {
             // unseen segment. Later unseen segments read from the top.
             for (seq, seg_path) in segment::list_segments(&self.path)? {
                 if seq <= self.seen_seq {
+                    continue;
+                }
+                // A zone footer that excludes the filter rules out every
+                // line of the segment — including the unread suffix — so
+                // the whole file can be skipped without decoding.
+                if self.filter.as_ref().is_some_and(|f| {
+                    read_zone_footer(&seg_path).is_some_and(|z| z.excludes_events(f))
+                }) {
+                    self.pruned += 1;
+                    self.seen_seq = seq;
+                    self.offset = 0;
                     continue;
                 }
                 let (evs, _) = read_events_from(&seg_path, self.offset)?;
@@ -495,6 +859,14 @@ pub struct WalStore {
     /// Re-entrancy damper: the checkpoint itself journals an event, whose
     /// append must not trigger another checkpoint.
     in_checkpoint: AtomicBool,
+    /// Zone map of the active log, folded in on every append (the gate
+    /// makes seal-vs-append race-free) and written as the segment's final
+    /// line at seal time.
+    active_zone: Mutex<ZoneMap>,
+    /// Zone footers of the sealed segments on disk (`None` = no footer,
+    /// pre-v2). Probed once at open, maintained by seal and compaction;
+    /// backs [`Store::prunable_segments`] for `EXPLAIN`.
+    zones: Mutex<BTreeMap<u64, Option<ZoneMap>>>,
 }
 
 impl WalStore {
@@ -564,6 +936,14 @@ impl WalStore {
                         covered = header.covered_seq;
                         tele.snapshot_loads.incr();
                         tele.snapshot_bytes.set(buf.len() as i64);
+                        // Operator-facing snapshot provenance: 0 means a
+                        // pre-zone-map (v1) snapshot restored this state.
+                        registry
+                            .gauge("wal.snapshot_format_version")
+                            .set(header.format_version as i64);
+                        registry
+                            .gauge("wal.snapshot_created_ms")
+                            .set(header.created_ms as i64);
                     }
                     Err(why) => {
                         // A partial import may have polluted the store;
@@ -586,6 +966,12 @@ impl WalStore {
         let mut last_seq: u64 = 0;
         let segments = segment::list_segments(&path)?;
         let replayed_segments = segments.iter().filter(|(seq, _)| *seq > covered).count();
+        // Probe every sealed segment's zone footer once; `None` (pre-v2
+        // segment, no footer) simply means that segment is never pruned.
+        let zone_cache: BTreeMap<u64, Option<ZoneMap>> = segments
+            .iter()
+            .map(|(seq, seg_path)| (*seq, read_zone_footer(seg_path)))
+            .collect();
         for (seq, seg_path) in &segments {
             last_seq = last_seq.max(*seq);
             if *seq <= covered {
@@ -607,9 +993,15 @@ impl WalStore {
         let mut recovered = false;
         let mut missing_final_newline = false;
         let mut active_len: u64 = 0;
+        // The active log's zone accumulator is rebuilt alongside replay so
+        // the footer written at the next seal covers replayed lines too.
+        let mut active_zone = ZoneMap::new();
         if path.exists() {
-            let rep = replay::replay_file(&path, workers, |e| Self::apply(&mem, e))
-                .map_err(|e| Self::replay_error(&path, &path, e))?;
+            let rep = replay::replay_file(&path, workers, |e| {
+                active_zone.observe(&e);
+                Self::apply(&mem, e)
+            })
+            .map_err(|e| Self::replay_error(&path, &path, e))?;
             replayed += rep.events_applied;
             missing_final_newline = rep.missing_final_newline;
             if let Some(at) = rep.truncate_at {
@@ -650,6 +1042,8 @@ impl WalStore {
             active_bytes: AtomicU64::new(active_len),
             gate: RwLock::new(()),
             in_checkpoint: AtomicBool::new(false),
+            active_zone: Mutex::new(active_zone),
+            zones: Mutex::new(zone_cache),
         };
         // Journal the open itself: a torn-tail truncation or a snapshot
         // fallback is an operator fact worth keeping (queryable later via
@@ -775,6 +1169,9 @@ impl WalStore {
             WalEvent::Summary { rec } => mem.put_summary(rec),
             WalEvent::Obs { rec } => mem.restore_event(rec),
             WalEvent::Incident { rec } => mem.upsert_incident(rec),
+            // Segment metadata, not state; replay filters these out before
+            // apply, but the match must stay exhaustive.
+            WalEvent::Zone { .. } => Ok(()),
         }
     }
 
@@ -796,6 +1193,7 @@ impl WalStore {
         let started = Instant::now();
         let mut buf = Vec::with_capacity(256);
         encode_event(&mut buf, event)?;
+        self.active_zone.lock().observe(event);
         self.writer.lock().write(&buf, 1, self.policy)?;
         self.active_bytes
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
@@ -817,6 +1215,12 @@ impl WalStore {
         let mut buf = Vec::with_capacity(256 * events.len());
         for event in events {
             encode_event(&mut buf, event)?;
+        }
+        {
+            let mut zone = self.active_zone.lock();
+            for event in events {
+                zone.observe(event);
+            }
         }
         self.writer.lock().write(&buf, events.len(), self.policy)?;
         self.active_bytes
@@ -889,9 +1293,21 @@ impl WalStore {
             // The reverse order could write a snapshot that already
             // contains the sealed records and then replay them again.
             let sealed_seq = if active > 0 {
+                // Take (and reset) the active log's zone; the fresh log
+                // starts with an empty one.
+                let zone = std::mem::replace(&mut *self.active_zone.lock(), ZoneMap::new());
                 {
                     let mut w = self.writer.lock();
                     w.flush_os()?;
+                    // The zone footer is the segment's final line. Written
+                    // directly (not via `write`) so it is never counted as
+                    // an appended event; a crash before the rename leaves
+                    // it mid-file in the active log, where replay and
+                    // journal readers skip it.
+                    let mut footer = Vec::with_capacity(256);
+                    encode_event(&mut footer, &WalEvent::Zone { map: zone.clone() })?;
+                    w.out.write_all(&footer)?;
+                    w.out.flush()?;
                     w.out.get_ref().sync_data()?;
                     self.tele.fsyncs.incr();
                     std::fs::rename(&self.path, segment::segment_path(&self.path, next))?;
@@ -902,6 +1318,7 @@ impl WalStore {
                         .open(&self.path)?;
                     *w = WalWriter::new(file, self.tele.clone());
                 }
+                self.zones.lock().insert(next, Some(zone));
                 self.next_seq.store(next + 1, Ordering::SeqCst);
                 self.active_bytes.store(0, Ordering::SeqCst);
                 Some(next)
@@ -914,11 +1331,17 @@ impl WalStore {
             let covers = self.next_seq.load(Ordering::SeqCst) - 1;
             let records = self.state_events()?;
             let mut encoded = Vec::with_capacity(records.len());
+            // The snapshot gets a zone over everything it folds, so cold
+            // readers can skip parsing its records too.
+            let mut snap_zone = ZoneMap::new();
             for event in &records {
+                snap_zone.observe(event);
                 encoded.push(serde_json::to_vec(event)?);
             }
             let (next_run_id, next_event_id, runs_removed) = self.mem.watermarks();
             let header = snapshot::SnapshotHeader {
+                format_version: ZONE_FORMAT_VERSION,
+                zone: Some(snap_zone),
                 covered_seq: covers,
                 next_run_id,
                 next_event_id,
@@ -1031,6 +1454,7 @@ impl WalStore {
                 Ok(()) => {
                     segments_deleted += 1;
                     bytes_reclaimed += len;
+                    self.zones.lock().remove(&seq);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
                 Err(e) => return Err(e.into()),
@@ -1218,6 +1642,34 @@ impl Store for WalStore {
         visit: &mut dyn FnMut(&[ComponentRunRecord]) -> bool,
     ) -> Result<()> {
         self.mem.scan_runs_chunked(since, filter, chunk_size, visit)
+    }
+
+    fn scan_runs_indexed(
+        &self,
+        since: Option<RunId>,
+        filter: &RunFilter,
+        limit: Option<usize>,
+        route: IndexRoute,
+    ) -> Result<Option<Vec<ComponentRunRecord>>> {
+        self.mem.scan_runs_indexed(since, filter, limit, route)
+    }
+
+    fn index_stats(&self) -> Result<Option<IndexStats>> {
+        self.mem.index_stats()
+    }
+
+    fn index_footprint(&self) -> Result<Vec<IndexFootprint>> {
+        self.mem.index_footprint()
+    }
+
+    fn prunable_segments(&self, filter: &EventFilter) -> Result<Option<(u64, u64)>> {
+        let zones = self.zones.lock();
+        let total = zones.len() as u64;
+        let pruned = zones
+            .values()
+            .filter(|z| z.as_ref().is_some_and(|z| z.excludes_events(filter)))
+            .count() as u64;
+        Ok(Some((pruned, total)))
     }
 
     fn component_history(&self, name: &str, limit: usize) -> Result<Vec<ComponentRunRecord>> {
@@ -2034,5 +2486,226 @@ mod tests {
         );
         purge(&path);
         purge(&copy);
+    }
+
+    /// Journal event with a fixed subject component, for zone tests.
+    fn obs(kind: EventKind, severity: EventSeverity, ts_ms: u64) -> ObservabilityEvent {
+        ObservabilityEvent::new(kind, severity, ts_ms).component("etl")
+    }
+
+    #[test]
+    fn zone_map_bounds_and_bitmaps_gate_pruning() {
+        let mut zone = ZoneMap::new();
+        let mut a = obs(EventKind::AlertFired, EventSeverity::Warn, 100);
+        a.id = EventId(5);
+        let mut b = obs(EventKind::RunStarted, EventSeverity::Info, 200);
+        b.id = EventId(9);
+        zone.observe(&WalEvent::Obs { rec: a });
+        zone.observe(&WalEvent::Obs { rec: b });
+        assert_eq!(zone.events, 2);
+        // Kind bitmap: present kinds keep the zone, absent kinds prune.
+        assert!(!zone.excludes_events(&EventFilter::all().with_kind(EventKind::AlertFired)));
+        assert!(zone.excludes_events(&EventFilter::all().with_kind(EventKind::IncidentOpened)));
+        // Severity bitmap (exact-match filter semantics).
+        assert!(!zone.excludes_events(&EventFilter::all().with_severity(EventSeverity::Warn)));
+        assert!(zone.excludes_events(&EventFilter::all().with_severity(EventSeverity::Page)));
+        // Timestamp bounds: disjoint windows prune, overlapping keep.
+        assert!(zone.excludes_events(&EventFilter::all().at_or_after(201)));
+        assert!(zone.excludes_events(&EventFilter::all().at_or_before(99)));
+        assert!(!zone.excludes_events(&EventFilter::all().at_or_after(150)));
+        // Event-id bounds.
+        let mut above = EventFilter::all();
+        above.min_id = Some(10);
+        assert!(zone.excludes_events(&above));
+        let mut within = EventFilter::all();
+        within.min_id = Some(6);
+        within.max_id = Some(7);
+        assert!(!zone.excludes_events(&within));
+        // A zone with no journal events excludes every event read — a
+        // runs-only segment never needs decoding for `tail`.
+        let mut runs_only = ZoneMap::new();
+        runs_only.observe(&WalEvent::Run {
+            rec: run("etl", 100, &[], &[]),
+        });
+        assert!(runs_only.excludes_events(&EventFilter::all()));
+        assert_eq!(runs_only.runs, 1);
+        assert_eq!(runs_only.min_start_ms, Some(100));
+    }
+
+    #[test]
+    fn unversioned_zones_and_snapshot_headers_decode_and_never_prune() {
+        // `{}` is what a pre-v2 reader-writer pair would round-trip: every
+        // field defaults, version 0 disables pruning entirely.
+        let zone: ZoneMap = serde_json::from_str("{}").unwrap();
+        assert_eq!(zone.version, 0);
+        assert!(!zone.excludes_events(&EventFilter::all().with_kind(EventKind::AlertFired)));
+        // Pre-v2 snapshot headers carry neither format_version nor zone.
+        let header: snapshot::SnapshotHeader = serde_json::from_str(
+            r#"{"covered_seq":3,"next_run_id":5,"next_event_id":7,"runs_removed":1,"records":0,"created_ms":42}"#,
+        )
+        .unwrap();
+        assert_eq!(header.format_version, 0);
+        assert!(header.zone.is_none());
+        assert_eq!(header.covered_seq, 3);
+    }
+
+    #[test]
+    fn zone_footers_prune_cold_journal_reads() {
+        let path = tmp("zone-prune");
+        let s = WalStore::open(&path).unwrap();
+        // Three checkpoints, each sealing a segment with distinct kinds.
+        // The post-seal CheckpointWritten event lands in the *next*
+        // segment, so segment 1 holds only RunStarted.
+        s.log_events(vec![
+            obs(EventKind::RunStarted, EventSeverity::Info, 100),
+            obs(EventKind::RunStarted, EventSeverity::Info, 110),
+        ])
+        .unwrap();
+        s.checkpoint().unwrap();
+        s.log_events(vec![obs(EventKind::AlertFired, EventSeverity::Page, 200)])
+            .unwrap();
+        s.checkpoint().unwrap();
+        s.log_events(vec![obs(
+            EventKind::IncidentOpened,
+            EventSeverity::Warn,
+            300,
+        )])
+        .unwrap();
+        s.checkpoint().unwrap();
+        let alerts = EventFilter::all().with_kind(EventKind::AlertFired);
+        // The live store's zone cache answers EXPLAIN-style estimates:
+        // segments 1 (runs only) and 3 (incident) are prunable.
+        assert_eq!(s.prunable_segments(&alerts).unwrap(), Some((2, 3)));
+        drop(s);
+        // Healthy cold read: the snapshot covers every segment, its zone
+        // includes AlertFired, so the answer comes from the snapshot.
+        let t = Telemetry::new();
+        let read = read_journal(&path, &alerts, None, Some(&t)).unwrap();
+        assert!(read.snapshot_used && !read.snapshot_pruned);
+        assert_eq!(read.segments_total, 0);
+        assert_eq!(read.events.len(), 1);
+        assert_eq!(read.events[0].kind, EventKind::AlertFired);
+        // Without the snapshot the segments are the only copy — and the
+        // zone footers skip 2 of 3 without decoding a line.
+        std::fs::remove_file(snapshot::snapshot_path(&path)).unwrap();
+        let t = Telemetry::new();
+        let read = read_journal(&path, &alerts, None, Some(&t)).unwrap();
+        assert!(!read.snapshot_used && !read.snapshot_pruned);
+        assert_eq!(read.segments_total, 3);
+        assert_eq!(read.segments_pruned, 2);
+        assert_eq!(read.events.len(), 1);
+        assert_eq!(read.events[0].kind, EventKind::AlertFired);
+        assert_eq!(
+            t.snapshot()
+                .counters
+                .get("wal.segments_pruned_total")
+                .copied(),
+            Some(2)
+        );
+        purge(&path);
+    }
+
+    #[test]
+    fn snapshot_zone_skips_parsing_when_filter_excluded() {
+        let path = tmp("zone-snapshot");
+        {
+            let s = WalStore::open(&path).unwrap();
+            s.log_run(run("etl", 100, &[], &["out.csv"])).unwrap();
+            s.log_events(vec![obs(EventKind::AlertFired, EventSeverity::Page, 200)])
+                .unwrap();
+            s.checkpoint().unwrap();
+        }
+        // No StalenessFlagged anywhere: the snapshot's zone proves it, so
+        // its records are skipped without parsing a single one.
+        let read = read_journal(
+            &path,
+            &EventFilter::all().with_kind(EventKind::StalenessFlagged),
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(read.snapshot_pruned && !read.snapshot_used);
+        assert_eq!(read.segments_total, 0);
+        assert!(read.events.is_empty());
+        purge(&path);
+    }
+
+    #[test]
+    fn segments_without_zone_footers_still_replay_and_read() {
+        let path = tmp("zone-v1");
+        {
+            let s = WalStore::open(&path).unwrap();
+            s.log_run(run("etl", 100, &[], &["out.csv"])).unwrap();
+            s.log_events(vec![obs(EventKind::AlertFired, EventSeverity::Page, 200)])
+                .unwrap();
+            s.checkpoint().unwrap();
+        }
+        // Strip the footer line, leaving the pre-v2 segment layout.
+        let seg = segment::segment_path(&path, 1);
+        assert!(read_zone_footer(&seg).is_some());
+        let body = std::fs::read(&seg).unwrap();
+        let cut = body[..body.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap();
+        std::fs::write(&seg, &body[..cut]).unwrap();
+        assert!(read_zone_footer(&seg).is_none());
+        // Force replay from the footerless segment, as a pre-v2 tree.
+        std::fs::remove_file(snapshot::snapshot_path(&path)).unwrap();
+        let s = WalStore::open(&path).unwrap();
+        assert!(!s.recovered());
+        assert_eq!(s.stats().unwrap().runs, 1);
+        assert_eq!(
+            s.scan_events(
+                None,
+                &EventFilter::all().with_kind(EventKind::AlertFired),
+                None
+            )
+            .unwrap()
+            .len(),
+            1
+        );
+        drop(s);
+        // Cold reads degrade to "cannot prune", never to an error.
+        let read = read_journal(
+            &path,
+            &EventFilter::all().with_kind(EventKind::IncidentOpened),
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(read.segments_total, 1);
+        assert_eq!(read.segments_pruned, 0);
+        assert!(read.events.is_empty());
+        purge(&path);
+    }
+
+    #[test]
+    fn journal_follower_skips_sealed_segments_via_zone() {
+        let path = tmp("follower-zone");
+        let s = WalStore::open(&path).unwrap();
+        let mut f = JournalFollower::from_end(&path)
+            .unwrap()
+            .with_filter(EventFilter::all().with_kind(EventKind::AlertFired));
+        s.log_events(vec![
+            obs(EventKind::RunStarted, EventSeverity::Info, 100),
+            obs(EventKind::RunFinished, EventSeverity::Info, 110),
+        ])
+        .unwrap();
+        // Seals a segment whose zone has no AlertFired: the follower must
+        // cross the rollover without decoding it.
+        s.checkpoint().unwrap();
+        s.log_events(vec![obs(EventKind::AlertFired, EventSeverity::Page, 200)])
+            .unwrap();
+        s.sync().unwrap();
+        let evs = f.poll().unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::AlertFired);
+        assert_eq!(f.segments_pruned(), 1);
+        // Quiet follow-up poll: nothing new, nothing re-read.
+        assert!(f.poll().unwrap().is_empty());
+        assert_eq!(f.segments_pruned(), 1);
+        purge(&path);
     }
 }

@@ -159,6 +159,9 @@ fn replay_serial(
         let complete = line.ends_with('\n');
         if !line.trim().is_empty() {
             match serde_json::from_str::<WalEvent>(line.trim_end_matches('\n')) {
+                // Zone footers are segment metadata, not state events:
+                // skipped, and not counted as applied.
+                Ok(WalEvent::Zone { .. }) => {}
                 Ok(event) => {
                     apply(event)?;
                     out.events_applied += 1;
@@ -224,6 +227,9 @@ fn replay_parallel(
             let body = &line[..line.len() - 1];
             if !body.iter().all(|b| b.is_ascii_whitespace()) {
                 match serde_json::from_slice::<WalEvent>(body) {
+                    // Zone footers are metadata; drop them at parse time
+                    // so the apply stage never sees (or counts) them.
+                    Ok(WalEvent::Zone { .. }) => {}
                     Ok(event) => events.push(event),
                     Err(e) => {
                         return Parsed::Corrupt {
@@ -367,6 +373,7 @@ fn replay_parallel(
                 out.missing_final_newline = true;
             } else {
                 match serde_json::from_slice::<WalEvent>(&tail.bytes) {
+                    Ok(WalEvent::Zone { .. }) => out.missing_final_newline = true,
                     Ok(event) => {
                         apply(event).map_err(ReplayError::Store)?;
                         out.events_applied += 1;

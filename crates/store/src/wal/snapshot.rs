@@ -26,6 +26,7 @@
 //! back to replaying every sealed segment from scratch.
 
 use super::segment::{fsync_dir, sibling};
+use super::ZoneMap;
 use crate::error::Result;
 use crate::hash::fnv1a_64;
 use serde::{Deserialize, Serialize};
@@ -41,6 +42,17 @@ const MIN_LEN: usize = 8 + 4 + 8;
 /// Snapshot metadata, serialized as the JSON header.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct SnapshotHeader {
+    /// Header format version ([`super::ZONE_FORMAT_VERSION`] since zone
+    /// maps landed). Absent in pre-v2 snapshots, so it defaults to 0;
+    /// both additive fields are `#[serde(default)]`, which is what keeps
+    /// unversioned snapshots readable.
+    #[serde(default)]
+    pub format_version: u32,
+    /// Zone map over every folded record, letting cold journal readers
+    /// skip parsing the snapshot when their filter excludes it. `None` in
+    /// pre-v2 snapshots.
+    #[serde(default)]
+    pub zone: Option<ZoneMap>,
     /// Highest sealed segment sequence this snapshot covers: replay
     /// resumes at `covered_seq + 1`.
     pub covered_seq: u64,

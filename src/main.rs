@@ -21,10 +21,10 @@ use mltrace::core::{export_trace, Commands, Mltrace, TraceFormat};
 use mltrace::query::execute;
 use mltrace::store::deletion::delete_derived;
 use mltrace::store::retention::compact_older_than_days;
-use mltrace::store::wal::JournalFollower;
+use mltrace::store::wal::{read_journal, JournalFollower};
 use mltrace::store::{EventFilter, EventKind, EventSeverity, RunId, Store, WalStore};
 use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
-use mltrace::telemetry::TelemetrySnapshot;
+use mltrace::telemetry::{Telemetry, TelemetrySnapshot};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -44,13 +44,19 @@ COMMANDS
   review                     rank component runs across flagged traces
   stale [component]          staleness of the latest run(s)
   health                     one-screen pipeline health summary
-  tail [--limit <n>] [--kind <k>] [--severity <s>] [--follow]
-                             journal events; --follow streams new ones live
+  tail [--limit <n>] [--kind <k>] [--severity <s>]
+       [--since-ms <t>] [--until-ms <t>] [--follow]
+                             journal events, read cold from the log family
+                             (zone maps skip segments the filter excludes);
+                             --follow streams new ones live
   export-trace <run_id> [--format chrome|otlp-json] [--out <path>]
                              component-run tree as a loadable trace file
   telemetry [--prometheus]   the engine's own counters and latency histograms
   sql <query>                ad-hoc SQL over the log tables
-  stats                      record counts and on-disk WAL footprint
+  explain <query>            the plan for a SELECT (route, pushdown, pruning)
+                             without running it; same as sql \"EXPLAIN ...\"
+  stats                      record counts, on-disk WAL footprint, and
+                             secondary-index memory
   checkpoint                 snapshot state + seal the log for fast restarts
   compact --days <n>         fold runs older than n days into summaries
   delete-derived <output>    GDPR: purge everything derived from <output>
@@ -90,6 +96,13 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     // the WAL so the other commands have something real to query.
     if command == "demo" {
         return demo(&db, rest);
+    }
+
+    // `tail` reads the log family cold — snapshot zone, segment footers,
+    // active log — without opening the store, so a filtered tail skips
+    // whole sealed segments instead of replaying the full history first.
+    if command == "tail" {
+        return tail(&db, rest);
     }
 
     let store = Arc::new(WalStore::open(&db).map_err(|e| format!("open {db}: {e}"))?);
@@ -163,17 +176,6 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
                 .map_err(err)?;
             print!("{}", cmds.render_stale(&entries));
         }
-        "tail" => {
-            let (filter, limit, follow) = parse_tail_args(rest)?;
-            let events = store.scan_events(None, &filter, None).map_err(err)?;
-            let skip = events.len().saturating_sub(limit);
-            for e in &events[skip..] {
-                println!("{}", e.render_line());
-            }
-            if follow {
-                follow_journal(&db, &filter)?;
-            }
-        }
         "export-trace" => {
             let id: u64 = rest
                 .first()
@@ -232,6 +234,11 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             let result = execute(store.as_ref(), query).map_err(err)?;
             print!("{}", result.render());
         }
+        "explain" => {
+            let query = rest.first().ok_or("explain needs a query string")?;
+            let result = execute(store.as_ref(), &format!("EXPLAIN {query}")).map_err(err)?;
+            print!("{}", result.render());
+        }
         "stats" => {
             let s = store.stats().map_err(err)?;
             println!("components:    {}", s.components);
@@ -250,6 +257,12 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             );
             println!("snapshot:      {} bytes", fp.snapshot_bytes);
             println!("since ckpt:    {} events", fp.events_since_checkpoint);
+            for idx in store.index_footprint().map_err(err)? {
+                println!(
+                    "index {:<16} {} keys, {} entries, ~{} bytes",
+                    idx.name, idx.keys, idx.entries, idx.approx_bytes
+                );
+            }
         }
         "checkpoint" => {
             let report = store.checkpoint().map_err(err)?;
@@ -353,6 +366,16 @@ fn parse_tail_args(rest: &[String]) -> Result<(EventFilter, usize, bool), String
                 filter = filter.with_severity(sev);
                 i += 2;
             }
+            "--since-ms" => {
+                let t = parse_num(Some(rest.get(i + 1).ok_or("--since-ms needs a number")?), 0)?;
+                filter = filter.at_or_after(t as u64);
+                i += 2;
+            }
+            "--until-ms" => {
+                let t = parse_num(Some(rest.get(i + 1).ok_or("--until-ms needs a number")?), 0)?;
+                filter = filter.at_or_before(t as u64);
+                i += 2;
+            }
             "--follow" | "-f" => {
                 follow = true;
                 i += 1;
@@ -363,20 +386,52 @@ fn parse_tail_args(rest: &[String]) -> Result<(EventFilter, usize, bool), String
     Ok((filter, limit, follow))
 }
 
+/// `tail`: print the last `limit` matching journal events straight from
+/// the on-disk log family (snapshot, sealed segments, active log), without
+/// replaying the store. Zone maps let a filtered tail skip whole sealed
+/// segments — and the snapshot — without decoding them; the skip counts
+/// land in the telemetry sidecar as `wal.segments_pruned_total`.
+fn tail(db: &str, rest: &[String]) -> Result<(), String> {
+    let (filter, limit, follow) = parse_tail_args(rest)?;
+    let registry = Telemetry::new();
+    let read = read_journal(db, &filter, Some(limit), Some(&registry)).map_err(err)?;
+    for e in &read.events {
+        println!("{}", e.render_line());
+    }
+    if read.segments_pruned > 0 || read.snapshot_pruned {
+        eprintln!(
+            "(skipped {} of {} sealed segments{} via zone maps)",
+            read.segments_pruned,
+            read.segments_total,
+            if read.snapshot_pruned {
+                " and the snapshot"
+            } else {
+                ""
+            }
+        );
+    }
+    persist_telemetry(db, &registry.snapshot());
+    if follow {
+        follow_journal(db, &filter)?;
+    }
+    Ok(())
+}
+
 /// Stream newly-journaled events from the WAL until interrupted. Reads
 /// the log directly (no store locks), so it observes appends made by
 /// other mltrace processes, and follows the journal across checkpoint
 /// rollovers: when the active log is sealed into a segment mid-follow,
 /// the follower drains the rest of the segment before continuing into the
-/// fresh active log.
+/// fresh active log. Sealed segments whose zone footer excludes the
+/// filter are skipped without decoding.
 fn follow_journal(db: &str, filter: &EventFilter) -> Result<(), String> {
-    let mut follower = JournalFollower::from_end(db).map_err(err)?;
+    let mut follower = JournalFollower::from_end(db)
+        .map_err(err)?
+        .with_filter(filter.clone());
     loop {
         std::thread::sleep(std::time::Duration::from_millis(250));
         for e in follower.poll().map_err(err)? {
-            if filter.matches(&e) {
-                println!("{}", e.render_line());
-            }
+            println!("{}", e.render_line());
         }
     }
 }

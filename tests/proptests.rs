@@ -277,6 +277,122 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Secondary indexes: replay rebuild equals online maintenance
+// ---------------------------------------------------------------------
+
+/// Unique WAL path per proptest case, so shrinking reruns never collide.
+fn wal_case_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "mltrace-proptest-index-{}-{}.jsonl",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Remove the WAL family (active log, snapshot, segments) by prefix.
+fn purge_wal_family(base: &std::path::Path) {
+    let (Some(dir), Some(name)) = (base.parent(), base.file_name().and_then(|n| n.to_str())) else {
+        return;
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().starts_with(name) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+proptest! {
+    // WAL cases do real file I/O; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The secondary indexes a cold open rebuilds during replay (from any
+    /// snapshot/segment/tail mix, with deletions) are identical to the
+    /// ones maintained online: same stats, same footprints, same routed
+    /// scan results.
+    #[test]
+    fn replayed_indexes_match_online_maintenance(
+        runs in prop::collection::vec((0usize..4, 0u64..1000, 0usize..3), 1..40),
+        checkpoint_at in 0usize..40,
+        delete_every in 0usize..7,
+    ) {
+        use mltrace::store::wal::WalStore;
+        use mltrace::store::{IndexRoute, RunFilter, RunStatus};
+
+        let statuses = [RunStatus::Success, RunStatus::Failed, RunStatus::TriggerFailed];
+        let path = wal_case_path();
+        let online = WalStore::open(&path).unwrap();
+        let mut ids = Vec::new();
+        for (i, &(component, start, status)) in runs.iter().enumerate() {
+            if i == checkpoint_at {
+                online.checkpoint().unwrap();
+            }
+            let id = online
+                .log_run(ComponentRunRecord {
+                    component: format!("comp-{component}"),
+                    start_ms: start,
+                    end_ms: start + 5,
+                    status: statuses[status],
+                    ..Default::default()
+                })
+                .unwrap();
+            ids.push(id);
+        }
+        if delete_every > 0 {
+            let victims: Vec<_> = ids.iter().copied().step_by(delete_every).collect();
+            online.delete_runs(&victims).unwrap();
+        }
+        online.sync().unwrap();
+
+        let filters = [
+            RunFilter::all().with_component("comp-1"),
+            RunFilter::all().with_status(RunStatus::Failed),
+            RunFilter::all().started_at_or_after(250).started_at_or_before(750),
+            RunFilter::all().with_id_at_or_after(2).with_id_at_or_before(30),
+        ];
+        let routes = [
+            IndexRoute::Component,
+            IndexRoute::Status,
+            IndexRoute::StartTime,
+            IndexRoute::IdRange,
+        ];
+        let online_stats = online.index_stats().unwrap().unwrap();
+        let online_footprint = online.index_footprint().unwrap();
+        let mut online_scans = Vec::new();
+        for filter in &filters {
+            for route in routes {
+                online_scans.push(online.scan_runs_indexed(None, filter, None, route).unwrap());
+            }
+        }
+        drop(online);
+
+        let replayed = WalStore::open(&path).unwrap();
+        prop_assert_eq!(replayed.index_stats().unwrap().unwrap(), online_stats);
+        prop_assert_eq!(replayed.index_footprint().unwrap(), online_footprint);
+        let mut at = 0;
+        for filter in &filters {
+            let reference = replayed.scan_runs(None, filter, None).unwrap();
+            for route in routes {
+                let routed = replayed.scan_runs_indexed(None, filter, None, route).unwrap();
+                // Same routing decision and same rows as before the restart...
+                prop_assert_eq!(&routed, &online_scans[at], "route {:?} on {:?}", route, filter);
+                // ...and every applicable route agrees with the full scan.
+                if let Some(rows) = routed {
+                    prop_assert_eq!(&rows, &reference, "route {:?} on {:?}", route, filter);
+                }
+                at += 1;
+            }
+        }
+        drop(replayed);
+        purge_wal_family(&path);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Trace cycle-resistance under adversarial io reuse
 // ---------------------------------------------------------------------
 

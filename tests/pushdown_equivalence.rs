@@ -2,12 +2,18 @@
 //! pushdown executor ([`execute_query`]) must return exactly the same
 //! rows as the naive full-scan reference ([`execute_query_unoptimized`])
 //! across WHERE / LIMIT / ORDER BY / DISTINCT combinations, on both the
-//! in-memory store and a live WAL-backed store.
+//! in-memory store and a live WAL-backed store. A third axis pins the
+//! index-backed executor ([`execute_query_with_route`] with `ForceIndex`)
+//! against both, so the secondary-index lookup path can never drift from
+//! the scan semantics however the planner routes.
 //!
 //! [`execute_query`]: mltrace::query::execute_query
 //! [`execute_query_unoptimized`]: mltrace::query::execute_query_unoptimized
+//! [`execute_query_with_route`]: mltrace::query::execute_query_with_route
 
-use mltrace::query::{execute_query, execute_query_unoptimized, parse};
+use mltrace::query::{
+    execute_query, execute_query_unoptimized, execute_query_with_route, parse, RoutePreference,
+};
 use mltrace::store::{
     ComponentRecord, ComponentRunRecord, EventKind, EventSeverity, IncidentRecord, IncidentState,
     MemoryStore, MetricRecord, ObservabilityEvent, RunId, RunStatus, Store, WalStore,
@@ -127,7 +133,9 @@ fn seed(store: &dyn Store) {
     }
 }
 
-/// Assert optimized == reference for every query, labeling failures.
+/// Assert optimized == reference for every query, labeling failures. The
+/// three paths — naive full scan, scan-pushdown, index-backed — must agree
+/// row for row.
 fn assert_equivalent(store: &dyn Store, queries: &[String]) {
     for sql in queries {
         let q = parse(sql).unwrap_or_else(|e| panic!("parse failed for {sql}: {e}"));
@@ -136,6 +144,18 @@ fn assert_equivalent(store: &dyn Store, queries: &[String]) {
         let slow = execute_query_unoptimized(store, &q)
             .unwrap_or_else(|e| panic!("reference failed for {sql}: {e}"));
         assert_eq!(fast, slow, "pushdown diverged from reference for: {sql}");
+        let indexed = execute_query_with_route(store, &q, RoutePreference::ForceIndex)
+            .unwrap_or_else(|e| panic!("index path failed for {sql}: {e}"));
+        assert_eq!(
+            indexed, slow,
+            "index path diverged from reference for: {sql}"
+        );
+        let scanned = execute_query_with_route(store, &q, RoutePreference::ForceScan)
+            .unwrap_or_else(|e| panic!("forced scan failed for {sql}: {e}"));
+        assert_eq!(
+            scanned, slow,
+            "forced scan diverged from reference for: {sql}"
+        );
     }
 }
 
@@ -265,17 +285,19 @@ fn pushdown_equivalence_wal_store() {
 }
 
 #[test]
-fn selective_scan_reads_many_returns_few() {
+fn selective_query_routes_through_index_and_scans_10x_fewer() {
+    // 64 components × 32 runs each: selective enough that the planner's
+    // `est × 4 ≤ runs` threshold picks the component index on its own.
     let store = MemoryStore::new();
-    for name in (0..10).map(|i| format!("c{i}")) {
+    for name in (0..64).map(|i| format!("c{i}")) {
         store
             .register_component(ComponentRecord::named(&name))
             .unwrap();
     }
-    for i in 0u64..1_000 {
+    for i in 0u64..2_048 {
         store
             .log_run(ComponentRunRecord {
-                component: format!("c{}", i % 10),
+                component: format!("c{}", i % 64),
                 start_ms: i,
                 end_ms: i + 1,
                 ..Default::default()
@@ -283,18 +305,32 @@ fn selective_scan_reads_many_returns_few() {
             .unwrap();
     }
     let q = parse("SELECT * FROM component_runs WHERE component = 'c3'").unwrap();
-    let r = execute_query(&store, &q).unwrap();
-    assert_eq!(r.rows.len(), 100);
+
+    // Reference: the forced shard scan examines every live run.
+    let scan = execute_query_with_route(&store, &q, RoutePreference::ForceScan).unwrap();
+    assert_eq!(scan.rows.len(), 32);
+    let scan_rows = store.telemetry().unwrap().snapshot().counters["query.rows_scanned"];
+    assert_eq!(scan_rows, 2_048, "forced scan examines the whole table");
+
+    // Auto routes through by_component: only the posting list is examined.
+    let auto = execute_query(&store, &q).unwrap();
+    assert_eq!(auto, scan, "index route must not change results");
     let snap = store.telemetry().unwrap().snapshot();
-    let scanned = snap.counters["query.rows_scanned"];
-    let returned = snap.counters["query.rows_returned"];
-    assert_eq!(returned, 100);
+    let index_rows = snap.counters["query.rows_scanned"] - scan_rows;
+    assert_eq!(index_rows, 32, "index examines only the posting list");
     assert!(
-        scanned >= 5 * returned,
-        "selective filter should examine ≥5× more rows than it clones \
-         (scanned {scanned}, returned {returned})"
+        scan_rows >= 10 * index_rows,
+        "index path must scan ≥10× fewer rows (scan {scan_rows}, index {index_rows})"
     );
-    assert_eq!(snap.counters["query.pushdown.filters_total"], 1);
+    assert_eq!(snap.counters["query.index_hits_total"], 1);
+    assert_eq!(
+        snap.counters
+            .get("query.index_misses_total")
+            .copied()
+            .unwrap_or(0),
+        0,
+        "the chosen route was applicable, so no store-side fallback"
+    );
 }
 
 /// Regression for the old O(n²) DISTINCT: 10k all-unique projected rows
