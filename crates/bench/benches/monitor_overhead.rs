@@ -1,0 +1,95 @@
+//! E15 — what the always-on monitoring plane costs at ingest time:
+//! `log_run_bundle` throughput with the plane disabled (ablation
+//! baseline) vs enabled (default 256-point windows), single-writer and
+//! under 16 contending writer threads.
+//!
+//! Every bundle carries a realistic per-run metric payload, so the
+//! enabled variant pays the full path: per-point streaming moments +
+//! three P² quantiles + window bookkeeping, plus journaling the scored
+//! window roll-overs the workload triggers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mltrace_bench::{prediction_record, uniform};
+use mltrace_metrics::MonitorConfig;
+use mltrace_store::{MemoryStore, MetricRecord, RunBundle, Store};
+use std::hint::black_box;
+
+const TOTAL: u64 = 8_000;
+const POINTS_PER_RUN: usize = 8;
+
+fn bundle(i: u64, values: &[f64]) -> RunBundle {
+    let run = prediction_record(i);
+    let metrics = (0..POINTS_PER_RUN)
+        .map(|j| MetricRecord {
+            component: run.component.clone(),
+            run_id: None,
+            name: "prediction".into(),
+            value: values[(i as usize * POINTS_PER_RUN + j) % values.len()],
+            ts_ms: run.start_ms,
+        })
+        .collect();
+    RunBundle {
+        run,
+        pointers: Vec::new(),
+        metrics,
+        events: Vec::new(),
+    }
+}
+
+/// Drive `TOTAL` bundles through `store` from `threads` writers.
+fn bundles_threads(store: &MemoryStore, threads: u64, values: &[f64]) {
+    let per_thread = TOTAL / threads;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for i in t * per_thread..(t + 1) * per_thread {
+                    store.log_run_bundle(bundle(i, values)).unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn monitor_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E15/monitor_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TOTAL));
+    let values = uniform(4096, 42);
+    let variants = [
+        (
+            "plane_off",
+            MonitorConfig {
+                enabled: false,
+                ..MonitorConfig::default()
+            },
+        ),
+        ("plane_on", MonitorConfig::default()),
+    ];
+    for &threads in &[1u64, 16] {
+        for (name, config) in &variants {
+            group.bench_with_input(BenchmarkId::new(*name, threads), &threads, |b, &t| {
+                b.iter(|| {
+                    let store = MemoryStore::with_monitor_config(config.clone());
+                    bundles_threads(&store, t, &values);
+                    black_box(store.stats().unwrap().runs)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Shared criterion config matching the rest of the suite: short windows
+/// keep CI runnable while remaining stable on these workloads.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = monitor_overhead
+}
+criterion_main!(benches);

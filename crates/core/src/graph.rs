@@ -61,25 +61,21 @@ impl GraphCache {
         if let Some(seen) = self.last_seen {
             let filter = RunFilter::default().with_id_at_or_after(seen.0 + 1);
             let mut cursor = Some(seen);
-            loop {
-                match store.scan_runs_indexed(
-                    cursor,
-                    &filter,
-                    Some(REFRESH_CHUNK),
-                    IndexRoute::IdRange,
-                )? {
-                    Some(batch) => {
-                        let full = batch.len() == REFRESH_CHUNK;
-                        for run in &batch {
-                            self.apply(run);
-                        }
-                        cursor = self.last_seen;
-                        if !full {
-                            return Ok(());
-                        }
-                    }
-                    // The store keeps no indexes: batched scan below.
-                    None => break,
+            // A `None` batch means the store keeps no indexes: fall
+            // through to the batched scan below.
+            while let Some(batch) = store.scan_runs_indexed(
+                cursor,
+                &filter,
+                Some(REFRESH_CHUNK),
+                IndexRoute::IdRange,
+            )? {
+                let full = batch.len() == REFRESH_CHUNK;
+                for run in &batch {
+                    self.apply(run);
+                }
+                cursor = self.last_seen;
+                if !full {
+                    return Ok(());
                 }
             }
         }

@@ -54,7 +54,7 @@ impl DriftMethod {
 
 /// Decision thresholds. Defaults follow common practice: α = 0.01 for
 /// tests, PSI 0.25 ("major shift"), KL 0.1, 25% median movement.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DriftConfig {
     /// Significance level for KS and mean-shift tests.
     pub alpha: f64,

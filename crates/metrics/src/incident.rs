@@ -156,6 +156,13 @@ impl IncidentManager {
         }
     }
 
+    /// Adopt an incident rebuilt from durable state (e.g. after a store
+    /// restart), so subsequent fires under its key dedup into it instead
+    /// of opening a duplicate cycle.
+    pub fn adopt(&mut self, incident: Incident) {
+        self.incidents.insert(incident.key.clone(), incident);
+    }
+
     /// Mark an open incident as seen by a human.
     pub fn acknowledge(&mut self, key: &str) -> IncidentChange {
         match self.incidents.get_mut(key) {

@@ -29,6 +29,7 @@ pub mod drift;
 pub mod histogram;
 pub mod incident;
 pub mod mlmetrics;
+pub mod plane;
 pub mod quantile;
 pub mod reservoir;
 pub mod sla;
@@ -47,6 +48,7 @@ pub use drift::{DriftConfig, DriftDetector, DriftFinding, DriftMethod};
 pub use histogram::Histogram;
 pub use incident::{Incident, IncidentChange, IncidentManager, IncidentPhase};
 pub use mlmetrics::{brier_score, log_loss, mae, mse, r2, rmse, roc_auc, ConfusionMatrix};
+pub use plane::{DriftScore, MonitorConfig, MonitorPlane, MonitorSummary, WindowRoll};
 pub use quantile::{exact_median, exact_quantile, P2Quantile};
 pub use reservoir::Reservoir;
 pub use sla::{Aggregation, Comparator, Sla, SlaStatus};

@@ -1,0 +1,534 @@
+//! The always-on monitoring plane: streaming per-(component, metric)
+//! window summaries with drift scoring.
+//!
+//! §3–4 of the paper envision *continuous* observability — distributional
+//! summaries and label-free drift signals maintained on every logged
+//! metric point, not recomputed by post-hoc queries. [`MonitorPlane`] is
+//! that substrate: a registry keyed by `(component, metric)` where each
+//! key accumulates lifetime streaming statistics ([`StreamingMoments`],
+//! three [`P2Quantile`] markers, a null counter) and a bounded *current
+//! window* of raw values. Windows roll over by count and/or by time
+//! horizon; the first adequately-sized window is frozen as the drift
+//! reference ([`DriftDetector::fit`]), and every subsequent roll-over is
+//! scored against it with [`DriftDetector::check_all`].
+//!
+//! The plane is deliberately a pure state machine: `observe` consumes
+//! `(component, metric, value, ts_ms)` tuples and *returns* the window
+//! roll-overs it caused — it never journals, alerts, or looks at a wall
+//! clock. Roll-over is driven entirely by the data (point counts and
+//! record timestamps), which is what makes the state a deterministic
+//! function of the per-key observation sequence: replaying the same
+//! metric records through a fresh plane reproduces the same summaries,
+//! bit for bit. The store layer feeds the plane on every ingest batch and
+//! routes the returned [`WindowRoll`]s into the journal / alerting /
+//! incident machinery; WAL replay feeds the same records and discards the
+//! rolls (their side effects were journaled when they happened online).
+
+use crate::desc::StreamingMoments;
+use crate::drift::{DriftConfig, DriftDetector, DriftFinding};
+use crate::quantile::P2Quantile;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Window lifecycle and drift-scoring knobs for a [`MonitorPlane`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Whether the plane accumulates at all. A disabled plane makes
+    /// `observe` a no-op (the E15 ablation baseline).
+    pub enabled: bool,
+    /// Roll the current window once it holds this many observations
+    /// (finite or not). 0 disables count-based roll-over.
+    pub window_count: usize,
+    /// Roll the current window when a point arrives at or past
+    /// `window_start_ms + time_horizon_ms`. 0 disables time-based
+    /// roll-over. Timestamps come from the records themselves, never from
+    /// a wall clock, so replay rolls identically.
+    pub time_horizon_ms: u64,
+    /// Minimum finite values a window needs to be frozen as the drift
+    /// reference or scored against it. Guards [`DriftDetector::fit`]
+    /// (which rejects empty references) and keeps tiny windows from
+    /// producing noise scores.
+    pub min_samples: usize,
+    /// Thresholds for the drift detector fitted on the reference window.
+    pub drift: DriftConfig,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            enabled: true,
+            window_count: 256,
+            time_horizon_ms: 0,
+            min_samples: 32,
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+/// Drift verdict attached to a [`WindowRoll`] once a reference exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftScore {
+    /// Largest score among methods that crossed their threshold; 0.0 when
+    /// no method drifted, so `score > 0.0 ⇔ drifted`.
+    pub score: f64,
+    /// Name of the scoring method (`mean_shift`, `psi`, …): the
+    /// max-scoring drifted method, or the max-scoring method overall when
+    /// nothing drifted.
+    pub method: String,
+    /// Whether any method crossed its threshold.
+    pub drifted: bool,
+    /// Every method's finding, for journal payloads and debugging.
+    pub findings: Vec<DriftFinding>,
+    /// Finite values in the frozen reference window.
+    pub reference_points: u64,
+}
+
+/// One completed window, returned from [`MonitorPlane::observe`] so the
+/// caller can journal / alert on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRoll {
+    /// Component the metric belongs to.
+    pub component: String,
+    /// Metric series name.
+    pub metric: String,
+    /// 1-based index of the window that just completed.
+    pub window: u64,
+    /// Timestamp of the observation that triggered the roll.
+    pub ts_ms: u64,
+    /// Finite values the completed window held.
+    pub points: usize,
+    /// Drift verdict; `None` when the roll froze the reference (first
+    /// adequate window) or the window was too small to score.
+    pub score: Option<DriftScore>,
+}
+
+/// Point-in-time summary of one `(component, metric)` key, the row shape
+/// behind the `summaries` SQL table and `mltrace monitor`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSummary {
+    /// Component the metric belongs to.
+    pub component: String,
+    /// Metric series name.
+    pub metric: String,
+    /// Completed windows so far.
+    pub windows: u64,
+    /// Lifetime finite observations.
+    pub count: u64,
+    /// Lifetime mean.
+    pub mean: f64,
+    /// Lifetime population variance.
+    pub variance: f64,
+    /// Lifetime minimum.
+    pub min: f64,
+    /// Lifetime maximum.
+    pub max: f64,
+    /// Streaming (P²) quantile estimates.
+    pub p50: f64,
+    /// 95th percentile estimate.
+    pub p95: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+    /// Non-finite observations / all observations, lifetime.
+    pub null_rate: f64,
+    /// Finite values in the in-progress window.
+    pub window_points: usize,
+    /// Finite values in the frozen reference window; 0 until frozen.
+    pub reference_points: u64,
+    /// Score of the most recent drift evaluation (0.0 when it found no
+    /// drift, or nothing has been scored yet).
+    pub drift_score: f64,
+    /// Method behind `drift_score`; empty until something is scored.
+    pub drift_method: String,
+    /// Timestamp of the newest observation.
+    pub last_ts_ms: u64,
+}
+
+/// Per-key streaming state. Everything here is a deterministic function
+/// of the key's observation sequence.
+#[derive(Debug, Clone)]
+struct KeyState {
+    moments: StreamingMoments,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+    observations: u64,
+    nulls: u64,
+    window: Vec<f64>,
+    window_observations: usize,
+    window_start_ms: u64,
+    windows_rolled: u64,
+    reference: Option<DriftDetector>,
+    reference_points: u64,
+    last_score: f64,
+    last_method: String,
+    last_ts_ms: u64,
+}
+
+impl KeyState {
+    fn new() -> Self {
+        KeyState {
+            moments: StreamingMoments::new(),
+            p50: P2Quantile::median(),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+            observations: 0,
+            nulls: 0,
+            window: Vec::new(),
+            window_observations: 0,
+            window_start_ms: 0,
+            windows_rolled: 0,
+            reference: None,
+            reference_points: 0,
+            last_score: 0.0,
+            last_method: String::new(),
+            last_ts_ms: 0,
+        }
+    }
+
+    /// Complete the current window: score it against the reference when
+    /// one exists, freeze it as the reference otherwise (first adequate
+    /// window), then reset for the next window.
+    fn roll(
+        &mut self,
+        config: &MonitorConfig,
+        ts_ms: u64,
+    ) -> Option<(u64, usize, Option<DriftScore>)> {
+        if self.window_observations == 0 {
+            return None;
+        }
+        let points = self.window.len();
+        let score = match &self.reference {
+            Some(det) if points >= config.min_samples => {
+                let findings = det.check_all(&self.window);
+                let best_drifted = findings
+                    .iter()
+                    .filter(|f| f.drifted)
+                    .max_by(|a, b| a.score.total_cmp(&b.score));
+                let best_any = findings.iter().max_by(|a, b| a.score.total_cmp(&b.score));
+                let (score, method, drifted) = match (best_drifted, best_any) {
+                    (Some(f), _) => (f.score, f.method.name().to_string(), true),
+                    (None, Some(f)) => (0.0, f.method.name().to_string(), false),
+                    (None, None) => (0.0, String::new(), false),
+                };
+                Some(DriftScore {
+                    score,
+                    method,
+                    drifted,
+                    findings,
+                    reference_points: self.reference_points,
+                })
+            }
+            Some(_) => None, // window too small to score
+            None => {
+                // Reference-freeze semantics: the first window with
+                // enough finite values becomes the reference, forever.
+                if points >= config.min_samples {
+                    self.reference = Some(DriftDetector::fit(&self.window, config.drift));
+                    self.reference_points = points as u64;
+                }
+                None
+            }
+        };
+        if let Some(s) = &score {
+            self.last_score = if s.drifted { s.score } else { 0.0 };
+            self.last_method = s.method.clone();
+        }
+        self.windows_rolled += 1;
+        self.window.clear();
+        self.window_observations = 0;
+        self.window_start_ms = ts_ms;
+        Some((self.windows_rolled, points, score))
+    }
+
+    fn summary(&self, component: &str, metric: &str) -> MonitorSummary {
+        MonitorSummary {
+            component: component.to_string(),
+            metric: metric.to_string(),
+            windows: self.windows_rolled,
+            count: self.moments.count(),
+            mean: self.moments.mean(),
+            variance: self.moments.variance(),
+            min: self.moments.min(),
+            max: self.moments.max(),
+            p50: self.p50.value(),
+            p95: self.p95.value(),
+            p99: self.p99.value(),
+            null_rate: if self.observations == 0 {
+                0.0
+            } else {
+                self.nulls as f64 / self.observations as f64
+            },
+            window_points: self.window.len(),
+            reference_points: self.reference_points,
+            drift_score: self.last_score,
+            drift_method: self.last_method.clone(),
+            last_ts_ms: self.last_ts_ms,
+        }
+    }
+}
+
+/// Registry of per-(component, metric) streaming summaries. Shareable
+/// across threads; one lock per `observe_batch` call.
+#[derive(Debug)]
+pub struct MonitorPlane {
+    config: MonitorConfig,
+    keys: Mutex<BTreeMap<(String, String), KeyState>>,
+}
+
+impl Default for MonitorPlane {
+    fn default() -> Self {
+        Self::new(MonitorConfig::default())
+    }
+}
+
+impl MonitorPlane {
+    /// Plane with the given window/drift configuration.
+    pub fn new(config: MonitorConfig) -> Self {
+        MonitorPlane {
+            config,
+            keys: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether the plane accumulates observations.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The plane's configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Feed one observation; returns the window roll it triggered, if any.
+    pub fn observe(
+        &self,
+        component: &str,
+        metric: &str,
+        value: f64,
+        ts_ms: u64,
+    ) -> Option<WindowRoll> {
+        let mut rolls = self.observe_batch([(component, metric, value, ts_ms)]);
+        rolls.pop()
+    }
+
+    /// Feed a batch of observations under one lock; returns every window
+    /// roll the batch triggered, in feed order.
+    pub fn observe_batch<'a, I>(&self, batch: I) -> Vec<WindowRoll>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str, f64, u64)>,
+    {
+        if !self.config.enabled {
+            return Vec::new();
+        }
+        let mut rolls = Vec::new();
+        let mut keys = self.keys.lock().unwrap_or_else(|p| p.into_inner());
+        for (component, metric, value, ts_ms) in batch {
+            let state = keys
+                .entry((component.to_string(), metric.to_string()))
+                .or_insert_with(KeyState::new);
+            if state.window_observations == 0 {
+                state.window_start_ms = ts_ms;
+            }
+            // Time-based roll happens *before* the new point joins, so a
+            // point past the horizon closes the old window and opens the
+            // next one.
+            if self.config.time_horizon_ms > 0
+                && ts_ms
+                    >= state
+                        .window_start_ms
+                        .saturating_add(self.config.time_horizon_ms)
+            {
+                if let Some((window, points, score)) = state.roll(&self.config, ts_ms) {
+                    rolls.push(WindowRoll {
+                        component: component.to_string(),
+                        metric: metric.to_string(),
+                        window,
+                        ts_ms,
+                        points,
+                        score,
+                    });
+                }
+            }
+            state.observations += 1;
+            state.last_ts_ms = state.last_ts_ms.max(ts_ms);
+            state.window_observations += 1;
+            if value.is_finite() {
+                state.moments.push(value);
+                state.p50.push(value);
+                state.p95.push(value);
+                state.p99.push(value);
+                state.window.push(value);
+            } else {
+                state.nulls += 1;
+            }
+            if self.config.window_count > 0 && state.window_observations >= self.config.window_count
+            {
+                if let Some((window, points, score)) = state.roll(&self.config, ts_ms) {
+                    rolls.push(WindowRoll {
+                        component: component.to_string(),
+                        metric: metric.to_string(),
+                        window,
+                        ts_ms,
+                        points,
+                        score,
+                    });
+                }
+            }
+        }
+        rolls
+    }
+
+    /// Summaries for every key, ordered by (component, metric).
+    pub fn summaries(&self) -> Vec<MonitorSummary> {
+        let keys = self.keys.lock().unwrap_or_else(|p| p.into_inner());
+        keys.iter().map(|((c, m), s)| s.summary(c, m)).collect()
+    }
+
+    /// Summary for one key, if it has been observed.
+    pub fn summary(&self, component: &str, metric: &str) -> Option<MonitorSummary> {
+        let keys = self.keys.lock().unwrap_or_else(|p| p.into_inner());
+        keys.get(&(component.to_string(), metric.to_string()))
+            .map(|s| s.summary(component, metric))
+    }
+
+    /// Number of tracked (component, metric) keys.
+    pub fn key_count(&self) -> usize {
+        self.keys.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> MonitorConfig {
+        MonitorConfig {
+            window_count: 8,
+            min_samples: 4,
+            ..MonitorConfig::default()
+        }
+    }
+
+    fn feed(plane: &MonitorPlane, values: &[f64]) -> Vec<WindowRoll> {
+        let mut rolls = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            rolls.extend(plane.observe("infer", "score", v, i as u64));
+        }
+        rolls
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate() {
+        let plane = MonitorPlane::new(tiny_config());
+        feed(&plane, &[1.0, 2.0, 3.0, 4.0, f64::NAN]);
+        let s = plane.summary("infer", "score").unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.null_rate - 0.2).abs() < 1e-12);
+        assert_eq!(s.windows, 0);
+        assert_eq!(s.window_points, 4);
+    }
+
+    #[test]
+    fn first_adequate_window_freezes_reference() {
+        let plane = MonitorPlane::new(tiny_config());
+        let rolls = feed(&plane, &[1.0, 2.0, 1.5, 2.5, 1.0, 2.0, 1.5, 2.5]);
+        assert_eq!(rolls.len(), 1);
+        assert_eq!(rolls[0].window, 1);
+        assert_eq!(rolls[0].points, 8);
+        assert!(rolls[0].score.is_none(), "reference freeze is not scored");
+        let s = plane.summary("infer", "score").unwrap();
+        assert_eq!(s.reference_points, 8);
+    }
+
+    #[test]
+    fn shifted_window_scores_drift() {
+        let plane = MonitorPlane::new(MonitorConfig {
+            window_count: 32,
+            min_samples: 16,
+            ..MonitorConfig::default()
+        });
+        let base: Vec<f64> = (0..32).map(|i| (i % 8) as f64 * 0.1).collect();
+        let shifted: Vec<f64> = base.iter().map(|v| v + 50.0).collect();
+        assert_eq!(feed(&plane, &base).len(), 1, "reference window");
+        let rolls = feed(&plane, &shifted);
+        assert_eq!(rolls.len(), 1);
+        let score = rolls[0].score.as_ref().expect("scored against reference");
+        assert!(score.drifted, "{score:?}");
+        assert!(score.score > 0.0);
+        assert!(!score.method.is_empty());
+        let s = plane.summary("infer", "score").unwrap();
+        assert!(s.drift_score > 0.0);
+        assert_eq!(s.drift_method, score.method);
+    }
+
+    #[test]
+    fn stable_window_scores_zero() {
+        let plane = MonitorPlane::new(MonitorConfig {
+            window_count: 32,
+            min_samples: 16,
+            ..MonitorConfig::default()
+        });
+        let base: Vec<f64> = (0..64).map(|i| (i % 8) as f64 * 0.1).collect();
+        let rolls = feed(&plane, &base);
+        assert_eq!(rolls.len(), 2);
+        let score = rolls[1].score.as_ref().expect("second window is scored");
+        assert!(!score.drifted);
+        assert_eq!(score.score, 0.0, "undrifted windows report score 0");
+        assert_eq!(plane.summary("infer", "score").unwrap().drift_score, 0.0);
+    }
+
+    #[test]
+    fn time_horizon_rolls_windows() {
+        let plane = MonitorPlane::new(MonitorConfig {
+            window_count: 0,
+            time_horizon_ms: 100,
+            min_samples: 2,
+            ..MonitorConfig::default()
+        });
+        let mut rolls = Vec::new();
+        for (ts, v) in [(0u64, 1.0), (50, 2.0), (99, 3.0), (100, 4.0), (150, 5.0)] {
+            rolls.extend(plane.observe("c", "m", v, ts));
+        }
+        assert_eq!(rolls.len(), 1, "point at ts=100 closes the [0,100) window");
+        assert_eq!(rolls[0].points, 3);
+        let s = plane.summary("c", "m").unwrap();
+        assert_eq!(s.window_points, 2, "ts 100 and 150 are in the new window");
+    }
+
+    #[test]
+    fn disabled_plane_is_inert() {
+        let plane = MonitorPlane::new(MonitorConfig {
+            enabled: false,
+            ..tiny_config()
+        });
+        assert!(feed(&plane, &[1.0; 64]).is_empty());
+        assert_eq!(plane.key_count(), 0);
+        assert!(plane.summary("infer", "score").is_none());
+    }
+
+    #[test]
+    fn replay_reproduces_state_exactly() {
+        // The determinism contract the WAL replay relies on: feeding the
+        // same per-key sequence to a fresh plane reproduces the summary
+        // bit for bit, regardless of batch boundaries.
+        let values: Vec<f64> = (0..1000)
+            .map(|i| ((i * 7919) % 1000) as f64 / 250.0 + if i > 700 { 5.0 } else { 0.0 })
+            .collect();
+        let online = MonitorPlane::new(tiny_config());
+        for (i, &v) in values.iter().enumerate() {
+            online.observe("c", "m", v, i as u64);
+        }
+        let replayed = MonitorPlane::new(tiny_config());
+        replayed.observe_batch(
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ("c", "m", v, i as u64)),
+        );
+        assert_eq!(online.summaries(), replayed.summaries());
+    }
+}

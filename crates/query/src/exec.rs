@@ -5,11 +5,11 @@ use crate::ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
 use crate::parser::{parse, ParseError};
 use crate::plan::{
     choose_run_route, choose_run_route_forced, plan_event_scan, plan_metric_scan, plan_run_scan,
-    ScanRoute,
+    plan_summary_scan, ScanRoute,
 };
 use mltrace_store::schema::{
-    column_index, run_row, scan, scan_events_rows, scan_metrics_rows, scan_runs_rows, table_schema,
-    Row, Table,
+    column_index, run_row, scan, scan_events_rows, scan_metrics_rows, scan_runs_rows,
+    scan_summary_rows, table_schema, Row, Table,
 };
 use mltrace_store::{EventFilter, RunFilter, Store, StoreError, Value};
 use std::cmp::Ordering;
@@ -289,6 +289,18 @@ fn execute_query_inner(
                 }
                 (scan_events_rows(store, &plan.filter, limit)?, plan.residual)
             }
+            Table::Summaries => {
+                let plan = plan_summary_scan(query.where_clause.as_ref());
+                if let Some(t) = tele {
+                    if plan.component.is_some() || plan.metric.is_some() {
+                        t.incr("query.pushdown.filters_total");
+                    }
+                }
+                (
+                    scan_summary_rows(store, plan.component.as_deref(), plan.metric.as_deref())?,
+                    plan.residual,
+                )
+            }
             other => (scan(store, other)?, query.where_clause.clone()),
         }
     } else {
@@ -461,6 +473,30 @@ pub fn explain_query(store: &dyn Store, query: &Query) -> Result<QueryResult, Qu
             if let Some((pruned, total)) = store.prunable_segments(&plan.filter)? {
                 push("prunable_segments", format!("{pruned} of {total}"));
             }
+        }
+        Table::Summaries => {
+            let plan = plan_summary_scan(query.where_clause.as_ref());
+            push("route", "monitor-plane".to_owned());
+            let mut parts = Vec::new();
+            if let Some(c) = &plan.component {
+                parts.push(format!("component={c}"));
+            }
+            if let Some(m) = &plan.metric {
+                parts.push(format!("metric={m}"));
+            }
+            push(
+                "pushed_filter",
+                if parts.is_empty() {
+                    "all".to_owned()
+                } else {
+                    parts.join(", ")
+                },
+            );
+            push(
+                "residual_conjuncts",
+                conjunct_count(plan.residual.as_ref()).to_string(),
+            );
+            push("pushed_limit", "none".to_owned());
         }
         _ => {
             push("route", "scan".to_owned());
@@ -1729,6 +1765,64 @@ mod tests {
             execute(&s, "EXPLAIN SELECT nope FROM components"),
             Err(QueryError::UnknownColumn(_))
         ));
+    }
+
+    #[test]
+    fn summaries_query_reads_plane_and_pushdown_matches_naive() {
+        let s = seeded();
+        // Three accuracy points went through the plane.
+        let r = execute(
+            &s,
+            "SELECT component, metric, count, mean FROM summaries \
+             WHERE component = 'infer' AND metric = 'accuracy'",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::from("infer"));
+        assert_eq!(r.rows[0][1], Value::from("accuracy"));
+        assert_eq!(r.rows[0][2], Value::Int(3));
+        let mean = r.rows[0][3].as_f64().unwrap();
+        assert!((mean - 0.7833333).abs() < 1e-5);
+        // Pushed and naive paths agree row for row.
+        let q = parse("SELECT * FROM summaries WHERE component = 'infer'").unwrap();
+        assert_eq!(
+            execute_query(&s, &q).unwrap(),
+            execute_query_unoptimized(&s, &q).unwrap()
+        );
+        // Nothing drifted yet: the residual drift filter drops the row.
+        let r = execute(&s, "SELECT * FROM summaries WHERE drift_score > 0").unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn explain_covers_summaries_and_events_kind_index_route() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "EXPLAIN SELECT * FROM summaries WHERE component = 'infer' \
+             AND metric = 'accuracy' AND drift_score > 0",
+        )
+        .unwrap();
+        let m = explain_map(&r);
+        assert_eq!(m["table"], "summaries");
+        assert_eq!(m["route"], "monitor-plane");
+        assert_eq!(m["pushed_filter"], "component=infer, metric=accuracy");
+        assert_eq!(m["residual_conjuncts"], "1");
+        assert_eq!(m["pushed_limit"], "none");
+        // No pushable conjunct at all: the whole clause stays residual.
+        let r = execute(&s, "EXPLAIN SELECT * FROM summaries WHERE count > 10").unwrap();
+        let m = explain_map(&r);
+        assert_eq!(m["pushed_filter"], "all");
+        assert_eq!(m["residual_conjuncts"], "1");
+
+        // A kind-only equality takes the event-kind index on an indexed
+        // store; a severity-only one cannot.
+        let r = execute(&s, "EXPLAIN SELECT * FROM events WHERE kind = 'run_failed'").unwrap();
+        assert_eq!(explain_map(&r)["route"], "index(event_kind)");
+        let r = execute(&s, "EXPLAIN SELECT * FROM events WHERE severity = 'page'").unwrap();
+        let m = explain_map(&r);
+        assert_eq!(m["route"], "scan");
+        assert_eq!(m["pushed_filter"], "severity=page");
     }
 
     #[test]

@@ -50,6 +50,17 @@ pub struct MetricScanPlan {
     pub residual: Option<Expr>,
 }
 
+/// Pushdown plan for a `summaries` (monitoring plane) scan.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryScanPlan {
+    /// Restrict to one component's keys.
+    pub component: Option<String>,
+    /// Restrict to one metric name.
+    pub metric: Option<String>,
+    /// Conjuncts the scan cannot evaluate.
+    pub residual: Option<Expr>,
+}
+
 /// Pushdown plan for an `events` (journal) scan.
 #[derive(Debug, Clone, Default)]
 pub struct EventScanPlan {
@@ -192,6 +203,43 @@ pub fn plan_metric_scan(where_clause: Option<&Expr>) -> MetricScanPlan {
             Some(("component", BinOp::Eq, Value::Str(s))) => match &plan.component {
                 None => {
                     plan.component = Some(s.clone());
+                    true
+                }
+                Some(existing) => existing == s,
+            },
+            _ => false,
+        };
+        if !absorbed {
+            residual.push(conjunct);
+        }
+    }
+    plan.residual = rejoin(residual);
+    plan
+}
+
+/// Plan a `summaries` scan for `where_clause`: `component` and `metric`
+/// string-equality conjuncts push into the plane snapshot's restriction,
+/// under the same exactness rules as [`plan_metric_scan`]. Everything
+/// else (drift_score ranges, etc.) stays residual — the plane snapshot is
+/// small (one row per key), so only the key restriction is worth pushing.
+pub fn plan_summary_scan(where_clause: Option<&Expr>) -> SummaryScanPlan {
+    let mut plan = SummaryScanPlan::default();
+    let Some(clause) = where_clause else {
+        return plan;
+    };
+    let mut residual: Vec<&Expr> = Vec::new();
+    for conjunct in clause.conjuncts() {
+        let absorbed = match as_column_cmp(conjunct) {
+            Some(("component", BinOp::Eq, Value::Str(s))) => match &plan.component {
+                None => {
+                    plan.component = Some(s.clone());
+                    true
+                }
+                Some(existing) => existing == s,
+            },
+            Some(("metric", BinOp::Eq, Value::Str(s))) => match &plan.metric {
+                None => {
+                    plan.metric = Some(s.clone());
                     true
                 }
                 Some(existing) => existing == s,
@@ -718,6 +766,28 @@ mod tests {
         );
         let plan = plan_metric_scan(None);
         assert!(plan.component.is_none() && plan.residual.is_none());
+    }
+
+    #[test]
+    fn summary_plan_pushes_component_and_metric() {
+        let w = where_of(
+            "SELECT * FROM summaries WHERE component = 'infer' AND metric = 'prediction' \
+             AND drift_score > 0",
+        );
+        let plan = plan_summary_scan(Some(&w));
+        assert_eq!(plan.component.as_deref(), Some("infer"));
+        assert_eq!(plan.metric.as_deref(), Some("prediction"));
+        assert_eq!(
+            plan.residual,
+            Some(where_of("SELECT * FROM summaries WHERE drift_score > 0"))
+        );
+        // Conflicting metric equality: first wins, second stays residual.
+        let w = where_of("SELECT * FROM summaries WHERE metric = 'a' AND metric = 'b'");
+        let plan = plan_summary_scan(Some(&w));
+        assert_eq!(plan.metric.as_deref(), Some("a"));
+        assert!(plan.residual.is_some());
+        let plan = plan_summary_scan(None);
+        assert!(plan.component.is_none() && plan.metric.is_none() && plan.residual.is_none());
     }
 
     /// Stats for a store of `runs` runs spread over `components`

@@ -104,10 +104,13 @@ pub enum EventKind {
     CheckpointWritten,
     /// Compaction deleted WAL segments superseded by a snapshot.
     WalCompacted,
+    /// The monitoring plane rolled a summary window and scored it against
+    /// its frozen drift reference.
+    DriftScored,
 }
 
 /// All kinds, in declaration order — handy for docs and exhaustive tests.
-pub const EVENT_KINDS: [EventKind; 14] = [
+pub const EVENT_KINDS: [EventKind; 15] = [
     EventKind::RunStarted,
     EventKind::RunFinished,
     EventKind::RunFailed,
@@ -122,6 +125,7 @@ pub const EVENT_KINDS: [EventKind; 14] = [
     EventKind::WalPolicy,
     EventKind::CheckpointWritten,
     EventKind::WalCompacted,
+    EventKind::DriftScored,
 ];
 
 impl EventKind {
@@ -142,6 +146,7 @@ impl EventKind {
             EventKind::WalPolicy => "wal_policy",
             EventKind::CheckpointWritten => "checkpoint_written",
             EventKind::WalCompacted => "wal_compacted",
+            EventKind::DriftScored => "drift_scored",
         }
     }
 

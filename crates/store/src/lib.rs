@@ -45,6 +45,7 @@ pub use event::{
     IncidentState, ObservabilityEvent, EVENT_KINDS,
 };
 pub use memory::MemoryStore;
+pub use mltrace_metrics::{MonitorConfig, MonitorSummary};
 pub use record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricAggregate,
     MetricRecord, PointerType, RunId, RunStatus, TriggerOutcomeRecord,

@@ -29,7 +29,8 @@
 
 use crate::error::{Result, StoreError};
 use crate::event::{
-    EventBus, EventFilter, EventId, EventKind, IncidentRecord, ObservabilityEvent, EVENT_KINDS,
+    EventBus, EventFilter, EventId, EventKind, EventSeverity, IncidentRecord, IncidentState,
+    ObservabilityEvent, EVENT_KINDS,
 };
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
@@ -37,9 +38,14 @@ use crate::record::{
 };
 use crate::scan::{IndexRoute, RunFilter};
 use crate::store::{IndexFootprint, IndexStats, RunBundle, Store, StoreStats};
+use crate::value::Value;
+use mltrace_metrics::{
+    AlertManager, AlertRule, Comparator, Incident, IncidentChange, IncidentManager, IncidentPhase,
+    MonitorConfig, MonitorPlane, MonitorSummary, Severity, WindowRoll,
+};
 use mltrace_telemetry::{Counter, Gauge, Histogram, Telemetry};
-use parking_lot::{RwLock, RwLockWriteGuard};
-use std::collections::{BTreeMap, HashMap};
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -184,6 +190,12 @@ struct StoreTelemetry {
     /// Approximate resident bytes across all secondary indexes, refreshed
     /// whenever the footprint is computed.
     index_bytes: Gauge,
+    /// Monitoring-plane windows completed (reference freezes included).
+    plane_windows_rolled: Counter,
+    /// Monitoring-plane windows scored against a frozen reference.
+    plane_drift_scored: Counter,
+    /// Scored windows where a drift method crossed its threshold.
+    plane_drift_breaches: Counter,
 }
 
 impl StoreTelemetry {
@@ -204,6 +216,9 @@ impl StoreTelemetry {
             index_hits: registry.counter("query.index_hits_total"),
             index_misses: registry.counter("query.index_misses_total"),
             index_bytes: registry.gauge("store.index_bytes"),
+            plane_windows_rolled: registry.counter("pipeline.monitor_windows_rolled_total"),
+            plane_drift_scored: registry.counter("pipeline.monitor_drift_scored_total"),
+            plane_drift_breaches: registry.counter("pipeline.monitor_drift_breaches_total"),
             registry,
         }
     }
@@ -249,6 +264,81 @@ pub struct MemoryStore {
     bus: EventBus,
     /// Self-telemetry handles (see the `tele` module docs).
     tele: StoreTelemetry,
+    /// The always-on monitoring plane: per-(component, metric) streaming
+    /// window summaries with drift scoring, fed on every metric ingest.
+    monitor: MonitorPlane,
+    /// Alert/incident state for drift breaches surfaced by the plane.
+    drift_router: Mutex<DriftRouter>,
+}
+
+/// Folds drift breaches from the monitoring plane into the same
+/// alert-cooldown + deduplicated-incident machinery SLA pages use. One
+/// lazily-installed `Page` rule per `(component, metric)` key.
+struct DriftRouter {
+    alerts: AlertManager,
+    incidents: IncidentManager,
+    installed: HashSet<String>,
+}
+
+impl DriftRouter {
+    fn new() -> Self {
+        DriftRouter {
+            alerts: AlertManager::new(),
+            incidents: IncidentManager::new(0),
+            installed: HashSet::new(),
+        }
+    }
+
+    /// Install the drift page rule for `key` on first breach. The rule
+    /// describes the healthy direction (`score <= 0`), so any positive
+    /// drift score violates it and fires.
+    fn ensure_rule(&mut self, key: &str) {
+        if self.installed.insert(key.to_string()) {
+            self.alerts.add_rule(AlertRule {
+                id: key.to_string(),
+                metric: key.to_string(),
+                comparator: Comparator::Lte,
+                threshold: 0.0,
+                severity: Severity::Page,
+                cooldown_ms: 0,
+            });
+        }
+    }
+}
+
+/// Dedup key for a drift incident on one (component, metric) key.
+fn drift_key(component: &str, metric: &str) -> String {
+    format!("drift:{component}/{metric}")
+}
+
+/// Map an alert tier onto a journal severity (drift routing).
+fn severity_to_event(s: Severity) -> EventSeverity {
+    match s {
+        Severity::Log => EventSeverity::Info,
+        Severity::Warn => EventSeverity::Warn,
+        Severity::Page => EventSeverity::Page,
+    }
+}
+
+/// Convert a live drift incident into its persisted record.
+fn drift_incident_record(inc: &Incident, now_ms: u64) -> IncidentRecord {
+    IncidentRecord {
+        key: inc.key.clone(),
+        state: match inc.phase {
+            IncidentPhase::Open => IncidentState::Open,
+            IncidentPhase::Acknowledged => IncidentState::Acknowledged,
+            IncidentPhase::Resolved => IncidentState::Resolved,
+        },
+        severity: severity_to_event(inc.severity),
+        subject: inc.subject.clone(),
+        opened_ms: inc.opened_ms,
+        last_fire_ms: inc.last_fire_ms,
+        resolved_ms: inc.resolved_ms,
+        fire_count: inc.fire_count,
+        suppressed_count: inc.suppressed_count,
+        burn_ms: inc.burn_ms(now_ms),
+        detail: inc.detail.clone(),
+    }
 }
 
 fn shard_vec<T: Default>() -> Box<[RwLock<T>]> {
@@ -272,10 +362,23 @@ impl MemoryStore {
         Self::with_telemetry(Telemetry::new())
     }
 
+    /// Create an empty store with a specific monitoring-plane
+    /// configuration (e.g. a disabled plane for the E15 overhead
+    /// baseline, or tighter windows for tests).
+    pub fn with_monitor_config(config: MonitorConfig) -> Self {
+        Self::with_telemetry_and_monitor(Telemetry::new(), config)
+    }
+
     /// Create an empty store reporting into an existing telemetry
     /// registry (so e.g. a WAL wrapper and its inner memory store share
     /// one registry).
     pub fn with_telemetry(registry: Telemetry) -> Self {
+        Self::with_telemetry_and_monitor(registry, MonitorConfig::default())
+    }
+
+    /// Create an empty store with both an adopted telemetry registry and
+    /// a monitoring-plane configuration.
+    pub fn with_telemetry_and_monitor(registry: Telemetry, config: MonitorConfig) -> Self {
         MemoryStore {
             next_run_id: AtomicU64::new(1),
             runs_removed: AtomicU64::new(0),
@@ -295,6 +398,168 @@ impl MemoryStore {
             incidents: RwLock::new(BTreeMap::new()),
             bus: EventBus::new(&registry),
             tele: StoreTelemetry::new(registry),
+            monitor: MonitorPlane::new(config),
+            drift_router: Mutex::new(DriftRouter::new()),
+        }
+    }
+
+    /// The store's monitoring plane (always-on streaming summaries).
+    pub fn monitor_plane(&self) -> &MonitorPlane {
+        &self.monitor
+    }
+
+    /// Validate and apply a metric batch to the metrics table and feed
+    /// the monitoring plane, returning the window rolls the batch caused.
+    /// This is the side-effect-free half of metric ingest: callers that
+    /// own the journal (the `Store` impl here, the WAL wrapper) route the
+    /// rolls; replay paths discard them because the events they produced
+    /// online were persisted and replay on their own.
+    pub(crate) fn ingest_metrics(&self, metrics: Vec<MetricRecord>) -> Result<Vec<WindowRoll>> {
+        if metrics.is_empty() {
+            return Ok(Vec::new());
+        }
+        for m in &metrics {
+            if m.name.is_empty() {
+                return Err(StoreError::InvalidRecord("metric name is empty".into()));
+            }
+        }
+        let count = metrics.len() as u64;
+        let rolls = if self.monitor.enabled() {
+            self.monitor.observe_batch(
+                metrics
+                    .iter()
+                    .map(|m| (m.component.as_str(), m.name.as_str(), m.value, m.ts_ms)),
+            )
+        } else {
+            Vec::new()
+        };
+        let mut g = self.metrics.write();
+        for m in metrics {
+            g.log(m);
+        }
+        drop(g);
+        self.tele.metrics_logged.add(count);
+        if !rolls.is_empty() {
+            self.tele.plane_windows_rolled.add(rolls.len() as u64);
+            let scored = rolls.iter().filter(|r| r.score.is_some()).count() as u64;
+            let breached = rolls
+                .iter()
+                .filter(|r| r.score.as_ref().is_some_and(|s| s.drifted))
+                .count() as u64;
+            self.tele.plane_drift_scored.add(scored);
+            self.tele.plane_drift_breaches.add(breached);
+        }
+        Ok(rolls)
+    }
+
+    /// Replay path for one metric record: metrics table + plane, no
+    /// journaling or alerting (the WAL already holds the events the roll
+    /// produced online).
+    pub(crate) fn restore_metric(&self, m: MetricRecord) -> Result<()> {
+        self.ingest_metrics(vec![m]).map(|_| ())
+    }
+
+    /// Journal scored window rolls and route drift breaches through the
+    /// alert → incident machinery. `store` is the store the side effects
+    /// go through — `self` for a bare memory store, the WAL wrapper for a
+    /// durable one, so drift events and incidents persist in the log.
+    pub(crate) fn route_rolls(&self, store: &dyn Store, rolls: &[WindowRoll]) -> Result<()> {
+        let mut events = Vec::new();
+        let mut router = self.drift_router.lock();
+        for roll in rolls {
+            let Some(score) = &roll.score else { continue };
+            let severity = if score.drifted {
+                EventSeverity::Page
+            } else {
+                EventSeverity::Info
+            };
+            events.push(
+                ObservabilityEvent::new(EventKind::DriftScored, severity, roll.ts_ms)
+                    .component(roll.component.clone())
+                    .detail(format!(
+                        "{}/{} window {}: {} score {:.4} over {} points vs {}-point reference{}",
+                        roll.component,
+                        roll.metric,
+                        roll.window,
+                        score.method,
+                        score.score,
+                        roll.points,
+                        score.reference_points,
+                        if score.drifted { " (drift)" } else { "" },
+                    ))
+                    .payload("metric", Value::from(roll.metric.clone()))
+                    .payload("method", Value::from(score.method.clone()))
+                    .payload("score", Value::Float(score.score))
+                    .payload("window", Value::Int(roll.window as i64))
+                    .payload("points", Value::Int(roll.points as i64)),
+            );
+            if !score.drifted {
+                continue;
+            }
+            let key = drift_key(&roll.component, &roll.metric);
+            router.ensure_rule(&key);
+            let outcomes = router
+                .alerts
+                .observe_outcomes(&key, score.score, roll.ts_ms);
+            for outcome in outcomes {
+                match router.incidents.fold(&outcome) {
+                    IncidentChange::Opened => {
+                        let inc = router.incidents.get(&key).expect("just opened");
+                        store.upsert_incident(drift_incident_record(inc, roll.ts_ms))?;
+                        events.push(
+                            ObservabilityEvent::new(
+                                EventKind::IncidentOpened,
+                                EventSeverity::Page,
+                                roll.ts_ms,
+                            )
+                            .component(roll.component.clone())
+                            .detail(inc.detail.clone())
+                            .payload("key", Value::from(inc.key.clone())),
+                        );
+                    }
+                    IncidentChange::Refired | IncidentChange::Suppressed => {
+                        let inc = router.incidents.get(&key).expect("exists");
+                        store.upsert_incident(drift_incident_record(inc, roll.ts_ms))?;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        drop(router);
+        if !events.is_empty() {
+            store.log_events(events)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild the drift router's incident dedup state from persisted
+    /// incidents (after a WAL replay), so a re-breach after restart
+    /// re-fires the existing incident instead of opening a duplicate.
+    /// Alert cooldown state is not persisted and restarts empty.
+    pub(crate) fn seed_drift_router(&self) {
+        let incidents = self.incidents.read();
+        let mut router = self.drift_router.lock();
+        for rec in incidents.values() {
+            if !rec.key.starts_with("drift:") || rec.state == IncidentState::Resolved {
+                continue;
+            }
+            router.ensure_rule(&rec.key);
+            router.incidents.adopt(Incident {
+                key: rec.key.clone(),
+                phase: match rec.state {
+                    IncidentState::Open => IncidentPhase::Open,
+                    IncidentState::Acknowledged => IncidentPhase::Acknowledged,
+                    IncidentState::Resolved => IncidentPhase::Resolved,
+                },
+                severity: Severity::Page,
+                subject: rec.subject.clone(),
+                opened_ms: rec.opened_ms,
+                last_fire_ms: rec.last_fire_ms,
+                resolved_ms: rec.resolved_ms,
+                fire_count: rec.fire_count,
+                suppressed_count: rec.suppressed_count,
+                detail: rec.detail.clone(),
+            });
         }
     }
 
@@ -1037,31 +1302,17 @@ impl Store for MemoryStore {
     }
 
     fn log_metric(&self, m: MetricRecord) -> Result<()> {
-        if m.name.is_empty() {
-            return Err(StoreError::InvalidRecord("metric name is empty".into()));
-        }
-        self.metrics.write().log(m);
-        self.tele.metrics_logged.incr();
-        Ok(())
+        let rolls = self.ingest_metrics(vec![m])?;
+        self.route_rolls(self, &rolls)
     }
 
     fn log_metrics(&self, metrics: Vec<MetricRecord>) -> Result<()> {
-        if metrics.is_empty() {
-            return Ok(());
-        }
-        for m in &metrics {
-            if m.name.is_empty() {
-                return Err(StoreError::InvalidRecord("metric name is empty".into()));
-            }
-        }
-        let count = metrics.len() as u64;
-        let mut g = self.metrics.write();
-        for m in metrics {
-            g.log(m);
-        }
-        drop(g);
-        self.tele.metrics_logged.add(count);
-        Ok(())
+        let rolls = self.ingest_metrics(metrics)?;
+        self.route_rolls(self, &rolls)
+    }
+
+    fn monitor_summaries(&self) -> Result<Vec<MonitorSummary>> {
+        Ok(self.monitor.summaries())
     }
 
     fn metrics(&self, component: &str, name: &str) -> Result<Vec<MetricRecord>> {
@@ -1085,7 +1336,6 @@ impl Store for MemoryStore {
     }
 
     fn delete_runs(&self, ids: &[RunId]) -> Result<usize> {
-        use std::collections::HashSet;
         // Batch the index maintenance: one retain pass per touched list
         // instead of one per victim (bulk deletions — compaction, GDPR —
         // hand in thousands of ids at once).

@@ -1,10 +1,12 @@
 //! Relational view of the store for the SQL layer (§4.2: "users can query
 //! the logs and metadata via SQL").
 //!
-//! Seven virtual tables are exposed: `components`, `component_runs`,
-//! `io_pointers`, `metrics`, `summaries`, `events` (the observability
-//! journal), and `incidents`. [`scan`] materializes a table as rows of
-//! [`Value`]s in the column order given by [`table_schema`].
+//! Eight virtual tables are exposed: `components`, `component_runs`,
+//! `io_pointers`, `metrics`, `summaries` (the live monitoring plane's
+//! per-(component, metric) streaming summaries), `rollups` (compaction
+//! rollups of aged-out runs), `events` (the observability journal), and
+//! `incidents`. [`scan`] materializes a table as rows of [`Value`]s in
+//! the column order given by [`table_schema`].
 
 use crate::error::{Result, StoreError};
 use crate::event::{EventFilter, IncidentRecord, ObservabilityEvent};
@@ -12,6 +14,7 @@ use crate::record::{ComponentRunRecord, MetricRecord, RunId};
 use crate::scan::RunFilter;
 use crate::store::Store;
 use crate::value::Value;
+use mltrace_metrics::MonitorSummary;
 
 /// A materialized row.
 pub type Row = Vec<Value>;
@@ -27,8 +30,11 @@ pub enum Table {
     IoPointers,
     /// Metric points.
     Metrics,
-    /// Compaction summaries.
+    /// Live monitoring-plane summaries (one row per observed
+    /// `(component, metric)` key).
     Summaries,
+    /// Compaction rollups of runs aged out by retention.
+    Rollups,
     /// The observability journal (run lifecycle, triggers, alerts, WAL).
     Events,
     /// Incident lifecycle records folded from Page-tier alerts.
@@ -43,7 +49,8 @@ impl Table {
             "component_runs" | "runs" => Some(Table::ComponentRuns),
             "io_pointers" | "iopointers" => Some(Table::IoPointers),
             "metrics" => Some(Table::Metrics),
-            "summaries" => Some(Table::Summaries),
+            "summaries" | "monitor" => Some(Table::Summaries),
+            "rollups" => Some(Table::Rollups),
             "events" | "journal" => Some(Table::Events),
             "incidents" => Some(Table::Incidents),
             _ => None,
@@ -58,6 +65,7 @@ impl Table {
             Table::IoPointers => "io_pointers",
             Table::Metrics => "metrics",
             Table::Summaries => "summaries",
+            Table::Rollups => "rollups",
             Table::Events => "events",
             Table::Incidents => "incidents",
         }
@@ -85,6 +93,19 @@ pub fn table_schema(table: Table) -> &'static [&'static str] {
         Table::IoPointers => &["name", "ptype", "flag", "created_ms", "artifact"],
         Table::Metrics => &["component", "run_id", "name", "value", "ts_ms"],
         Table::Summaries => &[
+            "component",
+            "metric",
+            "window",
+            "count",
+            "mean",
+            "p50",
+            "p95",
+            "p99",
+            "null_rate",
+            "drift_score",
+            "drift_method",
+        ],
+        Table::Rollups => &[
             "component",
             "window_start_ms",
             "window_end_ms",
@@ -147,7 +168,8 @@ pub fn scan(store: &dyn Store, table: Table) -> Result<Vec<Row>> {
             })
             .collect()),
         Table::Metrics => scan_metrics_rows(store, None, None),
-        Table::Summaries => {
+        Table::Summaries => scan_summary_rows(store, None, None),
+        Table::Rollups => {
             let mut rows = Vec::new();
             for comp in store.components()? {
                 for s in store.summaries(&comp.name)? {
@@ -241,6 +263,58 @@ pub fn run_row(r: &ComponentRunRecord) -> Row {
         Value::List(r.dependencies.iter().map(|d| Value::from(d.0)).collect()),
         Value::from(failures),
     ]
+}
+
+/// Convert one monitoring-plane summary into its `summaries` row. The
+/// `window` column counts *completed* windows; non-finite stats (an empty
+/// plane key cannot occur, but quantiles before any finite point can be
+/// NaN) surface as NULL rather than a float NaN that no SQL comparison
+/// would ever match.
+pub fn summary_row(s: &MonitorSummary) -> Row {
+    let float = |f: f64| {
+        if f.is_finite() {
+            Value::Float(f)
+        } else {
+            Value::Null
+        }
+    };
+    vec![
+        Value::from(s.component.clone()),
+        Value::from(s.metric.clone()),
+        Value::from(s.windows),
+        Value::from(s.count),
+        float(s.mean),
+        float(s.p50),
+        float(s.p95),
+        float(s.p99),
+        float(s.null_rate),
+        float(s.drift_score),
+        Value::from(s.drift_method.clone()),
+    ]
+}
+
+/// Materialize `summaries` rows, optionally restricted to one component
+/// and/or one metric (the pushdown the planner extracts from equality
+/// conjuncts). The plane is in-memory state, so the "scan" is a snapshot
+/// of every key followed by the pushed restriction.
+pub fn scan_summary_rows(
+    store: &dyn Store,
+    component: Option<&str>,
+    metric: Option<&str>,
+) -> Result<Vec<Row>> {
+    let all = store.monitor_summaries()?;
+    let scanned = all.len() as u64;
+    let rows: Vec<Row> = all
+        .iter()
+        .filter(|s| component.is_none_or(|c| s.component == c))
+        .filter(|s| metric.is_none_or(|m| s.metric == m))
+        .map(summary_row)
+        .collect();
+    if let Some(t) = store.telemetry() {
+        t.add("query.rows_scanned", scanned);
+        t.add("query.rows_returned", rows.len() as u64);
+    }
+    Ok(rows)
 }
 
 /// Convert one metric point into its `metrics` row.
@@ -427,6 +501,7 @@ mod tests {
             Table::IoPointers,
             Table::Metrics,
             Table::Summaries,
+            Table::Rollups,
             Table::Events,
             Table::Incidents,
         ] {
@@ -438,6 +513,37 @@ mod tests {
         assert_eq!(scan(&s, Table::Metrics).unwrap().len(), 1);
         assert_eq!(scan(&s, Table::Events).unwrap().len(), 2);
         assert_eq!(scan(&s, Table::Incidents).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn summaries_table_reads_the_monitoring_plane() {
+        let s = seeded();
+        assert_eq!(Table::parse("summaries"), Some(Table::Summaries));
+        assert_eq!(Table::parse("MONITOR"), Some(Table::Summaries));
+        assert_eq!(Table::parse("rollups"), Some(Table::Rollups));
+        // `seeded` logged one point of etl/rows: one plane key, one row.
+        let rows = scan(&s, Table::Summaries).unwrap();
+        assert_eq!(rows.len(), 1);
+        let comp_idx = column_index(Table::Summaries, "component").unwrap();
+        let count_idx = column_index(Table::Summaries, "count").unwrap();
+        let mean_idx = column_index(Table::Summaries, "mean").unwrap();
+        let method_idx = column_index(Table::Summaries, "drift_method").unwrap();
+        assert_eq!(rows[0][comp_idx], Value::from("etl"));
+        assert_eq!(rows[0][count_idx], Value::Int(1));
+        assert_eq!(rows[0][mean_idx], Value::Float(5.0));
+        assert_eq!(rows[0][method_idx], Value::from(""));
+        // Component/metric pushdown restricts without widening.
+        assert_eq!(scan_summary_rows(&s, Some("etl"), None).unwrap().len(), 1);
+        assert_eq!(
+            scan_summary_rows(&s, Some("etl"), Some("rows")).unwrap(),
+            vec![rows[0].clone()]
+        );
+        assert!(scan_summary_rows(&s, Some("etl"), Some("nope"))
+            .unwrap()
+            .is_empty());
+        assert!(scan_summary_rows(&s, Some("absent"), None)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

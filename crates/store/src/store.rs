@@ -388,6 +388,18 @@ pub trait Store: Send + Sync {
     fn stats(&self) -> Result<StoreStats>;
 
     // ------------------------------------------------------------------
+    // The monitoring plane (always-on streaming summaries)
+    // ------------------------------------------------------------------
+
+    /// Live monitoring-plane summaries: one row per observed
+    /// `(component, metric)` key with streaming moments, P² quantiles,
+    /// null rate, and the latest drift verdict. Ordered by key. The
+    /// default is empty: stores without a plane stay valid.
+    fn monitor_summaries(&self) -> Result<Vec<mltrace_metrics::MonitorSummary>> {
+        Ok(Vec::new())
+    }
+
+    // ------------------------------------------------------------------
     // The observability event journal
     // ------------------------------------------------------------------
 

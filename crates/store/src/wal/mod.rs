@@ -295,6 +295,12 @@ pub struct ZoneMap {
     /// Presence bitmap over severities (`Info`=0, `Warn`=1, `Page`=2).
     #[serde(default)]
     pub event_severities: u32,
+    /// Metric records in the zone. `None` on footers written before this
+    /// field existed — unknown, so nothing may be skipped; `Some(0)`
+    /// proves the segment is metric-free and the monitoring-plane rebuild
+    /// can bypass its plane feed entirely during replay.
+    #[serde(default)]
+    pub metrics: Option<u64>,
 }
 
 /// Bit index of `kind` in [`ZoneMap::event_kinds`].
@@ -326,6 +332,7 @@ impl ZoneMap {
     pub fn new() -> ZoneMap {
         ZoneMap {
             version: ZONE_FORMAT_VERSION,
+            metrics: Some(0),
             ..ZoneMap::default()
         }
     }
@@ -357,8 +364,17 @@ impl ZoneMap {
                 self.event_kinds |= 1 << kind_bit(rec.kind);
                 self.event_severities |= 1 << severity_bit(rec.severity);
             }
+            WalEvent::Metric { .. } => {
+                self.metrics = Some(self.metrics.unwrap_or(0) + 1);
+            }
             _ => {}
         }
+    }
+
+    /// The zone is *proven* metric-free: a known count of zero. `None`
+    /// (a pre-`metrics` footer) is unknown and returns false.
+    pub fn excludes_metrics(&self) -> bool {
+        self.version != 0 && self.metrics == Some(0)
     }
 
     /// At least one event of `kind` is in the zone.
@@ -972,10 +988,21 @@ impl WalStore {
             .iter()
             .map(|(seq, seg_path)| (*seq, read_zone_footer(seg_path)))
             .collect();
+        // Segments whose zone footer proves them metric-free contribute
+        // nothing to the monitoring-plane rebuild; count them so the
+        // rebuild cost of a restart is inspectable from telemetry.
+        let mut plane_skipped: u64 = 0;
         for (seq, seg_path) in &segments {
             last_seq = last_seq.max(*seq);
             if *seq <= covered {
                 continue;
+            }
+            if zone_cache
+                .get(seq)
+                .and_then(|z| z.as_ref())
+                .is_some_and(|z| z.excludes_metrics())
+            {
+                plane_skipped += 1;
             }
             let rep = replay::replay_file(seg_path, workers, |e| Self::apply(&mem, e))
                 .map_err(|e| Self::replay_error(&path, seg_path, e))?;
@@ -1025,6 +1052,13 @@ impl WalStore {
         }
         tele.replay_events.add(replayed);
         tele.recovery.record(started.elapsed().as_nanos() as u64);
+        registry
+            .gauge("wal.replay_plane_skipped_segments")
+            .set(plane_skipped as i64);
+        // Re-arm drift dedup from persisted incidents: a breach that fires
+        // again after restart must fold into its still-open incident, not
+        // open a duplicate.
+        mem.seed_drift_router();
 
         let store = WalStore {
             mem,
@@ -1163,7 +1197,10 @@ impl WalStore {
             WalEvent::Run { rec } => mem.restore_run(rec),
             WalEvent::IoPointer { rec } => mem.upsert_io_pointer(rec),
             WalEvent::Flag { io, flag } => mem.set_flag(&io, flag).map(|_| ()),
-            WalEvent::Metric { rec } => mem.log_metric(rec),
+            // Replay feeds the monitoring plane but never re-routes drift
+            // (the drift events/incidents produced online were themselves
+            // journaled and replay as `Obs`/`Incident` records).
+            WalEvent::Metric { rec } => mem.restore_metric(rec),
             WalEvent::DeleteRuns { ids } => mem.delete_runs(&ids).map(|_| ()),
             WalEvent::DeleteIos { names } => mem.delete_io_pointers(&names).map(|_| ()),
             WalEvent::Summary { rec } => mem.put_summary(rec),
@@ -1556,18 +1593,24 @@ impl Store for WalStore {
     }
 
     fn log_metrics(&self, metrics: Vec<MetricRecord>) -> Result<()> {
-        self.with_gate(|| {
-            self.mem.log_metrics(metrics.clone())?;
+        let rolls = self.with_gate(|| {
+            let rolls = self.mem.ingest_metrics(metrics.clone())?;
             let events: Vec<WalEvent> = metrics
                 .into_iter()
                 .map(|rec| WalEvent::Metric { rec })
                 .collect();
-            self.append_all(&events)
-        })
+            self.append_all(&events)?;
+            Ok(rolls)
+        })?;
+        // Drift routing journals events and incidents of its own, so it
+        // runs after the gate releases and takes the normal durable
+        // `log_events`/`upsert_incident` paths (re-entering the gate while
+        // a checkpointer waits for it would deadlock).
+        self.mem.route_rolls(self, &rolls)
     }
 
     fn log_run_bundle(&self, bundle: RunBundle) -> Result<RunId> {
-        self.with_gate(|| {
+        let out = self.with_gate(|| {
             let mut events: Vec<WalEvent> = Vec::with_capacity(
                 bundle.pointers.len() + 1 + bundle.metrics.len() + bundle.events.len(),
             );
@@ -1583,7 +1626,7 @@ impl Store for WalStore {
             for m in &mut metrics {
                 m.run_id = Some(id);
             }
-            self.mem.log_metrics(metrics.clone())?;
+            let rolls = self.mem.ingest_metrics(metrics.clone())?;
             events.extend(metrics.into_iter().map(|rec| WalEvent::Metric { rec }));
             // Journal events ride the same single group-commit append as
             // the run and its metrics: stamp the run id, let the memory
@@ -1603,8 +1646,12 @@ impl Store for WalStore {
                 events.extend(obs.into_iter().map(|rec| WalEvent::Obs { rec }));
             }
             self.append_all(&events)?;
-            Ok(id)
-        })
+            Ok((id, rolls))
+        });
+        let (id, rolls) = out?;
+        // Outside the gate for the same reason as `log_metrics`.
+        self.mem.route_rolls(self, &rolls)?;
+        Ok(id)
     }
 
     fn run(&self, id: RunId) -> Result<Option<ComponentRunRecord>> {
@@ -1715,10 +1762,13 @@ impl Store for WalStore {
     }
 
     fn log_metric(&self, m: MetricRecord) -> Result<()> {
-        self.with_gate(|| {
-            self.mem.log_metric(m.clone())?;
-            self.append(&WalEvent::Metric { rec: m })
-        })
+        let rolls = self.with_gate(|| {
+            let rolls = self.mem.ingest_metrics(vec![m.clone()])?;
+            self.append(&WalEvent::Metric { rec: m })?;
+            Ok(rolls)
+        })?;
+        // Outside the gate for the same reason as `log_metrics`.
+        self.mem.route_rolls(self, &rolls)
     }
 
     fn metrics(&self, component: &str, name: &str) -> Result<Vec<MetricRecord>> {
@@ -1727,6 +1777,10 @@ impl Store for WalStore {
 
     fn metric_names(&self, component: &str) -> Result<Vec<String>> {
         self.mem.metric_names(component)
+    }
+
+    fn monitor_summaries(&self) -> Result<Vec<mltrace_metrics::MonitorSummary>> {
+        self.mem.monitor_summaries()
     }
 
     fn delete_runs(&self, ids: &[RunId]) -> Result<usize> {

@@ -220,10 +220,10 @@ fn replay_parallel(
 
     fn parse_block(block: &Block) -> Parsed {
         let mut events = Vec::new();
-        let mut lineno = block.base_lineno;
         let mut offset = block.base_offset;
-        for line in block.data.split_inclusive(|&b| b == b'\n') {
-            lineno += 1;
+        for (lineno, line) in
+            (block.base_lineno + 1..).zip(block.data.split_inclusive(|&b| b == b'\n'))
+        {
             let body = &line[..line.len() - 1];
             if !body.iter().all(|b| b.is_ascii_whitespace()) {
                 match serde_json::from_slice::<WalEvent>(body) {

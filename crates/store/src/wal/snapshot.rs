@@ -110,6 +110,9 @@ pub(crate) fn write_snapshot(
 }
 
 /// What loading `<base>.snapshot` found.
+// One instance exists transiently during open; Boxing `Loaded` to shrink
+// the variant gap would add indirection for no steady-state benefit.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum SnapshotLoad {
     /// No snapshot beside the log (no checkpoint has run yet).
     Missing,

@@ -683,6 +683,13 @@ impl TaxiPipeline {
                 "mean_prediction",
                 probs.iter().sum::<f64>() / probs.len().max(1) as f64,
             );
+            // Per-prediction points feed the store's monitoring plane:
+            // enough volume per batch to roll count-based windows, so a
+            // serving-skew incident surfaces as a scored drift event
+            // without any labels (§4.3).
+            for &p in &probs {
+                ctx.log_metric("prediction", p);
+            }
             Ok((probs, accuracy))
         })?;
         self.step();

@@ -22,7 +22,7 @@ use mltrace::query::execute;
 use mltrace::store::deletion::delete_derived;
 use mltrace::store::retention::compact_older_than_days;
 use mltrace::store::wal::{read_journal, JournalFollower};
-use mltrace::store::{EventFilter, EventKind, EventSeverity, RunId, Store, WalStore};
+use mltrace::store::{EventFilter, EventKind, EventSeverity, RunId, Store, Value, WalStore};
 use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
 use mltrace::telemetry::{Telemetry, TelemetrySnapshot};
 use std::process::ExitCode;
@@ -45,10 +45,16 @@ COMMANDS
   stale [component]          staleness of the latest run(s)
   health                     one-screen pipeline health summary
   tail [--limit <n>] [--kind <k>] [--severity <s>]
-       [--since-ms <t>] [--until-ms <t>] [--follow]
+       [--since-ms <t>] [--until-ms <t>] [--follow] [--poll-ms <n>]
                              journal events, read cold from the log family
                              (zone maps skip segments the filter excludes);
-                             --follow streams new ones live
+                             --follow streams new ones live, polling the
+                             log every --poll-ms (default 250)
+  monitor [--component <c>] [--metric <m>] [--watch] [--poll-ms <n>]
+                             monitoring-plane summaries: streaming stats,
+                             window counts, and drift scores per
+                             (component, metric); --watch reopens the log
+                             every --poll-ms (default 1000) until Ctrl-C
   export-trace <run_id> [--format chrome|otlp-json] [--out <path>]
                              component-run tree as a loadable trace file
   telemetry [--prometheus]   the engine's own counters and latency histograms
@@ -103,6 +109,12 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     // whole sealed segments instead of replaying the full history first.
     if command == "tail" {
         return tail(&db, rest);
+    }
+
+    // `monitor --watch` reopens the store each tick so it observes other
+    // processes' appends; handled before the long-lived open below.
+    if command == "monitor" {
+        return monitor(&db, rest);
     }
 
     let store = Arc::new(WalStore::open(&db).map_err(|e| format!("open {db}: {e}"))?);
@@ -223,6 +235,9 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
                 eprintln!("warning: {w}; starting from the salvaged prefix");
             }
             snap.merge(&ml.telemetry().snapshot());
+            // Live monitoring-plane series ride along as pipeline gauges
+            // (`mltrace_pipeline_*` under --prometheus).
+            snap.merge(&plane_gauges(&store));
             if rest.first().map(String::as_str) == Some("--prometheus") {
                 print!("{}", snap.render_prometheus());
             } else {
@@ -340,11 +355,12 @@ fn persist_telemetry(db: &str, live: &TelemetrySnapshot) {
     let _ = snap.save_file(&path);
 }
 
-/// Parse `tail` options into (filter, limit, follow).
-fn parse_tail_args(rest: &[String]) -> Result<(EventFilter, usize, bool), String> {
+/// Parse `tail` options into (filter, limit, follow, poll interval).
+fn parse_tail_args(rest: &[String]) -> Result<(EventFilter, usize, bool, u64), String> {
     let mut filter = EventFilter::all();
     let mut limit = 20usize;
     let mut follow = false;
+    let mut poll_ms = 250u64;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -380,10 +396,21 @@ fn parse_tail_args(rest: &[String]) -> Result<(EventFilter, usize, bool), String
                 follow = true;
                 i += 1;
             }
+            "--poll-ms" => {
+                let n = parse_num(
+                    Some(rest.get(i + 1).ok_or("--poll-ms needs a number")?),
+                    250,
+                )?;
+                if n == 0 {
+                    return Err("--poll-ms must be at least 1".into());
+                }
+                poll_ms = n as u64;
+                i += 2;
+            }
             other => return Err(format!("unknown tail option '{other}'")),
         }
     }
-    Ok((filter, limit, follow))
+    Ok((filter, limit, follow, poll_ms))
 }
 
 /// `tail`: print the last `limit` matching journal events straight from
@@ -392,7 +419,7 @@ fn parse_tail_args(rest: &[String]) -> Result<(EventFilter, usize, bool), String
 /// segments — and the snapshot — without decoding them; the skip counts
 /// land in the telemetry sidecar as `wal.segments_pruned_total`.
 fn tail(db: &str, rest: &[String]) -> Result<(), String> {
-    let (filter, limit, follow) = parse_tail_args(rest)?;
+    let (filter, limit, follow, poll_ms) = parse_tail_args(rest)?;
     let registry = Telemetry::new();
     let read = read_journal(db, &filter, Some(limit), Some(&registry)).map_err(err)?;
     for e in &read.events {
@@ -412,7 +439,7 @@ fn tail(db: &str, rest: &[String]) -> Result<(), String> {
     }
     persist_telemetry(db, &registry.snapshot());
     if follow {
-        follow_journal(db, &filter)?;
+        follow_journal(db, &filter, poll_ms)?;
     }
     Ok(())
 }
@@ -424,16 +451,134 @@ fn tail(db: &str, rest: &[String]) -> Result<(), String> {
 /// the follower drains the rest of the segment before continuing into the
 /// fresh active log. Sealed segments whose zone footer excludes the
 /// filter are skipped without decoding.
-fn follow_journal(db: &str, filter: &EventFilter) -> Result<(), String> {
+fn follow_journal(db: &str, filter: &EventFilter, poll_ms: u64) -> Result<(), String> {
     let mut follower = JournalFollower::from_end(db)
         .map_err(err)?
         .with_filter(filter.clone());
     loop {
-        std::thread::sleep(std::time::Duration::from_millis(250));
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
         for e in follower.poll().map_err(err)? {
             println!("{}", e.render_line());
         }
     }
+}
+
+/// `monitor`: render the monitoring plane's per-(component, metric)
+/// streaming summaries. `--watch` reopens the store each tick, so the
+/// view tracks appends made by other mltrace processes (the plane is
+/// rebuilt from the log on every open).
+fn monitor(db: &str, rest: &[String]) -> Result<(), String> {
+    let mut component: Option<String> = None;
+    let mut metric: Option<String> = None;
+    let mut watch = false;
+    let mut poll_ms = 1000u64;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--component" => {
+                component = Some(rest.get(i + 1).ok_or("--component needs a name")?.clone());
+                i += 2;
+            }
+            "--metric" => {
+                metric = Some(rest.get(i + 1).ok_or("--metric needs a name")?.clone());
+                i += 2;
+            }
+            "--watch" | "-w" => {
+                watch = true;
+                i += 1;
+            }
+            "--poll-ms" => {
+                let n = parse_num(
+                    Some(rest.get(i + 1).ok_or("--poll-ms needs a number")?),
+                    1000,
+                )?;
+                if n == 0 {
+                    return Err("--poll-ms must be at least 1".into());
+                }
+                poll_ms = n as u64;
+                i += 2;
+            }
+            other => return Err(format!("unknown monitor option '{other}'")),
+        }
+    }
+    loop {
+        let store = WalStore::open(db).map_err(|e| format!("open {db}: {e}"))?;
+        let summaries: Vec<_> = store
+            .monitor_summaries()
+            .map_err(err)?
+            .into_iter()
+            .filter(|s| component.as_deref().is_none_or(|c| s.component == c))
+            .filter(|s| metric.as_deref().is_none_or(|m| s.metric == m))
+            .collect();
+        if summaries.is_empty() {
+            println!("(no monitored series match)");
+        } else {
+            println!(
+                "{:<14} {:<18} {:>4} {:>8} {:>10} {:>10} {:>10} {:>6} {:>6} {:<12}",
+                "component",
+                "metric",
+                "win",
+                "count",
+                "mean",
+                "p50",
+                "p95",
+                "null%",
+                "drift",
+                "method"
+            );
+            for s in &summaries {
+                println!(
+                    "{:<14} {:<18} {:>4} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>6.2} {:>6.3} {:<12}",
+                    s.component,
+                    s.metric,
+                    s.windows,
+                    s.count,
+                    s.mean,
+                    s.p50,
+                    s.p95,
+                    s.null_rate * 100.0,
+                    s.drift_score,
+                    if s.drift_method.is_empty() {
+                        "-"
+                    } else {
+                        &s.drift_method
+                    }
+                );
+            }
+        }
+        if !watch {
+            return Ok(());
+        }
+        drop(store);
+        println!();
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
+}
+
+/// Snapshot the monitoring plane as `pipeline.<component>.<metric>.*`
+/// gauges for Prometheus exposition. The telemetry gauge is integral, so
+/// fractional stats export milli-scaled (`mean_milli` = mean × 1000).
+fn plane_gauges(store: &WalStore) -> TelemetrySnapshot {
+    let t = Telemetry::new();
+    let milli = |f: f64| {
+        if f.is_finite() {
+            (f * 1000.0) as i64
+        } else {
+            0
+        }
+    };
+    for s in store.monitor_summaries().unwrap_or_default() {
+        let base = format!("pipeline.{}.{}", s.component, s.metric);
+        t.gauge(&format!("{base}.count")).set(s.count as i64);
+        t.gauge(&format!("{base}.windows")).set(s.windows as i64);
+        t.gauge(&format!("{base}.mean_milli")).set(milli(s.mean));
+        t.gauge(&format!("{base}.p95_milli")).set(milli(s.p95));
+        t.gauge(&format!("{base}.null_rate_milli"))
+            .set(milli(s.null_rate));
+        t.gauge(&format!("{base}.drift_score_milli"))
+            .set(milli(s.drift_score));
+    }
+    t.snapshot()
 }
 
 fn demo(db: &str, rest: &[String]) -> Result<(), String> {
@@ -508,12 +653,26 @@ fn demo(db: &str, rest: &[String]) -> Result<(), String> {
     // Journal events and incidents ride along too, so `tail`,
     // `export-trace`, and the events/incidents SQL tables work against
     // the replayed log. `log_events` re-assigns ids in scan order, which
-    // preserves the original emission order.
-    let events = mem
+    // preserves the original emission order. Drift events and drift
+    // incidents are NOT copied: the WAL-side monitoring plane already
+    // regenerated them from the replayed metric stream above, and copying
+    // the in-memory ones would double every drift signal.
+    let events: Vec<_> = mem
         .scan_events(None, &EventFilter::all(), None)
-        .map_err(err)?;
+        .map_err(err)?
+        .into_iter()
+        .filter(|e| {
+            e.kind != EventKind::DriftScored
+                && !(e.kind == EventKind::IncidentOpened
+                    && matches!(e.payload.get("key"),
+                        Some(Value::Str(k)) if k.starts_with("drift:")))
+        })
+        .collect();
     wal.log_events(events).map_err(err)?;
     for incident in mem.incidents().map_err(err)? {
+        if incident.key.starts_with("drift:") {
+            continue;
+        }
         wal.upsert_incident(incident).map_err(err)?;
     }
     wal.sync().map_err(err)?;
@@ -531,6 +690,9 @@ fn demo(db: &str, rest: &[String]) -> Result<(), String> {
     if let Some(t) = wal.telemetry() {
         live.merge(&t.snapshot());
     }
+    // The WAL-side plane just rebuilt from the replayed metrics; persist
+    // its per-series gauges so `telemetry --prometheus` reports them.
+    live.merge(&plane_gauges(&wal));
     persist_telemetry(db, &live);
     let stats = wal.stats().map_err(err)?;
     println!(

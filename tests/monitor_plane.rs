@@ -1,0 +1,164 @@
+//! End-to-end drift loop through the monitoring plane (ISSUE 7 /
+//! EXPERIMENTS E15): injected distribution shift → window roll-over →
+//! `drift_scored` journal event → deduped incident → row in the
+//! `summaries` SQL table → identical plane state after a WAL reopen.
+
+use mltrace::query::execute;
+use mltrace::store::{
+    EventFilter, EventKind, EventSeverity, IncidentState, MetricRecord, Store, Value, WalStore,
+};
+
+/// `n` points of a uniform-ish regime centred near `base + 0.5`, with
+/// strictly increasing timestamps starting at `ts0`.
+fn points(component: &str, metric: &str, base: f64, n: usize, ts0: u64) -> Vec<MetricRecord> {
+    (0..n)
+        .map(|i| MetricRecord {
+            component: component.to_string(),
+            run_id: None,
+            name: metric.to_string(),
+            value: base + (i % 100) as f64 / 100.0,
+            ts_ms: ts0 + i as u64,
+        })
+        .collect()
+}
+
+fn drift_events(store: &WalStore) -> Vec<mltrace::store::ObservabilityEvent> {
+    store
+        .scan_events(
+            None,
+            &EventFilter::all().with_kind(EventKind::DriftScored),
+            None,
+        )
+        .unwrap()
+}
+
+#[test]
+fn drift_loop_end_to_end() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("drift.wal");
+    let summaries_online;
+    {
+        let store = WalStore::open(&path).unwrap();
+
+        // Window 1: the baseline regime fills the default 256-point window
+        // and is frozen as the drift reference — nothing is scored yet.
+        store
+            .log_metrics(points("inference", "prediction", 0.0, 256, 0))
+            .unwrap();
+        let summaries = store.monitor_summaries().unwrap();
+        let s = &summaries[0];
+        assert_eq!((s.windows, s.reference_points), (1, 256));
+        assert_eq!(s.drift_score, 0.0);
+        assert!(
+            drift_events(&store).is_empty(),
+            "reference freeze is silent"
+        );
+
+        // Window 2: a +10 mean shift. The roll-over scores against the
+        // reference, journals a paged drift_scored event, and opens an
+        // incident keyed drift:<component>/<metric>.
+        store
+            .log_metrics(points("inference", "prediction", 10.0, 256, 1_000))
+            .unwrap();
+        let events = drift_events(&store);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].severity, EventSeverity::Page);
+        assert_eq!(events[0].component, "inference");
+        assert!(
+            matches!(events[0].payload.get("score"), Some(Value::Float(f)) if *f > 0.0),
+            "payload: {:?}",
+            events[0].payload
+        );
+        let drift: Vec<_> = store
+            .incidents()
+            .unwrap()
+            .into_iter()
+            .filter(|i| i.key.starts_with("drift:"))
+            .collect();
+        assert_eq!(drift.len(), 1);
+        assert_eq!(drift[0].key, "drift:inference/prediction");
+        assert_eq!(drift[0].state, IncidentState::Open);
+        assert_eq!(drift[0].fire_count, 1);
+
+        // Window 3: still shifted — the re-fire folds into the existing
+        // incident instead of opening a second one.
+        store
+            .log_metrics(points("inference", "prediction", 10.0, 256, 2_000))
+            .unwrap();
+        assert_eq!(drift_events(&store).len(), 2);
+        let drift: Vec<_> = store
+            .incidents()
+            .unwrap()
+            .into_iter()
+            .filter(|i| i.key.starts_with("drift:"))
+            .collect();
+        assert_eq!(drift.len(), 1, "refire dedups into the open incident");
+        assert_eq!(drift[0].fire_count, 2);
+
+        // The SQL surface sees the scored key.
+        let r = execute(
+            &store,
+            "SELECT component, metric, drift_score, drift_method FROM summaries WHERE drift_score > 0",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::from("inference"));
+        assert_eq!(r.rows[0][1], Value::from("prediction"));
+        assert!(matches!(r.rows[0][2], Value::Float(f) if f > 0.0));
+        assert!(matches!(&r.rows[0][3], Value::Str(m) if !m.is_empty()));
+
+        summaries_online = store.monitor_summaries().unwrap();
+        store.sync().unwrap();
+    }
+
+    // Cold open: replay rebuilds the identical plane state without
+    // re-journaling the drift events, and the re-armed dedup folds a
+    // post-restart breach into the persisted incident.
+    let store = WalStore::open(&path).unwrap();
+    assert_eq!(store.monitor_summaries().unwrap(), summaries_online);
+    assert_eq!(
+        drift_events(&store).len(),
+        2,
+        "replay must not duplicate drift events"
+    );
+    store
+        .log_metrics(points("inference", "prediction", 10.0, 256, 3_000))
+        .unwrap();
+    assert_eq!(drift_events(&store).len(), 3);
+    let drift: Vec<_> = store
+        .incidents()
+        .unwrap()
+        .into_iter()
+        .filter(|i| i.key.starts_with("drift:"))
+        .collect();
+    assert_eq!(
+        drift.len(),
+        1,
+        "restart re-arms dedup, no duplicate incident"
+    );
+    assert_eq!(drift[0].state, IncidentState::Open);
+    assert_eq!(drift[0].fire_count, 3);
+}
+
+#[test]
+fn plane_state_survives_checkpoint_and_segmented_replay() {
+    // Same replay invariant when the history is split across a snapshot
+    // (imported state) and post-checkpoint log records.
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("ckpt.wal");
+    let online;
+    {
+        let store = WalStore::open(&path).unwrap();
+        store
+            .log_metrics(points("etl", "rows", 0.0, 300, 0))
+            .unwrap();
+        store.checkpoint().unwrap();
+        store
+            .log_metrics(points("etl", "rows", 4.0, 300, 5_000))
+            .unwrap();
+        online = store.monitor_summaries().unwrap();
+        store.sync().unwrap();
+    }
+    let replayed = WalStore::open(&path).unwrap();
+    assert_eq!(replayed.monitor_summaries().unwrap(), online);
+}

@@ -393,6 +393,81 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Monitoring plane: replay rebuild equals online maintenance
+// ---------------------------------------------------------------------
+
+proptest! {
+    // WAL cases do real file I/O; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The monitoring plane a cold open rebuilds during WAL replay (from
+    /// any snapshot/segment/tail mix) is bit-identical to the plane
+    /// maintained online, for any batch split and any value mix —
+    /// including non-finite points and an injected late shift large
+    /// enough to make long cases score (and journal) real drift.
+    #[test]
+    fn replayed_monitor_plane_matches_online(
+        raw in prop::collection::vec(
+            prop_oneof![
+                8 => -1e3f64..1e3,
+                1 => Just(f64::NAN),
+                1 => Just(f64::INFINITY),
+            ],
+            1..700,
+        ),
+        splits in prop::collection::vec(1usize..64, 1..20),
+        checkpoint_at in 0usize..30,
+    ) {
+        use mltrace::store::wal::WalStore;
+        use mltrace::store::MetricRecord;
+
+        // Shift the tail hard so cases long enough to roll a second
+        // window exercise the scored / incident-routing path too.
+        let values: Vec<f64> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i >= 300 { v + 5_000.0 } else { v })
+            .collect();
+
+        let path = wal_case_path();
+        let online = WalStore::open(&path).unwrap();
+        let mut at = 0usize;
+        let mut batch_no = 0usize;
+        let mut split = splits.iter().cycle();
+        while at < values.len() {
+            if batch_no == checkpoint_at {
+                online.checkpoint().unwrap();
+            }
+            let take = (*split.next().unwrap()).min(values.len() - at);
+            let batch: Vec<MetricRecord> = values[at..at + take]
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| MetricRecord {
+                    component: "comp".to_string(),
+                    run_id: None,
+                    name: "m".to_string(),
+                    value: v,
+                    ts_ms: (at + j) as u64,
+                })
+                .collect();
+            online.log_metrics(batch).unwrap();
+            at += take;
+            batch_no += 1;
+        }
+        online.sync().unwrap();
+        let expected = online.monitor_summaries().unwrap();
+        let incidents = online.incidents().unwrap().len();
+        drop(online);
+
+        let replayed = WalStore::open(&path).unwrap();
+        prop_assert_eq!(replayed.monitor_summaries().unwrap(), expected);
+        prop_assert_eq!(replayed.incidents().unwrap().len(), incidents);
+        drop(replayed);
+        purge_wal_family(&path);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Trace cycle-resistance under adversarial io reuse
 // ---------------------------------------------------------------------
 
