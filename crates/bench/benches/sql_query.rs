@@ -178,6 +178,118 @@ fn index_routes(c: &mut Criterion) {
     }
 }
 
+/// E16/aggregate — the analytical path: the same GROUP BY folded by the
+/// store's parallel partial-aggregate scan (`pushed`) vs materializing
+/// every row and folding in the executor (`naive`), at 1 and 16 scan
+/// workers. The pushed route moves group-count rows, not row-count rows,
+/// across the store boundary — the setup asserts that reduction through
+/// the `query.rows_scanned` / `query.rows_returned` telemetry before
+/// timing anything.
+fn aggregates(c: &mut Criterion) {
+    use mltrace_query::{execute_query, execute_query_unoptimized, parse};
+    let sql = "SELECT component, count(*) AS n, avg(duration_ms) AS avg_d \
+               FROM component_runs GROUP BY component ORDER BY component";
+    let query = parse(sql).unwrap();
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let store = seeded(n);
+        let counter = |snap: &mltrace_telemetry::TelemetrySnapshot, key: &str| {
+            snap.counters.get(key).copied().unwrap_or(0)
+        };
+        let before = store.telemetry().unwrap().snapshot();
+        execute_query(&store, &query).unwrap();
+        let after = store.telemetry().unwrap().snapshot();
+        assert!(
+            counter(&after, "query.pushdown.aggregates_total")
+                > counter(&before, "query.pushdown.aggregates_total"),
+            "GROUP BY over runs must take the partial-aggregate route"
+        );
+        let scanned =
+            counter(&after, "query.rows_scanned") - counter(&before, "query.rows_scanned");
+        let returned =
+            counter(&after, "query.rows_returned") - counter(&before, "query.rows_returned");
+        assert!(
+            scanned >= 100 * returned.max(1),
+            "partial aggregates must return group counts, not row counts \
+             (scanned {scanned}, returned {returned})"
+        );
+        let mut group = c.benchmark_group(format!("E16/aggregate/n={n}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(n as u64));
+        for workers in [1usize, 16] {
+            store.set_scan_workers(workers);
+            group.bench_function(format!("pushed/w={workers}"), |b| {
+                b.iter(|| black_box(execute_query(&store, &query).unwrap().rows.len()));
+            });
+            group.bench_function(format!("naive/w={workers}"), |b| {
+                b.iter(|| {
+                    black_box(
+                        execute_query_unoptimized(&store, &query)
+                            .unwrap()
+                            .rows
+                            .len(),
+                    )
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+/// E16/join — runs joined to their component metadata: the planner's
+/// hash path (`hash`, via the optimized executor) vs the nested-loop
+/// reference (`nested_loop`, via the unoptimized executor, which
+/// evaluates the full ON predicate per pair). The quadratic reference is
+/// measured only at the two smaller sizes; at 1M rows only the hash path
+/// runs.
+fn joins(c: &mut Criterion) {
+    use mltrace_query::{execute_query, execute_query_unoptimized, parse};
+    let cases = [
+        (
+            "inner_grouped",
+            "SELECT c.name, count(*) AS n FROM component_runs r \
+             JOIN components c ON r.component = c.name \
+             GROUP BY c.name ORDER BY c.name",
+        ),
+        (
+            "inner_filtered",
+            "SELECT r.id, c.owner FROM component_runs r \
+             JOIN components c ON r.component = c.name \
+             WHERE c.name = 'stage-3' ORDER BY r.id",
+        ),
+        (
+            "left_padded",
+            "SELECT r.id, c.name FROM component_runs r \
+             LEFT JOIN components c ON r.component = c.name \
+             ORDER BY r.id DESC LIMIT 10",
+        ),
+    ];
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let store = seeded(n);
+        let mut group = c.benchmark_group(format!("E16/join/n={n}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(n as u64));
+        for (name, sql) in cases {
+            let query = parse(sql).unwrap();
+            group.bench_function(format!("{name}/hash"), |b| {
+                b.iter(|| black_box(execute_query(&store, &query).unwrap().rows.len()));
+            });
+            if n <= 100_000 {
+                group.bench_function(format!("{name}/nested_loop"), |b| {
+                    b.iter(|| {
+                        black_box(
+                            execute_query_unoptimized(&store, &query)
+                                .unwrap()
+                                .rows
+                                .len(),
+                        )
+                    });
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
 /// Shared criterion config: short measurement windows keep the full
 /// suite runnable in CI while remaining stable on these workloads.
 fn config() -> Criterion {
@@ -190,6 +302,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = queries, scans, index_routes
+    targets = queries, scans, index_routes, aggregates, joins
 }
 criterion_main!(benches);

@@ -9,8 +9,10 @@ pub struct Query {
     pub distinct: bool,
     /// Projected items.
     pub select: Vec<SelectItem>,
-    /// Source table name (resolved by the executor).
-    pub from: String,
+    /// Leftmost source table (resolved by the executor).
+    pub from: TableRef,
+    /// Joined tables, in join order (left-deep).
+    pub joins: Vec<Join>,
     /// Row filter.
     pub where_clause: Option<Expr>,
     /// Grouping columns.
@@ -21,6 +23,54 @@ pub struct Query {
     pub order_by: Vec<(Expr, bool)>,
     /// Row cap.
     pub limit: Option<usize>,
+}
+
+/// A table in `FROM`/`JOIN`, with an optional alias. Columns of this
+/// source can be qualified by the alias (or the table name when no alias
+/// was given): `r.component`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// The table name as written.
+    pub name: String,
+    /// `AS` alias (or bare alias).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// A reference with no alias.
+    pub fn named(name: impl Into<String>) -> TableRef {
+        TableRef {
+            name: name.into(),
+            alias: None,
+        }
+    }
+
+    /// The label columns of this source are qualified by: the alias if
+    /// one was given, else the table name.
+    pub fn label(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Join flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`: keep matching row pairs only.
+    Inner,
+    /// `LEFT [OUTER] JOIN`: keep every left row, null-padding the right
+    /// columns when nothing matches.
+    Left,
+}
+
+/// One `JOIN ... ON ...` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Inner or left outer.
+    pub kind: JoinKind,
+    /// The joined (right-side) table.
+    pub table: TableRef,
+    /// The `ON` predicate.
+    pub on: Expr,
 }
 
 /// One projected item.

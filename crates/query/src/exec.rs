@@ -1,19 +1,23 @@
 //! Query executor: scan → filter → group/aggregate → having → project →
 //! order → limit, over the store's virtual tables.
 
-use crate::ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
+use crate::ast::{AggFunc, BinOp, Expr, Join, JoinKind, Query, ScalarFunc, SelectItem};
 use crate::parser::{parse, ParseError};
 use crate::plan::{
-    choose_run_route, choose_run_route_forced, plan_event_scan, plan_metric_scan, plan_run_scan,
-    plan_summary_scan, ScanRoute,
+    choose_run_route, choose_run_route_forced, estimate_candidates, plan_event_scan,
+    plan_metric_scan, plan_run_scan, plan_summary_scan, ScanRoute,
 };
+use mltrace_store::aggregate::{canonical_row_key, canonical_value_key};
 use mltrace_store::schema::{
     column_index, run_row, scan, scan_events_rows, scan_metrics_rows, scan_runs_rows,
     scan_summary_rows, table_schema, Row, Table,
 };
-use mltrace_store::{EventFilter, RunFilter, Store, StoreError, Value};
+use mltrace_store::{
+    AggInput, AggPartial, EventFilter, GroupPartial, RunFilter, Store, StoreError, Value,
+};
 use std::cmp::Ordering;
-use std::collections::{HashMap, HashSet};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt::Write as _;
 
 /// Execution error.
@@ -197,21 +201,12 @@ fn execute_query_inner(
     pushdown: bool,
     pref: RoutePreference,
 ) -> Result<QueryResult, QueryError> {
-    let table =
-        Table::parse(&query.from).ok_or_else(|| QueryError::UnknownTable(query.from.clone()))?;
-    let schema = table_schema(table);
-    let resolve = |name: &str| -> Result<usize, QueryError> {
-        column_index(table, name).map_err(|_| QueryError::UnknownColumn(name.to_owned()))
-    };
+    let scope = Scope::build(query)?;
+    let resolve = |name: &str| scope.resolve(name);
 
-    // Validate column references and WHERE shape up front, before any
-    // scan, so both execution paths fail identically.
-    validate_columns(query, &resolve)?;
-    if let Some(filter) = &query.where_clause {
-        if filter.has_aggregate() {
-            return Err(QueryError::Semantic("aggregate in WHERE".into()));
-        }
-    }
+    // Validate column references and predicate shapes up front, before
+    // any scan, so both execution paths fail identically.
+    validate_query(query, &scope)?;
 
     let grouped = !query.group_by.is_empty()
         || query
@@ -219,92 +214,68 @@ fn execute_query_inner(
             .iter()
             .any(|s| matches!(s, SelectItem::Expr { expr, .. } if expr.has_aggregate()));
 
-    // LIMIT can run inside the scan only when nothing downstream can drop
-    // or reorder rows: the whole WHERE must be pushed, and there must be
-    // no grouping, DISTINCT, or ORDER BY.
-    let limit_pushable = |residual: &Option<Expr>| -> Option<usize> {
-        if residual.is_none() && !grouped && !query.distinct && query.order_by.is_empty() {
+    // Partial-aggregate pushdown: a grouped single-table run query whose
+    // WHERE the run filter fully absorbs folds shard-by-shard inside the
+    // store, so the executor only sees group-count partial states.
+    if pushdown && grouped {
+        if let Some(pplan) = plan_partial_agg(query, &scope) {
+            if let Some((columns, out_rows)) =
+                execute_partial_agg(store, query, &scope, &pplan, pref)?
+            {
+                return finish_rows(store, query, columns, out_rows, &resolve);
+            }
+        }
+    }
+
+    // Scan each source, splitting WHERE into per-source pushed-down parts
+    // and a residual the executor evaluates on the joined rows.
+    let (mut rows, residual) = if pushdown {
+        let (clauses, extra) = partition_where(query, &scope);
+        // LIMIT can run inside the scan only when nothing downstream can
+        // drop or reorder rows: single source, whole WHERE pushed, no
+        // grouping, DISTINCT, or ORDER BY.
+        let limit0 = if query.joins.is_empty()
+            && extra.is_empty()
+            && !grouped
+            && !query.distinct
+            && query.order_by.is_empty()
+        {
             query.limit
         } else {
             None
-        }
-    };
-    let tele = store.telemetry();
-
-    // Scan, splitting WHERE into a pushed-down part and a residual the
-    // executor still evaluates per row.
-    let (mut rows, residual) = if pushdown {
-        match table {
-            Table::ComponentRuns => {
-                let plan = plan_run_scan(query.where_clause.as_ref());
-                let limit = limit_pushable(&plan.residual);
-                if let Some(t) = tele {
-                    if !plan.filter.is_all() {
-                        t.incr("query.pushdown.filters_total");
-                    }
-                    if limit.is_some() {
-                        t.incr("query.pushdown.limits_total");
-                    }
-                }
-                let route = choose_route(store, &plan.filter, pref)?;
-                let rows = match route {
-                    ScanRoute::Index(idx) => {
-                        match store.scan_runs_indexed(None, &plan.filter, limit, idx)? {
-                            Some(records) => records.iter().map(run_row).collect(),
-                            // The store declined the route (e.g. no
-                            // indexes behind this trait object after all).
-                            None => scan_runs_rows(store, &plan.filter, limit)?,
-                        }
-                    }
-                    ScanRoute::FullScan => scan_runs_rows(store, &plan.filter, limit)?,
+        };
+        let mut per_source: Vec<Vec<Row>> = Vec::with_capacity(scope.sources.len());
+        for (i, src) in scope.sources.iter().enumerate() {
+            let limit = if i == 0 { limit0 } else { None };
+            let (mut rows, local_residual) =
+                scan_source(store, src.table, clauses[i].as_ref(), limit, pref)?;
+            // The planner residual references only this source's columns
+            // (bare names), so it filters before the join.
+            if let Some(res) = &local_residual {
+                let table = src.table;
+                let local = |name: &str| -> Result<usize, QueryError> {
+                    column_index(table, name)
+                        .map_err(|_| QueryError::UnknownColumn(name.to_owned()))
                 };
-                (rows, plan.residual)
-            }
-            Table::Metrics => {
-                let plan = plan_metric_scan(query.where_clause.as_ref());
-                let limit = limit_pushable(&plan.residual);
-                if let Some(t) = tele {
-                    if plan.component.is_some() {
-                        t.incr("query.pushdown.filters_total");
-                    }
-                    if limit.is_some() {
-                        t.incr("query.pushdown.limits_total");
+                let mut kept = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if eval(res, &row, &local)?.truthy() {
+                        kept.push(row);
                     }
                 }
-                (
-                    scan_metrics_rows(store, plan.component.as_deref(), limit)?,
-                    plan.residual,
-                )
+                rows = kept;
             }
-            Table::Events => {
-                let plan = plan_event_scan(query.where_clause.as_ref());
-                let limit = limit_pushable(&plan.residual);
-                if let Some(t) = tele {
-                    if !plan.filter.is_all() {
-                        t.incr("query.pushdown.filters_total");
-                    }
-                    if limit.is_some() {
-                        t.incr("query.pushdown.limits_total");
-                    }
-                }
-                (scan_events_rows(store, &plan.filter, limit)?, plan.residual)
-            }
-            Table::Summaries => {
-                let plan = plan_summary_scan(query.where_clause.as_ref());
-                if let Some(t) = tele {
-                    if plan.component.is_some() || plan.metric.is_some() {
-                        t.incr("query.pushdown.filters_total");
-                    }
-                }
-                (
-                    scan_summary_rows(store, plan.component.as_deref(), plan.metric.as_deref())?,
-                    plan.residual,
-                )
-            }
-            other => (scan(store, other)?, query.where_clause.clone()),
+            per_source.push(rows);
         }
+        let rows = execute_joins(query, &scope, per_source, true)?;
+        (rows, and_fold(extra))
     } else {
-        (scan(store, table)?, query.where_clause.clone())
+        let mut per_source: Vec<Vec<Row>> = Vec::with_capacity(scope.sources.len());
+        for src in &scope.sources {
+            per_source.push(scan(store, src.table)?);
+        }
+        let rows = execute_joins(query, &scope, per_source, false)?;
+        (rows, query.where_clause.clone())
     };
 
     // Residual WHERE (the full clause on the naive path).
@@ -318,11 +289,24 @@ fn execute_query_inner(
         rows = kept;
     }
 
-    let (columns, mut out_rows) = if grouped {
+    let (columns, out_rows) = if grouped {
         aggregate(query, rows, &resolve)?
     } else {
-        project_plain(query, rows, schema, &resolve)?
+        project_plain(query, rows, &scope, &resolve)?
     };
+    finish_rows(store, query, columns, out_rows, &resolve)
+}
+
+/// The shared tail of every execution path: DISTINCT, ORDER BY (bounded
+/// top-K when a LIMIT rides along), and LIMIT over the projected rows.
+fn finish_rows(
+    store: &dyn Store,
+    query: &Query,
+    columns: Vec<String>,
+    mut out_rows: Vec<Row>,
+    resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
+) -> Result<QueryResult, QueryError> {
+    let tele = store.telemetry();
 
     // DISTINCT over the projected rows, via hashed canonical keys (the
     // key encoding matches `Value::loose_eq`, see `canonical_row_key`) —
@@ -337,7 +321,7 @@ fn execute_query_inner(
         let keys: Vec<(SortKey, bool)> = query
             .order_by
             .iter()
-            .map(|(e, desc)| Ok((sort_key(e, &columns, query, &resolve)?, *desc)))
+            .map(|(e, desc)| Ok((sort_key(e, &columns, query, resolve)?, *desc)))
             .collect::<Result<_, QueryError>>()?;
         let cmp = |a: &Row, b: &Row| -> Ordering {
             for (key, desc) in &keys {
@@ -374,6 +358,670 @@ fn execute_query_inner(
     })
 }
 
+/// One source table in the FROM/JOIN chain, with the column-offset range
+/// its columns occupy in the joined row.
+struct ScopeSource {
+    /// Qualifier label: the alias if one was given, else the table name.
+    label: String,
+    table: Table,
+    offset: usize,
+    width: usize,
+    /// Right side of a LEFT JOIN: its columns may be null-padded, so
+    /// WHERE conjuncts on them cannot be pushed below the join.
+    left_padded: bool,
+}
+
+/// Name resolution over the FROM/JOIN sources: maps (possibly
+/// `alias.column`-qualified) names to offsets in the joined row, which is
+/// the concatenation of every source's columns in FROM/JOIN order.
+struct Scope {
+    sources: Vec<ScopeSource>,
+}
+
+impl Scope {
+    fn build(query: &Query) -> Result<Scope, QueryError> {
+        let mut sources: Vec<ScopeSource> = Vec::with_capacity(1 + query.joins.len());
+        let mut offset = 0;
+        let refs = std::iter::once((&query.from, false)).chain(
+            query
+                .joins
+                .iter()
+                .map(|j| (&j.table, j.kind == JoinKind::Left)),
+        );
+        for (tref, left_padded) in refs {
+            let table = Table::parse(&tref.name)
+                .ok_or_else(|| QueryError::UnknownTable(tref.name.clone()))?;
+            let label = tref.label().to_owned();
+            if sources.iter().any(|s| s.label.eq_ignore_ascii_case(&label)) {
+                return Err(QueryError::Semantic(format!(
+                    "duplicate table label '{label}'"
+                )));
+            }
+            let width = table_schema(table).len();
+            sources.push(ScopeSource {
+                label,
+                table,
+                offset,
+                width,
+                left_padded,
+            });
+            offset += width;
+        }
+        Ok(Scope { sources })
+    }
+
+    /// Resolve a column name to its offset in the joined row. Qualified
+    /// names (`r.component`) look in the named source only; bare names
+    /// are searched across every source and must be unambiguous.
+    fn resolve(&self, name: &str) -> Result<usize, QueryError> {
+        if let Some((qualifier, column)) = name.split_once('.') {
+            let src = self
+                .sources
+                .iter()
+                .find(|s| s.label.eq_ignore_ascii_case(qualifier))
+                .ok_or_else(|| QueryError::UnknownColumn(name.to_owned()))?;
+            let idx = column_index(src.table, column)
+                .map_err(|_| QueryError::UnknownColumn(name.to_owned()))?;
+            return Ok(src.offset + idx);
+        }
+        let mut found = None;
+        for s in &self.sources {
+            if let Ok(idx) = column_index(s.table, name) {
+                if found.is_some() {
+                    return Err(QueryError::Semantic(format!(
+                        "ambiguous column '{name}': qualify it with a table label"
+                    )));
+                }
+                found = Some(s.offset + idx);
+            }
+        }
+        found.ok_or_else(|| QueryError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Index of the source whose column range contains `global`.
+    fn source_of(&self, global: usize) -> usize {
+        self.sources
+            .iter()
+            .rposition(|s| global >= s.offset)
+            .unwrap_or(0)
+    }
+
+    /// Output column names for `SELECT *`: bare names for one source,
+    /// label-qualified once a join makes bare names collide.
+    fn wildcard_columns(&self) -> Vec<String> {
+        if let [only] = &self.sources[..] {
+            return table_schema(only.table)
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        }
+        let mut out = Vec::new();
+        for s in &self.sources {
+            for c in table_schema(s.table) {
+                out.push(format!("{}.{c}", s.label));
+            }
+        }
+        out
+    }
+}
+
+/// Up-front semantic checks shared by execution and EXPLAIN: every
+/// column resolves, and aggregates appear only above the grouping
+/// boundary (not in WHERE or JOIN ON).
+fn validate_query(query: &Query, scope: &Scope) -> Result<(), QueryError> {
+    let resolve = |name: &str| scope.resolve(name);
+    validate_columns(query, &resolve)?;
+    if let Some(filter) = &query.where_clause {
+        if filter.has_aggregate() {
+            return Err(QueryError::Semantic("aggregate in WHERE".into()));
+        }
+    }
+    for join in &query.joins {
+        if join.on.has_aggregate() {
+            return Err(QueryError::Semantic("aggregate in JOIN ON".into()));
+        }
+    }
+    Ok(())
+}
+
+/// Walk every column reference in an expression.
+fn for_each_column<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a str)) {
+    match e {
+        Expr::Column(c) => f(c),
+        Expr::Literal(_) => {}
+        Expr::Binary { left, right, .. } => {
+            for_each_column(left, f);
+            for_each_column(right, f);
+        }
+        Expr::Not(x) | Expr::Neg(x) => for_each_column(x, f),
+        Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => for_each_column(expr, f),
+        Expr::In { expr, list, .. } => {
+            for_each_column(expr, f);
+            for x in list {
+                for_each_column(x, f);
+            }
+        }
+        Expr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                for_each_column(a, f);
+            }
+        }
+        Expr::Scalar { args, .. } => {
+            for a in args {
+                for_each_column(a, f);
+            }
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            for_each_column(expr, f);
+            for_each_column(lo, f);
+            for_each_column(hi, f);
+        }
+    }
+}
+
+/// The set of sources an expression's columns resolve into, or `None`
+/// when any column fails to resolve (validation reports those first).
+fn column_sources(e: &Expr, scope: &Scope) -> Option<BTreeSet<usize>> {
+    let mut srcs = BTreeSet::new();
+    let mut unknown = false;
+    for_each_column(e, &mut |c| match scope.resolve(c) {
+        Ok(g) => {
+            srcs.insert(scope.source_of(g));
+        }
+        Err(_) => unknown = true,
+    });
+    (!unknown).then_some(srcs)
+}
+
+/// Clone an expression with every column name rewritten by `rename`.
+fn map_columns(e: &Expr, rename: &dyn Fn(&str) -> String) -> Expr {
+    match e {
+        Expr::Column(c) => Expr::Column(rename(c)),
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(map_columns(left, rename)),
+            right: Box::new(map_columns(right, rename)),
+        },
+        Expr::Not(x) => Expr::Not(Box::new(map_columns(x, rename))),
+        Expr::Neg(x) => Expr::Neg(Box::new(map_columns(x, rename))),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(map_columns(expr, rename)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::In {
+            expr,
+            list,
+            negated,
+        } => Expr::In {
+            expr: Box::new(map_columns(expr, rename)),
+            list: list.iter().map(|x| map_columns(x, rename)).collect(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(map_columns(expr, rename)),
+            negated: *negated,
+        },
+        Expr::Agg { func, arg } => Expr::Agg {
+            func: *func,
+            arg: arg.as_ref().map(|a| Box::new(map_columns(a, rename))),
+        },
+        Expr::Scalar { func, args } => Expr::Scalar {
+            func: *func,
+            args: args.iter().map(|a| map_columns(a, rename)).collect(),
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(map_columns(expr, rename)),
+            lo: Box::new(map_columns(lo, rename)),
+            hi: Box::new(map_columns(hi, rename)),
+            negated: *negated,
+        },
+    }
+}
+
+/// Rewrite every column in `e` to its bare schema name within source
+/// `src`, so the single-table planners (which match unqualified names)
+/// can absorb qualified conjuncts. The caller guarantees every column
+/// resolves into `src`.
+fn strip_qualifiers(e: &Expr, scope: &Scope, src: usize) -> Expr {
+    let source = &scope.sources[src];
+    map_columns(e, &|c: &str| match scope.resolve(c) {
+        Ok(g) => table_schema(source.table)[g - source.offset].to_owned(),
+        Err(_) => c.to_owned(),
+    })
+}
+
+/// AND the conjuncts back together, preserving order.
+fn and_fold(conjuncts: Vec<Expr>) -> Option<Expr> {
+    conjuncts.into_iter().reduce(|left, right| Expr::Binary {
+        op: BinOp::And,
+        left: Box::new(left),
+        right: Box::new(right),
+    })
+}
+
+/// Partition the WHERE clause's conjuncts among the sources: a conjunct
+/// pushes below the join to source `i` when every column it references
+/// lives in source `i` and that source is never null-padded by a LEFT
+/// join (filtering a padded source pre-join would change which rows get
+/// padding). Column-free conjuncts go to the first source, which is
+/// never padded. Returns the per-source clauses (in bare column names)
+/// plus the residual conjuncts for the joined rows.
+fn partition_where(query: &Query, scope: &Scope) -> (Vec<Option<Expr>>, Vec<Expr>) {
+    let mut per_source: Vec<Vec<Expr>> = scope.sources.iter().map(|_| Vec::new()).collect();
+    let mut residual = Vec::new();
+    if let Some(w) = &query.where_clause {
+        for conjunct in w.conjuncts() {
+            let target = match column_sources(conjunct, scope) {
+                Some(srcs) if srcs.is_empty() => Some(0),
+                Some(srcs) if srcs.len() == 1 => {
+                    let i = *srcs.iter().next().expect("len checked");
+                    (!scope.sources[i].left_padded).then_some(i)
+                }
+                _ => None,
+            };
+            match target {
+                Some(i) => per_source[i].push(strip_qualifiers(conjunct, scope, i)),
+                None => residual.push(conjunct.clone()),
+            }
+        }
+    }
+    let clauses = per_source.into_iter().map(and_fold).collect();
+    (clauses, residual)
+}
+
+/// Scan one source table through its pushdown planner. `clause` must use
+/// bare (unqualified) column names; the returned residual (also bare)
+/// still needs evaluating against this source's rows. `limit` caps the
+/// scan only when the planner absorbed the entire clause.
+fn scan_source(
+    store: &dyn Store,
+    table: Table,
+    clause: Option<&Expr>,
+    limit: Option<usize>,
+    pref: RoutePreference,
+) -> Result<(Vec<Row>, Option<Expr>), QueryError> {
+    let tele = store.telemetry();
+    Ok(match table {
+        Table::ComponentRuns => {
+            let plan = plan_run_scan(clause);
+            let limit = if plan.residual.is_none() { limit } else { None };
+            if let Some(t) = tele {
+                if !plan.filter.is_all() {
+                    t.incr("query.pushdown.filters_total");
+                }
+                if limit.is_some() {
+                    t.incr("query.pushdown.limits_total");
+                }
+            }
+            let route = choose_route(store, &plan.filter, pref)?;
+            let rows = match route {
+                ScanRoute::Index(idx) => {
+                    match store.scan_runs_indexed(None, &plan.filter, limit, idx)? {
+                        Some(records) => records.iter().map(run_row).collect(),
+                        // The store declined the route (e.g. no
+                        // indexes behind this trait object after all).
+                        None => scan_runs_rows(store, &plan.filter, limit)?,
+                    }
+                }
+                ScanRoute::FullScan => scan_runs_rows(store, &plan.filter, limit)?,
+            };
+            (rows, plan.residual)
+        }
+        Table::Metrics => {
+            let plan = plan_metric_scan(clause);
+            let limit = if plan.residual.is_none() { limit } else { None };
+            if let Some(t) = tele {
+                if plan.component.is_some() {
+                    t.incr("query.pushdown.filters_total");
+                }
+                if limit.is_some() {
+                    t.incr("query.pushdown.limits_total");
+                }
+            }
+            (
+                scan_metrics_rows(store, plan.component.as_deref(), limit)?,
+                plan.residual,
+            )
+        }
+        Table::Events => {
+            let plan = plan_event_scan(clause);
+            let limit = if plan.residual.is_none() { limit } else { None };
+            if let Some(t) = tele {
+                if !plan.filter.is_all() {
+                    t.incr("query.pushdown.filters_total");
+                }
+                if limit.is_some() {
+                    t.incr("query.pushdown.limits_total");
+                }
+            }
+            (scan_events_rows(store, &plan.filter, limit)?, plan.residual)
+        }
+        Table::Summaries => {
+            let plan = plan_summary_scan(clause);
+            if let Some(t) = tele {
+                if plan.component.is_some() || plan.metric.is_some() {
+                    t.incr("query.pushdown.filters_total");
+                }
+            }
+            (
+                scan_summary_rows(store, plan.component.as_deref(), plan.metric.as_deref())?,
+                plan.residual,
+            )
+        }
+        other => (scan(store, other)?, clause.cloned()),
+    })
+}
+
+/// Fold the per-source row sets left to right through the join chain.
+fn execute_joins(
+    query: &Query,
+    scope: &Scope,
+    per_source: Vec<Vec<Row>>,
+    hash: bool,
+) -> Result<Vec<Row>, QueryError> {
+    let mut iter = per_source.into_iter();
+    let mut acc = iter.next().unwrap_or_default();
+    for (i, (join, right)) in query.joins.iter().zip(iter).enumerate() {
+        acc = join_rows(scope, acc, right, join, i + 1, hash)?;
+    }
+    Ok(acc)
+}
+
+/// View an ON conjunct as an equi-join pair: `probe-expr = build-expr`
+/// where one side reads only the join's right source and the other only
+/// earlier sources. Returns `(left-sides expr, right-side expr)`.
+fn split_equi(e: &Expr, scope: &Scope, right_src: usize) -> Option<(Expr, Expr)> {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = e
+    else {
+        return None;
+    };
+    // true: every column in the right source; false: every column in an
+    // earlier source; None: mixed, column-free, or unresolvable.
+    let side = |x: &Expr| -> Option<bool> {
+        let srcs = column_sources(x, scope)?;
+        if srcs.is_empty() {
+            None
+        } else if srcs.iter().all(|&s| s == right_src) {
+            Some(true)
+        } else if srcs.iter().all(|&s| s < right_src) {
+            Some(false)
+        } else {
+            None
+        }
+    };
+    match (side(left), side(right)) {
+        (Some(false), Some(true)) => Some(((**left).clone(), (**right).clone())),
+        (Some(true), Some(false)) => Some(((**right).clone(), (**left).clone())),
+        _ => None,
+    }
+}
+
+/// Join the accumulated left rows against one right source.
+///
+/// The hash path buckets the smaller input by the canonical key of its
+/// equi-join expressions (key equality matches the executor's `=`
+/// semantics, including NULL-never-matches) and collects surviving
+/// `(left, right)` index pairs; sorting those pairs reproduces the
+/// nested-loop emission order exactly, so the pushed and naive paths
+/// stay row-for-row equivalent. LEFT joins pad unmatched left rows with
+/// NULLs for the right source's columns.
+fn join_rows(
+    scope: &Scope,
+    left: Vec<Row>,
+    right: Vec<Row>,
+    join: &Join,
+    right_src: usize,
+    hash: bool,
+) -> Result<Vec<Row>, QueryError> {
+    let right_off = scope.sources[right_src].offset;
+    let right_width = scope.sources[right_src].width;
+    let resolve = |name: &str| scope.resolve(name);
+    // Right-side equi expressions reference global offsets; shift them
+    // back so they evaluate against a bare right row.
+    let resolve_right =
+        |name: &str| -> Result<usize, QueryError> { resolve(name).map(|g| g - right_off) };
+
+    let mut equi: Vec<(Expr, Expr)> = Vec::new();
+    let mut extra: Vec<&Expr> = Vec::new();
+    if hash {
+        for conjunct in join.on.conjuncts() {
+            match split_equi(conjunct, scope, right_src) {
+                Some(pair) => equi.push(pair),
+                None => extra.push(conjunct),
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    if hash && !equi.is_empty() {
+        // Candidate pairs from the hash lookup, then the non-equi ON
+        // conjuncts checked per pair.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let key_of = |exprs: &[&Expr],
+                      row: &Row,
+                      res: &dyn Fn(&str) -> Result<usize, QueryError>|
+         -> Result<Option<String>, QueryError> {
+            let mut key = String::new();
+            for e in exprs {
+                let v = eval(e, row, res)?;
+                if v.is_null() {
+                    // `=` with NULL never matches; the row joins nothing.
+                    return Ok(None);
+                }
+                canonical_value_key(&v, &mut key);
+            }
+            Ok(Some(key))
+        };
+        let probe_exprs: Vec<&Expr> = equi.iter().map(|(l, _)| l).collect();
+        let build_exprs: Vec<&Expr> = equi.iter().map(|(_, r)| r).collect();
+        // Build the hash side from the smaller input (an INNER join can
+        // flip; LEFT must enumerate left rows to find the unmatched).
+        if join.kind == JoinKind::Inner && left.len() < right.len() {
+            let mut buckets: HashMap<String, Vec<usize>> = HashMap::with_capacity(left.len());
+            for (li, row) in left.iter().enumerate() {
+                if let Some(key) = key_of(&probe_exprs, row, &resolve)? {
+                    buckets.entry(key).or_default().push(li);
+                }
+            }
+            for (ri, row) in right.iter().enumerate() {
+                if let Some(key) = key_of(&build_exprs, row, &resolve_right)? {
+                    if let Some(lis) = buckets.get(&key) {
+                        pairs.extend(lis.iter().map(|&li| (li, ri)));
+                    }
+                }
+            }
+        } else {
+            let mut buckets: HashMap<String, Vec<usize>> = HashMap::with_capacity(right.len());
+            for (ri, row) in right.iter().enumerate() {
+                if let Some(key) = key_of(&build_exprs, row, &resolve_right)? {
+                    buckets.entry(key).or_default().push(ri);
+                }
+            }
+            for (li, row) in left.iter().enumerate() {
+                if let Some(key) = key_of(&probe_exprs, row, &resolve)? {
+                    if let Some(ris) = buckets.get(&key) {
+                        pairs.extend(ris.iter().map(|&ri| (li, ri)));
+                    }
+                }
+            }
+        }
+        // Nested-loop emission order: ascending (left, right) position.
+        pairs.sort_unstable();
+        let mut p = 0;
+        for (li, lrow) in left.iter().enumerate() {
+            let mut matched = false;
+            while p < pairs.len() && pairs[p].0 == li {
+                let ri = pairs[p].1;
+                p += 1;
+                let mut cat = lrow.clone();
+                cat.extend(right[ri].iter().cloned());
+                let mut ok = true;
+                for e in &extra {
+                    if !eval(e, &cat, &resolve)?.truthy() {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    out.push(cat);
+                    matched = true;
+                }
+            }
+            if join.kind == JoinKind::Left && !matched {
+                let mut cat = lrow.clone();
+                cat.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(cat);
+            }
+        }
+    } else {
+        // Nested loop with the full ON predicate: the reference path,
+        // and the fallback when ON has no equi conjunct.
+        for lrow in &left {
+            let mut matched = false;
+            for rrow in &right {
+                let mut cat = lrow.clone();
+                cat.extend(rrow.iter().cloned());
+                if eval(&join.on, &cat, &resolve)?.truthy() {
+                    out.push(cat);
+                    matched = true;
+                }
+            }
+            if join.kind == JoinKind::Left && !matched {
+                let mut cat = lrow.clone();
+                cat.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(cat);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A grouped run query decomposed into store-side partial-aggregate
+/// form: schema column indices for the group key and one [`AggInput`]
+/// per collected aggregate expression.
+struct PartialAggPlan {
+    filter: RunFilter,
+    group_cols: Vec<usize>,
+    agg_inputs: Vec<AggInput>,
+    agg_exprs: Vec<(AggFunc, Option<Expr>)>,
+}
+
+/// Decide whether a grouped query can run as a store-side partial
+/// aggregate: a single `component_runs` source, a WHERE the run filter
+/// absorbs completely, plain-column GROUP BY keys, and plain-column (or
+/// `*`) aggregate arguments. Anything else falls back to the row scan.
+fn plan_partial_agg(query: &Query, scope: &Scope) -> Option<PartialAggPlan> {
+    let [source] = &scope.sources[..] else {
+        return None;
+    };
+    if source.table != Table::ComponentRuns {
+        return None;
+    }
+    let plan = plan_run_scan(query.where_clause.as_ref());
+    if plan.residual.is_some() {
+        return None;
+    }
+    let mut agg_exprs: Vec<(AggFunc, Option<Expr>)> = Vec::new();
+    for item in &query.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggs(expr, &mut agg_exprs);
+        }
+    }
+    if let Some(h) = &query.having {
+        collect_aggs(h, &mut agg_exprs);
+    }
+    let mut agg_inputs = Vec::with_capacity(agg_exprs.len());
+    for (_, arg) in &agg_exprs {
+        match arg {
+            None => agg_inputs.push(AggInput::CountStar),
+            Some(Expr::Column(c)) => agg_inputs.push(AggInput::Column(scope.resolve(c).ok()?)),
+            Some(_) => return None,
+        }
+    }
+    let mut group_cols = Vec::with_capacity(query.group_by.len());
+    for g in &query.group_by {
+        group_cols.push(scope.resolve(g).ok()?);
+    }
+    Some(PartialAggPlan {
+        filter: plan.filter,
+        group_cols,
+        agg_inputs,
+        agg_exprs,
+    })
+}
+
+/// Column names plus the rows under them — the shape both the grouped
+/// and plain projection stages hand back to the result assembly.
+type NamedRows = (Vec<String>, Vec<Row>);
+
+/// Run the partial-aggregate pushdown: the store folds each shard into
+/// hash-grouped partial states in parallel; the executor merges them,
+/// reconstructs the naive path's first-seen group order via `first_id`
+/// (both scans visit runs in ascending id order), and applies HAVING and
+/// the SELECT projection. Returns `None` when the store declines.
+fn execute_partial_agg(
+    store: &dyn Store,
+    query: &Query,
+    scope: &Scope,
+    plan: &PartialAggPlan,
+    pref: RoutePreference,
+) -> Result<Option<NamedRows>, QueryError> {
+    let route = match choose_route(store, &plan.filter, pref)? {
+        ScanRoute::Index(r) => Some(r),
+        ScanRoute::FullScan => None,
+    };
+    let Some(partials) =
+        store.scan_runs_grouped(&plan.filter, route, &plan.group_cols, &plan.agg_inputs)?
+    else {
+        return Ok(None);
+    };
+    if let Some(t) = store.telemetry() {
+        t.incr("query.pushdown.aggregates_total");
+        if !plan.filter.is_all() {
+            t.incr("query.pushdown.filters_total");
+        }
+    }
+    // The store may return several partials per group (one per worker);
+    // merge by the canonical key the naive path also groups on.
+    let mut merged: HashMap<String, GroupPartial> = HashMap::with_capacity(partials.len());
+    for p in partials {
+        match merged.entry(canonical_row_key(&p.key)) {
+            Entry::Occupied(mut e) => e.get_mut().merge(&p),
+            Entry::Vacant(v) => {
+                v.insert(p);
+            }
+        }
+    }
+    let mut groups: Vec<GroupPartial> = merged.into_values().collect();
+    groups.sort_unstable_by_key(|g| g.first_id);
+    // A global aggregate over zero rows still yields one group.
+    if groups.is_empty() && plan.group_cols.is_empty() {
+        groups.push(GroupPartial::new(Vec::new(), 0, plan.agg_inputs.len()));
+    }
+    project_groups(
+        query,
+        groups.iter().map(|g| (&g.key[..], &g.aggs[..])),
+        &plan.agg_exprs,
+        &|name| scope.resolve(name),
+    )
+    .map(Some)
+}
+
 /// Resolve the run-scan route for one query: the preference picks the
 /// policy, the store's index stats feed the estimate. Stores without
 /// secondary indexes always scan.
@@ -399,21 +1047,22 @@ fn choose_route(
 /// residual size, limit pushdown, and (for cold event reads) how many
 /// sealed WAL segments the zone maps would prune.
 pub fn explain_query(store: &dyn Store, query: &Query) -> Result<QueryResult, QueryError> {
-    let table =
-        Table::parse(&query.from).ok_or_else(|| QueryError::UnknownTable(query.from.clone()))?;
-    let resolve = |name: &str| -> Result<usize, QueryError> {
-        column_index(table, name).map_err(|_| QueryError::UnknownColumn(name.to_owned()))
-    };
+    let scope = Scope::build(query)?;
     // Surface the same up-front errors a real execution would.
-    validate_columns(query, &resolve)?;
+    validate_query(query, &scope)?;
 
     let grouped = !query.group_by.is_empty()
         || query
             .select
             .iter()
             .any(|s| matches!(s, SelectItem::Expr { expr, .. } if expr.has_aggregate()));
-    let mut props: Vec<(&'static str, String)> = vec![("table", query.from.to_lowercase())];
-    let mut push = |k, v| props.push((k, v));
+    let table_prop = std::iter::once(&query.from)
+        .chain(query.joins.iter().map(|j| &j.table))
+        .map(|t| t.name.to_lowercase())
+        .collect::<Vec<_>>()
+        .join(" join ");
+    let mut props: Vec<(String, String)> = vec![("table".to_owned(), table_prop)];
+    let mut push = |k: &str, v: String| props.push((k.to_owned(), v));
 
     // Mirrors `limit_pushable` in the executor.
     let pushed_limit = |residual: &Option<Expr>| -> Option<usize> {
@@ -427,6 +1076,85 @@ pub fn explain_query(store: &dyn Store, query: &Query) -> Result<QueryResult, Qu
         Some(n) => format!("{n}"),
         None => "none".to_owned(),
     };
+
+    if !query.joins.is_empty() {
+        // Join plan: per-source pushed filters, then one line per join
+        // with its strategy inputs. Residuals count every conjunct the
+        // executor still evaluates above the scans.
+        let (clauses, extra) = partition_where(query, &scope);
+        let mut residual_total = extra.len();
+        let mut all_hash = true;
+        let mut source_props: Vec<(String, String)> = Vec::new();
+        for (i, src) in scope.sources.iter().enumerate() {
+            let (desc, residual) = describe_source_plan(src.table, clauses[i].as_ref());
+            residual_total += residual;
+            source_props.push((format!("pushed_filter_{}", src.label), desc));
+        }
+        let mut join_props: Vec<(String, String)> = Vec::new();
+        for (i, join) in query.joins.iter().enumerate() {
+            let equi = join
+                .on
+                .conjuncts()
+                .iter()
+                .filter(|c| split_equi(c, &scope, i + 1).is_some())
+                .count();
+            if equi == 0 {
+                all_hash = false;
+            }
+            let kind = match join.kind {
+                JoinKind::Inner => "inner",
+                JoinKind::Left => "left",
+            };
+            let est =
+                estimate_source_rows(store, scope.sources[i + 1].table, clauses[i + 1].as_ref())?;
+            join_props.push((
+                format!("join_{}", i + 1),
+                format!(
+                    "{kind} {label} equi_keys={equi} right_rows_est={est}",
+                    label = scope.sources[i + 1].label
+                ),
+            ));
+        }
+        push(
+            "route",
+            if all_hash { "hash-join" } else { "nested-loop" }.to_owned(),
+        );
+        props.extend(source_props);
+        props.extend(join_props);
+        props.push(("residual_conjuncts".to_owned(), residual_total.to_string()));
+        props.push(("pushed_limit".to_owned(), "none".to_owned()));
+        return Ok(QueryResult {
+            columns: vec!["property".to_owned(), "value".to_owned()],
+            rows: props
+                .into_iter()
+                .map(|(k, v)| vec![Value::from(k), Value::from(v)])
+                .collect(),
+        });
+    }
+
+    let table = scope.sources[0].table;
+
+    // Partial-aggregate pushdown: a plannable grouped run query routes
+    // through the store-side fold, so EXPLAIN reports the aggregate
+    // route plus a group-count estimate instead of the row-scan shape.
+    if grouped {
+        if let Some(pplan) = plan_partial_agg(query, &scope) {
+            let route = choose_route(store, &pplan.filter, RoutePreference::Auto)?;
+            push("route", format!("partial-agg({})", route.describe()));
+            push("pushed_filter", describe_run_filter(&pplan.filter));
+            push("groups_est", estimate_groups(store, &pplan.group_cols)?);
+            push("aggregates", pplan.agg_inputs.len().to_string());
+            push("residual_conjuncts", "0".to_owned());
+            push("pushed_limit", "none".to_owned());
+            return Ok(QueryResult {
+                columns: vec!["property".to_owned(), "value".to_owned()],
+                rows: props
+                    .into_iter()
+                    .map(|(k, v)| vec![Value::from(k), Value::from(v)])
+                    .collect(),
+            });
+        }
+    }
 
     match table {
         Table::ComponentRuns => {
@@ -516,6 +1244,102 @@ pub fn explain_query(store: &dyn Store, query: &Query) -> Result<QueryResult, Qu
             .map(|(k, v)| vec![Value::from(k), Value::from(v)])
             .collect(),
     })
+}
+
+/// Per-source EXPLAIN line for a join plan: the pushed-down filter
+/// description plus the conjuncts the planner left as a local residual.
+fn describe_source_plan(table: Table, clause: Option<&Expr>) -> (String, usize) {
+    match table {
+        Table::ComponentRuns => {
+            let plan = plan_run_scan(clause);
+            (
+                describe_run_filter(&plan.filter),
+                conjunct_count(plan.residual.as_ref()),
+            )
+        }
+        Table::Metrics => {
+            let plan = plan_metric_scan(clause);
+            let desc = match &plan.component {
+                Some(c) => format!("component={c}"),
+                None => "all".to_owned(),
+            };
+            (desc, conjunct_count(plan.residual.as_ref()))
+        }
+        Table::Events => {
+            let plan = plan_event_scan(clause);
+            (
+                describe_event_filter(&plan.filter),
+                conjunct_count(plan.residual.as_ref()),
+            )
+        }
+        Table::Summaries => {
+            let plan = plan_summary_scan(clause);
+            let mut parts = Vec::new();
+            if let Some(c) = &plan.component {
+                parts.push(format!("component={c}"));
+            }
+            if let Some(m) = &plan.metric {
+                parts.push(format!("metric={m}"));
+            }
+            let desc = if parts.is_empty() {
+                "all".to_owned()
+            } else {
+                parts.join(", ")
+            };
+            (desc, conjunct_count(plan.residual.as_ref()))
+        }
+        _ => ("none".to_owned(), conjunct_count(clause)),
+    }
+}
+
+/// Row-count estimate for one join source after its pushed filter, used
+/// to pick (and report) the hash-join build side. Runs reuse the index
+/// selectivity estimates; other tables fall back to their total counts.
+fn estimate_source_rows(
+    store: &dyn Store,
+    table: Table,
+    clause: Option<&Expr>,
+) -> Result<String, QueryError> {
+    let stats = store.stats()?;
+    Ok(match table {
+        Table::ComponentRuns => {
+            let plan = plan_run_scan(clause);
+            match store.index_stats()? {
+                Some(idx) => match choose_run_route_forced(&plan.filter, &idx) {
+                    ScanRoute::Index(route) => {
+                        estimate_candidates(route, &plan.filter, &idx).to_string()
+                    }
+                    ScanRoute::FullScan => idx.runs.to_string(),
+                },
+                None => stats.runs.to_string(),
+            }
+        }
+        Table::Metrics => stats.metric_points.to_string(),
+        Table::Events => stats.events.to_string(),
+        Table::Incidents => stats.incidents.to_string(),
+        Table::Components => stats.components.to_string(),
+        Table::IoPointers => stats.io_pointers.to_string(),
+        Table::Rollups => stats.summaries.to_string(),
+        Table::Summaries => "unknown".to_owned(),
+    })
+}
+
+/// Group-count estimate for the partial-aggregate route, from the live
+/// index cardinalities when the key is one the store tracks.
+fn estimate_groups(store: &dyn Store, group_cols: &[usize]) -> Result<String, QueryError> {
+    if group_cols.is_empty() {
+        return Ok("1".to_owned());
+    }
+    let Some(stats) = store.index_stats()? else {
+        return Ok("unknown".to_owned());
+    };
+    let component = column_index(Table::ComponentRuns, "component").expect("schema column");
+    let status = column_index(Table::ComponentRuns, "status").expect("schema column");
+    match group_cols {
+        [c] if *c == component => Ok(stats.distinct_components.to_string()),
+        [c] if *c == status => Ok(stats.distinct_statuses.to_string()),
+        _ => Ok("unknown".to_owned()),
+    }
 }
 
 /// Count the top-level AND conjuncts of a residual WHERE expression.
@@ -611,66 +1435,6 @@ fn top_k<F: Fn(&Row, &Row) -> Ordering>(rows: &mut Vec<Row>, k: usize, cmp: F) {
     rows.extend(buf.into_iter().map(|(_, r)| r));
 }
 
-/// Canonical string key for a projected row, used by hashed DISTINCT.
-///
-/// Two rows get the same key iff elementwise `Value::loose_eq` holds
-/// (i.e. `total_cmp == Equal`): cross-type comparisons are never equal
-/// except the numeric interleave, where an integer-valued float that
-/// round-trips through `i64` exactly shares the integer's key and any
-/// other float (NaNs, -0.0, fractional) keys on its exact bits. The one
-/// divergence from pairwise `loose_eq` is the regime above 2^53 where
-/// float precision makes `loose_eq` non-transitive and the old O(n²)
-/// scan was order-dependent anyway; the hashed key is deterministic there.
-fn canonical_row_key(row: &Row) -> String {
-    let mut key = String::with_capacity(row.len() * 8);
-    for v in row {
-        canonical_value_key(v, &mut key);
-    }
-    key
-}
-
-fn canonical_value_key(v: &Value, out: &mut String) {
-    match v {
-        Value::Null => out.push_str("n;"),
-        Value::Bool(b) => {
-            let _ = write!(out, "b{};", u8::from(*b));
-        }
-        Value::Int(i) => {
-            let _ = write!(out, "i{i};");
-        }
-        Value::Float(f) => {
-            // `total_cmp` compares Int × Float by converting the int to
-            // f64; a float is loose-equal to an int iff it is that int's
-            // exact f64 image, i.e. iff it survives the i64 round-trip
-            // bit-for-bit (rules out NaN, -0.0, fractions, out-of-range).
-            let i = *f as i64;
-            if (i as f64).to_bits() == f.to_bits() {
-                let _ = write!(out, "i{i};");
-            } else {
-                let _ = write!(out, "f{:x};", f.to_bits());
-            }
-        }
-        Value::Str(s) => {
-            let _ = write!(out, "s{}:{s};", s.len());
-        }
-        Value::List(items) => {
-            let _ = write!(out, "l{}[", items.len());
-            for item in items {
-                canonical_value_key(item, out);
-            }
-            out.push(']');
-        }
-        Value::Map(entries) => {
-            let _ = write!(out, "m{}{{", entries.len());
-            for (k, val) in entries {
-                let _ = write!(out, "s{}:{k};", k.len());
-                canonical_value_key(val, out);
-            }
-            out.push('}');
-        }
-    }
-}
-
 enum SortKey {
     /// Index into the projected output row.
     Output(usize),
@@ -745,6 +1509,9 @@ fn validate_columns(
     if let Some(w) = &query.where_clause {
         walk(w, resolve)?;
     }
+    for join in &query.joins {
+        walk(&join.on, resolve)?;
+    }
     if let Some(h) = &query.having {
         walk(h, resolve)?;
     }
@@ -757,11 +1524,11 @@ fn validate_columns(
 fn project_plain(
     query: &Query,
     rows: Vec<Row>,
-    schema: &[&str],
+    scope: &Scope,
     resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
 ) -> Result<(Vec<String>, Vec<Row>), QueryError> {
     if query.select == vec![SelectItem::Wildcard] {
-        return Ok((schema.iter().map(|s| s.to_string()).collect(), rows));
+        return Ok((scope.wildcard_columns(), rows));
     }
     let mut columns = Vec::new();
     let mut exprs = Vec::new();
@@ -789,57 +1556,23 @@ fn project_plain(
     Ok((columns, out))
 }
 
-/// Accumulator for one aggregate within one group.
-#[derive(Debug, Clone)]
-struct AggState {
-    count: u64,
-    sum: f64,
-    min: Option<Value>,
-    max: Option<Value>,
-}
-
-impl AggState {
-    fn new() -> Self {
-        AggState {
-            count: 0,
-            sum: 0.0,
-            min: None,
-            max: None,
-        }
-    }
-
-    fn add(&mut self, v: &Value) {
-        if v.is_null() {
-            return;
-        }
-        self.count += 1;
-        if let Some(x) = v.as_f64() {
-            self.sum += x;
-        }
-        match &self.min {
-            Some(m) if m.total_cmp(v) != Ordering::Greater => {}
-            _ => self.min = Some(v.clone()),
-        }
-        match &self.max {
-            Some(m) if m.total_cmp(v) != Ordering::Less => {}
-            _ => self.max = Some(v.clone()),
-        }
-    }
-
-    fn finish(&self, func: AggFunc) -> Value {
-        match func {
-            AggFunc::Count => Value::from(self.count),
-            AggFunc::Sum => Value::Float(self.sum),
-            AggFunc::Avg => {
-                if self.count == 0 {
-                    Value::Null
-                } else {
-                    Value::Float(self.sum / self.count as f64)
-                }
+/// Finish one aggregate from its partial state. Both the in-executor
+/// fold and the store-side partial path end here, with states built
+/// from the same [`AggPartial`] arithmetic (exact superaccumulator
+/// sums), so the two paths produce bitwise-identical floats.
+fn finish_agg(state: &AggPartial, func: AggFunc) -> Value {
+    match func {
+        AggFunc::Count => Value::from(state.count),
+        AggFunc::Sum => Value::Float(state.sum.value()),
+        AggFunc::Avg => {
+            if state.count == 0 {
+                Value::Null
+            } else {
+                Value::Float(state.sum.value() / state.count as f64)
             }
-            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
-            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
         }
+        AggFunc::Min => state.min.clone().unwrap_or(Value::Null),
+        AggFunc::Max => state.max.clone().unwrap_or(Value::Null),
     }
 }
 
@@ -850,10 +1583,9 @@ fn aggregate(
 ) -> Result<(Vec<String>, Vec<Row>), QueryError> {
     // Collect every aggregate expression appearing in SELECT or HAVING.
     let mut agg_exprs: Vec<(AggFunc, Option<Expr>)> = Vec::new();
-    let mut collect = |e: &Expr| collect_aggs(e, &mut agg_exprs);
     for item in &query.select {
         if let SelectItem::Expr { expr, .. } = item {
-            collect(expr);
+            collect_aggs(expr, &mut agg_exprs);
         }
     }
     if let Some(h) = &query.having {
@@ -866,34 +1598,55 @@ fn aggregate(
         .map(|g| resolve(g))
         .collect::<Result<_, _>>()?;
 
-    // Group rows.
-    let mut groups: HashMap<String, (Row, Vec<AggState>)> = HashMap::new();
+    // Group rows by the canonical key of their GROUP BY values — the
+    // same keying the store-side partial fold uses, so both paths build
+    // identical groups.
+    let mut groups: HashMap<String, (Row, Vec<AggPartial>)> = HashMap::new();
     let mut order: Vec<String> = Vec::new();
     for row in &rows {
         let key_vals: Row = group_idx.iter().map(|&i| row[i].clone()).collect();
-        let key = format!("{key_vals:?}");
+        let key = canonical_row_key(&key_vals);
         let entry = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
-            (key_vals, vec![AggState::new(); agg_exprs.len()])
+            (key_vals, vec![AggPartial::new(); agg_exprs.len()])
         });
         for (state, (_, arg)) in entry.1.iter_mut().zip(agg_exprs.iter()) {
-            let v = match arg {
-                Some(e) => eval(e, row, resolve)?,
-                None => Value::Bool(true), // COUNT(*): every row counts
-            };
-            state.add(&v);
+            match arg {
+                Some(e) => state.observe(&eval(e, row, resolve)?),
+                None => state.observe_count_star(),
+            }
         }
     }
     // A global aggregate over zero rows still yields one group.
     if groups.is_empty() && group_idx.is_empty() {
-        order.push("<global>".into());
+        order.push(String::new());
         groups.insert(
-            "<global>".into(),
-            (Vec::new(), vec![AggState::new(); agg_exprs.len()]),
+            String::new(),
+            (Vec::new(), vec![AggPartial::new(); agg_exprs.len()]),
         );
     }
 
-    // Project each group.
+    project_groups(
+        query,
+        order.iter().map(|k| {
+            let (key_vals, states) = &groups[k];
+            (&key_vals[..], &states[..])
+        }),
+        &agg_exprs,
+        resolve,
+    )
+}
+
+/// Project grouped states into output rows: validate the SELECT shape,
+/// apply HAVING, evaluate the projection. Shared by the in-executor fold
+/// and the store-side partial-aggregate path — a single projection
+/// implementation is what keeps the two paths result-identical.
+fn project_groups<'a>(
+    query: &Query,
+    groups: impl Iterator<Item = (&'a [Value], &'a [AggPartial])>,
+    agg_exprs: &[(AggFunc, Option<Expr>)],
+    resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
+) -> Result<(Vec<String>, Vec<Row>), QueryError> {
     let mut columns = Vec::new();
     for item in &query.select {
         match item {
@@ -905,7 +1658,7 @@ fn aggregate(
                 // Bare (non-aggregate, non-group) columns are invalid.
                 if !expr.has_aggregate() {
                     if let Expr::Column(c) = expr {
-                        if !query.group_by.iter().any(|g| g.eq_ignore_ascii_case(c)) {
+                        if group_position(query, c, resolve).is_none() {
                             return Err(QueryError::Semantic(format!(
                                 "column {c} is neither aggregated nor grouped"
                             )));
@@ -917,11 +1670,10 @@ fn aggregate(
     }
 
     let mut out_rows = Vec::new();
-    for key in &order {
-        let (key_vals, states) = &groups[key];
+    for (key_vals, states) in groups {
         // HAVING
         if let Some(h) = &query.having {
-            let v = eval_agg(h, key_vals, states, &agg_exprs, query, resolve)?;
+            let v = eval_agg(h, key_vals, states, agg_exprs, query, resolve)?;
             if !v.truthy() {
                 continue;
             }
@@ -929,14 +1681,26 @@ fn aggregate(
         let mut row = Vec::with_capacity(query.select.len());
         for item in &query.select {
             if let SelectItem::Expr { expr, .. } = item {
-                row.push(eval_agg(
-                    expr, key_vals, states, &agg_exprs, query, resolve,
-                )?);
+                row.push(eval_agg(expr, key_vals, states, agg_exprs, query, resolve)?);
             }
         }
         out_rows.push(row);
     }
     Ok((columns, out_rows))
+}
+
+/// Position of column `c` among the GROUP BY keys, matching by resolved
+/// index so qualified and bare spellings of the same column agree.
+fn group_position(
+    query: &Query,
+    c: &str,
+    resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
+) -> Option<usize> {
+    let target = resolve(c).ok()?;
+    query
+        .group_by
+        .iter()
+        .position(|g| resolve(g).ok() == Some(target))
 }
 
 fn collect_aggs(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
@@ -975,11 +1739,10 @@ fn collect_aggs(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
 
 /// Evaluate an expression in aggregate context: aggregates read their
 /// group state; bare grouped columns read the group key.
-#[allow(clippy::only_used_in_recursion)]
 fn eval_agg(
     e: &Expr,
     key_vals: &[Value],
-    states: &[AggState],
+    states: &[AggPartial],
     agg_exprs: &[(AggFunc, Option<Expr>)],
     query: &Query,
     resolve: &dyn Fn(&str) -> Result<usize, QueryError>,
@@ -990,16 +1753,12 @@ fn eval_agg(
                 .iter()
                 .position(|(f, a)| f == func && a.as_ref() == arg.as_deref())
                 .expect("aggregate was collected");
-            Ok(states[idx].finish(*func))
+            Ok(finish_agg(&states[idx], *func))
         }
         Expr::Column(c) => {
-            let pos = query
-                .group_by
-                .iter()
-                .position(|g| g.eq_ignore_ascii_case(c))
-                .ok_or_else(|| {
-                    QueryError::Semantic(format!("column {c} is neither aggregated nor grouped"))
-                })?;
+            let pos = group_position(query, c, resolve).ok_or_else(|| {
+                QueryError::Semantic(format!("column {c} is neither aggregated nor grouped"))
+            })?;
             Ok(key_vals[pos].clone())
         }
         Expr::Literal(v) => Ok(v.clone()),
@@ -1841,5 +2600,217 @@ mod tests {
             let index = execute_query_with_route(&s, &q, RoutePreference::ForceIndex).unwrap();
             assert_eq!(index, scan, "{sql}");
         }
+    }
+
+    /// Every new operator through all four executor paths: pushed
+    /// (auto), forced index, forced scan, and fully naive.
+    fn assert_four_paths_agree(s: &MemoryStore, sql: &str) -> QueryResult {
+        let q = parse(sql).unwrap();
+        let fast = execute_query(s, &q).unwrap();
+        let naive = execute_query_unoptimized(s, &q).unwrap();
+        let index = execute_query_with_route(s, &q, RoutePreference::ForceIndex).unwrap();
+        let scan = execute_query_with_route(s, &q, RoutePreference::ForceScan).unwrap();
+        assert_eq!(fast, naive, "pushed vs naive: {sql}");
+        assert_eq!(index, naive, "forced index vs naive: {sql}");
+        assert_eq!(scan, naive, "forced scan vs naive: {sql}");
+        fast
+    }
+
+    #[test]
+    fn issue_acceptance_group_by_having() {
+        let s = seeded();
+        let r = assert_four_paths_agree(
+            &s,
+            "SELECT component, COUNT(*), AVG(duration_ms) FROM runs \
+             GROUP BY component HAVING COUNT(*) > 1",
+        );
+        assert_eq!(r.columns, vec!["component", "count(*)", "avg(duration_ms)"]);
+        // First-seen group order: etl (2 runs, avg 55), infer (3 runs,
+        // avg 6); train has a single run and fails HAVING.
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::from("etl"), Value::Int(2), Value::Float(55.0)],
+                vec![Value::from("infer"), Value::Int(3), Value::Float(6.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn grouped_queries_match_naive_across_paths() {
+        let s = seeded();
+        for sql in [
+            "SELECT component, count(*) FROM runs GROUP BY component",
+            "SELECT status, sum(duration_ms), min(start_ms), max(end_ms) FROM runs \
+             GROUP BY status ORDER BY status",
+            "SELECT component, avg(duration_ms) AS d FROM runs WHERE start_ms >= 200 \
+             GROUP BY component HAVING avg(duration_ms) < 100 ORDER BY d DESC LIMIT 1",
+            "SELECT count(*), avg(duration_ms) FROM runs",
+            "SELECT count(*) FROM runs WHERE id < 0",
+            "SELECT component, status, count(*) FROM runs GROUP BY component, status",
+            // Unplannable aggregate args fall back to the row path.
+            "SELECT component, sum(duration_ms / 2) FROM runs GROUP BY component",
+            "SELECT r.component, count(*) FROM runs r GROUP BY r.component",
+        ] {
+            assert_four_paths_agree(&s, sql);
+        }
+    }
+
+    #[test]
+    fn partial_agg_counters_and_group_count_rows() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "SELECT component, count(*) FROM runs GROUP BY component",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let snap = s.telemetry().unwrap().snapshot();
+        assert_eq!(snap.counters["query.pushdown.aggregates_total"], 1);
+        assert_eq!(snap.counters["query.rows_scanned"], 6, "all runs folded");
+        assert_eq!(
+            snap.counters["query.rows_returned"], 3,
+            "the store hands back group partials, not rows"
+        );
+    }
+
+    #[test]
+    fn joins_match_naive_and_expected_rows() {
+        let s = seeded();
+        for sql in [
+            "SELECT r.component, e.kind FROM runs r JOIN events e ON e.run_id = r.id",
+            "SELECT r.component, i.key FROM runs r JOIN incidents i ON i.subject = r.component \
+             WHERE i.state = 'open'",
+            "SELECT r.id, r.component, e.kind FROM runs r LEFT JOIN events e ON e.run_id = r.id \
+             ORDER BY r.id",
+            "SELECT r.component, e.severity FROM runs r JOIN events e \
+             ON e.run_id = r.id AND e.severity = 'warn'",
+            "SELECT c.name, count(*) AS n FROM components c JOIN runs r ON r.component = c.name \
+             GROUP BY c.name ORDER BY n DESC",
+            "SELECT r.component, m.value FROM runs r JOIN metrics m ON m.component = r.component \
+             WHERE m.value > 0.7 ORDER BY m.value LIMIT 3",
+            // No equi key: nested-loop fallback.
+            "SELECT r.id, e.id FROM runs r JOIN events e ON e.ts_ms > r.start_ms \
+             ORDER BY r.id, e.id LIMIT 5",
+        ] {
+            assert_four_paths_agree(&s, sql);
+        }
+
+        // Inner join of runs to incidents: only the open infer incident
+        // matches, once per infer run.
+        let r = assert_four_paths_agree(
+            &s,
+            "SELECT r.id, i.key FROM runs r JOIN incidents i ON i.subject = r.component",
+        );
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(4), Value::from("infer/accuracy")],
+                vec![Value::Int(5), Value::from("infer/accuracy")],
+                vec![Value::Int(6), Value::from("infer/accuracy")],
+            ]
+        );
+    }
+
+    #[test]
+    fn left_join_pads_and_supports_anti_join() {
+        let s = seeded();
+        // Runs with no event at all: ids 2, 5, 6 (events reference runs
+        // 1, 3, 4). The IS NULL conjunct touches the padded side, so it
+        // must stay residual above the join.
+        let r = assert_four_paths_agree(
+            &s,
+            "SELECT r.id FROM runs r LEFT JOIN events e ON e.run_id = r.id \
+             WHERE e.id IS NULL ORDER BY r.id",
+        );
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(2)],
+                vec![Value::Int(5)],
+                vec![Value::Int(6)],
+            ]
+        );
+    }
+
+    #[test]
+    fn scope_errors_are_semantic() {
+        let s = seeded();
+        // Bare `component` exists in both runs and metrics.
+        assert!(matches!(
+            execute(
+                &s,
+                "SELECT component FROM runs r JOIN metrics m ON m.component = r.component"
+            ),
+            Err(QueryError::Semantic(m)) if m.contains("ambiguous")
+        ));
+        assert!(matches!(
+            execute(&s, "SELECT r.id FROM runs r JOIN runs r ON r.id = r.id"),
+            Err(QueryError::Semantic(m)) if m.contains("duplicate")
+        ));
+        assert!(matches!(
+            execute(
+                &s,
+                "SELECT x.id FROM runs r JOIN events e ON e.run_id = r.id"
+            ),
+            Err(QueryError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            execute(
+                &s,
+                "SELECT r.id FROM runs r JOIN events e ON count(*) = 1"
+            ),
+            Err(QueryError::Semantic(m)) if m.contains("JOIN ON")
+        ));
+    }
+
+    #[test]
+    fn explain_reports_partial_agg_route() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "EXPLAIN SELECT component, count(*), avg(duration_ms) FROM runs GROUP BY component",
+        )
+        .unwrap();
+        let m = explain_map(&r);
+        assert_eq!(m["table"], "runs");
+        assert_eq!(m["route"], "partial-agg(scan)");
+        assert_eq!(m["groups_est"], "3", "live distinct-component estimate");
+        assert_eq!(m["aggregates"], "2");
+        assert_eq!(m["residual_conjuncts"], "0");
+        // An unabsorbable WHERE knocks the query off the aggregate route.
+        let r = execute(
+            &s,
+            "EXPLAIN SELECT component, count(*) FROM runs \
+             WHERE duration_ms > 5 GROUP BY component",
+        )
+        .unwrap();
+        assert_eq!(explain_map(&r)["route"], "scan");
+    }
+
+    #[test]
+    fn explain_reports_join_plan() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "EXPLAIN SELECT r.id, e.kind FROM runs r JOIN events e ON e.run_id = r.id \
+             WHERE r.component = 'infer' AND e.severity = 'warn' AND r.id = e.run_id + 0",
+        )
+        .unwrap();
+        let m = explain_map(&r);
+        assert_eq!(m["table"], "runs join events");
+        assert_eq!(m["route"], "hash-join");
+        assert_eq!(m["pushed_filter_r"], "component=infer");
+        assert_eq!(m["pushed_filter_e"], "severity=warn");
+        assert_eq!(m["join_1"], "inner e equi_keys=1 right_rows_est=6");
+        // The cross-source conjunct is the one residual.
+        assert_eq!(m["residual_conjuncts"], "1");
+
+        let r = execute(
+            &s,
+            "EXPLAIN SELECT r.id FROM runs r JOIN events e ON e.ts_ms > r.start_ms",
+        )
+        .unwrap();
+        assert_eq!(explain_map(&r)["route"], "nested-loop");
     }
 }

@@ -1,8 +1,11 @@
 //! Recursive-descent parser for the SQL subset:
 //!
 //! ```text
-//! query   := SELECT [DISTINCT] items FROM ident [WHERE expr] [GROUP BY cols]
-//!            [HAVING expr] [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//! query   := SELECT [DISTINCT] items FROM table join* [WHERE expr]
+//!            [GROUP BY cols] [HAVING expr]
+//!            [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//! table   := ident [[AS] ident]
+//! join    := ([INNER] JOIN | LEFT [OUTER] JOIN) table ON expr
 //! items   := * | item (, item)*
 //! item    := expr [AS ident]
 //! expr    := or
@@ -18,7 +21,7 @@
 //!            ident | ( expr )
 //! ```
 
-use crate::ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
+use crate::ast::{AggFunc, BinOp, Expr, Join, JoinKind, Query, ScalarFunc, SelectItem, TableRef};
 use crate::token::{tokenize, LexError, Symbol, Token};
 use mltrace_store::Value;
 use std::fmt;
@@ -143,7 +146,26 @@ impl Parser {
         let distinct = self.keyword("DISTINCT");
         let select = self.select_items()?;
         self.expect_keyword("FROM")?;
-        let from = self.identifier()?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.keyword("JOIN") {
+                JoinKind::Inner
+            } else if self.keyword("INNER") {
+                self.expect_keyword("JOIN")?;
+                JoinKind::Inner
+            } else if self.keyword("LEFT") {
+                self.keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                JoinKind::Left
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            self.expect_keyword("ON")?;
+            let on = self.expr()?;
+            joins.push(Join { kind, table, on });
+        }
         let where_clause = if self.keyword("WHERE") {
             Some(self.expr()?)
         } else {
@@ -193,12 +215,35 @@ impl Parser {
             distinct,
             select,
             from,
+            joins,
             where_clause,
             group_by,
             having,
             order_by,
             limit,
         })
+    }
+
+    /// `ident [[AS] ident]` — a table name with an optional alias. A bare
+    /// alias is any identifier that is not a clause-starting keyword, so
+    /// `FROM component_runs r JOIN ...` parses while `FROM t WHERE ...`
+    /// leaves `WHERE` alone.
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        const RESERVED: [&str; 10] = [
+            "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT", "OUTER", "ON",
+        ];
+        let name = self.identifier()?;
+        let alias = if self.keyword("AS") {
+            Some(self.identifier()?)
+        } else {
+            match self.peek() {
+                Some(Token::Ident(s)) if !RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r)) => {
+                    Some(self.identifier()?)
+                }
+                _ => None,
+            }
+        };
+        Ok(TableRef { name, alias })
     }
 
     fn select_items(&mut self) -> Result<Vec<SelectItem>, ParseError> {
@@ -474,7 +519,7 @@ mod tests {
              ORDER BY runs DESC, component LIMIT 10",
         )
         .unwrap();
-        assert_eq!(q.from, "component_runs");
+        assert_eq!(q.from, TableRef::named("component_runs"));
         assert_eq!(q.select.len(), 2);
         assert!(q.where_clause.is_some());
         assert_eq!(q.group_by, vec!["component"]);
@@ -537,12 +582,41 @@ mod tests {
         assert!(parse("SELECT * FROM").is_err());
         assert!(parse("SELECT * FROM t WHERE").is_err());
         assert!(parse("SELECT * FROM t LIMIT -1").is_err());
-        assert!(parse("SELECT * FROM t extra").is_err());
+        // `FROM t extra` is now a bare alias; trailing tokens after the
+        // alias are still an error.
+        assert!(parse("SELECT * FROM t extra tokens").is_err());
         assert!(
             parse("SELECT median(x) FROM t").is_err(),
             "unknown function"
         );
         assert!(parse("SELECT * FROM t WHERE a NOT 5").is_err());
+    }
+
+    #[test]
+    fn joins_parse() {
+        let q = parse(
+            "SELECT r.component, i.state FROM runs r \
+             JOIN incidents AS i ON r.status = i.severity \
+             LEFT OUTER JOIN events e ON e.run_id = r.id AND e.kind = 'alert' \
+             WHERE r.duration_ms > 10",
+        )
+        .unwrap();
+        assert_eq!(q.from.name, "runs");
+        assert_eq!(q.from.alias.as_deref(), Some("r"));
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.joins[0].kind, JoinKind::Inner);
+        assert_eq!(q.joins[0].table.label(), "i");
+        assert_eq!(q.joins[1].kind, JoinKind::Left);
+        assert_eq!(q.joins[1].table.name, "events");
+        assert!(q.where_clause.is_some());
+        // INNER JOIN spelling; bare alias does not eat clause keywords.
+        let q = parse("SELECT * FROM a INNER JOIN b ON a.x = b.y ORDER BY x").unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert!(q.from.alias.is_none());
+        assert_eq!(q.order_by.len(), 1);
+        // A dangling JOIN without ON is an error.
+        assert!(parse("SELECT * FROM a JOIN b").is_err());
+        assert!(parse("SELECT * FROM a LEFT JOIN b WHERE x = 1").is_err());
     }
 
     #[test]

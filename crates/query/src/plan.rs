@@ -143,7 +143,11 @@ fn best_run_route(filter: &RunFilter, stats: &IndexStats) -> Option<(IndexRoute,
 /// Estimated candidates a route would examine, under uniformity
 /// assumptions (runs spread evenly over components, statuses, and the
 /// observed `start_ms` span).
-fn estimate_candidates(route: IndexRoute, filter: &RunFilter, stats: &IndexStats) -> u64 {
+pub(crate) fn estimate_candidates(
+    route: IndexRoute,
+    filter: &RunFilter,
+    stats: &IndexStats,
+) -> u64 {
     match route {
         IndexRoute::Component => stats.runs / stats.distinct_components.max(1),
         IndexRoute::Status => stats.runs / stats.distinct_statuses.max(1),

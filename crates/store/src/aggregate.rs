@@ -1,0 +1,680 @@
+//! Partial-aggregate state shared by the SQL executor and the store's
+//! pushed-down grouped scans.
+//!
+//! The paper's fleet queries ("failure rate by component × day", §4) are
+//! aggregate-shaped, so the planner decomposes each aggregate into a
+//! per-shard partial — count / exact sum / exact sum-of-squares / min /
+//! max — that any number of shards can compute independently and merge.
+//! The contract that makes pushdown testable with `assert_eq!` is
+//! **order independence**: folding the same multiset of rows through any
+//! grouping of [`AggPartial::observe`] and [`AggPartial::merge`] calls
+//! yields bitwise-identical finished values. Floating-point `+` is not
+//! associative, so sums go through [`ExactSum`], a Kulisch-style
+//! fixed-point superaccumulator that represents the exact mathematical
+//! sum and rounds once at the end; min/max break `total_cmp` ties with
+//! the canonical representation order ([`repr_cmp`]) instead of
+//! first-seen order.
+
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::fmt::Write as _;
+
+/// Base-2³² limbs covering every finite f64 bit position (2045 + 53
+/// mantissa bits ≈ 2098) plus headroom for carries and the sign.
+const LIMBS: usize = 68;
+
+/// Exact, order-independent sum of f64 values.
+///
+/// Finite inputs are accumulated as fixed-point integers scaled by
+/// 2⁻¹⁰⁷⁴ (a Kulisch accumulator): every finite f64 is an integer
+/// multiple of that scale, so addition is exact and therefore associative
+/// and commutative. Non-finite inputs set flags combined with IEEE
+/// addition semantics: any NaN poisons the sum, `+∞` and `−∞` together
+/// yield NaN, otherwise the infinity's sign wins. [`ExactSum::value`]
+/// rounds the exact total to the nearest f64 (ties to even), so the
+/// result is a pure function of the input multiset — independent of the
+/// order or sharding of `add`/`merge` calls.
+///
+/// Divergences from a running f64 `+=`, both deliberate: a sum that
+/// overflows transiently but cancels back into range stays finite, and a
+/// sum of `-0.0`s is `+0.0`.
+#[derive(Clone)]
+pub struct ExactSum {
+    /// Signed base-2³² digits, little-endian; only the top limb may hold
+    /// a value outside `[0, 2³²)` after renormalization.
+    limbs: [i64; LIMBS],
+    /// Adds since the last renormalization (bounds per-limb magnitude).
+    pending: u32,
+    /// Saw a NaN.
+    nan: bool,
+    /// Saw `+∞`.
+    pos_inf: bool,
+    /// Saw `−∞`.
+    neg_inf: bool,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        ExactSum {
+            limbs: [0; LIMBS],
+            pending: 0,
+            nan: false,
+            pos_inf: false,
+            neg_inf: false,
+        }
+    }
+}
+
+impl std::fmt::Debug for ExactSum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExactSum")
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+impl PartialEq for ExactSum {
+    fn eq(&self, other: &Self) -> bool {
+        self.value().to_bits() == other.value().to_bits()
+    }
+}
+
+impl ExactSum {
+    /// Empty sum (`value()` is `+0.0`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one value.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan = true;
+            return;
+        }
+        if x.is_infinite() {
+            if x > 0.0 {
+                self.pos_inf = true;
+            } else {
+                self.neg_inf = true;
+            }
+            return;
+        }
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let be = ((bits >> 52) & 0x7ff) as u32;
+        let frac = bits & ((1u64 << 52) - 1);
+        // value = mant × 2^(off − 1074); subnormals share off = 0.
+        let (mant, off) = if be == 0 {
+            (frac, 0usize)
+        } else {
+            (frac | (1 << 52), (be - 1) as usize)
+        };
+        if mant == 0 {
+            return; // ±0.0 contributes nothing
+        }
+        let mut v = (mant as u128) << (off % 32);
+        let mut i = off / 32;
+        while v != 0 {
+            let chunk = (v & 0xffff_ffff) as i64;
+            if neg {
+                self.limbs[i] -= chunk;
+            } else {
+                self.limbs[i] += chunk;
+            }
+            v >>= 32;
+            i += 1;
+        }
+        self.pending += 1;
+        if self.pending >= 1 << 30 {
+            self.renorm();
+        }
+    }
+
+    /// Fold another sum into this one. Exact: equivalent to having added
+    /// every input of `other` directly.
+    pub fn merge(&mut self, other: &ExactSum) {
+        self.nan |= other.nan;
+        self.pos_inf |= other.pos_inf;
+        self.neg_inf |= other.neg_inf;
+        self.renorm();
+        for (a, b) in self.limbs.iter_mut().zip(other.limbs.iter()) {
+            *a += *b;
+        }
+        self.renorm();
+    }
+
+    /// Carry-propagate so every limb but the top is in `[0, 2³²)`; the
+    /// top limb keeps the signed overflow.
+    fn renorm(&mut self) {
+        let mut carry = 0i64;
+        for i in 0..LIMBS {
+            let t = self.limbs[i] + carry;
+            if i == LIMBS - 1 {
+                self.limbs[i] = t;
+            } else {
+                let low = t & 0xffff_ffff;
+                carry = (t - low) >> 32;
+                self.limbs[i] = low;
+            }
+        }
+        self.pending = 0;
+    }
+
+    /// The sum, rounded once to the nearest f64 (ties to even).
+    pub fn value(&self) -> f64 {
+        if self.nan || (self.pos_inf && self.neg_inf) {
+            return f64::NAN;
+        }
+        if self.pos_inf {
+            return f64::INFINITY;
+        }
+        if self.neg_inf {
+            return f64::NEG_INFINITY;
+        }
+        // Canonical magnitude digits + sign.
+        let mut d = self.limbs;
+        let mut carry = 0i64;
+        for x in d.iter_mut() {
+            let t = *x + carry;
+            let low = t & 0xffff_ffff;
+            carry = (t - low) >> 32;
+            *x = low;
+        }
+        // |sum| < 2^(32·(LIMBS−1)), so the final carry is the sign.
+        let negative = carry < 0;
+        if negative {
+            // Two's-complement negate over base-2³² digits.
+            let mut c = 1i64;
+            for x in d.iter_mut() {
+                let t = (0xffff_ffff ^ *x) + c;
+                *x = t & 0xffff_ffff;
+                c = t >> 32;
+            }
+        }
+        let Some(top) = d.iter().rposition(|&x| x != 0) else {
+            return 0.0;
+        };
+        let msb = top * 32 + (31 - (d[top] as u32).leading_zeros() as usize);
+        let sign_bit = if negative { 1u64 << 63 } else { 0 };
+        if msb <= 52 {
+            // Fits a mantissa: exact as (sub)normal, scaled by 2^-1074
+            // (both factors below 2^53, so the product is exact).
+            let m = (d[0] as u64) | ((d[1] as u64) << 32);
+            let mag = (m as f64) * f64::from_bits(1);
+            return if negative { -mag } else { mag };
+        }
+        let get = |i: usize| -> u64 { ((d[i / 32] as u64) >> (i % 32)) & 1 };
+        let mut m = 0u64;
+        for b in 0..53 {
+            m |= get(msb - 52 + b) << b;
+        }
+        let guard = get(msb - 53) == 1;
+        let cut = msb - 53;
+        let mut sticky = false;
+        for (j, &limb) in d.iter().enumerate() {
+            let base = j * 32;
+            if base >= cut {
+                break;
+            }
+            let dd = limb as u64;
+            if dd == 0 {
+                continue;
+            }
+            if base + 32 <= cut || dd & ((1u64 << (cut - base)) - 1) != 0 {
+                sticky = true;
+                break;
+            }
+        }
+        let mut e = msb;
+        if guard && (sticky || m & 1 == 1) {
+            m += 1;
+            if m == 1 << 53 {
+                m >>= 1;
+                e += 1;
+            }
+        }
+        let unbiased = e as i64 - 1074;
+        if unbiased > 1023 {
+            return if negative {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            };
+        }
+        f64::from_bits(sign_bit | (((unbiased + 1023) as u64) << 52) | (m & ((1 << 52) - 1)))
+    }
+}
+
+/// Deterministic tie-break for values that compare equal under
+/// [`Value::total_cmp`] but differ in representation — the only such pair
+/// is an integer and its exact float image (e.g. `Int(1)` vs
+/// `Float(1.0)`), possibly nested in lists/maps. MIN/MAX take the
+/// extremum under the lexicographic order `(total_cmp, repr_cmp)`, which
+/// is a pure function of the input multiset, so parallel partials and the
+/// sequential executor pick the same representative.
+pub fn repr_cmp(a: &Value, b: &Value) -> Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+            Value::List(_) => 5,
+            Value::Map(_) => 6,
+        }
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        (Value::Float(x), Value::Float(y)) => x.to_bits().cmp(&y.to_bits()),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::List(x), Value::List(y)) => {
+            for (i, j) in x.iter().zip(y.iter()) {
+                let c = repr_cmp(i, j);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            for ((ka, va), (kb, vb)) in x.iter().zip(y.iter()) {
+                let c = ka.cmp(kb).then_with(|| repr_cmp(va, vb));
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+/// `(total_cmp, repr_cmp)` — the total order MIN/MAX minimize/maximize.
+fn canon_cmp(a: &Value, b: &Value) -> Ordering {
+    a.total_cmp(b).then_with(|| repr_cmp(a, b))
+}
+
+/// What one pushed-down aggregate reads from each run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggInput {
+    /// `COUNT(*)`: every row counts, no column read.
+    CountStar,
+    /// A plain column, by its index in the table schema row.
+    Column(usize),
+}
+
+/// Mergeable state for one aggregate within one group: enough to finish
+/// COUNT/SUM/AVG/MIN/MAX (and, via the sum of squares, future
+/// variance-style aggregates) without revisiting rows.
+#[derive(Debug, Clone, Default)]
+pub struct AggPartial {
+    /// Non-null values observed (rows, for `COUNT(*)`).
+    pub count: u64,
+    /// Exact sum of the numeric view of observed values.
+    pub sum: ExactSum,
+    /// Exact sum of squares (for future VAR/STDDEV rollups).
+    pub sum_sq: ExactSum,
+    /// Minimum under `(total_cmp, repr_cmp)`.
+    pub min: Option<Value>,
+    /// Maximum under `(total_cmp, repr_cmp)`.
+    pub max: Option<Value>,
+}
+
+/// Structural equality with bitwise float comparison (`repr_cmp ==
+/// Equal`), so states holding NaN still compare equal to themselves —
+/// the equivalence the pushdown tests assert.
+impl PartialEq for AggPartial {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.sum_sq == other.sum_sq
+            && opt_repr_eq(&self.min, &other.min)
+            && opt_repr_eq(&self.max, &other.max)
+    }
+}
+
+/// `repr_cmp`-based equality over optional values (see [`AggPartial`]'s
+/// `PartialEq`).
+fn opt_repr_eq(a: &Option<Value>, b: &Option<Value>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => repr_cmp(x, y) == Ordering::Equal,
+        _ => false,
+    }
+}
+
+impl AggPartial {
+    /// Fresh, empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one value in. Nulls are skipped (SQL aggregate semantics).
+    pub fn observe(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(x) = v.as_f64() {
+            self.sum.add(x);
+            self.sum_sq.add(x * x);
+        }
+        match &self.min {
+            Some(m) if canon_cmp(v, m) != Ordering::Less => {}
+            _ => self.min = Some(v.clone()),
+        }
+        match &self.max {
+            Some(m) if canon_cmp(v, m) != Ordering::Greater => {}
+            _ => self.max = Some(v.clone()),
+        }
+    }
+
+    /// Fold one row in for `COUNT(*)` (no column value involved).
+    pub fn observe_count_star(&mut self) {
+        self.count += 1;
+    }
+
+    /// Fold another partial in; equivalent to having observed all of its
+    /// inputs directly, in any order.
+    pub fn merge(&mut self, other: &AggPartial) {
+        self.count += other.count;
+        self.sum.merge(&other.sum);
+        self.sum_sq.merge(&other.sum_sq);
+        if let Some(v) = &other.min {
+            match &self.min {
+                Some(m) if canon_cmp(v, m) != Ordering::Less => {}
+                _ => self.min = Some(v.clone()),
+            }
+        }
+        if let Some(v) = &other.max {
+            match &self.max {
+                Some(m) if canon_cmp(v, m) != Ordering::Greater => {}
+                _ => self.max = Some(v.clone()),
+            }
+        }
+    }
+}
+
+/// One group's partial state as produced by a store's grouped scan. A
+/// store may return several partials for the same key (e.g. one per
+/// shard); the executor merges them by canonical key.
+#[derive(Debug, Clone)]
+pub struct GroupPartial {
+    /// The GROUP BY column values.
+    pub key: Vec<Value>,
+    /// Smallest run id that contributed — the executor orders merged
+    /// groups by this, reproducing the sequential first-seen order.
+    pub first_id: u64,
+    /// One partial per requested aggregate, in request order.
+    pub aggs: Vec<AggPartial>,
+}
+
+/// Structural equality with bitwise float comparison, like
+/// [`AggPartial`]'s `PartialEq` (group keys may hold NaN metric values).
+impl PartialEq for GroupPartial {
+    fn eq(&self, other: &Self) -> bool {
+        self.first_id == other.first_id
+            && self.key.len() == other.key.len()
+            && self
+                .key
+                .iter()
+                .zip(other.key.iter())
+                .all(|(a, b)| repr_cmp(a, b) == Ordering::Equal)
+            && self.aggs == other.aggs
+    }
+}
+
+impl GroupPartial {
+    /// Fresh state for a group first seen in run `first_id`, with one
+    /// empty partial per requested aggregate.
+    pub fn new(key: Vec<Value>, first_id: u64, n_aggs: usize) -> Self {
+        GroupPartial {
+            key,
+            first_id,
+            aggs: vec![AggPartial::new(); n_aggs],
+        }
+    }
+
+    /// Fold another partial for the same group key in.
+    pub fn merge(&mut self, other: &GroupPartial) {
+        self.first_id = self.first_id.min(other.first_id);
+        for (a, b) in self.aggs.iter_mut().zip(other.aggs.iter()) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Canonical string key for a row of values, used by hashed DISTINCT and
+/// group-by hashing.
+///
+/// Two rows get the same key iff elementwise `Value::loose_eq` holds
+/// (i.e. `total_cmp == Equal`): cross-type comparisons are never equal
+/// except the numeric interleave, where an integer-valued float that
+/// round-trips through `i64` exactly shares the integer's key and any
+/// other float (NaNs, -0.0, fractional) keys on its exact bits. The one
+/// divergence from pairwise `loose_eq` is the regime above 2^53 where
+/// float precision makes `loose_eq` non-transitive; the hashed key is
+/// deterministic there.
+pub fn canonical_row_key(row: &[Value]) -> String {
+    let mut key = String::with_capacity(row.len() * 8);
+    for v in row {
+        canonical_value_key(v, &mut key);
+    }
+    key
+}
+
+/// Append one value's canonical key (see [`canonical_row_key`]).
+pub fn canonical_value_key(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("n;"),
+        Value::Bool(b) => {
+            let _ = write!(out, "b{};", u8::from(*b));
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "i{i};");
+        }
+        Value::Float(f) => {
+            // `total_cmp` compares Int × Float by converting the int to
+            // f64; a float is loose-equal to an int iff it is that int's
+            // exact f64 image, i.e. iff it survives the i64 round-trip
+            // bit-for-bit (rules out NaN, -0.0, fractions, out-of-range).
+            let i = *f as i64;
+            if (i as f64).to_bits() == f.to_bits() {
+                let _ = write!(out, "i{i};");
+            } else {
+                let _ = write!(out, "f{:x};", f.to_bits());
+            }
+        }
+        Value::Str(s) => {
+            let _ = write!(out, "s{}:{s};", s.len());
+        }
+        Value::List(items) => {
+            let _ = write!(out, "l{}[", items.len());
+            for item in items {
+                canonical_value_key(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            let _ = write!(out, "m{}{{", entries.len());
+            for (k, val) in entries {
+                let _ = write!(out, "s{}:{k};", k.len());
+                canonical_value_key(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_of(vals: &[f64]) -> f64 {
+        let mut s = ExactSum::new();
+        for &v in vals {
+            s.add(v);
+        }
+        s.value()
+    }
+
+    #[test]
+    fn exact_sum_matches_f64_on_exact_cases() {
+        assert_eq!(sum_of(&[]).to_bits(), 0.0f64.to_bits());
+        assert_eq!(sum_of(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(sum_of(&[1.5, -0.5]), 1.0);
+        assert_eq!(sum_of(&[-1.0, -2.0]), -3.0);
+        // Smallest subnormal survives.
+        let tiny = f64::from_bits(1);
+        assert_eq!(sum_of(&[tiny]).to_bits(), tiny.to_bits());
+        assert_eq!(sum_of(&[tiny, -tiny]).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn exact_sum_is_order_independent() {
+        let vals = [
+            1e308,
+            -1e308,
+            1e-308,
+            0.1,
+            0.2,
+            -0.30000000000000004,
+            3.5e-320,
+            1e16,
+            1.0,
+            -1e16,
+            123.456,
+            -0.1,
+        ];
+        let forward = sum_of(&vals);
+        let mut rev = vals;
+        rev.reverse();
+        assert_eq!(forward.to_bits(), sum_of(&rev).to_bits());
+        // A rotation, too.
+        let mut rot = vals.to_vec();
+        rot.rotate_left(5);
+        assert_eq!(forward.to_bits(), sum_of(&rot).to_bits());
+    }
+
+    #[test]
+    fn exact_sum_merge_equals_sequential() {
+        let vals = [0.1, 0.2, 0.3, 1e100, -1e100, 7.25, -0.4];
+        let seq = sum_of(&vals);
+        for split in 0..=vals.len() {
+            let mut a = ExactSum::new();
+            let mut b = ExactSum::new();
+            for &v in &vals[..split] {
+                a.add(v);
+            }
+            for &v in &vals[split..] {
+                b.add(v);
+            }
+            a.merge(&b);
+            assert_eq!(a.value().to_bits(), seq.to_bits(), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn exact_sum_cancellation_is_exact() {
+        // Running f64 += would lose the 1.0 entirely.
+        assert_eq!(sum_of(&[1e100, 1.0, -1e100]), 1.0);
+    }
+
+    #[test]
+    fn exact_sum_rounds_ties_to_even() {
+        let two53 = 9007199254740992.0; // 2^53
+        assert_eq!(sum_of(&[two53, 1.0]), two53, "tie rounds to even");
+        assert_eq!(
+            sum_of(&[two53, 1.0, f64::from_bits(1)]),
+            two53 + 2.0,
+            "sticky breaks the tie up"
+        );
+        assert_eq!(sum_of(&[two53, 2.0]), two53 + 2.0);
+    }
+
+    #[test]
+    fn exact_sum_nonfinite_flags() {
+        assert!(sum_of(&[f64::NAN, 1.0]).is_nan());
+        assert_eq!(sum_of(&[f64::INFINITY, -1e308]), f64::INFINITY);
+        assert_eq!(sum_of(&[f64::NEG_INFINITY, 1.0]), f64::NEG_INFINITY);
+        assert!(sum_of(&[f64::INFINITY, f64::NEG_INFINITY]).is_nan());
+    }
+
+    #[test]
+    fn exact_sum_overflow_to_infinity() {
+        assert_eq!(sum_of(&[1e308, 1e308]), f64::INFINITY);
+        assert_eq!(sum_of(&[-1e308, -1e308]), f64::NEG_INFINITY);
+        // Transient overflow that cancels stays finite (exactness).
+        assert_eq!(sum_of(&[1e308, 1e308, -1e308]), 1e308);
+    }
+
+    #[test]
+    fn exact_sum_negative_zero_inputs_yield_positive_zero() {
+        assert_eq!(sum_of(&[-0.0, -0.0]).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn partial_observe_merge_equivalence() {
+        let vals: Vec<Value> = vec![
+            Value::Int(3),
+            Value::Float(3.0),
+            Value::Null,
+            Value::Float(0.1),
+            Value::Int(-2),
+            Value::Float(f64::NAN),
+        ];
+        let mut seq = AggPartial::new();
+        for v in &vals {
+            seq.observe(v);
+        }
+        for split in 0..=vals.len() {
+            let mut a = AggPartial::new();
+            let mut b = AggPartial::new();
+            for v in &vals[..split] {
+                a.observe(v);
+            }
+            for v in &vals[split..] {
+                b.observe(v);
+            }
+            a.merge(&b);
+            assert_eq!(a, seq, "split at {split}");
+        }
+        assert_eq!(seq.count, 5, "null skipped");
+        // Int(3) and Float(3.0) tie under total_cmp; repr_cmp breaks the
+        // tie the same way regardless of observation order.
+        let mut rev = AggPartial::new();
+        for v in vals.iter().rev() {
+            rev.observe(v);
+        }
+        assert_eq!(rev, seq, "reverse order picks the same min/max");
+    }
+
+    #[test]
+    fn repr_cmp_breaks_int_float_ties() {
+        assert_eq!(repr_cmp(&Value::Int(1), &Value::Float(1.0)), Ordering::Less);
+        assert_eq!(
+            repr_cmp(&Value::Float(1.0), &Value::Int(1)),
+            Ordering::Greater
+        );
+        assert_eq!(repr_cmp(&Value::Int(1), &Value::Int(1)), Ordering::Equal);
+    }
+
+    #[test]
+    fn canonical_keys_agree_with_loose_eq() {
+        let a = vec![Value::Int(1), Value::Str("x".into())];
+        let b = vec![Value::Float(1.0), Value::Str("x".into())];
+        assert_eq!(canonical_row_key(&a), canonical_row_key(&b));
+        let c = vec![Value::Float(1.5)];
+        let d = vec![Value::Int(1)];
+        assert_ne!(canonical_row_key(&c), canonical_row_key(&d));
+        // NaN keys on its exact bits: equal to itself, distinct from 0.
+        let nan = vec![Value::Float(f64::NAN)];
+        assert_eq!(canonical_row_key(&nan), canonical_row_key(&nan.clone()));
+        assert_ne!(
+            canonical_row_key(&nan),
+            canonical_row_key(&[Value::Float(0.0)])
+        );
+    }
+}

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod artifact;
 pub mod artifact_disk;
 pub mod clock;
@@ -37,6 +38,7 @@ pub mod store;
 pub mod value;
 pub mod wal;
 
+pub use aggregate::{AggInput, AggPartial, ExactSum, GroupPartial};
 pub use artifact::{ArtifactStats, ArtifactStore, ChunkerConfig};
 pub use clock::{Clock, ManualClock, SystemClock, MS_PER_DAY};
 pub use error::{Result, StoreError};

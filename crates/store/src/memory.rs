@@ -27,6 +27,7 @@
 //! once per record, and avoids the per-record key clones of the scalar
 //! path.
 
+use crate::aggregate::{canonical_row_key, AggInput, GroupPartial};
 use crate::error::{Result, StoreError};
 use crate::event::{
     EventBus, EventFilter, EventId, EventKind, EventSeverity, IncidentRecord, IncidentState,
@@ -37,6 +38,7 @@ use crate::record::{
     RunStatus,
 };
 use crate::scan::{IndexRoute, RunFilter};
+use crate::schema::run_column_value;
 use crate::store::{IndexFootprint, IndexStats, RunBundle, Store, StoreStats};
 use crate::value::Value;
 use mltrace_metrics::{
@@ -45,8 +47,9 @@ use mltrace_metrics::{
 };
 use mltrace_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -269,6 +272,10 @@ pub struct MemoryStore {
     monitor: MonitorPlane,
     /// Alert/incident state for drift breaches surfaced by the plane.
     drift_router: Mutex<DriftRouter>,
+    /// Worker-thread override for grouped partial-aggregate scans.
+    /// `0` (the default) means auto: `available_parallelism` capped at
+    /// [`SHARD_COUNT`]. Benchmarks pin it to compare 1-vs-N scaling.
+    scan_workers: AtomicUsize,
 }
 
 /// Folds drift breaches from the monitoring plane into the same
@@ -347,6 +354,32 @@ fn shard_vec<T: Default>() -> Box<[RwLock<T>]> {
         .collect()
 }
 
+/// Fold one matching run into a worker-local group map keyed by the
+/// canonical row key of its GROUP BY values (empty `group_cols` means one
+/// global group). Shared by every worker of a grouped scan.
+fn observe_run_grouped(
+    groups: &mut HashMap<String, GroupPartial>,
+    run: &ComponentRunRecord,
+    group_cols: &[usize],
+    aggs: &[AggInput],
+) {
+    let key_vals: Vec<Value> = group_cols
+        .iter()
+        .map(|&c| run_column_value(run, c))
+        .collect();
+    let key = canonical_row_key(&key_vals);
+    let entry = groups
+        .entry(key)
+        .or_insert_with(|| GroupPartial::new(key_vals, run.id.0, aggs.len()));
+    entry.first_id = entry.first_id.min(run.id.0);
+    for (state, input) in entry.aggs.iter_mut().zip(aggs) {
+        match input {
+            AggInput::CountStar => state.observe_count_star(),
+            AggInput::Column(i) => state.observe(&run_column_value(run, *i)),
+        }
+    }
+}
+
 impl Default for MemoryStore {
     /// Same as [`MemoryStore::new`]. (A derived `Default` would leave
     /// `next_run_id` at zero and hand out `RunId(0)`, diverging from a
@@ -400,7 +433,26 @@ impl MemoryStore {
             tele: StoreTelemetry::new(registry),
             monitor: MonitorPlane::new(config),
             drift_router: Mutex::new(DriftRouter::new()),
+            scan_workers: AtomicUsize::new(0),
         }
+    }
+
+    /// Override the number of worker threads grouped partial-aggregate
+    /// scans use (`0` restores auto: `available_parallelism` capped at
+    /// the shard count). Results are identical at any setting — only
+    /// wall-clock changes — so this is a benchmarking/tuning knob.
+    pub fn set_scan_workers(&self, n: usize) {
+        self.scan_workers.store(n, Ordering::Relaxed);
+    }
+
+    /// Resolved worker count for a grouped scan: the override if set,
+    /// else available parallelism, never more than one per shard.
+    fn scan_worker_count(&self) -> usize {
+        let n = match self.scan_workers.load(Ordering::Relaxed) {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            n => n,
+        };
+        n.clamp(1, SHARD_COUNT)
     }
 
     /// The store's monitoring plane (always-on streaming summaries).
@@ -760,6 +812,59 @@ impl MemoryStore {
         out
     }
 
+    /// Candidate ids (ascending) from a routed secondary index — phase A
+    /// of [`Store::scan_runs_indexed`] and of grouped partial-aggregate
+    /// scans. The route must already be `applicable` to the filter. The
+    /// candidate set is a superset of the matching rows; callers re-check
+    /// the full filter against every candidate record.
+    fn route_candidates(&self, filter: &RunFilter, route: IndexRoute) -> Vec<RunId> {
+        match route {
+            IndexRoute::Component => {
+                let name = filter.component.as_deref().expect("checked applicable");
+                let g = self.by_component[name_shard(name)].read();
+                self.tele.scan_locks.incr();
+                g.get(name).cloned().unwrap_or_default()
+            }
+            IndexRoute::Status => {
+                let g = self.by_status.read();
+                self.tele.scan_locks.incr();
+                g[status_slot(filter.status.expect("checked applicable"))].clone()
+            }
+            IndexRoute::StartTime => {
+                let lo = filter.min_start_ms.unwrap_or(0);
+                let hi = filter.max_start_ms.unwrap_or(u64::MAX);
+                if lo > hi {
+                    Vec::new()
+                } else {
+                    let g = self.by_start.read();
+                    self.tele.scan_locks.incr();
+                    let mut ids: Vec<RunId> = g
+                        .range(lo..=hi)
+                        .flat_map(|(_, v)| v.iter().copied())
+                        .collect();
+                    drop(g);
+                    // Buckets are time-ordered, not id-ordered.
+                    ids.sort_unstable();
+                    ids
+                }
+            }
+            IndexRoute::IdRange => {
+                // Dense enumeration of the live id range; no lock at all.
+                let next = self.next_run_id.load(Ordering::Relaxed);
+                let lo = filter.min_id.unwrap_or(1).max(1);
+                let hi = filter
+                    .max_id
+                    .unwrap_or(u64::MAX)
+                    .min(next.saturating_sub(1));
+                if lo > hi {
+                    Vec::new()
+                } else {
+                    (lo..=hi).map(RunId).collect()
+                }
+            }
+        }
+    }
+
     /// Apply pre-grouped index updates, taking each shard lock once.
     /// `groups` maps a name to the ascending ids to merge into its list.
     fn apply_index_groups(&self, shards: &[IdIndexShard], groups: HashMap<&str, Vec<RunId>>) {
@@ -1055,55 +1160,7 @@ impl Store for MemoryStore {
             self.tele.index_misses.incr();
             return Ok(None);
         }
-        // Phase A: candidate ids from the routed index (ascending). The
-        // route only narrows the candidate set; the full filter still
-        // runs against every candidate, so results are identical to
-        // `scan_runs` however the planner routes.
-        let mut candidates: Vec<RunId> = match route {
-            IndexRoute::Component => {
-                let name = filter.component.as_deref().expect("checked applicable");
-                let g = self.by_component[name_shard(name)].read();
-                self.tele.scan_locks.incr();
-                g.get(name).cloned().unwrap_or_default()
-            }
-            IndexRoute::Status => {
-                let g = self.by_status.read();
-                self.tele.scan_locks.incr();
-                g[status_slot(filter.status.expect("checked applicable"))].clone()
-            }
-            IndexRoute::StartTime => {
-                let lo = filter.min_start_ms.unwrap_or(0);
-                let hi = filter.max_start_ms.unwrap_or(u64::MAX);
-                if lo > hi {
-                    Vec::new()
-                } else {
-                    let g = self.by_start.read();
-                    self.tele.scan_locks.incr();
-                    let mut ids: Vec<RunId> = g
-                        .range(lo..=hi)
-                        .flat_map(|(_, v)| v.iter().copied())
-                        .collect();
-                    drop(g);
-                    // Buckets are time-ordered, not id-ordered.
-                    ids.sort_unstable();
-                    ids
-                }
-            }
-            IndexRoute::IdRange => {
-                // Dense enumeration of the live id range; no lock at all.
-                let next = self.next_run_id.load(Ordering::Relaxed);
-                let lo = filter.min_id.unwrap_or(1).max(1);
-                let hi = filter
-                    .max_id
-                    .unwrap_or(u64::MAX)
-                    .min(next.saturating_sub(1));
-                if lo > hi {
-                    Vec::new()
-                } else {
-                    (lo..=hi).map(RunId).collect()
-                }
-            }
-        };
+        let mut candidates = self.route_candidates(filter, route);
         if let Some(s) = since {
             let pos = candidates.partition_point(|&id| id <= s);
             candidates.drain(..pos);
@@ -1138,6 +1195,115 @@ impl Store for MemoryStore {
         self.tele.rows_scanned.add(examined);
         self.tele.rows_returned.add(out.len() as u64);
         self.tele.index_hits.incr();
+        Ok(Some(out))
+    }
+
+    fn scan_runs_grouped(
+        &self,
+        filter: &RunFilter,
+        route: Option<IndexRoute>,
+        group_cols: &[usize],
+        aggs: &[AggInput],
+    ) -> Result<Option<Vec<GroupPartial>>> {
+        // Per-shard work list: candidate ids from the routed index when
+        // one applies (the grouped analogue of `scan_runs_indexed` phase
+        // A), else every record in the shard.
+        let routed: Option<Vec<Vec<u64>>> = match route {
+            Some(r) if r.applicable(filter) => {
+                let candidates = self.route_candidates(filter, r);
+                let mut per_shard: Vec<Vec<u64>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+                for id in candidates {
+                    per_shard[run_shard(id.0)].push(id.0);
+                }
+                self.tele.index_hits.incr();
+                Some(per_shard)
+            }
+            Some(_) => {
+                self.tele.index_misses.incr();
+                None
+            }
+            None => None,
+        };
+        let workers = self.scan_worker_count();
+        // Workers claim shards from a shared counter so a skewed
+        // candidate distribution doesn't idle anyone; each shard lock is
+        // read by exactly one worker exactly once. Worker-local hash maps
+        // mean zero contention during the fold; the (group-count-sized)
+        // maps merge on the calling thread afterwards.
+        let next_shard = AtomicUsize::new(0);
+        let mut merged: HashMap<String, GroupPartial> = HashMap::new();
+        let mut scanned = 0u64;
+        let mut locks = 0u64;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next_shard = &next_shard;
+                    let routed = routed.as_ref();
+                    s.spawn(move || {
+                        let mut local: HashMap<String, GroupPartial> = HashMap::new();
+                        let mut scanned = 0u64;
+                        let mut locks = 0u64;
+                        loop {
+                            let si = next_shard.fetch_add(1, Ordering::Relaxed);
+                            if si >= SHARD_COUNT {
+                                break;
+                            }
+                            match routed {
+                                Some(per_shard) => {
+                                    let ids = &per_shard[si];
+                                    if ids.is_empty() {
+                                        continue;
+                                    }
+                                    let g = self.run_shards[si].read();
+                                    locks += 1;
+                                    scanned += ids.len() as u64;
+                                    for id in ids {
+                                        if let Some(run) = g.get(id) {
+                                            if filter.matches(run) {
+                                                observe_run_grouped(
+                                                    &mut local, run, group_cols, aggs,
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                                None => {
+                                    let g = self.run_shards[si].read();
+                                    locks += 1;
+                                    scanned += g.len() as u64;
+                                    for run in g.values() {
+                                        if filter.matches(run) {
+                                            observe_run_grouped(&mut local, run, group_cols, aggs);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        (local, scanned, locks)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (local, w_scanned, w_locks) = h.join().expect("grouped scan worker panicked");
+                scanned += w_scanned;
+                locks += w_locks;
+                for (k, g) in local {
+                    match merged.entry(k) {
+                        Entry::Occupied(mut e) => e.get_mut().merge(&g),
+                        Entry::Vacant(v) => {
+                            v.insert(g);
+                        }
+                    }
+                }
+            }
+        });
+        self.tele.rows_scanned.add(scanned);
+        self.tele.scan_locks.add(locks);
+        // The headline number: a grouped scan returns group-count rows,
+        // not row-count rows.
+        self.tele.rows_returned.add(merged.len() as u64);
+        let mut out: Vec<GroupPartial> = merged.into_values().collect();
+        out.sort_unstable_by_key(|g| g.first_id);
         Ok(Some(out))
     }
 

@@ -265,6 +265,36 @@ pub fn run_row(r: &ComponentRunRecord) -> Row {
     ]
 }
 
+/// Extract a single `component_runs` column from a run record without
+/// materializing the full row — the grouped partial-aggregate scan reads
+/// only the grouped/aggregated columns per record. Must agree with
+/// [`run_row`] position for position.
+pub fn run_column_value(r: &ComponentRunRecord, idx: usize) -> Value {
+    match idx {
+        0 => Value::from(r.id.0),
+        1 => Value::from(r.component.clone()),
+        2 => Value::from(r.start_ms),
+        3 => Value::from(r.end_ms),
+        4 => Value::from(r.end_ms.saturating_sub(r.start_ms)),
+        5 => Value::from(r.status.name()),
+        6 => Value::from(r.inputs.clone()),
+        7 => Value::from(r.outputs.clone()),
+        8 => Value::from(r.code_hash.clone()),
+        9 => Value::from(r.notes.clone()),
+        10 => Value::List(r.dependencies.iter().map(|d| Value::from(d.0)).collect()),
+        11 => {
+            let failures: Vec<String> = r
+                .triggers
+                .iter()
+                .filter(|t| !t.passed)
+                .map(|t| t.trigger.clone())
+                .collect();
+            Value::from(failures)
+        }
+        _ => Value::Null,
+    }
+}
+
 /// Convert one monitoring-plane summary into its `summaries` row. The
 /// `window` column counts *completed* windows; non-finite stats (an empty
 /// plane key cannot occur, but quantiles before any finite point can be

@@ -6,6 +6,7 @@
 //! RAM) and [`crate::wal::WalStore`] (same, plus an append-only JSON-lines
 //! log for durability and replay).
 
+use crate::aggregate::{AggInput, GroupPartial};
 use crate::error::Result;
 use crate::event::{EventBus, EventFilter, EventId, IncidentRecord, ObservabilityEvent};
 use crate::record::{
@@ -231,6 +232,39 @@ pub trait Store: Send + Sync {
         route: IndexRoute,
     ) -> Result<Option<Vec<ComponentRunRecord>>> {
         let _ = (since, filter, limit, route);
+        Ok(None)
+    }
+
+    /// Grouped partial-aggregate scan over `component_runs`: group the
+    /// runs matching `filter` by the schema columns in `group_cols`
+    /// (hashed by canonical value key, see
+    /// [`crate::aggregate::canonical_row_key`]) and fold each run into one
+    /// [`AggPartial`] per entry of `aggs`, without materializing rows.
+    /// A grouped scan over millions of runs returns group-count partials
+    /// instead of row-count rows.
+    ///
+    /// `route`, when given, narrows the candidate set through the named
+    /// secondary index exactly like [`Store::scan_runs_indexed`] (the full
+    /// filter is still applied). Implementations may return several
+    /// partials for the same key (e.g. one per shard, computed in
+    /// parallel); callers merge by canonical key — [`AggPartial::merge`]
+    /// and the exact sums make the merged result independent of sharding
+    /// and evaluation order. `first_id` orders merged groups by first
+    /// appearance in an id-ascending scan.
+    ///
+    /// Returns `Ok(None)` (the default) when the store cannot push
+    /// aggregation down; callers then fall back to a row scan.
+    ///
+    /// [`AggPartial`]: crate::aggregate::AggPartial
+    /// [`AggPartial::merge`]: crate::aggregate::AggPartial::merge
+    fn scan_runs_grouped(
+        &self,
+        filter: &RunFilter,
+        route: Option<IndexRoute>,
+        group_cols: &[usize],
+        aggs: &[AggInput],
+    ) -> Result<Option<Vec<GroupPartial>>> {
+        let _ = (filter, route, group_cols, aggs);
         Ok(None)
     }
 

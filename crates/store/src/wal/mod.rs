@@ -61,6 +61,7 @@ mod replay;
 mod segment;
 mod snapshot;
 
+use crate::aggregate::{AggInput, GroupPartial};
 use crate::error::{Result, StoreError};
 use crate::event::{
     EventBus, EventFilter, EventId, EventKind, EventSeverity, IncidentRecord, ObservabilityEvent,
@@ -1699,6 +1700,16 @@ impl Store for WalStore {
         route: IndexRoute,
     ) -> Result<Option<Vec<ComponentRunRecord>>> {
         self.mem.scan_runs_indexed(since, filter, limit, route)
+    }
+
+    fn scan_runs_grouped(
+        &self,
+        filter: &RunFilter,
+        route: Option<IndexRoute>,
+        group_cols: &[usize],
+        aggs: &[AggInput],
+    ) -> Result<Option<Vec<GroupPartial>>> {
+        self.mem.scan_runs_grouped(filter, route, group_cols, aggs)
     }
 
     fn index_stats(&self) -> Result<Option<IndexStats>> {

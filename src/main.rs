@@ -64,7 +64,7 @@ COMMANDS
   stats                      record counts, on-disk WAL footprint, and
                              secondary-index memory
   checkpoint                 snapshot state + seal the log for fast restarts
-  compact --days <n>         fold runs older than n days into summaries
+  compact --days <n>         fold runs older than n days into rollups
   delete-derived <output>    GDPR: purge everything derived from <output>
   demo [--batches <n>]       simulate the taxi demo pipeline into the log
 
@@ -260,7 +260,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             println!("runs:          {}", s.runs);
             println!("io pointers:   {}", s.io_pointers);
             println!("metric points: {}", s.metric_points);
-            println!("summaries:     {}", s.summaries);
+            println!("rollups:       {}", s.summaries);
             println!("runs removed:  {}", s.runs_removed);
             println!("events:        {}", s.events);
             println!("incidents:     {}", s.incidents);
@@ -272,6 +272,20 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             );
             println!("snapshot:      {} bytes", fp.snapshot_bytes);
             println!("since ckpt:    {} events", fp.events_since_checkpoint);
+            // Row counts per SQL table, as the query layer names them.
+            let monitor_rows = store.monitor_summaries().map(|v| v.len()).unwrap_or(0);
+            for (table, rows) in [
+                ("component_runs", s.runs),
+                ("events", s.events),
+                ("metrics", s.metric_points),
+                ("summaries", monitor_rows),
+                ("rollups", s.summaries),
+                ("incidents", s.incidents),
+                ("components", s.components),
+                ("io_pointers", s.io_pointers),
+            ] {
+                println!("table {:<16} {rows} rows", table);
+            }
             for idx in store.index_footprint().map_err(err)? {
                 println!(
                     "index {:<16} {} keys, {} entries, ~{} bytes",

@@ -1,11 +1,13 @@
 //! Property-style equivalence suite for the read-path overhaul: the
 //! pushdown executor ([`execute_query`]) must return exactly the same
 //! rows as the naive full-scan reference ([`execute_query_unoptimized`])
-//! across WHERE / LIMIT / ORDER BY / DISTINCT combinations, on both the
-//! in-memory store and a live WAL-backed store. A third axis pins the
-//! index-backed executor ([`execute_query_with_route`] with `ForceIndex`)
-//! against both, so the secondary-index lookup path can never drift from
-//! the scan semantics however the planner routes.
+//! across WHERE / LIMIT / ORDER BY / DISTINCT combinations — and, since
+//! the analytical-SQL work, across GROUP BY / HAVING (store-side
+//! parallel partial aggregates) and inner/left JOINs (hash execution) —
+//! on both the in-memory store and a live WAL-backed store. A third axis
+//! pins the index-backed executor ([`execute_query_with_route`] with
+//! `ForceIndex`) against both, so the secondary-index lookup path can
+//! never drift from the scan semantics however the planner routes.
 //!
 //! [`execute_query`]: mltrace::query::execute_query
 //! [`execute_query_unoptimized`]: mltrace::query::execute_query_unoptimized
@@ -266,7 +268,119 @@ fn query_grid() -> Vec<String> {
             queries.push(format!("SELECT * FROM incidents {w} {o} LIMIT 10"));
         }
     }
+    queries.extend(aggregate_grid());
+    queries.extend(join_grid());
     queries
+}
+
+/// The GROUP BY × HAVING × WHERE × ORDER/LIMIT aggregate axis. Fully
+/// pushable WHEREs take the store-side partial-aggregate route; residual
+/// and expression-argument cases fall back to the row path — every cell
+/// must agree with the naive reference group for group.
+fn aggregate_grid() -> Vec<String> {
+    let mut queries = Vec::new();
+    let wheres = [
+        "",
+        "WHERE component = 'etl'",
+        "WHERE status = 'failed'",
+        "WHERE start_ms BETWEEN 1200 AND 1800",
+        // Empty input: a grouped query yields no groups, a global one
+        // yields a single all-empty group.
+        "WHERE id < 1",
+        // Residual conjunct: knocks the query off the partial-agg route.
+        "WHERE component = 'etl' AND duration_ms > 20",
+        // OR is never pushed.
+        "WHERE component = 'etl' OR status = 'failed'",
+    ];
+    let havings = ["", "HAVING count(*) > 10", "HAVING avg(duration_ms) >= 25"];
+    let tails = ["", "ORDER BY n DESC, component LIMIT 2"];
+    for w in wheres {
+        for h in havings {
+            for t in tails {
+                queries.push(format!(
+                    "SELECT component, count(*) AS n, avg(duration_ms) AS avg_d \
+                     FROM runs {w} GROUP BY component {h} {t}"
+                ));
+            }
+        }
+        // Multi-column keys, the full aggregate set, and global (no
+        // GROUP BY) aggregates, including over empty inputs.
+        queries.push(format!(
+            "SELECT component, status, count(*) AS n FROM runs {w} \
+             GROUP BY component, status ORDER BY n DESC, component, status"
+        ));
+        queries.push(format!(
+            "SELECT status, sum(duration_ms) AS s, min(start_ms) AS lo, \
+             max(end_ms) AS hi FROM runs {w} GROUP BY status"
+        ));
+        queries.push(format!(
+            "SELECT count(*) AS n, sum(duration_ms) AS s, avg(duration_ms) AS a, \
+             min(id) AS lo, max(id) AS hi FROM runs {w}"
+        ));
+        // Expression aggregate arguments stay on the row path.
+        queries.push(format!(
+            "SELECT component, sum(duration_ms / 2) AS half FROM runs {w} \
+             GROUP BY component"
+        ));
+        // Qualified spellings resolve to the same groups as bare ones.
+        queries.push(format!(
+            "SELECT r.component, count(*) AS n FROM runs r {w} GROUP BY r.component"
+        ));
+    }
+    // Aggregates over the other tables exercise the row-path fold.
+    queries.push("SELECT name, count(*) AS n, avg(value) AS v FROM metrics GROUP BY name".into());
+    queries.push(
+        "SELECT kind, severity, count(*) AS n FROM events GROUP BY kind, severity \
+         ORDER BY n DESC, kind, severity LIMIT 5"
+            .into(),
+    );
+    queries
+}
+
+/// The JOIN axis: inner/left × equi/non-equi × pushed filters ×
+/// grouping, against the naive nested-loop reference.
+fn join_grid() -> Vec<String> {
+    [
+        // Hash equi-join, both directions of the build-side choice.
+        "SELECT r.id, r.component, e.kind FROM runs r JOIN events e ON e.run_id = r.id \
+         ORDER BY r.id, e.kind",
+        "SELECT e.id, r.status FROM events e JOIN runs r ON r.id = e.run_id \
+         ORDER BY e.id",
+        // Per-source WHERE conjuncts push below the join; the
+        // cross-source conjunct stays residual.
+        "SELECT r.id, e.id FROM runs r JOIN events e ON e.run_id = r.id \
+         WHERE r.component = 'etl' AND e.severity = 'info' AND r.start_ms < e.ts_ms \
+         ORDER BY r.id, e.id",
+        // LEFT JOIN pads, and IS NULL over the padded side anti-joins.
+        "SELECT r.id, e.kind FROM runs r LEFT JOIN events e ON e.run_id = r.id \
+         ORDER BY r.id, e.kind LIMIT 50",
+        "SELECT r.id FROM runs r LEFT JOIN events e ON e.run_id = r.id \
+         WHERE e.id IS NULL ORDER BY r.id",
+        // WHERE on the padded source must not push below the join even
+        // when it names only that source's columns.
+        "SELECT r.id, e.severity FROM runs r LEFT JOIN events e ON e.run_id = r.id \
+         WHERE e.severity = 'page' ORDER BY r.id",
+        // Multi-conjunct ON: equi key plus a residual ON predicate.
+        "SELECT r.id, e.id FROM runs r JOIN events e \
+         ON e.run_id = r.id AND e.ts_ms > r.start_ms ORDER BY r.id, e.id",
+        // Incidents and metrics join through string keys.
+        "SELECT r.id, i.key FROM runs r JOIN incidents i ON i.subject = r.component \
+         WHERE i.state = 'open' ORDER BY r.id",
+        "SELECT r.id, m.name, m.value FROM runs r JOIN metrics m ON m.run_id = r.id \
+         ORDER BY r.id, m.name",
+        // Grouped join: aggregate above the join result.
+        "SELECT i.key, count(*) AS n FROM runs r JOIN incidents i \
+         ON i.subject = r.component GROUP BY i.key ORDER BY n DESC, i.key",
+        // Non-equi ON: nested-loop fallback on both paths.
+        "SELECT r.id, i.key FROM runs r JOIN incidents i ON r.start_ms < i.opened_ms \
+         ORDER BY r.id, i.key LIMIT 20",
+        // Three sources, left-deep.
+        "SELECT r.id, e.kind, i.key FROM runs r JOIN events e ON e.run_id = r.id \
+         JOIN incidents i ON i.subject = r.component ORDER BY r.id, e.kind, i.key",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
 }
 
 #[test]
@@ -363,4 +477,85 @@ fn distinct_10k_unique_rows_is_linear() {
     assert_eq!(r.rows.len(), 100);
     let naive = execute_query_unoptimized(&store, &q).unwrap();
     assert_eq!(r, naive);
+}
+
+/// Aggregates over non-finite metric values: NaN propagates through
+/// SUM/AVG, MIN/MAX order NaN deterministically (total_cmp), and the
+/// pushed, forced, and naive paths agree bitwise. Memory store only —
+/// the WAL's JSON encoding cannot represent non-finite floats.
+#[test]
+fn aggregate_equivalence_with_nonfinite_metrics() {
+    use mltrace::store::aggregate::canonical_row_key;
+
+    let store = MemoryStore::new();
+    seed(&store);
+    for (name, value) in [
+        ("spikes", f64::NAN),
+        ("spikes", f64::INFINITY),
+        ("spikes", f64::NEG_INFINITY),
+        ("spikes", 1.5),
+        ("spikes", -0.0),
+        ("floor", f64::NAN),
+    ] {
+        store
+            .log_metric(MetricRecord {
+                component: "etl".into(),
+                run_id: None,
+                name: name.into(),
+                value,
+                ts_ms: 9_000,
+            })
+            .unwrap();
+    }
+    for sql in [
+        "SELECT name, count(*) AS n, sum(value) AS s, avg(value) AS a FROM metrics \
+         GROUP BY name ORDER BY name",
+        "SELECT name, min(value) AS lo, max(value) AS hi FROM metrics \
+         GROUP BY name ORDER BY name",
+        "SELECT count(value) AS n, sum(value) AS s FROM metrics WHERE name = 'spikes'",
+        "SELECT name, avg(value) AS a FROM metrics GROUP BY name \
+         HAVING count(*) > 1 ORDER BY name",
+    ] {
+        let q = parse(sql).unwrap();
+        let fast = execute_query(&store, &q).unwrap();
+        let slow = execute_query_unoptimized(&store, &q).unwrap();
+        // `assert_eq!` on rows would reject NaN == NaN; compare through
+        // the canonical keys, which encode NaN by its exact bits.
+        assert_eq!(fast.columns, slow.columns, "{sql}");
+        assert_eq!(fast.rows.len(), slow.rows.len(), "{sql}");
+        for (a, b) in fast.rows.iter().zip(&slow.rows) {
+            assert_eq!(
+                canonical_row_key(a),
+                canonical_row_key(b),
+                "bitwise row divergence for: {sql}"
+            );
+        }
+    }
+}
+
+/// The parallel per-shard fold must be invariant to worker count: one
+/// worker (sequential) and sixteen produce identical groups — including
+/// bitwise-identical SUM/AVG floats, which is what the exact
+/// superaccumulator buys over naive per-shard f64 addition.
+#[test]
+fn partial_aggregates_invariant_to_worker_count() {
+    let one = MemoryStore::new();
+    one.set_scan_workers(1);
+    seed(&one);
+    let many = MemoryStore::new();
+    many.set_scan_workers(16);
+    seed(&many);
+    for sql in [
+        "SELECT component, count(*) AS n, avg(duration_ms) AS a FROM runs \
+         GROUP BY component ORDER BY component",
+        "SELECT status, sum(duration_ms) AS s FROM runs GROUP BY status ORDER BY status",
+        "SELECT count(*) AS n, sum(start_ms) AS s FROM runs",
+    ] {
+        let q = parse(sql).unwrap();
+        let a = execute_query(&one, &q).unwrap();
+        let b = execute_query(&many, &q).unwrap();
+        assert_eq!(a, b, "worker-count divergence for: {sql}");
+        let naive = execute_query_unoptimized(&many, &q).unwrap();
+        assert_eq!(b, naive, "parallel fold diverged from reference: {sql}");
+    }
 }
