@@ -1,0 +1,111 @@
+//! E17 — root-cause diagnosis latency vs lineage-graph size: a chain
+//! pipeline of 10 / 100 / 1000 components with a failed run at the head
+//! and a drift incident at the tail, so the engine must walk the whole
+//! upstream cone to reach the strongest evidence.
+//!
+//! Two variants: `cold` pays the full `mltrace diagnose` path including
+//! the run-log → graph reconstruction; `warm` diagnoses against a
+//! prebuilt graph (the batch / watch-loop case). Each iteration gets a
+//! fresh store so the journaled `diagnosis_ready` events from prior
+//! iterations never skew the evidence scan.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mltrace_core::{build_graph, diagnose_incident, diagnose_key};
+use mltrace_store::{
+    ComponentRunRecord, EventSeverity, IncidentRecord, IncidentState, MemoryStore, RunStatus, Store,
+};
+use std::hint::black_box;
+
+/// A chain pipeline `c0000 → c0001 → …`: each component's run consumes
+/// the previous one's artifact; the head run fails; a drift incident is
+/// open on the tail component's `prediction` metric.
+fn chain_store(n: usize) -> (MemoryStore, IncidentRecord) {
+    let store = MemoryStore::new();
+    for j in 0..n {
+        store
+            .log_run(ComponentRunRecord {
+                component: format!("c{j:04}"),
+                start_ms: 1_000 + j as u64,
+                end_ms: 1_001 + j as u64,
+                inputs: if j == 0 {
+                    Vec::new()
+                } else {
+                    vec![format!("art-{}", j - 1)]
+                },
+                outputs: vec![format!("art-{j}")],
+                status: if j == 0 {
+                    RunStatus::Failed
+                } else {
+                    RunStatus::Success
+                },
+                ..Default::default()
+            })
+            .unwrap();
+    }
+    let key = format!("drift:c{:04}/prediction", n - 1);
+    let incident = IncidentRecord {
+        key: key.clone(),
+        state: IncidentState::Open,
+        severity: EventSeverity::Page,
+        subject: key,
+        opened_ms: 2_000 + n as u64,
+        last_fire_ms: 2_000 + n as u64,
+        resolved_ms: None,
+        fire_count: 1,
+        suppressed_count: 0,
+        burn_ms: 0,
+        detail: "drift page".into(),
+    };
+    store.upsert_incident(incident.clone()).unwrap();
+    (store, incident)
+}
+
+fn diagnose_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E17/diagnose");
+    group.sample_size(10);
+    for &n in &[10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |b, &n| {
+            b.iter_batched(
+                || chain_store(n),
+                |(store, incident)| {
+                    black_box(diagnose_key(&store, &incident.key).unwrap().rows.len())
+                },
+                BatchSize::PerIteration,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("warm", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let (store, incident) = chain_store(n);
+                    let graph = build_graph(&store).unwrap();
+                    (store, graph, incident)
+                },
+                |(store, graph, incident)| {
+                    black_box(
+                        diagnose_incident(&store, &graph, &incident)
+                            .unwrap()
+                            .rows
+                            .len(),
+                    )
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Shared criterion config matching the rest of the suite: short windows
+/// keep CI runnable while remaining stable on these workloads.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = diagnose_latency
+}
+criterion_main!(benches);

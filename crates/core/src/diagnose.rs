@@ -1,0 +1,785 @@
+//! Root-cause diagnosis: from an open incident to a ranked culprit list
+//! across the lineage graph.
+//!
+//! The paper's §4 walkthroughs all end with an engineer manually tracing a
+//! symptom back through the pipeline to the component that caused it. This
+//! module automates that walk: starting from the symptomatic component, it
+//! traverses the provenance DAG upstream and ranks every component in the
+//! cone by joining evidence the system already holds — failed runs and
+//! failure-rate deltas from the lineage graph, `drift_scored` /
+//! `alert_fired` / `staleness_flagged` journal events, and the monitoring
+//! plane's current per-(component, metric) drift scores.
+//!
+//! # Scoring contract (the diagnosis contract)
+//!
+//! Every evidence item contributes `base_weight × precedence`, where
+//! `precedence` is 1.0 when the item's onset is at or before the symptom's
+//! onset and [`LATE_EVIDENCE_FACTOR`] otherwise (anomalies that *follow*
+//! the symptom are weak explanations of it). A suspect's score is the sum
+//! of its contributions times [`DISTANCE_DECAY`]^distance, where distance
+//! is the suspect's minimum hop count upstream of the symptomatic
+//! component (0 = the symptomatic component itself). Base weights:
+//!
+//! | kind | weight | source |
+//! |---|---|---|
+//! | `run_failed` | 3.0 | lineage graph: latest failed run |
+//! | `drift_onset` | 2.0 + min(score, 1.0) | earliest Page-tier `drift_scored` journal event per metric |
+//! | `alert_fired` | 1.5 | earliest `alert_fired` journal event |
+//! | `staleness_flagged` | 1.0 | earliest `staleness_flagged` journal event |
+//! | `failure_rate` | recent − lifetime failure-rate delta (0..1] | lineage graph, last [`RECENT_RUNS`] runs |
+//! | `drift_score` | 0.25 × min(score, 2.0) | monitoring-plane summary, when no drift event was journaled for the pair |
+//!
+//! The symptomatic metric itself (parsed from a `drift:<component>/<metric>`
+//! incident key) is excluded as evidence for the symptomatic component: the
+//! symptom must not explain itself.
+//!
+//! # Determinism invariant
+//!
+//! A diagnosis is a pure function of store state: the lineage graph, the
+//! journal (scanned in ascending event-id order), the incident record, and
+//! the monitoring plane — no wall clock, no randomness, no iteration over
+//! unordered maps. Evidence is accumulated in a fixed kind order and the
+//! final ranking breaks ties by (score descending via `total_cmp`, onset
+//! ascending, suspect name ascending), so replaying the same WAL —
+//! directly, segmented, or through a checkpoint — reproduces every ranking
+//! bit-identically.
+
+use crate::error::{CoreError, Result};
+use crate::graph::build_graph;
+use mltrace_provenance::{LineageGraph, RunIdx};
+use mltrace_store::{
+    DiagnosisRecord, EventFilter, EventKind, EventSeverity, IncidentRecord, IncidentState,
+    ObservabilityEvent, Store, Value,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Per-hop upstream attenuation of evidence.
+pub const DISTANCE_DECAY: f64 = 0.9;
+/// Weight multiplier for evidence whose onset follows the symptom's.
+pub const LATE_EVIDENCE_FACTOR: f64 = 0.25;
+/// Window (in runs) for the recent failure-rate delta.
+pub const RECENT_RUNS: usize = 5;
+
+/// A completed diagnosis: the ranked hypothesis rows plus the resolved
+/// symptom they explain.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// Incident dedup key (or synthetic `run:<id>` key).
+    pub incident_key: String,
+    /// The symptomatic component the upstream walk started from.
+    pub symptom_component: String,
+    /// The symptomatic metric, when the incident names one (drift keys).
+    pub symptom_metric: Option<String>,
+    /// Symptom onset, epoch ms (incident `opened_ms`, or run start).
+    pub symptom_onset_ms: u64,
+    /// Ranked hypothesis rows, rank 1 first. Empty when no upstream
+    /// component carries any evidence.
+    pub rows: Vec<DiagnosisRecord>,
+}
+
+impl Diagnosis {
+    /// Multi-line human rendering: a header, one line per ranked suspect,
+    /// and an evidence chain for the top hypothesis.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "incident {} — symptom `{}`, onset {}\n",
+            self.incident_key, self.symptom_component, self.symptom_onset_ms
+        );
+        if self.rows.is_empty() {
+            out.push_str("  no upstream evidence: every component in the lineage cone is clean\n");
+            return out;
+        }
+        for row in &self.rows {
+            out.push_str(&format!(
+                "  #{} {:<20} {:<17} score {:.4}  onset {:>13}  {} hop{}\n",
+                row.rank,
+                row.suspect,
+                row.evidence_kind,
+                row.score,
+                row.onset_ms,
+                row.distance,
+                if row.distance == 1 { "" } else { "s" },
+            ));
+        }
+        let top = &self.rows[0];
+        out.push_str(&format!(
+            "  chain: {} on `{}` ← {} on `{}` ({})\n",
+            self.incident_key, self.symptom_component, top.evidence_kind, top.suspect, top.detail,
+        ));
+        out
+    }
+}
+
+/// One contribution to a suspect's score, pre-decay.
+struct Evidence {
+    kind: &'static str,
+    onset_ms: u64,
+    weight: f64,
+    detail: String,
+}
+
+/// Per-component run statistics extracted from the lineage graph in one
+/// pass.
+#[derive(Default)]
+struct RunStats {
+    /// (start_ms, run_id, failed), ascending.
+    runs: Vec<(u64, u64, bool)>,
+}
+
+impl RunStats {
+    fn latest_failed(&self) -> Option<(u64, u64)> {
+        self.runs
+            .iter()
+            .rev()
+            .find(|(_, _, failed)| *failed)
+            .map(|&(start, id, _)| (start, id))
+    }
+
+    /// Failure rate over the last [`RECENT_RUNS`] runs minus the lifetime
+    /// rate; positive means the component got *worse* recently.
+    fn failure_rate_delta(&self) -> f64 {
+        if self.runs.len() < 2 {
+            return 0.0;
+        }
+        let total = self.runs.len() as f64;
+        let failed = self.runs.iter().filter(|(_, _, f)| *f).count() as f64;
+        let recent = &self.runs[self.runs.len().saturating_sub(RECENT_RUNS)..];
+        let recent_failed = recent.iter().filter(|(_, _, f)| *f).count() as f64;
+        recent_failed / recent.len() as f64 - failed / total
+    }
+
+    fn earliest_recent_failure(&self) -> Option<u64> {
+        let recent = &self.runs[self.runs.len().saturating_sub(RECENT_RUNS)..];
+        recent
+            .iter()
+            .find(|(_, _, f)| *f)
+            .map(|&(start, _, _)| start)
+    }
+}
+
+/// Parse a monitoring-plane drift incident key (`drift:<component>/<metric>`).
+fn parse_drift_key(key: &str) -> Option<(&str, &str)> {
+    let rest = key.strip_prefix("drift:")?;
+    let slash = rest.find('/')?;
+    Some((&rest[..slash], &rest[slash + 1..]))
+}
+
+/// The latest run of `component`, by (start_ms, run_id).
+fn latest_run_of(graph: &LineageGraph, component: &str) -> Option<RunIdx> {
+    graph
+        .run_indexes()
+        .filter(|&idx| graph.run(idx).component == component)
+        .max_by_key(|&idx| {
+            let run = graph.run(idx);
+            (run.start_ms, run.run_id)
+        })
+}
+
+/// BFS upstream from `start` through run dependencies and input-producer
+/// edges, returning each reachable component's minimum hop distance.
+/// Deterministic: neighbor sets are ordered (`BTreeSet<RunIdx>`) and BFS
+/// visits in queue order.
+fn upstream_components(graph: &LineageGraph, start: RunIdx) -> BTreeMap<String, u32> {
+    let mut dist: BTreeMap<String, u32> = BTreeMap::new();
+    let mut seen: HashMap<RunIdx, u32> = HashMap::new();
+    let mut queue: VecDeque<(RunIdx, u32)> = VecDeque::new();
+    seen.insert(start, 0);
+    queue.push_back((start, 0));
+    while let Some((idx, d)) = queue.pop_front() {
+        let run = graph.run(idx);
+        let entry = dist.entry(run.component.clone()).or_insert(d);
+        *entry = (*entry).min(d);
+        let mut next: BTreeSet<RunIdx> = run.deps.iter().copied().collect();
+        for &io in &run.inputs {
+            // The producer the paper's dependency-resolution rule would
+            // have picked at this run's start time.
+            if let Some(p) = graph.producer_at(io, run.start_ms) {
+                next.insert(p);
+            }
+        }
+        for n in next {
+            if !seen.contains_key(&n) {
+                seen.insert(n, d + 1);
+                queue.push_back((n, d + 1));
+            }
+        }
+    }
+    dist
+}
+
+/// Resolve the symptomatic component (and metric, when known) an incident
+/// is about.
+fn resolve_symptom(
+    graph: &LineageGraph,
+    incident: &IncidentRecord,
+) -> Result<(String, Option<String>)> {
+    let components: BTreeSet<&str> = graph
+        .run_indexes()
+        .map(|idx| graph.run(idx).component.as_str())
+        .collect();
+    for key in [incident.key.as_str(), incident.subject.as_str()] {
+        if let Some((comp, metric)) = parse_drift_key(key) {
+            if components.contains(comp) {
+                return Ok((comp.to_string(), Some(metric.to_string())));
+            }
+        }
+    }
+    if components.contains(incident.subject.as_str()) {
+        return Ok((incident.subject.clone(), None));
+    }
+    Err(CoreError::Invalid(format!(
+        "cannot resolve a symptom component for incident '{}' (subject '{}')",
+        incident.key, incident.subject
+    )))
+}
+
+/// Earliest journal event per (component, payload-metric) of `kind`,
+/// ascending by event id. Page-only when `page_only`.
+fn scan_kind(
+    store: &dyn Store,
+    kind: EventKind,
+    page_only: bool,
+) -> Result<Vec<ObservabilityEvent>> {
+    let events = store.scan_events(None, &EventFilter::all().with_kind(kind), None)?;
+    Ok(events
+        .into_iter()
+        .filter(|e| !page_only || e.severity == EventSeverity::Page)
+        .collect())
+}
+
+/// Diagnose one incident against a prebuilt lineage graph: walk upstream,
+/// score suspects, persist the ranked rows, and journal a
+/// [`EventKind::DiagnosisReady`] event carrying the list.
+pub fn diagnose_incident(
+    store: &dyn Store,
+    graph: &LineageGraph,
+    incident: &IncidentRecord,
+) -> Result<Diagnosis> {
+    let (symptom, metric) = resolve_symptom(graph, incident)?;
+    diagnose(
+        store,
+        graph,
+        &incident.key,
+        &symptom,
+        metric.as_deref(),
+        incident.opened_ms,
+        incident.last_fire_ms.max(incident.opened_ms),
+    )
+}
+
+/// Diagnose a run on demand (no incident required): the run's component is
+/// the symptom and its start time the onset. Rows persist under the
+/// synthetic key `run:<id>`.
+pub fn diagnose_run(store: &dyn Store, graph: &LineageGraph, run_id: u64) -> Result<Diagnosis> {
+    let idx = graph
+        .run_by_id(run_id)
+        .ok_or(CoreError::UnknownRun(run_id))?;
+    let run = graph.run(idx);
+    diagnose(
+        store,
+        graph,
+        &format!("run:{run_id}"),
+        &run.component.clone(),
+        None,
+        run.start_ms,
+        run.start_ms,
+    )
+}
+
+/// Diagnose by incident key, building the graph from the store.
+pub fn diagnose_key(store: &dyn Store, key: &str) -> Result<Diagnosis> {
+    let graph = build_graph(store)?;
+    let incident = store
+        .incidents()
+        .map_err(CoreError::from)?
+        .into_iter()
+        .find(|i| i.key == key)
+        .ok_or_else(|| CoreError::Invalid(format!("no incident with key '{key}'")))?;
+    diagnose_incident(store, &graph, &incident)
+}
+
+/// Diagnose every unresolved (open or acknowledged) incident, building the
+/// graph once. Incidents whose symptom cannot be resolved to a component
+/// are skipped rather than failing the batch.
+pub fn diagnose_open_incidents(store: &dyn Store) -> Result<Vec<Diagnosis>> {
+    let graph = build_graph(store)?;
+    let mut out = Vec::new();
+    for incident in store.incidents().map_err(CoreError::from)? {
+        if incident.state == IncidentState::Resolved {
+            continue;
+        }
+        match diagnose_incident(store, &graph, &incident) {
+            Ok(d) => out.push(d),
+            Err(CoreError::Invalid(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// The engine core: shared by the incident and run entry points.
+#[allow(clippy::too_many_arguments)] // internal seam; public API is narrow
+fn diagnose(
+    store: &dyn Store,
+    graph: &LineageGraph,
+    incident_key: &str,
+    symptom: &str,
+    symptom_metric: Option<&str>,
+    symptom_onset_ms: u64,
+    event_ts_ms: u64,
+) -> Result<Diagnosis> {
+    let tele = store.telemetry();
+    let _span = tele.map(|t| t.span("core.diagnose"));
+
+    let start = latest_run_of(graph, symptom)
+        .ok_or_else(|| CoreError::UnknownComponent(symptom.to_string()))?;
+    let suspects = upstream_components(graph, start);
+
+    // One pass over the graph for per-component run statistics.
+    let mut stats: BTreeMap<&str, RunStats> = BTreeMap::new();
+    for idx in graph.run_indexes() {
+        let run = graph.run(idx);
+        if suspects.contains_key(&run.component) {
+            stats.entry(run.component.as_str()).or_default().runs.push((
+                run.start_ms,
+                run.run_id,
+                run.failed,
+            ));
+        }
+    }
+    for st in stats.values_mut() {
+        st.runs.sort_unstable();
+    }
+
+    // Journal evidence, ascending by event id (replay-stable order).
+    let drift_events = scan_kind(store, EventKind::DriftScored, true)?;
+    let alert_events = scan_kind(store, EventKind::AlertFired, false)?;
+    let stale_events = scan_kind(store, EventKind::StalenessFlagged, false)?;
+    let summaries = store.monitor_summaries()?;
+
+    let precedence = |onset: u64| {
+        if onset <= symptom_onset_ms {
+            1.0
+        } else {
+            LATE_EVIDENCE_FACTOR
+        }
+    };
+
+    let mut scored: Vec<DiagnosisRecord> = Vec::new();
+    for (component, &distance) in &suspects {
+        let mut items: Vec<Evidence> = Vec::new();
+        let st = stats.get(component.as_str());
+
+        if let Some((start_ms, run_id)) = st.and_then(RunStats::latest_failed) {
+            items.push(Evidence {
+                kind: "run_failed",
+                onset_ms: start_ms,
+                weight: 3.0,
+                detail: format!("run#{run_id} failed at {start_ms}"),
+            });
+        }
+        if let Some(st) = st {
+            let delta = st.failure_rate_delta();
+            if delta > 0.0 {
+                items.push(Evidence {
+                    kind: "failure_rate",
+                    onset_ms: st.earliest_recent_failure().unwrap_or(0),
+                    weight: delta,
+                    detail: format!(
+                        "failure rate up {:.0}% over the last {} runs",
+                        delta * 100.0,
+                        st.runs.len().min(RECENT_RUNS)
+                    ),
+                });
+            }
+        }
+
+        // Earliest Page-tier drift event per metric of this component.
+        let mut drifted_metrics: BTreeSet<&str> = BTreeSet::new();
+        for e in drift_events.iter().filter(|e| e.component == *component) {
+            let metric = e
+                .payload
+                .get("metric")
+                .and_then(Value::as_str)
+                .unwrap_or("");
+            if component == symptom && Some(metric) == symptom_metric {
+                continue; // the symptom must not explain itself
+            }
+            if !drifted_metrics.insert(metric) {
+                continue;
+            }
+            let score = e
+                .payload
+                .get("score")
+                .and_then(Value::as_f64)
+                .filter(|s| s.is_finite())
+                .unwrap_or(0.0);
+            items.push(Evidence {
+                kind: "drift_onset",
+                onset_ms: e.ts_ms,
+                weight: 2.0 + score.min(1.0),
+                detail: format!("drift onset on `{component}.{metric}` at {}", e.ts_ms),
+            });
+        }
+
+        if let Some(e) = alert_events.iter().find(|e| e.component == *component) {
+            items.push(Evidence {
+                kind: "alert_fired",
+                onset_ms: e.ts_ms,
+                weight: 1.5,
+                detail: format!("alert fired at {}: {}", e.ts_ms, e.detail),
+            });
+        }
+        if let Some(e) = stale_events.iter().find(|e| e.component == *component) {
+            items.push(Evidence {
+                kind: "staleness_flagged",
+                onset_ms: e.ts_ms,
+                weight: 1.0,
+                detail: format!("staleness flagged at {}", e.ts_ms),
+            });
+        }
+
+        // Monitoring-plane drift level, for pairs with no journaled drift.
+        for s in summaries.iter().filter(|s| s.component == *component) {
+            if s.drift_score <= 0.0
+                || !s.drift_score.is_finite()
+                || drifted_metrics.contains(s.metric.as_str())
+                || (component == symptom && Some(s.metric.as_str()) == symptom_metric)
+            {
+                continue;
+            }
+            items.push(Evidence {
+                kind: "drift_score",
+                onset_ms: s.last_ts_ms,
+                weight: 0.25 * s.drift_score.min(2.0),
+                detail: format!(
+                    "plane drift score {:.4} on `{component}.{}`",
+                    s.drift_score, s.metric
+                ),
+            });
+        }
+
+        if items.is_empty() {
+            continue;
+        }
+        let decay = DISTANCE_DECAY.powi(distance as i32);
+        let mut total = 0.0;
+        let mut best = 0usize;
+        let mut best_contribution = f64::NEG_INFINITY;
+        for (i, item) in items.iter().enumerate() {
+            let contribution = item.weight * precedence(item.onset_ms);
+            total += contribution;
+            if contribution > best_contribution {
+                best_contribution = contribution;
+                best = i;
+            }
+        }
+        let score = total * decay;
+        if score <= 0.0 || !score.is_finite() {
+            continue;
+        }
+        let onset_ms = items.iter().map(|i| i.onset_ms).min().unwrap_or(0);
+        scored.push(DiagnosisRecord {
+            incident_key: incident_key.to_string(),
+            rank: 0,
+            suspect: component.clone(),
+            evidence_kind: items[best].kind.to_string(),
+            score,
+            onset_ms,
+            distance,
+            detail: items[best].detail.clone(),
+        });
+    }
+
+    // The written-down tie-break: score descending (total order), then
+    // onset ascending (earlier anomalies are better explanations), then
+    // suspect name ascending.
+    scored.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.onset_ms.cmp(&b.onset_ms))
+            .then_with(|| a.suspect.cmp(&b.suspect))
+    });
+    for (i, row) in scored.iter_mut().enumerate() {
+        row.rank = (i + 1) as u64;
+    }
+
+    store
+        .put_diagnosis(incident_key, scored.clone())
+        .map_err(CoreError::from)?;
+    let suspects_payload: Vec<Value> = scored
+        .iter()
+        .map(|r| {
+            Value::Str(format!(
+                "{}:{}:{}:{:.4}",
+                r.rank, r.suspect, r.evidence_kind, r.score
+            ))
+        })
+        .collect();
+    let top = scored
+        .first()
+        .map(|r| format!("top suspect `{}` ({})", r.suspect, r.evidence_kind))
+        .unwrap_or_else(|| "no suspects".to_string());
+    store
+        .log_events(vec![ObservabilityEvent::new(
+            EventKind::DiagnosisReady,
+            EventSeverity::Info,
+            event_ts_ms,
+        )
+        .component(symptom)
+        .detail(format!(
+            "{} suspects ranked for {incident_key}; {top}",
+            scored.len()
+        ))
+        .payload("key", Value::Str(incident_key.to_string()))
+        .payload("suspects", Value::List(suspects_payload))])
+        .map_err(CoreError::from)?;
+
+    if let Some(t) = tele {
+        t.incr("core.diagnose_total");
+        t.add("core.diagnose_suspects_total", scored.len() as u64);
+    }
+
+    Ok(Diagnosis {
+        incident_key: incident_key.to_string(),
+        symptom_component: symptom.to_string(),
+        symptom_metric: symptom_metric.map(str::to_string),
+        symptom_onset_ms,
+        rows: scored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltrace_store::{ComponentRunRecord, MemoryStore, RunStatus};
+
+    fn log(
+        s: &MemoryStore,
+        component: &str,
+        start: u64,
+        inputs: &[&str],
+        outputs: &[&str],
+        status: RunStatus,
+    ) -> u64 {
+        s.log_run(ComponentRunRecord {
+            component: component.into(),
+            start_ms: start,
+            end_ms: start + 1,
+            inputs: inputs.iter().map(|x| x.to_string()).collect(),
+            outputs: outputs.iter().map(|x| x.to_string()).collect(),
+            status,
+            ..Default::default()
+        })
+        .unwrap()
+        .0
+    }
+
+    fn drift_event(component: &str, metric: &str, score: f64, ts: u64) -> ObservabilityEvent {
+        ObservabilityEvent::new(EventKind::DriftScored, EventSeverity::Page, ts)
+            .component(component)
+            .payload("metric", Value::Str(metric.into()))
+            .payload("score", Value::Float(score))
+    }
+
+    fn incident(key: &str, opened: u64) -> IncidentRecord {
+        IncidentRecord {
+            key: key.into(),
+            state: IncidentState::Open,
+            severity: EventSeverity::Page,
+            subject: key.into(),
+            opened_ms: opened,
+            last_fire_ms: opened,
+            resolved_ms: None,
+            fire_count: 1,
+            suppressed_count: 0,
+            burn_ms: 0,
+            detail: String::new(),
+        }
+    }
+
+    /// ingest → clean (failed + drifted) → featurize → inference chain:
+    /// the faulty upstream component must rank first, and the diagnosis
+    /// must be persisted and journaled.
+    #[test]
+    fn ranks_faulty_upstream_component_first() {
+        let s = MemoryStore::new();
+        log(&s, "ingest", 100, &[], &["raw"], RunStatus::Success);
+        log(&s, "clean", 200, &["raw"], &["clean"], RunStatus::Failed);
+        log(
+            &s,
+            "featurize",
+            300,
+            &["clean"],
+            &["feats"],
+            RunStatus::Success,
+        );
+        log(&s, "inference", 400, &["feats"], &[], RunStatus::Success);
+        s.log_events(vec![drift_event("clean", "null_rate", 0.8, 250)])
+            .unwrap();
+        let inc = incident("drift:inference/prediction", 500);
+        s.upsert_incident(inc.clone()).unwrap();
+
+        let graph = build_graph(&s).unwrap();
+        let d = diagnose_incident(&s, &graph, &inc).unwrap();
+        assert_eq!(d.symptom_component, "inference");
+        assert_eq!(d.symptom_metric.as_deref(), Some("prediction"));
+        assert_eq!(d.rows[0].suspect, "clean");
+        assert_eq!(d.rows[0].rank, 1);
+        assert_eq!(d.rows[0].evidence_kind, "run_failed");
+        assert_eq!(d.rows[0].distance, 2);
+        assert_eq!(d.rows[0].onset_ms, 200);
+        // run_failed 3.0 + drift_onset (2.0 + 0.8), both preceding the
+        // symptom, decayed two hops.
+        let expected = (3.0 + 2.8) * DISTANCE_DECAY * DISTANCE_DECAY;
+        assert!((d.rows[0].score - expected).abs() < 1e-12);
+
+        // Persisted rows match the returned ranking exactly.
+        assert_eq!(s.diagnoses_for(&inc.key).unwrap(), d.rows);
+        // And a diagnosis_ready event carries the ranked list.
+        let events = s
+            .scan_events(
+                None,
+                &EventFilter::all().with_kind(EventKind::DiagnosisReady),
+                None,
+            )
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].payload.get("key").and_then(Value::as_str),
+            Some(inc.key.as_str())
+        );
+        match events[0].payload.get("suspects") {
+            Some(Value::List(l)) => assert_eq!(l.len(), d.rows.len()),
+            other => panic!("suspects payload missing: {other:?}"),
+        }
+    }
+
+    /// The symptomatic metric's own drift must not be counted as evidence
+    /// for the symptomatic component, but other metrics of it may.
+    #[test]
+    fn symptom_metric_does_not_explain_itself() {
+        let s = MemoryStore::new();
+        log(&s, "inference", 100, &[], &[], RunStatus::Success);
+        s.log_events(vec![drift_event("inference", "prediction", 0.9, 150)])
+            .unwrap();
+        let inc = incident("drift:inference/prediction", 200);
+        s.upsert_incident(inc.clone()).unwrap();
+        let graph = build_graph(&s).unwrap();
+        let d = diagnose_incident(&s, &graph, &inc).unwrap();
+        assert!(d.rows.is_empty(), "self-evidence must be excluded: {d:?}");
+    }
+
+    /// Equal evidence at equal distance falls back to the written-down
+    /// tie-break: suspect name ascending.
+    #[test]
+    fn tie_break_is_name_order() {
+        let s = MemoryStore::new();
+        log(&s, "b_side", 100, &[], &["b_out"], RunStatus::Failed);
+        log(&s, "a_side", 100, &[], &["a_out"], RunStatus::Failed);
+        log(
+            &s,
+            "sink",
+            200,
+            &["a_out", "b_out"],
+            &[],
+            RunStatus::Success,
+        );
+        let inc = incident("drift:sink/m", 300);
+        s.upsert_incident(inc.clone()).unwrap();
+        let graph = build_graph(&s).unwrap();
+        let d = diagnose_incident(&s, &graph, &inc).unwrap();
+        assert_eq!(d.rows.len(), 2);
+        assert_eq!(d.rows[0].score, d.rows[1].score);
+        assert_eq!(d.rows[0].suspect, "a_side");
+        assert_eq!(d.rows[1].suspect, "b_side");
+    }
+
+    /// Components outside the symptom's upstream cone are never suspects,
+    /// however bad their evidence.
+    #[test]
+    fn downstream_and_sibling_components_are_not_suspects() {
+        let s = MemoryStore::new();
+        log(&s, "up", 100, &[], &["x"], RunStatus::Failed);
+        log(&s, "mid", 200, &["x"], &["y"], RunStatus::Success);
+        log(&s, "down", 300, &["y"], &[], RunStatus::Failed);
+        log(&s, "stranger", 50, &[], &["z"], RunStatus::Failed);
+        let inc = incident("drift:mid/m", 400);
+        s.upsert_incident(inc.clone()).unwrap();
+        let graph = build_graph(&s).unwrap();
+        let d = diagnose_incident(&s, &graph, &inc).unwrap();
+        let suspects: Vec<&str> = d.rows.iter().map(|r| r.suspect.as_str()).collect();
+        assert_eq!(suspects, vec!["up"]);
+    }
+
+    /// On-demand run diagnosis uses the synthetic `run:<id>` key and the
+    /// run's own start as the onset.
+    #[test]
+    fn run_diagnosis_uses_synthetic_key() {
+        let s = MemoryStore::new();
+        log(&s, "up", 100, &[], &["x"], RunStatus::Failed);
+        let sink = log(&s, "sink", 200, &["x"], &[], RunStatus::Success);
+        let graph = build_graph(&s).unwrap();
+        let d = diagnose_run(&s, &graph, sink).unwrap();
+        assert_eq!(d.incident_key, format!("run:{sink}"));
+        assert_eq!(d.symptom_onset_ms, 200);
+        assert_eq!(d.rows[0].suspect, "up");
+        assert_eq!(s.diagnoses_for(&d.incident_key).unwrap(), d.rows);
+        assert!(diagnose_run(&s, &graph, 999).is_err());
+    }
+
+    /// Evidence whose onset follows the symptom's is attenuated, so an
+    /// earlier-but-weaker anomaly can outrank a later-but-stronger one.
+    #[test]
+    fn temporal_precedence_outranks_strength() {
+        let s = MemoryStore::new();
+        log(&s, "early", 100, &[], &["a"], RunStatus::Success);
+        // `late` is lineage-connected through its pre-symptom run, but its
+        // *failure* evidence lands after the symptom onset (110 > 105).
+        log(&s, "late", 101, &[], &["b"], RunStatus::Success);
+        log(&s, "late", 110, &[], &["b"], RunStatus::Failed);
+        log(&s, "sink", 105, &["a", "b"], &[], RunStatus::Success);
+        s.log_events(vec![drift_event("early", "m", 0.1, 90)])
+            .unwrap();
+        let inc = incident("drift:sink/x", 105);
+        s.upsert_incident(inc.clone()).unwrap();
+        let graph = build_graph(&s).unwrap();
+        let d = diagnose_incident(&s, &graph, &inc).unwrap();
+        // early: drift 2.1 × 1.0 × 0.9 = 1.89; late: failed 3.0 × 0.25 × 0.9.
+        assert_eq!(d.rows[0].suspect, "early");
+        assert_eq!(d.rows[1].suspect, "late");
+        assert!(d.rows[0].score > d.rows[1].score);
+    }
+
+    /// Unresolvable symptoms error as `Invalid`, and the batch entry point
+    /// skips them instead of failing.
+    #[test]
+    fn unresolvable_symptom_is_invalid_and_skipped_in_batch() {
+        let s = MemoryStore::new();
+        log(&s, "only", 100, &[], &[], RunStatus::Success);
+        let inc = incident("tip-accuracy-sla", 200);
+        s.upsert_incident(inc.clone()).unwrap();
+        let graph = build_graph(&s).unwrap();
+        assert!(matches!(
+            diagnose_incident(&s, &graph, &inc),
+            Err(CoreError::Invalid(_))
+        ));
+        assert!(diagnose_open_incidents(&s).unwrap().is_empty());
+    }
+
+    /// `render` shows the header, the ranked rows, and the evidence chain.
+    #[test]
+    fn render_shows_chain() {
+        let s = MemoryStore::new();
+        log(&s, "up", 100, &[], &["x"], RunStatus::Failed);
+        log(&s, "sink", 200, &["x"], &[], RunStatus::Success);
+        let inc = incident("drift:sink/m", 300);
+        s.upsert_incident(inc.clone()).unwrap();
+        let graph = build_graph(&s).unwrap();
+        let d = diagnose_incident(&s, &graph, &inc).unwrap();
+        let text = d.render();
+        assert!(text.contains("symptom `sink`"));
+        assert!(text.contains("#1 up"));
+        assert!(text.contains("← run_failed on `up`"));
+    }
+}

@@ -18,12 +18,15 @@
 //! * [`graph`] — run-log → provenance-DAG reconstruction.
 //! * [`commands`] — the eight UI commands (§5, Figure 4).
 //! * [`monitor`] — alerts folded into journaled incident lifecycles.
+//! * [`diagnose`] — incident → ranked root-cause suspects across the
+//!   lineage graph (§4's debugging walkthroughs, automated).
 //! * [`trace_export`] — provenance trees as Chrome / OTLP-JSON traces.
 
 #![warn(missing_docs)]
 
 pub mod commands;
 pub mod component;
+pub mod diagnose;
 pub mod error;
 pub mod execution;
 pub mod graph;
@@ -37,6 +40,9 @@ pub mod trigger;
 
 pub use commands::{Commands, FlaggedReview, History, HistoryEntry, StaleEntry};
 pub use component::{ComponentBuilder, ComponentDef, ComponentRegistry};
+pub use diagnose::{
+    diagnose_incident, diagnose_key, diagnose_open_incidents, diagnose_run, Diagnosis,
+};
 pub use error::{CoreError, Result};
 pub use execution::{Mltrace, RunContext, RunReport, RunSpec};
 pub use graph::{build_graph, GraphCache};

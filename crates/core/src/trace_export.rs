@@ -17,6 +17,27 @@ use mltrace_store::{ComponentRunRecord, RunId, RunStatus, Store};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+/// Per-component blame note from the persisted diagnosis rankings: each
+/// suspect keeps its best (lowest) rank across every diagnosed incident.
+/// Spans of implicated components carry the note, so a trace viewer shows
+/// the suspected root cause right next to the timing it explains. Stores
+/// with no diagnoses yield an empty map and an unannotated trace.
+fn blame_map(store: &dyn Store) -> Result<HashMap<String, String>> {
+    let mut best: HashMap<String, (u64, String)> = HashMap::new();
+    for row in store.diagnoses()? {
+        // diagnoses() iterates incident keys in order and ranks ascending
+        // within each, so "first strictly-better rank wins" is stable.
+        let keep = best
+            .get(&row.suspect)
+            .is_none_or(|(rank, _)| row.rank < *rank);
+        if keep {
+            let note = format!("#{} suspect for {}", row.rank, row.incident_key);
+            best.insert(row.suspect.clone(), (row.rank, note));
+        }
+    }
+    Ok(best.into_iter().map(|(k, (_, note))| (k, note)).collect())
+}
+
 /// Supported trace file formats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceFormat {
@@ -86,16 +107,20 @@ fn dependency_closure(
     Ok((runs, parent))
 }
 
-/// Export the provenance trace of `run_id` as a `format` document.
+/// Export the provenance trace of `run_id` as a `format` document. Spans
+/// of components implicated by a stored diagnosis carry a blame
+/// annotation (`args.blame` in Chrome traces, the `mltrace.blame`
+/// attribute in OTLP).
 pub fn export_trace(store: &dyn Store, run_id: RunId, format: TraceFormat) -> Result<String> {
     let (runs, parent) = dependency_closure(store, run_id)?;
+    let blame = blame_map(store)?;
     Ok(match format {
-        TraceFormat::Chrome => chrome_trace(&runs),
-        TraceFormat::OtlpJson => otlp_trace(run_id, &runs, &parent),
+        TraceFormat::Chrome => chrome_trace(&runs, &blame),
+        TraceFormat::OtlpJson => otlp_trace(run_id, &runs, &parent, &blame),
     })
 }
 
-fn chrome_trace(runs: &[ComponentRunRecord]) -> String {
+fn chrome_trace(runs: &[ComponentRunRecord], blame: &HashMap<String, String>) -> String {
     // One lane (tid) per component, in discovery order, so parallel runs
     // of different components stack instead of overlapping.
     let mut lanes: HashMap<&str, usize> = HashMap::new();
@@ -106,11 +131,15 @@ fn chrome_trace(runs: &[ComponentRunRecord]) -> String {
         if i > 0 {
             out.push(',');
         }
+        let blame_field = match blame.get(run.component.as_str()) {
+            Some(note) => format!(",\"blame\":{}", json_str(note)),
+            None => String::new(),
+        };
         let _ = write!(
             out,
             "{{\"name\":{},\"cat\":\"component_run\",\"ph\":\"X\",\
              \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\
-             \"run_id\":{},\"status\":{},\"inputs\":{},\"outputs\":{}}}}}",
+             \"run_id\":{},\"status\":{},\"inputs\":{},\"outputs\":{}{blame_field}}}}}",
             json_str(&format!("{} {}", run.component, run.id)),
             run.start_ms * 1000,
             run.duration_ms() * 1000,
@@ -137,7 +166,12 @@ fn json_list(items: &[String]) -> String {
     out
 }
 
-fn otlp_trace(root: RunId, runs: &[ComponentRunRecord], parent: &HashMap<RunId, RunId>) -> String {
+fn otlp_trace(
+    root: RunId,
+    runs: &[ComponentRunRecord],
+    parent: &HashMap<RunId, RunId>,
+    blame: &HashMap<String, String>,
+) -> String {
     let trace_id = format!("{:032x}", root.0);
     let mut out = String::from(
         "{\"resourceSpans\":[{\"resource\":{\"attributes\":[\
@@ -157,6 +191,13 @@ fn otlp_trace(root: RunId, runs: &[ComponentRunRecord], parent: &HashMap<RunId, 
             RunStatus::Success => 1,
             _ => 2,
         };
+        let blame_attr = match blame.get(run.component.as_str()) {
+            Some(note) => format!(
+                ",{{\"key\":\"mltrace.blame\",\"value\":{{\"stringValue\":{}}}}}",
+                json_str(note)
+            ),
+            None => String::new(),
+        };
         let _ = write!(
             out,
             "{{\"traceId\":\"{trace_id}\",\"spanId\":\"{:016x}\",{parent_field}\
@@ -165,7 +206,7 @@ fn otlp_trace(root: RunId, runs: &[ComponentRunRecord], parent: &HashMap<RunId, 
              \"attributes\":[\
              {{\"key\":\"mltrace.run_id\",\"value\":{{\"intValue\":\"{}\"}}}},\
              {{\"key\":\"mltrace.status\",\"value\":{{\"stringValue\":{}}}}},\
-             {{\"key\":\"mltrace.outputs\",\"value\":{{\"stringValue\":{}}}}}],\
+             {{\"key\":\"mltrace.outputs\",\"value\":{{\"stringValue\":{}}}}}{blame_attr}],\
              \"status\":{{\"code\":{status_code}}}}}",
             run.id.0,
             json_str(&run.component),
@@ -257,6 +298,44 @@ mod tests {
         assert_eq!(doc.matches("\"traceId\"").count(), 3, "{doc}");
         assert!(doc.contains("\"code\":2"), "failed root → ERROR: {doc}");
         assert!(doc.contains("\"code\":1"), "clean deps → OK: {doc}");
+    }
+
+    #[test]
+    fn diagnosed_suspects_get_blame_annotations() {
+        use mltrace_store::DiagnosisRecord;
+        let ml = pipeline();
+        let store = ml.store();
+        store
+            .put_diagnosis(
+                "drift:infer/pred",
+                vec![DiagnosisRecord {
+                    incident_key: "drift:infer/pred".into(),
+                    rank: 1,
+                    suspect: "clean".into(),
+                    evidence_kind: "run_failed".into(),
+                    score: 2.7,
+                    onset_ms: 1_010,
+                    distance: 1,
+                    detail: "latest run failed".into(),
+                }],
+            )
+            .unwrap();
+        let chrome = export_trace(store.as_ref(), RunId(3), TraceFormat::Chrome).unwrap();
+        assert!(
+            chrome.contains("\"blame\":\"#1 suspect for drift:infer/pred\""),
+            "{chrome}"
+        );
+        // Only the implicated component's span is annotated.
+        assert_eq!(chrome.matches("\"blame\"").count(), 1, "{chrome}");
+        let otlp = export_trace(store.as_ref(), RunId(3), TraceFormat::OtlpJson).unwrap();
+        assert!(
+            otlp.contains(
+                "{\"key\":\"mltrace.blame\",\"value\":\
+                 {\"stringValue\":\"#1 suspect for drift:infer/pred\"}}"
+            ),
+            "{otlp}"
+        );
+        assert_eq!(otlp.matches("mltrace.blame").count(), 1, "{otlp}");
     }
 
     #[test]

@@ -4,13 +4,13 @@
 use crate::ast::{AggFunc, BinOp, Expr, Join, JoinKind, Query, ScalarFunc, SelectItem};
 use crate::parser::{parse, ParseError};
 use crate::plan::{
-    choose_run_route, choose_run_route_forced, estimate_candidates, plan_event_scan,
-    plan_metric_scan, plan_run_scan, plan_summary_scan, ScanRoute,
+    choose_run_route, choose_run_route_forced, estimate_candidates, plan_diagnosis_scan,
+    plan_event_scan, plan_metric_scan, plan_run_scan, plan_summary_scan, ScanRoute,
 };
 use mltrace_store::aggregate::{canonical_row_key, canonical_value_key};
 use mltrace_store::schema::{
-    column_index, run_row, scan, scan_events_rows, scan_metrics_rows, scan_runs_rows,
-    scan_summary_rows, table_schema, Row, Table,
+    column_index, run_row, scan, scan_diagnosis_rows, scan_events_rows, scan_metrics_rows,
+    scan_runs_rows, scan_summary_rows, table_schema, Row, Table,
 };
 use mltrace_store::{
     AggInput, AggPartial, EventFilter, GroupPartial, RunFilter, Store, StoreError, Value,
@@ -719,6 +719,18 @@ fn scan_source(
                 plan.residual,
             )
         }
+        Table::Diagnoses => {
+            let plan = plan_diagnosis_scan(clause);
+            if let Some(t) = tele {
+                if plan.incident_key.is_some() || plan.suspect.is_some() {
+                    t.incr("query.pushdown.filters_total");
+                }
+            }
+            (
+                scan_diagnosis_rows(store, plan.incident_key.as_deref(), plan.suspect.as_deref())?,
+                plan.residual,
+            )
+        }
         other => (scan(store, other)?, clause.cloned()),
     })
 }
@@ -1226,6 +1238,30 @@ pub fn explain_query(store: &dyn Store, query: &Query) -> Result<QueryResult, Qu
             );
             push("pushed_limit", "none".to_owned());
         }
+        Table::Diagnoses => {
+            let plan = plan_diagnosis_scan(query.where_clause.as_ref());
+            push("route", "diagnosis-store".to_owned());
+            let mut parts = Vec::new();
+            if let Some(k) = &plan.incident_key {
+                parts.push(format!("incident_key={k}"));
+            }
+            if let Some(s) = &plan.suspect {
+                parts.push(format!("suspect={s}"));
+            }
+            push(
+                "pushed_filter",
+                if parts.is_empty() {
+                    "all".to_owned()
+                } else {
+                    parts.join(", ")
+                },
+            );
+            push(
+                "residual_conjuncts",
+                conjunct_count(plan.residual.as_ref()).to_string(),
+            );
+            push("pushed_limit", "none".to_owned());
+        }
         _ => {
             push("route", "scan".to_owned());
             push("pushed_filter", "none".to_owned());
@@ -1288,6 +1324,22 @@ fn describe_source_plan(table: Table, clause: Option<&Expr>) -> (String, usize) 
             };
             (desc, conjunct_count(plan.residual.as_ref()))
         }
+        Table::Diagnoses => {
+            let plan = plan_diagnosis_scan(clause);
+            let mut parts = Vec::new();
+            if let Some(k) = &plan.incident_key {
+                parts.push(format!("incident_key={k}"));
+            }
+            if let Some(s) = &plan.suspect {
+                parts.push(format!("suspect={s}"));
+            }
+            let desc = if parts.is_empty() {
+                "all".to_owned()
+            } else {
+                parts.join(", ")
+            };
+            (desc, conjunct_count(plan.residual.as_ref()))
+        }
         _ => ("none".to_owned(), conjunct_count(clause)),
     }
 }
@@ -1321,6 +1373,7 @@ fn estimate_source_rows(
         Table::IoPointers => stats.io_pointers.to_string(),
         Table::Rollups => stats.summaries.to_string(),
         Table::Summaries => "unknown".to_owned(),
+        Table::Diagnoses => stats.diagnoses.to_string(),
     })
 }
 
@@ -2006,8 +2059,9 @@ fn like_match(v: &Value, pattern: &str) -> bool {
 mod tests {
     use super::*;
     use mltrace_store::{
-        ComponentRecord, ComponentRunRecord, EventKind, EventSeverity, IncidentRecord,
-        IncidentState, MemoryStore, MetricRecord, ObservabilityEvent, RunId, RunStatus,
+        ComponentRecord, ComponentRunRecord, DiagnosisRecord, EventKind, EventSeverity,
+        IncidentRecord, IncidentState, MemoryStore, MetricRecord, ObservabilityEvent, RunId,
+        RunStatus,
     };
 
     #[test]
@@ -2095,6 +2149,32 @@ mod tests {
             burn_ms: 0,
             detail: "accuracy below floor".into(),
         })
+        .unwrap();
+        s.put_diagnosis(
+            "infer/accuracy",
+            vec![
+                DiagnosisRecord {
+                    incident_key: "infer/accuracy".into(),
+                    rank: 1,
+                    suspect: "train".into(),
+                    evidence_kind: "run_failed".into(),
+                    score: 2.7,
+                    onset_ms: 800,
+                    distance: 1,
+                    detail: "latest run failed".into(),
+                },
+                DiagnosisRecord {
+                    incident_key: "infer/accuracy".into(),
+                    rank: 2,
+                    suspect: "etl".into(),
+                    evidence_kind: "drift_score".into(),
+                    score: 0.4,
+                    onset_ms: 250,
+                    distance: 2,
+                    detail: String::new(),
+                },
+            ],
+        )
         .unwrap();
         s
     }
@@ -2582,6 +2662,42 @@ mod tests {
         let m = explain_map(&r);
         assert_eq!(m["route"], "scan");
         assert_eq!(m["pushed_filter"], "severity=page");
+    }
+
+    #[test]
+    fn diagnoses_scan_pushes_down_and_explains() {
+        let s = seeded();
+        let r = execute(
+            &s,
+            "SELECT suspect, score FROM diagnoses \
+             WHERE incident_key = 'infer/accuracy' AND rank = 1",
+        )
+        .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::Str("train".into()), Value::Float(2.7)]]
+        );
+        // Pushed and naive paths agree when only part of the clause pushes.
+        let q = parse("SELECT * FROM diagnoses WHERE suspect = 'etl' AND score < 1.0").unwrap();
+        assert_eq!(
+            execute_query(&s, &q).unwrap(),
+            execute_query_unoptimized(&s, &q).unwrap()
+        );
+        let r = execute(
+            &s,
+            "EXPLAIN SELECT * FROM diagnoses WHERE incident_key = 'infer/accuracy' \
+             AND suspect = 'train' AND score > 1.0",
+        )
+        .unwrap();
+        let m = explain_map(&r);
+        assert_eq!(m["table"], "diagnoses");
+        assert_eq!(m["route"], "diagnosis-store");
+        assert_eq!(
+            m["pushed_filter"],
+            "incident_key=infer/accuracy, suspect=train"
+        );
+        assert_eq!(m["residual_conjuncts"], "1");
+        assert_eq!(m["pushed_limit"], "none");
     }
 
     #[test]

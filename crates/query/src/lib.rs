@@ -38,7 +38,7 @@ pub use exec::{
 };
 pub use parser::{parse, ParseError};
 pub use plan::{
-    choose_run_route, choose_run_route_forced, plan_metric_scan, plan_run_scan, MetricScanPlan,
-    RunScanPlan, ScanRoute,
+    choose_run_route, choose_run_route_forced, plan_diagnosis_scan, plan_metric_scan,
+    plan_run_scan, DiagnosisScanPlan, MetricScanPlan, RunScanPlan, ScanRoute,
 };
 pub use token::{tokenize, LexError, Symbol, Token};

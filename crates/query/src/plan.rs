@@ -61,6 +61,17 @@ pub struct SummaryScanPlan {
     pub residual: Option<Expr>,
 }
 
+/// Pushdown plan for a `diagnoses` scan.
+#[derive(Debug, Clone, Default)]
+pub struct DiagnosisScanPlan {
+    /// Restrict to one incident's ranking.
+    pub incident_key: Option<String>,
+    /// Restrict to rows blaming one suspect component.
+    pub suspect: Option<String>,
+    /// Conjuncts the scan cannot evaluate.
+    pub residual: Option<Expr>,
+}
+
 /// Pushdown plan for an `events` (journal) scan.
 #[derive(Debug, Clone, Default)]
 pub struct EventScanPlan {
@@ -244,6 +255,43 @@ pub fn plan_summary_scan(where_clause: Option<&Expr>) -> SummaryScanPlan {
             Some(("metric", BinOp::Eq, Value::Str(s))) => match &plan.metric {
                 None => {
                     plan.metric = Some(s.clone());
+                    true
+                }
+                Some(existing) => existing == s,
+            },
+            _ => false,
+        };
+        if !absorbed {
+            residual.push(conjunct);
+        }
+    }
+    plan.residual = rejoin(residual);
+    plan
+}
+
+/// Plan a `diagnoses` scan for `where_clause`: `incident_key` and
+/// `suspect` string-equality conjuncts push into the store lookup, under
+/// the same exactness rules as [`plan_summary_scan`]. Score / rank ranges
+/// stay residual — rankings are short (one row per suspect), so only the
+/// key restriction is worth pushing.
+pub fn plan_diagnosis_scan(where_clause: Option<&Expr>) -> DiagnosisScanPlan {
+    let mut plan = DiagnosisScanPlan::default();
+    let Some(clause) = where_clause else {
+        return plan;
+    };
+    let mut residual: Vec<&Expr> = Vec::new();
+    for conjunct in clause.conjuncts() {
+        let absorbed = match as_column_cmp(conjunct) {
+            Some(("incident_key", BinOp::Eq, Value::Str(s))) => match &plan.incident_key {
+                None => {
+                    plan.incident_key = Some(s.clone());
+                    true
+                }
+                Some(existing) => existing == s,
+            },
+            Some(("suspect", BinOp::Eq, Value::Str(s))) => match &plan.suspect {
+                None => {
+                    plan.suspect = Some(s.clone());
                     true
                 }
                 Some(existing) => existing == s,
@@ -792,6 +840,31 @@ mod tests {
         assert!(plan.residual.is_some());
         let plan = plan_summary_scan(None);
         assert!(plan.component.is_none() && plan.metric.is_none() && plan.residual.is_none());
+    }
+
+    #[test]
+    fn diagnosis_plan_pushes_key_and_suspect() {
+        let w = where_of(
+            "SELECT * FROM diagnoses WHERE incident_key = 'drift:inference/prediction' \
+             AND suspect = 'featurize_online' AND score > 1.0",
+        );
+        let plan = plan_diagnosis_scan(Some(&w));
+        assert_eq!(
+            plan.incident_key.as_deref(),
+            Some("drift:inference/prediction")
+        );
+        assert_eq!(plan.suspect.as_deref(), Some("featurize_online"));
+        assert_eq!(
+            plan.residual,
+            Some(where_of("SELECT * FROM diagnoses WHERE score > 1.0"))
+        );
+        // Conflicting key equality: first wins, second stays residual.
+        let w = where_of("SELECT * FROM diagnoses WHERE incident_key = 'a' AND incident_key = 'b'");
+        let plan = plan_diagnosis_scan(Some(&w));
+        assert_eq!(plan.incident_key.as_deref(), Some("a"));
+        assert!(plan.residual.is_some());
+        let plan = plan_diagnosis_scan(None);
+        assert!(plan.incident_key.is_none() && plan.suspect.is_none() && plan.residual.is_none());
     }
 
     /// Stats for a store of `runs` runs spread over `components`

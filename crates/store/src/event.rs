@@ -107,10 +107,13 @@ pub enum EventKind {
     /// The monitoring plane rolled a summary window and scored it against
     /// its frozen drift reference.
     DriftScored,
+    /// The diagnosis engine ranked root-cause suspects for an incident;
+    /// the payload carries the ranked hypothesis list.
+    DiagnosisReady,
 }
 
 /// All kinds, in declaration order — handy for docs and exhaustive tests.
-pub const EVENT_KINDS: [EventKind; 15] = [
+pub const EVENT_KINDS: [EventKind; 16] = [
     EventKind::RunStarted,
     EventKind::RunFinished,
     EventKind::RunFailed,
@@ -126,6 +129,7 @@ pub const EVENT_KINDS: [EventKind; 15] = [
     EventKind::CheckpointWritten,
     EventKind::WalCompacted,
     EventKind::DriftScored,
+    EventKind::DiagnosisReady,
 ];
 
 impl EventKind {
@@ -147,6 +151,7 @@ impl EventKind {
             EventKind::CheckpointWritten => "checkpoint_written",
             EventKind::WalCompacted => "wal_compacted",
             EventKind::DriftScored => "drift_scored",
+            EventKind::DiagnosisReady => "diagnosis_ready",
         }
     }
 
@@ -395,6 +400,36 @@ pub struct IncidentRecord {
     #[serde(default)]
     pub burn_ms: u64,
     /// One human-readable line about the triggering condition.
+    #[serde(default)]
+    pub detail: String,
+}
+
+/// One ranked root-cause hypothesis produced by the diagnosis engine for
+/// an incident. The row set for an incident key is replaced wholesale on
+/// re-diagnosis, so ranks within a key are always dense and current.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosisRecord {
+    /// Incident this hypothesis belongs to (an incident dedup key, or the
+    /// synthetic `run:<id>` key for on-demand run diagnoses).
+    pub incident_key: String,
+    /// 1-based rank; 1 is the most likely culprit.
+    pub rank: u64,
+    /// Suspect component.
+    pub suspect: String,
+    /// Strongest evidence kind backing the suspicion (`run_failed`,
+    /// `drift_onset`, `alert_fired`, `staleness_flagged`, `failure_rate`,
+    /// `drift_score`).
+    pub evidence_kind: String,
+    /// Composite suspicion score; higher is more suspect. Always finite.
+    pub score: f64,
+    /// Epoch-ms onset of the suspect's earliest contributing anomaly;
+    /// 0 when no timed evidence exists.
+    pub onset_ms: u64,
+    /// Lineage distance in hops upstream of the symptomatic component
+    /// (0 = the symptomatic component itself).
+    #[serde(default)]
+    pub distance: u32,
+    /// One human-readable evidence line for the CLI's evidence chain.
     #[serde(default)]
     pub detail: String,
 }

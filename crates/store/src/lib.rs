@@ -43,8 +43,8 @@ pub use artifact::{ArtifactStats, ArtifactStore, ChunkerConfig};
 pub use clock::{Clock, ManualClock, SystemClock, MS_PER_DAY};
 pub use error::{Result, StoreError};
 pub use event::{
-    EventBus, EventFilter, EventId, EventKind, EventSeverity, EventSubscription, IncidentRecord,
-    IncidentState, ObservabilityEvent, EVENT_KINDS,
+    DiagnosisRecord, EventBus, EventFilter, EventId, EventKind, EventSeverity, EventSubscription,
+    IncidentRecord, IncidentState, ObservabilityEvent, EVENT_KINDS,
 };
 pub use memory::MemoryStore;
 pub use mltrace_metrics::{MonitorConfig, MonitorSummary};

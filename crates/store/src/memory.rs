@@ -30,8 +30,8 @@
 use crate::aggregate::{canonical_row_key, AggInput, GroupPartial};
 use crate::error::{Result, StoreError};
 use crate::event::{
-    EventBus, EventFilter, EventId, EventKind, EventSeverity, IncidentRecord, IncidentState,
-    ObservabilityEvent, EVENT_KINDS,
+    DiagnosisRecord, EventBus, EventFilter, EventId, EventKind, EventSeverity, IncidentRecord,
+    IncidentState, ObservabilityEvent, EVENT_KINDS,
 };
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
@@ -263,6 +263,9 @@ pub struct MemoryStore {
     events: RwLock<Vec<ObservabilityEvent>>,
     /// Incidents keyed by dedup key.
     incidents: RwLock<BTreeMap<String, IncidentRecord>>,
+    /// Ranked root-cause hypotheses keyed by incident key. Re-diagnosing
+    /// an incident replaces its rows (mirrors incident upsert semantics).
+    diagnoses: RwLock<BTreeMap<String, Vec<DiagnosisRecord>>>,
     /// In-process fan-out of journal events to live subscribers.
     bus: EventBus,
     /// Self-telemetry handles (see the `tele` module docs).
@@ -429,6 +432,7 @@ impl MemoryStore {
             next_event_id: AtomicU64::new(1),
             events: RwLock::new(Vec::new()),
             incidents: RwLock::new(BTreeMap::new()),
+            diagnoses: RwLock::new(BTreeMap::new()),
             bus: EventBus::new(&registry),
             tele: StoreTelemetry::new(registry),
             monitor: MonitorPlane::new(config),
@@ -1618,6 +1622,7 @@ impl Store for MemoryStore {
             runs_removed: self.runs_removed.load(Ordering::Relaxed),
             events: self.events.read().len(),
             incidents: self.incidents.read().len(),
+            diagnoses: self.diagnoses.read().values().map(Vec::len).sum(),
         })
     }
 
@@ -1758,6 +1763,28 @@ impl Store for MemoryStore {
 
     fn incidents(&self) -> Result<Vec<IncidentRecord>> {
         Ok(self.incidents.read().values().cloned().collect())
+    }
+
+    fn put_diagnosis(&self, incident_key: &str, rows: Vec<DiagnosisRecord>) -> Result<()> {
+        if incident_key.is_empty() {
+            return Err(StoreError::InvalidRecord("incident key is empty".into()));
+        }
+        let mut g = self.diagnoses.write();
+        if rows.is_empty() {
+            g.remove(incident_key);
+        } else {
+            g.insert(incident_key.to_string(), rows);
+        }
+        Ok(())
+    }
+
+    fn diagnoses(&self) -> Result<Vec<DiagnosisRecord>> {
+        Ok(self
+            .diagnoses
+            .read()
+            .values()
+            .flat_map(|rows| rows.iter().cloned())
+            .collect())
     }
 
     fn event_bus(&self) -> Option<&EventBus> {

@@ -254,10 +254,59 @@ pub struct MetricRecord {
     pub run_id: Option<RunId>,
     /// Metric name, e.g. `accuracy`, `kl_divergence:fare`.
     pub name: String,
-    /// Measured value.
+    /// Measured value. Non-finite values are legal (a NaN point is the
+    /// null-rate signal the monitoring plane counts) and survive the JSON
+    /// log via the sentinel codec below.
+    #[serde(with = "f64_sentinel")]
     pub value: f64,
     /// Measurement time, epoch milliseconds.
     pub ts_ms: u64,
+}
+
+/// JSON-safe f64 codec: JSON has no literal for non-finite floats (plain
+/// serialization would write `null` and fail to round-trip), so NaN/±Inf
+/// encode as the sentinel strings `"NaN"` / `"+Inf"` / `"-Inf"` and decode
+/// back to the exact non-finite value. Finite values stay plain numbers,
+/// and a legacy `null` (written by pre-sentinel logs) decodes as NaN so
+/// old families remain replayable.
+mod f64_sentinel {
+    use serde::de::Error as _;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        if v.is_finite() {
+            s.serialize_f64(*v)
+        } else if v.is_nan() {
+            s.serialize_str("NaN")
+        } else if *v > 0.0 {
+            s.serialize_str("+Inf")
+        } else {
+            s.serialize_str("-Inf")
+        }
+    }
+
+    #[derive(Deserialize)]
+    #[serde(untagged)]
+    enum Repr {
+        Finite(f64),
+        Sentinel(String),
+        Null,
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        match Repr::deserialize(d)? {
+            Repr::Finite(v) => Ok(v),
+            Repr::Sentinel(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "+Inf" => Ok(f64::INFINITY),
+                "-Inf" => Ok(f64::NEG_INFINITY),
+                other => Err(D::Error::custom(format!(
+                    "unknown float sentinel '{other}'"
+                ))),
+            },
+            Repr::Null => Ok(f64::NAN),
+        }
+    }
 }
 
 /// Aggregate left behind when raw runs in a time window are compacted
@@ -404,5 +453,46 @@ mod tests {
     #[test]
     fn run_id_display() {
         assert_eq!(RunId(9).to_string(), "run#9");
+    }
+
+    fn point(value: f64) -> MetricRecord {
+        MetricRecord {
+            component: "infer".into(),
+            run_id: Some(RunId(3)),
+            name: "score".into(),
+            value,
+            ts_ms: 9,
+        }
+    }
+
+    #[test]
+    fn metric_value_sentinels_round_trip_non_finite() {
+        for (value, sentinel) in [
+            (f64::NAN, "\"NaN\""),
+            (f64::INFINITY, "\"+Inf\""),
+            (f64::NEG_INFINITY, "\"-Inf\""),
+        ] {
+            let s = serde_json::to_string(&point(value)).unwrap();
+            assert!(s.contains(sentinel), "{s}");
+            let back: MetricRecord = serde_json::from_str(&s).unwrap();
+            assert_eq!(back.value.to_bits(), value.to_bits(), "{s}");
+        }
+        // Finite values stay plain JSON numbers.
+        let s = serde_json::to_string(&point(1.5)).unwrap();
+        assert!(s.contains("\"value\":1.5"), "{s}");
+        let back: MetricRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.value, 1.5);
+    }
+
+    #[test]
+    fn metric_value_legacy_null_decodes_as_nan() {
+        // Pre-sentinel logs wrote `null` for non-finite values; decoding
+        // salvages them as NaN instead of failing replay.
+        let legacy = "{\"component\":\"infer\",\"run_id\":null,\
+                      \"name\":\"score\",\"value\":null,\"ts_ms\":9}";
+        let back: MetricRecord = serde_json::from_str(legacy).unwrap();
+        assert!(back.value.is_nan());
+        let bad = legacy.replace("null,\"ts", "\"weird\",\"ts");
+        assert!(serde_json::from_str::<MetricRecord>(&bad).is_err());
     }
 }

@@ -1,15 +1,16 @@
 //! Relational view of the store for the SQL layer (§4.2: "users can query
 //! the logs and metadata via SQL").
 //!
-//! Eight virtual tables are exposed: `components`, `component_runs`,
+//! Nine virtual tables are exposed: `components`, `component_runs`,
 //! `io_pointers`, `metrics`, `summaries` (the live monitoring plane's
 //! per-(component, metric) streaming summaries), `rollups` (compaction
-//! rollups of aged-out runs), `events` (the observability journal), and
-//! `incidents`. [`scan`] materializes a table as rows of [`Value`]s in
-//! the column order given by [`table_schema`].
+//! rollups of aged-out runs), `events` (the observability journal),
+//! `incidents`, and `diagnoses` (ranked root-cause hypotheses). [`scan`]
+//! materializes a table as rows of [`Value`]s in the column order given by
+//! [`table_schema`].
 
 use crate::error::{Result, StoreError};
-use crate::event::{EventFilter, IncidentRecord, ObservabilityEvent};
+use crate::event::{DiagnosisRecord, EventFilter, IncidentRecord, ObservabilityEvent};
 use crate::record::{ComponentRunRecord, MetricRecord, RunId};
 use crate::scan::RunFilter;
 use crate::store::Store;
@@ -39,6 +40,9 @@ pub enum Table {
     Events,
     /// Incident lifecycle records folded from Page-tier alerts.
     Incidents,
+    /// Ranked root-cause hypotheses from the diagnosis engine (one row per
+    /// (incident key, rank)).
+    Diagnoses,
 }
 
 impl Table {
@@ -53,6 +57,7 @@ impl Table {
             "rollups" => Some(Table::Rollups),
             "events" | "journal" => Some(Table::Events),
             "incidents" => Some(Table::Incidents),
+            "diagnoses" => Some(Table::Diagnoses),
             _ => None,
         }
     }
@@ -68,6 +73,7 @@ impl Table {
             Table::Rollups => "rollups",
             Table::Events => "events",
             Table::Incidents => "incidents",
+            Table::Diagnoses => "diagnoses",
         }
     }
 }
@@ -135,6 +141,14 @@ pub fn table_schema(table: Table) -> &'static [&'static str] {
             "burn_ms",
             "detail",
         ],
+        Table::Diagnoses => &[
+            "incident_key",
+            "rank",
+            "suspect",
+            "evidence_kind",
+            "score",
+            "onset_ms",
+        ],
     }
 }
 
@@ -187,6 +201,7 @@ pub fn scan(store: &dyn Store, table: Table) -> Result<Vec<Row>> {
         }
         Table::Events => scan_events_rows(store, &EventFilter::all(), None),
         Table::Incidents => Ok(store.incidents()?.iter().map(incident_row).collect()),
+        Table::Diagnoses => scan_diagnosis_rows(store, None, None),
     }
 }
 
@@ -223,6 +238,47 @@ pub fn incident_row(i: &IncidentRecord) -> Row {
         Value::from(i.burn_ms),
         Value::from(i.detail.clone()),
     ]
+}
+
+/// Convert one diagnosis row into its `diagnoses` row. The score is
+/// always finite by the engine's contract, but a non-finite value would
+/// surface as NULL (the `summaries` discipline) rather than a NaN float.
+pub fn diagnosis_row(d: &DiagnosisRecord) -> Row {
+    vec![
+        Value::from(d.incident_key.clone()),
+        Value::from(d.rank),
+        Value::from(d.suspect.clone()),
+        Value::from(d.evidence_kind.clone()),
+        if d.score.is_finite() {
+            Value::Float(d.score)
+        } else {
+            Value::Null
+        },
+        Value::from(d.onset_ms),
+    ]
+}
+
+/// Materialize `diagnoses` rows, optionally restricted to one incident
+/// key and/or one suspect (the pushdown the planner extracts from
+/// equality conjuncts). Rows come back in (incident key, rank) order.
+pub fn scan_diagnosis_rows(
+    store: &dyn Store,
+    incident_key: Option<&str>,
+    suspect: Option<&str>,
+) -> Result<Vec<Row>> {
+    let all = store.diagnoses()?;
+    let scanned = all.len() as u64;
+    let rows: Vec<Row> = all
+        .iter()
+        .filter(|d| incident_key.is_none_or(|k| d.incident_key == k))
+        .filter(|d| suspect.is_none_or(|s| d.suspect == s))
+        .map(diagnosis_row)
+        .collect();
+    if let Some(t) = store.telemetry() {
+        t.add("query.rows_scanned", scanned);
+        t.add("query.rows_returned", rows.len() as u64);
+    }
+    Ok(rows)
 }
 
 /// Materialize `events` rows through the journal's filtered scan. The
@@ -499,6 +555,32 @@ mod tests {
             detail: "null-rate breach".into(),
         })
         .unwrap();
+        s.put_diagnosis(
+            "etl/null-rate",
+            vec![
+                DiagnosisRecord {
+                    incident_key: "etl/null-rate".into(),
+                    rank: 1,
+                    suspect: "etl".into(),
+                    evidence_kind: "run_failed".into(),
+                    score: 3.0,
+                    onset_ms: 10,
+                    distance: 0,
+                    detail: "run#1 failed".into(),
+                },
+                DiagnosisRecord {
+                    incident_key: "etl/null-rate".into(),
+                    rank: 2,
+                    suspect: "upstream".into(),
+                    evidence_kind: "drift_onset".into(),
+                    score: 1.8,
+                    onset_ms: 8,
+                    distance: 1,
+                    detail: "drift onset".into(),
+                },
+            ],
+        )
+        .unwrap();
         s
     }
 
@@ -534,6 +616,7 @@ mod tests {
             Table::Rollups,
             Table::Events,
             Table::Incidents,
+            Table::Diagnoses,
         ] {
             let rows = scan(&s, t).unwrap();
             for row in &rows {
@@ -543,6 +626,39 @@ mod tests {
         assert_eq!(scan(&s, Table::Metrics).unwrap().len(), 1);
         assert_eq!(scan(&s, Table::Events).unwrap().len(), 2);
         assert_eq!(scan(&s, Table::Incidents).unwrap().len(), 1);
+        assert_eq!(scan(&s, Table::Diagnoses).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn diagnoses_table_materializes_and_pushes_down() {
+        let s = seeded();
+        assert_eq!(Table::parse("diagnoses"), Some(Table::Diagnoses));
+        assert_eq!(Table::parse("DIAGNOSES"), Some(Table::Diagnoses));
+        let rows = scan(&s, Table::Diagnoses).unwrap();
+        assert_eq!(rows.len(), 2);
+        let rank_idx = column_index(Table::Diagnoses, "rank").unwrap();
+        let suspect_idx = column_index(Table::Diagnoses, "suspect").unwrap();
+        let score_idx = column_index(Table::Diagnoses, "score").unwrap();
+        assert_eq!(rows[0][rank_idx], Value::Int(1));
+        assert_eq!(rows[0][suspect_idx], Value::from("etl"));
+        assert_eq!(rows[0][score_idx], Value::Float(3.0));
+        // Key/suspect pushdown restricts without widening.
+        assert_eq!(
+            scan_diagnosis_rows(&s, Some("etl/null-rate"), None)
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(
+            scan_diagnosis_rows(&s, Some("etl/null-rate"), Some("upstream")).unwrap(),
+            vec![rows[1].clone()]
+        );
+        assert!(scan_diagnosis_rows(&s, Some("absent"), None)
+            .unwrap()
+            .is_empty());
+        assert!(scan_diagnosis_rows(&s, None, Some("absent"))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 
 use crate::aggregate::{AggInput, GroupPartial};
 use crate::error::Result;
-use crate::event::{EventBus, EventFilter, EventId, IncidentRecord, ObservabilityEvent};
+use crate::event::{
+    DiagnosisRecord, EventBus, EventFilter, EventId, IncidentRecord, ObservabilityEvent,
+};
 use crate::record::{
     CompactionSummary, ComponentRecord, ComponentRunRecord, IoPointerRecord, MetricRecord, RunId,
 };
@@ -62,6 +64,8 @@ pub struct StoreStats {
     pub events: usize,
     /// Incidents retained (all lifecycle states).
     pub incidents: usize,
+    /// Diagnosis rows retained across all diagnosed incidents.
+    pub diagnoses: usize,
 }
 
 /// Cardinality summary of a store's run population, enough for the query
@@ -474,6 +478,28 @@ pub trait Store: Send + Sync {
     /// All incidents, ordered by key.
     fn incidents(&self) -> Result<Vec<IncidentRecord>> {
         Ok(Vec::new())
+    }
+
+    /// Replace the diagnosis rows for `incident_key` with `rows` (the
+    /// diagnosis engine re-ranks wholesale, so partial updates never
+    /// exist). An empty `rows` clears the key.
+    fn put_diagnosis(&self, incident_key: &str, rows: Vec<DiagnosisRecord>) -> Result<()> {
+        let _ = (incident_key, rows);
+        Ok(())
+    }
+
+    /// All diagnosis rows, ordered by (incident key, rank).
+    fn diagnoses(&self) -> Result<Vec<DiagnosisRecord>> {
+        Ok(Vec::new())
+    }
+
+    /// Diagnosis rows for one incident key, ordered by rank.
+    fn diagnoses_for(&self, incident_key: &str) -> Result<Vec<DiagnosisRecord>> {
+        Ok(self
+            .diagnoses()?
+            .into_iter()
+            .filter(|d| d.incident_key == incident_key)
+            .collect())
     }
 
     /// The in-process broadcast bus journal events fan out on, when the

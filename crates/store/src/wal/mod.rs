@@ -64,8 +64,8 @@ mod snapshot;
 use crate::aggregate::{AggInput, GroupPartial};
 use crate::error::{Result, StoreError};
 use crate::event::{
-    EventBus, EventFilter, EventId, EventKind, EventSeverity, IncidentRecord, ObservabilityEvent,
-    EVENT_KINDS,
+    DiagnosisRecord, EventBus, EventFilter, EventId, EventKind, EventSeverity, IncidentRecord,
+    ObservabilityEvent, EVENT_KINDS,
 };
 use crate::memory::MemoryStore;
 use crate::record::{
@@ -119,6 +119,10 @@ enum WalEvent {
     },
     Incident {
         rec: IncidentRecord,
+    },
+    Diagnosis {
+        key: String,
+        rows: Vec<DiagnosisRecord>,
     },
     /// Segment metadata, not a state mutation: the zone map of the sealed
     /// segment this line terminates. Written as the final line of a
@@ -1207,6 +1211,7 @@ impl WalStore {
             WalEvent::Summary { rec } => mem.put_summary(rec),
             WalEvent::Obs { rec } => mem.restore_event(rec),
             WalEvent::Incident { rec } => mem.upsert_incident(rec),
+            WalEvent::Diagnosis { key, rows } => mem.put_diagnosis(&key, rows),
             // Segment metadata, not state; replay filters these out before
             // apply, but the match must stay exhaustive.
             WalEvent::Zone { .. } => Ok(()),
@@ -1471,6 +1476,16 @@ impl WalStore {
         }
         for rec in self.mem.incidents()? {
             out.push(WalEvent::Incident { rec });
+        }
+        let mut by_key: BTreeMap<String, Vec<DiagnosisRecord>> = BTreeMap::new();
+        for row in self.mem.diagnoses()? {
+            by_key
+                .entry(row.incident_key.clone())
+                .or_default()
+                .push(row);
+        }
+        for (key, rows) in by_key {
+            out.push(WalEvent::Diagnosis { key, rows });
         }
         Ok(out)
     }
@@ -1861,6 +1876,20 @@ impl Store for WalStore {
 
     fn incidents(&self) -> Result<Vec<IncidentRecord>> {
         self.mem.incidents()
+    }
+
+    fn put_diagnosis(&self, incident_key: &str, rows: Vec<DiagnosisRecord>) -> Result<()> {
+        self.with_gate(|| {
+            self.mem.put_diagnosis(incident_key, rows.clone())?;
+            self.append(&WalEvent::Diagnosis {
+                key: incident_key.to_string(),
+                rows,
+            })
+        })
+    }
+
+    fn diagnoses(&self) -> Result<Vec<DiagnosisRecord>> {
+        self.mem.diagnoses()
     }
 
     fn event_bus(&self) -> Option<&EventBus> {

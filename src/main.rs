@@ -17,12 +17,17 @@
 //! mltrace --db obs.wal stats
 //! ```
 
-use mltrace::core::{export_trace, Commands, Mltrace, TraceFormat};
+use mltrace::core::{
+    build_graph, diagnose_key, diagnose_open_incidents, diagnose_run, export_trace, Commands,
+    Mltrace, TraceFormat,
+};
 use mltrace::query::execute;
 use mltrace::store::deletion::delete_derived;
 use mltrace::store::retention::compact_older_than_days;
 use mltrace::store::wal::{read_journal, JournalFollower};
-use mltrace::store::{EventFilter, EventKind, EventSeverity, RunId, Store, Value, WalStore};
+use mltrace::store::{
+    EventFilter, EventKind, EventSeverity, IncidentState, RunId, Store, Value, WalStore,
+};
 use mltrace::taxi::{Incident, ServeOptions, TaxiConfig, TaxiPipeline};
 use mltrace::telemetry::{Telemetry, TelemetrySnapshot};
 use std::process::ExitCode;
@@ -56,7 +61,12 @@ COMMANDS
                              (component, metric); --watch reopens the log
                              every --poll-ms (default 1000) until Ctrl-C
   export-trace <run_id> [--format chrome|otlp-json] [--out <path>]
-                             component-run tree as a loadable trace file
+                             component-run tree as a loadable trace file;
+                             spans of diagnosed suspects carry blame notes
+  diagnose [<incident-key>] [--run-id <id>]
+                             rank root-cause suspects across the lineage
+                             graph: for one incident, one run, or (no
+                             args) every unresolved incident
   telemetry [--prometheus]   the engine's own counters and latency histograms
   sql <query>                ad-hoc SQL over the log tables
   explain <query>            the plan for a SELECT (route, pushdown, pruning)
@@ -244,6 +254,31 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
                 print!("{}", snap.render_human());
             }
         }
+        "diagnose" => match rest.first().map(String::as_str) {
+            Some("--run-id") => {
+                let id: u64 = rest
+                    .get(1)
+                    .ok_or("--run-id requires a run id")?
+                    .parse()
+                    .map_err(|_| "run id must be a number".to_string())?;
+                let graph = build_graph(store.as_ref()).map_err(err)?;
+                let d = diagnose_run(store.as_ref(), &graph, id).map_err(err)?;
+                print!("{}", d.render());
+            }
+            Some(key) => {
+                let d = diagnose_key(store.as_ref(), key).map_err(err)?;
+                print!("{}", d.render());
+            }
+            None => {
+                let diagnoses = diagnose_open_incidents(store.as_ref()).map_err(err)?;
+                if diagnoses.is_empty() {
+                    println!("no unresolved incidents to diagnose");
+                }
+                for d in diagnoses {
+                    print!("{}", d.render());
+                }
+            }
+        },
         "sql" => {
             let query = rest.first().ok_or("sql needs a query string")?;
             let result = execute(store.as_ref(), query).map_err(err)?;
@@ -264,6 +299,18 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             println!("runs removed:  {}", s.runs_removed);
             println!("events:        {}", s.events);
             println!("incidents:     {}", s.incidents);
+            // Incident lifecycle at a glance: how many pages are still
+            // waiting on a human, and how many have a diagnosis ranked.
+            let incidents = store.incidents().map_err(err)?;
+            let phase =
+                |state: IncidentState| incidents.iter().filter(|i| i.state == state).count();
+            println!(
+                "  open {} / acknowledged {} / resolved {}",
+                phase(IncidentState::Open),
+                phase(IncidentState::Acknowledged),
+                phase(IncidentState::Resolved)
+            );
+            println!("diagnoses:     {}", s.diagnoses);
             let fp = store.footprint().map_err(err)?;
             println!("active wal:    {} bytes", fp.active_bytes);
             println!(
@@ -281,6 +328,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
                 ("summaries", monitor_rows),
                 ("rollups", s.summaries),
                 ("incidents", s.incidents),
+                ("diagnoses", s.diagnoses),
                 ("components", s.components),
                 ("io_pointers", s.io_pointers),
             ] {
@@ -688,6 +736,14 @@ fn demo(db: &str, rest: &[String]) -> Result<(), String> {
             continue;
         }
         wal.upsert_incident(incident).map_err(err)?;
+    }
+    // Close the detect → diagnose loop on the replayed log: rank
+    // root-cause suspects for every incident still unresolved after
+    // replay (the final batch's ServeSkew page among them) and print the
+    // evidence chains, so the demo ends at the answer, not the alert.
+    let diagnoses = diagnose_open_incidents(&wal).map_err(err)?;
+    for d in &diagnoses {
+        print!("{}", d.render());
     }
     wal.sync().map_err(err)?;
     // Persist model/featurizer payloads beside the WAL so `trace` +

@@ -468,6 +468,96 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Diagnosis determinism: rankings are a pure function of store state
+// ---------------------------------------------------------------------
+
+proptest! {
+    // WAL cases do real file I/O; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Diagnosis rankings are a deterministic function of store state:
+    /// the persisted rows survive a WAL reopen and a checkpointed replay
+    /// bit-identical, and re-running the engine on the replayed state
+    /// reproduces exactly the rows the online store ranked — the same
+    /// discipline `replayed_monitor_plane_matches_online` holds the
+    /// monitoring plane to.
+    #[test]
+    fn diagnosis_ranking_is_replay_deterministic(
+        runs in prop::collection::vec(
+            (0usize..5, 0u64..1_000, 0usize..3),
+            3..40,
+        ),
+        checkpoint_at in 0usize..40,
+    ) {
+        use mltrace::core::diagnose_key;
+        use mltrace::store::wal::WalStore;
+        use mltrace::store::{EventSeverity, IncidentRecord, IncidentState, RunStatus};
+
+        let statuses = [RunStatus::Success, RunStatus::Failed, RunStatus::TriggerFailed];
+        let path = wal_case_path();
+        let online = WalStore::open(&path).unwrap();
+        // Chain-ish topology: component k's runs consume component k-1's
+        // artifact, so upstream cones are non-trivial and vary by case.
+        for (i, &(component, start, status)) in runs.iter().enumerate() {
+            if i == checkpoint_at {
+                online.checkpoint().unwrap();
+            }
+            online
+                .log_run(ComponentRunRecord {
+                    component: format!("comp-{component}"),
+                    start_ms: start,
+                    end_ms: start + 5,
+                    inputs: if component == 0 {
+                        Vec::new()
+                    } else {
+                        vec![format!("art-{}", component - 1)]
+                    },
+                    outputs: vec![format!("art-{component}")],
+                    status: statuses[status],
+                    ..Default::default()
+                })
+                .unwrap();
+        }
+        // A drift incident on a component that certainly has runs.
+        let symptom = format!("comp-{}", runs.last().unwrap().0);
+        let key = format!("drift:{symptom}/m");
+        online.upsert_incident(IncidentRecord {
+            key: key.clone(),
+            state: IncidentState::Open,
+            severity: EventSeverity::Page,
+            subject: key.clone(),
+            opened_ms: 500,
+            last_fire_ms: 500,
+            resolved_ms: None,
+            fire_count: 1,
+            suppressed_count: 0,
+            burn_ms: 0,
+            detail: "drift page".into(),
+        }).unwrap();
+
+        let first = diagnose_key(&online, &key).unwrap().rows;
+        online.sync().unwrap();
+        drop(online);
+
+        // Reopen: replayed rows are bit-identical, and re-running the
+        // engine on the replayed state reproduces them.
+        let reopened = WalStore::open(&path).unwrap();
+        prop_assert_eq!(reopened.diagnoses().unwrap(), first.clone());
+        prop_assert_eq!(diagnose_key(&reopened, &key).unwrap().rows, first.clone());
+        reopened.checkpoint().unwrap();
+        reopened.sync().unwrap();
+        drop(reopened);
+
+        // Cold open from the snapshot + segments path: same again.
+        let checkpointed = WalStore::open(&path).unwrap();
+        prop_assert_eq!(checkpointed.diagnoses().unwrap(), first.clone());
+        prop_assert_eq!(diagnose_key(&checkpointed, &key).unwrap().rows, first);
+        drop(checkpointed);
+        purge_wal_family(&path);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Trace cycle-resistance under adversarial io reuse
 // ---------------------------------------------------------------------
 

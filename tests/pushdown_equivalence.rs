@@ -17,8 +17,9 @@ use mltrace::query::{
     execute_query, execute_query_unoptimized, execute_query_with_route, parse, RoutePreference,
 };
 use mltrace::store::{
-    ComponentRecord, ComponentRunRecord, EventKind, EventSeverity, IncidentRecord, IncidentState,
-    MemoryStore, MetricRecord, ObservabilityEvent, RunId, RunStatus, Store, WalStore,
+    ComponentRecord, ComponentRunRecord, DiagnosisRecord, EventKind, EventSeverity, IncidentRecord,
+    IncidentState, MemoryStore, MetricRecord, ObservabilityEvent, RunId, RunStatus, Store,
+    WalStore,
 };
 
 const COMPONENTS: [&str; 4] = ["etl", "train", "infer", "report"];
@@ -133,6 +134,33 @@ fn seed(store: &dyn Store) {
             })
             .unwrap();
     }
+    // Diagnosis rankings for two of the incidents, so the diagnoses
+    // table has multi-row and single-row keys to push against.
+    let row = |key: &str, rank, suspect: &str, kind: &str, score, onset| DiagnosisRecord {
+        incident_key: key.into(),
+        rank,
+        suspect: suspect.into(),
+        evidence_kind: kind.into(),
+        score,
+        onset_ms: onset,
+        distance: rank as u32,
+        detail: format!("{kind} on {suspect}"),
+    };
+    store
+        .put_diagnosis(
+            "infer/accuracy",
+            vec![
+                row("infer/accuracy", 1, "train", "run_failed", 2.7, 2_050),
+                row("infer/accuracy", 2, "etl", "drift_onset", 1.9, 2_000),
+            ],
+        )
+        .unwrap();
+    store
+        .put_diagnosis(
+            "train/loss",
+            vec![row("train/loss", 1, "etl", "failure_rate", 0.9, 2_080)],
+        )
+        .unwrap();
 }
 
 /// Assert optimized == reference for every query, labeling failures. The
@@ -266,6 +294,24 @@ fn query_grid() -> Vec<String> {
     for w in incident_wheres {
         for o in ["", "ORDER BY opened_ms DESC, key"] {
             queries.push(format!("SELECT * FROM incidents {w} {o} LIMIT 10"));
+        }
+    }
+    let diagnosis_wheres = [
+        "",
+        "WHERE incident_key = 'infer/accuracy'",
+        "WHERE suspect = 'etl'",
+        "WHERE incident_key = 'infer/accuracy' AND suspect = 'train'",
+        // Never-diagnosed key: pushdown must not widen or error.
+        "WHERE incident_key = 'ghost'",
+        // Mixed pushable + residual conjuncts.
+        "WHERE incident_key = 'infer/accuracy' AND score > 2.0",
+        "WHERE rank = 1",
+        // Conflicting equalities: empty result on both paths.
+        "WHERE incident_key = 'infer/accuracy' AND incident_key = 'train/loss'",
+    ];
+    for w in diagnosis_wheres {
+        for o in ["", "ORDER BY incident_key, rank"] {
+            queries.push(format!("SELECT * FROM diagnoses {w} {o} LIMIT 10"));
         }
     }
     queries.extend(aggregate_grid());
@@ -481,56 +527,78 @@ fn distinct_10k_unique_rows_is_linear() {
 
 /// Aggregates over non-finite metric values: NaN propagates through
 /// SUM/AVG, MIN/MAX order NaN deterministically (total_cmp), and the
-/// pushed, forced, and naive paths agree bitwise. Memory store only —
-/// the WAL's JSON encoding cannot represent non-finite floats.
+/// pushed, forced, and naive paths agree bitwise — on the memory store
+/// AND on a WAL store reopened after the writes. The WAL's sentinel
+/// codec carries NaN/±Inf through the JSON log, so replayed non-finite
+/// points aggregate exactly like live ones.
 #[test]
 fn aggregate_equivalence_with_nonfinite_metrics() {
     use mltrace::store::aggregate::canonical_row_key;
 
-    let store = MemoryStore::new();
-    seed(&store);
-    for (name, value) in [
-        ("spikes", f64::NAN),
-        ("spikes", f64::INFINITY),
-        ("spikes", f64::NEG_INFINITY),
-        ("spikes", 1.5),
-        ("spikes", -0.0),
-        ("floor", f64::NAN),
-    ] {
-        store
-            .log_metric(MetricRecord {
-                component: "etl".into(),
-                run_id: None,
-                name: name.into(),
-                value,
-                ts_ms: 9_000,
-            })
-            .unwrap();
-    }
-    for sql in [
-        "SELECT name, count(*) AS n, sum(value) AS s, avg(value) AS a FROM metrics \
-         GROUP BY name ORDER BY name",
-        "SELECT name, min(value) AS lo, max(value) AS hi FROM metrics \
-         GROUP BY name ORDER BY name",
-        "SELECT count(value) AS n, sum(value) AS s FROM metrics WHERE name = 'spikes'",
-        "SELECT name, avg(value) AS a FROM metrics GROUP BY name \
-         HAVING count(*) > 1 ORDER BY name",
-    ] {
-        let q = parse(sql).unwrap();
-        let fast = execute_query(&store, &q).unwrap();
-        let slow = execute_query_unoptimized(&store, &q).unwrap();
-        // `assert_eq!` on rows would reject NaN == NaN; compare through
-        // the canonical keys, which encode NaN by its exact bits.
-        assert_eq!(fast.columns, slow.columns, "{sql}");
-        assert_eq!(fast.rows.len(), slow.rows.len(), "{sql}");
-        for (a, b) in fast.rows.iter().zip(&slow.rows) {
-            assert_eq!(
-                canonical_row_key(a),
-                canonical_row_key(b),
-                "bitwise row divergence for: {sql}"
-            );
+    fn seed_nonfinite(store: &dyn Store) {
+        seed(store);
+        for (name, value) in [
+            ("spikes", f64::NAN),
+            ("spikes", f64::INFINITY),
+            ("spikes", f64::NEG_INFINITY),
+            ("spikes", 1.5),
+            ("spikes", -0.0),
+            ("floor", f64::NAN),
+        ] {
+            store
+                .log_metric(MetricRecord {
+                    component: "etl".into(),
+                    run_id: None,
+                    name: name.into(),
+                    value,
+                    ts_ms: 9_000,
+                })
+                .unwrap();
         }
     }
+
+    fn check(store: &dyn Store) {
+        for sql in [
+            "SELECT name, count(*) AS n, sum(value) AS s, avg(value) AS a FROM metrics \
+             GROUP BY name ORDER BY name",
+            "SELECT name, min(value) AS lo, max(value) AS hi FROM metrics \
+             GROUP BY name ORDER BY name",
+            "SELECT count(value) AS n, sum(value) AS s FROM metrics WHERE name = 'spikes'",
+            "SELECT name, avg(value) AS a FROM metrics GROUP BY name \
+             HAVING count(*) > 1 ORDER BY name",
+        ] {
+            let q = parse(sql).unwrap();
+            let fast = execute_query(store, &q).unwrap();
+            let slow = execute_query_unoptimized(store, &q).unwrap();
+            // `assert_eq!` on rows would reject NaN == NaN; compare through
+            // the canonical keys, which encode NaN by its exact bits.
+            assert_eq!(fast.columns, slow.columns, "{sql}");
+            assert_eq!(fast.rows.len(), slow.rows.len(), "{sql}");
+            for (a, b) in fast.rows.iter().zip(&slow.rows) {
+                assert_eq!(
+                    canonical_row_key(a),
+                    canonical_row_key(b),
+                    "bitwise row divergence for: {sql}"
+                );
+            }
+        }
+    }
+
+    let mem = MemoryStore::new();
+    seed_nonfinite(&mem);
+    check(&mem);
+
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("nonfinite.wal");
+    {
+        let wal = WalStore::open(&path).unwrap();
+        seed_nonfinite(&wal);
+        wal.sync().unwrap();
+        check(&wal);
+    }
+    // Reopen: the sentinel-encoded points must replay byte-exactly.
+    let replayed = WalStore::open(&path).unwrap();
+    check(&replayed);
 }
 
 /// The parallel per-shard fold must be invariant to worker count: one
