@@ -1,0 +1,205 @@
+//! E18 — the serve front-end under multi-client load.
+//!
+//! Each iteration boots a real TCP server (OS-assigned port, OnSync
+//! durability, cross-connection ingest coalescing) over a fresh WAL and
+//! drives it with the `bench-load` harness: N writer connections
+//! batching run+metric ingest, M reader connections looping a PREPAREd
+//! parameterized aggregate. Axes:
+//!
+//! - writer fan-in at a fixed per-writer workload — group commit should
+//!   hold throughput roughly flat as connections multiply, because more
+//!   concurrent writers ride each fsync;
+//! - mixed read/write load — readers execute on the worker pool, so
+//!   added readers must not crater writer throughput;
+//! - prepared vs. literal SQL round trips on a loaded store — the
+//!   parse-once saving and the identical-plan guarantee.
+//!
+//! Note: loopback TCP on a single-vCPU host serializes client and
+//! server; fan-in numbers are most meaningful on multi-core machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mltrace_client::load::{run_load, LoadConfig};
+use mltrace_client::Client;
+use mltrace_server::{ServeConfig, Server};
+use mltrace_store::{DurabilityPolicy, Value, WalStore};
+use std::hint::black_box;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+struct Served {
+    path: std::path::PathBuf,
+    addr: SocketAddr,
+    store: Arc<WalStore>,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+/// Boot a server over a fresh WAL in the temp dir.
+fn start_server() -> Served {
+    let path = std::env::temp_dir().join(format!(
+        "mltrace-bench-serve-{}-{}.jsonl",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&path);
+    let store = Arc::new(WalStore::open_with(&path, DurabilityPolicy::OnSync).unwrap());
+    let server = Server::bind(
+        store.clone(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+    Served {
+        path,
+        addr,
+        store,
+        handle: Some(handle),
+    }
+}
+
+impl Drop for Served {
+    fn drop(&mut self) {
+        let mut control = Client::connect(self.addr).unwrap();
+        control.shutdown_server().unwrap();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Writer fan-in: total acknowledged runs held constant while the number
+/// of concurrent writer connections grows.
+fn writer_fanin(c: &mut Criterion) {
+    const TOTAL_RUNS: usize = 4_000;
+    let mut group = c.benchmark_group("E18/serve_writer_fanin");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TOTAL_RUNS as u64));
+    for &writers in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("writers", writers), &writers, |b, &w| {
+            b.iter(|| {
+                let served = start_server();
+                let report = run_load(&LoadConfig {
+                    addr: served.addr.to_string(),
+                    writers: w,
+                    readers: 0,
+                    runs_per_writer: TOTAL_RUNS / w,
+                    batch: 8,
+                    metrics_per_batch: 0,
+                    retry_busy: true,
+                    ..LoadConfig::default()
+                })
+                .unwrap();
+                assert_eq!(report.runs_logged as usize, TOTAL_RUNS);
+                black_box(report)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Mixed load: 4 writers with 0/2/4 concurrent prepared-query readers.
+fn mixed_load(c: &mut Criterion) {
+    const RUNS_PER_WRITER: usize = 600;
+    let mut group = c.benchmark_group("E18/serve_mixed_load");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((4 * RUNS_PER_WRITER) as u64));
+    for &readers in &[0usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("readers", readers), &readers, |b, &m| {
+            b.iter(|| {
+                let served = start_server();
+                let report = run_load(&LoadConfig {
+                    addr: served.addr.to_string(),
+                    writers: 4,
+                    readers: m,
+                    runs_per_writer: RUNS_PER_WRITER,
+                    batch: 8,
+                    metrics_per_batch: 2,
+                    retry_busy: true,
+                    ..LoadConfig::default()
+                })
+                .unwrap();
+                assert_eq!(report.runs_logged as usize, 4 * RUNS_PER_WRITER);
+                black_box(report)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Prepared vs. literal round trips over one connection on a preloaded
+/// store: the per-call parse cost is the delta, the plan is identical.
+fn prepared_vs_literal(c: &mut Criterion) {
+    let served = start_server();
+    {
+        let report = run_load(&LoadConfig {
+            addr: served.addr.to_string(),
+            writers: 4,
+            readers: 0,
+            runs_per_writer: 1_000,
+            batch: 50,
+            metrics_per_batch: 0,
+            retry_busy: true,
+            ..LoadConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.runs_logged, 4_000);
+        served.store.sync().unwrap();
+    }
+    const QUERIES: u64 = 64;
+    let mut group = c.benchmark_group("E18/serve_query_roundtrip");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(QUERIES));
+    group.bench_function("prepared", |b| {
+        let mut client = Client::connect(served.addr).unwrap();
+        let stmt = client
+            .prepare(
+                "SELECT component, count(*), avg(duration_ms) FROM component_runs \
+                 WHERE component = ? GROUP BY component",
+            )
+            .unwrap();
+        b.iter(|| {
+            for i in 0..QUERIES {
+                let rows = client
+                    .exec(stmt, vec![Value::Str(format!("loadgen-{}", i % 4))])
+                    .unwrap();
+                black_box(rows);
+            }
+        });
+    });
+    group.bench_function("literal", |b| {
+        let mut client = Client::connect(served.addr).unwrap();
+        b.iter(|| {
+            for i in 0..QUERIES {
+                let rows = client
+                    .query(format!(
+                        "SELECT component, count(*), avg(duration_ms) FROM component_runs \
+                         WHERE component = 'loadgen-{}' GROUP BY component",
+                        i % 4
+                    ))
+                    .unwrap();
+                black_box(rows);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = writer_fanin, mixed_load, prepared_vs_literal
+}
+criterion_main!(benches);

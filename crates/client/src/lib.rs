@@ -1,0 +1,273 @@
+//! # mltrace-client
+//!
+//! A thin blocking client for [`mltrace-protocol`]: one TCP connection,
+//! sender-chosen request ids, and typed helpers over the request set.
+//! The low-level [`Client::send`]/[`Client::recv`] split supports
+//! pipelining (many requests in flight, responses correlated by id);
+//! the high-level helpers are strict request/response.
+//!
+//! `Busy` responses — the server's `--max-inflight` admission gate —
+//! surface as [`ClientError::Busy`] so callers can count and retry;
+//! the request was *not* executed.
+//!
+//! [`mltrace-protocol`]: mltrace_protocol
+
+#![warn(missing_docs)]
+
+pub mod load;
+
+use mltrace_protocol::{read_frame, write_frame, Frame, Request, Response};
+use mltrace_store::{
+    ComponentRecord, ComponentRunRecord, EventFilter, MetricRecord, ObservabilityEvent, RunBundle,
+    StoreStats, Value,
+};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport error (connect, read, write, torn frame).
+    Io(io::Error),
+    /// The peer broke the protocol (bad frame body, wrong response
+    /// shape, or an id we never sent).
+    Protocol(String),
+    /// The server's admission gate rejected the request unexecuted;
+    /// retry later.
+    Busy {
+        /// The server's configured per-connection limit.
+        limit: usize,
+    },
+    /// The server executed the request and reported failure.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Busy { limit } => {
+                write!(f, "server busy (max-inflight {limit}); retry later")
+            }
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// A prepared-statement handle on one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatementHandle {
+    /// Server-assigned id (connection-scoped).
+    pub stmt: u64,
+    /// Number of `?` placeholders to bind.
+    pub params: usize,
+}
+
+/// Query rows as returned by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowSet {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Value rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// One blocking connection to `mltrace serve`.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Bound how long a single `recv` may block (None = forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Send one request without waiting; returns the request id to match
+    /// against [`Client::recv`]. This is the pipelining primitive.
+    pub fn send(&mut self, req: &Request) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &Frame::new(id, req.to_body()))?;
+        Ok(id)
+    }
+
+    /// Receive the next response (completion order, not send order).
+    pub fn recv(&mut self) -> Result<(u64, Response)> {
+        match read_frame(&mut self.stream)? {
+            Some(frame) => {
+                let resp = Response::from_body(&frame.body)
+                    .map_err(|e| ClientError::Protocol(format!("bad response body: {e}")))?;
+                Ok((frame.request_id, resp))
+            }
+            None => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed the connection",
+            ))),
+        }
+    }
+
+    /// Strict request/response: send, then wait for the matching id.
+    /// Out-of-order responses (from earlier pipelined sends) are an
+    /// error here — don't mix `call` with outstanding `send`s.
+    pub fn call(&mut self, req: &Request) -> Result<Response> {
+        let id = self.send(req)?;
+        let (got, resp) = self.recv()?;
+        if got != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {got} does not match request id {id}"
+            )));
+        }
+        Ok(resp)
+    }
+
+    fn expect_ok(resp: Response) -> Result<()> {
+        match resp {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    // ---- typed helpers -------------------------------------------------
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        Self::expect_ok(self.call(&Request::Ping)?)
+    }
+
+    /// Upsert components; returns how many were applied.
+    pub fn register_components(&mut self, components: Vec<ComponentRecord>) -> Result<u64> {
+        match self.call(&Request::RegisterComponents { components })? {
+            Response::Logged { count } => Ok(count),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Log a batch of runs; returns assigned ids in input order.
+    pub fn log_runs(&mut self, runs: Vec<ComponentRunRecord>) -> Result<Vec<u64>> {
+        match self.call(&Request::LogRuns { runs })? {
+            Response::RunIds { ids } => Ok(ids),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Log a batch of metric points.
+    pub fn log_metrics(&mut self, metrics: Vec<MetricRecord>) -> Result<u64> {
+        match self.call(&Request::LogMetrics { metrics })? {
+            Response::Logged { count } => Ok(count),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Log run bundles; returns assigned run ids in input order.
+    pub fn log_bundles(&mut self, bundles: Vec<RunBundle>) -> Result<Vec<u64>> {
+        match self.call(&Request::LogBundles { bundles })? {
+            Response::RunIds { ids } => Ok(ids),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// One-shot SQL (or `EXPLAIN`).
+    pub fn query(&mut self, sql: impl Into<String>) -> Result<RowSet> {
+        match self.call(&Request::Query { sql: sql.into() })? {
+            Response::Rows { columns, rows } => Ok(RowSet { columns, rows }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Parse a statement with `?` placeholders server-side.
+    pub fn prepare(&mut self, sql: impl Into<String>) -> Result<StatementHandle> {
+        match self.call(&Request::Prepare { sql: sql.into() })? {
+            Response::Prepared { stmt, params } => Ok(StatementHandle { stmt, params }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Execute a prepared statement with positional parameters.
+    pub fn exec(&mut self, stmt: StatementHandle, params: Vec<Value>) -> Result<RowSet> {
+        match self.call(&Request::Exec {
+            stmt: stmt.stmt,
+            params,
+        })? {
+            Response::Rows { columns, rows } => Ok(RowSet { columns, rows }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Release a prepared statement.
+    pub fn close_prepared(&mut self, stmt: StatementHandle) -> Result<()> {
+        Self::expect_ok(self.call(&Request::ClosePrepared { stmt: stmt.stmt })?)
+    }
+
+    /// Start (or replace) this connection's event subscription.
+    pub fn subscribe(&mut self, filter: EventFilter, capacity: Option<usize>) -> Result<()> {
+        Self::expect_ok(self.call(&Request::Subscribe { filter, capacity })?)
+    }
+
+    /// Fetch buffered events; `dropped` counts overflow losses since the
+    /// previous poll (bounded drop-oldest queue — the backpressure
+    /// contract).
+    pub fn poll_events(
+        &mut self,
+        max: usize,
+        wait: Duration,
+    ) -> Result<(Vec<ObservabilityEvent>, u64)> {
+        match self.call(&Request::PollEvents {
+            max,
+            wait_ms: wait.as_millis() as u64,
+        })? {
+            Response::Events { events, dropped } => Ok((events, dropped)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Durability barrier: the server flushes and fsyncs its WAL.
+    pub fn sync(&mut self) -> Result<()> {
+        Self::expect_ok(self.call(&Request::Sync)?)
+    }
+
+    /// Store row counts.
+    pub fn stats(&mut self) -> Result<StoreStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        Self::expect_ok(self.call(&Request::Shutdown)?)
+    }
+}
+
+/// Map non-success responses onto the error taxonomy.
+fn unexpected(resp: Response) -> ClientError {
+    match resp {
+        Response::Busy { limit } => ClientError::Busy { limit },
+        Response::Error { message } => ClientError::Server(message),
+        other => ClientError::Protocol(format!("unexpected response: {other:?}")),
+    }
+}

@@ -1,0 +1,402 @@
+//! `mltrace bench-load`: a multi-threaded load harness for `serve`.
+//!
+//! Spawns N writer connections (each batching run+metric ingest for its
+//! own `loadgen-<i>` component) and M reader connections (each looping a
+//! PREPAREd parameterized count over a random writer's component), runs
+//! them concurrently against one server, and reports throughput, Busy
+//! rejections, and row counts. Each thread holds its own [`Client`], so
+//! the harness exercises the server's cross-connection coalescing path —
+//! the group-commit batch sizes it produces are the whole point of E18.
+//!
+//! The harness is deterministic per (writers, runs, batch): writer `i`
+//! logs runs `0..runs` for component `loadgen-<i>` with synthetic
+//! timestamps, which lets a verifier replay the identical workload
+//! against an embedded store and diff row-for-row.
+
+use crate::{Client, ClientError, Result};
+use mltrace_protocol::{Request, Response};
+use mltrace_store::{ComponentRecord, ComponentRunRecord, MetricRecord, RunStatus, Value};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Harness parameters; every field has a `bench-load` CLI flag.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7764`.
+    pub addr: String,
+    /// Concurrent writer connections.
+    pub writers: usize,
+    /// Concurrent prepared-query reader connections.
+    pub readers: usize,
+    /// Runs each writer logs (total rows = writers × runs).
+    pub runs_per_writer: usize,
+    /// Runs per `LogRuns` request.
+    pub batch: usize,
+    /// Metric points logged alongside each run batch.
+    pub metrics_per_batch: usize,
+    /// Label prefix for generated components (`<prefix>-<i>`).
+    pub component_prefix: String,
+    /// Retry `Busy` rejections instead of counting-and-dropping.
+    pub retry_busy: bool,
+    /// Ingest requests each writer keeps in flight. 1 (the default) is
+    /// strict request/response and can never trip the per-connection
+    /// admission gate; >1 pipelines that many `LogRuns` frames, which is
+    /// how the backpressure smoke provokes `Busy` under a tiny
+    /// `--max-inflight`. Pipelined writers skip the metric stream.
+    pub pipeline: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7764".into(),
+            writers: 4,
+            readers: 2,
+            runs_per_writer: 500,
+            batch: 8,
+            metrics_per_batch: 4,
+            component_prefix: "loadgen".into(),
+            retry_busy: false,
+            pipeline: 1,
+        }
+    }
+}
+
+/// What happened: totals across all writer and reader threads.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Run rows acknowledged by the server.
+    pub runs_logged: u64,
+    /// Metric points acknowledged.
+    pub metrics_logged: u64,
+    /// Ingest requests sent (excluding Busy retries).
+    pub write_requests: u64,
+    /// Prepared `EXEC` round trips completed.
+    pub read_queries: u64,
+    /// Result rows returned across all readers.
+    pub rows_returned: u64,
+    /// `Busy` admission rejections observed (writers + readers).
+    pub busy_rejections: u64,
+    /// Requests that failed for any non-Busy reason.
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Acknowledged run rows per second.
+    pub fn write_throughput(&self) -> f64 {
+        per_second(self.runs_logged, self.elapsed)
+    }
+
+    /// Completed prepared queries per second.
+    pub fn read_throughput(&self) -> f64 {
+        per_second(self.read_queries, self.elapsed)
+    }
+
+    /// Render the human table `mltrace bench-load` prints.
+    pub fn render(&self) -> String {
+        format!(
+            "runs logged        {}\n\
+             metric points      {}\n\
+             write requests     {}\n\
+             read queries       {}\n\
+             rows returned      {}\n\
+             busy rejections    {}\n\
+             errors             {}\n\
+             elapsed            {:.3}s\n\
+             write throughput   {:.0} runs/s\n\
+             read throughput    {:.0} queries/s",
+            self.runs_logged,
+            self.metrics_logged,
+            self.write_requests,
+            self.read_queries,
+            self.rows_returned,
+            self.busy_rejections,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.write_throughput(),
+            self.read_throughput(),
+        )
+    }
+}
+
+fn per_second(count: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// Shared tally the worker threads bump; folded into a [`LoadReport`].
+#[derive(Default)]
+struct Tally {
+    runs_logged: AtomicU64,
+    metrics_logged: AtomicU64,
+    write_requests: AtomicU64,
+    read_queries: AtomicU64,
+    rows_returned: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    writers_done: AtomicU64,
+}
+
+/// The synthetic run record writer `i` logs at sequence `seq`. Public so
+/// tests can replay the identical workload against an embedded store.
+pub fn synthetic_run(component: &str, seq: usize) -> ComponentRunRecord {
+    let start = 1_700_000_000_000 + (seq as u64) * 1_000;
+    ComponentRunRecord {
+        component: component.to_string(),
+        start_ms: start,
+        end_ms: start + 250,
+        code_hash: format!("bench-{seq:08x}"),
+        notes: format!("bench-load seq {seq}"),
+        status: if seq % 17 == 0 {
+            RunStatus::Failed
+        } else {
+            RunStatus::Success
+        },
+        ..Default::default()
+    }
+}
+
+/// The synthetic metric point for (`component`, batch `seq`, point `k`).
+pub fn synthetic_metric(component: &str, seq: usize, k: usize) -> MetricRecord {
+    MetricRecord {
+        component: component.to_string(),
+        run_id: None,
+        name: "bench.latency_ms".into(),
+        value: 50.0 + ((seq * 7 + k * 3) % 100) as f64,
+        ts_ms: 1_700_000_000_000 + (seq as u64) * 1_000 + k as u64,
+    }
+}
+
+/// Run the full harness: register components, start writers and readers,
+/// join, report. Readers stop once every writer finishes.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport> {
+    if cfg.writers == 0 {
+        return Err(ClientError::Protocol("need at least one writer".into()));
+    }
+    let components: Vec<String> = (0..cfg.writers)
+        .map(|i| format!("{}-{i}", cfg.component_prefix))
+        .collect();
+    // Register components once up front on a setup connection.
+    {
+        let mut setup = Client::connect(&cfg.addr)?;
+        setup.register_components(
+            components
+                .iter()
+                .map(|name| ComponentRecord::named(name.clone()))
+                .collect(),
+        )?;
+    }
+
+    let tally = Arc::new(Tally::default());
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for (i, component) in components.iter().enumerate() {
+        let cfg = cfg.clone();
+        let component = component.clone();
+        let tally = tally.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("bench-writer-{i}"))
+                .spawn(move || writer_loop(&cfg, &component, &tally))
+                .map_err(ClientError::Io)?,
+        );
+    }
+    for r in 0..cfg.readers {
+        let cfg = cfg.clone();
+        let components = components.clone();
+        let tally = tally.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("bench-reader-{r}"))
+                .spawn(move || reader_loop(&cfg, &components, r, &tally))
+                .map_err(ClientError::Io)?,
+        );
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(LoadReport {
+        runs_logged: tally.runs_logged.load(Ordering::Relaxed),
+        metrics_logged: tally.metrics_logged.load(Ordering::Relaxed),
+        write_requests: tally.write_requests.load(Ordering::Relaxed),
+        read_queries: tally.read_queries.load(Ordering::Relaxed),
+        rows_returned: tally.rows_returned.load(Ordering::Relaxed),
+        busy_rejections: tally.busy.load(Ordering::Relaxed),
+        errors: tally.errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+    })
+}
+
+fn writer_loop(cfg: &LoadConfig, component: &str, tally: &Tally) {
+    if cfg.pipeline > 1 {
+        if pipelined_writer(cfg, component, tally).is_err() {
+            tally.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        tally.writers_done.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let result = (|| -> Result<()> {
+        let mut client = Client::connect(&cfg.addr)?;
+        let batch = cfg.batch.max(1);
+        let mut seq = 0;
+        while seq < cfg.runs_per_writer {
+            let n = batch.min(cfg.runs_per_writer - seq);
+            let runs: Vec<_> = (seq..seq + n)
+                .map(|s| synthetic_run(component, s))
+                .collect();
+            match send_with_retry(cfg, tally, || client.log_runs(runs.clone())) {
+                Some(ids) => {
+                    tally.write_requests.fetch_add(1, Ordering::Relaxed);
+                    tally
+                        .runs_logged
+                        .fetch_add(ids.len() as u64, Ordering::Relaxed);
+                }
+                None => {
+                    seq += n;
+                    continue;
+                }
+            }
+            if cfg.metrics_per_batch > 0 {
+                let metrics: Vec<_> = (0..cfg.metrics_per_batch)
+                    .map(|k| synthetic_metric(component, seq, k))
+                    .collect();
+                if let Some(count) =
+                    send_with_retry(cfg, tally, || client.log_metrics(metrics.clone()))
+                {
+                    tally.write_requests.fetch_add(1, Ordering::Relaxed);
+                    tally.metrics_logged.fetch_add(count, Ordering::Relaxed);
+                }
+            }
+            seq += n;
+        }
+        client.sync()?;
+        Ok(())
+    })();
+    if result.is_err() {
+        tally.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    tally.writers_done.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A writer that keeps `cfg.pipeline` `LogRuns` requests in flight on
+/// one connection. This is the shape that actually exercises the
+/// per-connection admission gate: a strict request/response client can
+/// never exceed one in-flight request, so it never sees `Busy`.
+fn pipelined_writer(cfg: &LoadConfig, component: &str, tally: &Tally) -> Result<()> {
+    let mut client = Client::connect(&cfg.addr)?;
+    let batch = cfg.batch.max(1);
+    let mut work: VecDeque<Vec<ComponentRunRecord>> = VecDeque::new();
+    let mut seq = 0;
+    while seq < cfg.runs_per_writer {
+        let n = batch.min(cfg.runs_per_writer - seq);
+        work.push_back(
+            (seq..seq + n)
+                .map(|s| synthetic_run(component, s))
+                .collect(),
+        );
+        seq += n;
+    }
+    let mut inflight: HashMap<u64, Vec<ComponentRunRecord>> = HashMap::new();
+    while !work.is_empty() || !inflight.is_empty() {
+        while inflight.len() < cfg.pipeline {
+            let Some(runs) = work.pop_front() else { break };
+            let id = client.send(&Request::LogRuns { runs: runs.clone() })?;
+            tally.write_requests.fetch_add(1, Ordering::Relaxed);
+            inflight.insert(id, runs);
+        }
+        let (id, resp) = client.recv()?;
+        let runs = inflight
+            .remove(&id)
+            .ok_or_else(|| ClientError::Protocol(format!("response for unknown id {id}")))?;
+        match resp {
+            Response::RunIds { ids } => {
+                tally
+                    .runs_logged
+                    .fetch_add(ids.len() as u64, Ordering::Relaxed);
+            }
+            Response::Busy { .. } => {
+                tally.busy.fetch_add(1, Ordering::Relaxed);
+                if cfg.retry_busy {
+                    work.push_back(runs);
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            Response::Error { .. } => {
+                tally.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected response to LogRuns: {other:?}"
+                )))
+            }
+        }
+    }
+    client.sync()?;
+    Ok(())
+}
+
+/// Run `op`; on Busy either retry (after a short backoff) or count and
+/// return `None`. Non-Busy errors are counted and swallowed so one
+/// transient failure doesn't end a thread's workload.
+fn send_with_retry<T>(
+    cfg: &LoadConfig,
+    tally: &Tally,
+    mut op: impl FnMut() -> Result<T>,
+) -> Option<T> {
+    loop {
+        match op() {
+            Ok(v) => return Some(v),
+            Err(ClientError::Busy { .. }) => {
+                tally.busy.fetch_add(1, Ordering::Relaxed);
+                if !cfg.retry_busy {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(_) => {
+                tally.errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+    }
+}
+
+fn reader_loop(cfg: &LoadConfig, components: &[String], seed: usize, tally: &Tally) {
+    let result = (|| -> Result<()> {
+        let mut client = Client::connect(&cfg.addr)?;
+        let stmt = client.prepare(
+            "SELECT component, count(*), avg(duration_ms) FROM component_runs \
+             WHERE component = ? GROUP BY component",
+        )?;
+        let mut turn = seed;
+        while tally.writers_done.load(Ordering::Relaxed) < cfg.writers as u64 {
+            let component = &components[turn % components.len()];
+            turn += 1;
+            match client.exec(stmt, vec![Value::Str(component.clone())]) {
+                Ok(rows) => {
+                    tally.read_queries.fetch_add(1, Ordering::Relaxed);
+                    tally
+                        .rows_returned
+                        .fetch_add(rows.rows.len() as u64, Ordering::Relaxed);
+                }
+                Err(ClientError::Busy { .. }) => {
+                    tally.busy.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        tally.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}

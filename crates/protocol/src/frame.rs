@@ -1,0 +1,300 @@
+//! Length-prefixed framing.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! +----------------+----------------------+------------------+
+//! | len: u32 BE    | request_id: u64 BE   | body: len-8 bytes|
+//! +----------------+----------------------+------------------+
+//! ```
+//!
+//! `len` counts the request id plus the body, so an empty body frames as
+//! `len = 8`. The cap [`MAX_FRAME_LEN`] bounds what a peer can make us
+//! buffer; a frame longer than that is a protocol error, not an
+//! allocation. Decoding is incremental: a partial prefix is "need more
+//! bytes", while EOF in the middle of a frame is a *torn frame* — a clean
+//! error, never a panic or a misparse (pinned by proptests in
+//! `tests/protocol_framing.rs`).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard cap on `len` (id + body), 32 MiB. Generous for batched ingest,
+/// small enough that a hostile length prefix cannot balloon memory.
+pub const MAX_FRAME_LEN: usize = 32 << 20;
+
+/// Bytes of the length prefix.
+pub const LEN_PREFIX: usize = 4;
+
+/// Bytes of the request id.
+pub const ID_BYTES: usize = 8;
+
+/// One decoded frame: a request id chosen by the sender (echoed verbatim
+/// in the matching response, so a pipelining client can correlate) and an
+/// opaque body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sender-chosen correlation id.
+    pub request_id: u64,
+    /// Message payload (JSON-encoded [`crate::Request`]/[`crate::Response`]).
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// Build a frame.
+    pub fn new(request_id: u64, body: Vec<u8>) -> Frame {
+        Frame { request_id, body }
+    }
+
+    /// Total encoded size of this frame on the wire.
+    pub fn wire_len(&self) -> usize {
+        LEN_PREFIX + ID_BYTES + self.body.len()
+    }
+}
+
+/// Framing violation. Any of these poisons the connection: framing has no
+/// resync point, so the only safe reaction is to drop the stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared length exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The hostile declared length.
+        declared: usize,
+    },
+    /// Declared length is shorter than the mandatory request id.
+    Undersized {
+        /// The bogus declared length.
+        declared: usize,
+    },
+    /// The stream ended inside a frame (after ≥1 byte of it arrived).
+    Torn {
+        /// Bytes of the frame that did arrive.
+        have: usize,
+        /// Bytes the prefix promised.
+        want: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { declared } => {
+                write!(
+                    f,
+                    "frame of {declared} bytes exceeds cap of {MAX_FRAME_LEN}"
+                )
+            }
+            FrameError::Undersized { declared } => {
+                write!(f, "frame length {declared} is shorter than the request id")
+            }
+            FrameError::Torn { have, want } => {
+                write!(f, "stream ended mid-frame ({have} of {want} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> io::Error {
+        let kind = match e {
+            FrameError::Torn { .. } => io::ErrorKind::UnexpectedEof,
+            _ => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
+
+/// Append the frame's wire encoding to `out`.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let len = (ID_BYTES + frame.body.len()) as u32;
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(&frame.request_id.to_be_bytes());
+    out.extend_from_slice(&frame.body);
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(Some((frame, consumed)))` when a whole frame is present,
+/// `Ok(None)` when more bytes are needed, and `Err` when the prefix
+/// itself is invalid. The caller drains `consumed` bytes on success.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+    if buf.len() < LEN_PREFIX {
+        return Ok(None);
+    }
+    let declared = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if declared > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { declared });
+    }
+    if declared < ID_BYTES {
+        return Err(FrameError::Undersized { declared });
+    }
+    let total = LEN_PREFIX + declared;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let request_id = u64::from_be_bytes(buf[LEN_PREFIX..LEN_PREFIX + ID_BYTES].try_into().unwrap());
+    let body = buf[LEN_PREFIX + ID_BYTES..total].to_vec();
+    Ok(Some((Frame { request_id, body }, total)))
+}
+
+/// Write one frame to a stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(frame.wire_len());
+    encode_frame(frame, &mut buf);
+    w.write_all(&buf)
+}
+
+/// Read one frame from a stream.
+///
+/// `Ok(None)` means the peer closed cleanly *between* frames. EOF inside
+/// a frame surfaces as [`FrameError::Torn`] converted to
+/// `io::ErrorKind::UnexpectedEof`; a hostile prefix as `InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut prefix = [0u8; LEN_PREFIX];
+    match read_exact_or_eof(r, &mut prefix)? {
+        ReadOutcome::CleanEof => return Ok(None),
+        ReadOutcome::Torn { have } => {
+            return Err(FrameError::Torn {
+                have,
+                want: LEN_PREFIX,
+            }
+            .into())
+        }
+        ReadOutcome::Full => {}
+    }
+    let declared = u32::from_be_bytes(prefix) as usize;
+    if declared > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { declared }.into());
+    }
+    if declared < ID_BYTES {
+        return Err(FrameError::Undersized { declared }.into());
+    }
+    let mut rest = vec![0u8; declared];
+    match read_exact_or_eof(r, &mut rest)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::CleanEof | ReadOutcome::Torn { .. } => {
+            return Err(FrameError::Torn {
+                have: LEN_PREFIX,
+                want: LEN_PREFIX + declared,
+            }
+            .into())
+        }
+    }
+    let request_id = u64::from_be_bytes(rest[..ID_BYTES].try_into().unwrap());
+    Ok(Some(Frame {
+        request_id,
+        body: rest[ID_BYTES..].to_vec(),
+    }))
+}
+
+enum ReadOutcome {
+    Full,
+    CleanEof,
+    Torn { have: usize },
+}
+
+/// `read_exact`, but distinguishing "EOF before any byte" (clean close)
+/// from "EOF mid-buffer" (torn).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Torn { have: filled }
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single() {
+        let f = Frame::new(42, b"hello".to_vec());
+        let mut buf = Vec::new();
+        encode_frame(&f, &mut buf);
+        assert_eq!(buf.len(), f.wire_len());
+        let (g, used) = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn empty_body_frames_as_len_8() {
+        let f = Frame::new(7, Vec::new());
+        let mut buf = Vec::new();
+        encode_frame(&f, &mut buf);
+        assert_eq!(&buf[..4], &8u32.to_be_bytes());
+        assert_eq!(decode_frame(&buf).unwrap().unwrap().0, f);
+    }
+
+    #[test]
+    fn partial_prefix_needs_more() {
+        let f = Frame::new(1, b"abc".to_vec());
+        let mut buf = Vec::new();
+        encode_frame(&f, &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(decode_frame(&buf[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_and_undersized_rejected() {
+        let mut buf = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(FrameError::Oversized { .. })
+        ));
+        let buf = 3u32.to_be_bytes().to_vec();
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(FrameError::Undersized { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_roundtrip_and_clean_eof() {
+        let frames = [
+            Frame::new(1, b"first".to_vec()),
+            Frame::new(u64::MAX, Vec::new()),
+            Frame::new(0, vec![0xff; 1000]),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut cursor = io::Cursor::new(wire);
+        for f in &frames {
+            assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn torn_tail_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::new(5, b"payload".to_vec())).unwrap();
+        for cut in 1..wire.len() {
+            let mut cursor = io::Cursor::new(&wire[..cut]);
+            let err = read_frame(&mut cursor).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::UnexpectedEof,
+                "cut at {cut} must be torn"
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # mltrace-protocol
+//!
+//! The wire protocol between `mltrace serve` and its clients: a
+//! length-prefixed binary framing ([`frame`]) carrying JSON request /
+//! response bodies ([`message`]), with sender-chosen request ids so a
+//! client may pipeline.
+//!
+//! The paper's deployment sketch (§5: Postgres + gRPC logging clients)
+//! assumes many concurrent writers feeding one observability store; this
+//! crate is the contract that lets heterogeneous pipeline components do
+//! that against our embedded engine. Design choices:
+//!
+//! - **Length-prefixed frames** (`u32` length + `u64` request id + body)
+//!   decode incrementally and fail closed: a torn trailing frame is a
+//!   clean connection error, never a panic or misparse.
+//! - **JSON bodies** reuse the exact serde codecs the WAL already
+//!   round-trips, so a record survives client → server → log → replay
+//!   unchanged.
+//! - **Request ids** are echoed verbatim, letting one connection keep
+//!   many requests in flight; the server's `--max-inflight` admission
+//!   gate answers [`Response::Busy`] beyond that.
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod message;
+
+pub use frame::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, FrameError, ID_BYTES, LEN_PREFIX,
+    MAX_FRAME_LEN,
+};
+pub use message::{Request, Response};

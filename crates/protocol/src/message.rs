@@ -1,0 +1,213 @@
+//! Request/response bodies carried inside [`crate::Frame`]s.
+//!
+//! Bodies are JSON (the WAL's own record codec), tagged by operation.
+//! JSON keeps the protocol debuggable with `nc` and reuses the exact
+//! serde codecs the store already round-trips through its log, so a
+//! record survives client → server → WAL → replay bit-for-bit.
+
+use mltrace_store::{
+    ComponentRecord, ComponentRunRecord, EventFilter, MetricRecord, ObservabilityEvent, RunBundle,
+    StoreStats, Value,
+};
+use serde::{Deserialize, Serialize};
+
+/// One client request. The `op` tag names the operation on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op")]
+pub enum Request {
+    /// Liveness / latency probe. Answered with [`Response::Ok`].
+    Ping,
+    /// Register components (idempotent upserts).
+    RegisterComponents {
+        /// Component records to upsert.
+        components: Vec<ComponentRecord>,
+    },
+    /// Batched `log_run`: one round trip, many runs.
+    LogRuns {
+        /// Run records; ids are assigned by the store.
+        runs: Vec<ComponentRunRecord>,
+    },
+    /// Batched `log_metric`.
+    LogMetrics {
+        /// Metric points.
+        metrics: Vec<MetricRecord>,
+    },
+    /// Batched `log_run_bundle` (§3.4 step 6: run + pointers + metrics +
+    /// events as one transaction each).
+    LogBundles {
+        /// Bundles to apply.
+        bundles: Vec<RunBundle>,
+    },
+    /// One-shot SQL (or `EXPLAIN`): parse, plan, execute.
+    Query {
+        /// Statement text.
+        sql: String,
+    },
+    /// Parse a statement with `?` placeholders; answered with a
+    /// server-assigned statement handle.
+    Prepare {
+        /// Statement text (placeholders allowed).
+        sql: String,
+    },
+    /// Execute a prepared statement with positional parameters bound
+    /// left-to-right. Binding happens before planning, so the plan (and
+    /// `EXPLAIN`) matches the literal-SQL equivalent exactly.
+    Exec {
+        /// Handle from [`Response::Prepared`].
+        stmt: u64,
+        /// One value per `?`.
+        params: Vec<Value>,
+    },
+    /// Drop a prepared statement handle.
+    ClosePrepared {
+        /// Handle to release.
+        stmt: u64,
+    },
+    /// Start a `tail`-style event subscription on this connection,
+    /// replacing any previous one. Backpressure contract: the server-side
+    /// queue is bounded and drops oldest; a slow consumer loses events,
+    /// never stalls writers.
+    Subscribe {
+        /// Which events to receive.
+        filter: EventFilter,
+        /// Queue capacity (server clamps; `None` = server default).
+        capacity: Option<usize>,
+    },
+    /// Fetch buffered events from this connection's subscription.
+    PollEvents {
+        /// Max events to return.
+        max: usize,
+        /// Block up to this long when the queue is empty.
+        wait_ms: u64,
+    },
+    /// Durability barrier: flush and fsync the WAL.
+    Sync,
+    /// Store row counts (used by tests to compare served vs embedded).
+    Stats,
+    /// Ask the server to shut down gracefully (drain, flush, fsync).
+    Shutdown,
+}
+
+/// One server response, echoing the request's frame id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op")]
+pub enum Response {
+    /// Generic success for requests with nothing to return.
+    Ok,
+    /// Assigned run ids, in input order (`LogRuns` / `LogBundles`).
+    RunIds {
+        /// One id per logged run/bundle.
+        ids: Vec<u64>,
+    },
+    /// Count of records applied (`RegisterComponents` / `LogMetrics`).
+    Logged {
+        /// Records applied.
+        count: u64,
+    },
+    /// Query result rows (`Query` / `Exec`).
+    Rows {
+        /// Column names.
+        columns: Vec<String>,
+        /// Value rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Prepared-statement handle (`Prepare`).
+    Prepared {
+        /// Server-assigned handle, scoped to this connection.
+        stmt: u64,
+        /// Number of `?` placeholders.
+        params: usize,
+    },
+    /// Buffered events (`PollEvents`).
+    Events {
+        /// Drained events, oldest first.
+        events: Vec<ObservabilityEvent>,
+        /// Events dropped since the last poll (drop-oldest overflow).
+        dropped: u64,
+    },
+    /// Store row counts (`Stats`).
+    Stats {
+        /// Current counts.
+        stats: StoreStats,
+    },
+    /// Admission control: the connection already has `--max-inflight`
+    /// requests in flight; retry later. The request was *not* executed.
+    Busy {
+        /// The configured per-connection limit that was hit.
+        limit: usize,
+    },
+    /// The request failed; the connection remains usable.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Request {
+    /// JSON-encode this request as a frame body.
+    pub fn to_body(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("request serialization is infallible")
+    }
+
+    /// Decode a frame body.
+    pub fn from_body(body: &[u8]) -> Result<Request, serde_json::Error> {
+        serde_json::from_slice(body)
+    }
+}
+
+impl Response {
+    /// JSON-encode this response as a frame body.
+    pub fn to_body(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("response serialization is infallible")
+    }
+
+    /// Decode a frame body.
+    pub fn from_body(body: &[u8]) -> Result<Response, serde_json::Error> {
+        serde_json::from_slice(body)
+    }
+
+    /// Shorthand for an error response.
+    pub fn error(message: impl Into<String>) -> Response {
+        Response::Error {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{decode_frame, encode_frame, Frame};
+
+    // These round-trips exercise real serde_json, so they only run in an
+    // environment with the genuine dependency (the stub panics).
+    #[test]
+    fn request_roundtrip_through_frame() {
+        let req = Request::Exec {
+            stmt: 3,
+            params: vec![Value::Str("etl".into()), Value::Int(10)],
+        };
+        let mut wire = Vec::new();
+        encode_frame(&Frame::new(99, req.to_body()), &mut wire);
+        let (frame, _) = decode_frame(&wire).unwrap().unwrap();
+        assert_eq!(frame.request_id, 99);
+        assert_eq!(Request::from_body(&frame.body).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::Rows {
+            columns: vec!["id".into()],
+            rows: vec![vec![Value::Int(1)], vec![Value::Null]],
+        };
+        assert_eq!(Response::from_body(&resp.to_body()).unwrap(), resp);
+        let busy = Response::Busy { limit: 1 };
+        assert_eq!(Response::from_body(&busy.to_body()).unwrap(), busy);
+    }
+
+    #[test]
+    fn garbage_body_is_an_error_not_a_panic() {
+        assert!(Request::from_body(b"{not json").is_err());
+        assert!(Response::from_body(b"").is_err());
+    }
+}

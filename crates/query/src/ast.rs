@@ -272,6 +272,11 @@ pub enum Expr {
         /// Negated form.
         negated: bool,
     },
+    /// `?` — positional parameter of a prepared statement, numbered
+    /// left-to-right from 0 in source order. Binding replaces it with a
+    /// `Literal` before planning, so a bound query plans exactly like its
+    /// literal-SQL equivalent.
+    Placeholder(usize),
 }
 
 impl Expr {
@@ -279,7 +284,7 @@ impl Expr {
     pub fn has_aggregate(&self) -> bool {
         match self {
             Expr::Agg { .. } => true,
-            Expr::Column(_) | Expr::Literal(_) => false,
+            Expr::Column(_) | Expr::Literal(_) | Expr::Placeholder(_) => false,
             Expr::Binary { left, right, .. } => left.has_aggregate() || right.has_aggregate(),
             Expr::Not(e) | Expr::Neg(e) => e.has_aggregate(),
             Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.has_aggregate(),

@@ -139,7 +139,7 @@ pub fn execute(store: &dyn Store, sql: &str) -> Result<QueryResult, QueryError> 
 
 /// Peel a leading `EXPLAIN` keyword off `sql`, returning the statement
 /// that follows it, or `None` when the text is a plain statement.
-fn strip_explain(sql: &str) -> Option<&str> {
+pub(crate) fn strip_explain(sql: &str) -> Option<&str> {
     let t = sql.trim_start();
     let head = t.get(..7)?;
     if head.eq_ignore_ascii_case("EXPLAIN") && t[7..].starts_with(|c: char| c.is_whitespace()) {
@@ -488,7 +488,7 @@ fn validate_query(query: &Query, scope: &Scope) -> Result<(), QueryError> {
 fn for_each_column<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a str)) {
     match e {
         Expr::Column(c) => f(c),
-        Expr::Literal(_) => {}
+        Expr::Literal(_) | Expr::Placeholder(_) => {}
         Expr::Binary { left, right, .. } => {
             for_each_column(left, f);
             for_each_column(right, f);
@@ -538,6 +538,7 @@ fn map_columns(e: &Expr, rename: &dyn Fn(&str) -> String) -> Expr {
     match e {
         Expr::Column(c) => Expr::Column(rename(c)),
         Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Placeholder(i) => Expr::Placeholder(*i),
         Expr::Binary { op, left, right } => Expr::Binary {
             op: *op,
             left: Box::new(map_columns(left, rename)),
@@ -1535,6 +1536,10 @@ fn validate_columns(
         match e {
             Expr::Column(c) => resolve(c).map(|_| ()),
             Expr::Literal(_) => Ok(()),
+            Expr::Placeholder(i) => Err(QueryError::Semantic(format!(
+                "unbound placeholder ?{} — bind parameters via PREPARE/EXEC",
+                i + 1
+            ))),
             Expr::Binary { left, right, .. } => {
                 walk(left, resolve)?;
                 walk(right, resolve)
@@ -1786,7 +1791,7 @@ fn collect_aggs(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
             collect_aggs(lo, out);
             collect_aggs(hi, out);
         }
-        Expr::Column(_) | Expr::Literal(_) => {}
+        Expr::Column(_) | Expr::Literal(_) | Expr::Placeholder(_) => {}
     }
 }
 
@@ -1873,6 +1878,10 @@ fn eval_agg(
             let h = eval_agg(hi, key_vals, states, agg_exprs, query, resolve)?;
             Ok(eval_between(&v, &l, &h, *negated))
         }
+        Expr::Placeholder(i) => Err(QueryError::Semantic(format!(
+            "unbound placeholder ?{}",
+            i + 1
+        ))),
     }
 }
 
@@ -1943,6 +1952,10 @@ fn eval(
             let h = eval(hi, row, resolve)?;
             Ok(eval_between(&v, &l, &h, *negated))
         }
+        Expr::Placeholder(i) => Err(QueryError::Semantic(format!(
+            "unbound placeholder ?{}",
+            i + 1
+        ))),
     }
 }
 

@@ -29,6 +29,7 @@ pub mod ast;
 pub mod exec;
 pub mod parser;
 pub mod plan;
+pub mod prepare;
 pub mod token;
 
 pub use ast::{AggFunc, BinOp, Expr, Query, ScalarFunc, SelectItem};
@@ -36,9 +37,10 @@ pub use exec::{
     execute, execute_query, execute_query_unoptimized, execute_query_with_route, explain_query,
     QueryError, QueryResult, RoutePreference,
 };
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_with_params, ParseError};
 pub use plan::{
     choose_run_route, choose_run_route_forced, plan_diagnosis_scan, plan_metric_scan,
     plan_run_scan, DiagnosisScanPlan, MetricScanPlan, RunScanPlan, ScanRoute,
 };
+pub use prepare::{execute_prepared, prepare, PreparedQuery};
 pub use token::{tokenize, LexError, Symbol, Token};

@@ -51,20 +51,34 @@ impl From<LexError> for ParseError {
 
 /// Parse one SELECT statement.
 pub fn parse(sql: &str) -> Result<Query, ParseError> {
+    let (q, _) = parse_with_params(sql)?;
+    Ok(q)
+}
+
+/// Parse one SELECT statement, also returning the number of `?`
+/// placeholders it contains (numbered left-to-right in source order).
+pub fn parse_with_params(sql: &str) -> Result<(Query, usize), ParseError> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let q = p.query()?;
     if p.pos != p.tokens.len() {
         return Err(ParseError {
             message: format!("trailing input at token {}", p.peek_text()),
         });
     }
-    Ok(q)
+    Ok((q, p.params))
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Count of `?` placeholders seen so far; each occurrence is numbered
+    /// with the value of this counter at the time it is parsed.
+    params: usize,
 }
 
 impl Parser {
@@ -448,6 +462,11 @@ impl Parser {
                 }
             }
             Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::Symbol(Symbol::Question)) => {
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Placeholder(idx))
+            }
             Some(Token::Symbol(Symbol::LParen)) => {
                 let e = self.expr()?;
                 self.expect_symbol(Symbol::RParen)?;
@@ -617,6 +636,19 @@ mod tests {
         // A dangling JOIN without ON is an error.
         assert!(parse("SELECT * FROM a JOIN b").is_err());
         assert!(parse("SELECT * FROM a LEFT JOIN b WHERE x = 1").is_err());
+    }
+
+    #[test]
+    fn placeholders_number_left_to_right() {
+        let (q, n) =
+            parse_with_params("SELECT * FROM t WHERE a = ? AND b BETWEEN ? AND ? LIMIT 5").unwrap();
+        assert_eq!(n, 3);
+        let text = format!("{:?}", q.where_clause.unwrap());
+        assert!(text.contains("Placeholder(0)"));
+        assert!(text.contains("Placeholder(1)"));
+        assert!(text.contains("Placeholder(2)"));
+        // Plain parse() still accepts them (binding is checked at exec).
+        assert!(parse("SELECT * FROM t WHERE a = ?").is_ok());
     }
 
     #[test]

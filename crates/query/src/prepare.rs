@@ -1,0 +1,272 @@
+//! Prepared statements: parse once, bind `?` placeholders many times.
+//!
+//! A [`PreparedQuery`] is the parse-once half of the server's
+//! `PREPARE`/`EXEC` protocol. Binding substitutes each positional `?`
+//! with an [`Expr::Literal`] *before* the planner runs, so a bound query
+//! takes exactly the pushdown / index route its literal-SQL equivalent
+//! would — `EXPLAIN` output is identical by construction, which the
+//! equivalence suite pins down.
+
+use crate::ast::{Expr, Join, Query, SelectItem};
+use crate::exec::{execute_query, explain_query, strip_explain, QueryError, QueryResult};
+use crate::parser::parse_with_params;
+use mltrace_store::{Store, Value};
+
+/// A parsed statement with `?` placeholders awaiting values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedQuery {
+    sql: String,
+    query: Query,
+    params: usize,
+    explain: bool,
+}
+
+impl PreparedQuery {
+    /// The original statement text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Number of `?` placeholders (left-to-right source order).
+    pub fn param_count(&self) -> usize {
+        self.params
+    }
+
+    /// Whether the statement was an `EXPLAIN`.
+    pub fn is_explain(&self) -> bool {
+        self.explain
+    }
+
+    /// Substitute placeholders with `params`, producing a plan-ready
+    /// query. The parameter count must match exactly.
+    pub fn bind(&self, params: &[Value]) -> Result<Query, QueryError> {
+        if params.len() != self.params {
+            return Err(QueryError::Semantic(format!(
+                "statement takes {} parameter(s), got {}",
+                self.params,
+                params.len()
+            )));
+        }
+        Ok(bind_query(&self.query, params))
+    }
+}
+
+/// Parse `sql` (optionally `EXPLAIN`-prefixed) into a prepared statement.
+pub fn prepare(sql: &str) -> Result<PreparedQuery, QueryError> {
+    let explained = strip_explain(sql);
+    let (query, params) = parse_with_params(explained.unwrap_or(sql))?;
+    Ok(PreparedQuery {
+        sql: sql.to_owned(),
+        query,
+        params,
+        explain: explained.is_some(),
+    })
+}
+
+/// Bind `params` and execute (or `EXPLAIN`) against `store`.
+pub fn execute_prepared(
+    store: &dyn Store,
+    stmt: &PreparedQuery,
+    params: &[Value],
+) -> Result<QueryResult, QueryError> {
+    if let Some(t) = store.telemetry() {
+        t.incr("query.prepared_exec_total");
+    }
+    let bound = stmt.bind(params)?;
+    if stmt.explain {
+        explain_query(store, &bound)
+    } else {
+        execute_query(store, &bound)
+    }
+}
+
+fn bind_query(q: &Query, params: &[Value]) -> Query {
+    Query {
+        distinct: q.distinct,
+        select: q
+            .select
+            .iter()
+            .map(|item| match item {
+                SelectItem::Wildcard => SelectItem::Wildcard,
+                SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                    expr: bind_expr(expr, params),
+                    alias: alias.clone(),
+                },
+            })
+            .collect(),
+        from: q.from.clone(),
+        joins: q
+            .joins
+            .iter()
+            .map(|j| Join {
+                kind: j.kind,
+                table: j.table.clone(),
+                on: bind_expr(&j.on, params),
+            })
+            .collect(),
+        where_clause: q.where_clause.as_ref().map(|w| bind_expr(w, params)),
+        group_by: q.group_by.clone(),
+        having: q.having.as_ref().map(|h| bind_expr(h, params)),
+        order_by: q
+            .order_by
+            .iter()
+            .map(|(e, desc)| (bind_expr(e, params), *desc))
+            .collect(),
+        limit: q.limit,
+    }
+}
+
+fn bind_expr(e: &Expr, params: &[Value]) -> Expr {
+    match e {
+        // `bind()` checked the count, so indexing cannot miss.
+        Expr::Placeholder(i) => Expr::Literal(params[*i].clone()),
+        Expr::Column(c) => Expr::Column(c.clone()),
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(bind_expr(left, params)),
+            right: Box::new(bind_expr(right, params)),
+        },
+        Expr::Not(x) => Expr::Not(Box::new(bind_expr(x, params))),
+        Expr::Neg(x) => Expr::Neg(Box::new(bind_expr(x, params))),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(bind_expr(expr, params)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::In {
+            expr,
+            list,
+            negated,
+        } => Expr::In {
+            expr: Box::new(bind_expr(expr, params)),
+            list: list.iter().map(|x| bind_expr(x, params)).collect(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(bind_expr(expr, params)),
+            negated: *negated,
+        },
+        Expr::Agg { func, arg } => Expr::Agg {
+            func: *func,
+            arg: arg.as_ref().map(|a| Box::new(bind_expr(a, params))),
+        },
+        Expr::Scalar { func, args } => Expr::Scalar {
+            func: *func,
+            args: args.iter().map(|a| bind_expr(a, params)).collect(),
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(bind_expr(expr, params)),
+            lo: Box::new(bind_expr(lo, params)),
+            hi: Box::new(bind_expr(hi, params)),
+            negated: *negated,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use mltrace_store::{ComponentRecord, ComponentRunRecord, MemoryStore, MetricRecord, Store};
+
+    fn seeded() -> MemoryStore {
+        let store = MemoryStore::new();
+        store
+            .register_component(ComponentRecord::named("etl"))
+            .unwrap();
+        store
+            .register_component(ComponentRecord::named("train"))
+            .unwrap();
+        for i in 0..20u64 {
+            let comp = if i % 2 == 0 { "etl" } else { "train" };
+            store
+                .log_run(ComponentRunRecord {
+                    component: comp.into(),
+                    start_ms: 1_000 + i,
+                    end_ms: 1_050 + i,
+                    ..Default::default()
+                })
+                .unwrap();
+            store
+                .log_metric(MetricRecord {
+                    component: comp.into(),
+                    run_id: None,
+                    name: "acc".into(),
+                    value: 0.5 + i as f64 / 100.0,
+                    ts_ms: 1_050 + i,
+                })
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn bind_matches_literal_sql() {
+        let store = seeded();
+        let stmt =
+            prepare("SELECT id, component FROM component_runs WHERE component = ? AND id < ?")
+                .unwrap();
+        assert_eq!(stmt.param_count(), 2);
+        let bound =
+            execute_prepared(&store, &stmt, &[Value::Str("etl".into()), Value::Int(10)]).unwrap();
+        let literal = execute(
+            &store,
+            "SELECT id, component FROM component_runs WHERE component = 'etl' AND id < 10",
+        )
+        .unwrap();
+        assert_eq!(bound.columns, literal.columns);
+        assert_eq!(bound.rows, literal.rows);
+        assert!(!bound.rows.is_empty());
+    }
+
+    #[test]
+    fn explain_routes_are_identical() {
+        let store = seeded();
+        let stmt = prepare("EXPLAIN SELECT * FROM component_runs WHERE component = ?").unwrap();
+        assert!(stmt.is_explain());
+        let bound = execute_prepared(&store, &stmt, &[Value::Str("etl".into())]).unwrap();
+        let literal = execute(
+            &store,
+            "EXPLAIN SELECT * FROM component_runs WHERE component = 'etl'",
+        )
+        .unwrap();
+        assert_eq!(bound.rows, literal.rows);
+    }
+
+    #[test]
+    fn rebind_same_statement() {
+        let store = seeded();
+        let stmt = prepare("SELECT count(*) AS n FROM component_runs WHERE component = ?").unwrap();
+        let a = execute_prepared(&store, &stmt, &[Value::Str("etl".into())]).unwrap();
+        let b = execute_prepared(&store, &stmt, &[Value::Str("train".into())]).unwrap();
+        assert_eq!(a.rows[0][0], Value::Int(10));
+        assert_eq!(b.rows[0][0], Value::Int(10));
+    }
+
+    #[test]
+    fn param_count_mismatch_is_an_error() {
+        let store = seeded();
+        let stmt = prepare("SELECT * FROM component_runs WHERE id = ?").unwrap();
+        let err = execute_prepared(&store, &stmt, &[]).unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)));
+        let err = execute_prepared(&store, &stmt, &[Value::Int(1), Value::Int(2)]).unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)));
+    }
+
+    #[test]
+    fn unbound_placeholder_rejected_by_direct_execute() {
+        let store = seeded();
+        let err = execute(&store, "SELECT * FROM component_runs WHERE id = ?").unwrap_err();
+        assert!(err.to_string().contains("placeholder"));
+    }
+}

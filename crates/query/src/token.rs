@@ -48,6 +48,8 @@ pub enum Symbol {
     Slash,
     /// `%`
     Percent,
+    /// `?` — a positional placeholder in a prepared statement.
+    Question,
 }
 
 impl fmt::Display for Token {
@@ -117,6 +119,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
             '%' => {
                 tokens.push(Token::Symbol(Symbol::Percent));
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Symbol(Symbol::Question));
                 i += 1;
             }
             '=' => {
@@ -276,8 +282,19 @@ mod tests {
     }
 
     #[test]
+    fn placeholders_lex() {
+        let t = tokenize("a = ? AND b = ?").unwrap();
+        assert_eq!(
+            t.iter()
+                .filter(|t| **t == Token::Symbol(Symbol::Question))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
     fn errors_carry_position() {
-        let e = tokenize("a ? b").unwrap_err();
+        let e = tokenize("a @ b").unwrap_err();
         assert_eq!(e.position, 2);
         let e = tokenize("'unterminated").unwrap_err();
         assert!(e.message.contains("unterminated"));

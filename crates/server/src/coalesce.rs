@@ -1,0 +1,240 @@
+//! Cross-connection ingest coalescing.
+//!
+//! Every ingest request from every connection funnels into one dedicated
+//! coalescer thread. The thread drains whatever has accumulated (bounded
+//! by a short collection window and a batch cap), applies it to the store
+//! with consecutive same-kind jobs merged into single batched calls, then
+//! issues **one** [`WalStore::sync`] for the whole batch before acking
+//! any of it. Under the serve-mode default `OnSync` durability this is
+//! textbook group commit: N connections' writes ride one fsync, and the
+//! `wal.group_commit_events` histogram records N-sized batches instead of
+//! a mean of 1.
+//!
+//! Structural backpressure property: a saturated *reader* cannot stall
+//! this thread — queries live on their own worker pool — so writer
+//! throughput degrades only with writer load.
+
+use crate::reply::Reply;
+use mltrace_protocol::Response;
+use mltrace_store::{
+    ComponentRecord, ComponentRunRecord, MetricRecord, RunBundle, Store, WalStore,
+};
+use mltrace_telemetry::Telemetry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One connection's ingest request, queued for the coalescer.
+pub(crate) struct IngestJob {
+    /// What to apply.
+    pub payload: IngestPayload,
+    /// Where (and how) to answer.
+    pub reply: Reply,
+}
+
+/// The batched-ingest operations of the protocol.
+pub(crate) enum IngestPayload {
+    /// Component upserts.
+    Components(Vec<ComponentRecord>),
+    /// Run records.
+    Runs(Vec<ComponentRunRecord>),
+    /// Metric points.
+    Metrics(Vec<MetricRecord>),
+    /// Run bundles (§3.4 step-6 transactions).
+    Bundles(Vec<RunBundle>),
+}
+
+/// Run the coalescer loop until the channel closes and drains, or
+/// `shutdown` is set *and* the channel is empty. Never drops a job that
+/// was already queued: shutdown drains first, so a client that got no
+/// response simply never had its request read.
+pub(crate) fn run_coalescer(
+    store: Arc<WalStore>,
+    rx: Receiver<IngestJob>,
+    tele: Telemetry,
+    shutdown: Arc<AtomicBool>,
+    window: Duration,
+    max_jobs: usize,
+) {
+    // `_size` suffix marks this as a count histogram (batch sizes), not
+    // a nanosecond duration, for the Prometheus renderer.
+    let batch_hist = tele.histogram("server.coalesce_batch_size");
+    loop {
+        // Block (briefly) for the first job so shutdown stays responsive.
+        let first = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    // Drain any race-window stragglers, then exit.
+                    let rest: Vec<_> = rx.try_iter().collect();
+                    if !rest.is_empty() {
+                        apply_batch(&store, rest, &tele, &batch_hist);
+                    }
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        // Collection window: let concurrent connections pile on.
+        let mut jobs = vec![first];
+        let deadline = Instant::now() + window;
+        while jobs.len() < max_jobs {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(job) => jobs.push(job),
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        apply_batch(&store, jobs, &tele, &batch_hist);
+    }
+}
+
+/// Apply one coalesced batch: merge consecutive same-kind payloads into
+/// single store calls, sync once, then ack every job.
+fn apply_batch(
+    store: &WalStore,
+    jobs: Vec<IngestJob>,
+    tele: &Telemetry,
+    batch_hist: &mltrace_telemetry::Histogram,
+) {
+    batch_hist.record(jobs.len() as u64);
+    tele.add("server.coalesced_ops_total", jobs.len() as u64);
+    // Apply in arrival order (preserves each connection's own ordering),
+    // merging runs of the same kind. Each job records the store's answer;
+    // replies wait until the batch-wide sync below makes them durable.
+    let mut replies: Vec<(Reply, Response)> = Vec::with_capacity(jobs.len());
+    let mut queue = jobs.into_iter().peekable();
+    while let Some(job) = queue.next() {
+        match job.payload {
+            IngestPayload::Runs(mut runs) => {
+                // Merge consecutive Runs jobs into one log_runs call.
+                let mut splits = vec![(runs.len(), job.reply)];
+                while let Some(IngestJob {
+                    payload: IngestPayload::Runs(_),
+                    ..
+                }) = queue.peek()
+                {
+                    let Some(IngestJob {
+                        payload: IngestPayload::Runs(mut more),
+                        reply,
+                    }) = queue.next()
+                    else {
+                        unreachable!("peeked Runs");
+                    };
+                    splits.push((more.len(), reply));
+                    runs.append(&mut more);
+                }
+                match store.log_runs(runs) {
+                    Ok(ids) => {
+                        let mut offset = 0;
+                        for (n, reply) in splits {
+                            let slice = ids[offset..offset + n]
+                                .iter()
+                                .map(|id| id.0)
+                                .collect::<Vec<u64>>();
+                            offset += n;
+                            replies.push((reply, Response::RunIds { ids: slice }));
+                        }
+                    }
+                    Err(e) => {
+                        // A merged batch is all-or-nothing in the store;
+                        // report the shared failure to every rider.
+                        let msg = e.to_string();
+                        for (_, reply) in splits {
+                            replies.push((reply, Response::error(&msg)));
+                        }
+                    }
+                }
+            }
+            IngestPayload::Metrics(mut metrics) => {
+                let mut splits = vec![(metrics.len(), job.reply)];
+                while let Some(IngestJob {
+                    payload: IngestPayload::Metrics(_),
+                    ..
+                }) = queue.peek()
+                {
+                    let Some(IngestJob {
+                        payload: IngestPayload::Metrics(mut more),
+                        reply,
+                    }) = queue.next()
+                    else {
+                        unreachable!("peeked Metrics");
+                    };
+                    splits.push((more.len(), reply));
+                    metrics.append(&mut more);
+                }
+                match store.log_metrics(metrics) {
+                    Ok(()) => {
+                        for (n, reply) in splits {
+                            replies.push((reply, Response::Logged { count: n as u64 }));
+                        }
+                    }
+                    Err(e) => {
+                        let msg = e.to_string();
+                        for (_, reply) in splits {
+                            replies.push((reply, Response::error(&msg)));
+                        }
+                    }
+                }
+            }
+            IngestPayload::Bundles(bundles) => {
+                let mut ids = Vec::with_capacity(bundles.len());
+                let mut failed = None;
+                for bundle in bundles {
+                    match store.log_run_bundle(bundle) {
+                        Ok(id) => ids.push(id.0),
+                        Err(e) => {
+                            failed = Some(e.to_string());
+                            break;
+                        }
+                    }
+                }
+                replies.push((
+                    job.reply,
+                    match failed {
+                        None => Response::RunIds { ids },
+                        Some(msg) => Response::error(msg),
+                    },
+                ));
+            }
+            IngestPayload::Components(components) => {
+                let n = components.len() as u64;
+                let mut failed = None;
+                for c in components {
+                    if let Err(e) = store.register_component(c) {
+                        failed = Some(e.to_string());
+                        break;
+                    }
+                }
+                replies.push((
+                    job.reply,
+                    match failed {
+                        None => Response::Logged { count: n },
+                        Some(msg) => Response::error(msg),
+                    },
+                ));
+            }
+        }
+    }
+    // One durability barrier for the whole batch — the group commit.
+    if let Err(e) = store.sync() {
+        let msg = format!("sync failed: {e}");
+        for (reply, _) in replies {
+            reply.send(Response::error(&msg));
+        }
+        return;
+    }
+    for (reply, resp) in replies {
+        reply.send(resp);
+    }
+}

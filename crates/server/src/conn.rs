@@ -1,0 +1,339 @@
+//! Per-connection protocol handling.
+//!
+//! Each accepted socket gets a reader (this module, on its own thread)
+//! plus a writer thread fed by an mpsc channel. The reader decodes frames
+//! incrementally, answers cheap control ops inline, and dispatches the
+//! rest: ingest to the shared coalescer thread, queries to the worker
+//! pool. Responses from those threads flow back through the writer
+//! channel, so one pipelining connection can have many requests in
+//! flight — bounded by the `--max-inflight` admission gate, beyond which
+//! the reader answers `Busy` without executing anything.
+//!
+//! Response order on the wire follows completion order, not request
+//! order; the echoed request id is the correlation contract.
+
+use crate::coalesce::{IngestJob, IngestPayload};
+use crate::pool::QueryJob;
+use crate::reply::{InflightGuard, Reply};
+use crate::ServerShared;
+use mltrace_protocol::{decode_frame, write_frame, Frame, Request, Response};
+use mltrace_query::prepare;
+use mltrace_store::{EventFilter, EventSubscription, Store};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read};
+use std::net::TcpStream;
+use std::sync::atomic::AtomicUsize;
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a blocked read waits before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Sleep quantum while a `PollEvents` waits for traffic.
+const EVENT_POLL: Duration = Duration::from_millis(5);
+
+/// Serve one connection to completion. Returns when the peer closes, a
+/// protocol violation poisons the stream, or shutdown is requested.
+pub(crate) fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
+    let tele = &shared.tele;
+    tele.gauge("server.connections").add(1);
+    tele.incr("server.connections_total");
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
+    run_connection(stream, &shared);
+    tele.gauge("server.connections").add(-1);
+    let _ = peer;
+}
+
+fn run_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    // Writer thread: single owner of the write half, so responses from
+    // the coalescer, the query pool, and inline handlers never interleave
+    // mid-frame.
+    let (tx, rx) = mpsc::channel::<(u64, Response)>();
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer = std::thread::spawn(move || {
+        let mut out = writer_stream;
+        while let Ok((request_id, resp)) = rx.recv() {
+            let frame = Frame::new(request_id, resp.to_body());
+            if write_frame(&mut out, &frame).is_err() {
+                // Peer is gone; drain remaining responses to release
+                // admission slots promptly.
+                for _ in rx.iter() {}
+                return;
+            }
+        }
+    });
+
+    let mut conn = ConnState {
+        shared: shared.clone(),
+        tx,
+        inflight: Arc::new(AtomicUsize::new(0)),
+        prepared: HashMap::new(),
+        next_stmt: 1,
+        subscription: None,
+        sub_filter: EventFilter::default(),
+        dropped_reported: 0,
+    };
+    let mut buf: Vec<u8> = Vec::with_capacity(8 * 1024);
+    let mut chunk = [0u8; 64 * 1024];
+    'read: loop {
+        // Drain every complete frame already buffered.
+        loop {
+            match decode_frame(&buf) {
+                Ok(Some((frame, used))) => {
+                    buf.drain(..used);
+                    conn.dispatch(frame);
+                }
+                Ok(None) => break,
+                Err(_) => break 'read, // framing violation poisons the stream
+            }
+        }
+        if shared.shutdown_requested() {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // EOF; any buffered partial frame is torn — drop it
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    // Drop our sender; the writer exits once dispatched work drains.
+    drop(conn);
+    let _ = writer.join();
+}
+
+struct ConnState {
+    shared: Arc<ServerShared>,
+    tx: Sender<(u64, Response)>,
+    inflight: Arc<AtomicUsize>,
+    prepared: HashMap<u64, mltrace_query::PreparedQuery>,
+    next_stmt: u64,
+    subscription: Option<EventSubscription>,
+    sub_filter: EventFilter,
+    dropped_reported: u64,
+}
+
+impl ConnState {
+    fn respond(&self, request_id: u64, resp: Response) {
+        let _ = self.tx.send((request_id, resp));
+    }
+
+    /// Take an admission slot or answer `Busy` and return `None`.
+    fn admit(&self, request_id: u64) -> Option<InflightGuard> {
+        let limit = self.shared.max_inflight;
+        match InflightGuard::acquire(&self.inflight, limit) {
+            Some(slot) => Some(slot),
+            None => {
+                self.shared.tele.incr("server.busy_total");
+                self.respond(request_id, Response::Busy { limit });
+                None
+            }
+        }
+    }
+
+    fn reply(&self, request_id: u64, hist: &str, slot: Option<InflightGuard>) -> Reply {
+        Reply {
+            request_id,
+            tx: self.tx.clone(),
+            hist: self.shared.tele.histogram(hist),
+            started: Instant::now(),
+            _slot: slot,
+        }
+    }
+
+    fn dispatch(&mut self, frame: Frame) {
+        let tele = &self.shared.tele;
+        tele.incr("server.requests_total");
+        let id = frame.request_id;
+        let req = match Request::from_body(&frame.body) {
+            Ok(req) => req,
+            Err(e) => {
+                tele.incr("server.errors_total");
+                self.respond(id, Response::error(format!("bad request body: {e}")));
+                return;
+            }
+        };
+        match req {
+            // ---- inline control ops --------------------------------
+            Request::Ping => self.respond(id, Response::Ok),
+            Request::Sync => {
+                let started = Instant::now();
+                let resp = match self.shared.store.sync() {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::error(e.to_string()),
+                };
+                tele.record("server.op.control", started.elapsed().as_nanos() as u64);
+                self.respond(id, resp);
+            }
+            Request::Stats => {
+                let resp = match self.shared.store.stats() {
+                    Ok(stats) => Response::Stats { stats },
+                    Err(e) => Response::error(e.to_string()),
+                };
+                self.respond(id, resp);
+            }
+            Request::Shutdown => {
+                self.respond(id, Response::Ok);
+                self.shared.request_shutdown();
+            }
+            Request::Prepare { sql } => {
+                let started = Instant::now();
+                let resp = match prepare(&sql) {
+                    Ok(stmt) => {
+                        let handle = self.next_stmt;
+                        self.next_stmt += 1;
+                        let params = stmt.param_count();
+                        self.prepared.insert(handle, stmt);
+                        Response::Prepared {
+                            stmt: handle,
+                            params,
+                        }
+                    }
+                    Err(e) => {
+                        tele.incr("server.errors_total");
+                        Response::error(e.to_string())
+                    }
+                };
+                tele.record("server.op.control", started.elapsed().as_nanos() as u64);
+                self.respond(id, resp);
+            }
+            Request::ClosePrepared { stmt } => {
+                let resp = if self.prepared.remove(&stmt).is_some() {
+                    Response::Ok
+                } else {
+                    Response::error(format!("unknown statement handle {stmt}"))
+                };
+                self.respond(id, resp);
+            }
+            Request::Subscribe { filter, capacity } => {
+                let resp = match self.shared.store.event_bus() {
+                    Some(bus) => {
+                        let sub = match capacity {
+                            Some(c) => bus.subscribe_with_capacity(c),
+                            None => bus.subscribe(),
+                        };
+                        self.dropped_reported = sub.dropped();
+                        self.subscription = Some(sub);
+                        self.sub_filter = filter;
+                        Response::Ok
+                    }
+                    None => Response::error("store has no event bus"),
+                };
+                self.respond(id, resp);
+            }
+            Request::PollEvents { max, wait_ms } => {
+                let resp = self.poll_events(max, wait_ms);
+                self.respond(id, resp);
+            }
+            // ---- ingest: admission gate, then the coalescer --------
+            Request::RegisterComponents { components } => {
+                self.enqueue_ingest(id, IngestPayload::Components(components));
+            }
+            Request::LogRuns { runs } => {
+                self.enqueue_ingest(id, IngestPayload::Runs(runs));
+            }
+            Request::LogMetrics { metrics } => {
+                self.enqueue_ingest(id, IngestPayload::Metrics(metrics));
+            }
+            Request::LogBundles { bundles } => {
+                self.enqueue_ingest(id, IngestPayload::Bundles(bundles));
+            }
+            // ---- queries: admission gate, then the worker pool -----
+            Request::Query { sql } => {
+                let Some(slot) = self.admit(id) else { return };
+                let reply = self.reply(id, "server.op.query", Some(slot));
+                if self
+                    .shared
+                    .query_tx
+                    .send(QueryJob::Sql { sql, reply })
+                    .is_err()
+                {
+                    self.respond(id, Response::error("server shutting down"));
+                }
+            }
+            Request::Exec { stmt, params } => {
+                let Some(prepared) = self.prepared.get(&stmt).cloned() else {
+                    self.respond(
+                        id,
+                        Response::error(format!("unknown statement handle {stmt}")),
+                    );
+                    return;
+                };
+                let Some(slot) = self.admit(id) else { return };
+                let reply = self.reply(id, "server.op.exec", Some(slot));
+                if self
+                    .shared
+                    .query_tx
+                    .send(QueryJob::Exec {
+                        stmt: prepared,
+                        params,
+                        reply,
+                    })
+                    .is_err()
+                {
+                    self.respond(id, Response::error("server shutting down"));
+                }
+            }
+        }
+    }
+
+    fn enqueue_ingest(&mut self, id: u64, payload: IngestPayload) {
+        let Some(slot) = self.admit(id) else { return };
+        let reply = self.reply(id, "server.op.ingest", Some(slot));
+        if self
+            .shared
+            .ingest_tx
+            .send(IngestJob { payload, reply })
+            .is_err()
+        {
+            self.respond(id, Response::error("server shutting down"));
+        }
+    }
+
+    /// Drain up to `max` filter-matching events, waiting up to `wait_ms`
+    /// for the first one. The subscription queue is bounded drop-oldest
+    /// (the EventBus backpressure contract): a consumer that polls too
+    /// slowly loses events — reported via `dropped` — and never stalls a
+    /// writer.
+    fn poll_events(&mut self, max: usize, wait_ms: u64) -> Response {
+        let Some(sub) = &self.subscription else {
+            return Response::error("not subscribed — send Subscribe first");
+        };
+        let max = max.clamp(1, 10_000);
+        let deadline = Instant::now() + Duration::from_millis(wait_ms.min(30_000));
+        let mut events = Vec::new();
+        loop {
+            while events.len() < max {
+                match sub.try_next() {
+                    Some(e) => {
+                        if self.sub_filter.matches(&e) {
+                            events.push((*e).clone());
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if !events.is_empty() || Instant::now() >= deadline || self.shared.shutdown_requested()
+            {
+                break;
+            }
+            std::thread::sleep(EVENT_POLL);
+        }
+        let total_dropped = sub.dropped();
+        let dropped = total_dropped.saturating_sub(self.dropped_reported);
+        self.dropped_reported = total_dropped;
+        Response::Events { events, dropped }
+    }
+}

@@ -1,0 +1,224 @@
+//! # mltrace-server
+//!
+//! `mltrace serve`: a concurrent TCP front-end for one WAL-backed
+//! observability store — the network story the paper's deployment sketch
+//! assumes (§5: many logging clients feeding one store), built from three
+//! thread populations with distinct jobs:
+//!
+//! - **Connection threads** (one reader + one writer per accepted
+//!   socket) decode [`mltrace_protocol`] frames incrementally, answer
+//!   control ops inline, and dispatch the rest.
+//! - **One ingest coalescer** applies every connection's ingest in
+//!   merged batches and acks after a single batch-wide
+//!   [`WalStore::sync`] — cross-connection group commit: N writers, one
+//!   fsync, `wal.group_commit_events` mean ≫ 1.
+//! - **A query-executor pool** (`--workers`, default one per core) runs
+//!   SQL and prepared `EXEC`s. Placeholder binding happens before
+//!   planning, so prepared queries take the same pushdown/index routes
+//!   (and `EXPLAIN` output) as their literal equivalents.
+//!
+//! Backpressure is explicit at every boundary: each connection has a
+//! `--max-inflight` admission gate answered with `Busy` (the request is
+//! *not* executed), the gate is per-connection so a saturated reader
+//! cannot starve writers, and `tail` subscriptions ride the EventBus's
+//! bounded drop-oldest queues — a slow tail loses events, never stalls
+//! the write path.
+//!
+//! Shutdown (Ctrl-C, SIGTERM, or the protocol `Shutdown` request) is
+//! graceful: stop accepting, let connection threads notice within one
+//! read-poll, drain both queues so every admitted request is answered,
+//! then flush and fsync the WAL.
+
+#![warn(missing_docs)]
+
+mod coalesce;
+mod conn;
+mod pool;
+mod reply;
+pub mod signal;
+
+use coalesce::IngestJob;
+use mltrace_store::{Store, WalStore};
+use mltrace_telemetry::Telemetry;
+use pool::QueryJob;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for [`Server`]; every field has a CLI flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`--addr`).
+    pub addr: String,
+    /// Query-executor threads; 0 means one per core (`--workers`).
+    pub workers: usize,
+    /// Per-connection admission gate: requests in flight beyond this are
+    /// answered `Busy` unexecuted (`--max-inflight`).
+    pub max_inflight: usize,
+    /// Ingest coalescing window in milliseconds: how long the coalescer
+    /// waits for more connections' writes to ride the same group commit.
+    pub coalesce_ms: u64,
+    /// Cap on ingest jobs merged into one batch/sync.
+    pub coalesce_max: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7764".into(),
+            workers: 0,
+            max_inflight: 64,
+            coalesce_ms: 2,
+            coalesce_max: 256,
+        }
+    }
+}
+
+/// State shared by every thread of one server.
+pub(crate) struct ServerShared {
+    pub store: Arc<WalStore>,
+    pub tele: Telemetry,
+    pub max_inflight: usize,
+    pub ingest_tx: Sender<IngestJob>,
+    pub query_tx: Sender<QueryJob>,
+    pub shutdown: Arc<AtomicBool>,
+}
+
+impl ServerShared {
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal::shutdown_requested()
+    }
+
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    store: Arc<WalStore>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listen socket. `cfg.addr` may use port 0 to let the OS
+    /// pick (tests do); [`Server::local_addr`] reports the result.
+    pub fn bind(store: Arc<WalStore>, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Server {
+            listener,
+            cfg,
+            store,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Server::run`] return when set (the SIGINT
+    /// path sets it through [`signal`] instead).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    /// Accept and serve until shutdown, then drain and fsync. Blocks the
+    /// calling thread for the server's lifetime.
+    pub fn run(self) -> io::Result<()> {
+        let tele = self
+            .store
+            .telemetry()
+            .cloned()
+            .unwrap_or_else(Telemetry::new);
+        let workers = if self.cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            self.cfg.workers
+        };
+        tele.gauge("server.workers").set(workers as i64);
+
+        let (ingest_tx, ingest_rx) = mpsc::channel::<IngestJob>();
+        let (query_tx, query_rx) = mpsc::channel::<QueryJob>();
+        let shared = Arc::new(ServerShared {
+            store: self.store.clone(),
+            tele: tele.clone(),
+            max_inflight: self.cfg.max_inflight.max(1),
+            ingest_tx,
+            query_tx,
+            shutdown: self.shutdown.clone(),
+        });
+
+        let coalescer = {
+            let store = self.store.clone();
+            let tele = tele.clone();
+            let shutdown = self.shutdown.clone();
+            let window = Duration::from_millis(self.cfg.coalesce_ms);
+            let max_jobs = self.cfg.coalesce_max.max(1);
+            std::thread::Builder::new()
+                .name("mltrace-coalesce".into())
+                .spawn(move || {
+                    coalesce::run_coalescer(store, ingest_rx, tele, shutdown, window, max_jobs)
+                })?
+        };
+        let query_rx = Arc::new(Mutex::new(query_rx));
+        let pool: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let store = self.store.clone();
+                let rx = query_rx.clone();
+                let shutdown = self.shutdown.clone();
+                std::thread::Builder::new()
+                    .name(format!("mltrace-query-{i}"))
+                    .spawn(move || pool::run_worker(store, rx, shutdown))
+            })
+            .collect::<io::Result<_>>()?;
+
+        self.listener.set_nonblocking(true)?;
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        while !shared.shutdown_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let shared = shared.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("mltrace-conn".into())
+                        .spawn(move || conn::handle_connection(stream, shared))?;
+                    conns.push(handle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            conns.retain(|h| !h.is_finished());
+        }
+        // Graceful drain: connections notice the flag within one read
+        // poll; the coalescer and pool drain admitted work, then exit.
+        self.shutdown.store(true, Ordering::Relaxed);
+        for h in conns {
+            let _ = h.join();
+        }
+        drop(shared); // releases the queue senders
+        let _ = coalescer.join();
+        for h in pool {
+            let _ = h.join();
+        }
+        // Final durability barrier: nothing admitted is left unflushed.
+        self.store
+            .sync()
+            .map_err(|e| io::Error::other(format!("final sync failed: {e}")))?;
+        Ok(())
+    }
+}
+
+pub use signal::{install_handlers, request_shutdown, reset_shutdown, shutdown_requested};

@@ -1,0 +1,95 @@
+//! The query-executor pool: `--workers` threads (default: one per core)
+//! pulling SQL and prepared-exec jobs from a shared queue.
+//!
+//! Queries run here, never on a connection's reader thread and never on
+//! the ingest coalescer — a connection saturated with slow queries backs
+//! up only its own admission gate (answered `Busy`), while other
+//! connections' queries ride the remaining workers and ingest keeps its
+//! dedicated thread.
+
+use crate::reply::Reply;
+use mltrace_protocol::Response;
+use mltrace_query::{execute, execute_prepared, PreparedQuery};
+use mltrace_store::{Value, WalStore};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One unit of query work.
+pub(crate) enum QueryJob {
+    /// One-shot SQL (or `EXPLAIN`).
+    Sql {
+        /// Statement text.
+        sql: String,
+        /// Responder.
+        reply: Reply,
+    },
+    /// Prepared statement + bound parameters. The statement is cloned out
+    /// of the connection's registry at dispatch, so the connection can
+    /// close or re-prepare without racing the worker.
+    Exec {
+        /// The prepared statement.
+        stmt: PreparedQuery,
+        /// Positional parameter values.
+        params: Vec<Value>,
+        /// Responder.
+        reply: Reply,
+    },
+}
+
+/// Worker loop: run jobs until the queue closes or shutdown is set and
+/// the queue is drained.
+pub(crate) fn run_worker(
+    store: Arc<WalStore>,
+    rx: Arc<Mutex<Receiver<QueryJob>>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("query queue lock");
+            match guard.recv_timeout(Duration::from_millis(50)) {
+                Ok(job) => job,
+                Err(RecvTimeoutError::Timeout) => {
+                    if shutdown.load(Ordering::Relaxed) {
+                        // Drain stragglers before exiting so no admitted
+                        // query goes unanswered.
+                        match guard.try_recv() {
+                            Ok(job) => job,
+                            Err(_) => return,
+                        }
+                    } else {
+                        continue;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        match job {
+            QueryJob::Sql { sql, reply } => {
+                let resp = match execute(store.as_ref(), &sql) {
+                    Ok(result) => Response::Rows {
+                        columns: result.columns,
+                        rows: result.rows,
+                    },
+                    Err(e) => Response::error(e.to_string()),
+                };
+                reply.send(resp);
+            }
+            QueryJob::Exec {
+                stmt,
+                params,
+                reply,
+            } => {
+                let resp = match execute_prepared(store.as_ref(), &stmt, &params) {
+                    Ok(result) => Response::Rows {
+                        columns: result.columns,
+                        rows: result.rows,
+                    },
+                    Err(e) => Response::error(e.to_string()),
+                };
+                reply.send(resp);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Response plumbing shared by the dispatch paths: a [`Reply`] carries
+//! everything needed to answer one request from any thread — the frame id
+//! to echo, the connection's writer channel, the per-op latency
+//! histogram, and the admission-gate slot that frees itself when the
+//! response goes out (or the reply is dropped on a dead connection).
+
+use mltrace_protocol::Response;
+use mltrace_telemetry::Histogram;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// RAII slot in a connection's `--max-inflight` admission gate.
+pub(crate) struct InflightGuard(Arc<AtomicUsize>);
+
+impl InflightGuard {
+    /// Try to take a slot; `None` means the connection is at its limit
+    /// and the request must be answered [`Response::Busy`] unexecuted.
+    pub fn acquire(inflight: &Arc<AtomicUsize>, limit: usize) -> Option<InflightGuard> {
+        let mut cur = inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= limit {
+                return None;
+            }
+            match inflight.compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Some(InflightGuard(inflight.clone())),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// How to answer one request.
+pub(crate) struct Reply {
+    /// Frame id to echo.
+    pub request_id: u64,
+    /// The connection's writer channel.
+    pub tx: Sender<(u64, Response)>,
+    /// Latency histogram for this op class (nanoseconds).
+    pub hist: Histogram,
+    /// When the request was admitted.
+    pub started: Instant,
+    /// Admission slot; released when the reply is sent or dropped.
+    pub _slot: Option<InflightGuard>,
+}
+
+impl Reply {
+    /// Record latency and queue the response to the connection writer.
+    /// A send error just means the connection died first; the admission
+    /// slot is released either way.
+    pub fn send(self, resp: Response) {
+        self.hist.record(self.started.elapsed().as_nanos() as u64);
+        let _ = self.tx.send((self.request_id, resp));
+    }
+}

@@ -1,0 +1,78 @@
+//! Ctrl-C / SIGTERM → a process-wide shutdown flag, with no dependency on
+//! a signal-handling crate: one raw `signal(2)` registration per signal.
+//!
+//! The handler only flips an `AtomicBool` (the one async-signal-safe
+//! thing worth doing); long-running loops poll [`shutdown_requested`] and
+//! unwind normally — flushing group-commit queues and fsyncing — instead
+//! of dying mid-batch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT/SIGTERM arrived (or [`request_shutdown`] was called).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Programmatic trigger (the protocol's `Shutdown` request, tests).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Reset the flag (between tests that share the process).
+pub fn reset_shutdown() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // `signal(2)` from the platform libc, declared directly — every Rust
+    // binary on this platform already links libc, and the full-featured
+    // bindings crate is not available in this build environment.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: flip the flag.
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No portable hook without a dependency; the flag still works via
+    /// [`super::request_shutdown`].
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handlers (idempotent).
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_roundtrip() {
+        reset_shutdown();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_shutdown();
+        assert!(!shutdown_requested());
+    }
+}

@@ -261,7 +261,7 @@ fn in_bounds(v: u64, lo: Option<u64>, hi: Option<u64>) -> bool {
 /// Predicate over journal events, mirroring [`crate::RunFilter`]: every
 /// field is a conjunct, `None` means "don't care". This is the unit the
 /// query planner pushes `WHERE` clauses into.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct EventFilter {
     /// Exact kind.
     pub kind: Option<EventKind>,

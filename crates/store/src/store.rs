@@ -26,7 +26,7 @@ use mltrace_telemetry::Telemetry;
 /// the paper's Ω(1 million)-nodes/day scale, issuing them as ~2+F separate
 /// locked store calls is the difference between saturating the hardware
 /// and serializing on the ingest path.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RunBundle {
     /// The run record to log (its `id` field is ignored; the store assigns
     /// a fresh [`RunId`], as for [`Store::log_run`]).
@@ -46,7 +46,7 @@ pub struct RunBundle {
 }
 
 /// Counters describing the current contents of a store.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct StoreStats {
     /// Registered components.
     pub components: usize,

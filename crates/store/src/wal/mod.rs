@@ -151,6 +151,26 @@ pub enum DurabilityPolicy {
     OnSync,
 }
 
+impl DurabilityPolicy {
+    /// Parse a CLI spelling: `every`, `onsync`, `batch:N`, `interval:MS`.
+    pub fn parse(s: &str) -> Option<DurabilityPolicy> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("every") || s.eq_ignore_ascii_case("everyevent") {
+            return Some(DurabilityPolicy::EveryEvent);
+        }
+        if s.eq_ignore_ascii_case("onsync") {
+            return Some(DurabilityPolicy::OnSync);
+        }
+        if let Some(n) = s.strip_prefix("batch:") {
+            return n.parse().ok().map(DurabilityPolicy::Batch);
+        }
+        if let Some(ms) = s.strip_prefix("interval:") {
+            return ms.parse().ok().map(DurabilityPolicy::Interval);
+        }
+        None
+    }
+}
+
 /// When the store checkpoints itself on the write path. A threshold of 0
 /// disables that trigger; [`CheckpointPolicy::disabled`] disables both,
 /// leaving only explicit [`WalStore::checkpoint`] calls.

@@ -47,10 +47,12 @@
 pub mod histogram;
 pub mod prometheus;
 pub mod registry;
+pub mod sidecar;
 pub mod snapshot;
 pub mod span;
 
 pub use histogram::{Histogram, BUCKET_COUNT};
 pub use registry::{Counter, Gauge, Telemetry};
+pub use sidecar::{merge_into_file, SidecarLock};
 pub use snapshot::{format_count, format_ns, HistogramSnapshot, TelemetrySnapshot};
 pub use span::TelemetrySpan;

@@ -1,0 +1,169 @@
+//! Cross-process coordination for the telemetry sidecar file.
+//!
+//! Every CLI invocation folds its registry into `<db>.telemetry` with a
+//! load → merge → save cycle. Two concurrent invocations (a `serve`
+//! process exiting while a `tail` exits, say) can interleave those
+//! cycles and silently drop one side's counters — or worse, one reads
+//! the other's half-written file. [`SidecarLock`] closes the race with
+//! an advisory `flock(2)` on a `<path>.lock` companion file: writers
+//! serialize, and because the lock file is separate from the data file,
+//! lock acquisition never truncates or touches the data.
+//!
+//! Advisory means cooperating processes only — which is exactly the
+//! scope here (every writer goes through [`merge_into_file`]). Readers
+//! that skip the lock still degrade gracefully: the lenient loader
+//! salvages the complete prefix of a mid-write file.
+//!
+//! On non-Unix targets the lock is a no-op and the cycle keeps its old
+//! last-writer-wins behavior.
+
+use crate::snapshot::TelemetrySnapshot;
+use std::fs::File;
+use std::path::Path;
+
+/// Held advisory lock on a sidecar's `.lock` companion. Released on
+/// drop (and by the OS if the process dies, which is the point of
+/// `flock` over lock-file existence checks).
+#[derive(Debug)]
+pub struct SidecarLock {
+    // Keep the descriptor alive for the lock's lifetime.
+    _file: File,
+}
+
+impl SidecarLock {
+    /// Block until the exclusive advisory lock for `sidecar_path` is
+    /// held. Lock acquisition failures (unsupported filesystem, no
+    /// permission to create the companion) degrade to an unlocked
+    /// guard: telemetry persistence must never become fatal.
+    pub fn acquire(sidecar_path: impl AsRef<Path>) -> std::io::Result<SidecarLock> {
+        let mut lock_path = sidecar_path.as_ref().as_os_str().to_owned();
+        lock_path.push(".lock");
+        let file = File::options()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&lock_path)?;
+        imp::lock_exclusive(&file)?;
+        Ok(SidecarLock { _file: file })
+    }
+}
+
+impl Drop for SidecarLock {
+    fn drop(&mut self) {
+        imp::unlock(&self._file);
+    }
+}
+
+/// The locked load → merge → save cycle: fold `live` into the sidecar
+/// at `path` under the advisory lock. Returns the loader's salvage
+/// warning, if any. Errors at any stage (lock, save) are swallowed —
+/// the sidecar is best-effort by contract.
+pub fn merge_into_file(path: impl AsRef<Path>, live: &TelemetrySnapshot) -> Option<String> {
+    let path = path.as_ref();
+    let _lock = SidecarLock::acquire(path).ok();
+    let (mut snap, warning) = TelemetrySnapshot::load_file_lenient(path);
+    snap.merge(live);
+    let _ = snap.save_file(path);
+    warning
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const LOCK_EX: i32 = 2;
+    const LOCK_UN: i32 = 8;
+
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+
+    pub fn lock_exclusive(file: &File) -> std::io::Result<()> {
+        loop {
+            // SAFETY: fd is owned by `file`, which outlives the call.
+            let rc = unsafe { flock(file.as_raw_fd(), LOCK_EX) };
+            if rc == 0 {
+                return Ok(());
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    pub fn unlock(file: &File) {
+        // SAFETY: as above; close() would release the lock anyway.
+        unsafe { flock(file.as_raw_fd(), LOCK_UN) };
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::fs::File;
+
+    pub fn lock_exclusive(_file: &File) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    pub fn unlock(_file: &File) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+    use std::sync::Arc;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        let pid = std::process::id();
+        p.push(format!("mltrace-sidecar-{tag}-{pid}.telemetry"));
+        let _ = std::fs::remove_file(&p);
+        let mut lock = p.clone().into_os_string();
+        lock.push(".lock");
+        let _ = std::fs::remove_file(lock);
+        p
+    }
+
+    #[test]
+    fn lock_is_reacquirable_after_drop() {
+        let path = temp_path("reacquire");
+        let first = SidecarLock::acquire(&path).expect("first acquire");
+        drop(first);
+        let second = SidecarLock::acquire(&path).expect("second acquire");
+        drop(second);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_merges_lose_nothing() {
+        // Without the lock, concurrent load→merge→save cycles interleave
+        // and drop increments; with it, every thread's count survives.
+        let path = Arc::new(temp_path("race"));
+        const THREADS: usize = 8;
+        const MERGES: usize = 10;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..MERGES {
+                        let t = Telemetry::new();
+                        t.counter("sidecar.race_total").incr();
+                        merge_into_file(path.as_ref(), &t.snapshot());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = TelemetrySnapshot::load_file(path.as_ref()).expect("sidecar readable");
+        assert_eq!(
+            snap.counters["sidecar.race_total"],
+            (THREADS * MERGES) as u64
+        );
+        let _ = std::fs::remove_file(path.as_ref());
+    }
+}

@@ -4,11 +4,14 @@
 //! workspace. See the individual crates for details.
 #![warn(missing_docs)]
 
+pub use mltrace_client as client;
 pub use mltrace_core as core;
 pub use mltrace_metrics as metrics;
 pub use mltrace_pipeline as pipeline;
+pub use mltrace_protocol as protocol;
 pub use mltrace_provenance as provenance;
 pub use mltrace_query as query;
+pub use mltrace_server as server;
 pub use mltrace_store as store;
 pub use mltrace_taxi as taxi;
 pub use mltrace_telemetry as telemetry;

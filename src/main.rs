@@ -17,13 +17,16 @@
 //! mltrace --db obs.wal stats
 //! ```
 
+use mltrace::client::load::{run_load, LoadConfig};
 use mltrace::core::{
     build_graph, diagnose_key, diagnose_open_incidents, diagnose_run, export_trace, Commands,
     Mltrace, TraceFormat,
 };
 use mltrace::query::execute;
+use mltrace::server::{install_handlers, shutdown_requested, ServeConfig, Server};
 use mltrace::store::deletion::delete_derived;
 use mltrace::store::retention::compact_older_than_days;
+use mltrace::store::wal::DurabilityPolicy;
 use mltrace::store::wal::{read_journal, JournalFollower};
 use mltrace::store::{
     EventFilter, EventKind, EventSeverity, IncidentState, RunId, Store, Value, WalStore,
@@ -68,6 +71,24 @@ COMMANDS
                              graph: for one incident, one run, or (no
                              args) every unresolved incident
   telemetry [--prometheus]   the engine's own counters and latency histograms
+  serve [--addr <host:port>] [--workers <n>] [--max-inflight <n>]
+        [--coalesce-ms <n>] [--coalesce-max <n>] [--durability <policy>]
+                             multi-client TCP front-end: batched ingest
+                             rides one group commit across connections,
+                             prepared queries run on a worker pool, and
+                             per-connection --max-inflight answers Busy
+                             instead of queueing unbounded; durability
+                             defaults to onsync (also: every, batch:N,
+                             interval:MS); Ctrl-C drains and fsyncs
+  bench-load [--addr <host:port>] [--writers <n>] [--readers <n>]
+             [--runs <n>] [--batch <n>] [--metrics <n>]
+             [--prefix <name>] [--retry-busy] [--pipeline <n>]
+                             E18 load harness against a running serve:
+                             N writer connections batching ingest, M
+                             readers looping a PREPAREd count;
+                             --pipeline keeps n ingest requests in
+                             flight per writer (provokes Busy under a
+                             small --max-inflight)
   sql <query>                ad-hoc SQL over the log tables
   explain <query>            the plan for a SELECT (route, pushdown, pruning)
                              without running it; same as sql \"EXPLAIN ...\"
@@ -125,6 +146,16 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     // processes' appends; handled before the long-lived open below.
     if command == "monitor" {
         return monitor(&db, rest);
+    }
+
+    // `serve` owns its store exclusively (serve-mode durability differs)
+    // and blocks for the server's lifetime; `bench-load` is a pure
+    // network client and opens no store at all.
+    if command == "serve" {
+        return serve(&db, rest);
+    }
+    if command == "bench-load" {
+        return bench_load(rest);
     }
 
     let store = Arc::new(WalStore::open(&db).map_err(|e| format!("open {db}: {e}"))?);
@@ -406,15 +437,161 @@ fn telemetry_sidecar(db: &str) -> String {
     format!("{db}.telemetry")
 }
 
-/// Fold this process's telemetry into the sidecar (load → merge → save).
-/// Telemetry loss is never fatal: a concurrently-truncated or corrupt
-/// sidecar degrades to its salvageable prefix (or empty), mirroring how
-/// the WAL treats a torn tail, and errors on save are swallowed.
+/// Fold this process's telemetry into the sidecar (load → merge → save),
+/// under the sidecar's advisory file lock so concurrent invocations
+/// serialize instead of dropping each other's counters. Telemetry loss
+/// is never fatal: a corrupt sidecar degrades to its salvageable prefix
+/// (or empty), mirroring how the WAL treats a torn tail, and errors on
+/// lock or save are swallowed.
 fn persist_telemetry(db: &str, live: &TelemetrySnapshot) {
-    let path = telemetry_sidecar(db);
-    let (mut snap, _warning) = TelemetrySnapshot::load_file_lenient(&path);
-    snap.merge(live);
-    let _ = snap.save_file(&path);
+    mltrace::telemetry::sidecar::merge_into_file(telemetry_sidecar(db), live);
+}
+
+/// `serve`: run the multi-client TCP front-end over one exclusively-held
+/// store until Ctrl-C, SIGTERM, or a protocol Shutdown request, then
+/// drain both work queues and fsync the WAL before exiting. Serve-mode
+/// durability defaults to `onsync`: the server's ingest coalescer issues
+/// one sync per merged cross-connection batch, which is what turns N
+/// concurrent writers into group commits instead of N fsyncs.
+fn serve(db: &str, rest: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    let mut durability = DurabilityPolicy::OnSync;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--addr" => {
+                cfg.addr = rest.get(i + 1).ok_or("--addr needs host:port")?.clone();
+                i += 2;
+            }
+            "--workers" => {
+                cfg.workers =
+                    parse_num(Some(rest.get(i + 1).ok_or("--workers needs a number")?), 0)?;
+                i += 2;
+            }
+            "--max-inflight" => {
+                let n = parse_num(
+                    Some(rest.get(i + 1).ok_or("--max-inflight needs a number")?),
+                    64,
+                )?;
+                if n == 0 {
+                    return Err("--max-inflight must be at least 1".into());
+                }
+                cfg.max_inflight = n;
+                i += 2;
+            }
+            "--coalesce-ms" => {
+                cfg.coalesce_ms = parse_num(
+                    Some(rest.get(i + 1).ok_or("--coalesce-ms needs a number")?),
+                    2,
+                )? as u64;
+                i += 2;
+            }
+            "--coalesce-max" => {
+                let n = parse_num(
+                    Some(rest.get(i + 1).ok_or("--coalesce-max needs a number")?),
+                    256,
+                )?;
+                if n == 0 {
+                    return Err("--coalesce-max must be at least 1".into());
+                }
+                cfg.coalesce_max = n;
+                i += 2;
+            }
+            "--durability" => {
+                let name = rest.get(i + 1).ok_or("--durability needs a policy")?;
+                durability = DurabilityPolicy::parse(name).ok_or_else(|| {
+                    format!("unknown durability '{name}' (every|onsync|batch:N|interval:MS)")
+                })?;
+                i += 2;
+            }
+            other => return Err(format!("unknown serve option '{other}'")),
+        }
+    }
+    install_handlers();
+    let store =
+        Arc::new(WalStore::open_with(db, durability).map_err(|e| format!("open {db}: {e}"))?);
+    if store.recovered() {
+        eprintln!(
+            "warning: {db}: torn write from a previous crash truncated away; \
+             the log is consistent up to the last complete record"
+        );
+    }
+    let server = Server::bind(store.clone(), cfg.clone()).map_err(err)?;
+    let addr = server.local_addr().map_err(err)?;
+    eprintln!(
+        "serving {db} on {addr} (workers {}, max-inflight {}, durability {:?}) — Ctrl-C to stop",
+        if cfg.workers == 0 {
+            "auto".to_string()
+        } else {
+            cfg.workers.to_string()
+        },
+        cfg.max_inflight,
+        durability,
+    );
+    server.run().map_err(err)?;
+    // run() returned: queues are drained and the WAL is fsynced. Fold the
+    // session's telemetry (server.* counters included) into the sidecar.
+    if let Some(t) = store.telemetry() {
+        persist_telemetry(db, &t.snapshot());
+    }
+    eprintln!("shut down cleanly: ingest drained, WAL flushed and fsynced");
+    Ok(())
+}
+
+/// `bench-load`: the E18 client-side load harness (see
+/// [`mltrace::client::load`]). Needs a `serve` process to aim at.
+fn bench_load(rest: &[String]) -> Result<(), String> {
+    let mut cfg = LoadConfig::default();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--addr" => {
+                cfg.addr = rest.get(i + 1).ok_or("--addr needs host:port")?.clone();
+                i += 2;
+            }
+            "--writers" => {
+                cfg.writers =
+                    parse_num(Some(rest.get(i + 1).ok_or("--writers needs a number")?), 4)?;
+                i += 2;
+            }
+            "--readers" => {
+                cfg.readers =
+                    parse_num(Some(rest.get(i + 1).ok_or("--readers needs a number")?), 2)?;
+                i += 2;
+            }
+            "--runs" => {
+                cfg.runs_per_writer =
+                    parse_num(Some(rest.get(i + 1).ok_or("--runs needs a number")?), 500)?;
+                i += 2;
+            }
+            "--batch" => {
+                cfg.batch = parse_num(Some(rest.get(i + 1).ok_or("--batch needs a number")?), 8)?;
+                i += 2;
+            }
+            "--metrics" => {
+                cfg.metrics_per_batch =
+                    parse_num(Some(rest.get(i + 1).ok_or("--metrics needs a number")?), 4)?;
+                i += 2;
+            }
+            "--prefix" => {
+                cfg.component_prefix = rest.get(i + 1).ok_or("--prefix needs a name")?.clone();
+                i += 2;
+            }
+            "--retry-busy" => {
+                cfg.retry_busy = true;
+                i += 1;
+            }
+            "--pipeline" => {
+                cfg.pipeline =
+                    parse_num(Some(rest.get(i + 1).ok_or("--pipeline needs a number")?), 1)?.max(1);
+                i += 2;
+            }
+            other => return Err(format!("unknown bench-load option '{other}'")),
+        }
+    }
+    let report = run_load(&cfg).map_err(err)?;
+    println!("{}", report.render());
+    Ok(())
 }
 
 /// Parse `tail` options into (filter, limit, follow, poll interval).
@@ -514,14 +691,36 @@ fn tail(db: &str, rest: &[String]) -> Result<(), String> {
 /// fresh active log. Sealed segments whose zone footer excludes the
 /// filter are skipped without decoding.
 fn follow_journal(db: &str, filter: &EventFilter, poll_ms: u64) -> Result<(), String> {
+    install_handlers();
     let mut follower = JournalFollower::from_end(db)
         .map_err(err)?
         .with_filter(filter.clone());
-    loop {
-        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    while !shutdown_requested() {
+        sleep_interruptible(poll_ms);
         for e in follower.poll().map_err(err)? {
             println!("{}", e.render_line());
         }
+    }
+    // Ctrl-C: the follower only reads, so a clean exit needs no flush —
+    // but drain one final poll so nothing already journaled is missed.
+    for e in follower.poll().map_err(err)? {
+        println!("{}", e.render_line());
+    }
+    eprintln!("(interrupted — tail exiting cleanly)");
+    Ok(())
+}
+
+/// Sleep up to `ms`, waking early if Ctrl-C/SIGTERM arrives, so follow
+/// loops with long poll intervals still exit promptly.
+fn sleep_interruptible(ms: u64) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+    while !shutdown_requested() {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let quantum = std::cmp::min(std::time::Duration::from_millis(50), deadline - now);
+        std::thread::sleep(quantum);
     }
 }
 
@@ -562,6 +761,9 @@ fn monitor(db: &str, rest: &[String]) -> Result<(), String> {
             }
             other => return Err(format!("unknown monitor option '{other}'")),
         }
+    }
+    if watch {
+        install_handlers();
     }
     loop {
         let store = WalStore::open(db).map_err(|e| format!("open {db}: {e}"))?;
@@ -608,12 +810,18 @@ fn monitor(db: &str, rest: &[String]) -> Result<(), String> {
                 );
             }
         }
-        if !watch {
+        if !watch || shutdown_requested() {
+            // Flush before exit: the open above replays the log and may
+            // have appended monitoring-plane output; make it durable.
+            store.sync().map_err(err)?;
+            if watch {
+                eprintln!("(interrupted — monitor exiting cleanly)");
+            }
             return Ok(());
         }
         drop(store);
         println!();
-        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+        sleep_interruptible(poll_ms);
     }
 }
 

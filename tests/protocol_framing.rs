@@ -1,0 +1,153 @@
+//! Property suite for the wire protocol's framing layer (satellite of
+//! the serve front-end): any sequence of frames survives
+//! encode → arbitrary re-chunking → decode byte-for-byte; a torn
+//! trailing frame surfaces as a clean `UnexpectedEof` (never a panic or
+//! a misparse of the preceding complete frames); and arbitrary garbage
+//! bytes produce errors, not panics. These are the invariants the
+//! server's incremental reader and the client's blocking reader both
+//! lean on.
+
+use mltrace::protocol::{
+    decode_frame, encode_frame, read_frame, Frame, FrameError, LEN_PREFIX, MAX_FRAME_LEN,
+};
+use proptest::prelude::*;
+use std::io::{Cursor, ErrorKind};
+
+/// A strategy for one frame: any request id, bodies up to 4 KiB (the
+/// size cap itself is covered by unit tests in the crate).
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..4096),
+    )
+        .prop_map(|(id, body)| Frame::new(id, body))
+}
+
+/// Incrementally decode `stream` in chunks of the given sizes (cycled),
+/// the way the server's reader consumes a socket.
+fn decode_chunked(stream: &[u8], chunks: &[usize]) -> Result<Vec<Frame>, FrameError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    let mut i = 0;
+    while offset < stream.len() {
+        let n = chunks[i % chunks.len()].max(1).min(stream.len() - offset);
+        i += 1;
+        buf.extend_from_slice(&stream[offset..offset + n]);
+        offset += n;
+        while let Some((frame, used)) = decode_frame(&buf)? {
+            buf.drain(..used);
+            frames.push(frame);
+        }
+    }
+    if !buf.is_empty() {
+        return Err(FrameError::Torn {
+            have: buf.len(),
+            want: buf.len() + 1, // placeholder: tail incomplete
+        });
+    }
+    Ok(frames)
+}
+
+proptest! {
+    /// Encode → re-chunk → decode is the identity on frame sequences,
+    /// whatever the chunk boundaries.
+    #[test]
+    fn frame_sequences_roundtrip_under_any_chunking(
+        frames in proptest::collection::vec(frame_strategy(), 0..8),
+        chunks in proptest::collection::vec(1usize..97, 1..8),
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        let decoded = decode_chunked(&stream, &chunks).expect("well-formed stream");
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Truncating the stream mid-frame never corrupts the complete
+    /// prefix: every whole frame still decodes, the tail reports torn.
+    #[test]
+    fn torn_tail_preserves_complete_prefix(
+        frames in proptest::collection::vec(frame_strategy(), 1..6),
+        cut_back in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        let mut boundaries = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+            boundaries.push(stream.len());
+        }
+        // Cut strictly inside the last frame: at least one byte of it
+        // removed, at least one byte of it left.
+        let prev_end = if frames.len() >= 2 { boundaries[frames.len() - 2] } else { 0 };
+        let cut = (stream.len() - cut_back.min(stream.len() - prev_end - 1)).max(prev_end + 1);
+        stream.truncate(cut);
+
+        // Streaming reader: whole frames come out, then UnexpectedEof.
+        let mut cursor = Cursor::new(stream.clone());
+        for expected in &frames[..frames.len() - 1] {
+            let got = read_frame(&mut cursor).expect("complete frame").expect("not EOF");
+            prop_assert_eq!(&got, expected);
+        }
+        match read_frame(&mut cursor) {
+            Err(e) => prop_assert_eq!(e.kind(), ErrorKind::UnexpectedEof),
+            Ok(other) => prop_assert!(false, "torn tail parsed as {:?}", other),
+        }
+
+        // Incremental decoder: same prefix, and the tail never yields a
+        // frame (decode_frame reports NeedMore, not a misparse).
+        let mut buf = stream;
+        let mut decoded = Vec::new();
+        loop {
+            match decode_frame(&buf) {
+                Ok(Some((frame, used))) => {
+                    buf.drain(..used);
+                    decoded.push(frame);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    prop_assert!(false, "well-formed prefix rejected: {e}");
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(decoded, frames[..frames.len() - 1].to_vec());
+        prop_assert!(!buf.is_empty(), "the torn tail must remain buffered");
+    }
+
+    /// Arbitrary bytes never panic the decoder: every outcome is a
+    /// frame, a need-more, or a typed error.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        match decode_frame(&bytes) {
+            Ok(Some((frame, used))) => {
+                prop_assert!(used <= bytes.len());
+                prop_assert!(frame.body.len() <= MAX_FRAME_LEN);
+            }
+            Ok(None) => {}
+            Err(_) => {}
+        }
+        let mut cursor = Cursor::new(bytes);
+        loop {
+            match read_frame(&mut cursor) {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// A declared length beyond the cap is rejected before any
+    /// allocation of that size — the anti-DoS guard.
+    #[test]
+    fn oversized_declarations_rejected(extra in 1u32..1024, id in any::<u64>()) {
+        let declared = (MAX_FRAME_LEN as u32).saturating_add(extra);
+        let mut bytes = Vec::with_capacity(LEN_PREFIX + 8);
+        bytes.extend_from_slice(&declared.to_be_bytes());
+        bytes.extend_from_slice(&id.to_be_bytes());
+        match decode_frame(&bytes) {
+            Err(FrameError::Oversized { .. }) => {}
+            other => prop_assert!(false, "oversized len accepted: {:?}", other),
+        }
+    }
+}

@@ -14,11 +14,12 @@
 //! [`execute_query_with_route`]: mltrace::query::execute_query_with_route
 
 use mltrace::query::{
-    execute_query, execute_query_unoptimized, execute_query_with_route, parse, RoutePreference,
+    execute, execute_prepared, execute_query, execute_query_unoptimized, execute_query_with_route,
+    parse, prepare, RoutePreference,
 };
 use mltrace::store::{
     ComponentRecord, ComponentRunRecord, DiagnosisRecord, EventKind, EventSeverity, IncidentRecord,
-    IncidentState, MemoryStore, MetricRecord, ObservabilityEvent, RunId, RunStatus, Store,
+    IncidentState, MemoryStore, MetricRecord, ObservabilityEvent, RunId, RunStatus, Store, Value,
     WalStore,
 };
 
@@ -599,6 +600,144 @@ fn aggregate_equivalence_with_nonfinite_metrics() {
     // Reopen: the sentinel-encoded points must replay byte-exactly.
     let replayed = WalStore::open(&path).unwrap();
     check(&replayed);
+}
+
+/// The parameterized grid for the prepared-statement axis: each entry is
+/// a template with `?` placeholders, the values to bind, and the literal
+/// spelling the bound query must be indistinguishable from. Binding
+/// happens before planning, so for every cell the PREPAREd execution
+/// must match the literal one row for row AND produce the identical
+/// EXPLAIN plan — same route, same pushdown, same pruning.
+fn prepared_grid() -> Vec<(&'static str, Vec<Value>, &'static str)> {
+    vec![
+        (
+            "SELECT * FROM component_runs WHERE component = ? ORDER BY id",
+            vec![Value::Str("etl".into())],
+            "SELECT * FROM component_runs WHERE component = 'etl' ORDER BY id",
+        ),
+        (
+            "SELECT * FROM runs WHERE start_ms BETWEEN ? AND ? ORDER BY id LIMIT 25",
+            vec![Value::Int(1200), Value::Int(1800)],
+            "SELECT * FROM runs WHERE start_ms BETWEEN 1200 AND 1800 ORDER BY id LIMIT 25",
+        ),
+        (
+            "SELECT * FROM runs WHERE status = ? AND component = ? ORDER BY id",
+            vec![Value::Str("failed".into()), Value::Str("train".into())],
+            "SELECT * FROM runs WHERE status = 'failed' AND component = 'train' ORDER BY id",
+        ),
+        (
+            "SELECT component, count(*) AS n, avg(duration_ms) AS a FROM runs \
+             WHERE start_ms >= ? GROUP BY component HAVING count(*) > ? ORDER BY component",
+            vec![Value::Int(1500), Value::Int(5)],
+            "SELECT component, count(*) AS n, avg(duration_ms) AS a FROM runs \
+             WHERE start_ms >= 1500 GROUP BY component HAVING count(*) > 5 ORDER BY component",
+        ),
+        (
+            "SELECT * FROM metrics WHERE component = ? AND value > ? LIMIT 7",
+            vec![Value::Str("infer".into()), Value::Float(0.6)],
+            "SELECT * FROM metrics WHERE component = 'infer' AND value > 0.6 LIMIT 7",
+        ),
+        (
+            "SELECT * FROM events WHERE severity = ? AND ts_ms BETWEEN ? AND ? \
+             ORDER BY ts_ms DESC",
+            vec![
+                Value::Str("page".into()),
+                Value::Int(2050),
+                Value::Int(2200),
+            ],
+            "SELECT * FROM events WHERE severity = 'page' AND ts_ms BETWEEN 2050 AND 2200 \
+             ORDER BY ts_ms DESC",
+        ),
+        (
+            "SELECT r.id, e.kind FROM runs r JOIN events e ON e.run_id = r.id \
+             WHERE r.component = ? AND e.severity = ? ORDER BY r.id, e.kind",
+            vec![Value::Str("etl".into()), Value::Str("info".into())],
+            "SELECT r.id, e.kind FROM runs r JOIN events e ON e.run_id = r.id \
+             WHERE r.component = 'etl' AND e.severity = 'info' ORDER BY r.id, e.kind",
+        ),
+        (
+            "SELECT * FROM diagnoses WHERE incident_key = ? ORDER BY rank",
+            vec![Value::Str("infer/accuracy".into())],
+            "SELECT * FROM diagnoses WHERE incident_key = 'infer/accuracy' ORDER BY rank",
+        ),
+        // A parameter the pushdown can't use (OR) still binds correctly.
+        (
+            "SELECT * FROM runs WHERE component = ? OR status = ? ORDER BY id",
+            vec![Value::Str("etl".into()), Value::Str("failed".into())],
+            "SELECT * FROM runs WHERE component = 'etl' OR status = 'failed' ORDER BY id",
+        ),
+    ]
+}
+
+/// PREPARE + bind must be indistinguishable from the literal query:
+/// identical result rows and identical EXPLAIN output (same route, same
+/// pushdown decisions), because placeholders are substituted before the
+/// planner ever sees the query.
+fn assert_prepared_equivalent(store: &dyn Store) {
+    for (template, params, literal) in prepared_grid() {
+        let stmt =
+            prepare(template).unwrap_or_else(|e| panic!("prepare failed for {template}: {e}"));
+        assert_eq!(stmt.param_count(), params.len(), "{template}");
+        let bound = execute_prepared(store, &stmt, &params)
+            .unwrap_or_else(|e| panic!("exec failed for {template}: {e}"));
+        let lit =
+            execute(store, literal).unwrap_or_else(|e| panic!("literal failed for {literal}: {e}"));
+        assert_eq!(bound, lit, "prepared diverged from literal for: {template}");
+
+        let explain_stmt = prepare(&format!("EXPLAIN {template}")).unwrap();
+        assert!(explain_stmt.is_explain());
+        let bound_plan = execute_prepared(store, &explain_stmt, &params)
+            .unwrap_or_else(|e| panic!("prepared EXPLAIN failed for {template}: {e}"));
+        let lit_plan = execute(store, &format!("EXPLAIN {literal}")).unwrap();
+        assert_eq!(
+            bound_plan, lit_plan,
+            "prepared EXPLAIN route diverged from literal for: {template}"
+        );
+    }
+}
+
+#[test]
+fn prepared_statements_match_literals_memory_store() {
+    let store = MemoryStore::new();
+    seed(&store);
+    assert_prepared_equivalent(&store);
+}
+
+#[test]
+fn prepared_statements_match_literals_wal_store() {
+    let dir = tempfile::tempdir().unwrap();
+    let store = WalStore::open(dir.path().join("prepared.wal")).unwrap();
+    seed(&store);
+    assert_prepared_equivalent(&store);
+}
+
+/// Binding is strict: wrong arity fails, and the same statement re-binds
+/// cleanly with different parameters (the whole point of PREPARE).
+#[test]
+fn prepared_statements_rebind_and_check_arity() {
+    let store = MemoryStore::new();
+    seed(&store);
+    let stmt = prepare("SELECT count(*) AS n FROM runs WHERE component = ?").unwrap();
+    assert!(stmt.bind(&[]).is_err(), "missing parameter must fail");
+    assert!(
+        stmt.bind(&[Value::Str("etl".into()), Value::Int(1)])
+            .is_err(),
+        "extra parameter must fail"
+    );
+    for component in COMPONENTS {
+        let bound =
+            execute_prepared(store_ref(&store), &stmt, &[Value::Str(component.into())]).unwrap();
+        let lit = execute(
+            store_ref(&store),
+            &format!("SELECT count(*) AS n FROM runs WHERE component = '{component}'"),
+        )
+        .unwrap();
+        assert_eq!(bound, lit, "rebind diverged for {component}");
+    }
+}
+
+fn store_ref(store: &MemoryStore) -> &dyn Store {
+    store
 }
 
 /// The parallel per-shard fold must be invariant to worker count: one

@@ -1,0 +1,455 @@
+//! End-to-end acceptance for the serve front-end: concurrent writers and
+//! prepared-query readers against one server must (a) leave the store
+//! row-for-row identical to the same workload applied embedded, (b)
+//! actually coalesce — the `wal.group_commit_events` batch-size
+//! histogram's mean exceeds 1 under concurrent writers, and (c) honor
+//! the admission contract: a saturated reader connection collects `Busy`
+//! while an independent writer connection keeps its throughput. A
+//! multi-process leg drives real `mltrace serve` / `mltrace bench-load`
+//! processes and checks graceful SIGINT shutdown.
+
+use mltrace::client::load::{synthetic_metric, synthetic_run};
+use mltrace::client::{Client, ClientError};
+use mltrace::protocol::{Request, Response};
+use mltrace::server::{ServeConfig, Server};
+use mltrace::store::wal::DurabilityPolicy;
+use mltrace::store::{ComponentRecord, ComponentRunRecord, Store, Value, WalStore};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WRITERS: usize = 4;
+const READERS: usize = 2;
+const RUNS_PER_WRITER: usize = 120;
+const BATCH: usize = 6;
+
+/// Bind a server on an OS-assigned port over a fresh OnSync WAL (the
+/// serve-mode default) and run it on a background thread.
+fn start_server(
+    path: &std::path::Path,
+    cfg: ServeConfig,
+) -> (
+    Arc<WalStore>,
+    SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let store = Arc::new(WalStore::open_with(path, DurabilityPolicy::OnSync).unwrap());
+    let server = Server::bind(store.clone(), cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+    (store, addr, handle)
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    }
+}
+
+/// The canonical comparison key for a run row: everything the client
+/// sent (ids are store-assigned and order-dependent, so excluded).
+fn run_key(r: &ComponentRunRecord) -> (String, u64, u64, String, String, String) {
+    (
+        r.component.clone(),
+        r.start_ms,
+        r.end_ms,
+        r.code_hash.clone(),
+        r.notes.clone(),
+        r.status.name().to_string(),
+    )
+}
+
+fn all_run_keys(store: &dyn Store) -> Vec<(String, u64, u64, String, String, String)> {
+    let mut keys: Vec<_> = store
+        .run_ids()
+        .unwrap()
+        .into_iter()
+        .filter_map(|id| store.run(id).unwrap())
+        .map(|r| run_key(&r))
+        .collect();
+    keys.sort();
+    keys
+}
+
+#[test]
+fn concurrent_clients_match_embedded_workload_and_coalesce() {
+    let dir = tempfile::tempdir().unwrap();
+    let served_path = dir.path().join("served.wal");
+    let (store, addr, server) = start_server(&served_path, serve_cfg());
+
+    // One setup connection registers all components.
+    let components: Vec<String> = (0..WRITERS).map(|i| format!("loadgen-{i}")).collect();
+    {
+        let mut setup = Client::connect(addr).unwrap();
+        let n = setup
+            .register_components(
+                components
+                    .iter()
+                    .map(|c| ComponentRecord::named(c))
+                    .collect(),
+            )
+            .unwrap();
+        assert_eq!(n as usize, WRITERS);
+    }
+
+    // N writers × M prepared-query readers, each on its own connection.
+    let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for component in components.clone() {
+        let done = done.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut seq = 0;
+            while seq < RUNS_PER_WRITER {
+                let n = BATCH.min(RUNS_PER_WRITER - seq);
+                let runs: Vec<_> = (seq..seq + n)
+                    .map(|s| synthetic_run(&component, s))
+                    .collect();
+                let ids = client.log_runs(runs).unwrap();
+                assert_eq!(ids.len(), n);
+                let metrics: Vec<_> = (0..2)
+                    .map(|k| synthetic_metric(&component, seq, k))
+                    .collect();
+                assert_eq!(client.log_metrics(metrics).unwrap(), 2);
+                seq += n;
+            }
+            done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }));
+    }
+    for r in 0..READERS {
+        let components = components.clone();
+        let done = done.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let stmt = client
+                .prepare("SELECT count(*) AS n FROM component_runs WHERE component = ?")
+                .unwrap();
+            assert_eq!(stmt.params, 1);
+            let mut turn = r;
+            while done.load(std::sync::atomic::Ordering::Relaxed) < WRITERS {
+                let component = &components[turn % components.len()];
+                turn += 1;
+                let rows = client
+                    .exec(stmt, vec![Value::Str(component.clone())])
+                    .unwrap();
+                assert_eq!(rows.columns, vec!["n".to_string()]);
+                assert_eq!(rows.rows.len(), 1);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Stop via the protocol; run() drains and fsyncs before returning.
+    let mut control = Client::connect(addr).unwrap();
+    control.shutdown_server().unwrap();
+    server.join().unwrap().unwrap();
+
+    // (b) Coalescing actually happened: the WAL's group-commit batch
+    // sizes averaged above one event per fsync.
+    let snap = store.telemetry().unwrap().snapshot();
+    let gc = &snap.histograms["wal.group_commit_events"];
+    let mean = gc.mean().unwrap();
+    assert!(
+        mean > 1.0,
+        "group commit mean {mean:.2} — concurrent ingest did not coalesce"
+    );
+    assert!(snap.counters["server.requests_total"] > 0);
+    assert!(
+        snap.histograms["server.coalesce_batch_size"].count > 0,
+        "ingest must flow through the coalescer"
+    );
+    drop(store);
+
+    // (a) Row-for-row identity with the embedded equivalent, after a
+    // cold reopen of the served store.
+    let embedded_path = dir.path().join("embedded.wal");
+    let embedded = WalStore::open_with(&embedded_path, DurabilityPolicy::OnSync).unwrap();
+    for c in &components {
+        embedded
+            .register_component(ComponentRecord::named(c))
+            .unwrap();
+    }
+    for component in &components {
+        let mut seq = 0;
+        while seq < RUNS_PER_WRITER {
+            let n = BATCH.min(RUNS_PER_WRITER - seq);
+            embedded
+                .log_runs(
+                    (seq..seq + n)
+                        .map(|s| synthetic_run(component, s))
+                        .collect(),
+                )
+                .unwrap();
+            embedded
+                .log_metrics(
+                    (0..2)
+                        .map(|k| synthetic_metric(component, seq, k))
+                        .collect(),
+                )
+                .unwrap();
+            seq += n;
+        }
+    }
+    embedded.sync().unwrap();
+
+    let reopened = WalStore::open(&served_path).unwrap();
+    assert_eq!(all_run_keys(&reopened), all_run_keys(&embedded));
+    let served_stats = reopened.stats().unwrap();
+    let embedded_stats = embedded.stats().unwrap();
+    assert_eq!(served_stats.runs, WRITERS * RUNS_PER_WRITER);
+    assert_eq!(served_stats.runs, embedded_stats.runs);
+    assert_eq!(served_stats.metric_points, embedded_stats.metric_points);
+    assert_eq!(served_stats.components, embedded_stats.components);
+}
+
+/// Time how long one writer connection takes to push `batches` run
+/// batches (each acknowledged, so this measures full round trips).
+fn writer_elapsed(addr: SocketAddr, component: &str, batches: usize) -> Duration {
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .register_components(vec![ComponentRecord::named(component)])
+        .unwrap();
+    let started = Instant::now();
+    for b in 0..batches {
+        let runs: Vec<_> = (b * BATCH..(b + 1) * BATCH)
+            .map(|s| synthetic_run(component, s))
+            .collect();
+        client.log_runs(runs).unwrap();
+    }
+    started.elapsed()
+}
+
+#[test]
+fn saturated_reader_gets_busy_while_writers_keep_moving() {
+    let dir = tempfile::tempdir().unwrap();
+    let (store, addr, server) = start_server(
+        &dir.path().join("busy.wal"),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            max_inflight: 1,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Seed enough rows that a full-scan aggregate is slow relative to
+    // the reader's pipelined send rate.
+    {
+        let mut seeder = Client::connect(addr).unwrap();
+        seeder
+            .register_components(vec![ComponentRecord::named("seed")])
+            .unwrap();
+        for b in 0..40 {
+            let runs: Vec<_> = (b * 100..(b + 1) * 100)
+                .map(|s| synthetic_run("seed", s))
+                .collect();
+            seeder.log_runs(runs).unwrap();
+        }
+    }
+
+    // Uncontended baseline for the writer.
+    let baseline = writer_elapsed(addr, "uncontended", 20);
+
+    // Saturate a dedicated reader connection: pipeline a burst of heavy
+    // queries without receiving. With --max-inflight 1, at most one can
+    // hold the admission slot; the rest are answered Busy unexecuted.
+    let mut reader = Client::connect(addr).unwrap();
+    const BURST: usize = 24;
+    let mut sent = Vec::new();
+    for _ in 0..BURST {
+        sent.push(
+            reader
+                .send(&Request::Query {
+                    sql: "SELECT component, count(*), avg(duration_ms) FROM component_runs \
+                          GROUP BY component"
+                        .into(),
+                })
+                .unwrap(),
+        );
+    }
+
+    // While the reader is saturated, the writer keeps writing on its own
+    // connection — its admission gate is per-connection, and ingest
+    // doesn't share the query pool.
+    let contended = writer_elapsed(addr, "contended", 20);
+
+    let mut busy = 0;
+    let mut rows = 0;
+    for _ in 0..BURST {
+        let (id, resp) = reader.recv().unwrap();
+        assert!(sent.contains(&id));
+        match resp {
+            Response::Busy { limit } => {
+                assert_eq!(limit, 1);
+                busy += 1;
+            }
+            Response::Rows { .. } => rows += 1,
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(
+        busy > 0,
+        "a saturated connection must see Busy ({rows} rows)"
+    );
+    assert!(busy + rows == BURST);
+    assert!(store.telemetry().unwrap().snapshot().counters["server.busy_total"] >= busy as u64,);
+
+    // Writer throughput within 2× of uncontended (plus absolute slack so
+    // scheduler noise on tiny workloads can't flake the build).
+    assert!(
+        contended <= baseline * 2 + Duration::from_millis(500),
+        "writer slowed beyond 2x under reader saturation: {contended:?} vs {baseline:?}"
+    );
+
+    let mut control = Client::connect(addr).unwrap();
+    control.shutdown_server().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// Unknown prepared handles, bad arity, and malformed SQL all surface as
+/// protocol errors without poisoning the connection.
+#[test]
+fn protocol_errors_leave_the_connection_usable() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_store, addr, server) = start_server(&dir.path().join("errors.wal"), serve_cfg());
+    let mut client = Client::connect(addr).unwrap();
+
+    match client.exec(
+        mltrace::client::StatementHandle {
+            stmt: 999,
+            params: 0,
+        },
+        vec![],
+    ) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("unknown statement")),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    match client.prepare("SELEKT nonsense") {
+        Err(ClientError::Server(_)) => {}
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    let stmt = client
+        .prepare("SELECT count(*) FROM runs WHERE component = ?")
+        .unwrap();
+    match client.exec(stmt, vec![]) {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("takes 1 parameter"), "got: {msg}")
+        }
+        other => panic!("expected arity error, got {other:?}"),
+    }
+    // The connection still works after every failure.
+    let rows = client.exec(stmt, vec![Value::Str("ghost".into())]).unwrap();
+    assert_eq!(rows.rows.len(), 1);
+    client.ping().unwrap();
+
+    client.shutdown_server().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// Multi-process leg: a real `mltrace serve` process, several
+/// `mltrace bench-load` client processes, then SIGINT — the server must
+/// exit zero (graceful drain) and the WAL must hold every acknowledged
+/// row.
+#[cfg(unix)]
+#[test]
+fn serve_process_survives_bench_load_processes_and_sigint() {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    let dir = tempfile::tempdir().unwrap();
+    let db = dir.path().join("proc.wal");
+    let exe = env!("CARGO_BIN_EXE_mltrace");
+
+    let mut serve = Command::new(exe)
+        .args([
+            "--db",
+            db.to_str().unwrap(),
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The serve banner (first stderr line) carries the bound address.
+    let mut banner = String::new();
+    let mut stderr = std::io::BufReader::new(serve.stderr.take().unwrap());
+    stderr.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split(" on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in serve banner: {banner:?}"))
+        .to_string();
+    // Keep draining stderr so the child never blocks on a full pipe.
+    let drain = std::thread::spawn(move || for _ in stderr.lines() {});
+
+    // Two client processes × 2 writers × 50 runs each, distinct prefixes.
+    const PROCS: usize = 2;
+    const PROC_WRITERS: usize = 2;
+    const PROC_RUNS: usize = 50;
+    let loads: Vec<_> = (0..PROCS)
+        .map(|p| {
+            Command::new(exe)
+                .args([
+                    "bench-load",
+                    "--addr",
+                    &addr,
+                    "--writers",
+                    &PROC_WRITERS.to_string(),
+                    "--readers",
+                    "1",
+                    "--runs",
+                    &PROC_RUNS.to_string(),
+                    "--batch",
+                    "5",
+                    "--prefix",
+                    &format!("proc{p}"),
+                    "--retry-busy",
+                ])
+                .stdout(Stdio::piped())
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    for child in loads {
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "bench-load failed: {out:?}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        let logged: usize = text
+            .lines()
+            .find(|l| l.starts_with("runs logged"))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("no 'runs logged' line in report:\n{text}"));
+        assert_eq!(logged, PROC_WRITERS * PROC_RUNS, "report:\n{text}");
+    }
+
+    // Graceful Ctrl-C: the server drains, fsyncs, and exits zero.
+    let kill = Command::new("kill")
+        .args(["-INT", &serve.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+    let status = serve.wait().unwrap();
+    drain.join().unwrap();
+    assert!(status.success(), "serve did not exit cleanly on SIGINT");
+
+    // Every acknowledged row survived the shutdown fsync.
+    let store = WalStore::open(&db).unwrap();
+    let stats = store.stats().unwrap();
+    assert_eq!(stats.runs, PROCS * PROC_WRITERS * PROC_RUNS);
+    assert_eq!(stats.components, PROCS * PROC_WRITERS);
+    // And the telemetry sidecar got the server's counters on exit (the
+    // CI smoke asserts the same through `mltrace telemetry`).
+    let sidecar = format!("{}.telemetry", db.display());
+    let text = std::fs::read_to_string(&sidecar).unwrap();
+    assert!(
+        text.contains("server.requests_total"),
+        "sidecar missing server counters:\n{text}"
+    );
+}
